@@ -1,0 +1,172 @@
+package tradeoff_test
+
+import (
+	"testing"
+
+	"tradeoff"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys := tradeoff.RealSystem()
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{NumTasks: 60, Window: 900}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := tradeoff.NewFramework(sys, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Optimize(tradeoff.Options{
+		Generations:    20,
+		PopulationSize: 12,
+		Seeds:          []tradeoff.Heuristic{tradeoff.MinEnergy, tradeoff.MaxUtility},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front through the public API")
+	}
+	region, err := tradeoff.AnalyzeUPE(res.Front, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.PeakUPE <= 0 {
+		t.Fatalf("peak UPE = %v", region.PeakUPE)
+	}
+}
+
+func TestPublicAPIEnlarge(t *testing.T) {
+	sys, err := tradeoff.EnlargeSystem(tradeoff.RealSystem(), tradeoff.DefaultEnlargeConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumTaskTypes() != 30 || sys.NumMachines() != 30 {
+		t.Fatalf("enlarged system dimensions wrong: %d task types, %d machines",
+			sys.NumTaskTypes(), sys.NumMachines())
+	}
+}
+
+func TestPublicAPIDVFS(t *testing.T) {
+	sys := tradeoff.RealSystem()
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{NumTasks: 30, Window: 300}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := tradeoff.NewEvaluator(sys, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := tradeoff.BuildSeed(tradeoff.MaxUtility, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := tradeoff.NewDVFSEvaluator(ev, tradeoff.DefaultDVFSProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := dv.SweepUniform(seed)
+	if len(sweep) != 4 {
+		t.Fatalf("sweep has %d states", len(sweep))
+	}
+	if !(sweep[3].Energy < sweep[0].Energy) {
+		t.Fatal("throttling did not save energy via public API")
+	}
+}
+
+func TestPublicAPIBaselinesAndDropping(t *testing.T) {
+	sys := tradeoff.RealSystem()
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{NumTasks: 120, Window: 120}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := tradeoff.NewEvaluator(sys, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tradeoff.BuildBaseline(tradeoff.Sufferage, ev)
+	if err := ev.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	before := ev.Evaluate(a)
+	dropped, after := tradeoff.DropNegligible(ev, a, 0)
+	if after.Energy > before.Energy {
+		t.Fatal("dropping increased energy via public API")
+	}
+	if dropped.Len() != a.Len() {
+		t.Fatal("dropped allocation has wrong length")
+	}
+	st, err := tradeoff.MeasureTrace(trace, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumTasks != 120 {
+		t.Fatal("trace stats wrong")
+	}
+}
+
+func TestPublicAPIQueries(t *testing.T) {
+	front := []tradeoff.FrontPoint{
+		{Utility: 10, Energy: 1},
+		{Utility: 20, Energy: 2},
+		{Utility: 25, Energy: 4},
+	}
+	if got := tradeoff.BestUnderBudget(front, 2.5); got != 1 {
+		t.Fatalf("BestUnderBudget = %d", got)
+	}
+	if got := tradeoff.CheapestAtUtility(front, 15); got != 1 {
+		t.Fatalf("CheapestAtUtility = %d", got)
+	}
+}
+
+func TestFrontMonotonicityInvariant(t *testing.T) {
+	// The paper's §IV-A observation, as an invariant: along a Pareto
+	// front sorted by energy, utility is strictly increasing (a
+	// well-structured allocation that uses more energy earns more
+	// utility; equal-utility-higher-energy points would be dominated).
+	sys := tradeoff.RealSystem()
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{NumTasks: 80, Window: 600}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := tradeoff.NewFramework(sys, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Optimize(tradeoff.Options{Generations: 60, PopulationSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Front); i++ {
+		if res.Front[i].Energy < res.Front[i-1].Energy {
+			t.Fatal("front not energy-sorted")
+		}
+		if res.Front[i].Utility <= res.Front[i-1].Utility {
+			t.Fatalf("utility not increasing along the front at %d: %v then %v",
+				i, res.Front[i-1], res.Front[i])
+		}
+	}
+}
+
+func TestPublicAPIIslands(t *testing.T) {
+	sys := tradeoff.RealSystem()
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{NumTasks: 50, Window: 600}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := tradeoff.NewFramework(sys, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Optimize(tradeoff.Options{
+		Generations:    15,
+		PopulationSize: 8,
+		Islands:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty island front via public API")
+	}
+}

@@ -1,0 +1,268 @@
+// Benchmarks regenerating every table and figure of the paper (scaled to
+// bench-friendly iteration counts; EXPERIMENTS.md records full runs), plus
+// ablations of the design choices DESIGN.md calls out: ranking rule,
+// crossover repair strategy, evaluation parallelism, and population size.
+package tradeoff_test
+
+import (
+	"io"
+	"testing"
+
+	"tradeoff/internal/experiments"
+	"tradeoff/internal/nsga2"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// benchCfg keeps figure benches to a few hundred milliseconds per op.
+var benchCfg = experiments.RunConfig{
+	PopulationSize: 40,
+	Checkpoints:    []int{5, 25},
+	Seed:           1,
+}
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTableI(io.Discard)
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTableII(io.Discard)
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTableIII(io.Discard)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteFigure1(io.Discard)
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteFigure2(io.Discard)
+	}
+}
+
+func benchParetoFigure(b *testing.B, dsNum int) {
+	b.Helper()
+	ds, err := experiments.ByNumber(dsNum, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg
+		cfg.Seed = uint64(i + 1)
+		res, err := experiments.RunParetoFigure(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.WriteSeries(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the data set 1 Pareto-front study.
+func BenchmarkFigure3(b *testing.B) { benchParetoFigure(b, 1) }
+
+// BenchmarkFigure4 regenerates the data set 2 Pareto-front study.
+func BenchmarkFigure4(b *testing.B) { benchParetoFigure(b, 2) }
+
+// BenchmarkFigure6 regenerates the data set 3 Pareto-front study.
+func BenchmarkFigure6(b *testing.B) { benchParetoFigure(b, 3) }
+
+// BenchmarkFigure5 regenerates the utility-per-energy region analysis.
+func BenchmarkFigure5(b *testing.B) {
+	ds, err := experiments.ByNumber(2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg
+		cfg.Seed = uint64(i + 1)
+		res, err := experiments.RunFigure5(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.WriteFigure5(io.Discard)
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+func ablationEngine(b *testing.B, mutate func(*nsga2.Config)) *nsga2.Engine {
+	b.Helper()
+	ds, err := experiments.DataSet1(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := nsga2.Config{PopulationSize: 100}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := nsga2.New(ds.Evaluator, cfg, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// Ranking rule: Deb fronts (default) vs the paper's literal
+// dominance-count ranking.
+func BenchmarkAblationRankingDebFronts(b *testing.B) {
+	eng := ablationEngine(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkAblationRankingDominanceCount(b *testing.B) {
+	eng := ablationEngine(b, func(c *nsga2.Config) { c.Ranking = nsga2.DominanceCount })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Crossover repair: order-preserving re-rank vs order-destroying shuffle.
+func BenchmarkAblationRepairRerank(b *testing.B) {
+	eng := ablationEngine(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkAblationRepairShuffle(b *testing.B) {
+	eng := ablationEngine(b, func(c *nsga2.Config) { c.Repair = nsga2.ShuffleRepair })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Evaluation parallelism: serial vs GOMAXPROCS worker pool.
+func BenchmarkAblationEvalSerial(b *testing.B) {
+	eng := ablationEngine(b, func(c *nsga2.Config) { c.Workers = 1 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkAblationEvalParallel(b *testing.B) {
+	eng := ablationEngine(b, func(c *nsga2.Config) { c.Workers = 0 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Population size scaling.
+func BenchmarkAblationPop50(b *testing.B)  { benchPop(b, 50) }
+func BenchmarkAblationPop100(b *testing.B) { benchPop(b, 100) }
+func BenchmarkAblationPop200(b *testing.B) { benchPop(b, 200) }
+
+func benchPop(b *testing.B, n int) {
+	eng := ablationEngine(b, func(c *nsga2.Config) { c.PopulationSize = n })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Seed construction cost relative to one NSGA-II generation (the paper's
+// claim that greedy heuristics are negligible).
+func BenchmarkSeedConstructionAll(b *testing.B) {
+	ds, err := experiments.DataSet1(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range experiments.Variants() {
+			if v.Seed == nil {
+				continue
+			}
+			if _, err := v.Seed.Build(ds.Evaluator); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// End-to-end evaluation throughput across the three data-set scales.
+func BenchmarkEvaluateDataSet1(b *testing.B) { benchEvaluate(b, 1) }
+func BenchmarkEvaluateDataSet2(b *testing.B) { benchEvaluate(b, 2) }
+func BenchmarkEvaluateDataSet3(b *testing.B) { benchEvaluate(b, 3) }
+
+func benchEvaluate(b *testing.B, dsNum int) {
+	ds, err := experiments.ByNumber(dsNum, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := ds.Evaluator.NewSession()
+	a := ds.Evaluator.RandomAllocation(rng.New(2))
+	var sink sched.Evaluation
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = sess.Evaluate(a)
+	}
+	_ = sink
+}
+
+// Parent selection: the paper's uniform-random parents vs canonical
+// NSGA-II binary tournament.
+func BenchmarkAblationSelectionUniform(b *testing.B) {
+	eng := ablationEngine(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkAblationSelectionTournament(b *testing.B) {
+	eng := ablationEngine(b, func(c *nsga2.Config) { c.Selection = nsga2.TournamentSelection })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Island model vs single population at equal total budget.
+func BenchmarkIslands4x25(b *testing.B) {
+	ds, err := experiments.DataSet1(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	is, err := nsga2.NewIslands(ds.Evaluator, nsga2.IslandConfig{
+		Islands: 4,
+		Engine:  nsga2.Config{PopulationSize: 26, Workers: 1},
+	}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		is.Step()
+	}
+}
+
+func BenchmarkSinglePop104(b *testing.B) {
+	eng := ablationEngine(b, func(c *nsga2.Config) { c.PopulationSize = 104; c.Workers = 1 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}

@@ -1,0 +1,143 @@
+// Command datagen creates synthetic heterogeneous systems with the
+// paper's §III-D2 Gram-Charlier pipeline and writes them as JSON for the
+// tradeoff command, reporting how well the synthetic task types preserve
+// the real data's heterogeneity measures.
+//
+// Usage:
+//
+//	datagen [-tasktypes 25] [-special 4] [-speedup 10] [-seed 1] -o system.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/datagen"
+	"tradeoff/internal/etcgen"
+	"tradeoff/internal/hcs"
+	"tradeoff/internal/rng"
+)
+
+func main() {
+	var (
+		taskTypes = flag.Int("tasktypes", 25, "synthetic task types to add")
+		special   = flag.Int("special", 4, "special-purpose machine types to add")
+		minTasks  = flag.Int("mintasks", 2, "min task types per special machine")
+		maxTasks  = flag.Int("maxtasks", 3, "max task types per special machine")
+		speedup   = flag.Float64("speedup", 10, "special-purpose speedup factor")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		out       = flag.String("o", "system.json", "output path")
+		tableIII  = flag.Bool("table3", true, "use Table III machine counts (requires defaults)")
+		method    = flag.String("method", "gram-charlier", "generation method: gram-charlier (paper), cvb, range")
+		machines  = flag.Int("machines", 13, "machine types for cvb/range methods")
+		basePower = flag.Float64("basepower", 120, "fleet-average power in watts for cvb/range methods")
+	)
+	flag.Parse()
+
+	switch *method {
+	case "cvb", "range":
+		if err := writeClassic(*method, *taskTypes, *machines, *basePower, *seed, *out); err != nil {
+			fatal(err)
+		}
+		return
+	case "gram-charlier":
+	default:
+		fatal(fmt.Errorf("unknown method %q (want gram-charlier, cvb, range)", *method))
+	}
+
+	cfg := datagen.Config{
+		NewTaskTypes:        *taskTypes,
+		SpecialMachineTypes: *special,
+		MinTasksPerSpecial:  *minTasks,
+		MaxTasksPerSpecial:  *maxTasks,
+		Speedup:             *speedup,
+	}
+	if *tableIII && *special == 4 {
+		def := datagen.Default()
+		cfg.GeneralCounts = def.GeneralCounts
+		cfg.SpecialCounts = def.SpecialCounts
+	}
+	base := data.RealSystem()
+	sys, err := datagen.Enlarge(base, cfg, rng.New(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := json.MarshalIndent(sys, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d task types, %d machine types, %d machines\n",
+		*out, sys.NumTaskTypes(), sys.NumMachineTypes(), sys.NumMachines())
+
+	if *taskTypes > 1 {
+		etcRep, err := datagen.CompareHeterogeneity(sys.ETC, base.NumTaskTypes())
+		if err == nil {
+			fmt.Printf("ETC heterogeneity: real {%v}, synthetic {%v}, distance %.3f\n",
+				etcRep.Real, etcRep.Synthetic, etcRep.Distance)
+		}
+		epcRep, err := datagen.CompareHeterogeneity(sys.EPC, base.NumTaskTypes())
+		if err == nil {
+			fmt.Printf("EPC heterogeneity: real {%v}, synthetic {%v}, distance %.3f\n",
+				epcRep.Real, epcRep.Synthetic, epcRep.Distance)
+		}
+	}
+}
+
+// writeClassic generates a system with one of the Ali et al. methods
+// (range-based or CVB) and derives a plausible EPC matrix.
+func writeClassic(method string, taskTypes, machineTypes int, basePower float64, seed uint64, out string) error {
+	src := rng.New(seed)
+	var (
+		etc hcs.Matrix
+		err error
+	)
+	switch method {
+	case "cvb":
+		etc, err = etcgen.CVB(etcgen.CVBConfig{
+			TaskTypes:    taskTypes,
+			MachineTypes: machineTypes,
+			MeanTask:     150,
+			Vtask:        0.6,
+			Vmach:        0.35,
+		}, src)
+	case "range":
+		etc, err = etcgen.RangeBased(etcgen.RangeConfig{
+			TaskTypes:    taskTypes,
+			MachineTypes: machineTypes,
+			Rtask:        300,
+			Rmach:        10,
+		}, src)
+	}
+	if err != nil {
+		return err
+	}
+	epc, err := etcgen.PowerFromETC(etc, basePower, 0.4, src)
+	if err != nil {
+		return err
+	}
+	sys, err := etcgen.SystemFrom(etc, epc)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(sys, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s method): %d task types, %d machine types\n",
+		out, method, sys.NumTaskTypes(), sys.NumMachineTypes())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

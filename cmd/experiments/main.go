@@ -1,0 +1,263 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. Tables print verbatim; figure commands evolve the
+// seeded NSGA-II populations and print the front series (and optionally
+// render SVG charts).
+//
+// Usage:
+//
+//	experiments -table 1|2|3
+//	experiments -figure 1|2|3|4|5|6 [-scale 0.1] [-pop 100] [-seed 1] [-svgdir DIR]
+//	experiments -all [-scale 0.05]
+//
+// Figures 3, 4 and 6 run data sets 1, 2 and 3 respectively at laptop-
+// scale default checkpoints; -paperscale switches to the paper's
+// iteration counts (expect hours), -scale multiplies whichever schedule
+// is active.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tradeoff/internal/experiments"
+)
+
+func main() {
+	var (
+		table       = flag.Int("table", 0, "print table 1-3 and exit")
+		figure      = flag.Int("figure", 0, "reproduce figure 1-6")
+		all         = flag.Bool("all", false, "reproduce every table and figure")
+		scale       = flag.Float64("scale", 1, "multiply iteration checkpoints")
+		pop         = flag.Int("pop", 100, "NSGA-II population size")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		paperScale  = flag.Bool("paperscale", false, "use the paper's iteration counts (slow)")
+		svgDir      = flag.String("svgdir", "", "write SVG charts into this directory")
+		matrices    = flag.Bool("matrices", false, "print the embedded real ETC/EPC matrices")
+		convergence = flag.Int("convergence", 0, "run the hypervolume-convergence study on data set 1-3")
+		baselines   = flag.Int("baselines", 0, "compare single-solution heuristics to the evolved front on data set 1-3")
+		wssaCmp     = flag.Int("wssa", 0, "compare NSGA-II against weighted-sum simulated annealing on data set 1-3")
+		mutSweep    = flag.Int("mutsweep", 0, "sweep mutation rates on data set 1-3")
+		onlineStudy = flag.Int("online", 0, "offline-informs-online study on data set 1-3")
+		hetero      = flag.Int("heterogeneity", 0, "heterogeneity-preservation study with N synthetic task types")
+		ablation    = flag.Int("ablation", 0, "design-choice ablation on data set 1-3")
+		repeats     = flag.Int("repeats", 0, "statistical repeats study on data set 1-3")
+		runs        = flag.Int("runs", 5, "runs per variant for -repeats")
+	)
+	flag.Parse()
+
+	if *matrices {
+		experiments.WriteMatrices(os.Stdout)
+		return
+	}
+	if *convergence != 0 {
+		ds, err := experiments.ByNumber(*convergence, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunConvergence(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		res.Write(os.Stdout)
+		return
+	}
+	if *baselines != 0 {
+		ds, err := experiments.ByNumber(*baselines, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunBaselineComparison(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		res.Write(os.Stdout)
+		return
+	}
+	if *repeats != 0 {
+		ds, err := experiments.ByNumber(*repeats, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunRepeats(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed}, *runs)
+		if err != nil {
+			fatal(err)
+		}
+		res.Write(os.Stdout)
+		return
+	}
+	if *ablation != 0 {
+		ds, err := experiments.ByNumber(*ablation, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunAblation(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		res.Write(os.Stdout)
+		return
+	}
+	if *hetero != 0 {
+		res, err := experiments.RunHeterogeneityStudy(*hetero, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res.Write(os.Stdout)
+		return
+	}
+	if *onlineStudy != 0 {
+		ds, err := experiments.ByNumber(*onlineStudy, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunOnlineStudy(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		res.Write(os.Stdout)
+		return
+	}
+	if *mutSweep != 0 {
+		ds, err := experiments.ByNumber(*mutSweep, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunMutationSweep(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed}, nil)
+		if err != nil {
+			fatal(err)
+		}
+		res.Write(os.Stdout)
+		return
+	}
+	if *wssaCmp != 0 {
+		ds, err := experiments.ByNumber(*wssaCmp, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := experiments.RunWSSAComparison(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed}, nil)
+		if err != nil {
+			fatal(err)
+		}
+		res.Write(os.Stdout)
+		return
+	}
+	if *table != 0 {
+		if err := printTable(*table); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	run := func(fig int) error {
+		return runFigure(fig, *scale, *pop, *seed, *paperScale, *svgDir)
+	}
+	switch {
+	case *all:
+		for tn := 1; tn <= 3; tn++ {
+			if err := printTable(tn); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		for fig := 1; fig <= 6; fig++ {
+			if err := run(fig); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+	case *figure != 0:
+		if err := run(*figure); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printTable(n int) error {
+	switch n {
+	case 1:
+		experiments.WriteTableI(os.Stdout)
+	case 2:
+		experiments.WriteTableII(os.Stdout)
+	case 3:
+		experiments.WriteTableIII(os.Stdout)
+	default:
+		return fmt.Errorf("no table %d (want 1-3)", n)
+	}
+	return nil
+}
+
+func runFigure(fig int, scale float64, pop int, seed uint64, paperScale bool, svgDir string) error {
+	switch fig {
+	case 1:
+		experiments.WriteFigure1(os.Stdout)
+		return nil
+	case 2:
+		experiments.WriteFigure2(os.Stdout)
+		return nil
+	case 3, 4, 6:
+		dsNum := map[int]int{3: 1, 4: 2, 6: 3}[fig]
+		ds, err := experiments.ByNumber(dsNum, seed)
+		if err != nil {
+			return err
+		}
+		cfg := experiments.RunConfig{PopulationSize: pop, Scale: scale, Seed: seed}
+		if paperScale {
+			cfg.Checkpoints = ds.PaperCheckpoints
+		}
+		fmt.Printf("Figure %d: Pareto fronts for %s (%s)\n", fig, ds.Name, ds.Description)
+		res, err := experiments.RunParetoFigure(ds, cfg)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteSeries(os.Stdout); err != nil {
+			return err
+		}
+		// ASCII chart of the final checkpoint.
+		chart, err := res.Chart(len(res.Checkpoints) - 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(chart.ASCII(76, 20))
+		if svgDir != "" {
+			for k := range res.Checkpoints {
+				c, err := res.Chart(k)
+				if err != nil {
+					return err
+				}
+				name := filepath.Join(svgDir, fmt.Sprintf("figure%d_cp%d.svg", fig, res.Checkpoints[k]))
+				if err := os.WriteFile(name, []byte(c.SVG(800, 600)), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", name)
+			}
+		}
+		return nil
+	case 5:
+		ds, err := experiments.ByNumber(2, seed)
+		if err != nil {
+			return err
+		}
+		cfg := experiments.RunConfig{PopulationSize: pop, Scale: scale, Seed: seed}
+		if paperScale {
+			cfg.Checkpoints = ds.PaperCheckpoints
+		}
+		res, err := experiments.RunFigure5(ds, cfg)
+		if err != nil {
+			return err
+		}
+		res.WriteFigure5(os.Stdout)
+		return nil
+	default:
+		return fmt.Errorf("no figure %d (want 1-6)", fig)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

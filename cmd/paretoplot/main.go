@@ -1,0 +1,112 @@
+// Command paretoplot renders utility/energy front CSV files (as written
+// by the tradeoff command, or any CSV with utility and energy columns) as
+// ASCII charts on stdout or standalone SVG files.
+//
+// Usage:
+//
+//	paretoplot [-svg out.svg] [-title T] front1.csv [front2.csv ...]
+//
+// Each input file becomes one series, named after the file.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"tradeoff/internal/plot"
+)
+
+func main() {
+	var (
+		svgPath = flag.String("svg", "", "write SVG to this path instead of ASCII to stdout")
+		title   = flag.String("title", "utility vs energy trade-off", "chart title")
+		width   = flag.Int("width", 800, "SVG width / ASCII columns")
+		height  = flag.Int("height", 600, "SVG height / ASCII rows")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "paretoplot: need at least one CSV file")
+		os.Exit(2)
+	}
+	chart := &plot.Chart{
+		Title:  *title,
+		XLabel: "total energy consumed (MJ)",
+		YLabel: "total utility earned",
+	}
+	for _, path := range flag.Args() {
+		series, err := loadSeries(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paretoplot: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		chart.Series = append(chart.Series, series)
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(chart.SVG(*width, *height)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "paretoplot:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *svgPath)
+		return
+	}
+	cols, rows := *width, *height
+	if cols > 120 {
+		cols = 76
+	}
+	if rows > 40 {
+		rows = 20
+	}
+	fmt.Print(chart.ASCII(cols, rows))
+}
+
+// loadSeries reads a CSV with a header containing "utility" and either
+// "energy_mj" or "energy"/"energy_joules" columns.
+func loadSeries(path string) (plot.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return plot.Series{}, err
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return plot.Series{}, err
+	}
+	if len(records) < 2 {
+		return plot.Series{}, fmt.Errorf("no data rows")
+	}
+	header := records[0]
+	uCol, eCol, scale := -1, -1, 1.0
+	for i, h := range header {
+		switch strings.ToLower(strings.TrimSpace(h)) {
+		case "utility":
+			uCol = i
+		case "energy_mj":
+			eCol, scale = i, 1
+		case "energy", "energy_joules":
+			if eCol == -1 { // prefer energy_mj when both exist
+				eCol, scale = i, 1e-6
+			}
+		}
+	}
+	if uCol == -1 || eCol == -1 {
+		return plot.Series{}, fmt.Errorf("header must contain utility and energy columns, got %v", header)
+	}
+	s := plot.Series{Name: strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))}
+	for ln, rec := range records[1:] {
+		u, err := strconv.ParseFloat(strings.TrimSpace(rec[uCol]), 64)
+		if err != nil {
+			return plot.Series{}, fmt.Errorf("row %d: bad utility: %w", ln+2, err)
+		}
+		e, err := strconv.ParseFloat(strings.TrimSpace(rec[eCol]), 64)
+		if err != nil {
+			return plot.Series{}, fmt.Errorf("row %d: bad energy: %w", ln+2, err)
+		}
+		s.Points = append(s.Points, plot.Point{X: e * scale, Y: u})
+	}
+	return s, nil
+}

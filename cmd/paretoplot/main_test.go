@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "front.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSeriesPrefersMJColumn(t *testing.T) {
+	path := writeTemp(t, "utility,energy_joules,energy_mj\n10,2000000,2\n20,3000000,3\n")
+	s, err := loadSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 || s.Points[0].X != 2 || s.Points[0].Y != 10 {
+		t.Fatalf("series = %+v", s)
+	}
+	if s.Name != "front" {
+		t.Fatalf("series name = %q", s.Name)
+	}
+}
+
+func TestLoadSeriesJoulesFallback(t *testing.T) {
+	path := writeTemp(t, "utility,energy\n10,2000000\n")
+	s, err := loadSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Points[0].X != 2 { // scaled to MJ
+		t.Fatalf("X = %v, want 2", s.Points[0].X)
+	}
+}
+
+func TestLoadSeriesErrors(t *testing.T) {
+	cases := []string{
+		"utility,energy_mj\n",       // no rows
+		"wrong,header\n1,2\n",       // missing columns
+		"utility,energy_mj\nxx,2\n", // bad utility
+		"utility,energy_mj\n1,yy\n", // bad energy
+	}
+	for i, c := range cases {
+		if _, err := loadSeries(writeTemp(t, c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := loadSeries("/nonexistent/file.csv"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/analysis"
+	"tradeoff/internal/core"
+	"tradeoff/internal/heuristics"
+)
+
+func TestParseSeeds(t *testing.T) {
+	seeds, err := parseSeeds("min-energy, max-utility")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 || seeds[0] != heuristics.MinEnergy || seeds[1] != heuristics.MaxUtility {
+		t.Fatalf("parseSeeds = %v", seeds)
+	}
+	if s, err := parseSeeds(""); err != nil || s != nil {
+		t.Fatal("empty seed list should be nil")
+	}
+	if s, err := parseSeeds(" , "); err != nil || s != nil {
+		t.Fatal("blank entries should be skipped")
+	}
+	if _, err := parseSeeds("bogus"); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := &core.Result{Front: []analysis.FrontPoint{
+		{Utility: 10, Energy: 2e6},
+		{Utility: 20, Energy: 3e6},
+	}}
+	path := filepath.Join(t.TempDir(), "front.csv")
+	if err := writeCSV(path, res); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "utility,energy_joules") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "2.000000") { // energy in MJ
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestBuildFrameworkDatasets(t *testing.T) {
+	fw, name, err := buildFramework(1, "", 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "dataset1" || fw.Trace().NumTasks() != 250 {
+		t.Fatalf("dataset1: name=%q tasks=%d", name, fw.Trace().NumTasks())
+	}
+	// Task-count override.
+	fw2, _, err := buildFramework(1, "", 42, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw2.Trace().NumTasks() != 42 {
+		t.Fatalf("override tasks = %d", fw2.Trace().NumTasks())
+	}
+	if _, _, err := buildFramework(9, "", 0, 0, 1); err == nil {
+		t.Fatal("bad dataset accepted")
+	}
+	if _, _, err := buildFramework(1, "/nonexistent.json", 0, 0, 1); err == nil {
+		t.Fatal("missing system file accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package tradeoff_test
+
+import (
+	"fmt"
+	"log"
+
+	"tradeoff"
+)
+
+// ExampleNewFramework runs the whole pipeline on a tiny instance: build
+// the embedded benchmark system, generate a trace, evolve a front, and
+// query the efficient region.
+func ExampleNewFramework() {
+	sys := tradeoff.RealSystem()
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{NumTasks: 40, Window: 300}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := tradeoff.NewFramework(sys, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.Optimize(tradeoff.Options{
+		Generations:    50,
+		PopulationSize: 20,
+		Seeds:          []tradeoff.Heuristic{tradeoff.MinEnergy},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Front) > 1)
+	fmt.Println(res.Front[0].Energy <= res.Front[len(res.Front)-1].Energy)
+	// Output:
+	// true
+	// true
+}
+
+// ExampleNewSystemBuilder models a custom two-tier environment.
+func ExampleNewSystemBuilder() {
+	b := tradeoff.NewSystemBuilder()
+	cpu := b.MachineType("cpu-node", tradeoff.GeneralPurpose, 2)
+	acc := b.MachineType("accelerator", tradeoff.SpecialPurpose, 1)
+	train := b.TaskType("train", tradeoff.SpecialPurpose)
+	etl := b.TaskType("etl", tradeoff.GeneralPurpose)
+	b.Set(train, cpu, 600, 200)
+	b.Set(train, acc, 60, 300)
+	b.Set(etl, cpu, 120, 150)
+	sys, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys.NumMachines(), sys.NumTaskTypes())
+	fmt.Println(sys.Capable(etl, acc))
+	// Output:
+	// 3 2
+	// false
+}
+
+// ExampleAnalyzeUPE locates the knee of a hand-built front.
+func ExampleAnalyzeUPE() {
+	front := []tradeoff.FrontPoint{
+		{Utility: 10, Energy: 1e6},
+		{Utility: 40, Energy: 2e6},
+		{Utility: 45, Energy: 4e6},
+	}
+	region, err := tradeoff.AnalyzeUPE(front, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peak at %.0f MJ\n", region.Peak.Energy/1e6)
+	// Output:
+	// peak at 2 MJ
+}

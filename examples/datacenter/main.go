@@ -1,0 +1,96 @@
+// Datacenter capacity planning: enlarge the real benchmark data into a
+// 30-machine heterogeneous suite (the paper's data set 2 environment),
+// simulate a 1000-task trace, and answer an operations question: "what is
+// the most utility we can earn under an energy budget?" for a ladder of
+// budgets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tradeoff"
+)
+
+func main() {
+	// Build the enlarged environment with the paper's Table III machine
+	// counts: 4 special-purpose machine types (10x faster on 2-3 task
+	// types each) plus 26 general-purpose machines over 9 CPU models.
+	sys, err := tradeoff.EnlargeSystem(tradeoff.RealSystem(), tradeoff.DefaultEnlargeConfig(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("environment: %d machines / %d machine types / %d task types\n",
+		sys.NumMachines(), sys.NumMachineTypes(), sys.NumTaskTypes())
+
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{
+		NumTasks: 1000,
+		Window:   15 * 60,
+	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fw, err := tradeoff.NewFramework(sys, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.Optimize(tradeoff.Options{
+		Generations:    800,
+		PopulationSize: 100,
+		Seeds: []tradeoff.Heuristic{
+			tradeoff.MinEnergy, tradeoff.MinMin, tradeoff.MaxUtilityPerEnergy,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	minE, maxE := res.Front[0].Energy, res.Front[len(res.Front)-1].Energy
+	fmt.Printf("\nfront spans %.2f-%.2f MJ; utility %.0f-%.0f\n",
+		minE/1e6, maxE/1e6, res.Front[0].Utility, res.Front[len(res.Front)-1].Utility)
+
+	// Capacity planning: best achievable utility under each budget.
+	fmt.Printf("\n%-18s %-14s %s\n", "energy budget", "best utility", "allocation")
+	for _, frac := range []float64{1.0, 1.05, 1.15, 1.3, 1.6, 2.0} {
+		budget := minE * frac
+		bestIdx := -1
+		for i, p := range res.Front {
+			if p.Energy <= budget && (bestIdx == -1 || p.Utility > res.Front[bestIdx].Utility) {
+				bestIdx = i
+			}
+		}
+		if bestIdx == -1 {
+			continue
+		}
+		p := res.Front[bestIdx]
+		// The allocation behind the chosen point is directly deployable:
+		// res.Allocations[bestIdx] maps every task to a machine.
+		busiest := busiestMachine(res.Allocations[bestIdx], sys.NumMachines())
+		fmt.Printf("%-18s %-14.0f front[%d], busiest machine %d (%d tasks)\n",
+			fmt.Sprintf("%.2f MJ", budget/1e6), p.Utility, bestIdx, busiest.machine, busiest.count)
+	}
+
+	fmt.Printf("\nmost efficient operating point: %.2f MJ -> %.0f utility (%.2f utility/MJ)\n",
+		res.Region.Peak.Energy/1e6, res.Region.Peak.Utility, res.Region.PeakUPE*1e6)
+}
+
+type load struct {
+	machine, count int
+}
+
+func busiestMachine(a *tradeoff.Allocation, numMachines int) load {
+	counts := make([]int, numMachines)
+	for _, m := range a.Machine {
+		if m >= 0 {
+			counts[m]++
+		}
+	}
+	best := load{}
+	for m, c := range counts {
+		if c > best.count {
+			best = load{machine: m, count: c}
+		}
+	}
+	return best
+}

@@ -1,0 +1,63 @@
+// Knee analysis (the paper's Fig. 5): evolve a front, locate the maximum
+// utility-per-energy region, and show the marginal utility of each extra
+// megajoule — large to the left of the region, negligible to the right.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"tradeoff"
+	"tradeoff/internal/analysis"
+)
+
+func main() {
+	sys := tradeoff.RealSystem()
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{NumTasks: 250, Window: 900}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw, err := tradeoff.NewFramework(sys, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := fw.Optimize(tradeoff.Options{
+		Generations:    1200,
+		PopulationSize: 100,
+		Seeds:          []tradeoff.Heuristic{tradeoff.MaxUtilityPerEnergy},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := res.Region
+	fmt.Printf("front: %d solutions, %.3f-%.3f MJ\n",
+		len(reg.Points), reg.Points[0].Energy/1e6, reg.Points[len(reg.Points)-1].Energy/1e6)
+	fmt.Printf("max utility-per-energy: %.2f utility/MJ at %.3f MJ (solution %d)\n",
+		reg.PeakUPE*1e6, reg.Peak.Energy/1e6, reg.PeakIndex)
+	fmt.Printf("efficient region: solutions %d..%d (UPE within 5%% of the peak)\n\n", reg.Lo, reg.Hi)
+
+	rates := analysis.MarginalRates(reg.Points)
+	fmt.Printf("%-4s %-12s %-10s %-20s %s\n", "#", "energy (MJ)", "utility", "marginal (U per MJ)", "")
+	for i, p := range reg.Points {
+		rate := ""
+		if i > 0 && !math.IsInf(rates[i-1], 0) {
+			rate = fmt.Sprintf("%.2f", rates[i-1]*1e6)
+		}
+		zone := ""
+		switch {
+		case i == reg.PeakIndex:
+			zone = "<- peak"
+		case i < reg.Lo:
+			zone = "(cheap utility here)"
+		case i > reg.Hi:
+			zone = "(diminishing returns)"
+		}
+		fmt.Printf("%-4d %-12.3f %-10.1f %-20s %s\n", i, p.Energy/1e6, p.Utility, rate, zone)
+	}
+
+	fmt.Println("\nreading the curve:")
+	fmt.Println("  left of the region:  relatively large utility gains per extra MJ")
+	fmt.Println("  right of the region: relatively large energy spent for small utility gains")
+}

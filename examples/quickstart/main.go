@@ -1,0 +1,58 @@
+// Quickstart: evolve a Pareto front of (utility, energy) for the real
+// benchmark environment and print the trade-off curve with its most
+// efficient region.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tradeoff"
+)
+
+func main() {
+	// The embedded 9-machine × 5-task benchmark environment.
+	sys := tradeoff.RealSystem()
+
+	// A trace of 250 tasks arriving over 15 minutes (the paper's data
+	// set 1 workload).
+	trace, err := tradeoff.GenerateTrace(sys, tradeoff.TraceConfig{
+		NumTasks: 250,
+		Window:   15 * 60,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fw, err := tradeoff.NewFramework(sys, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evolve a population seeded with the min-energy and max-utility
+	// greedy heuristics.
+	res, err := fw.Optimize(tradeoff.Options{
+		Generations:    1500,
+		PopulationSize: 100,
+		Seeds:          []tradeoff.Heuristic{tradeoff.MinEnergy, tradeoff.MaxUtility},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Pareto front (%d allocations) after %d generations:\n\n", len(res.Front), res.Generations)
+	fmt.Printf("%-14s %-12s %s\n", "energy (MJ)", "utility", "")
+	for i, p := range res.Front {
+		note := ""
+		if i == res.Region.PeakIndex {
+			note = "<- most utility per joule"
+		}
+		fmt.Printf("%-14.3f %-12.1f %s\n", p.Energy/1e6, p.Utility, note)
+	}
+	fmt.Printf("\nA system administrator reading this curve can pick any point:\n")
+	lo, hi := res.Front[0], res.Front[len(res.Front)-1]
+	fmt.Printf("  frugal end:   %.3f MJ for %.1f utility\n", lo.Energy/1e6, lo.Utility)
+	fmt.Printf("  spendy end:   %.3f MJ for %.1f utility\n", hi.Energy/1e6, hi.Utility)
+	fmt.Printf("  efficient:    %.3f MJ for %.1f utility (%.2f utility/MJ)\n",
+		res.Region.Peak.Energy/1e6, res.Region.Peak.Utility, res.Region.PeakUPE*1e6)
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Operating-point queries: the questions a system administrator asks a
+// finished front ("what can I get for this energy budget?", "what does
+// this utility target cost?"), plus a curvature-based knee detector that
+// complements the UPE-peak region of Fig. 5.
+
+// BestUnderBudget returns the index of the highest-utility front point
+// whose energy does not exceed the budget, or -1 if even the frugal end
+// exceeds it. The input need not be sorted.
+func BestUnderBudget(points []FrontPoint, budget float64) int {
+	best := -1
+	for i, p := range points {
+		if p.Energy > budget {
+			continue
+		}
+		if best == -1 || p.Utility > points[best].Utility ||
+			(p.Utility == points[best].Utility && p.Energy < points[best].Energy) {
+			best = i
+		}
+	}
+	return best
+}
+
+// CheapestAtUtility returns the index of the lowest-energy front point
+// earning at least the target utility, or -1 if the target is
+// unattainable on this front.
+func CheapestAtUtility(points []FrontPoint, target float64) int {
+	best := -1
+	for i, p := range points {
+		if p.Utility < target {
+			continue
+		}
+		if best == -1 || p.Energy < points[best].Energy ||
+			(p.Energy == points[best].Energy && p.Utility > points[best].Utility) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Knee locates the front point of maximum curvature using the normalized
+// perpendicular-distance-to-chord method: objectives are scaled to
+// [0,1], a chord is drawn between the front's extremes, and the point
+// farthest from the chord is the knee. It returns the index into the
+// energy-sorted copy it also returns. Fronts with fewer than 3 points
+// return index 0.
+func Knee(points []FrontPoint) (int, []FrontPoint, error) {
+	if len(points) == 0 {
+		return 0, nil, fmt.Errorf("analysis: empty front")
+	}
+	sorted := append([]FrontPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Energy < sorted[j].Energy })
+	if len(sorted) < 3 {
+		return 0, sorted, nil
+	}
+	eLo, eHi := sorted[0].Energy, sorted[len(sorted)-1].Energy
+	uLo, uHi := math.Inf(1), math.Inf(-1)
+	for _, p := range sorted {
+		uLo = math.Min(uLo, p.Utility)
+		uHi = math.Max(uHi, p.Utility)
+	}
+	eSpan, uSpan := eHi-eLo, uHi-uLo
+	if eSpan == 0 || uSpan == 0 {
+		return 0, sorted, nil
+	}
+	// Normalized endpoints of the chord.
+	x0, y0 := 0.0, (sorted[0].Utility-uLo)/uSpan
+	x1, y1 := 1.0, (sorted[len(sorted)-1].Utility-uLo)/uSpan
+	dx, dy := x1-x0, y1-y0
+	norm := math.Hypot(dx, dy)
+	bestIdx, bestDist := 0, -1.0
+	for i, p := range sorted {
+		px := (p.Energy - eLo) / eSpan
+		py := (p.Utility - uLo) / uSpan
+		// Perpendicular distance from (px,py) to the chord.
+		dist := math.Abs(dy*px-dx*py+x1*y0-y1*x0) / norm
+		if dist > bestDist {
+			bestIdx, bestDist = i, dist
+		}
+	}
+	return bestIdx, sorted, nil
+}
+
+// Interpolate returns the utility the front can earn at exactly the
+// given energy, linearly interpolating between the two bracketing points
+// of the energy-sorted front. Energies outside the front's range clamp
+// to the nearest endpoint.
+func Interpolate(points []FrontPoint, energy float64) (float64, error) {
+	if len(points) == 0 {
+		return 0, fmt.Errorf("analysis: empty front")
+	}
+	sorted := append([]FrontPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Energy < sorted[j].Energy })
+	if energy <= sorted[0].Energy {
+		return sorted[0].Utility, nil
+	}
+	if energy >= sorted[len(sorted)-1].Energy {
+		return sorted[len(sorted)-1].Utility, nil
+	}
+	i := sort.Search(len(sorted), func(k int) bool { return sorted[k].Energy >= energy })
+	a, b := sorted[i-1], sorted[i]
+	if b.Energy == a.Energy {
+		return math.Max(a.Utility, b.Utility), nil
+	}
+	frac := (energy - a.Energy) / (b.Energy - a.Energy)
+	return a.Utility + frac*(b.Utility-a.Utility), nil
+}

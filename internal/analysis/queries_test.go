@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+var tradeFront = []FrontPoint{
+	{Utility: 10, Energy: 1},
+	{Utility: 30, Energy: 2},
+	{Utility: 45, Energy: 3},
+	{Utility: 50, Energy: 5},
+	{Utility: 52, Energy: 9},
+}
+
+func TestBestUnderBudget(t *testing.T) {
+	if got := BestUnderBudget(tradeFront, 3.5); got != 2 {
+		t.Fatalf("budget 3.5 -> index %d, want 2", got)
+	}
+	if got := BestUnderBudget(tradeFront, 100); got != 4 {
+		t.Fatalf("huge budget -> index %d, want 4", got)
+	}
+	if got := BestUnderBudget(tradeFront, 0.5); got != -1 {
+		t.Fatalf("tiny budget -> index %d, want -1", got)
+	}
+}
+
+func TestBestUnderBudgetTieBreaksOnEnergy(t *testing.T) {
+	pts := []FrontPoint{{Utility: 10, Energy: 3}, {Utility: 10, Energy: 2}}
+	if got := BestUnderBudget(pts, 5); got != 1 {
+		t.Fatalf("tie -> index %d, want cheaper point 1", got)
+	}
+}
+
+func TestCheapestAtUtility(t *testing.T) {
+	if got := CheapestAtUtility(tradeFront, 40); got != 2 {
+		t.Fatalf("target 40 -> index %d, want 2", got)
+	}
+	if got := CheapestAtUtility(tradeFront, 5); got != 0 {
+		t.Fatalf("target 5 -> index %d, want 0", got)
+	}
+	if got := CheapestAtUtility(tradeFront, 99); got != -1 {
+		t.Fatalf("target 99 -> index %d, want -1", got)
+	}
+}
+
+func TestKneeOnConcaveFront(t *testing.T) {
+	idx, sorted, err := Knee(kneeFront())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The knee of 100(1-exp(-e/4)) over [1,20] sits at small-but-not-
+	// minimal energy; it must be strictly interior.
+	if idx <= 0 || idx >= len(sorted)-1 {
+		t.Fatalf("knee index %d not interior", idx)
+	}
+	// Left of the knee the marginal rate is higher than right of it.
+	left := (sorted[idx].Utility - sorted[0].Utility) / (sorted[idx].Energy - sorted[0].Energy)
+	right := (sorted[len(sorted)-1].Utility - sorted[idx].Utility) / (sorted[len(sorted)-1].Energy - sorted[idx].Energy)
+	if !(left > right) {
+		t.Fatalf("knee does not separate steep from flat: left %v right %v", left, right)
+	}
+}
+
+func TestKneeEdgeCases(t *testing.T) {
+	if _, _, err := Knee(nil); err == nil {
+		t.Fatal("empty front accepted")
+	}
+	idx, sorted, err := Knee([]FrontPoint{{1, 1}, {2, 2}})
+	if err != nil || idx != 0 || len(sorted) != 2 {
+		t.Fatalf("2-point knee: %d %v %v", idx, sorted, err)
+	}
+	// Degenerate span: all same energy.
+	idx, _, err = Knee([]FrontPoint{{1, 5}, {2, 5}, {3, 5}})
+	if err != nil || idx != 0 {
+		t.Fatalf("degenerate span knee: %d %v", idx, err)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	u, err := Interpolate(tradeFront, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-37.5) > 1e-12 {
+		t.Fatalf("Interpolate(2.5) = %v, want 37.5", u)
+	}
+	// Clamping.
+	if u, _ := Interpolate(tradeFront, 0); u != 10 {
+		t.Fatalf("below range = %v", u)
+	}
+	if u, _ := Interpolate(tradeFront, 100); u != 52 {
+		t.Fatalf("above range = %v", u)
+	}
+	if _, err := Interpolate(nil, 1); err == nil {
+		t.Fatal("empty front accepted")
+	}
+}
+
+func TestInterpolateExactPoint(t *testing.T) {
+	u, err := Interpolate(tradeFront, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 45 {
+		t.Fatalf("Interpolate at exact point = %v, want 45", u)
+	}
+}
+
+func TestInterpolateMonotoneOnFront(t *testing.T) {
+	prev := -1.0
+	for e := 1.0; e <= 9; e += 0.1 {
+		u, err := Interpolate(tradeFront, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u < prev-1e-12 {
+			t.Fatalf("interpolated utility decreased at %v", e)
+		}
+		prev = u
+	}
+}

@@ -1,0 +1,279 @@
+// Package core assembles the paper's analysis framework: given a
+// heterogeneous computing system and a workload trace, it builds seeded
+// NSGA-II populations, evolves them into Pareto fronts of (total utility
+// earned, total energy consumed), and post-processes the fronts the way a
+// system administrator would — locating the maximum utility-per-energy
+// region and comparing seeding strategies.
+//
+// The package is the one-stop API a downstream user consumes; the root
+// tradeoff package re-exports it.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tradeoff/internal/analysis"
+	"tradeoff/internal/hcs"
+	"tradeoff/internal/heuristics"
+	"tradeoff/internal/moea"
+	"tradeoff/internal/nsga2"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+	"tradeoff/internal/workload"
+)
+
+// Framework is a reusable analysis context for one system + trace pair.
+type Framework struct {
+	sys   *hcs.System
+	trace *workload.Trace
+	eval  *sched.Evaluator
+}
+
+// New validates the system and trace and returns a Framework.
+func New(sys *hcs.System, trace *workload.Trace) (*Framework, error) {
+	eval, err := sched.NewEvaluator(sys, trace)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{sys: sys, trace: trace, eval: eval}, nil
+}
+
+// System returns the framework's system.
+func (f *Framework) System() *hcs.System { return f.sys }
+
+// Trace returns the framework's trace.
+func (f *Framework) Trace() *workload.Trace { return f.trace }
+
+// Evaluator exposes the underlying schedule evaluator.
+func (f *Framework) Evaluator() *sched.Evaluator { return f.eval }
+
+// Seed builds one greedy seeding allocation.
+func (f *Framework) Seed(h heuristics.Heuristic) (*sched.Allocation, error) {
+	return h.Build(f.eval)
+}
+
+// Evaluate simulates an allocation.
+func (f *Framework) Evaluate(a *sched.Allocation) (sched.Evaluation, error) {
+	if err := f.eval.Validate(a); err != nil {
+		return sched.Evaluation{}, err
+	}
+	return f.eval.Evaluate(a), nil
+}
+
+// Options parameterizes an optimization run.
+type Options struct {
+	// Generations to evolve. Must be > 0.
+	Generations int
+	// PopulationSize is NSGA-II's N (default 100, must be even).
+	PopulationSize int
+	// MutationRate is the per-offspring mutation probability (default 0.1).
+	MutationRate float64
+	// Seeds lists greedy heuristics whose allocations join the initial
+	// population; empty means all-random.
+	Seeds []heuristics.Heuristic
+	// Checkpoints optionally records intermediate fronts at these
+	// generation counts (must be nondecreasing and ≤ Generations).
+	Checkpoints []int
+	// RandomSeed drives all randomness (default 1).
+	RandomSeed uint64
+	// Workers bounds parallel fitness evaluation (0 = GOMAXPROCS).
+	Workers int
+	// UPETolerance is the relative band for the utility-per-energy
+	// region (default 0.05).
+	UPETolerance float64
+	// Islands > 1 runs the island model: that many populations of
+	// PopulationSize each, evolving in parallel with ring migration
+	// every MigrationInterval generations. Checkpoints are not
+	// supported with islands.
+	Islands int
+	// MigrationInterval is the island migration period (default 25).
+	MigrationInterval int
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	// Front is the final rank-1 front sorted by increasing energy.
+	Front []analysis.FrontPoint
+	// Allocations holds the allocation behind each front point, index-
+	// aligned with Front.
+	Allocations []*sched.Allocation
+	// Checkpoints holds intermediate fronts if requested.
+	Checkpoints []analysis.Checkpoint
+	// Region is the maximum utility-per-energy region of the final front.
+	Region analysis.UPERegion
+	// Hypervolume of the final front under a reference derived from the
+	// run's own extent (useful for comparing runs on the same instance).
+	Hypervolume float64
+	// Generations actually evolved.
+	Generations int
+}
+
+// Optimize runs NSGA-II and returns the analyzed result.
+func (f *Framework) Optimize(opts Options) (*Result, error) {
+	if opts.Generations <= 0 {
+		return nil, fmt.Errorf("core: Generations %d, want > 0", opts.Generations)
+	}
+	if opts.RandomSeed == 0 {
+		opts.RandomSeed = 1
+	}
+	if opts.UPETolerance == 0 {
+		opts.UPETolerance = 0.05
+	}
+	var seeds []*sched.Allocation
+	for _, h := range opts.Seeds {
+		a, err := h.Build(f.eval)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, a)
+	}
+	if opts.Islands > 1 {
+		if len(opts.Checkpoints) > 0 {
+			return nil, fmt.Errorf("core: checkpoints are not supported with islands")
+		}
+		return f.optimizeIslands(opts, seeds)
+	}
+	eng, err := nsga2.New(f.eval, nsga2.Config{
+		PopulationSize: opts.PopulationSize,
+		MutationRate:   opts.MutationRate,
+		Seeds:          seeds,
+		Workers:        opts.Workers,
+	}, rng.New(opts.RandomSeed))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Generations: opts.Generations}
+	if len(opts.Checkpoints) > 0 {
+		last := opts.Checkpoints[len(opts.Checkpoints)-1]
+		if last > opts.Generations {
+			return nil, fmt.Errorf("core: checkpoint %d beyond Generations %d", last, opts.Generations)
+		}
+		err := eng.RunCheckpoints(opts.Checkpoints, func(gen int, front []nsga2.Individual) {
+			pts := make([]analysis.FrontPoint, len(front))
+			for i, ind := range front {
+				pts[i] = analysis.FrontPoint{Utility: ind.Objectives[0], Energy: ind.Objectives[1]}
+			}
+			res.Checkpoints = append(res.Checkpoints, analysis.Checkpoint{Generation: gen, Front: pts})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng.Run(opts.Generations - eng.Generation())
+
+	final := eng.ParetoFront()
+	// Sort by increasing energy, carrying allocations along.
+	idx := make([]int, len(final))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && final[idx[j]].Objectives[1] < final[idx[j-1]].Objectives[1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	seen := make(map[[2]float64]bool, len(idx))
+	for _, k := range idx {
+		ind := final[k]
+		key := [2]float64{ind.Objectives[0], ind.Objectives[1]}
+		if seen[key] {
+			continue // identical objective pairs add nothing to the front
+		}
+		seen[key] = true
+		res.Front = append(res.Front, analysis.FrontPoint{Utility: ind.Objectives[0], Energy: ind.Objectives[1]})
+		res.Allocations = append(res.Allocations, ind.Alloc)
+	}
+	region, err := analysis.AnalyzeUPE(res.Front, opts.UPETolerance)
+	if err != nil {
+		return nil, err
+	}
+	res.Region = region
+	sp := moea.UtilityEnergySpace()
+	objs := analysis.ToObjectives(res.Front)
+	res.Hypervolume = sp.Hypervolume2D(objs, sp.ReferenceFrom(0.05, objs))
+	return res, nil
+}
+
+// optimizeIslands runs the island model and assembles the merged front.
+func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*Result, error) {
+	is, err := nsga2.NewIslands(f.eval, nsga2.IslandConfig{
+		Islands:           opts.Islands,
+		MigrationInterval: opts.MigrationInterval,
+		Engine: nsga2.Config{
+			PopulationSize: opts.PopulationSize,
+			MutationRate:   opts.MutationRate,
+			Seeds:          seeds,
+			Workers:        opts.Workers,
+		},
+	}, rng.New(opts.RandomSeed))
+	if err != nil {
+		return nil, err
+	}
+	is.Run(opts.Generations)
+	res := &Result{Generations: opts.Generations}
+	front := is.ParetoFront()
+	// Sort ascending by energy, deduplicate identical objective pairs.
+	sort.SliceStable(front, func(i, j int) bool { return front[i].Objectives[1] < front[j].Objectives[1] })
+	seen := make(map[[2]float64]bool, len(front))
+	for _, ind := range front {
+		key := [2]float64{ind.Objectives[0], ind.Objectives[1]}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res.Front = append(res.Front, analysis.FrontPoint{Utility: ind.Objectives[0], Energy: ind.Objectives[1]})
+		res.Allocations = append(res.Allocations, ind.Alloc)
+	}
+	region, err := analysis.AnalyzeUPE(res.Front, opts.UPETolerance)
+	if err != nil {
+		return nil, err
+	}
+	res.Region = region
+	sp := moea.UtilityEnergySpace()
+	objs := analysis.ToObjectives(res.Front)
+	res.Hypervolume = sp.Hypervolume2D(objs, sp.ReferenceFrom(0.05, objs))
+	return res, nil
+}
+
+// CompareSeeding runs Optimize once per named variant (each of the four
+// greedy heuristics plus an all-random population) with a shared
+// configuration, and returns the per-variant results plus the pairwise
+// front comparison. This is the §VI seeding study in API form.
+func (f *Framework) CompareSeeding(opts Options) (map[string]*Result, analysis.SeedComparison, error) {
+	variants := []struct {
+		name  string
+		seeds []heuristics.Heuristic
+	}{
+		{"min-energy", []heuristics.Heuristic{heuristics.MinEnergy}},
+		{"min-min", []heuristics.Heuristic{heuristics.MinMin}},
+		{"max-utility", []heuristics.Heuristic{heuristics.MaxUtility}},
+		{"max-utility-per-energy", []heuristics.Heuristic{heuristics.MaxUtilityPerEnergy}},
+		{"random", nil},
+	}
+	results := make(map[string]*Result, len(variants))
+	var names []string
+	var fronts [][]analysis.FrontPoint
+	for _, v := range variants {
+		o := opts
+		o.Seeds = v.seeds
+		// Give each variant an independent stream while keeping the
+		// whole study deterministic in opts.RandomSeed.
+		if o.RandomSeed == 0 {
+			o.RandomSeed = 1
+		}
+		o.RandomSeed = o.RandomSeed*31 + uint64(len(v.name))
+		r, err := f.Optimize(o)
+		if err != nil {
+			return nil, analysis.SeedComparison{}, fmt.Errorf("core: variant %s: %w", v.name, err)
+		}
+		results[v.name] = r
+		names = append(names, v.name)
+		fronts = append(fronts, r.Front)
+	}
+	cmp, err := analysis.CompareSeeds(names, fronts)
+	if err != nil {
+		return nil, analysis.SeedComparison{}, err
+	}
+	return results, cmp, nil
+}

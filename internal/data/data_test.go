@@ -1,0 +1,133 @@
+package data
+
+import (
+	"testing"
+
+	"tradeoff/internal/stats"
+)
+
+func TestRealSystemValid(t *testing.T) {
+	s := RealSystem()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumMachineTypes() != 9 || s.NumTaskTypes() != 5 || s.NumMachines() != 9 {
+		t.Fatalf("dimensions: %d machine types, %d task types, %d machines",
+			s.NumMachineTypes(), s.NumTaskTypes(), s.NumMachines())
+	}
+}
+
+func TestRealMatricesAreCopies(t *testing.T) {
+	a := RealETC()
+	a.Set(0, 0, 1)
+	b := RealETC()
+	if b.At(0, 0) == 1 {
+		t.Fatal("RealETC returns shared storage")
+	}
+}
+
+func TestMachineAndTaskNameCounts(t *testing.T) {
+	if len(MachineNames) != 9 {
+		t.Fatalf("Table I has %d machines, want 9", len(MachineNames))
+	}
+	if len(TaskNames) != 5 {
+		t.Fatalf("Table II has %d programs, want 5", len(TaskNames))
+	}
+}
+
+func TestOverclockedPartsFasterAndHungrier(t *testing.T) {
+	etc, epc := RealETC(), RealEPC()
+	// Column 5 = i7-3960X stock, 6 = overclocked; 7 = 3770K stock, 8 = OC.
+	for tt := 0; tt < etc.Rows(); tt++ {
+		if !(etc.At(tt, 6) < etc.At(tt, 5)) {
+			t.Errorf("task %d: OC 3960X not faster than stock", tt)
+		}
+		if !(epc.At(tt, 6) > epc.At(tt, 5)) {
+			t.Errorf("task %d: OC 3960X not hungrier than stock", tt)
+		}
+		if !(etc.At(tt, 8) < etc.At(tt, 7)) {
+			t.Errorf("task %d: OC 3770K not faster than stock", tt)
+		}
+		if !(epc.At(tt, 8) > epc.At(tt, 7)) {
+			t.Errorf("task %d: OC 3770K not hungrier than stock", tt)
+		}
+	}
+}
+
+func TestHeterogeneityIsPresent(t *testing.T) {
+	// The benchmark data must be machine-heterogeneous: the CV of each
+	// task's row should be clearly nonzero.
+	etc := RealETC()
+	for tt := 0; tt < etc.Rows(); tt++ {
+		h, err := stats.MeasureHeterogeneity(etc.Row(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.CV < 0.1 {
+			t.Errorf("task %d row CV = %v, too homogeneous for a heterogeneity study", tt, h.CV)
+		}
+	}
+}
+
+func TestMachineTypeAffinityFlips(t *testing.T) {
+	// §III-B: machine type A may be faster than B for some task types but
+	// slower for others. Verify at least one such flip exists in the data.
+	etc := RealETC()
+	flips := 0
+	for a := 0; a < etc.Cols(); a++ {
+		for b := a + 1; b < etc.Cols(); b++ {
+			faster, slower := false, false
+			for tt := 0; tt < etc.Rows(); tt++ {
+				switch {
+				case etc.At(tt, a) < etc.At(tt, b):
+					faster = true
+				case etc.At(tt, a) > etc.At(tt, b):
+					slower = true
+				}
+			}
+			if faster && slower {
+				flips++
+			}
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no machine pair exhibits task-dependent relative performance")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	rows := TableIII()
+	if len(rows) != 13 {
+		t.Fatalf("Table III has %d machine types, want 13", len(rows))
+	}
+	total := 0
+	special := 0
+	for _, r := range rows {
+		if r.Count <= 0 {
+			t.Errorf("machine type %q has non-positive count", r.Name)
+		}
+		total += r.Count
+		if r.Count == 1 && len(r.Name) > 7 && r.Name[:7] == "Special" {
+			special++
+		}
+	}
+	if total != TotalMachinesTableIII {
+		t.Fatalf("Table III total = %d, want %d", total, TotalMachinesTableIII)
+	}
+	if special != NumSpecialPurposeTypes {
+		t.Fatalf("Table III special-purpose machines = %d, want %d", special, NumSpecialPurposeTypes)
+	}
+}
+
+func TestTableIIIIncludesAllRealMachines(t *testing.T) {
+	rows := TableIII()
+	byName := map[string]bool{}
+	for _, r := range rows {
+		byName[r.Name] = true
+	}
+	for _, name := range MachineNames {
+		if !byName[name] {
+			t.Errorf("Table III missing real machine type %q", name)
+		}
+	}
+}

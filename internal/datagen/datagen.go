@@ -1,0 +1,360 @@
+// Package datagen implements the paper's §III-D2 synthetic data creation
+// method: enlarging a real ETC/EPC data set while preserving its
+// heterogeneity characteristics (coefficient of variation, skewness,
+// kurtosis).
+//
+// The pipeline, applied identically to the ETC and the EPC matrix:
+//
+//  1. Compute the row average (across machine types) of every real task
+//     type, and the mean/variance/skewness/kurtosis (mvsk) of those row
+//     averages.
+//  2. Build a Gram-Charlier expansion PDF from the mvsk values and sample
+//     it to create the row averages of new task types.
+//  3. Per machine type, compute the task-type execution-time ratios
+//     (entry / row average) of the real task types, fit a Gram-Charlier
+//     PDF to their mvsk, and sample a ratio for each new task type; the
+//     new entry is ratio × new row average.
+//  4. Append special-purpose machine types: each accelerates a small
+//     number of task types at Speedup× the task's average execution time
+//     (ETC = row average / Speedup); its EPC is the task's average power
+//     across machines — explicitly not divided by the speedup.
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"tradeoff/internal/hcs"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/stats"
+)
+
+// Config parameterizes Enlarge.
+type Config struct {
+	// NewTaskTypes is the number of synthetic task types to append.
+	NewTaskTypes int
+	// SpecialMachineTypes is the number of special-purpose machine types
+	// to append.
+	SpecialMachineTypes int
+	// MinTasksPerSpecial and MaxTasksPerSpecial bound how many task types
+	// each special-purpose machine type accelerates (paper: two to three).
+	MinTasksPerSpecial, MaxTasksPerSpecial int
+	// Speedup divides the average execution time for accelerated task
+	// types (paper: ~10x).
+	Speedup float64
+	// GeneralCounts gives machine-instance counts per base machine type;
+	// nil means one instance each.
+	GeneralCounts []int
+	// SpecialCounts gives machine-instance counts per special-purpose
+	// machine type; nil means one instance each.
+	SpecialCounts []int
+	// PowerClasses optionally assigns each synthetic task type an energy
+	// character (§III-D: "computationally intensive tasks, memory
+	// intensive tasks, or I/O intensive tasks"): a class is drawn per new
+	// task type by weight and its multiplier scales the sampled EPC row.
+	// Nil disables class scaling.
+	PowerClasses []PowerClass
+}
+
+// PowerClass is one task energy character for Config.PowerClasses.
+type PowerClass struct {
+	Name string
+	// Multiplier scales the sampled power row (e.g. compute-bound 1.2,
+	// memory-bound 1.0, I/O-bound 0.7).
+	Multiplier float64
+	// Weight is the relative frequency of the class.
+	Weight float64
+}
+
+// DefaultPowerClasses returns a three-class energy-character mix.
+func DefaultPowerClasses() []PowerClass {
+	return []PowerClass{
+		{Name: "compute-intensive", Multiplier: 1.2, Weight: 0.4},
+		{Name: "memory-intensive", Multiplier: 1.0, Weight: 0.4},
+		{Name: "io-intensive", Multiplier: 0.7, Weight: 0.2},
+	}
+}
+
+// Default returns the configuration of the paper's data sets 2 and 3:
+// 25 new task types (30 total), 4 special-purpose machine types
+// accelerating 2–3 task types each at 10x, and the Table III machine
+// counts (30 machines over 13 machine types).
+func Default() Config {
+	return Config{
+		NewTaskTypes:        25,
+		SpecialMachineTypes: 4,
+		MinTasksPerSpecial:  2,
+		MaxTasksPerSpecial:  3,
+		Speedup:             10,
+		GeneralCounts:       []int{2, 3, 3, 3, 2, 4, 2, 5, 2},
+		SpecialCounts:       []int{1, 1, 1, 1},
+	}
+}
+
+func (c *Config) validate(base *hcs.System) error {
+	if c.NewTaskTypes < 0 {
+		return fmt.Errorf("datagen: NewTaskTypes %d, want >= 0", c.NewTaskTypes)
+	}
+	if c.SpecialMachineTypes < 0 {
+		return fmt.Errorf("datagen: SpecialMachineTypes %d, want >= 0", c.SpecialMachineTypes)
+	}
+	if c.SpecialMachineTypes > 0 {
+		if c.MinTasksPerSpecial < 1 || c.MaxTasksPerSpecial < c.MinTasksPerSpecial {
+			return fmt.Errorf("datagen: tasks-per-special range [%d,%d] invalid", c.MinTasksPerSpecial, c.MaxTasksPerSpecial)
+		}
+		if !(c.Speedup > 0) {
+			return fmt.Errorf("datagen: speedup %v, want > 0", c.Speedup)
+		}
+		total := base.NumTaskTypes() + c.NewTaskTypes
+		if c.SpecialMachineTypes*c.MaxTasksPerSpecial > total {
+			return fmt.Errorf("datagen: %d special machines × %d tasks exceed %d task types",
+				c.SpecialMachineTypes, c.MaxTasksPerSpecial, total)
+		}
+	}
+	if c.GeneralCounts != nil && len(c.GeneralCounts) != base.NumMachineTypes() {
+		return fmt.Errorf("datagen: %d general counts for %d base machine types", len(c.GeneralCounts), base.NumMachineTypes())
+	}
+	if c.SpecialCounts != nil && len(c.SpecialCounts) != c.SpecialMachineTypes {
+		return fmt.Errorf("datagen: %d special counts for %d special machine types", len(c.SpecialCounts), c.SpecialMachineTypes)
+	}
+	return nil
+}
+
+// sampler produces positive samples approximately matching a target
+// moment set; it degrades to a constant for degenerate targets.
+type sampler struct {
+	gc       *stats.GramCharlier
+	constant float64
+}
+
+func newSampler(values []float64) (*sampler, error) {
+	m, err := stats.SampleMoments(values)
+	if err != nil {
+		return nil, err
+	}
+	if m.Variance <= 0 {
+		return &sampler{constant: m.Mean}, nil
+	}
+	gc, err := stats.NewGramCharlier(m)
+	if err != nil {
+		return nil, err
+	}
+	return &sampler{gc: gc}, nil
+}
+
+func (s *sampler) sample(src *rng.Source) float64 {
+	if s.gc == nil {
+		return s.constant
+	}
+	return s.gc.SamplePositive(src)
+}
+
+// Enlarge applies the §III-D2 pipeline to a base system (typically
+// data.RealSystem()). The base system's machine types and task types are
+// preserved as the leading rows/columns of the result; synthetic task
+// types and special-purpose machine types are appended. The result is
+// validated before being returned. Enlarge is deterministic in src.
+func Enlarge(base *hcs.System, cfg Config, src *rng.Source) (*hcs.System, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("datagen: invalid base system: %w", err)
+	}
+	for _, mt := range base.MachineTypes {
+		if mt.Category != hcs.GeneralPurpose {
+			return nil, fmt.Errorf("datagen: base system must be all general-purpose; %q is not", mt.Name)
+		}
+	}
+	if err := cfg.validate(base); err != nil {
+		return nil, err
+	}
+
+	nBaseTasks := base.NumTaskTypes()
+	nBaseMachines := base.NumMachineTypes()
+	nTasks := nBaseTasks + cfg.NewTaskTypes
+	nMachines := nBaseMachines + cfg.SpecialMachineTypes
+
+	// Grow ETC, then EPC, with the identical procedure.
+	etcGrown, err := growMatrix(base.ETC, cfg.NewTaskTypes, src)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: growing ETC: %w", err)
+	}
+	epcGrown, err := growMatrix(base.EPC, cfg.NewTaskTypes, src)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: growing EPC: %w", err)
+	}
+	if len(cfg.PowerClasses) > 0 {
+		weights := make([]float64, len(cfg.PowerClasses))
+		for i, pc := range cfg.PowerClasses {
+			if !(pc.Multiplier > 0) {
+				return nil, fmt.Errorf("datagen: power class %q multiplier %v, want > 0", pc.Name, pc.Multiplier)
+			}
+			weights[i] = pc.Weight
+		}
+		for t := nBaseTasks; t < nTasks; t++ {
+			mult := cfg.PowerClasses[src.Pick(weights)].Multiplier
+			for mu := range epcGrown[t] {
+				epcGrown[t][mu] *= mult
+			}
+		}
+	}
+
+	// Choose the accelerated task types: distinct across all
+	// special-purpose machine types (each special task type has one
+	// accelerated machine type, §III-C).
+	taskCategories := make([]hcs.Category, nTasks)
+	acceleratedBy := make([]int, nTasks) // -1 = none
+	for i := range acceleratedBy {
+		acceleratedBy[i] = -1
+	}
+	pool := src.Perm(nTasks)
+	poolIdx := 0
+	specialTasks := make([][]int, cfg.SpecialMachineTypes)
+	for sm := 0; sm < cfg.SpecialMachineTypes; sm++ {
+		k := cfg.MinTasksPerSpecial
+		if cfg.MaxTasksPerSpecial > cfg.MinTasksPerSpecial {
+			k += src.Intn(cfg.MaxTasksPerSpecial - cfg.MinTasksPerSpecial + 1)
+		}
+		for j := 0; j < k && poolIdx < len(pool); j++ {
+			tt := pool[poolIdx]
+			poolIdx++
+			specialTasks[sm] = append(specialTasks[sm], tt)
+			taskCategories[tt] = hcs.SpecialPurpose
+			acceleratedBy[tt] = nBaseMachines + sm
+		}
+	}
+
+	// Assemble the full matrices.
+	etc := hcs.NewMatrix(nTasks, nMachines)
+	epc := hcs.NewMatrix(nTasks, nMachines)
+	etcRowAvg := stats.RowAverages(etcGrown, hcs.Incapable)
+	epcRowAvg := stats.RowAverages(epcGrown, hcs.Incapable)
+	for t := 0; t < nTasks; t++ {
+		for mu := 0; mu < nBaseMachines; mu++ {
+			etc.Set(t, mu, etcGrown[t][mu])
+			epc.Set(t, mu, epcGrown[t][mu])
+		}
+		for sm := 0; sm < cfg.SpecialMachineTypes; sm++ {
+			mu := nBaseMachines + sm
+			if acceleratedBy[t] == mu {
+				etc.Set(t, mu, etcRowAvg[t]/cfg.Speedup)
+				epc.Set(t, mu, epcRowAvg[t]) // not divided by the speedup
+			} else {
+				etc.Set(t, mu, hcs.Incapable)
+				epc.Set(t, mu, hcs.Incapable)
+			}
+		}
+	}
+
+	out := &hcs.System{ETC: etc, EPC: epc}
+	out.MachineTypes = append(out.MachineTypes, base.MachineTypes...)
+	for sm := 0; sm < cfg.SpecialMachineTypes; sm++ {
+		out.MachineTypes = append(out.MachineTypes, hcs.MachineType{
+			Name:     fmt.Sprintf("Special-purpose machine %c", 'A'+sm),
+			Category: hcs.SpecialPurpose,
+		})
+	}
+	out.TaskTypes = append(out.TaskTypes, base.TaskTypes...)
+	for i := 0; i < cfg.NewTaskTypes; i++ {
+		out.TaskTypes = append(out.TaskTypes, hcs.TaskType{Name: fmt.Sprintf("synthetic-task-%02d", i+1)})
+	}
+	for t := 0; t < nTasks; t++ {
+		out.TaskTypes[t].Category = taskCategories[t]
+	}
+
+	// Machine instances: special-purpose first (Table III order), then
+	// the general-purpose suite.
+	id := 0
+	addInstances := func(mu, count int) {
+		for k := 0; k < count; k++ {
+			out.Machines = append(out.Machines, hcs.Machine{ID: id, Type: mu})
+			id++
+		}
+	}
+	for sm := 0; sm < cfg.SpecialMachineTypes; sm++ {
+		count := 1
+		if cfg.SpecialCounts != nil {
+			count = cfg.SpecialCounts[sm]
+		}
+		addInstances(nBaseMachines+sm, count)
+	}
+	for mu := 0; mu < nBaseMachines; mu++ {
+		count := 1
+		if cfg.GeneralCounts != nil {
+			count = cfg.GeneralCounts[mu]
+		}
+		addInstances(mu, count)
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("datagen: enlarged system invalid: %w", err)
+	}
+	return out, nil
+}
+
+// growMatrix appends newRows synthetic task-type rows to a base matrix
+// following steps 1–3 of the pipeline, returning the full matrix as row
+// slices (base rows first, copied).
+func growMatrix(base hcs.Matrix, newRows int, src *rng.Source) ([][]float64, error) {
+	rows := base.RowsCopy()
+	if newRows == 0 {
+		return rows, nil
+	}
+	// Step 1: row averages of the real task types and their moments.
+	rowAvg := stats.RowAverages(rows, hcs.Incapable)
+	avgSampler, err := newSampler(rowAvg)
+	if err != nil {
+		return nil, fmt.Errorf("row averages: %w", err)
+	}
+	// Step 3 preparation: per machine type, fit the ratio distribution.
+	ratioSamplers := make([]*sampler, base.Cols())
+	for mu := 0; mu < base.Cols(); mu++ {
+		ratios := stats.ColumnRatios(rows, rowAvg, mu, hcs.Incapable)
+		s, err := newSampler(ratios)
+		if err != nil {
+			return nil, fmt.Errorf("machine %d ratios: %w", mu, err)
+		}
+		ratioSamplers[mu] = s
+	}
+	// Step 2 + 3: sample new rows.
+	for r := 0; r < newRows; r++ {
+		avg := avgSampler.sample(src)
+		row := make([]float64, base.Cols())
+		for mu := range row {
+			ratio := ratioSamplers[mu].sample(src)
+			v := ratio * avg
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				// Physically impossible sample; fall back to the average.
+				v = avg
+			}
+			row[mu] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// HeterogeneityReport compares the row-average heterogeneity of the real
+// (leading) task types against the synthetic ones in an enlarged matrix.
+type HeterogeneityReport struct {
+	Real      stats.Heterogeneity
+	Synthetic stats.Heterogeneity
+	Distance  float64
+}
+
+// CompareHeterogeneity measures how well the first nReal rows' row
+// averages match the remaining rows' row averages in heterogeneity.
+func CompareHeterogeneity(m hcs.Matrix, nReal int) (HeterogeneityReport, error) {
+	if nReal <= 0 || nReal >= m.Rows() {
+		return HeterogeneityReport{}, fmt.Errorf("datagen: nReal %d outside (0, %d)", nReal, m.Rows())
+	}
+	rows := m.RowsCopy()
+	avg := stats.RowAverages(rows, hcs.Incapable)
+	real, err := stats.MeasureHeterogeneity(avg[:nReal])
+	if err != nil {
+		return HeterogeneityReport{}, err
+	}
+	synth, err := stats.MeasureHeterogeneity(avg[nReal:])
+	if err != nil {
+		return HeterogeneityReport{}, err
+	}
+	return HeterogeneityReport{Real: real, Synthetic: synth, Distance: real.Distance(synth)}, nil
+}

@@ -1,0 +1,345 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/hcs"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/stats"
+)
+
+func enlargeDefault(t *testing.T, seed uint64) *hcs.System {
+	t.Helper()
+	sys, err := Enlarge(data.RealSystem(), Default(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEnlargeDefaultDimensions(t *testing.T) {
+	sys := enlargeDefault(t, 1)
+	if sys.NumTaskTypes() != 30 {
+		t.Fatalf("task types = %d, want 30", sys.NumTaskTypes())
+	}
+	if sys.NumMachineTypes() != 13 {
+		t.Fatalf("machine types = %d, want 13", sys.NumMachineTypes())
+	}
+	if sys.NumMachines() != data.TotalMachinesTableIII {
+		t.Fatalf("machines = %d, want %d", sys.NumMachines(), data.TotalMachinesTableIII)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnlargePreservesBaseData(t *testing.T) {
+	base := data.RealSystem()
+	sys := enlargeDefault(t, 2)
+	for tt := 0; tt < base.NumTaskTypes(); tt++ {
+		for mu := 0; mu < base.NumMachineTypes(); mu++ {
+			if sys.ETC.At(tt, mu) != base.ETC.At(tt, mu) {
+				t.Fatalf("real ETC[%d][%d] changed", tt, mu)
+			}
+			if sys.EPC.At(tt, mu) != base.EPC.At(tt, mu) {
+				t.Fatalf("real EPC[%d][%d] changed", tt, mu)
+			}
+		}
+	}
+	for mu := 0; mu < base.NumMachineTypes(); mu++ {
+		if sys.MachineTypes[mu].Name != base.MachineTypes[mu].Name {
+			t.Fatalf("machine type %d renamed", mu)
+		}
+	}
+}
+
+func TestEnlargeDeterministic(t *testing.T) {
+	a := enlargeDefault(t, 3)
+	b := enlargeDefault(t, 3)
+	for tt := 0; tt < a.NumTaskTypes(); tt++ {
+		for mu := 0; mu < a.NumMachineTypes(); mu++ {
+			x, y := a.ETC.At(tt, mu), b.ETC.At(tt, mu)
+			if x != y && !(math.IsInf(x, 1) && math.IsInf(y, 1)) {
+				t.Fatalf("not deterministic at ETC[%d][%d]", tt, mu)
+			}
+		}
+	}
+}
+
+func TestSpecialPurposeStructure(t *testing.T) {
+	sys := enlargeDefault(t, 4)
+	nBase := 9
+	for sm := nBase; sm < sys.NumMachineTypes(); sm++ {
+		if sys.MachineTypes[sm].Category != hcs.SpecialPurpose {
+			t.Fatalf("machine type %d not special-purpose", sm)
+		}
+		capable := 0
+		for tt := 0; tt < sys.NumTaskTypes(); tt++ {
+			if sys.Capable(tt, sm) {
+				capable++
+				if sys.TaskTypes[tt].Category != hcs.SpecialPurpose {
+					t.Fatalf("task %d accelerated but not special-purpose category", tt)
+				}
+			}
+		}
+		if capable < 2 || capable > 3 {
+			t.Fatalf("special machine %d accelerates %d task types, want 2-3", sm, capable)
+		}
+	}
+}
+
+func TestSpecialPurposeSpeedupAndPower(t *testing.T) {
+	sys := enlargeDefault(t, 5)
+	nBase := 9
+	etcRows := make([][]float64, sys.NumTaskTypes())
+	epcRows := make([][]float64, sys.NumTaskTypes())
+	for tt := 0; tt < sys.NumTaskTypes(); tt++ {
+		etcRows[tt] = sys.ETC.Row(tt)[:nBase] // general columns only
+		epcRows[tt] = sys.EPC.Row(tt)[:nBase]
+	}
+	etcAvg := stats.RowAverages(etcRows, hcs.Incapable)
+	epcAvg := stats.RowAverages(epcRows, hcs.Incapable)
+	for sm := nBase; sm < sys.NumMachineTypes(); sm++ {
+		for tt := 0; tt < sys.NumTaskTypes(); tt++ {
+			if !sys.Capable(tt, sm) {
+				continue
+			}
+			wantETC := etcAvg[tt] / 10
+			if math.Abs(sys.ETC.At(tt, sm)-wantETC) > 1e-9*wantETC {
+				t.Fatalf("special ETC[%d][%d] = %v, want %v", tt, sm, sys.ETC.At(tt, sm), wantETC)
+			}
+			if math.Abs(sys.EPC.At(tt, sm)-epcAvg[tt]) > 1e-9*epcAvg[tt] {
+				t.Fatalf("special EPC[%d][%d] = %v, want average power %v (not divided by 10)",
+					tt, sm, sys.EPC.At(tt, sm), epcAvg[tt])
+			}
+		}
+	}
+}
+
+func TestEachSpecialTaskHasOneAcceleratedMachine(t *testing.T) {
+	sys := enlargeDefault(t, 6)
+	nBase := 9
+	for tt := 0; tt < sys.NumTaskTypes(); tt++ {
+		accel := 0
+		for sm := nBase; sm < sys.NumMachineTypes(); sm++ {
+			if sys.Capable(tt, sm) {
+				accel++
+			}
+		}
+		switch sys.TaskTypes[tt].Category {
+		case hcs.SpecialPurpose:
+			if accel != 1 {
+				t.Fatalf("special task %d accelerated by %d machines, want 1", tt, accel)
+			}
+		default:
+			if accel != 0 {
+				t.Fatalf("general task %d accelerated by %d machines, want 0", tt, accel)
+			}
+		}
+	}
+}
+
+func TestSyntheticEntriesPositive(t *testing.T) {
+	sys := enlargeDefault(t, 7)
+	for tt := 0; tt < sys.NumTaskTypes(); tt++ {
+		for mu := 0; mu < sys.NumMachineTypes(); mu++ {
+			etc := sys.ETC.At(tt, mu)
+			if math.IsInf(etc, 1) {
+				continue
+			}
+			if !(etc > 0) {
+				t.Fatalf("ETC[%d][%d] = %v", tt, mu, etc)
+			}
+			if !(sys.EPC.At(tt, mu) > 0) {
+				t.Fatalf("EPC[%d][%d] = %v", tt, mu, sys.EPC.At(tt, mu))
+			}
+		}
+	}
+}
+
+func TestHeterogeneityPreservedLargeSample(t *testing.T) {
+	// With many synthetic task types, the synthetic row-average
+	// heterogeneity must approach the real one (the paper's core claim
+	// for the data-creation method). Skew/kurtosis of a 5-point base are
+	// noisy, so tolerances are loose but meaningful.
+	cfg := Default()
+	cfg.NewTaskTypes = 2000
+	cfg.SpecialMachineTypes = 0
+	cfg.GeneralCounts = nil
+	cfg.SpecialCounts = nil
+	sys, err := Enlarge(data.RealSystem(), cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CompareHeterogeneity(sys.ETC, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Real.CV-rep.Synthetic.CV) > 0.25*math.Abs(rep.Real.CV) {
+		t.Errorf("CV drift: real %v synthetic %v", rep.Real.CV, rep.Synthetic.CV)
+	}
+	if math.Abs(rep.Real.Skewness-rep.Synthetic.Skewness) > 0.6 {
+		t.Errorf("skewness drift: real %v synthetic %v", rep.Real.Skewness, rep.Synthetic.Skewness)
+	}
+	if math.Abs(rep.Real.Kurtosis-rep.Synthetic.Kurtosis) > 1.5 {
+		t.Errorf("kurtosis drift: real %v synthetic %v", rep.Real.Kurtosis, rep.Synthetic.Kurtosis)
+	}
+}
+
+func TestRelativeMachinePerformancePreserved(t *testing.T) {
+	// Fast machines (ratio < 1 on real tasks) should stay mostly fast on
+	// synthetic tasks: compare mean ratios.
+	cfg := Default()
+	cfg.NewTaskTypes = 500
+	cfg.SpecialMachineTypes = 0
+	cfg.GeneralCounts = nil
+	cfg.SpecialCounts = nil
+	sys, err := Enlarge(data.RealSystem(), cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := sys.ETC.RowsCopy()
+	avg := stats.RowAverages(rows, hcs.Incapable)
+	meanRatio := func(mu, lo, hi int) float64 {
+		var sum float64
+		var n int
+		for tt := lo; tt < hi; tt++ {
+			sum += rows[tt][mu] / avg[tt]
+			n++
+		}
+		return sum / float64(n)
+	}
+	for mu := 0; mu < 9; mu++ {
+		real := meanRatio(mu, 0, 5)
+		synth := meanRatio(mu, 5, sys.NumTaskTypes())
+		if math.Abs(real-synth) > 0.25 {
+			t.Errorf("machine %d mean ratio drift: real %v synthetic %v", mu, real, synth)
+		}
+	}
+}
+
+func TestEnlargeConfigValidation(t *testing.T) {
+	base := data.RealSystem()
+	src := rng.New(1)
+	bad := []Config{
+		{NewTaskTypes: -1},
+		{SpecialMachineTypes: -1},
+		{SpecialMachineTypes: 1, MinTasksPerSpecial: 0, MaxTasksPerSpecial: 2, Speedup: 10},
+		{SpecialMachineTypes: 1, MinTasksPerSpecial: 3, MaxTasksPerSpecial: 2, Speedup: 10},
+		{SpecialMachineTypes: 1, MinTasksPerSpecial: 1, MaxTasksPerSpecial: 1, Speedup: 0},
+		{SpecialMachineTypes: 4, MinTasksPerSpecial: 2, MaxTasksPerSpecial: 3, Speedup: 10, NewTaskTypes: 0, GeneralCounts: []int{1}},
+		{NewTaskTypes: 1, SpecialCounts: []int{1}},
+		{SpecialMachineTypes: 10, MinTasksPerSpecial: 2, MaxTasksPerSpecial: 3, Speedup: 10}, // 30 > 5 tasks
+	}
+	for i, cfg := range bad {
+		if _, err := Enlarge(base, cfg, src); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestEnlargeRejectsSpecialBase(t *testing.T) {
+	sys := enlargeDefault(t, 10) // already has special machines
+	if _, err := Enlarge(sys, Default(), rng.New(1)); err == nil {
+		t.Fatal("special-purpose base accepted")
+	}
+}
+
+func TestEnlargeZeroGrowthIsIdentityPlusInstances(t *testing.T) {
+	base := data.RealSystem()
+	sys, err := Enlarge(base, Config{}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumTaskTypes() != base.NumTaskTypes() || sys.NumMachineTypes() != base.NumMachineTypes() {
+		t.Fatal("zero-growth config changed type counts")
+	}
+}
+
+func TestCompareHeterogeneityErrors(t *testing.T) {
+	sys := enlargeDefault(t, 12)
+	if _, err := CompareHeterogeneity(sys.ETC, 0); err == nil {
+		t.Error("nReal=0 accepted")
+	}
+	if _, err := CompareHeterogeneity(sys.ETC, sys.NumTaskTypes()); err == nil {
+		t.Error("nReal=rows accepted")
+	}
+}
+
+func BenchmarkEnlargeDefault(b *testing.B) {
+	base := data.RealSystem()
+	cfg := Default()
+	for i := 0; i < b.N; i++ {
+		if _, err := Enlarge(base, cfg, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPowerClassesScaleEPC(t *testing.T) {
+	// Same seed with and without classes: class-scaled EPC rows must be
+	// element-wise scaled versions of the unscaled ones.
+	cfg := Default()
+	cfg.SpecialMachineTypes = 0
+	cfg.GeneralCounts = nil
+	cfg.SpecialCounts = nil
+	cfg.NewTaskTypes = 20
+	plain, err := Enlarge(data.RealSystem(), cfg, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PowerClasses = DefaultPowerClasses()
+	classed, err := Enlarge(data.RealSystem(), cfg, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ETC identical (classes touch EPC only)... note: class draws consume
+	// RNG after both matrices grew, so growth samples match.
+	for tt := 0; tt < plain.NumTaskTypes(); tt++ {
+		for mu := 0; mu < plain.NumMachineTypes(); mu++ {
+			if plain.ETC.At(tt, mu) != classed.ETC.At(tt, mu) {
+				t.Fatalf("ETC changed by power classes at [%d][%d]", tt, mu)
+			}
+		}
+	}
+	// Each synthetic EPC row is scaled by one of the class multipliers.
+	valid := map[float64]bool{1.2: true, 1.0: true, 0.7: true}
+	for tt := 5; tt < classed.NumTaskTypes(); tt++ {
+		ratio := classed.EPC.At(tt, 0) / plain.EPC.At(tt, 0)
+		found := false
+		for m := range valid {
+			if math.Abs(ratio-m) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("task %d EPC ratio %v not a class multiplier", tt, ratio)
+		}
+		// Whole row scaled consistently.
+		for mu := 1; mu < 9; mu++ {
+			r2 := classed.EPC.At(tt, mu) / plain.EPC.At(tt, mu)
+			if math.Abs(r2-ratio) > 1e-9 {
+				t.Fatalf("task %d row scaled inconsistently", tt)
+			}
+		}
+	}
+	// Real task types untouched.
+	for tt := 0; tt < 5; tt++ {
+		if classed.EPC.At(tt, 0) != plain.EPC.At(tt, 0) {
+			t.Fatal("real task EPC scaled")
+		}
+	}
+}
+
+func TestPowerClassesValidation(t *testing.T) {
+	cfg := Default()
+	cfg.SpecialMachineTypes = 0
+	cfg.GeneralCounts = nil
+	cfg.SpecialCounts = nil
+	cfg.PowerClasses = []PowerClass{{Name: "bad", Multiplier: 0, Weight: 1}}
+	if _, err := Enlarge(data.RealSystem(), cfg, rng.New(1)); err == nil {
+		t.Fatal("zero multiplier accepted")
+	}
+}

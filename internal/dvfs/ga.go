@@ -1,0 +1,261 @@
+package dvfs
+
+import (
+	"fmt"
+	"sort"
+
+	"tradeoff/internal/moea"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// A DVFS-aware NSGA-II: the chromosome extends the paper's gene (machine
+// assignment + global scheduling order) with a per-task P-state, so the
+// search explores machine placement, ordering, and frequency scaling
+// jointly. Crossover swaps a contiguous gene segment across all three
+// fields; mutation additionally perturbs one gene's P-state.
+
+// Individual is one joint chromosome with its cached evaluation.
+type Individual struct {
+	Alloc      *sched.Allocation
+	PStates    []int
+	Objectives []float64 // {utility, energy}
+	Rank       int
+	Crowding   float64
+}
+
+// Clone deep-copies the individual.
+func (ind Individual) Clone() Individual {
+	return Individual{
+		Alloc:      ind.Alloc.Clone(),
+		PStates:    append([]int(nil), ind.PStates...),
+		Objectives: append([]float64(nil), ind.Objectives...),
+		Rank:       ind.Rank,
+		Crowding:   ind.Crowding,
+	}
+}
+
+// GAConfig parameterizes the joint GA.
+type GAConfig struct {
+	// PopulationSize must be even and >= 2. Default 100.
+	PopulationSize int
+	// MutationRate is the per-offspring mutation probability. Default 0.1.
+	MutationRate float64
+	// Seeds are base allocations injected at full speed (P0).
+	Seeds []*sched.Allocation
+}
+
+func (c *GAConfig) fillAndValidate() error {
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 100
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 0.1
+	}
+	if c.PopulationSize < 2 || c.PopulationSize%2 != 0 {
+		return fmt.Errorf("dvfs: population size %d, want even and >= 2", c.PopulationSize)
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("dvfs: mutation rate %v outside [0,1]", c.MutationRate)
+	}
+	return nil
+}
+
+// GA evolves joint (allocation, P-state) chromosomes.
+type GA struct {
+	cfg   GAConfig
+	eval  *Evaluator
+	space moea.Space
+	src   *rng.Source
+
+	pop        []Individual
+	generation int
+}
+
+// NewGA builds the initial population: seeds at full speed, the rest
+// random in all three gene fields.
+func NewGA(eval *Evaluator, cfg GAConfig, src *rng.Source) (*GA, error) {
+	if err := cfg.fillAndValidate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("dvfs: nil random source")
+	}
+	g := &GA{cfg: cfg, eval: eval, space: moea.UtilityEnergySpace(), src: src}
+	base := eval.Base()
+	n := base.NumTasks()
+	for _, s := range cfg.Seeds {
+		if len(g.pop) == cfg.PopulationSize {
+			break
+		}
+		if err := base.Validate(s); err != nil {
+			return nil, fmt.Errorf("dvfs: invalid seed: %w", err)
+		}
+		g.pop = append(g.pop, Individual{Alloc: s.Clone(), PStates: make([]int, n)})
+	}
+	for len(g.pop) < cfg.PopulationSize {
+		ps := make([]int, n)
+		for i := range ps {
+			ps[i] = src.Intn(eval.NumStates())
+		}
+		g.pop = append(g.pop, Individual{Alloc: base.RandomAllocation(src), PStates: ps})
+	}
+	for i := range g.pop {
+		g.evaluate(&g.pop[i])
+	}
+	g.rank(g.pop)
+	return g, nil
+}
+
+// Generation returns the number of completed generations.
+func (g *GA) Generation() int { return g.generation }
+
+func (g *GA) evaluate(ind *Individual) {
+	ev := g.eval.Evaluate(ind.Alloc, ind.PStates)
+	ind.Objectives = []float64{ev.Utility, ev.Energy}
+}
+
+// FrontPoints returns the rank-1 objective vectors sorted by descending
+// utility.
+func (g *GA) FrontPoints() [][]float64 {
+	var out [][]float64
+	for _, ind := range g.pop {
+		if ind.Rank == 1 {
+			out = append(out, append([]float64(nil), ind.Objectives...))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] > out[j][0] })
+	return out
+}
+
+// ParetoFront returns deep copies of the rank-1 individuals.
+func (g *GA) ParetoFront() []Individual {
+	var out []Individual
+	for _, ind := range g.pop {
+		if ind.Rank == 1 {
+			out = append(out, ind.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Objectives[0] > out[j].Objectives[0] })
+	return out
+}
+
+// Step advances one generation.
+func (g *GA) Step() {
+	n := g.cfg.PopulationSize
+	offspring := make([]Individual, 0, n)
+	for len(offspring) < n {
+		p1 := g.pop[g.src.Intn(n)]
+		p2 := g.pop[g.src.Intn(n)]
+		c1, c2 := g.crossover(p1, p2)
+		offspring = append(offspring, c1, c2)
+	}
+	offspring = offspring[:n]
+	for i := range offspring {
+		if g.src.Bool(g.cfg.MutationRate) {
+			g.mutate(&offspring[i])
+		}
+		g.evaluate(&offspring[i])
+	}
+	meta := append(append(make([]Individual, 0, 2*n), g.pop...), offspring...)
+	g.pop = g.selectSurvivors(meta, n)
+	g.generation++
+}
+
+// Run advances the given number of generations.
+func (g *GA) Run(generations int) {
+	for i := 0; i < generations; i++ {
+		g.Step()
+	}
+}
+
+func (g *GA) crossover(p1, p2 Individual) (Individual, Individual) {
+	n := p1.Alloc.Len()
+	c1 := Individual{Alloc: p1.Alloc.Clone(), PStates: append([]int(nil), p1.PStates...)}
+	c2 := Individual{Alloc: p2.Alloc.Clone(), PStates: append([]int(nil), p2.PStates...)}
+	i := g.src.Intn(n)
+	j := g.src.Intn(n)
+	if i > j {
+		i, j = j, i
+	}
+	for k := i; k <= j; k++ {
+		c1.Alloc.Machine[k], c2.Alloc.Machine[k] = c2.Alloc.Machine[k], c1.Alloc.Machine[k]
+		c1.Alloc.Order[k], c2.Alloc.Order[k] = c2.Alloc.Order[k], c1.Alloc.Order[k]
+		c1.PStates[k], c2.PStates[k] = c2.PStates[k], c1.PStates[k]
+	}
+	repairOrder(c1.Alloc.Order)
+	repairOrder(c2.Alloc.Order)
+	return c1, c2
+}
+
+// repairOrder mirrors the nsga2 re-ranking repair (stable by value then
+// index).
+func repairOrder(ord []int) {
+	n := len(ord)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ord[idx[a]] < ord[idx[b]] })
+	for pos, gene := range idx {
+		ord[gene] = pos
+	}
+}
+
+func (g *GA) mutate(ind *Individual) {
+	base := g.eval.Base()
+	n := ind.Alloc.Len()
+	k := g.src.Intn(n)
+	el := base.Eligible(base.Trace().Tasks[k].Type)
+	ind.Alloc.Machine[k] = el[g.src.Intn(len(el))]
+	ind.PStates[k] = g.src.Intn(g.eval.NumStates())
+	x, y := g.src.Intn(n), g.src.Intn(n)
+	ind.Alloc.Order[x], ind.Alloc.Order[y] = ind.Alloc.Order[y], ind.Alloc.Order[x]
+}
+
+func (g *GA) rank(pop []Individual) {
+	points := make([][]float64, len(pop))
+	for i := range pop {
+		points[i] = pop[i].Objectives
+	}
+	for rank, group := range g.space.FastNondominatedSort(points) {
+		dist := g.space.CrowdingDistance(points, group)
+		for k, i := range group {
+			pop[i].Rank = rank + 1
+			pop[i].Crowding = dist[k]
+		}
+	}
+}
+
+func (g *GA) selectSurvivors(meta []Individual, n int) []Individual {
+	points := make([][]float64, len(meta))
+	for i := range meta {
+		points[i] = meta[i].Objectives
+	}
+	groups := g.space.FastNondominatedSort(points)
+	next := make([]Individual, 0, n)
+	for _, group := range groups {
+		dist := g.space.CrowdingDistance(points, group)
+		if len(next)+len(group) <= n {
+			for _, i := range group {
+				next = append(next, meta[i])
+			}
+			if len(next) == n {
+				break
+			}
+			continue
+		}
+		rem := n - len(next)
+		order := make([]int, len(group))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return dist[order[a]] > dist[order[b]] })
+		for _, k := range order[:rem] {
+			next = append(next, meta[group[k]])
+		}
+		break
+	}
+	g.rank(next)
+	return next
+}

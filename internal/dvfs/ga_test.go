@@ -1,0 +1,150 @@
+package dvfs
+
+import (
+	"testing"
+
+	"tradeoff/internal/heuristics"
+	"tradeoff/internal/moea"
+	"tradeoff/internal/nsga2"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+func newGA(t testing.TB, tasks int, cfg GAConfig, seed uint64) *GA {
+	t.Helper()
+	e, _ := newDVFS(t, tasks)
+	ga, err := NewGA(e, cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ga
+}
+
+func TestGAConfigValidation(t *testing.T) {
+	e, _ := newDVFS(t, 10)
+	if _, err := NewGA(e, GAConfig{PopulationSize: 5}, rng.New(1)); err == nil {
+		t.Error("odd population accepted")
+	}
+	if _, err := NewGA(e, GAConfig{MutationRate: 2}, rng.New(1)); err == nil {
+		t.Error("bad mutation rate accepted")
+	}
+	if _, err := NewGA(e, GAConfig{}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	bad := sched.NewAllocation(3)
+	if _, err := NewGA(e, GAConfig{Seeds: []*sched.Allocation{bad}}, rng.New(1)); err == nil {
+		t.Error("invalid seed accepted")
+	}
+}
+
+func TestGAPopulationStaysValid(t *testing.T) {
+	ga := newGA(t, 40, GAConfig{PopulationSize: 12, MutationRate: 0.5}, 2)
+	for g := 0; g < 15; g++ {
+		ga.Step()
+		for i := range ga.pop {
+			ind := &ga.pop[i]
+			if err := ga.eval.Validate(ind.Alloc, ind.PStates); err != nil {
+				t.Fatalf("gen %d individual %d: %v", g, i, err)
+			}
+		}
+	}
+	if ga.Generation() != 15 {
+		t.Fatalf("Generation = %d", ga.Generation())
+	}
+}
+
+func TestGADeterministic(t *testing.T) {
+	run := func() [][]float64 {
+		ga := newGA(t, 30, GAConfig{PopulationSize: 10}, 3)
+		ga.Run(10)
+		return ga.FrontPoints()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic front size")
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1] != b[i][1] {
+			t.Fatal("nondeterministic front")
+		}
+	}
+}
+
+func TestGAFrontMutuallyNondominated(t *testing.T) {
+	ga := newGA(t, 40, GAConfig{PopulationSize: 16}, 4)
+	ga.Run(15)
+	sp := moea.UtilityEnergySpace()
+	front := ga.FrontPoints()
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for i := range front {
+		for j := range front {
+			if i != j && sp.Dominates(front[i], front[j]) {
+				t.Fatal("front contains dominated point")
+			}
+		}
+	}
+}
+
+func TestGAReachesBelowFullSpeedMinimumEnergy(t *testing.T) {
+	// The joint GA can throttle: its minimum energy should undercut the
+	// best the machine-assignment-only GA can do at full speed.
+	e, base := newDVFS(t, 60)
+	seed := heuristics.BuildMinEnergy(base)
+
+	plain, err := nsga2.New(base, nsga2.Config{PopulationSize: 20, Seeds: []*sched.Allocation{seed}}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Run(30)
+	minPlain := minEnergy(plain.FrontPoints())
+
+	ga, err := NewGA(e, GAConfig{PopulationSize: 20, Seeds: []*sched.Allocation{seed}}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga.Run(30)
+	minJoint := minEnergy(ga.FrontPoints())
+
+	if !(minJoint < minPlain) {
+		t.Fatalf("joint GA min energy %v not below full-speed GA %v", minJoint, minPlain)
+	}
+}
+
+func minEnergy(points [][]float64) float64 {
+	best := points[0][1]
+	for _, p := range points {
+		if p[1] < best {
+			best = p[1]
+		}
+	}
+	return best
+}
+
+func TestGAParetoFrontCopies(t *testing.T) {
+	ga := newGA(t, 20, GAConfig{PopulationSize: 8}, 6)
+	front := ga.ParetoFront()
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	front[0].Alloc.Machine[0] = -99
+	front[0].PStates[0] = -99
+	for i := range ga.pop {
+		if ga.pop[i].Alloc.Machine[0] == -99 || ga.pop[i].PStates[0] == -99 {
+			t.Fatal("ParetoFront exposes internal state")
+		}
+	}
+}
+
+func BenchmarkGAStep100(b *testing.B) {
+	e, _ := newDVFS(b, 100)
+	ga, err := NewGA(e, GAConfig{PopulationSize: 50}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ga.Step()
+	}
+}

@@ -1,0 +1,181 @@
+// Package etcgen implements the classic synthetic ETC-matrix generation
+// methods of Ali, Siegel, Maheswaran, Hensgen & Ali, "Representing task
+// and machine heterogeneities for heterogeneous computing systems"
+// (ref [15] of the paper): the range-based method and the
+// coefficient-of-variation-based (CVB) method. The paper's Gram-Charlier
+// pipeline (internal/datagen) is the contribution that *replaces* these
+// when real data is available; this package provides them as the
+// baseline to compare heterogeneity fidelity against, and as standalone
+// generators for experiments without real data.
+package etcgen
+
+import (
+	"fmt"
+	"math"
+
+	"tradeoff/internal/hcs"
+	"tradeoff/internal/rng"
+)
+
+// RangeConfig parameterizes the range-based method: task heterogeneity
+// Rtask and machine heterogeneity Rmach are the upper bounds of uniform
+// distributions.
+type RangeConfig struct {
+	TaskTypes    int
+	MachineTypes int
+	// Rtask bounds the per-task baseline values tau ~ U(1, Rtask).
+	Rtask float64
+	// Rmach bounds the per-entry multipliers ~ U(1, Rmach).
+	Rmach float64
+}
+
+// RangeBased generates an ETC matrix with the range-based method:
+// ETC(t, m) = tau_t × U(1, Rmach), tau_t ~ U(1, Rtask). High Rtask/Rmach
+// values produce high task/machine heterogeneity.
+func RangeBased(cfg RangeConfig, src *rng.Source) (hcs.Matrix, error) {
+	if cfg.TaskTypes < 1 || cfg.MachineTypes < 1 {
+		return hcs.Matrix{}, fmt.Errorf("etcgen: dimensions %dx%d invalid", cfg.TaskTypes, cfg.MachineTypes)
+	}
+	if cfg.Rtask <= 1 || cfg.Rmach <= 1 {
+		return hcs.Matrix{}, fmt.Errorf("etcgen: ranges (%v, %v) must exceed 1", cfg.Rtask, cfg.Rmach)
+	}
+	m := hcs.NewMatrix(cfg.TaskTypes, cfg.MachineTypes)
+	for t := 0; t < cfg.TaskTypes; t++ {
+		tau := src.Range(1, cfg.Rtask)
+		for mu := 0; mu < cfg.MachineTypes; mu++ {
+			m.Set(t, mu, tau*src.Range(1, cfg.Rmach))
+		}
+	}
+	return m, nil
+}
+
+// CVBConfig parameterizes the CVB method: mean task execution time and
+// the task and machine coefficients of variation.
+type CVBConfig struct {
+	TaskTypes    int
+	MachineTypes int
+	// MeanTask is the mean of the per-task baselines (mu_task).
+	MeanTask float64
+	// Vtask is the task coefficient of variation.
+	Vtask float64
+	// Vmach is the machine coefficient of variation.
+	Vmach float64
+}
+
+// CVB generates an ETC matrix with the coefficient-of-variation-based
+// method: per-task baselines q_t are gamma distributed with mean
+// MeanTask and CV Vtask; each row's entries are gamma distributed with
+// mean q_t and CV Vmach.
+func CVB(cfg CVBConfig, src *rng.Source) (hcs.Matrix, error) {
+	if cfg.TaskTypes < 1 || cfg.MachineTypes < 1 {
+		return hcs.Matrix{}, fmt.Errorf("etcgen: dimensions %dx%d invalid", cfg.TaskTypes, cfg.MachineTypes)
+	}
+	if cfg.MeanTask <= 0 || cfg.Vtask <= 0 || cfg.Vmach <= 0 {
+		return hcs.Matrix{}, fmt.Errorf("etcgen: CVB parameters must be positive")
+	}
+	// Gamma(shape alpha, scale beta): mean = alpha*beta, CV = 1/sqrt(alpha).
+	alphaTask := 1 / (cfg.Vtask * cfg.Vtask)
+	betaTask := cfg.MeanTask / alphaTask
+	alphaMach := 1 / (cfg.Vmach * cfg.Vmach)
+	m := hcs.NewMatrix(cfg.TaskTypes, cfg.MachineTypes)
+	for t := 0; t < cfg.TaskTypes; t++ {
+		q := gamma(src, alphaTask, betaTask)
+		betaMach := q / alphaMach
+		for mu := 0; mu < cfg.MachineTypes; mu++ {
+			m.Set(t, mu, gamma(src, alphaMach, betaMach))
+		}
+	}
+	return m, nil
+}
+
+// gamma draws a Gamma(shape, scale) variate via Marsaglia & Tsang's
+// method (with Johnk-style boosting for shape < 1).
+func gamma(src *rng.Source, shape, scale float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := src.Float64()
+		for u == 0 {
+			u = src.Float64()
+		}
+		return gamma(src, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := src.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := src.Float64()
+		if u == 0 {
+			continue
+		}
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// PowerFromETC derives an EPC matrix loosely anticorrelated with speed —
+// faster machines draw more power — for experiments that need a full
+// system from a synthetic ETC matrix. basePower is the fleet-average
+// draw; spread is the relative variation (e.g. 0.4).
+func PowerFromETC(etc hcs.Matrix, basePower, spread float64, src *rng.Source) (hcs.Matrix, error) {
+	if basePower <= 0 || spread < 0 || spread >= 1 {
+		return hcs.Matrix{}, fmt.Errorf("etcgen: power parameters invalid")
+	}
+	// Column speed score: inverse of mean execution time, normalized.
+	cols := etc.Cols()
+	speed := make([]float64, cols)
+	var total float64
+	for mu := 0; mu < cols; mu++ {
+		var sum float64
+		for t := 0; t < etc.Rows(); t++ {
+			sum += etc.At(t, mu)
+		}
+		speed[mu] = float64(etc.Rows()) / sum
+		total += speed[mu]
+	}
+	meanSpeed := total / float64(cols)
+	epc := hcs.NewMatrix(etc.Rows(), cols)
+	for mu := 0; mu < cols; mu++ {
+		// Faster-than-average machines draw proportionally more power.
+		machPower := basePower * (1 + spread*(speed[mu]/meanSpeed-1))
+		if machPower < basePower*(1-spread) {
+			machPower = basePower * (1 - spread)
+		}
+		for t := 0; t < etc.Rows(); t++ {
+			jitter := 1 + spread*0.25*(2*src.Float64()-1)
+			epc.Set(t, mu, machPower*jitter)
+		}
+	}
+	return epc, nil
+}
+
+// SystemFrom assembles a general-purpose-only hcs.System from synthetic
+// ETC/EPC matrices with one machine instance per machine type.
+func SystemFrom(etc, epc hcs.Matrix) (*hcs.System, error) {
+	s := &hcs.System{ETC: etc, EPC: epc}
+	for mu := 0; mu < etc.Cols(); mu++ {
+		s.MachineTypes = append(s.MachineTypes, hcs.MachineType{
+			Name:     fmt.Sprintf("synthetic-machine-%02d", mu),
+			Category: hcs.GeneralPurpose,
+		})
+		s.Machines = append(s.Machines, hcs.Machine{ID: mu, Type: mu})
+	}
+	for t := 0; t < etc.Rows(); t++ {
+		s.TaskTypes = append(s.TaskTypes, hcs.TaskType{
+			Name:     fmt.Sprintf("synthetic-task-%02d", t),
+			Category: hcs.GeneralPurpose,
+		})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("etcgen: assembled system invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,223 @@
+package etcgen
+
+import (
+	"math"
+	"testing"
+
+	"tradeoff/internal/rng"
+	"tradeoff/internal/stats"
+)
+
+func TestRangeBasedDimensionsAndPositivity(t *testing.T) {
+	m, err := RangeBased(RangeConfig{TaskTypes: 20, MachineTypes: 8, Rtask: 100, Rmach: 10}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 20 || m.Cols() != 8 {
+		t.Fatal("dimensions wrong")
+	}
+	for tt := 0; tt < m.Rows(); tt++ {
+		for mu := 0; mu < m.Cols(); mu++ {
+			v := m.At(tt, mu)
+			if !(v >= 1) || v > 100*10 {
+				t.Fatalf("entry [%d][%d] = %v outside (1, Rtask*Rmach)", tt, mu, v)
+			}
+		}
+	}
+}
+
+func TestRangeBasedValidation(t *testing.T) {
+	src := rng.New(1)
+	bad := []RangeConfig{
+		{TaskTypes: 0, MachineTypes: 5, Rtask: 10, Rmach: 10},
+		{TaskTypes: 5, MachineTypes: 0, Rtask: 10, Rmach: 10},
+		{TaskTypes: 5, MachineTypes: 5, Rtask: 1, Rmach: 10},
+		{TaskTypes: 5, MachineTypes: 5, Rtask: 10, Rmach: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := RangeBased(cfg, src); err == nil {
+			t.Errorf("bad range config %d accepted", i)
+		}
+	}
+}
+
+func TestRangeHeterogeneityKnobs(t *testing.T) {
+	// Higher Rtask must yield a larger row-average CV.
+	src := rng.New(2)
+	low, err := RangeBased(RangeConfig{TaskTypes: 300, MachineTypes: 10, Rtask: 2, Rmach: 5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RangeBased(RangeConfig{TaskTypes: 300, MachineTypes: 10, Rtask: 1000, Rmach: 5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := func(m interface {
+		Rows() int
+		Row(int) []float64
+	}) float64 {
+		var avgs []float64
+		for i := 0; i < m.Rows(); i++ {
+			avgs = append(avgs, stats.Mean(m.Row(i)))
+		}
+		h, err := stats.MeasureHeterogeneity(avgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.CV
+	}
+	if !(cv(high) > cv(low)) {
+		t.Fatalf("Rtask knob did not increase heterogeneity: %v vs %v", cv(low), cv(high))
+	}
+}
+
+func TestCVBMatchesTargetCVs(t *testing.T) {
+	cfg := CVBConfig{TaskTypes: 4000, MachineTypes: 12, MeanTask: 100, Vtask: 0.6, Vmach: 0.3}
+	m, err := CVB(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task CV: CV of the row baselines ~ row means (machine noise
+	// averages out over 12 columns, adding a small bias).
+	var rowMeans []float64
+	for tt := 0; tt < m.Rows(); tt++ {
+		rowMeans = append(rowMeans, stats.Mean(m.Row(tt)))
+	}
+	hm, err := stats.MeasureHeterogeneity(rowMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hm.CV-0.6) > 0.1 {
+		t.Errorf("task CV = %v, want ~0.6", hm.CV)
+	}
+	if math.Abs(stats.Mean(rowMeans)-100) > 5 {
+		t.Errorf("mean task time = %v, want ~100", stats.Mean(rowMeans))
+	}
+	// Machine CV: per-row CVs should average ~Vmach.
+	var sumCV float64
+	for tt := 0; tt < m.Rows(); tt++ {
+		h, err := stats.MeasureHeterogeneity(m.Row(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumCV += h.CV
+	}
+	if avg := sumCV / float64(m.Rows()); math.Abs(avg-0.3) > 0.05 {
+		t.Errorf("mean machine CV = %v, want ~0.3", avg)
+	}
+}
+
+func TestCVBValidation(t *testing.T) {
+	src := rng.New(1)
+	bad := []CVBConfig{
+		{TaskTypes: 0, MachineTypes: 5, MeanTask: 10, Vtask: 0.5, Vmach: 0.5},
+		{TaskTypes: 5, MachineTypes: 5, MeanTask: 0, Vtask: 0.5, Vmach: 0.5},
+		{TaskTypes: 5, MachineTypes: 5, MeanTask: 10, Vtask: 0, Vmach: 0.5},
+		{TaskTypes: 5, MachineTypes: 5, MeanTask: 10, Vtask: 0.5, Vmach: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := CVB(cfg, src); err == nil {
+			t.Errorf("bad CVB config %d accepted", i)
+		}
+	}
+}
+
+func TestCVBPositive(t *testing.T) {
+	m, err := CVB(CVBConfig{TaskTypes: 50, MachineTypes: 10, MeanTask: 10, Vtask: 1.5, Vmach: 0.9}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < m.Rows(); tt++ {
+		for mu := 0; mu < m.Cols(); mu++ {
+			if !(m.At(tt, mu) > 0) {
+				t.Fatalf("non-positive entry at [%d][%d]", tt, mu)
+			}
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	src := rng.New(5)
+	for _, tc := range []struct{ shape, scale float64 }{{0.5, 2}, {1, 1}, {4, 3}, {20, 0.5}} {
+		var sum, sum2 float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			x := gamma(src, tc.shape, tc.scale)
+			sum += x
+			sum2 += x * x
+		}
+		mean := sum / n
+		wantMean := tc.shape * tc.scale
+		if math.Abs(mean-wantMean) > 0.03*wantMean {
+			t.Errorf("gamma(%v,%v) mean = %v, want %v", tc.shape, tc.scale, mean, wantMean)
+		}
+		variance := sum2/n - mean*mean
+		wantVar := tc.shape * tc.scale * tc.scale
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("gamma(%v,%v) variance = %v, want %v", tc.shape, tc.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestPowerFromETCAndSystemAssembly(t *testing.T) {
+	src := rng.New(6)
+	etc, err := CVB(CVBConfig{TaskTypes: 10, MachineTypes: 6, MeanTask: 100, Vtask: 0.5, Vmach: 0.4}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epc, err := PowerFromETC(etc, 120, 0.4, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := SystemFrom(etc, epc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumMachines() != 6 || sys.NumTaskTypes() != 10 {
+		t.Fatal("assembled system dimensions wrong")
+	}
+	// Faster machines draw more power: compare fastest vs slowest column.
+	colMean := func(m int) (etcMean, epcMean float64) {
+		for tt := 0; tt < etc.Rows(); tt++ {
+			etcMean += etc.At(tt, m)
+			epcMean += epc.At(tt, m)
+		}
+		return etcMean / float64(etc.Rows()), epcMean / float64(etc.Rows())
+	}
+	fast, slow := 0, 0
+	fastT, slowT := math.Inf(1), math.Inf(-1)
+	for mu := 0; mu < 6; mu++ {
+		et, _ := colMean(mu)
+		if et < fastT {
+			fastT, fast = et, mu
+		}
+		if et > slowT {
+			slowT, slow = et, mu
+		}
+	}
+	_, fastP := colMean(fast)
+	_, slowP := colMean(slow)
+	if !(fastP > slowP) {
+		t.Fatalf("fastest machine draws %v W, slowest %v W; want anticorrelation", fastP, slowP)
+	}
+}
+
+func TestPowerFromETCValidation(t *testing.T) {
+	etc, _ := CVB(CVBConfig{TaskTypes: 3, MachineTypes: 3, MeanTask: 10, Vtask: 0.5, Vmach: 0.5}, rng.New(7))
+	if _, err := PowerFromETC(etc, 0, 0.4, rng.New(1)); err == nil {
+		t.Error("zero base power accepted")
+	}
+	if _, err := PowerFromETC(etc, 100, 1.5, rng.New(1)); err == nil {
+		t.Error("spread >= 1 accepted")
+	}
+}
+
+func BenchmarkCVB30x13(b *testing.B) {
+	cfg := CVBConfig{TaskTypes: 30, MachineTypes: 13, MeanTask: 100, Vtask: 0.6, Vmach: 0.35}
+	src := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := CVB(cfg, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

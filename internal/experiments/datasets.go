@@ -1,0 +1,111 @@
+// Package experiments reproduces the paper's evaluation: the three data
+// sets of §V-A, the seeded-population Pareto-front studies of Figs. 3, 4
+// and 6, the utility-per-energy region analysis of Fig. 5, and the three
+// tables. Every experiment is deterministic in its seed and scales its
+// iteration counts so the full suite runs on a laptop; paper-scale
+// counts remain available behind the Scale knob (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/datagen"
+	"tradeoff/internal/hcs"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+	"tradeoff/internal/workload"
+)
+
+// DataSet bundles a system, a trace, and the iteration checkpoints the
+// paper evaluates that data set at.
+type DataSet struct {
+	Name        string
+	Description string
+	System      *hcs.System
+	Trace       *workload.Trace
+	Evaluator   *sched.Evaluator
+	// PaperCheckpoints are the iteration counts of the paper's figures.
+	PaperCheckpoints []int
+	// DefaultCheckpoints are laptop-scale counts preserving the figures'
+	// qualitative shape.
+	DefaultCheckpoints []int
+}
+
+// DataSet1 is the real historical data set: nine benchmark machines, five
+// task types, 250 tasks arriving over 15 minutes (§V-A).
+func DataSet1(seed uint64) (*DataSet, error) {
+	sys := data.RealSystem()
+	return buildDataSet("dataset1",
+		"real 9x5 benchmark data, 250 tasks / 15 min",
+		sys, 250, 15*60, seed,
+		[]int{100, 1000, 10000, 100000},
+		[]int{100, 500, 2500, 10000},
+	)
+}
+
+// DataSet2 is the enlarged synthetic environment (30 machines over 13
+// machine types, 30 task types) with 1000 tasks over 15 minutes.
+func DataSet2(seed uint64) (*DataSet, error) {
+	sys, err := datagen.Enlarge(data.RealSystem(), datagen.Default(), rng.NewStream(seed, 2))
+	if err != nil {
+		return nil, err
+	}
+	return buildDataSet("dataset2",
+		"synthetic 30x13 environment, 1000 tasks / 15 min",
+		sys, 1000, 15*60, seed,
+		[]int{1000, 10000, 100000, 1000000},
+		[]int{250, 1000, 4000, 12000},
+	)
+}
+
+// DataSet3 is the enlarged environment with 4000 tasks over one hour.
+func DataSet3(seed uint64) (*DataSet, error) {
+	sys, err := datagen.Enlarge(data.RealSystem(), datagen.Default(), rng.NewStream(seed, 3))
+	if err != nil {
+		return nil, err
+	}
+	return buildDataSet("dataset3",
+		"synthetic 30x13 environment, 4000 tasks / 1 h",
+		sys, 4000, 3600, seed,
+		[]int{1000, 10000, 100000, 1000000},
+		[]int{100, 500, 2000, 6000},
+	)
+}
+
+// ByNumber returns data set 1, 2 or 3.
+func ByNumber(n int, seed uint64) (*DataSet, error) {
+	switch n {
+	case 1:
+		return DataSet1(seed)
+	case 2:
+		return DataSet2(seed)
+	case 3:
+		return DataSet3(seed)
+	default:
+		return nil, fmt.Errorf("experiments: no data set %d (want 1-3)", n)
+	}
+}
+
+func buildDataSet(name, desc string, sys *hcs.System, tasks int, window float64, seed uint64, paperCPs, defaultCPs []int) (*DataSet, error) {
+	tr, err := workload.Generate(sys, workload.GenConfig{
+		NumTasks: tasks,
+		Window:   window,
+	}, rng.NewStream(seed, 10))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s trace: %w", name, err)
+	}
+	ev, err := sched.NewEvaluator(sys, tr)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s evaluator: %w", name, err)
+	}
+	return &DataSet{
+		Name:               name,
+		Description:        desc,
+		System:             sys,
+		Trace:              tr,
+		Evaluator:          ev,
+		PaperCheckpoints:   paperCPs,
+		DefaultCheckpoints: defaultCPs,
+	}, nil
+}

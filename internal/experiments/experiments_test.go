@@ -1,0 +1,562 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/analysis"
+	"tradeoff/internal/moea"
+)
+
+// smallCfg keeps experiment tests fast.
+var smallCfg = RunConfig{
+	PopulationSize: 20,
+	Checkpoints:    []int{5, 20, 60},
+	Seed:           7,
+}
+
+func TestDataSets(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		ds, err := ByNumber(n, 1)
+		if err != nil {
+			t.Fatalf("data set %d: %v", n, err)
+		}
+		if err := ds.System.Validate(); err != nil {
+			t.Fatalf("data set %d system: %v", n, err)
+		}
+		if err := ds.Trace.Validate(ds.System); err != nil {
+			t.Fatalf("data set %d trace: %v", n, err)
+		}
+		if len(ds.PaperCheckpoints) != 4 || len(ds.DefaultCheckpoints) != 4 {
+			t.Fatalf("data set %d checkpoint counts wrong", n)
+		}
+	}
+	if _, err := ByNumber(4, 1); err == nil {
+		t.Fatal("data set 4 accepted")
+	}
+}
+
+func TestDataSetParameters(t *testing.T) {
+	ds1, err := DataSet1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds1.Trace.NumTasks() != 250 || ds1.Trace.Window != 900 {
+		t.Fatalf("data set 1 is %d tasks / %v s", ds1.Trace.NumTasks(), ds1.Trace.Window)
+	}
+	if ds1.System.NumMachines() != 9 {
+		t.Fatalf("data set 1 machines = %d", ds1.System.NumMachines())
+	}
+	ds2, err := DataSet2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds2.Trace.NumTasks() != 1000 || ds2.Trace.Window != 900 {
+		t.Fatalf("data set 2 is %d tasks / %v s", ds2.Trace.NumTasks(), ds2.Trace.Window)
+	}
+	if ds2.System.NumMachines() != 30 || ds2.System.NumMachineTypes() != 13 || ds2.System.NumTaskTypes() != 30 {
+		t.Fatal("data set 2 dimensions wrong")
+	}
+	ds3, err := DataSet3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds3.Trace.NumTasks() != 4000 || ds3.Trace.Window != 3600 {
+		t.Fatalf("data set 3 is %d tasks / %v s", ds3.Trace.NumTasks(), ds3.Trace.Window)
+	}
+}
+
+func TestVariantsOrderAndCount(t *testing.T) {
+	vs := Variants()
+	want := []string{"min-energy", "min-min", "max-utility", "max-utility-per-energy", "random"}
+	if len(vs) != len(want) {
+		t.Fatalf("%d variants", len(vs))
+	}
+	for i, v := range vs {
+		if v.Name != want[i] {
+			t.Fatalf("variant %d = %s, want %s", i, v.Name, want[i])
+		}
+	}
+	if vs[4].Seed != nil {
+		t.Fatal("random variant must have no seed")
+	}
+}
+
+func TestRunParetoFigureShape(t *testing.T) {
+	ds, err := DataSet1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunParetoFigure(ds, smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 5 {
+		t.Fatalf("%d runs, want 5", len(res.Runs))
+	}
+	for _, run := range res.Runs {
+		if len(run.Checkpoints) != len(smallCfg.Checkpoints) {
+			t.Fatalf("%s has %d checkpoints", run.Variant, len(run.Checkpoints))
+		}
+		for _, cp := range run.Checkpoints {
+			if len(cp.Front) == 0 {
+				t.Fatalf("%s empty front at gen %d", run.Variant, cp.Generation)
+			}
+			// Fronts are mutually nondominated and sorted by energy.
+			sp := moea.UtilityEnergySpace()
+			objs := analysis.ToObjectives(cp.Front)
+			for i := range objs {
+				for j := range objs {
+					if i != j && sp.Dominates(objs[i], objs[j]) {
+						t.Fatalf("%s gen %d front has dominated point", run.Variant, cp.Generation)
+					}
+				}
+			}
+			for i := 1; i < len(cp.Front); i++ {
+				if cp.Front[i].Energy < cp.Front[i-1].Energy {
+					t.Fatalf("%s front not energy-sorted", run.Variant)
+				}
+			}
+		}
+	}
+}
+
+func TestRunParetoFigureSeedsHelpEarly(t *testing.T) {
+	// At the earliest checkpoint, the min-energy population must reach
+	// lower energy than the random population (the Figs. 3/4 effect).
+	ds, err := DataSet1(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunParetoFigure(ds, RunConfig{PopulationSize: 20, Checkpoints: []int{5}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minE := map[string]float64{}
+	for _, run := range res.Runs {
+		front := run.Checkpoints[0].Front
+		best := front[0].Energy
+		for _, p := range front {
+			if p.Energy < best {
+				best = p.Energy
+			}
+		}
+		minE[run.Variant] = best
+	}
+	if !(minE["min-energy"] < minE["random"]) {
+		t.Fatalf("min-energy seed (%.0f J) not below random (%.0f J) at early checkpoint",
+			minE["min-energy"], minE["random"])
+	}
+}
+
+func TestFigureResultChart(t *testing.T) {
+	ds, err := DataSet1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunParetoFigure(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{3}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := res.Chart(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chart.Series) != 5 {
+		t.Fatalf("chart has %d series", len(chart.Series))
+	}
+	if _, err := res.Chart(5); err == nil {
+		t.Fatal("out-of-range checkpoint accepted")
+	}
+	ascii := chart.ASCII(60, 16)
+	if !strings.Contains(ascii, "dataset1") {
+		t.Fatal("chart title missing data set name")
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	ds, err := DataSet1(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunParetoFigure(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{3}, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSeries(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"min-energy", "random", "maxU", "C(v,rand)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series output missing %q", want)
+		}
+	}
+}
+
+func TestFigure1Rows(t *testing.T) {
+	times, values := Figure1Rows()
+	if len(times) != len(values) || len(times) == 0 {
+		t.Fatal("bad series")
+	}
+	at := func(tm float64) float64 {
+		for i, tt := range times {
+			if tt == tm {
+				return values[i]
+			}
+		}
+		t.Fatalf("time %v missing", tm)
+		return 0
+	}
+	if at(20) != 12 || at(47) != 7 {
+		t.Fatalf("calibration points wrong: U(20)=%v U(47)=%v", at(20), at(47))
+	}
+	var buf bytes.Buffer
+	WriteFigure1(&buf)
+	if !strings.Contains(buf.String(), "calibration point") {
+		t.Fatal("Figure 1 output missing calibration markers")
+	}
+}
+
+func TestWriteFigure2(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFigure2(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "A dominates B") {
+		t.Fatal("missing A dominates B")
+	}
+	if !strings.Contains(out, "A and C are incomparable") {
+		t.Fatal("missing A/C incomparability")
+	}
+	if strings.Contains(out, "C dominates") || strings.Contains(out, "B dominates") {
+		t.Fatal("spurious dominance")
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	ds, err := DataSet1(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFigure5(ds, RunConfig{PopulationSize: 20, Checkpoints: []int{5, 40}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 40 {
+		t.Fatalf("Generations = %d", res.Generations)
+	}
+	reg := res.Region
+	if reg.PeakIndex < 0 || reg.PeakIndex >= len(reg.Points) {
+		t.Fatal("bad peak index")
+	}
+	var buf bytes.Buffer
+	res.WriteFigure5(&buf)
+	if !strings.Contains(buf.String(), "<- peak") {
+		t.Fatal("Figure 5 output missing peak marker")
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTableI(&buf)
+	if !strings.Contains(buf.String(), "AMD A8-3870K") || !strings.Contains(buf.String(), "Intel Core i7 3770K @ 4.3 GHz") {
+		t.Fatal("Table I incomplete")
+	}
+	buf.Reset()
+	WriteTableII(&buf)
+	if !strings.Contains(buf.String(), "C-Ray") || !strings.Contains(buf.String(), "Timed Linux Kernel Compilation") {
+		t.Fatal("Table II incomplete")
+	}
+	buf.Reset()
+	WriteTableIII(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Special-purpose machine A") || !strings.Contains(out, "total") {
+		t.Fatal("Table III incomplete")
+	}
+	if !strings.Contains(out, "30") {
+		t.Fatal("Table III total missing")
+	}
+	buf.Reset()
+	WriteMatrices(&buf)
+	if !strings.Contains(buf.String(), "ETC matrix") || !strings.Contains(buf.String(), "EPC matrix") {
+		t.Fatal("matrices output incomplete")
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	ds, err := DataSet1(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{}.withDefaults(ds)
+	if cfg.PopulationSize != 100 || cfg.MutationRate != 0.1 || cfg.Seed != 1 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if len(cfg.Checkpoints) != len(ds.DefaultCheckpoints) {
+		t.Fatal("default checkpoints not applied")
+	}
+	scaled := RunConfig{Scale: 0.01, Checkpoints: []int{100, 1000}}.withDefaults(ds)
+	if scaled.Checkpoints[0] != 1 || scaled.Checkpoints[1] != 10 {
+		t.Fatalf("scaling wrong: %v", scaled.Checkpoints)
+	}
+}
+
+func TestHashNameStable(t *testing.T) {
+	if hashName("a") == hashName("b") {
+		t.Fatal("hash collision on trivial names")
+	}
+	if hashName("min-energy") != hashName("min-energy") {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestRunConvergence(t *testing.T) {
+	ds, err := DataSet1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConvergence(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{2, 6, 12}, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 5 {
+		t.Fatalf("%d variants", len(res.Variants))
+	}
+	for _, v := range res.Variants {
+		hv := v.Convergence.Hypervolumes
+		if len(hv) != 3 {
+			t.Fatalf("%s: %d hypervolumes", v.Variant, len(hv))
+		}
+		// Elitism: the trajectory must be nondecreasing.
+		for i := 1; i < len(hv); i++ {
+			if hv[i] < hv[i-1]-1e-6 {
+				t.Fatalf("%s: hypervolume decreased", v.Variant)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if !strings.Contains(buf.String(), "hypervolume convergence") {
+		t.Fatal("convergence output missing header")
+	}
+}
+
+func TestRunBaselineComparison(t *testing.T) {
+	ds, err := DataSet1(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := RunBaselineComparison(ds, RunConfig{PopulationSize: 16, Checkpoints: []int{25}, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 seeding heuristics + 5 baselines.
+	if len(cmp.Names) != 9 {
+		t.Fatalf("%d heuristics compared", len(cmp.Names))
+	}
+	if len(cmp.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	var buf bytes.Buffer
+	cmp.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"min-energy", "olb", "sufferage", "dominated by front?"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q", want)
+		}
+	}
+}
+
+func TestRunWSSAComparison(t *testing.T) {
+	ds, err := DataSet1(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := RunWSSAComparison(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{20}, Seed: 14}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.WSSAPoints) != 6 {
+		t.Fatalf("%d SA points, want 6 default weights", len(cmp.WSSAPoints))
+	}
+	if len(cmp.NSGA2Front) == 0 {
+		t.Fatal("empty NSGA-II front")
+	}
+	if cmp.NSGA2Evaluations <= 0 || cmp.WSSAEvaluations <= 0 {
+		t.Fatal("budgets not recorded")
+	}
+	var buf bytes.Buffer
+	cmp.Write(&buf)
+	if !strings.Contains(buf.String(), "coverage") {
+		t.Fatal("comparison output missing coverage line")
+	}
+}
+
+func TestRunMutationSweep(t *testing.T) {
+	ds, err := DataSet1(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := RunMutationSweep(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{15}, Seed: 15}, []float64{0.05, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Hypervolumes) != 2 || len(sweep.FrontSizes) != 2 {
+		t.Fatalf("sweep shape wrong: %+v", sweep)
+	}
+	if sweep.BestRate != 0.05 && sweep.BestRate != 0.3 {
+		t.Fatalf("BestRate = %v", sweep.BestRate)
+	}
+	for _, hv := range sweep.Hypervolumes {
+		if hv < 0 {
+			t.Fatal("negative hypervolume")
+		}
+	}
+	var buf bytes.Buffer
+	sweep.Write(&buf)
+	if !strings.Contains(buf.String(), "<- best") {
+		t.Fatal("sweep output missing best marker")
+	}
+}
+
+func TestRunOnlineStudy(t *testing.T) {
+	ds, err := DataSet1(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := RunOnlineStudy(ds, RunConfig{PopulationSize: 16, Checkpoints: []int{25}, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Policies) != 5 {
+		t.Fatalf("%d policy rows", len(study.Policies))
+	}
+	if study.BudgetJoules <= 0 {
+		t.Fatal("no budget derived")
+	}
+	for _, row := range study.Policies {
+		if row.Name == "budgeted@peak" && row.Point.Energy > study.BudgetJoules+1e-9 {
+			t.Fatalf("budgeted policy exceeded its budget: %v > %v", row.Point.Energy, study.BudgetJoules)
+		}
+	}
+	var buf bytes.Buffer
+	study.Write(&buf)
+	if !strings.Contains(buf.String(), "budgeted@peak") {
+		t.Fatal("study output missing budgeted row")
+	}
+}
+
+func TestRunHeterogeneityStudy(t *testing.T) {
+	study, err := RunHeterogeneityStudy(2000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.GramCharlierDistance < 0 || study.CVBDistance < 0 {
+		t.Fatal("negative distances")
+	}
+	// The headline: the Gram-Charlier method preserves all three
+	// measures; with a large sample its distance to the real signature
+	// must be well below the two-knob CVB baseline's.
+	if !(study.GramCharlierDistance < study.CVBDistance) {
+		t.Fatalf("Gram-Charlier distance %v not below CVB %v",
+			study.GramCharlierDistance, study.CVBDistance)
+	}
+	if _, err := RunHeterogeneityStudy(2, 1); err == nil {
+		t.Fatal("tiny study accepted")
+	}
+	var buf bytes.Buffer
+	study.Write(&buf)
+	if !strings.Contains(buf.String(), "gram-charlier") {
+		t.Fatal("study output incomplete")
+	}
+}
+
+func TestConvergenceChart(t *testing.T) {
+	ds, err := DataSet1(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConvergence(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{2, 8}, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := res.Chart()
+	if len(chart.Series) != 5 {
+		t.Fatalf("%d chart series", len(chart.Series))
+	}
+	if !chart.LogX {
+		t.Fatal("convergence chart should be log-x")
+	}
+	svg := chart.SVG(640, 480)
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("chart SVG missing lines")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	ds, err := DataSet1(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAblation(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{15}, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d ablation rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Hypervolume < 0 || row.FrontSize == 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if !strings.Contains(buf.String(), "repair=shuffle") {
+		t.Fatal("ablation output incomplete")
+	}
+}
+
+func TestRunRepeats(t *testing.T) {
+	ds, err := DataSet1(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRepeats(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{10}, Seed: 23}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) != 5 || len(res.Hypervolumes) != 5 || len(res.MaxUtilities) != 5 {
+		t.Fatalf("repeat result shape wrong: %+v", res)
+	}
+	for i := range res.Names {
+		h := res.Hypervolumes[i]
+		if h.Runs != 3 {
+			t.Fatalf("%s: %d runs recorded", res.Names[i], h.Runs)
+		}
+		if !(h.Min <= h.Q1 && h.Q1 <= h.Median && h.Median <= h.Q3 && h.Q3 <= h.Max) {
+			t.Fatalf("%s: quantiles out of order: %+v", res.Names[i], h)
+		}
+	}
+	if _, err := RunRepeats(ds, RunConfig{}, 1); err == nil {
+		t.Fatal("single run accepted")
+	}
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if !strings.Contains(buf.String(), "hypervolume (min/med/max)") {
+		t.Fatal("repeats output incomplete")
+	}
+}
+
+func TestSummarizeQuantiles(t *testing.T) {
+	s := summarize([]float64{4, 1, 3, 2, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("summarize wrong: %+v", s)
+	}
+	one := summarize([]float64{7})
+	if one.Min != 7 || one.Median != 7 || one.Max != 7 {
+		t.Fatalf("single-value summary wrong: %+v", one)
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tradeoff/internal/analysis"
+	"tradeoff/internal/moea"
+	"tradeoff/internal/nsga2"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// RepeatStats summarizes a metric across repeated runs with different
+// random seeds — the variance reporting the paper's single-run figures
+// omit, and the first thing a reviewer of a stochastic-search study asks
+// for.
+type RepeatStats struct {
+	Runs   int
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+func summarize(values []float64) RepeatStats {
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	quantile := func(p float64) float64 {
+		if len(v) == 1 {
+			return v[0]
+		}
+		pos := p * float64(len(v)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 >= len(v) {
+			return v[len(v)-1]
+		}
+		return v[lo] + frac*(v[lo+1]-v[lo])
+	}
+	return RepeatStats{
+		Runs:   len(v),
+		Min:    v[0],
+		Q1:     quantile(0.25),
+		Median: quantile(0.5),
+		Q3:     quantile(0.75),
+		Max:    v[len(v)-1],
+	}
+}
+
+// RepeatResult holds per-variant distributions of front quality across
+// repeated seeded runs.
+type RepeatResult struct {
+	DataSet     string
+	Generations int
+	Runs        int
+	// Hypervolume and MaxUtility distributions per variant, in
+	// Variants() order.
+	Names        []string
+	Hypervolumes []RepeatStats
+	MaxUtilities []RepeatStats
+}
+
+// RunRepeats evolves every seeding variant `runs` times with distinct
+// seeds and reports hypervolume and best-utility distributions under a
+// common reference point.
+func RunRepeats(ds *DataSet, cfg RunConfig, runs int) (*RepeatResult, error) {
+	if runs < 2 {
+		return nil, fmt.Errorf("experiments: need >= 2 runs, got %d", runs)
+	}
+	cfg = cfg.withDefaults(ds)
+	gens := cfg.Checkpoints[len(cfg.Checkpoints)-1]
+	res := &RepeatResult{DataSet: ds.Name, Generations: gens, Runs: runs}
+
+	type runFront struct {
+		variant int
+		front   []analysis.FrontPoint
+	}
+	var fronts []runFront
+	for vi, v := range Variants() {
+		var seeds []*sched.Allocation
+		if v.Seed != nil {
+			alloc, err := v.Seed.Build(ds.Evaluator)
+			if err != nil {
+				return nil, err
+			}
+			seeds = append(seeds, alloc)
+		}
+		for r := 0; r < runs; r++ {
+			eng, err := nsga2.New(ds.Evaluator, nsga2.Config{
+				PopulationSize: cfg.PopulationSize,
+				MutationRate:   cfg.MutationRate,
+				Seeds:          seeds,
+				Workers:        cfg.Workers,
+			}, rng.NewStream(cfg.Seed+uint64(r)*7919, hashName(v.Name)))
+			if err != nil {
+				return nil, err
+			}
+			eng.Run(gens)
+			fronts = append(fronts, runFront{variant: vi, front: analysis.FromObjectives(eng.FrontPoints())})
+		}
+		res.Names = append(res.Names, v.Name)
+	}
+
+	sp := moea.UtilityEnergySpace()
+	sets := make([][][]float64, len(fronts))
+	for i, f := range fronts {
+		sets[i] = analysis.ToObjectives(f.front)
+	}
+	ref := sp.ReferenceFrom(0.05, sets...)
+	hv := make([][]float64, len(res.Names))
+	mu := make([][]float64, len(res.Names))
+	for i, f := range fronts {
+		hv[f.variant] = append(hv[f.variant], sp.Hypervolume2D(sets[i], ref))
+		best := 0.0
+		for _, p := range f.front {
+			if p.Utility > best {
+				best = p.Utility
+			}
+		}
+		mu[f.variant] = append(mu[f.variant], best)
+	}
+	for vi := range res.Names {
+		res.Hypervolumes = append(res.Hypervolumes, summarize(hv[vi]))
+		res.MaxUtilities = append(res.MaxUtilities, summarize(mu[vi]))
+	}
+	return res, nil
+}
+
+// Write prints the distributions.
+func (r *RepeatResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "%s: %d runs x %d generations per variant (common reference)\n", r.DataSet, r.Runs, r.Generations)
+	fmt.Fprintf(w, "  %-24s %36s %28s\n", "", "hypervolume (min/med/max)", "max utility (min/med/max)")
+	for i, name := range r.Names {
+		h, u := r.Hypervolumes[i], r.MaxUtilities[i]
+		fmt.Fprintf(w, "  %-24s %11.3g %11.3g %11.3g %9.1f %9.1f %9.1f\n",
+			name, h.Min, h.Median, h.Max, u.Min, u.Median, u.Max)
+	}
+}

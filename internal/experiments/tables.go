@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tradeoff/internal/data"
+)
+
+// WriteTableI prints the benchmark machine list (paper Table I).
+func WriteTableI(w io.Writer) {
+	fmt.Fprintln(w, "Table I: machines (designated by CPU) used in benchmark")
+	for _, name := range data.MachineNames {
+		fmt.Fprintf(w, "  %s\n", name)
+	}
+}
+
+// WriteTableII prints the benchmark program list (paper Table II).
+func WriteTableII(w io.Writer) {
+	fmt.Fprintln(w, "Table II: programs used in benchmark")
+	for _, name := range data.TaskNames {
+		fmt.Fprintf(w, "  %s\n", name)
+	}
+}
+
+// WriteTableIII prints the machine-type breakup of the enlarged suite
+// (paper Table III) and checks the total.
+func WriteTableIII(w io.Writer) {
+	fmt.Fprintln(w, "Table III: breakup of machines to machine types")
+	fmt.Fprintf(w, "  %-34s %s\n", "machine type", "number of machines")
+	total := 0
+	for _, row := range data.TableIII() {
+		fmt.Fprintf(w, "  %-34s %d\n", row.Name, row.Count)
+		total += row.Count
+	}
+	fmt.Fprintf(w, "  %-34s %d\n", "total", total)
+}
+
+// WriteMatrices prints the embedded real ETC and EPC matrices (the data
+// behind §III-D1).
+func WriteMatrices(w io.Writer) {
+	etc, epc := data.RealETC(), data.RealEPC()
+	fmt.Fprintln(w, "Real ETC matrix (seconds):")
+	writeMatrix(w, etc.RowsCopy())
+	fmt.Fprintln(w, "Real EPC matrix (watts):")
+	writeMatrix(w, epc.RowsCopy())
+}
+
+func writeMatrix(w io.Writer, rows [][]float64) {
+	fmt.Fprintf(w, "  %-32s", "task type \\ machine")
+	for j := range rows[0] {
+		fmt.Fprintf(w, " m%-6d", j)
+	}
+	fmt.Fprintln(w)
+	for i, row := range rows {
+		fmt.Fprintf(w, "  %-32s", data.TaskNames[i])
+		for _, v := range row {
+			fmt.Fprintf(w, " %-7.0f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}

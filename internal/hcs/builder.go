@@ -1,0 +1,112 @@
+package hcs
+
+import "fmt"
+
+// Builder assembles a System incrementally, the ergonomic path for
+// downstream users modeling their own environment instead of loading the
+// embedded benchmark data. Entries left unset default to Incapable on
+// special-purpose machine types and are an error on general-purpose
+// machine types (which must execute every task type).
+//
+//	b := hcs.NewBuilder()
+//	xeon := b.MachineType("xeon", hcs.GeneralPurpose, 4)     // 4 instances
+//	fpga := b.MachineType("fpga", hcs.SpecialPurpose, 1)
+//	render := b.TaskType("render", hcs.SpecialPurpose)
+//	b.Set(render, xeon, 120, 150)                            // 120 s at 150 W
+//	b.Set(render, fpga, 12, 60)
+//	sys, err := b.Build()
+type Builder struct {
+	machineTypes []MachineType
+	instances    []int
+	taskTypes    []TaskType
+	etc          map[[2]int]float64
+	epc          map[[2]int]float64
+	errs         []error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{etc: map[[2]int]float64{}, epc: map[[2]int]float64{}}
+}
+
+// MachineType declares a machine type with the given number of machine
+// instances and returns its index.
+func (b *Builder) MachineType(name string, category Category, instances int) int {
+	if instances < 1 {
+		b.errs = append(b.errs, fmt.Errorf("hcs: machine type %q needs >= 1 instance, got %d", name, instances))
+		instances = 1
+	}
+	b.machineTypes = append(b.machineTypes, MachineType{Name: name, Category: category})
+	b.instances = append(b.instances, instances)
+	return len(b.machineTypes) - 1
+}
+
+// TaskType declares a task type and returns its index.
+func (b *Builder) TaskType(name string, category Category) int {
+	b.taskTypes = append(b.taskTypes, TaskType{Name: name, Category: category})
+	return len(b.taskTypes) - 1
+}
+
+// Set records the execution time (seconds) and power draw (watts) of a
+// task type on a machine type. Setting a pair twice overwrites it.
+func (b *Builder) Set(taskType, machineType int, seconds, watts float64) *Builder {
+	if taskType < 0 || taskType >= len(b.taskTypes) {
+		b.errs = append(b.errs, fmt.Errorf("hcs: Set with unknown task type %d", taskType))
+		return b
+	}
+	if machineType < 0 || machineType >= len(b.machineTypes) {
+		b.errs = append(b.errs, fmt.Errorf("hcs: Set with unknown machine type %d", machineType))
+		return b
+	}
+	key := [2]int{taskType, machineType}
+	b.etc[key] = seconds
+	b.epc[key] = watts
+	return b
+}
+
+// Build assembles and validates the System.
+func (b *Builder) Build() (*System, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	nt, nm := len(b.taskTypes), len(b.machineTypes)
+	if nt == 0 || nm == 0 {
+		return nil, fmt.Errorf("hcs: builder needs at least one task type and one machine type")
+	}
+	etc := NewMatrix(nt, nm)
+	epc := NewMatrix(nt, nm)
+	for t := 0; t < nt; t++ {
+		for mu := 0; mu < nm; mu++ {
+			key := [2]int{t, mu}
+			sec, ok := b.etc[key]
+			if !ok {
+				if b.machineTypes[mu].Category == GeneralPurpose {
+					return nil, fmt.Errorf("hcs: task type %q has no entry for general-purpose machine type %q",
+						b.taskTypes[t].Name, b.machineTypes[mu].Name)
+				}
+				etc.Set(t, mu, Incapable)
+				epc.Set(t, mu, Incapable)
+				continue
+			}
+			etc.Set(t, mu, sec)
+			epc.Set(t, mu, b.epc[key])
+		}
+	}
+	sys := &System{
+		MachineTypes: append([]MachineType(nil), b.machineTypes...),
+		TaskTypes:    append([]TaskType(nil), b.taskTypes...),
+		ETC:          etc,
+		EPC:          epc,
+	}
+	id := 0
+	for mu, count := range b.instances {
+		for k := 0; k < count; k++ {
+			sys.Machines = append(sys.Machines, Machine{ID: id, Type: mu})
+			id++
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

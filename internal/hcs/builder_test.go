@@ -1,0 +1,101 @@
+package hcs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderHappyPath(t *testing.T) {
+	b := NewBuilder()
+	xeon := b.MachineType("xeon", GeneralPurpose, 4)
+	fpga := b.MachineType("fpga", SpecialPurpose, 1)
+	render := b.TaskType("render", SpecialPurpose)
+	compress := b.TaskType("compress", GeneralPurpose)
+	b.Set(render, xeon, 120, 150)
+	b.Set(render, fpga, 12, 60)
+	b.Set(compress, xeon, 40, 130)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumMachines() != 5 {
+		t.Fatalf("machines = %d, want 5", sys.NumMachines())
+	}
+	if sys.Capable(compress, fpga) {
+		t.Fatal("unset special pair should be incapable")
+	}
+	if sys.ETC.At(render, fpga) != 12 || sys.EPC.At(render, fpga) != 60 {
+		t.Fatal("set values lost")
+	}
+}
+
+func TestBuilderRejectsMissingGeneralEntry(t *testing.T) {
+	b := NewBuilder()
+	xeon := b.MachineType("xeon", GeneralPurpose, 1)
+	tt := b.TaskType("render", GeneralPurpose)
+	_ = xeon
+	_ = tt
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no entry") {
+		t.Fatalf("missing general-purpose entry not caught: %v", err)
+	}
+}
+
+func TestBuilderRejectsEmpty(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Fatal("empty builder accepted")
+	}
+}
+
+func TestBuilderRejectsBadIndices(t *testing.T) {
+	b := NewBuilder()
+	mt := b.MachineType("m", GeneralPurpose, 1)
+	tt := b.TaskType("t", GeneralPurpose)
+	b.Set(tt, 99, 1, 1)
+	b.Set(tt, mt, 10, 100)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("bad machine index not reported")
+	}
+	b2 := NewBuilder()
+	mt2 := b2.MachineType("m", GeneralPurpose, 1)
+	tt2 := b2.TaskType("t", GeneralPurpose)
+	b2.Set(99, mt2, 1, 1)
+	b2.Set(tt2, mt2, 10, 100)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("bad task index not reported")
+	}
+}
+
+func TestBuilderRejectsNonPositiveValuesViaValidate(t *testing.T) {
+	b := NewBuilder()
+	mt := b.MachineType("m", GeneralPurpose, 1)
+	tt := b.TaskType("t", GeneralPurpose)
+	b.Set(tt, mt, 0, 100) // zero ETC: Validate must reject
+	if _, err := b.Build(); err == nil {
+		t.Fatal("zero ETC accepted")
+	}
+}
+
+func TestBuilderInstanceCountClamped(t *testing.T) {
+	b := NewBuilder()
+	b.MachineType("m", GeneralPurpose, 0) // invalid: recorded as error
+	tt := b.TaskType("t", GeneralPurpose)
+	b.Set(tt, 0, 10, 100)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("zero-instance machine type accepted")
+	}
+}
+
+func TestBuilderOverwrite(t *testing.T) {
+	b := NewBuilder()
+	mt := b.MachineType("m", GeneralPurpose, 1)
+	tt := b.TaskType("t", GeneralPurpose)
+	b.Set(tt, mt, 10, 100)
+	b.Set(tt, mt, 20, 200)
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ETC.At(tt, mt) != 20 || sys.EPC.At(tt, mt) != 200 {
+		t.Fatal("overwrite did not take")
+	}
+}

@@ -1,0 +1,314 @@
+// Package hcs models the heterogeneous computing system of the paper's
+// §III: a suite of machines drawn from machine types, a workload drawn
+// from task types, and the Estimated Time to Compute (ETC), Estimated
+// Power Consumption (EPC), and derived Expected Energy Consumption (EEC)
+// matrices that characterize them.
+//
+// Machine types and task types each belong to one of two categories.
+// General-purpose machines can execute every task type; special-purpose
+// machines execute only a small subset (typically ~10x faster).
+// General-purpose task types run only on general-purpose machines;
+// special-purpose task types additionally run on one special-purpose
+// machine type. Incapability is encoded as an infinite ETC entry.
+package hcs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Category distinguishes general-purpose from special-purpose machine and
+// task types.
+type Category int
+
+const (
+	// GeneralPurpose machines execute all task types; general-purpose
+	// task types execute on all general-purpose machines.
+	GeneralPurpose Category = iota
+	// SpecialPurpose machines execute a small subset of task types at a
+	// greatly increased rate; special-purpose task types have one such
+	// accelerated machine type.
+	SpecialPurpose
+)
+
+func (c Category) String() string {
+	switch c {
+	case GeneralPurpose:
+		return "general-purpose"
+	case SpecialPurpose:
+		return "special-purpose"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Incapable is the ETC/EPC sentinel for a (task type, machine type) pair
+// that cannot execute.
+var Incapable = math.Inf(1)
+
+// MachineType describes one type of machine in the suite.
+type MachineType struct {
+	Name     string
+	Category Category
+}
+
+// TaskType describes one type of task in the workload.
+type TaskType struct {
+	Name     string
+	Category Category
+}
+
+// Machine is a concrete machine instance of some machine type.
+type Machine struct {
+	ID   int // index into System.Machines
+	Type int // index into System.MachineTypes
+}
+
+// Matrix is a dense task-type × machine-type matrix (rows are task types,
+// columns are machine types), the storage for ETC and EPC data.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a rows×cols matrix initialized to zero.
+func NewMatrix(rows, cols int) Matrix {
+	if rows < 0 || cols < 0 {
+		panic("hcs: negative matrix dimension")
+	}
+	return Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from row slices, which must be rectangular.
+func MatrixFromRows(rows [][]float64) (Matrix, error) {
+	if len(rows) == 0 {
+		return Matrix{}, fmt.Errorf("hcs: matrix needs at least one row")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return Matrix{}, fmt.Errorf("hcs: ragged matrix: row 0 has %d cols, row %d has %d", cols, i, len(r))
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows (task types).
+func (m Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns (machine types).
+func (m Matrix) Cols() int { return m.cols }
+
+// At returns the entry for task type t on machine type mu.
+func (m Matrix) At(t, mu int) float64 { return m.data[t*m.cols+mu] }
+
+// Set assigns the entry for task type t on machine type mu.
+func (m *Matrix) Set(t, mu int, v float64) { m.data[t*m.cols+mu] = v }
+
+// Row returns a copy of row t.
+func (m Matrix) Row(t int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[t*m.cols:(t+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column mu.
+func (m Matrix) Col(mu int) []float64 {
+	out := make([]float64, m.rows)
+	for t := 0; t < m.rows; t++ {
+		out[t] = m.At(t, mu)
+	}
+	return out
+}
+
+// RowsCopy returns the matrix as a fresh slice of row slices.
+func (m Matrix) RowsCopy() [][]float64 {
+	out := make([][]float64, m.rows)
+	for t := range out {
+		out[t] = m.Row(t)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the matrix.
+func (m Matrix) Clone() Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// System is a complete heterogeneous computing environment: the type
+// definitions, the ETC and EPC matrices over those types, and the suite
+// of machine instances.
+type System struct {
+	MachineTypes []MachineType
+	TaskTypes    []TaskType
+	ETC          Matrix // seconds; Incapable where a pair cannot execute
+	EPC          Matrix // watts; Incapable mirrors ETC
+	Machines     []Machine
+}
+
+// NumMachines returns the number of machine instances in the suite.
+func (s *System) NumMachines() int { return len(s.Machines) }
+
+// NumMachineTypes returns the number of machine types.
+func (s *System) NumMachineTypes() int { return len(s.MachineTypes) }
+
+// NumTaskTypes returns the number of task types.
+func (s *System) NumTaskTypes() int { return len(s.TaskTypes) }
+
+// MachineTypeOf returns the machine type index of machine instance m
+// (the paper's Ω function).
+func (s *System) MachineTypeOf(m int) int { return s.Machines[m].Type }
+
+// Capable reports whether task type t can execute on machine type mu.
+func (s *System) Capable(t, mu int) bool {
+	return !math.IsInf(s.ETC.At(t, mu), 1)
+}
+
+// CapableMachine reports whether task type t can execute on machine
+// instance m.
+func (s *System) CapableMachine(t, m int) bool {
+	return s.Capable(t, s.Machines[m].Type)
+}
+
+// EEC returns the Expected Energy Consumption, in joules, of task type t
+// on machine type mu: ETC × EPC (the paper's Eq. 2). It returns Incapable
+// for incapable pairs.
+func (s *System) EEC(t, mu int) float64 {
+	etc := s.ETC.At(t, mu)
+	if math.IsInf(etc, 1) {
+		return Incapable
+	}
+	return etc * s.EPC.At(t, mu)
+}
+
+// EECMatrix materializes the full EEC matrix.
+func (s *System) EECMatrix() Matrix {
+	m := NewMatrix(s.NumTaskTypes(), s.NumMachineTypes())
+	for t := 0; t < m.rows; t++ {
+		for mu := 0; mu < m.cols; mu++ {
+			m.Set(t, mu, s.EEC(t, mu))
+		}
+	}
+	return m
+}
+
+// EligibleMachines returns the machine instance indices on which task
+// type t can execute, in increasing instance order.
+func (s *System) EligibleMachines(t int) []int {
+	var out []int
+	for _, m := range s.Machines {
+		if s.Capable(t, m.Type) {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// MachinesOfType returns the instance indices of machine type mu.
+func (s *System) MachinesOfType(mu int) []int {
+	var out []int
+	for _, m := range s.Machines {
+		if m.Type == mu {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the system:
+// matrix dimensions match the type counts; capable entries are finite and
+// strictly positive in both ETC and EPC; ETC and EPC agree on
+// capability; machine instance IDs are dense and their types in range;
+// every task type has at least one eligible machine instance; and
+// special-purpose task/machine relationships hold (general-purpose
+// machines execute everything; special-purpose machines execute a strict
+// subset).
+func (s *System) Validate() error {
+	nt, nm := s.NumTaskTypes(), s.NumMachineTypes()
+	if nt == 0 {
+		return fmt.Errorf("hcs: system has no task types")
+	}
+	if nm == 0 {
+		return fmt.Errorf("hcs: system has no machine types")
+	}
+	if s.ETC.rows != nt || s.ETC.cols != nm {
+		return fmt.Errorf("hcs: ETC is %dx%d, want %dx%d", s.ETC.rows, s.ETC.cols, nt, nm)
+	}
+	if s.EPC.rows != nt || s.EPC.cols != nm {
+		return fmt.Errorf("hcs: EPC is %dx%d, want %dx%d", s.EPC.rows, s.EPC.cols, nt, nm)
+	}
+	for t := 0; t < nt; t++ {
+		for mu := 0; mu < nm; mu++ {
+			etc, epc := s.ETC.At(t, mu), s.EPC.At(t, mu)
+			etcInc, epcInc := math.IsInf(etc, 1), math.IsInf(epc, 1)
+			if etcInc != epcInc {
+				return fmt.Errorf("hcs: ETC/EPC disagree on capability of task type %d on machine type %d", t, mu)
+			}
+			if etcInc {
+				continue
+			}
+			if !(etc > 0) || math.IsNaN(etc) {
+				return fmt.Errorf("hcs: ETC[%d][%d] = %v, want > 0", t, mu, etc)
+			}
+			if !(epc > 0) || math.IsNaN(epc) {
+				return fmt.Errorf("hcs: EPC[%d][%d] = %v, want > 0", t, mu, epc)
+			}
+		}
+	}
+	if len(s.Machines) == 0 {
+		return fmt.Errorf("hcs: system has no machine instances")
+	}
+	for i, m := range s.Machines {
+		if m.ID != i {
+			return fmt.Errorf("hcs: machine %d has ID %d, want dense IDs", i, m.ID)
+		}
+		if m.Type < 0 || m.Type >= nm {
+			return fmt.Errorf("hcs: machine %d has type %d out of range [0,%d)", i, m.Type, nm)
+		}
+	}
+	for t := 0; t < nt; t++ {
+		if len(s.EligibleMachines(t)) == 0 {
+			return fmt.Errorf("hcs: task type %d (%s) has no eligible machine instance", t, s.TaskTypes[t].Name)
+		}
+	}
+	for mu, mt := range s.MachineTypes {
+		capable := 0
+		for t := 0; t < nt; t++ {
+			if s.Capable(t, mu) {
+				capable++
+			}
+		}
+		switch mt.Category {
+		case GeneralPurpose:
+			if capable != nt {
+				return fmt.Errorf("hcs: general-purpose machine type %d (%s) executes %d of %d task types", mu, mt.Name, capable, nt)
+			}
+		case SpecialPurpose:
+			if capable == 0 {
+				return fmt.Errorf("hcs: special-purpose machine type %d (%s) executes no task types", mu, mt.Name)
+			}
+			if capable == nt && nt > 1 {
+				return fmt.Errorf("hcs: special-purpose machine type %d (%s) executes every task type", mu, mt.Name)
+			}
+		default:
+			return fmt.Errorf("hcs: machine type %d has invalid category %d", mu, mt.Category)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the system.
+func (s *System) Clone() *System {
+	c := &System{
+		MachineTypes: append([]MachineType(nil), s.MachineTypes...),
+		TaskTypes:    append([]TaskType(nil), s.TaskTypes...),
+		ETC:          s.ETC.Clone(),
+		EPC:          s.EPC.Clone(),
+		Machines:     append([]Machine(nil), s.Machines...),
+	}
+	return c
+}

@@ -1,0 +1,327 @@
+package hcs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testSystem builds a small valid system: 2 general-purpose machine
+// types, 1 special-purpose machine type accelerating task type 1, and 2
+// task types, with 4 machine instances.
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	etc, err := MatrixFromRows([][]float64{
+		{10, 20, Incapable},
+		{30, 15, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epc, err := MatrixFromRows([][]float64{
+		{100, 50, Incapable},
+		{120, 60, 80},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &System{
+		MachineTypes: []MachineType{
+			{Name: "gp-A", Category: GeneralPurpose},
+			{Name: "gp-B", Category: GeneralPurpose},
+			{Name: "sp-C", Category: SpecialPurpose},
+		},
+		TaskTypes: []TaskType{
+			{Name: "t0", Category: GeneralPurpose},
+			{Name: "t1", Category: SpecialPurpose},
+		},
+		ETC: etc,
+		EPC: epc,
+		Machines: []Machine{
+			{ID: 0, Type: 0},
+			{ID: 1, Type: 1},
+			{ID: 2, Type: 1},
+			{ID: 3, Type: 2},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("testSystem invalid: %v", err)
+	}
+	return s
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatal("dimensions wrong")
+	}
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestMatrixFromRowsEmpty(t *testing.T) {
+	if _, err := MatrixFromRows(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}
+
+func TestMatrixRowColCopies(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row returned aliasing slice")
+	}
+	c := m.Col(0)
+	c[0] = 77
+	if m.At(0, 0) != 1 {
+		t.Fatal("Col returned aliasing slice")
+	}
+}
+
+func TestMatrixClone(t *testing.T) {
+	m := NewMatrix(1, 1)
+	m.Set(0, 0, 5)
+	c := m.Clone()
+	c.Set(0, 0, 6)
+	if m.At(0, 0) != 5 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestEEC(t *testing.T) {
+	s := testSystem(t)
+	if got := s.EEC(0, 0); got != 1000 {
+		t.Fatalf("EEC(0,0) = %v, want 1000", got)
+	}
+	if got := s.EEC(0, 2); !math.IsInf(got, 1) {
+		t.Fatalf("EEC of incapable pair = %v, want +Inf", got)
+	}
+}
+
+func TestEECMatrix(t *testing.T) {
+	s := testSystem(t)
+	m := s.EECMatrix()
+	if m.At(1, 2) != 3*80 {
+		t.Fatalf("EEC[1][2] = %v, want 240", m.At(1, 2))
+	}
+}
+
+func TestCapable(t *testing.T) {
+	s := testSystem(t)
+	if s.Capable(0, 2) {
+		t.Fatal("task 0 should not run on special-purpose machine type")
+	}
+	if !s.Capable(1, 2) {
+		t.Fatal("task 1 should run on its special-purpose machine type")
+	}
+	if s.CapableMachine(0, 3) {
+		t.Fatal("machine 3 (sp) should not run task 0")
+	}
+	if !s.CapableMachine(0, 1) {
+		t.Fatal("machine 1 (gp) should run task 0")
+	}
+}
+
+func TestEligibleMachines(t *testing.T) {
+	s := testSystem(t)
+	got := s.EligibleMachines(0)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("EligibleMachines(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EligibleMachines(0) = %v, want %v", got, want)
+		}
+	}
+	if got := s.EligibleMachines(1); len(got) != 4 {
+		t.Fatalf("EligibleMachines(1) = %v, want all 4", got)
+	}
+}
+
+func TestMachinesOfType(t *testing.T) {
+	s := testSystem(t)
+	got := s.MachinesOfType(1)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("MachinesOfType(1) = %v", got)
+	}
+}
+
+func TestMachineTypeOf(t *testing.T) {
+	s := testSystem(t)
+	if s.MachineTypeOf(3) != 2 {
+		t.Fatal("MachineTypeOf wrong")
+	}
+}
+
+func TestValidateRejectsDimensionMismatch(t *testing.T) {
+	s := testSystem(t)
+	s.ETC = NewMatrix(1, 3)
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "ETC is") {
+		t.Fatalf("dimension mismatch not caught: %v", err)
+	}
+}
+
+func TestValidateRejectsNonPositiveETC(t *testing.T) {
+	s := testSystem(t)
+	s.ETC.Set(0, 0, 0)
+	if err := s.Validate(); err == nil {
+		t.Fatal("zero ETC accepted")
+	}
+	s = testSystem(t)
+	s.ETC.Set(0, 0, -3)
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative ETC accepted")
+	}
+	s = testSystem(t)
+	s.ETC.Set(0, 0, math.NaN())
+	if err := s.Validate(); err == nil {
+		t.Fatal("NaN ETC accepted")
+	}
+}
+
+func TestValidateRejectsCapabilityDisagreement(t *testing.T) {
+	s := testSystem(t)
+	s.EPC.Set(0, 2, 55) // ETC says incapable, EPC says capable
+	if err := s.Validate(); err == nil {
+		t.Fatal("ETC/EPC capability disagreement accepted")
+	}
+}
+
+func TestValidateRejectsNonDenseMachineIDs(t *testing.T) {
+	s := testSystem(t)
+	s.Machines[2].ID = 7
+	if err := s.Validate(); err == nil {
+		t.Fatal("non-dense machine IDs accepted")
+	}
+}
+
+func TestValidateRejectsBadMachineType(t *testing.T) {
+	s := testSystem(t)
+	s.Machines[0].Type = 99
+	if err := s.Validate(); err == nil {
+		t.Fatal("out-of-range machine type accepted")
+	}
+}
+
+func TestValidateRejectsIncapableGeneralPurpose(t *testing.T) {
+	s := testSystem(t)
+	s.ETC.Set(0, 0, Incapable)
+	s.EPC.Set(0, 0, Incapable)
+	if err := s.Validate(); err == nil {
+		t.Fatal("general-purpose machine with a hole accepted")
+	}
+}
+
+func TestValidateRejectsOmnipotentSpecialPurpose(t *testing.T) {
+	s := testSystem(t)
+	s.ETC.Set(0, 2, 5)
+	s.EPC.Set(0, 2, 50)
+	if err := s.Validate(); err == nil {
+		t.Fatal("special-purpose machine executing everything accepted")
+	}
+}
+
+func TestValidateRejectsOrphanTaskType(t *testing.T) {
+	s := testSystem(t)
+	// Remove all machines capable of task 0 (types 0 and 1).
+	s.Machines = []Machine{{ID: 0, Type: 2}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("task type with no eligible machine accepted")
+	}
+}
+
+func TestValidateRejectsEmptySystems(t *testing.T) {
+	if err := (&System{}).Validate(); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := testSystem(t)
+	c := s.Clone()
+	c.ETC.Set(0, 0, 999)
+	c.Machines[0].Type = 1
+	c.MachineTypes[0].Name = "mutated"
+	if s.ETC.At(0, 0) == 999 || s.Machines[0].Type == 1 || s.MachineTypes[0].Name == "mutated" {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := testSystem(t)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back System
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumMachineTypes() != s.NumMachineTypes() || back.NumTaskTypes() != s.NumTaskTypes() || back.NumMachines() != s.NumMachines() {
+		t.Fatal("JSON roundtrip changed dimensions")
+	}
+	for tt := 0; tt < s.NumTaskTypes(); tt++ {
+		for mu := 0; mu < s.NumMachineTypes(); mu++ {
+			a, b := s.ETC.At(tt, mu), back.ETC.At(tt, mu)
+			if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+				t.Fatalf("ETC[%d][%d] changed: %v -> %v", tt, mu, a, b)
+			}
+		}
+	}
+	if !math.IsInf(back.ETC.At(0, 2), 1) {
+		t.Fatal("incapable entry not restored as +Inf")
+	}
+}
+
+func TestJSONRejectsInvalidSystem(t *testing.T) {
+	s := testSystem(t)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: drop all machines.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["machines"] = json.RawMessage("[]")
+	b2, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back System
+	if err := json.Unmarshal(b2, &back); err == nil {
+		t.Fatal("invalid system decoded without error")
+	}
+}
+
+func TestMatrixJSONRejectsRaggedData(t *testing.T) {
+	var m Matrix
+	if err := json.Unmarshal([]byte(`{"rows":2,"cols":2,"data":[[1,2],[3]]}`), &m); err == nil {
+		t.Fatal("ragged matrix JSON accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"rows":3,"cols":2,"data":[[1,2],[3,4]]}`), &m); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if GeneralPurpose.String() != "general-purpose" || SpecialPurpose.String() != "special-purpose" {
+		t.Fatal("Category strings wrong")
+	}
+	if Category(9).String() == "" {
+		t.Fatal("unknown category produced empty string")
+	}
+}

@@ -1,0 +1,105 @@
+package hcs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// JSON serialization for systems. Infinite (incapable) matrix entries are
+// not representable in JSON, so they are encoded as -1, which Validate
+// rejects as a live value and therefore cannot collide with real data.
+
+const jsonIncapable = -1
+
+type matrixJSON struct {
+	Rows int         `json:"rows"`
+	Cols int         `json:"cols"`
+	Data [][]float64 `json:"data"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m Matrix) MarshalJSON() ([]byte, error) {
+	rows := m.RowsCopy()
+	for _, r := range rows {
+		for j, v := range r {
+			if math.IsInf(v, 1) {
+				r[j] = jsonIncapable
+			} else if math.IsInf(v, 0) || math.IsNaN(v) {
+				return nil, fmt.Errorf("hcs: matrix entry %v not representable in JSON", v)
+			}
+		}
+	}
+	return json.Marshal(matrixJSON{Rows: m.rows, Cols: m.cols, Data: rows})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Matrix) UnmarshalJSON(b []byte) error {
+	var mj matrixJSON
+	if err := json.Unmarshal(b, &mj); err != nil {
+		return err
+	}
+	if len(mj.Data) != mj.Rows {
+		return fmt.Errorf("hcs: matrix JSON declares %d rows but has %d", mj.Rows, len(mj.Data))
+	}
+	for _, r := range mj.Data {
+		if len(r) != mj.Cols {
+			return fmt.Errorf("hcs: matrix JSON declares %d cols but a row has %d", mj.Cols, len(r))
+		}
+		for j, v := range r {
+			if v == jsonIncapable {
+				r[j] = Incapable
+			}
+		}
+	}
+	if mj.Rows == 0 {
+		*m = Matrix{}
+		return nil
+	}
+	parsed, err := MatrixFromRows(mj.Data)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
+type systemJSON struct {
+	MachineTypes []MachineType `json:"machineTypes"`
+	TaskTypes    []TaskType    `json:"taskTypes"`
+	ETC          Matrix        `json:"etc"`
+	EPC          Matrix        `json:"epc"`
+	Machines     []Machine     `json:"machines"`
+}
+
+// MarshalJSON implements json.Marshaler for System.
+func (s *System) MarshalJSON() ([]byte, error) {
+	return json.Marshal(systemJSON{
+		MachineTypes: s.MachineTypes,
+		TaskTypes:    s.TaskTypes,
+		ETC:          s.ETC,
+		EPC:          s.EPC,
+		Machines:     s.Machines,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for System. The decoded
+// system is validated before being returned.
+func (s *System) UnmarshalJSON(b []byte) error {
+	var sj systemJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return err
+	}
+	decoded := System{
+		MachineTypes: sj.MachineTypes,
+		TaskTypes:    sj.TaskTypes,
+		ETC:          sj.ETC,
+		EPC:          sj.EPC,
+		Machines:     sj.Machines,
+	}
+	if err := decoded.Validate(); err != nil {
+		return fmt.Errorf("hcs: decoded system invalid: %w", err)
+	}
+	*s = decoded
+	return nil
+}

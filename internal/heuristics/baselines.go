@@ -1,0 +1,235 @@
+package heuristics
+
+import (
+	"math"
+
+	"tradeoff/internal/sched"
+)
+
+// This file implements the classic static mapping heuristics of Braun et
+// al. ("A comparison of eleven static heuristics...", JPDC 2001), which
+// the paper cites as the lineage of its Min-Min seed. They serve as
+// baselines for the seeding study and as comparison points for the
+// NSGA-II fronts: each produces a single allocation somewhere inside the
+// utility/energy objective space.
+
+// Baseline names a classic single-solution mapping heuristic.
+type Baseline int
+
+const (
+	// OLB (opportunistic load balancing) assigns each task, in arrival
+	// order, to the machine that becomes ready soonest, ignoring
+	// execution times.
+	OLB Baseline = iota
+	// MCT (minimum completion time) assigns each task, in arrival order,
+	// to the machine minimizing that task's completion time.
+	MCT
+	// MET (minimum execution time) assigns each task to the machine with
+	// the smallest ETC for its type, ignoring machine load.
+	MET
+	// MaxMin is the two-stage counterpart of Min-Min that maps the task
+	// with the *largest* best-case completion time first.
+	MaxMin
+	// Sufferage maps, at each step, the task that would "suffer" most if
+	// denied its best machine (largest gap between its best and
+	// second-best completion times).
+	Sufferage
+)
+
+// Baselines lists every baseline in a stable order.
+var Baselines = []Baseline{OLB, MCT, MET, MaxMin, Sufferage}
+
+func (b Baseline) String() string {
+	switch b {
+	case OLB:
+		return "olb"
+	case MCT:
+		return "mct"
+	case MET:
+		return "met"
+	case MaxMin:
+		return "max-min"
+	case Sufferage:
+		return "sufferage"
+	default:
+		return "baseline-unknown"
+	}
+}
+
+// Build runs the baseline against an evaluator's system and trace.
+func (b Baseline) Build(e *sched.Evaluator) *sched.Allocation {
+	switch b {
+	case OLB:
+		return buildArrivalOrder(e, func(task taskView, ready []float64) int {
+			best, bestReady := -1, 0.0
+			for _, m := range task.eligible {
+				if best == -1 || ready[m] < bestReady {
+					best, bestReady = m, ready[m]
+				}
+			}
+			return best
+		})
+	case MCT:
+		return buildArrivalOrder(e, func(task taskView, ready []float64) int {
+			best, bestC := -1, 0.0
+			for _, m := range task.eligible {
+				c := completionOn(task, ready, m)
+				if best == -1 || c < bestC {
+					best, bestC = m, c
+				}
+			}
+			return best
+		})
+	case MET:
+		return buildArrivalOrder(e, func(task taskView, ready []float64) int {
+			best, bestT := -1, 0.0
+			for _, m := range task.eligible {
+				if t := task.etc[m]; best == -1 || t < bestT {
+					best, bestT = m, t
+				}
+			}
+			return best
+		})
+	case MaxMin:
+		return buildTwoStage(e, false)
+	case Sufferage:
+		return buildSufferage(e)
+	default:
+		panic("heuristics: unknown baseline")
+	}
+}
+
+// taskView carries precomputed per-task data through the builders.
+type taskView struct {
+	index    int
+	arrival  float64
+	eligible []int
+	etc      []float64 // per machine instance
+}
+
+func viewTasks(e *sched.Evaluator) []taskView {
+	tasks := e.Trace().Tasks
+	out := make([]taskView, len(tasks))
+	for i := range tasks {
+		tt := tasks[i].Type
+		etc := make([]float64, e.NumMachines())
+		for m := 0; m < e.NumMachines(); m++ {
+			etc[m] = e.ETCInstance(tt, m)
+		}
+		out[i] = taskView{index: i, arrival: tasks[i].Arrival, eligible: e.Eligible(tt), etc: etc}
+	}
+	return out
+}
+
+func completionOn(task taskView, ready []float64, m int) float64 {
+	start := ready[m]
+	if task.arrival > start {
+		start = task.arrival
+	}
+	return start + task.etc[m]
+}
+
+// buildArrivalOrder maps tasks in arrival order with a pluggable machine
+// chooser; the global scheduling order is the arrival order.
+func buildArrivalOrder(e *sched.Evaluator, choose func(taskView, []float64) int) *sched.Allocation {
+	views := viewTasks(e)
+	a := sched.NewAllocation(len(views))
+	ready := make([]float64, e.NumMachines())
+	for i, task := range views {
+		m := choose(task, ready)
+		a.Machine[i] = m
+		ready[m] = completionOn(task, ready, m)
+	}
+	return a
+}
+
+// buildTwoStage implements Min-Min (minFirst=true) and Max-Min
+// (minFirst=false): stage one finds every unmapped task's best machine;
+// stage two picks the task with the smallest (respectively largest)
+// best completion time.
+func buildTwoStage(e *sched.Evaluator, minFirst bool) *sched.Allocation {
+	views := viewTasks(e)
+	n := len(views)
+	a := sched.NewAllocation(n)
+	ready := make([]float64, e.NumMachines())
+	mapped := make([]bool, n)
+	for step := 0; step < n; step++ {
+		pick, pickM := -1, -1
+		var pickC float64
+		for i := range views {
+			if mapped[i] {
+				continue
+			}
+			bestM, bestC := -1, 0.0
+			for _, m := range views[i].eligible {
+				c := completionOn(views[i], ready, m)
+				if bestM == -1 || c < bestC {
+					bestM, bestC = m, c
+				}
+			}
+			better := pick == -1
+			if !better {
+				if minFirst {
+					better = bestC < pickC
+				} else {
+					better = bestC > pickC
+				}
+			}
+			if better {
+				pick, pickM, pickC = i, bestM, bestC
+			}
+		}
+		a.Machine[pick] = pickM
+		a.Order[pick] = step
+		mapped[pick] = true
+		ready[pickM] = pickC
+	}
+	return a
+}
+
+// buildSufferage maps, at each step, the unmapped task with the largest
+// sufferage (best vs second-best completion-time gap), to its best
+// machine.
+func buildSufferage(e *sched.Evaluator) *sched.Allocation {
+	views := viewTasks(e)
+	n := len(views)
+	a := sched.NewAllocation(n)
+	ready := make([]float64, e.NumMachines())
+	mapped := make([]bool, n)
+	for step := 0; step < n; step++ {
+		pick, pickM := -1, -1
+		pickSuffer := math.Inf(-1)
+		var pickC float64
+		for i := range views {
+			if mapped[i] {
+				continue
+			}
+			best, second := math.Inf(1), math.Inf(1)
+			bestM := -1
+			for _, m := range views[i].eligible {
+				c := completionOn(views[i], ready, m)
+				switch {
+				case c < best:
+					second = best
+					best, bestM = c, m
+				case c < second:
+					second = c
+				}
+			}
+			suffer := second - best
+			if math.IsInf(second, 1) {
+				// Single eligible machine: treat as maximal sufferage so
+				// constrained tasks are placed early.
+				suffer = math.Inf(1)
+			}
+			if suffer > pickSuffer || (suffer == pickSuffer && pick != -1 && best < pickC) {
+				pick, pickM, pickSuffer, pickC = i, bestM, suffer, best
+			}
+		}
+		a.Machine[pick] = pickM
+		a.Order[pick] = step
+		mapped[pick] = true
+		ready[pickM] = pickC
+	}
+	return a
+}

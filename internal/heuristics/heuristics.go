@@ -1,0 +1,220 @@
+// Package heuristics implements the greedy seeding heuristics of the
+// paper's §V-B. Each heuristic deterministically produces one complete
+// resource allocation that is injected into an NSGA-II initial population
+// to pull the search toward a region of the objective space:
+//
+//   - Min Energy: per task (in arrival order), the machine with the
+//     smallest expected energy consumption. Provably reaches the minimum
+//     possible total energy.
+//   - Max Utility: per task (in arrival order), the machine whose queue
+//     yields the highest utility at the task's completion time.
+//   - Max Utility-per-Energy: per task, the machine maximizing utility
+//     earned per joule consumed.
+//   - Min-Min Completion Time: the classic two-stage heuristic (Ibarra &
+//     Kim; Braun et al.): repeatedly map the task whose best-machine
+//     completion time is globally smallest.
+//
+// All heuristics return allocations whose global scheduling order equals
+// the order in which they map tasks, and all run in time negligible
+// compared to the genetic algorithm.
+package heuristics
+
+import (
+	"fmt"
+
+	"tradeoff/internal/sched"
+)
+
+// Heuristic names a deterministic seeding strategy.
+type Heuristic int
+
+const (
+	// MinEnergy maps each task to its energy-minimizing machine.
+	MinEnergy Heuristic = iota
+	// MaxUtility maps each task to the machine maximizing its utility.
+	MaxUtility
+	// MaxUtilityPerEnergy maps each task to the machine maximizing
+	// utility earned per unit energy.
+	MaxUtilityPerEnergy
+	// MinMin is the two-stage minimum-completion-time heuristic.
+	MinMin
+)
+
+// All lists every heuristic in a stable order.
+var All = []Heuristic{MinEnergy, MaxUtility, MaxUtilityPerEnergy, MinMin}
+
+func (h Heuristic) String() string {
+	switch h {
+	case MinEnergy:
+		return "min-energy"
+	case MaxUtility:
+		return "max-utility"
+	case MaxUtilityPerEnergy:
+		return "max-utility-per-energy"
+	case MinMin:
+		return "min-min"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// Build runs the heuristic against an evaluator's system and trace.
+func (h Heuristic) Build(e *sched.Evaluator) (*sched.Allocation, error) {
+	switch h {
+	case MinEnergy:
+		return BuildMinEnergy(e), nil
+	case MaxUtility:
+		return BuildMaxUtility(e), nil
+	case MaxUtilityPerEnergy:
+		return BuildMaxUtilityPerEnergy(e), nil
+	case MinMin:
+		return BuildMinMin(e), nil
+	default:
+		return nil, fmt.Errorf("heuristics: unknown heuristic %d", int(h))
+	}
+}
+
+// BuildMinEnergy maps tasks in arrival order to the machine consuming the
+// least energy for their type (§V-B1). The resulting allocation attains
+// the minimum achievable total energy because energy is separable per
+// task and independent of ordering.
+func BuildMinEnergy(e *sched.Evaluator) *sched.Allocation {
+	n := e.NumTasks()
+	a := sched.NewAllocation(n)
+	tasks := e.Trace().Tasks
+	for i := 0; i < n; i++ {
+		best, bestE := -1, 0.0
+		for _, m := range e.Eligible(tasks[i].Type) {
+			if c := e.EECInstance(tasks[i].Type, m); best == -1 || c < bestE {
+				best, bestE = m, c
+			}
+		}
+		a.Machine[i] = best
+	}
+	return a
+}
+
+// BuildMaxUtility maps tasks in arrival order to the machine that yields
+// the highest utility given current machine queues (§V-B2), breaking ties
+// toward earlier completion. There is no optimality guarantee.
+func BuildMaxUtility(e *sched.Evaluator) *sched.Allocation {
+	n := e.NumTasks()
+	a := sched.NewAllocation(n)
+	tasks := e.Trace().Tasks
+	ready := make([]float64, e.NumMachines())
+	for i := 0; i < n; i++ {
+		task := &tasks[i]
+		best, bestU, bestC := -1, 0.0, 0.0
+		for _, m := range e.Eligible(task.Type) {
+			start := ready[m]
+			if task.Arrival > start {
+				start = task.Arrival
+			}
+			completion := start + e.ETCInstance(task.Type, m)
+			u := task.TUF.Value(completion - task.Arrival)
+			if best == -1 || u > bestU || (u == bestU && completion < bestC) {
+				best, bestU, bestC = m, u, completion
+			}
+		}
+		a.Machine[i] = best
+		ready[best] = bestC
+	}
+	return a
+}
+
+// BuildMaxUtilityPerEnergy maps tasks in arrival order to the machine
+// maximizing utility earned per unit of energy consumed (§V-B3), breaking
+// ties toward lower energy.
+func BuildMaxUtilityPerEnergy(e *sched.Evaluator) *sched.Allocation {
+	n := e.NumTasks()
+	a := sched.NewAllocation(n)
+	tasks := e.Trace().Tasks
+	ready := make([]float64, e.NumMachines())
+	for i := 0; i < n; i++ {
+		task := &tasks[i]
+		best := -1
+		bestRatio, bestEnergy, bestC := 0.0, 0.0, 0.0
+		for _, m := range e.Eligible(task.Type) {
+			start := ready[m]
+			if task.Arrival > start {
+				start = task.Arrival
+			}
+			completion := start + e.ETCInstance(task.Type, m)
+			u := task.TUF.Value(completion - task.Arrival)
+			en := e.EECInstance(task.Type, m)
+			ratio := u / en
+			if best == -1 || ratio > bestRatio || (ratio == bestRatio && en < bestEnergy) {
+				best, bestRatio, bestEnergy, bestC = m, ratio, en, completion
+			}
+		}
+		a.Machine[i] = best
+		ready[best] = bestC
+	}
+	return a
+}
+
+// BuildMinMin runs the two-stage Min-Min completion time heuristic
+// (§V-B4). Stage one finds, for every unmapped task, the machine
+// minimizing that task's completion time; stage two maps the task-machine
+// pair with the overall minimum completion time, then repeats. The global
+// scheduling order records the mapping sequence, so machines execute
+// tasks in the order Min-Min chose them.
+func BuildMinMin(e *sched.Evaluator) *sched.Allocation {
+	n := e.NumTasks()
+	a := sched.NewAllocation(n)
+	tasks := e.Trace().Tasks
+	ready := make([]float64, e.NumMachines())
+	mapped := make([]bool, n)
+
+	// bestFor computes stage one for a single task.
+	bestFor := func(i int) (machine int, completion float64) {
+		task := &tasks[i]
+		machine = -1
+		for _, m := range e.Eligible(task.Type) {
+			start := ready[m]
+			if task.Arrival > start {
+				start = task.Arrival
+			}
+			c := start + e.ETCInstance(task.Type, m)
+			if machine == -1 || c < completion {
+				machine, completion = m, c
+			}
+		}
+		return
+	}
+
+	// Cache each task's stage-one result; entries are invalidated lazily
+	// when the chosen machine's ready time changes.
+	bestM := make([]int, n)
+	bestC := make([]float64, n)
+	for i := 0; i < n; i++ {
+		bestM[i], bestC[i] = bestFor(i)
+	}
+
+	for step := 0; step < n; step++ {
+		// Stage two: pick the globally minimal completion pair.
+		pick := -1
+		for i := 0; i < n; i++ {
+			if mapped[i] {
+				continue
+			}
+			if pick == -1 || bestC[i] < bestC[pick] {
+				pick = i
+			}
+		}
+		a.Machine[pick] = bestM[pick]
+		a.Order[pick] = step
+		mapped[pick] = true
+		m := bestM[pick]
+		ready[m] = bestC[pick]
+		// Recompute stage one for tasks whose cached best machine just
+		// got busier (other machines' ready times are unchanged, so their
+		// cached values remain valid lower bounds that are still exact).
+		for i := 0; i < n; i++ {
+			if !mapped[i] && bestM[i] == m {
+				bestM[i], bestC[i] = bestFor(i)
+			}
+		}
+	}
+	return a
+}

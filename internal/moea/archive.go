@@ -1,0 +1,133 @@
+package moea
+
+import "sort"
+
+// Archive incrementally maintains a nondominated set of objective
+// vectors with attached payloads. Adding a dominated point is a no-op;
+// adding a dominating point evicts everything it dominates. Duplicated
+// objective vectors are kept only once (first wins).
+type Archive struct {
+	space    Space
+	points   [][]float64
+	payloads []interface{}
+	// maxSize bounds the archive; 0 means unbounded. When full, the most
+	// crowded point is pruned to make room, keeping the front spread.
+	maxSize int
+}
+
+// NewArchive returns an empty unbounded archive over the given space.
+func NewArchive(space Space) *Archive {
+	return &Archive{space: space}
+}
+
+// NewBoundedArchive returns an archive that holds at most maxSize
+// nondominated points, pruning the most crowded one on overflow.
+func NewBoundedArchive(space Space, maxSize int) *Archive {
+	if maxSize < 1 {
+		panic("moea: bounded archive needs maxSize >= 1")
+	}
+	return &Archive{space: space, maxSize: maxSize}
+}
+
+// Len returns the number of archived points.
+func (ar *Archive) Len() int { return len(ar.points) }
+
+// Add offers a point to the archive. It returns true if the point was
+// accepted (i.e. it is nondominated with respect to the archive and not
+// an exact duplicate).
+func (ar *Archive) Add(point []float64, payload interface{}) bool {
+	for _, p := range ar.points {
+		if ar.space.Dominates(p, point) || equalVec(p, point) {
+			return false
+		}
+	}
+	// Evict points the newcomer dominates.
+	keepPts := ar.points[:0]
+	keepPay := ar.payloads[:0]
+	for i, p := range ar.points {
+		if !ar.space.Dominates(point, p) {
+			keepPts = append(keepPts, p)
+			keepPay = append(keepPay, ar.payloads[i])
+		}
+	}
+	ar.points = keepPts
+	ar.payloads = keepPay
+	ar.points = append(ar.points, append([]float64(nil), point...))
+	ar.payloads = append(ar.payloads, payload)
+	if ar.maxSize > 0 && len(ar.points) > ar.maxSize {
+		ar.pruneMostCrowded()
+	}
+	return true
+}
+
+// pruneMostCrowded removes the point with the smallest crowding distance
+// (never a boundary point, whose distance is infinite).
+func (ar *Archive) pruneMostCrowded() {
+	front := make([]int, len(ar.points))
+	for i := range front {
+		front[i] = i
+	}
+	dist := ar.space.CrowdingDistance(ar.points, front)
+	victim := -1
+	for i, d := range dist {
+		if victim == -1 || d < dist[victim] {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		return
+	}
+	last := len(ar.points) - 1
+	ar.points[victim] = ar.points[last]
+	ar.payloads[victim] = ar.payloads[last]
+	ar.points = ar.points[:last]
+	ar.payloads = ar.payloads[:last]
+}
+
+// Points returns copies of the archived objective vectors, sorted by the
+// first objective in improving order.
+func (ar *Archive) Points() [][]float64 {
+	out := make([][]float64, len(ar.points))
+	idx := ar.sortedIdx()
+	for i, j := range idx {
+		out[i] = append([]float64(nil), ar.points[j]...)
+	}
+	return out
+}
+
+// Payloads returns the payloads in the same order as Points.
+func (ar *Archive) Payloads() []interface{} {
+	idx := ar.sortedIdx()
+	out := make([]interface{}, len(idx))
+	for i, j := range idx {
+		out[i] = ar.payloads[j]
+	}
+	return out
+}
+
+func (ar *Archive) sortedIdx() []int {
+	idx := make([]int, len(ar.points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		x, y := ar.points[idx[a]][0], ar.points[idx[b]][0]
+		if ar.space.Senses[0] == Maximize {
+			return x > y
+		}
+		return x < y
+	})
+	return idx
+}
+
+func equalVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package moea
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hypervolume2D returns the hypervolume indicator of a bi-objective point
+// set with respect to a reference point: the area of objective space
+// dominated by the set and bounded by the reference. The reference must
+// be dominated by (worse than) every point in the set in both
+// objectives; points that do not dominate the reference are ignored.
+// Larger is better. It panics if the space is not two-dimensional.
+func (sp Space) Hypervolume2D(points [][]float64, ref []float64) float64 {
+	if sp.Dim() != 2 {
+		panic(fmt.Sprintf("moea: Hypervolume2D on %d-dim space", sp.Dim()))
+	}
+	if len(ref) != 2 {
+		panic("moea: Hypervolume2D needs a 2-dim reference point")
+	}
+	// Convert to minimization coordinates.
+	conv := func(p []float64) (x, y float64) {
+		x, y = p[0], p[1]
+		if sp.Senses[0] == Maximize {
+			x = -x
+		}
+		if sp.Senses[1] == Maximize {
+			y = -y
+		}
+		return
+	}
+	rx, ry := conv(ref)
+	type pt struct{ x, y float64 }
+	var pts []pt
+	for _, p := range points {
+		x, y := conv(p)
+		if x < rx && y < ry {
+			pts = append(pts, pt{x, y})
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	// Keep only the nondominated lower-left staircase: sort by x, sweep y.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].x != pts[j].x {
+			return pts[i].x < pts[j].x
+		}
+		return pts[i].y < pts[j].y
+	})
+	var area float64
+	bestY := ry
+	for _, p := range pts {
+		if p.y >= bestY {
+			continue // dominated by an earlier (smaller-x) point
+		}
+		area += (rx - p.x) * (bestY - p.y)
+		bestY = p.y
+	}
+	return area
+}
+
+// Spread returns Deb's Δ spread/diversity indicator for a bi-objective
+// front: low values indicate evenly spaced solutions. It returns 0 for
+// fronts with fewer than 3 points. It panics if the space is not
+// two-dimensional.
+func (sp Space) Spread(points [][]float64) float64 {
+	if sp.Dim() != 2 {
+		panic(fmt.Sprintf("moea: Spread on %d-dim space", sp.Dim()))
+	}
+	front := sp.ParetoFront(points)
+	if len(front) < 3 {
+		return 0
+	}
+	// Distances between consecutive front points in objective space.
+	d := make([]float64, 0, len(front)-1)
+	var sum float64
+	for i := 1; i < len(front); i++ {
+		a, b := points[front[i-1]], points[front[i]]
+		dist := math.Hypot(a[0]-b[0], a[1]-b[1])
+		d = append(d, dist)
+		sum += dist
+	}
+	mean := sum / float64(len(d))
+	if mean == 0 {
+		return 0
+	}
+	var dev float64
+	for _, di := range d {
+		dev += math.Abs(di - mean)
+	}
+	return dev / (float64(len(d)) * mean)
+}
+
+// Coverage returns the C-metric C(A, B): the fraction of points in B that
+// are dominated by at least one point in A. C(A,B)=1 means A completely
+// dominates B. It returns 0 when B is empty.
+func (sp Space) Coverage(a, b [][]float64) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	dominated := 0
+	for _, pb := range b {
+		for _, pa := range a {
+			if sp.Dominates(pa, pb) {
+				dominated++
+				break
+			}
+		}
+	}
+	return float64(dominated) / float64(len(b))
+}
+
+// ReferenceFrom returns a reference point strictly dominated by every
+// point in the sets, suitable for Hypervolume2D: the per-objective worst
+// value across all sets, degraded by the given positive margin fraction
+// of the observed range (at least an absolute epsilon).
+func (sp Space) ReferenceFrom(margin float64, sets ...[][]float64) []float64 {
+	if sp.Dim() != 2 {
+		panic("moea: ReferenceFrom supports 2-dim spaces")
+	}
+	worst := []float64{math.Inf(-1), math.Inf(-1)}
+	best := []float64{math.Inf(1), math.Inf(1)}
+	seen := false
+	for _, set := range sets {
+		for _, p := range set {
+			seen = true
+			for i := 0; i < 2; i++ {
+				v := p[i]
+				if sp.Senses[i] == Maximize {
+					v = -v
+				}
+				if v > worst[i] {
+					worst[i] = v
+				}
+				if v < best[i] {
+					best[i] = v
+				}
+			}
+		}
+	}
+	if !seen {
+		return []float64{0, 0}
+	}
+	ref := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		span := worst[i] - best[i]
+		pad := margin * span
+		if pad < 1e-9 {
+			pad = 1e-9
+		}
+		v := worst[i] + pad
+		if sp.Senses[i] == Maximize {
+			v = -v
+		}
+		ref[i] = v
+	}
+	return ref
+}

@@ -1,0 +1,114 @@
+package moea
+
+import (
+	"fmt"
+	"math"
+)
+
+// Additional quality indicators used in the MOEA literature for comparing
+// approximation fronts against a reference set: the additive epsilon
+// indicator and the inverted generational distance (IGD).
+
+// EpsilonIndicator returns the additive ε-indicator I_ε+(a, ref): the
+// smallest ε such that shifting every point of a by ε (toward worse in
+// every objective allowance) makes a weakly dominate every point of ref.
+// Smaller is better; 0 or negative means a weakly dominates ref as-is.
+// Both sets must be nonempty.
+func (sp Space) EpsilonIndicator(a, ref [][]float64) (float64, error) {
+	if len(a) == 0 || len(ref) == 0 {
+		return 0, fmt.Errorf("moea: epsilon indicator needs nonempty sets")
+	}
+	// In minimization coordinates: eps(a_point, r_point) = max_i (a_i - r_i);
+	// I = max over r of min over a.
+	worst := math.Inf(-1)
+	for _, r := range ref {
+		best := math.Inf(1)
+		for _, p := range a {
+			eps := math.Inf(-1)
+			for i := range sp.Senses {
+				pv, rv := p[i], r[i]
+				if sp.Senses[i] == Maximize {
+					pv, rv = -pv, -rv
+				}
+				if d := pv - rv; d > eps {
+					eps = d
+				}
+			}
+			if eps < best {
+				best = eps
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst, nil
+}
+
+// IGD returns the inverted generational distance from an approximation
+// set a to a reference front ref: the mean Euclidean distance from each
+// reference point to its nearest approximation point. Smaller is better.
+// Objectives are used unscaled; normalize externally when ranges differ
+// wildly.
+func (sp Space) IGD(a, ref [][]float64) (float64, error) {
+	if len(a) == 0 || len(ref) == 0 {
+		return 0, fmt.Errorf("moea: IGD needs nonempty sets")
+	}
+	var sum float64
+	for _, r := range ref {
+		best := math.Inf(1)
+		for _, p := range a {
+			var d2 float64
+			for i := range sp.Senses {
+				d := p[i] - r[i]
+				d2 += d * d
+			}
+			if d2 < best {
+				best = d2
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	return sum / float64(len(ref)), nil
+}
+
+// NormalizedIGD rescales both sets to the reference set's per-objective
+// [min,max] box before computing IGD, making the indicator comparable
+// across instances with different objective magnitudes.
+func (sp Space) NormalizedIGD(a, ref [][]float64) (float64, error) {
+	if len(a) == 0 || len(ref) == 0 {
+		return 0, fmt.Errorf("moea: IGD needs nonempty sets")
+	}
+	d := sp.Dim()
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for i := 0; i < d; i++ {
+		lo[i], hi[i] = math.Inf(1), math.Inf(-1)
+	}
+	for _, r := range ref {
+		for i := 0; i < d; i++ {
+			lo[i] = math.Min(lo[i], r[i])
+			hi[i] = math.Max(hi[i], r[i])
+		}
+	}
+	scale := func(p []float64) []float64 {
+		out := make([]float64, d)
+		for i := 0; i < d; i++ {
+			span := hi[i] - lo[i]
+			if span == 0 {
+				span = 1
+			}
+			out[i] = (p[i] - lo[i]) / span
+		}
+		return out
+	}
+	sa := make([][]float64, len(a))
+	for i, p := range a {
+		sa[i] = scale(p)
+	}
+	sr := make([][]float64, len(ref))
+	for i, r := range ref {
+		sr[i] = scale(r)
+	}
+	return sp.IGD(sa, sr)
+}

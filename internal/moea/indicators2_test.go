@@ -1,0 +1,153 @@
+package moea
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEpsilonIndicatorIdentical(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	set := [][]float64{{1, 3}, {2, 2}, {3, 1}}
+	eps, err := sp.EpsilonIndicator(set, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 0 {
+		t.Fatalf("self epsilon = %v, want 0", eps)
+	}
+}
+
+func TestEpsilonIndicatorDominatingSet(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	better := [][]float64{{0, 2}, {1, 0}}
+	worse := [][]float64{{1, 3}, {2, 1}}
+	eps, err := sp.EpsilonIndicator(better, worse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps > 0 {
+		t.Fatalf("dominating set has epsilon %v, want <= 0", eps)
+	}
+	back, err := sp.EpsilonIndicator(worse, better)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back <= 0 {
+		t.Fatalf("dominated set has epsilon %v, want > 0", back)
+	}
+}
+
+func TestEpsilonIndicatorKnownValue(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	a := [][]float64{{2, 2}}
+	ref := [][]float64{{1, 1}}
+	eps, err := sp.EpsilonIndicator(a, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 1 {
+		t.Fatalf("epsilon = %v, want 1", eps)
+	}
+}
+
+func TestEpsilonIndicatorMaximizeSense(t *testing.T) {
+	sp := UtilityEnergySpace()
+	a := [][]float64{{8, 2}}    // utility 8, energy 2
+	ref := [][]float64{{10, 2}} // needs +2 utility
+	eps, err := sp.EpsilonIndicator(a, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 2 {
+		t.Fatalf("epsilon = %v, want 2", eps)
+	}
+}
+
+func TestEpsilonIndicatorErrors(t *testing.T) {
+	sp := NewSpace(Minimize)
+	if _, err := sp.EpsilonIndicator(nil, [][]float64{{1}}); err == nil {
+		t.Fatal("empty a accepted")
+	}
+	if _, err := sp.EpsilonIndicator([][]float64{{1}}, nil); err == nil {
+		t.Fatal("empty ref accepted")
+	}
+}
+
+func TestIGDZeroForSuperset(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	ref := [][]float64{{1, 3}, {2, 2}}
+	a := [][]float64{{1, 3}, {2, 2}, {5, 5}}
+	igd, err := sp.IGD(a, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if igd != 0 {
+		t.Fatalf("IGD = %v, want 0", igd)
+	}
+}
+
+func TestIGDKnownValue(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	a := [][]float64{{0, 0}}
+	ref := [][]float64{{3, 4}, {0, 1}}
+	igd, err := sp.IGD(a, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(igd-3) > 1e-12 { // (5 + 1) / 2
+		t.Fatalf("IGD = %v, want 3", igd)
+	}
+}
+
+func TestIGDImprovesWithBetterApproximation(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	ref := [][]float64{{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}}
+	coarse := [][]float64{{0, 4}, {4, 0}}
+	fine := [][]float64{{0, 4}, {2, 2}, {4, 0}}
+	c, err := sp.IGD(coarse, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sp.IGD(fine, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f < c) {
+		t.Fatalf("finer approximation IGD %v not below coarse %v", f, c)
+	}
+}
+
+func TestNormalizedIGDScaleInvariance(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	ref := [][]float64{{0, 400}, {100, 300}, {200, 200}, {300, 100}, {400, 0}}
+	a := [][]float64{{0, 400}, {200, 200}, {400, 0}}
+	n1, err := sp.NormalizedIGD(a, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale the second objective by 1000; normalized IGD must not change.
+	scale := func(set [][]float64) [][]float64 {
+		out := make([][]float64, len(set))
+		for i, p := range set {
+			out[i] = []float64{p[0], p[1] * 1000}
+		}
+		return out
+	}
+	n2, err := sp.NormalizedIGD(scale(a), scale(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n1-n2) > 1e-12 {
+		t.Fatalf("normalized IGD not scale invariant: %v vs %v", n1, n2)
+	}
+}
+
+func TestIGDErrors(t *testing.T) {
+	sp := NewSpace(Minimize)
+	if _, err := sp.IGD(nil, [][]float64{{1}}); err == nil {
+		t.Fatal("empty a accepted")
+	}
+	if _, err := sp.NormalizedIGD([][]float64{{1}}, nil); err == nil {
+		t.Fatal("empty ref accepted")
+	}
+}

@@ -1,0 +1,282 @@
+package moea
+
+import (
+	"math"
+	"testing"
+
+	"tradeoff/internal/rng"
+)
+
+func TestArchiveBasics(t *testing.T) {
+	ar := NewArchive(UtilityEnergySpace())
+	if !ar.Add(ptA, "A") {
+		t.Fatal("first add rejected")
+	}
+	if ar.Add(ptB, "B") {
+		t.Fatal("dominated point accepted")
+	}
+	if !ar.Add(ptC, "C") {
+		t.Fatal("incomparable point rejected")
+	}
+	if ar.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ar.Len())
+	}
+}
+
+func TestArchiveEviction(t *testing.T) {
+	ar := NewArchive(UtilityEnergySpace())
+	ar.Add([]float64{5, 5}, 1)
+	ar.Add([]float64{4, 4}, 2)
+	// Dominates both.
+	if !ar.Add([]float64{6, 3}, 3) {
+		t.Fatal("dominating point rejected")
+	}
+	if ar.Len() != 1 {
+		t.Fatalf("Len = %d after eviction, want 1", ar.Len())
+	}
+	if ar.Payloads()[0] != 3 {
+		t.Fatal("wrong survivor")
+	}
+}
+
+func TestArchiveRejectsDuplicates(t *testing.T) {
+	ar := NewArchive(UtilityEnergySpace())
+	ar.Add([]float64{5, 5}, 1)
+	if ar.Add([]float64{5, 5}, 2) {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestArchiveInvariantNondominated(t *testing.T) {
+	sp := UtilityEnergySpace()
+	ar := NewArchive(sp)
+	src := rng.New(3)
+	for i := 0; i < 500; i++ {
+		ar.Add([]float64{src.Range(0, 10), src.Range(0, 10)}, i)
+	}
+	pts := ar.Points()
+	for i := range pts {
+		for j := range pts {
+			if i != j && sp.Dominates(pts[i], pts[j]) {
+				t.Fatal("archive contains dominated point")
+			}
+		}
+	}
+	// Points sorted by utility descending.
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] > pts[i-1][0] {
+			t.Fatal("archive points not sorted")
+		}
+	}
+}
+
+func TestArchivePointsAreCopies(t *testing.T) {
+	ar := NewArchive(UtilityEnergySpace())
+	ar.Add([]float64{5, 5}, nil)
+	pts := ar.Points()
+	pts[0][0] = 999
+	if ar.Points()[0][0] == 999 {
+		t.Fatal("Points exposes internal storage")
+	}
+}
+
+func TestHypervolume2DKnownArea(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	pts := [][]float64{{1, 3}, {2, 2}, {3, 1}}
+	ref := []float64{4, 4}
+	// Staircase area: (4-1)*(4-3) + (4-2)*(3-2) + (4-3)*(2-1) = 3+2+1 = 6.
+	if got := sp.Hypervolume2D(pts, ref); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("HV = %v, want 6", got)
+	}
+}
+
+func TestHypervolume2DMaximizeSense(t *testing.T) {
+	sp := UtilityEnergySpace() // maximize U, minimize E
+	pts := [][]float64{{3, 1}, {2, 2}, {1, 3}}
+	// In minimization coords: (-3,1), (-2,2), (-1,3); ref (0,4).
+	ref := []float64{0, 4}
+	// Area: (0-(-3))*(4-1)=9 for first; then bestY=1, others dominated in y.
+	// (-2,2): y=2 >= 1 -> skipped; (-1,3) skipped. Total 9.
+	if got := sp.Hypervolume2D(pts, ref); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("HV = %v, want 9", got)
+	}
+}
+
+func TestHypervolume2DIgnoresPointsOutsideRef(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	pts := [][]float64{{5, 5}}
+	if got := sp.Hypervolume2D(pts, []float64{4, 4}); got != 0 {
+		t.Fatalf("HV = %v, want 0", got)
+	}
+}
+
+func TestHypervolume2DDominatedPointsDoNotAdd(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	base := sp.Hypervolume2D([][]float64{{1, 1}}, []float64{4, 4})
+	with := sp.Hypervolume2D([][]float64{{1, 1}, {2, 2}}, []float64{4, 4})
+	if math.Abs(base-with) > 1e-12 {
+		t.Fatalf("dominated point changed HV: %v vs %v", base, with)
+	}
+}
+
+func TestHypervolumeMonotoneUnderImprovement(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	src := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		var pts [][]float64
+		for i := 0; i < 10; i++ {
+			pts = append(pts, []float64{src.Range(0, 3), src.Range(0, 3)})
+		}
+		ref := []float64{4, 4}
+		before := sp.Hypervolume2D(pts, ref)
+		// Add a point dominating an existing one.
+		pts = append(pts, []float64{pts[0][0] - 0.1, pts[0][1] - 0.1})
+		after := sp.Hypervolume2D(pts, ref)
+		if after < before-1e-12 {
+			t.Fatalf("hypervolume decreased after adding dominating point")
+		}
+	}
+}
+
+func TestSpreadUniformVsClustered(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	uniform := [][]float64{{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}}
+	clustered := [][]float64{{0, 4}, {0.1, 3.9}, {0.2, 3.8}, {0.3, 3.7}, {4, 0}}
+	if u, c := sp.Spread(uniform), sp.Spread(clustered); !(u < c) {
+		t.Fatalf("uniform spread %v should be below clustered %v", u, c)
+	}
+}
+
+func TestSpreadSmallFront(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	if got := sp.Spread([][]float64{{1, 1}, {2, 0}}); got != 0 {
+		t.Fatalf("Spread of 2-point front = %v, want 0", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	a := [][]float64{{0, 0}}
+	b := [][]float64{{1, 1}, {2, 2}, {0, 0}}
+	// a dominates the first two of b, not the equal third.
+	if got := sp.Coverage(a, b); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Coverage = %v, want 2/3", got)
+	}
+	if got := sp.Coverage(a, nil); got != 0 {
+		t.Fatalf("Coverage with empty B = %v", got)
+	}
+}
+
+func TestReferenceFromDominatedByAll(t *testing.T) {
+	sp := UtilityEnergySpace()
+	src := rng.New(6)
+	var set [][]float64
+	for i := 0; i < 40; i++ {
+		set = append(set, []float64{src.Range(1, 9), src.Range(1, 9)})
+	}
+	ref := sp.ReferenceFrom(0.05, set)
+	for _, p := range set {
+		if !sp.Dominates(p, ref) {
+			t.Fatalf("point %v does not dominate reference %v", p, ref)
+		}
+	}
+	// Hypervolume with this reference counts every point.
+	if hv := sp.Hypervolume2D(set, ref); hv <= 0 {
+		t.Fatalf("HV = %v, want > 0", hv)
+	}
+}
+
+func TestReferenceFromEmpty(t *testing.T) {
+	sp := UtilityEnergySpace()
+	ref := sp.ReferenceFrom(0.05)
+	if len(ref) != 2 {
+		t.Fatal("reference has wrong dimension")
+	}
+}
+
+func BenchmarkFastNondominatedSort200(b *testing.B) {
+	sp := UtilityEnergySpace()
+	src := rng.New(1)
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{src.Range(0, 100), src.Range(0, 100)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.FastNondominatedSort(pts)
+	}
+}
+
+func BenchmarkCrowdingDistance200(b *testing.B) {
+	sp := UtilityEnergySpace()
+	src := rng.New(2)
+	pts := make([][]float64, 200)
+	front := make([]int, 200)
+	for i := range pts {
+		pts[i] = []float64{src.Range(0, 100), src.Range(0, 100)}
+		front[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.CrowdingDistance(pts, front)
+	}
+}
+
+func BenchmarkHypervolume200(b *testing.B) {
+	sp := UtilityEnergySpace()
+	src := rng.New(3)
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{src.Range(0, 100), src.Range(0, 100)}
+	}
+	ref := sp.ReferenceFrom(0.05, pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.Hypervolume2D(pts, ref)
+	}
+}
+
+func TestBoundedArchivePrunes(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	ar := NewBoundedArchive(sp, 5)
+	// Insert 50 mutually nondominated points along a line.
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		ar.Add([]float64{x, 49 - x}, i)
+	}
+	if ar.Len() != 5 {
+		t.Fatalf("bounded archive holds %d, want 5", ar.Len())
+	}
+	// Boundary points survive (infinite crowding distance).
+	pts := ar.Points()
+	hasMinX, hasMaxX := false, false
+	for _, p := range pts {
+		if p[0] == 0 {
+			hasMinX = true
+		}
+		if p[0] == 49 {
+			hasMaxX = true
+		}
+	}
+	if !hasMinX || !hasMaxX {
+		t.Fatalf("boundary points pruned: %v", pts)
+	}
+}
+
+func TestBoundedArchiveStillRejectsDominated(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	ar := NewBoundedArchive(sp, 3)
+	ar.Add([]float64{1, 1}, nil)
+	if ar.Add([]float64{2, 2}, nil) {
+		t.Fatal("dominated point accepted by bounded archive")
+	}
+}
+
+func TestNewBoundedArchivePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for maxSize 0")
+		}
+	}()
+	NewBoundedArchive(NewSpace(Minimize), 0)
+}

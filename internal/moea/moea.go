@@ -1,0 +1,212 @@
+// Package moea provides the multi-objective optimization machinery the
+// NSGA-II engine is built on: Pareto dominance over objective vectors
+// with per-objective optimization senses, Deb's fast nondominated sort,
+// the dominance-count ranking described in the paper's §IV-D, crowding
+// distance, an incremental nondominated archive, and quality indicators
+// (bi-objective hypervolume and Deb's spread).
+package moea
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sense is the optimization direction of one objective.
+type Sense int
+
+const (
+	// Minimize means smaller values are better.
+	Minimize Sense = iota
+	// Maximize means larger values are better.
+	Maximize
+)
+
+func (s Sense) String() string {
+	switch s {
+	case Minimize:
+		return "minimize"
+	case Maximize:
+		return "maximize"
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Space describes the objective space: one Sense per objective.
+type Space struct {
+	Senses []Sense
+}
+
+// NewSpace returns a Space over the given senses.
+func NewSpace(senses ...Sense) Space { return Space{Senses: senses} }
+
+// UtilityEnergySpace is the paper's bi-objective space: maximize total
+// utility earned (objective 0), minimize total energy consumed
+// (objective 1).
+func UtilityEnergySpace() Space { return NewSpace(Maximize, Minimize) }
+
+// Dim returns the number of objectives.
+func (sp Space) Dim() int { return len(sp.Senses) }
+
+// better reports whether x is strictly better than y in objective i.
+func (sp Space) better(i int, x, y float64) bool {
+	if sp.Senses[i] == Maximize {
+		return x > y
+	}
+	return x < y
+}
+
+// Dominates reports whether a dominates b: a is at least as good as b in
+// every objective and strictly better in at least one (§IV-C).
+func (sp Space) Dominates(a, b []float64) bool {
+	if len(a) != sp.Dim() || len(b) != sp.Dim() {
+		panic(fmt.Sprintf("moea: objective vectors of length %d/%d in %d-dim space", len(a), len(b), sp.Dim()))
+	}
+	strictly := false
+	for i := range sp.Senses {
+		switch {
+		case sp.better(i, a[i], b[i]):
+			strictly = true
+		case sp.better(i, b[i], a[i]):
+			return false
+		}
+	}
+	return strictly
+}
+
+// Incomparable reports whether neither point dominates the other and the
+// points differ (both lie on a common front, like solutions A and C of
+// the paper's Fig. 2).
+func (sp Space) Incomparable(a, b []float64) bool {
+	return !sp.Dominates(a, b) && !sp.Dominates(b, a)
+}
+
+// FastNondominatedSort partitions point indices into fronts: front 0 is
+// the nondominated set; front k is nondominated once fronts < k are
+// removed. This is the O(M·N²) algorithm of Deb et al. (2002).
+func (sp Space) FastNondominatedSort(points [][]float64) [][]int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	dominated := make([][]int, n) // dominated[i]: indices i dominates
+	count := make([]int, n)       // count[i]: how many points dominate i
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case sp.Dominates(points[i], points[j]):
+				dominated[i] = append(dominated[i], j)
+				count[j]++
+			case sp.Dominates(points[j], points[i]):
+				dominated[j] = append(dominated[j], i)
+				count[i]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if count[i] == 0 {
+			first = append(first, i)
+		}
+	}
+	var fronts [][]int
+	cur := first
+	for len(cur) > 0 {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominated[i] {
+				count[j]--
+				if count[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		cur = next
+	}
+	return fronts
+}
+
+// DominanceCountRanks returns, for each point, 1 + the number of points
+// that dominate it — the ranking rule as literally stated in the paper's
+// §IV-D. Rank-1 points coincide with front 0 of FastNondominatedSort;
+// deeper ranks differ in general.
+func (sp Space) DominanceCountRanks(points [][]float64) []int {
+	n := len(points)
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case sp.Dominates(points[i], points[j]):
+				ranks[j]++
+			case sp.Dominates(points[j], points[i]):
+				ranks[i]++
+			}
+		}
+	}
+	return ranks
+}
+
+// ParetoFront returns the indices of the nondominated points, sorted by
+// the first objective (ascending in minimization order).
+func (sp Space) ParetoFront(points [][]float64) []int {
+	fronts := sp.FastNondominatedSort(points)
+	if len(fronts) == 0 {
+		return nil
+	}
+	front := append([]int(nil), fronts[0]...)
+	sort.Slice(front, func(x, y int) bool {
+		a, b := points[front[x]], points[front[y]]
+		av, bv := a[0], b[0]
+		if sp.Senses[0] == Maximize {
+			return av > bv
+		}
+		return av < bv
+	})
+	return front
+}
+
+// CrowdingDistance returns Deb's crowding distance for the points at the
+// given indices (one front). Boundary points in any objective get +Inf.
+// Distances are normalized per objective by the front's value range.
+func (sp Space) CrowdingDistance(points [][]float64, front []int) []float64 {
+	n := len(front)
+	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
+	if n <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	idx := make([]int, n) // positions into front
+	for m := 0; m < sp.Dim(); m++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return points[front[idx[a]]][m] < points[front[idx[b]]][m]
+		})
+		lo := points[front[idx[0]]][m]
+		hi := points[front[idx[n-1]]][m]
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[n-1]] = math.Inf(1)
+		span := hi - lo
+		if span == 0 {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			if math.IsInf(dist[idx[k]], 1) {
+				continue
+			}
+			dist[idx[k]] += (points[front[idx[k+1]]][m] - points[front[idx[k-1]]][m]) / span
+		}
+	}
+	return dist
+}

@@ -1,0 +1,269 @@
+package moea
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tradeoff/internal/rng"
+)
+
+// fig2 points in (utility, energy) with Maximize, Minimize senses:
+// A dominates B; A and C are incomparable (paper Fig. 2).
+var (
+	fig2Space = UtilityEnergySpace()
+	ptA       = []float64{10, 5}
+	ptB       = []float64{8, 7}
+	ptC       = []float64{6, 3}
+)
+
+func TestDominanceFigure2(t *testing.T) {
+	sp := fig2Space
+	if !sp.Dominates(ptA, ptB) {
+		t.Error("A should dominate B")
+	}
+	if sp.Dominates(ptB, ptA) {
+		t.Error("B should not dominate A")
+	}
+	if !sp.Incomparable(ptA, ptC) {
+		t.Error("A and C should be incomparable")
+	}
+	if !sp.Incomparable(ptC, ptA) {
+		t.Error("incomparability should be symmetric")
+	}
+}
+
+func TestDominanceIsIrreflexive(t *testing.T) {
+	sp := fig2Space
+	if sp.Dominates(ptA, ptA) {
+		t.Error("a point must not dominate itself")
+	}
+}
+
+func TestDominanceEqualInOneStrictInOther(t *testing.T) {
+	sp := fig2Space
+	a := []float64{10, 5}
+	b := []float64{10, 6} // same utility, more energy
+	if !sp.Dominates(a, b) {
+		t.Error("equal-in-one, better-in-other must dominate")
+	}
+}
+
+func TestDominancePanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	fig2Space.Dominates([]float64{1}, []float64{1, 2})
+}
+
+func TestDominanceStrictPartialOrderProperty(t *testing.T) {
+	// Antisymmetry and transitivity on random triples.
+	sp := NewSpace(Minimize, Minimize, Maximize)
+	check := func(seed uint32) bool {
+		src := rng.New(uint64(seed))
+		p := func() []float64 {
+			return []float64{src.Range(0, 4), src.Range(0, 4), src.Range(0, 4)}
+		}
+		a, b, c := p(), p(), p()
+		if sp.Dominates(a, b) && sp.Dominates(b, a) {
+			return false // antisymmetry violated
+		}
+		if sp.Dominates(a, b) && sp.Dominates(b, c) && !sp.Dominates(a, c) {
+			return false // transitivity violated
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomPoints(src *rng.Source, n int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		// Small discrete grid to force duplicates and ties.
+		pts[i] = []float64{float64(src.Intn(8)), float64(src.Intn(8))}
+	}
+	return pts
+}
+
+func TestFastNondominatedSortAgainstBruteForce(t *testing.T) {
+	sp := UtilityEnergySpace()
+	src := rng.New(11)
+	for trial := 0; trial < 100; trial++ {
+		pts := randomPoints(src, 1+src.Intn(40))
+		fronts := sp.FastNondominatedSort(pts)
+
+		// Every point appears exactly once.
+		seen := make([]bool, len(pts))
+		for _, f := range fronts {
+			for _, i := range f {
+				if seen[i] {
+					t.Fatal("point appears in two fronts")
+				}
+				seen[i] = true
+			}
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("point %d missing from fronts", i)
+			}
+		}
+
+		// Front 0 must equal the brute-force nondominated set.
+		brute := map[int]bool{}
+		for i := range pts {
+			dominated := false
+			for j := range pts {
+				if i != j && sp.Dominates(pts[j], pts[i]) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				brute[i] = true
+			}
+		}
+		if len(fronts) == 0 {
+			if len(brute) != 0 {
+				t.Fatal("empty fronts for nonempty set")
+			}
+			continue
+		}
+		if len(fronts[0]) != len(brute) {
+			t.Fatalf("front 0 size %d, brute force %d", len(fronts[0]), len(brute))
+		}
+		for _, i := range fronts[0] {
+			if !brute[i] {
+				t.Fatalf("point %d in front 0 but dominated", i)
+			}
+		}
+
+		// No point in front k may dominate a point in an earlier front,
+		// and within a front no point dominates another.
+		for k, f := range fronts {
+			for _, i := range f {
+				for _, j := range f {
+					if i != j && sp.Dominates(pts[i], pts[j]) {
+						t.Fatalf("front %d contains dominating pair", k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFastNondominatedSortEmpty(t *testing.T) {
+	if got := fig2Space.FastNondominatedSort(nil); got != nil {
+		t.Fatal("expected nil fronts for empty input")
+	}
+}
+
+func TestDominanceCountRanks(t *testing.T) {
+	sp := UtilityEnergySpace()
+	// B is dominated by A only; C nondominated; A nondominated.
+	pts := [][]float64{ptA, ptB, ptC}
+	ranks := sp.DominanceCountRanks(pts)
+	if ranks[0] != 1 || ranks[2] != 1 {
+		t.Fatalf("nondominated ranks = %v, want 1", ranks)
+	}
+	if ranks[1] != 2 {
+		t.Fatalf("B rank = %d, want 2 (dominated by A only)", ranks[1])
+	}
+}
+
+func TestDominanceCountRank1MatchesFront0(t *testing.T) {
+	sp := UtilityEnergySpace()
+	src := rng.New(13)
+	for trial := 0; trial < 50; trial++ {
+		pts := randomPoints(src, 1+src.Intn(30))
+		ranks := sp.DominanceCountRanks(pts)
+		fronts := sp.FastNondominatedSort(pts)
+		front0 := map[int]bool{}
+		for _, i := range fronts[0] {
+			front0[i] = true
+		}
+		for i, r := range ranks {
+			if (r == 1) != front0[i] {
+				t.Fatalf("rank-1 and front-0 disagree at %d", i)
+			}
+		}
+	}
+}
+
+func TestParetoFrontSorted(t *testing.T) {
+	sp := UtilityEnergySpace()
+	pts := [][]float64{{5, 5}, {9, 9}, {1, 1}, {7, 7}, {3, 3}}
+	// All incomparable (higher utility costs more energy) -> all on front.
+	front := sp.ParetoFront(pts)
+	if len(front) != 5 {
+		t.Fatalf("front size %d, want 5", len(front))
+	}
+	// Sorted by utility descending (Maximize sense).
+	for i := 1; i < len(front); i++ {
+		if pts[front[i]][0] > pts[front[i-1]][0] {
+			t.Fatal("front not sorted by first objective improving order")
+		}
+	}
+}
+
+func TestCrowdingDistanceBoundariesInfinite(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	pts := [][]float64{{0, 10}, {2, 8}, {4, 6}, {6, 4}, {10, 0}}
+	front := []int{0, 1, 2, 3, 4}
+	d := sp.CrowdingDistance(pts, front)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[4], 1) {
+		t.Fatalf("boundary distances = %v", d)
+	}
+	for i := 1; i < 4; i++ {
+		if math.IsInf(d[i], 1) || d[i] <= 0 {
+			t.Fatalf("interior distance %d = %v", i, d[i])
+		}
+	}
+}
+
+func TestCrowdingDistanceRewardsIsolation(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	// Points on a line; index 2 is crowded, index 1 is isolated.
+	pts := [][]float64{{0, 100}, {50, 50}, {90, 10}, {91, 9}, {100, 0}}
+	front := []int{0, 1, 2, 3, 4}
+	d := sp.CrowdingDistance(pts, front)
+	if !(d[1] > d[2]) {
+		t.Fatalf("isolated point should have larger distance: %v", d)
+	}
+}
+
+func TestCrowdingDistanceSmallFronts(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	pts := [][]float64{{1, 2}, {3, 4}}
+	d := sp.CrowdingDistance(pts, []int{0, 1})
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[1], 1) {
+		t.Fatal("fronts of size <= 2 should be all infinite")
+	}
+	if got := sp.CrowdingDistance(pts, nil); len(got) != 0 {
+		t.Fatal("empty front should yield empty distances")
+	}
+}
+
+func TestCrowdingDistanceDegenerateObjective(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	// All points share objective 1; span 0 must not produce NaN.
+	pts := [][]float64{{0, 5}, {1, 5}, {2, 5}, {3, 5}}
+	d := sp.CrowdingDistance(pts, []int{0, 1, 2, 3})
+	for i, v := range d {
+		if math.IsNaN(v) {
+			t.Fatalf("distance %d is NaN", i)
+		}
+	}
+}
+
+func TestSenseString(t *testing.T) {
+	if Minimize.String() != "minimize" || Maximize.String() != "maximize" {
+		t.Fatal("Sense strings wrong")
+	}
+	if Sense(7).String() == "" {
+		t.Fatal("unknown sense empty")
+	}
+}

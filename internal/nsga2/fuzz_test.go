@@ -1,0 +1,37 @@
+package nsga2
+
+import "testing"
+
+// FuzzRepairOrder feeds arbitrary byte strings as order arrays and
+// checks the permutation and order-preservation invariants.
+func FuzzRepairOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6})
+	f.Add([]byte{255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		n := len(raw)
+		ord := make([]int, n)
+		for i, b := range raw {
+			ord[i] = int(b) % n
+		}
+		before := append([]int(nil), ord...)
+		repairOrder(ord)
+		seen := make([]bool, n)
+		for _, v := range ord {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("not a permutation: %v", ord)
+			}
+			seen[v] = true
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if before[i] < before[j] && ord[i] > ord[j] {
+					t.Fatalf("relative order broken between %d and %d", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package nsga2
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tradeoff/internal/moea"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// IslandConfig parameterizes an island-model run: several independent
+// NSGA-II populations evolve in parallel (one goroutine per island) and
+// periodically exchange elite chromosomes around a ring. Islands add
+// coarse-grained parallelism on top of the engine's parallel fitness
+// evaluation and preserve population diversity on large instances.
+type IslandConfig struct {
+	// Islands is the number of populations. Default 4.
+	Islands int
+	// MigrationInterval is the number of generations between migrations.
+	// Default 25.
+	MigrationInterval int
+	// Migrants is the number of elites each island sends to its ring
+	// neighbor per migration. Default 2.
+	Migrants int
+	// Engine configures every island (population size is per island).
+	// Engine.Seeds are distributed round-robin across islands.
+	Engine Config
+}
+
+func (c *IslandConfig) fillAndValidate() error {
+	if c.Islands == 0 {
+		c.Islands = 4
+	}
+	if c.MigrationInterval == 0 {
+		c.MigrationInterval = 25
+	}
+	if c.Migrants == 0 {
+		c.Migrants = 2
+	}
+	if c.Islands < 1 {
+		return fmt.Errorf("nsga2: islands %d, want >= 1", c.Islands)
+	}
+	if c.MigrationInterval < 1 {
+		return fmt.Errorf("nsga2: migration interval %d, want >= 1", c.MigrationInterval)
+	}
+	if c.Migrants < 0 {
+		return fmt.Errorf("nsga2: migrants %d, want >= 0", c.Migrants)
+	}
+	return nil
+}
+
+// Islands is an island-model NSGA-II run.
+type Islands struct {
+	cfg        IslandConfig
+	engines    []*Engine
+	space      moea.Space
+	generation int
+}
+
+// NewIslands builds the islands, splitting the random source so each
+// island evolves an independent deterministic stream and distributing
+// any seeds round-robin.
+func NewIslands(eval *sched.Evaluator, cfg IslandConfig, src *rng.Source) (*Islands, error) {
+	if err := cfg.fillAndValidate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("nsga2: nil random source")
+	}
+	is := &Islands{cfg: cfg}
+	for k := 0; k < cfg.Islands; k++ {
+		ecfg := cfg.Engine
+		// Round-robin seed distribution.
+		var seeds []*sched.Allocation
+		for si, s := range cfg.Engine.Seeds {
+			if si%cfg.Islands == k {
+				seeds = append(seeds, s)
+			}
+		}
+		ecfg.Seeds = seeds
+		eng, err := New(eval, ecfg, src.Split())
+		if err != nil {
+			return nil, fmt.Errorf("nsga2: island %d: %w", k, err)
+		}
+		is.engines = append(is.engines, eng)
+	}
+	is.space = is.engines[0].space
+	return is, nil
+}
+
+// Generation returns the number of completed generations.
+func (is *Islands) Generation() int { return is.generation }
+
+// NumIslands returns the island count.
+func (is *Islands) NumIslands() int { return len(is.engines) }
+
+// Step advances every island by one generation in parallel, migrating
+// elites around the ring at the configured interval.
+func (is *Islands) Step() {
+	var wg sync.WaitGroup
+	for _, eng := range is.engines {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.Step()
+		}(eng)
+	}
+	wg.Wait()
+	is.generation++
+	if is.cfg.Migrants > 0 && len(is.engines) > 1 && is.generation%is.cfg.MigrationInterval == 0 {
+		is.migrate()
+	}
+}
+
+// migrate sends each island's elites to its ring successor. Outbound
+// elites are collected before any injection so migration order does not
+// matter.
+func (is *Islands) migrate() {
+	k := len(is.engines)
+	outbound := make([][]Individual, k)
+	for i, eng := range is.engines {
+		outbound[i] = eng.Elites(is.cfg.Migrants)
+	}
+	for i := range is.engines {
+		dst := (i + 1) % k
+		// Injection cannot fail: migrants come from a sibling engine on
+		// the same evaluator.
+		if err := is.engines[dst].Inject(outbound[i]); err != nil {
+			panic(fmt.Sprintf("nsga2: ring migration failed: %v", err))
+		}
+	}
+}
+
+// Run advances the islands by the given number of generations.
+func (is *Islands) Run(generations int) {
+	for i := 0; i < generations; i++ {
+		is.Step()
+	}
+}
+
+// FrontPoints returns the merged rank-1 objective vectors across all
+// islands: the union of island fronts filtered to its nondominated set,
+// sorted by the first objective in improving order.
+func (is *Islands) FrontPoints() [][]float64 {
+	var union [][]float64
+	for _, eng := range is.engines {
+		union = append(union, eng.FrontPoints()...)
+	}
+	if len(union) == 0 {
+		return nil
+	}
+	front := is.space.ParetoFront(union)
+	out := make([][]float64, len(front))
+	for i, idx := range front {
+		out[i] = union[idx]
+	}
+	return out
+}
+
+// ParetoFront returns deep copies of the merged nondominated individuals
+// across all islands, sorted by the first objective in improving order.
+func (is *Islands) ParetoFront() []Individual {
+	var union []Individual
+	for _, eng := range is.engines {
+		union = append(union, eng.ParetoFront()...)
+	}
+	if len(union) == 0 {
+		return nil
+	}
+	points := make([][]float64, len(union))
+	for i := range union {
+		points[i] = union[i].Objectives
+	}
+	keep := is.space.ParetoFront(points)
+	out := make([]Individual, len(keep))
+	for i, idx := range keep {
+		out[i] = union[idx]
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		x, y := out[a].Objectives[0], out[b].Objectives[0]
+		if is.space.Senses[0] == moea.Maximize {
+			return x > y
+		}
+		return x < y
+	})
+	return out
+}

@@ -1,0 +1,658 @@
+// Package nsga2 adapts the Nondominated Sorting Genetic Algorithm II
+// (Deb et al., 2002) to the paper's bi-objective resource allocation
+// problem (§IV-D).
+//
+// A gene is a task: it carries the machine the task executes on and the
+// task's global scheduling order. A chromosome is a complete resource
+// allocation — one gene per task, the i-th gene in every chromosome
+// referring to the i-th task by arrival order. Crossover swaps a
+// contiguous gene segment (machines and orders) between two chromosomes;
+// mutation reassigns one gene's machine to a random eligible machine and
+// swaps the global scheduling orders of two genes. Survivor selection is
+// elitist: parents and offspring are merged into a 2N meta-population,
+// nondominated-sorted, and refilled front by front with crowding-distance
+// truncation of the last admitted front.
+//
+// Because segment swap can duplicate global scheduling orders, offspring
+// orders are repaired back into permutations by re-ranking (stable sort
+// by swapped value, ties by gene index), which preserves the relative
+// order the crossover expressed; see DESIGN.md §4.
+package nsga2
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tradeoff/internal/moea"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// Ranking selects the survivor-ranking rule.
+type Ranking int
+
+const (
+	// DebFronts uses Deb's fast nondominated sort (the NSGA-II default).
+	DebFronts Ranking = iota
+	// DominanceCount ranks each solution 1 + the number of solutions
+	// dominating it, as the paper's §IV-D describes the rank.
+	DominanceCount
+)
+
+func (r Ranking) String() string {
+	switch r {
+	case DebFronts:
+		return "deb-fronts"
+	case DominanceCount:
+		return "dominance-count"
+	default:
+		return fmt.Sprintf("Ranking(%d)", int(r))
+	}
+}
+
+// Individual is one chromosome with its cached evaluation.
+type Individual struct {
+	Alloc *sched.Allocation
+	// Objectives is {total utility earned, total energy consumed in J}.
+	Objectives []float64
+	// Rank is 1-based; rank 1 is the current Pareto-optimal set.
+	Rank int
+	// Crowding is the crowding distance within the individual's front.
+	Crowding float64
+}
+
+// Clone deep-copies the individual.
+func (ind Individual) Clone() Individual {
+	return Individual{
+		Alloc:      ind.Alloc.Clone(),
+		Objectives: append([]float64(nil), ind.Objectives...),
+		Rank:       ind.Rank,
+		Crowding:   ind.Crowding,
+	}
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// PopulationSize is N; it must be even and >= 2. Default 100.
+	PopulationSize int
+	// MutationRate is the per-offspring mutation probability (selected by
+	// experimentation in the paper). Default 0.1.
+	MutationRate float64
+	// Ranking selects the survivor-ranking rule. Default DebFronts.
+	Ranking Ranking
+	// Seeds are allocations injected into the initial population; the
+	// remainder is random. Seeds beyond PopulationSize are ignored.
+	Seeds []*sched.Allocation
+	// Workers bounds parallel fitness evaluation; 0 means GOMAXPROCS,
+	// 1 forces serial evaluation.
+	Workers int
+	// Repair selects how offspring order arrays are restored into
+	// permutations after crossover. Default RerankRepair.
+	Repair Repair
+	// Selection selects how crossover parents are drawn. Default
+	// UniformSelection (as the paper describes); TournamentSelection is
+	// the canonical NSGA-II binary tournament on (rank, crowding).
+	Selection Selection
+	// Problem optionally replaces the paper's utility/energy objective
+	// pair. Nil means UtilityEnergyProblem. Custom problems let the same
+	// engine solve e.g. the makespan/energy formulation of the authors'
+	// prior work (Friese et al., INFOCOMP 2012).
+	Problem *Problem
+}
+
+// Problem defines the objective space the engine optimizes over.
+type Problem struct {
+	// Name identifies the problem in diagnostics.
+	Name string
+	// Space declares the per-objective optimization senses.
+	Space moea.Space
+	// Objectives maps a schedule evaluation to an objective vector
+	// matching Space.
+	Objectives func(sched.Evaluation) []float64
+}
+
+// UtilityEnergyProblem is the paper's bi-objective problem: maximize
+// total utility earned, minimize total energy consumed.
+func UtilityEnergyProblem() *Problem {
+	return &Problem{
+		Name:  "utility-energy",
+		Space: moea.UtilityEnergySpace(),
+		Objectives: func(ev sched.Evaluation) []float64 {
+			return []float64{ev.Utility, ev.Energy}
+		},
+	}
+}
+
+// MakespanEnergyProblem is the prior-work formulation the paper contrasts
+// itself against in §II (ref [3]): minimize makespan, minimize energy.
+func MakespanEnergyProblem() *Problem {
+	return &Problem{
+		Name:  "makespan-energy",
+		Space: moea.NewSpace(moea.Minimize, moea.Minimize),
+		Objectives: func(ev sched.Evaluation) []float64 {
+			return []float64{ev.Makespan, ev.Energy}
+		},
+	}
+}
+
+// Selection selects the parent-selection rule.
+type Selection int
+
+const (
+	// UniformSelection draws both crossover parents uniformly at random
+	// from the population (the paper's §IV-D operator).
+	UniformSelection Selection = iota
+	// TournamentSelection draws each parent as the winner of a binary
+	// tournament under the crowded-comparison operator: lower rank wins;
+	// equal ranks are broken by larger crowding distance (Deb 2002).
+	TournamentSelection
+)
+
+func (s Selection) String() string {
+	switch s {
+	case UniformSelection:
+		return "uniform"
+	case TournamentSelection:
+		return "tournament"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// Repair selects the post-crossover permutation repair strategy.
+type Repair int
+
+const (
+	// RerankRepair stably re-ranks the swapped order values into a
+	// permutation, preserving the relative ordering crossover expressed
+	// (the default; see DESIGN.md §4).
+	RerankRepair Repair = iota
+	// ShuffleRepair discards the order information and draws a fresh
+	// random permutation. Ablation baseline: it shows how much of the
+	// search signal lives in the inherited scheduling order.
+	ShuffleRepair
+)
+
+func (r Repair) String() string {
+	switch r {
+	case RerankRepair:
+		return "rerank"
+	case ShuffleRepair:
+		return "shuffle"
+	default:
+		return fmt.Sprintf("Repair(%d)", int(r))
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.PopulationSize == 0 {
+		c.PopulationSize = 100
+	}
+	if c.MutationRate == 0 {
+		c.MutationRate = 0.1
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+func (c *Config) validate() error {
+	if c.PopulationSize < 2 || c.PopulationSize%2 != 0 {
+		return fmt.Errorf("nsga2: population size %d, want even and >= 2", c.PopulationSize)
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("nsga2: mutation rate %v outside [0,1]", c.MutationRate)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("nsga2: workers %d, want >= 0", c.Workers)
+	}
+	switch c.Ranking {
+	case DebFronts, DominanceCount:
+	default:
+		return fmt.Errorf("nsga2: unknown ranking %d", int(c.Ranking))
+	}
+	switch c.Repair {
+	case RerankRepair, ShuffleRepair:
+	default:
+		return fmt.Errorf("nsga2: unknown repair strategy %d", int(c.Repair))
+	}
+	switch c.Selection {
+	case UniformSelection, TournamentSelection:
+	default:
+		return fmt.Errorf("nsga2: unknown selection %d", int(c.Selection))
+	}
+	return nil
+}
+
+// Engine runs NSGA-II over a fixed evaluator. It is not safe for
+// concurrent use; fitness evaluation parallelism is internal.
+type Engine struct {
+	cfg     Config
+	eval    *sched.Evaluator
+	problem *Problem
+	space   moea.Space
+	src     *rng.Source
+
+	pop        []Individual
+	generation int
+
+	sessions []*sched.Session // one per worker
+}
+
+// New creates an engine with an initial population: the seeds (validated)
+// followed by random chromosomes, all evaluated and ranked.
+func New(eval *sched.Evaluator, cfg Config, src *rng.Source) (*Engine, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("nsga2: nil random source")
+	}
+	problem := cfg.Problem
+	if problem == nil {
+		problem = UtilityEnergyProblem()
+	}
+	if problem.Objectives == nil || problem.Space.Dim() < 2 {
+		return nil, fmt.Errorf("nsga2: problem %q needs an objective function and >= 2 senses", problem.Name)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		eval:    eval,
+		problem: problem,
+		space:   problem.Space,
+		src:     src,
+	}
+	e.sessions = make([]*sched.Session, cfg.Workers)
+	for i := range e.sessions {
+		e.sessions[i] = eval.NewSession()
+	}
+
+	e.pop = make([]Individual, 0, cfg.PopulationSize)
+	for _, s := range cfg.Seeds {
+		if len(e.pop) == cfg.PopulationSize {
+			break
+		}
+		if err := eval.Validate(s); err != nil {
+			return nil, fmt.Errorf("nsga2: invalid seed: %w", err)
+		}
+		e.pop = append(e.pop, Individual{Alloc: s.Clone()})
+	}
+	for len(e.pop) < cfg.PopulationSize {
+		e.pop = append(e.pop, Individual{Alloc: eval.RandomAllocation(src)})
+	}
+	e.evaluateAll(e.pop)
+	e.rank(e.pop)
+	return e, nil
+}
+
+// Generation returns the number of completed generations.
+func (e *Engine) Generation() int { return e.generation }
+
+// Population returns a deep copy of the current population.
+func (e *Engine) Population() []Individual {
+	out := make([]Individual, len(e.pop))
+	for i, ind := range e.pop {
+		out[i] = ind.Clone()
+	}
+	return out
+}
+
+// ParetoFront returns deep copies of the rank-1 individuals, sorted by
+// descending utility.
+func (e *Engine) ParetoFront() []Individual {
+	var out []Individual
+	for _, ind := range e.pop {
+		if ind.Rank == 1 {
+			out = append(out, ind.Clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Objectives[0], out[j].Objectives[0]
+		if e.space.Senses[0] == moea.Maximize {
+			return a > b
+		}
+		return a < b
+	})
+	return out
+}
+
+// FrontPoints returns the rank-1 objective vectors (utility, energy),
+// sorted by descending utility.
+func (e *Engine) FrontPoints() [][]float64 {
+	front := e.ParetoFront()
+	out := make([][]float64, len(front))
+	for i, ind := range front {
+		out[i] = ind.Objectives
+	}
+	return out
+}
+
+// Elites returns deep copies of the n best individuals under the
+// crowded-comparison order (rank ascending, crowding descending).
+func (e *Engine) Elites(n int) []Individual {
+	idx := make([]int, len(e.pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := &e.pop[idx[a]], &e.pop[idx[b]]
+		if ia.Rank != ib.Rank {
+			return ia.Rank < ib.Rank
+		}
+		return ia.Crowding > ib.Crowding
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]Individual, n)
+	for i := 0; i < n; i++ {
+		out[i] = e.pop[idx[i]].Clone()
+	}
+	return out
+}
+
+// Inject replaces the engine's worst individuals (rank descending,
+// crowding ascending) with copies of the given individuals, re-ranking
+// the population. Injected individuals must be valid for the engine's
+// evaluator; unevaluated ones are evaluated under the engine's problem.
+func (e *Engine) Inject(inds []Individual) error {
+	if len(inds) == 0 {
+		return nil
+	}
+	if len(inds) > len(e.pop) {
+		inds = inds[:len(e.pop)]
+	}
+	clones := make([]Individual, len(inds))
+	for i, ind := range inds {
+		if err := e.eval.Validate(ind.Alloc); err != nil {
+			return fmt.Errorf("nsga2: injected individual %d invalid: %w", i, err)
+		}
+		c := ind.Clone()
+		c.Objectives = nil // re-evaluate under this engine's problem
+		clones[i] = c
+	}
+	e.evaluateAll(clones)
+	idx := make([]int, len(e.pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := &e.pop[idx[a]], &e.pop[idx[b]]
+		if ia.Rank != ib.Rank {
+			return ia.Rank > ib.Rank
+		}
+		return ia.Crowding < ib.Crowding
+	})
+	for i, c := range clones {
+		e.pop[idx[i]] = c
+	}
+	e.rank(e.pop)
+	return nil
+}
+
+// Step advances the engine by one generation (Algorithm 1 steps 3–11).
+func (e *Engine) Step() {
+	n := e.cfg.PopulationSize
+	offspring := make([]Individual, 0, n)
+	// Step 3–4: N/2 crossovers, two offspring each.
+	for len(offspring) < n {
+		p1 := e.selectParent()
+		p2 := e.selectParent()
+		c1, c2 := e.crossover(p1, p2)
+		offspring = append(offspring, Individual{Alloc: c1}, Individual{Alloc: c2})
+	}
+	offspring = offspring[:n]
+	// Step 5: mutate each offspring with probability MutationRate.
+	for i := range offspring {
+		if e.src.Bool(e.cfg.MutationRate) {
+			e.mutate(offspring[i].Alloc)
+		}
+	}
+	e.evaluateAll(offspring)
+
+	// Step 6: merge into the 2N meta-population (elitism).
+	meta := make([]Individual, 0, 2*n)
+	meta = append(meta, e.pop...)
+	meta = append(meta, offspring...)
+
+	// Steps 7–10: rank, fill by rank groups, truncate by crowding.
+	e.pop = e.selectSurvivors(meta, n)
+	e.generation++
+}
+
+// Run advances the engine by the given number of generations.
+func (e *Engine) Run(generations int) {
+	for i := 0; i < generations; i++ {
+		e.Step()
+	}
+}
+
+// RunCheckpoints advances the engine through increasing generation
+// checkpoints, invoking fn with the cumulative generation count after
+// each. Checkpoints at or below the current generation are invoked
+// without stepping.
+func (e *Engine) RunCheckpoints(checkpoints []int, fn func(generation int, front []Individual)) error {
+	prev := 0
+	for _, cp := range checkpoints {
+		if cp < prev {
+			return fmt.Errorf("nsga2: checkpoints must be nondecreasing, got %d after %d", cp, prev)
+		}
+		prev = cp
+		for e.generation < cp {
+			e.Step()
+		}
+		fn(e.generation, e.ParetoFront())
+	}
+	return nil
+}
+
+// selectParent draws one crossover parent according to the configured
+// selection rule.
+func (e *Engine) selectParent() *sched.Allocation {
+	n := len(e.pop)
+	switch e.cfg.Selection {
+	case TournamentSelection:
+		a, b := e.src.Intn(n), e.src.Intn(n)
+		ia, ib := &e.pop[a], &e.pop[b]
+		switch {
+		case ia.Rank < ib.Rank:
+			return ia.Alloc
+		case ib.Rank < ia.Rank:
+			return ib.Alloc
+		case ia.Crowding >= ib.Crowding:
+			return ia.Alloc
+		default:
+			return ib.Alloc
+		}
+	default:
+		return e.pop[e.src.Intn(n)].Alloc
+	}
+}
+
+// crossover implements the paper's operator: choose two gene indices
+// uniformly at random and swap the inclusive segment between copies of
+// the parents — machine assignments and global scheduling orders both —
+// then repair the order permutations.
+func (e *Engine) crossover(p1, p2 *sched.Allocation) (*sched.Allocation, *sched.Allocation) {
+	n := p1.Len()
+	c1, c2 := p1.Clone(), p2.Clone()
+	i := e.src.Intn(n)
+	j := e.src.Intn(n)
+	if i > j {
+		i, j = j, i
+	}
+	for k := i; k <= j; k++ {
+		c1.Machine[k], c2.Machine[k] = c2.Machine[k], c1.Machine[k]
+		c1.Order[k], c2.Order[k] = c2.Order[k], c1.Order[k]
+	}
+	switch e.cfg.Repair {
+	case ShuffleRepair:
+		copy(c1.Order, e.src.Perm(n))
+		copy(c2.Order, e.src.Perm(n))
+	default:
+		repairOrder(c1.Order)
+		repairOrder(c2.Order)
+	}
+	return c1, c2
+}
+
+// repairOrder rewrites ord into a permutation of [0, len): genes are
+// ranked by their (possibly duplicated) swapped order values, ties broken
+// by gene index, preserving the relative ordering the values express.
+func repairOrder(ord []int) {
+	n := len(ord)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ord[idx[a]] < ord[idx[b]] })
+	for pos, gene := range idx {
+		ord[gene] = pos
+	}
+}
+
+// mutate implements the paper's operator: reassign one random gene to a
+// random eligible machine, and swap the global scheduling orders of two
+// random genes.
+func (e *Engine) mutate(a *sched.Allocation) {
+	n := a.Len()
+	g := e.src.Intn(n)
+	el := e.eval.Eligible(e.eval.Trace().Tasks[g].Type)
+	a.Machine[g] = el[e.src.Intn(len(el))]
+	x, y := e.src.Intn(n), e.src.Intn(n)
+	a.Order[x], a.Order[y] = a.Order[y], a.Order[x]
+}
+
+// evaluateAll fills Objectives for individuals lacking them, fanning out
+// across the configured workers. Results are deterministic because each
+// individual's evaluation is independent of scheduling.
+func (e *Engine) evaluateAll(inds []Individual) {
+	todo := make([]int, 0, len(inds))
+	for i := range inds {
+		if inds[i].Objectives == nil {
+			todo = append(todo, i)
+		}
+	}
+	if len(todo) == 0 {
+		return
+	}
+	workers := e.cfg.Workers
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		sess := e.sessions[0]
+		for _, i := range todo {
+			inds[i].Objectives = e.problem.Objectives(sess.Evaluate(inds[i].Alloc))
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(todo) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(todo) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(todo) {
+			hi = len(todo)
+		}
+		wg.Add(1)
+		go func(sess *sched.Session, part []int) {
+			defer wg.Done()
+			for _, i := range part {
+				inds[i].Objectives = e.problem.Objectives(sess.Evaluate(inds[i].Alloc))
+			}
+		}(e.sessions[w], todo[lo:hi])
+	}
+	wg.Wait()
+}
+
+// rank computes Rank and Crowding for a population in place.
+func (e *Engine) rank(pop []Individual) {
+	points := make([][]float64, len(pop))
+	for i := range pop {
+		points[i] = pop[i].Objectives
+	}
+	groups := e.rankGroups(points)
+	for rank, group := range groups {
+		dist := e.space.CrowdingDistance(points, group)
+		for k, i := range group {
+			pop[i].Rank = rank + 1
+			pop[i].Crowding = dist[k]
+		}
+	}
+}
+
+// rankGroups partitions point indices into ascending-rank groups using
+// the configured ranking rule.
+func (e *Engine) rankGroups(points [][]float64) [][]int {
+	switch e.cfg.Ranking {
+	case DominanceCount:
+		ranks := e.space.DominanceCountRanks(points)
+		byRank := map[int][]int{}
+		maxRank := 0
+		for i, r := range ranks {
+			byRank[r] = append(byRank[r], i)
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+		var groups [][]int
+		for r := 1; r <= maxRank; r++ {
+			if g, ok := byRank[r]; ok {
+				groups = append(groups, g)
+			}
+		}
+		return groups
+	default:
+		return e.space.FastNondominatedSort(points)
+	}
+}
+
+// selectSurvivors picks the best n individuals from meta: whole rank
+// groups while they fit, then the most crowded-out members of the next
+// group by descending crowding distance (Algorithm 1 steps 7–10).
+func (e *Engine) selectSurvivors(meta []Individual, n int) []Individual {
+	points := make([][]float64, len(meta))
+	for i := range meta {
+		points[i] = meta[i].Objectives
+	}
+	groups := e.rankGroups(points)
+	next := make([]Individual, 0, n)
+	for rank, group := range groups {
+		dist := e.space.CrowdingDistance(points, group)
+		for k, i := range group {
+			meta[i].Rank = rank + 1
+			meta[i].Crowding = dist[k]
+		}
+		if len(next)+len(group) <= n {
+			for _, i := range group {
+				next = append(next, meta[i])
+			}
+			if len(next) == n {
+				break
+			}
+			continue
+		}
+		// Partial group: take the most isolated by crowding distance.
+		rem := n - len(next)
+		order := make([]int, len(group))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return dist[order[a]] > dist[order[b]] })
+		for _, k := range order[:rem] {
+			next = append(next, meta[group[k]])
+		}
+		break
+	}
+	// Re-rank the survivor population so Rank/Crowding reflect the new
+	// population rather than the meta-population.
+	e.rank(next)
+	return next
+}

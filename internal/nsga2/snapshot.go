@@ -1,0 +1,90 @@
+package nsga2
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// Snapshot is a serializable capture of an engine mid-run: the
+// generation count, the full population genotype, and the random-source
+// state. Restoring a snapshot into an engine with the same evaluator and
+// configuration continues the run bit-for-bit identically — the support
+// long paper-scale runs (10^5-10^6 iterations) need to survive restarts.
+type Snapshot struct {
+	Generation int              `json:"generation"`
+	RNG        rng.State        `json:"rng"`
+	Population []GenomeSnapshot `json:"population"`
+}
+
+// GenomeSnapshot is one chromosome's genotype (objectives and ranks are
+// recomputed on restore).
+type GenomeSnapshot struct {
+	Machine []int `json:"machine"`
+	Order   []int `json:"order"`
+}
+
+// Snapshot captures the engine's current state.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{Generation: e.generation, RNG: e.src.State()}
+	for _, ind := range e.pop {
+		s.Population = append(s.Population, GenomeSnapshot{
+			Machine: append([]int(nil), ind.Alloc.Machine...),
+			Order:   append([]int(nil), ind.Alloc.Order...),
+		})
+	}
+	return s
+}
+
+// Restore resets the engine to the snapshot's state. The snapshot's
+// population size must match the engine's configuration; every genome is
+// validated against the evaluator, then evaluated and ranked.
+func (e *Engine) Restore(s *Snapshot) error {
+	if len(s.Population) != e.cfg.PopulationSize {
+		return fmt.Errorf("nsga2: snapshot population %d, engine expects %d",
+			len(s.Population), e.cfg.PopulationSize)
+	}
+	pop := make([]Individual, len(s.Population))
+	for i, g := range s.Population {
+		alloc := &sched.Allocation{
+			Machine: append([]int(nil), g.Machine...),
+			Order:   append([]int(nil), g.Order...),
+		}
+		if err := e.eval.Validate(alloc); err != nil {
+			return fmt.Errorf("nsga2: snapshot genome %d invalid: %w", i, err)
+		}
+		pop[i] = Individual{Alloc: alloc}
+	}
+	e.evaluateAll(pop)
+	e.rank(pop)
+	e.pop = pop
+	e.generation = s.Generation
+	e.src = rng.FromState(s.RNG)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler (plain struct encoding; declared
+// for symmetry and future format versioning).
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot
+	return json.Marshal((*alias)(s))
+}
+
+// DecodeSnapshot parses a snapshot from JSON.
+func DecodeSnapshot(raw []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("nsga2: decoding snapshot: %w", err)
+	}
+	if len(s.Population) == 0 {
+		return nil, fmt.Errorf("nsga2: snapshot has no population")
+	}
+	return &s, nil
+}
+
+// EncodeSnapshot renders a snapshot as JSON.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) {
+	return json.Marshal(s)
+}

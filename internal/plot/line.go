@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LineChart renders named series as connected lines (e.g. hypervolume
+// versus generation). The x axis may be log-scaled, which suits the
+// geometric iteration checkpoints of the experiments.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []Series
+}
+
+func (c *LineChart) transformed() []Series {
+	if !c.LogX {
+		return c.Series
+	}
+	out := make([]Series, len(c.Series))
+	for i, s := range c.Series {
+		ts := Series{Name: s.Name}
+		for _, p := range s.Points {
+			if p.X > 0 {
+				ts.Points = append(ts.Points, Point{X: math.Log10(p.X), Y: p.Y})
+			}
+		}
+		out[i] = ts
+	}
+	return out
+}
+
+// ASCII renders the chart as text. Lines are drawn as their sample
+// points; the terminal raster is too coarse for segments.
+func (c *LineChart) ASCII(width, height int) string {
+	scatter := &Chart{Title: c.Title, XLabel: c.XLabel, YLabel: c.YLabel, Series: c.transformed()}
+	out := scatter.ASCII(width, height)
+	if c.LogX {
+		out += "(x axis log10)\n"
+	}
+	return out
+}
+
+// SVG renders the chart as a standalone SVG document with connected
+// polylines per series.
+func (c *LineChart) SVG(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	const margin = 56.0
+	series := c.transformed()
+	base := &Chart{Series: series}
+	xmin, xmax, ymin, ymax, ok := base.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-family="sans-serif" font-size="15">%s</text>`+"\n", width/2, escape(c.Title))
+	}
+	if !ok {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13">(no data)</text>`+"\n", width/2, height/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	plotW := float64(width) - 2*margin
+	plotH := float64(height) - 2*margin
+	sx := func(x float64) float64 { return margin + plotW*(x-xmin)/(xmax-xmin) }
+	sy := func(y float64) float64 { return margin + plotH*(1-(y-ymin)/(ymax-ymin)) }
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n", margin, margin, plotW, plotH)
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		label := fx
+		if c.LogX {
+			label = math.Pow(10, fx)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			sx(fx), float64(height)-margin+16, fmtTick(label))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			margin-6, sy(fy)+3, fmtTick(fy))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", sx(fx), margin, sx(fx), margin+plotH)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", margin, sy(fy), margin+plotW, sy(fy))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			width/2, height-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" transform="rotate(-90 16 %d)" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			height/2, height/2, escape(c.YLabel))
+	}
+	for si, s := range series {
+		color := svgColors[si%len(svgColors)]
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		var poly []string
+		for _, p := range pts {
+			poly = append(poly, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(p.Y)))
+		}
+		if len(poly) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n", strings.Join(poly, " "), color)
+		}
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", sx(p.X), sy(p.Y), color)
+		}
+		lx := margin + 8
+		ly := margin + 14 + 16*float64(si)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", lx, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n", lx+8, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,223 @@
+// Package plot renders Pareto fronts as ASCII scatter charts for
+// terminals and as standalone SVG documents, mirroring the figures of the
+// paper's §VI (energy on the x-axis, utility on the y-axis, one marker
+// style per population).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one marker position.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named point set drawn with one marker.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart is a scatter chart definition.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// markers used for successive series in ASCII output; the order mirrors
+// the paper's figures (diamond = min-energy, square = min-min, circle =
+// max-utility, triangle = max-utility-per-energy, star = random).
+var asciiMarkers = []byte{'D', 'S', 'O', 'A', '*', '+', 'x', '#'}
+
+// bounds returns the data extent across all series, padding degenerate
+// ranges.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xmin = math.Min(xmin, p.X)
+			xmax = math.Max(xmax, p.X)
+			ymin = math.Min(ymin, p.Y)
+			ymax = math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 0, 0, 0, false
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, true
+}
+
+// ASCII renders the chart into a width×height character grid
+// (plus axes, title, and legend). Width and height are clamped to sane
+// minima.
+func (c *Chart) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	if !ok {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		marker := asciiMarkers[si%len(asciiMarkers)]
+		for _, p := range s.Points {
+			col := int(float64(width-1) * (p.X - xmin) / (xmax - xmin))
+			row := height - 1 - int(float64(height-1)*(p.Y-ymin)/(ymax-ymin))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = marker
+			}
+		}
+	}
+	yLo, yHi := fmtTick(ymin), fmtTick(ymax)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = pad(yHi, labelW)
+		case height - 1:
+			label = pad(yLo, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s  %s%s\n", strings.Repeat(" ", labelW), fmtTick(xmin),
+		pad(fmtTick(xmax), width-len(fmtTick(xmin))))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s, y: %s\n", c.XLabel, c.YLabel)
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", asciiMarkers[si%len(asciiMarkers)], s.Name))
+	}
+	if len(legend) > 0 {
+		b.WriteString(strings.Join(legend, "  ") + "\n")
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6 || (av < 1e-3 && av != 0):
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// svg palette; color-blind friendly.
+var svgColors = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000"}
+
+// SVG renders the chart as a standalone SVG document of the given pixel
+// dimensions.
+func (c *Chart) SVG(width, height int) string {
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	const margin = 56.0
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	plotW := float64(width) - 2*margin
+	plotH := float64(height) - 2*margin
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="24" text-anchor="middle" font-family="sans-serif" font-size="15">%s</text>`+"\n", width/2, escape(c.Title))
+	}
+	if !ok {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13">(no data)</text>`+"\n", width/2, height/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	sx := func(x float64) float64 { return margin + plotW*(x-xmin)/(xmax-xmin) }
+	sy := func(y float64) float64 { return margin + plotH*(1-(y-ymin)/(ymax-ymin)) }
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#888"/>`+"\n", margin, margin, plotW, plotH)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			sx(fx), float64(height)-margin+16, fmtTick(fx))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			margin-6, sy(fy)+3, fmtTick(fy))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", sx(fx), margin, sx(fx), margin+plotH)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", margin, sy(fy), margin+plotW, sy(fy))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			width/2, height-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%d" transform="rotate(-90 16 %d)" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			height/2, height/2, escape(c.YLabel))
+	}
+	// Series markers and legend.
+	for si, s := range c.Series {
+		color := svgColors[si%len(svgColors)]
+		// Connect front points sorted by x with a faint polyline.
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		if len(pts) > 1 {
+			var poly []string
+			for _, p := range pts {
+				poly = append(poly, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(p.Y)))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-opacity="0.35"/>`+"\n", strings.Join(poly, " "), color)
+		}
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", sx(p.X), sy(p.Y), color)
+		}
+		lx := margin + 8
+		ly := margin + 14 + 16*float64(si)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", lx, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n", lx+8, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,159 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Pareto fronts",
+		XLabel: "energy (MJ)",
+		YLabel: "utility",
+		Series: []Series{
+			{Name: "min-energy", Points: []Point{{1, 10}, {2, 20}}},
+			{Name: "random", Points: []Point{{3, 15}, {4, 25}}},
+		},
+	}
+}
+
+func TestASCIIContainsStructure(t *testing.T) {
+	out := sampleChart().ASCII(60, 20)
+	if !strings.Contains(out, "Pareto fronts") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "min-energy") || !strings.Contains(out, "random") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "D") || !strings.Contains(out, "S") {
+		t.Error("missing series markers")
+	}
+	if !strings.Contains(out, "x: energy (MJ), y: utility") {
+		t.Error("missing axis labels")
+	}
+}
+
+func TestASCIIEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.ASCII(40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestASCIIDegenerateRange(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "p", Points: []Point{{5, 5}}}}}
+	out := c.ASCII(40, 10)
+	if !strings.Contains(out, "D") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestASCIIClampsTinyDimensions(t *testing.T) {
+	out := sampleChart().ASCII(1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 8 {
+		t.Fatalf("height not clamped: %d lines", len(lines))
+	}
+}
+
+func TestASCIIMarkersInsideFrame(t *testing.T) {
+	out := sampleChart().ASCII(50, 12)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "=") { // legend line
+			continue
+		}
+		if strings.IndexByte(line, 'D') >= 0 && !strings.Contains(line, "|") {
+			t.Fatal("marker outside framed area")
+		}
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := sampleChart().SVG(640, 480)
+	for _, want := range []string{"<svg", "</svg>", "circle", "polyline", "min-energy", "utility"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 {
+		t.Error("multiple svg roots")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	c := &Chart{Title: `a<b & "c"`, Series: []Series{{Name: "s", Points: []Point{{1, 1}}}}}
+	out := c.SVG(300, 200)
+	if strings.Contains(out, `a<b`) {
+		t.Error("unescaped < in title")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Error("escape output wrong")
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	c := &Chart{}
+	out := c.SVG(300, 200)
+	if !strings.Contains(out, "(no data)") {
+		t.Error("empty SVG should say no data")
+	}
+}
+
+func TestSVGClampsDimensions(t *testing.T) {
+	out := sampleChart().SVG(1, 1)
+	if !strings.Contains(out, `width="200"`) {
+		t.Error("width not clamped")
+	}
+}
+
+func sampleLineChart() *LineChart {
+	return &LineChart{
+		Title:  "hypervolume convergence",
+		XLabel: "generation",
+		YLabel: "hypervolume",
+		LogX:   true,
+		Series: []Series{
+			{Name: "seeded", Points: []Point{{100, 0.4}, {1000, 0.8}, {10000, 1.0}}},
+			{Name: "random", Points: []Point{{100, 0.1}, {1000, 0.5}, {10000, 0.95}}},
+		},
+	}
+}
+
+func TestLineChartASCII(t *testing.T) {
+	out := sampleLineChart().ASCII(60, 16)
+	if !strings.Contains(out, "hypervolume convergence") || !strings.Contains(out, "(x axis log10)") {
+		t.Fatalf("line chart ASCII incomplete:\n%s", out)
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	out := sampleLineChart().SVG(640, 480)
+	for _, want := range []string{"<svg", "polyline", "seeded", "random", "generation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("line SVG missing %q", want)
+		}
+	}
+	// Log-scaled ticks show original magnitudes.
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Error("log ticks not back-transformed")
+	}
+}
+
+func TestLineChartLogXDropsNonPositive(t *testing.T) {
+	c := &LineChart{LogX: true, Series: []Series{{Name: "s", Points: []Point{{0, 1}, {-5, 2}, {10, 3}}}}}
+	out := c.SVG(300, 200)
+	if !strings.Contains(out, "circle") {
+		t.Fatal("positive point should survive")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := &LineChart{}
+	if !strings.Contains(c.SVG(300, 200), "(no data)") {
+		t.Fatal("empty line chart should say no data")
+	}
+}

@@ -1,0 +1,169 @@
+// Package report renders a complete analysis run as a self-contained
+// Markdown document — the artifact a system administrator files after
+// using the framework: system inventory, trace statistics, the Pareto
+// front with its efficient region, operating-point guidance, and the
+// per-machine breakdown of the recommended allocation.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tradeoff/internal/analysis"
+	"tradeoff/internal/core"
+	"tradeoff/internal/hcs"
+	"tradeoff/internal/plot"
+	"tradeoff/internal/workload"
+)
+
+// Options configures report rendering.
+type Options struct {
+	// Title heads the document. Default "Utility/Energy Trade-off Analysis".
+	Title string
+	// GeneratedAt stamps the document; zero means omit the stamp (keeps
+	// byte-identical golden outputs).
+	GeneratedAt time.Time
+	// MaxFrontRows truncates the front table (0 = 25).
+	MaxFrontRows int
+	// Budgets, in joules, for the operating-point table; nil derives a
+	// ladder from the front extent.
+	Budgets []float64
+}
+
+// Write renders the report for an optimization result.
+func Write(w io.Writer, fw *core.Framework, res *core.Result, opts Options) error {
+	if len(res.Front) == 0 {
+		return fmt.Errorf("report: empty front")
+	}
+	if opts.Title == "" {
+		opts.Title = "Utility/Energy Trade-off Analysis"
+	}
+	if opts.MaxFrontRows == 0 {
+		opts.MaxFrontRows = 25
+	}
+
+	fmt.Fprintf(w, "# %s\n\n", opts.Title)
+	if !opts.GeneratedAt.IsZero() {
+		fmt.Fprintf(w, "_Generated %s._\n\n", opts.GeneratedAt.Format(time.RFC3339))
+	}
+
+	writeSystemSection(w, fw.System())
+	if err := writeTraceSection(w, fw); err != nil {
+		return err
+	}
+	writeFrontSection(w, res, opts)
+	writeGuidanceSection(w, res, opts)
+	return writeMachineSection(w, fw, res)
+}
+
+func writeSystemSection(w io.Writer, sys *hcs.System) {
+	fmt.Fprintf(w, "## System\n\n")
+	fmt.Fprintf(w, "%d machines across %d machine types; %d task types.\n\n",
+		sys.NumMachines(), sys.NumMachineTypes(), sys.NumTaskTypes())
+	fmt.Fprintf(w, "| machine type | category | instances |\n|---|---|---|\n")
+	for mu, mt := range sys.MachineTypes {
+		fmt.Fprintf(w, "| %s | %s | %d |\n", mt.Name, mt.Category, len(sys.MachinesOfType(mu)))
+	}
+	fmt.Fprintln(w)
+}
+
+func writeTraceSection(w io.Writer, fw *core.Framework) error {
+	st, err := workload.Stats(fw.Trace(), fw.System())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Workload\n\n")
+	fmt.Fprintf(w, "%d tasks over %.0f s (%.3f tasks/s); offered load %.2f; "+
+		"utility upper bound %.1f; %d special-purpose tasks.\n\n",
+		st.NumTasks, st.Window, st.ArrivalRate, st.OfferedLoad, st.MaxUtility, st.SpecialPurposeTasks)
+	return nil
+}
+
+func writeFrontSection(w io.Writer, res *core.Result, opts Options) {
+	fmt.Fprintf(w, "## Pareto front\n\n")
+	fmt.Fprintf(w, "%d mutually nondominated allocations after %d generations; hypervolume %.4g.\n\n",
+		len(res.Front), res.Generations, res.Hypervolume)
+
+	chart := &plot.Chart{
+		XLabel: "total energy consumed (MJ)",
+		YLabel: "total utility earned",
+		Series: []plot.Series{{Name: "front"}},
+	}
+	for _, p := range res.Front {
+		chart.Series[0].Points = append(chart.Series[0].Points, plot.Point{X: p.Energy / 1e6, Y: p.Utility})
+	}
+	fmt.Fprintf(w, "```\n%s```\n\n", chart.ASCII(72, 18))
+
+	rows := len(res.Front)
+	step := 1
+	if rows > opts.MaxFrontRows {
+		step = (rows + opts.MaxFrontRows - 1) / opts.MaxFrontRows
+	}
+	fmt.Fprintf(w, "| # | energy (MJ) | utility | utility/MJ | note |\n|---|---|---|---|---|\n")
+	for i := 0; i < rows; i += step {
+		p := res.Front[i]
+		note := ""
+		switch {
+		case i == res.Region.PeakIndex:
+			note = "**max utility-per-energy**"
+		case i >= res.Region.Lo && i <= res.Region.Hi:
+			note = "efficient region"
+		}
+		fmt.Fprintf(w, "| %d | %.4f | %.1f | %.2f | %s |\n", i, p.Energy/1e6, p.Utility, p.UPE()*1e6, note)
+	}
+	if step > 1 {
+		fmt.Fprintf(w, "\n_(front downsampled 1:%d for brevity; %d solutions total)_\n", step, rows)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeGuidanceSection(w io.Writer, res *core.Result, opts Options) {
+	fmt.Fprintf(w, "## Operating-point guidance\n\n")
+	fmt.Fprintf(w, "Most efficient solution: **%.4f MJ for %.1f utility** (%.2f utility/MJ).\n\n",
+		res.Region.Peak.Energy/1e6, res.Region.Peak.Utility, res.Region.PeakUPE*1e6)
+	budgets := opts.Budgets
+	if budgets == nil {
+		lo := res.Front[0].Energy
+		hi := res.Front[len(res.Front)-1].Energy
+		for _, f := range []float64{1.0, 1.1, 1.25, 1.5} {
+			if b := lo * f; b <= hi*1.0001 {
+				budgets = append(budgets, b)
+			}
+		}
+		if len(budgets) == 0 {
+			budgets = []float64{hi}
+		}
+	}
+	fmt.Fprintf(w, "| energy budget (MJ) | best utility | solution |\n|---|---|---|\n")
+	for _, b := range budgets {
+		idx := analysis.BestUnderBudget(res.Front, b)
+		if idx < 0 {
+			fmt.Fprintf(w, "| %.4f | unattainable | - |\n", b/1e6)
+			continue
+		}
+		fmt.Fprintf(w, "| %.4f | %.1f | #%d |\n", b/1e6, res.Front[idx].Utility, idx)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeMachineSection(w io.Writer, fw *core.Framework, res *core.Result) error {
+	fmt.Fprintf(w, "## Recommended allocation (efficient-region peak)\n\n")
+	alloc := res.Allocations[res.Region.PeakIndex]
+	var sb strings.Builder
+	if err := fw.Evaluator().WriteReport(&sb, alloc); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "```\n%s```\n", sb.String())
+	return nil
+}
+
+// Render is a convenience that returns the report as a string.
+func Render(fw *core.Framework, res *core.Result, opts Options) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, fw, res, opts); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

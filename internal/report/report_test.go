@@ -1,0 +1,122 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tradeoff/internal/core"
+	"tradeoff/internal/data"
+	"tradeoff/internal/heuristics"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/workload"
+)
+
+func newResult(t *testing.T) (*core.Framework, *core.Result) {
+	t.Helper()
+	sys := data.RealSystem()
+	tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: 60, Window: 600}, rng.New(121))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.New(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fw.Optimize(core.Options{
+		Generations:    30,
+		PopulationSize: 16,
+		Seeds:          []heuristics.Heuristic{heuristics.MinEnergy, heuristics.MaxUtility},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, res
+}
+
+func TestRenderContainsAllSections(t *testing.T) {
+	fw, res := newResult(t)
+	out, err := Render(fw, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Utility/Energy Trade-off Analysis",
+		"## System",
+		"## Workload",
+		"## Pareto front",
+		"## Operating-point guidance",
+		"## Recommended allocation",
+		"max utility-per-energy",
+		"machine type",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "Generated ") {
+		t.Error("timestamp present without GeneratedAt")
+	}
+}
+
+func TestRenderTimestampAndTitle(t *testing.T) {
+	fw, res := newResult(t)
+	out, err := Render(fw, res, Options{
+		Title:       "Cluster X weekly review",
+		GeneratedAt: time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# Cluster X weekly review") {
+		t.Error("custom title missing")
+	}
+	if !strings.Contains(out, "2026-07-04T12:00:00Z") {
+		t.Error("timestamp missing")
+	}
+}
+
+func TestRenderDownsamplesLargeFronts(t *testing.T) {
+	fw, res := newResult(t)
+	out, err := Render(fw, res, Options{MaxFrontRows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) > 3 && !strings.Contains(out, "downsampled") {
+		t.Error("large front not downsampled")
+	}
+}
+
+func TestRenderCustomBudgets(t *testing.T) {
+	fw, res := newResult(t)
+	out, err := Render(fw, res, Options{Budgets: []float64{1, res.Front[0].Energy * 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "unattainable") {
+		t.Error("impossible budget should read unattainable")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	fw, res := newResult(t)
+	a, err := Render(fw, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Render(fw, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("report rendering not deterministic")
+	}
+}
+
+func TestWriteRejectsEmptyFront(t *testing.T) {
+	fw, _ := newResult(t)
+	var sb strings.Builder
+	if err := Write(&sb, fw, &core.Result{}, Options{}); err == nil {
+		t.Fatal("empty result accepted")
+	}
+}

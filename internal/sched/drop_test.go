@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"testing"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/workload"
+)
+
+func dropEval(t *testing.T, tasks int, window float64) *Evaluator {
+	t.Helper()
+	sys := data.RealSystem()
+	tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: tasks, Window: window}, rng.New(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDropNegligibleInvariants(t *testing.T) {
+	// A heavily overloaded instance (many tasks, short window) so that
+	// late tasks earn zero utility and are droppable.
+	e := dropEval(t, 300, 60)
+	src := rng.New(82)
+	for trial := 0; trial < 10; trial++ {
+		a := e.RandomAllocation(src)
+		base := e.Evaluate(a)
+		dropped, ev := DropNegligible(e, a, 0)
+		if err := e.Validate(dropped); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Energy > base.Energy+1e-9 {
+			t.Fatalf("dropping increased energy: %v -> %v", base.Energy, ev.Energy)
+		}
+		if ev.Utility < base.Utility-1e-9 {
+			t.Fatalf("dropping zero-utility tasks lost utility: %v -> %v", base.Utility, ev.Utility)
+		}
+	}
+}
+
+func TestDropNegligibleActuallyDrops(t *testing.T) {
+	e := dropEval(t, 300, 60)
+	a := e.RandomAllocation(rng.New(83))
+	dropped, ev := DropNegligible(e, a, 0)
+	n := 0
+	for _, m := range dropped.Machine {
+		if m == Dropped {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("overloaded instance should have droppable tasks")
+	}
+	if ev.Completed != a.Len()-n {
+		t.Fatalf("Completed %d inconsistent with %d drops of %d", ev.Completed, n, a.Len())
+	}
+}
+
+func TestDropNegligibleNoopWhenAllUseful(t *testing.T) {
+	// Deterministic scenario: the hand-built tiny instance from
+	// sched_test.go, whose three tasks all earn strictly positive
+	// utility under the arrival-order allocation.
+	e := newEval(t)
+	a := &Allocation{Machine: []int{0, 0, 0}, Order: []int{0, 1, 2}}
+	dropped, ev := DropNegligible(e, a, 0)
+	for i, m := range dropped.Machine {
+		if m == Dropped {
+			t.Fatalf("task %d dropped despite positive utility", i)
+		}
+	}
+	if ev != e.Evaluate(a) {
+		t.Fatal("no-op drop changed the evaluation")
+	}
+}
+
+func TestDropNegligibleThreshold(t *testing.T) {
+	e := dropEval(t, 150, 120)
+	a := e.RandomAllocation(rng.New(85))
+	_, evLow := DropNegligible(e, a, 0)
+	_, evHigh := DropNegligible(e, a, 1.0)
+	// A higher threshold can only drop a superset of tasks.
+	if evHigh.Completed > evLow.Completed {
+		t.Fatalf("higher threshold dropped fewer tasks: %d vs %d", evHigh.Completed, evLow.Completed)
+	}
+	if evHigh.Energy > evLow.Energy+1e-9 {
+		t.Fatalf("higher threshold used more energy")
+	}
+}
+
+func TestDropNegligibleDoesNotMutateInput(t *testing.T) {
+	e := dropEval(t, 100, 60)
+	a := e.RandomAllocation(rng.New(86))
+	before := append([]int(nil), a.Machine...)
+	DropNegligible(e, a, 0)
+	for i := range before {
+		if a.Machine[i] != before[i] {
+			t.Fatal("input allocation mutated")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/workload"
+)
+
+// referenceEvaluate is an independent, deliberately naive implementation
+// of the schedule semantics, used as a differential-testing oracle for
+// Session.Evaluate: build each machine's queue explicitly, sort it by
+// global order, and walk it accumulating start/completion times.
+func referenceEvaluate(e *Evaluator, a *Allocation) Evaluation {
+	type queued struct {
+		task  int
+		order int
+	}
+	queues := make(map[int][]queued)
+	for i := 0; i < a.Len(); i++ {
+		m := a.Machine[i]
+		if m == Dropped {
+			continue
+		}
+		queues[m] = append(queues[m], queued{task: i, order: a.Order[i]})
+	}
+	var ev Evaluation
+	tasks := e.Trace().Tasks
+	for m, q := range queues {
+		sort.Slice(q, func(x, y int) bool { return q[x].order < q[y].order })
+		clock := 0.0
+		for _, item := range q {
+			task := tasks[item.task]
+			start := math.Max(clock, task.Arrival)
+			completion := start + e.ETCInstance(task.Type, m)
+			clock = completion
+			ev.Utility += task.TUF.Value(completion - task.Arrival)
+			ev.Energy += e.EECInstance(task.Type, m)
+			ev.Makespan = math.Max(ev.Makespan, completion)
+			ev.Completed++
+		}
+	}
+	return ev
+}
+
+func TestEvaluateAgainstReferenceImplementation(t *testing.T) {
+	sys := data.RealSystem()
+	for _, n := range []int{1, 2, 10, 80, 250} {
+		tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: n, Window: 600}, rng.New(uint64(100+n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEvaluator(sys, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess := e.NewSession()
+		src := rng.New(uint64(200 + n))
+		for trial := 0; trial < 30; trial++ {
+			a := e.RandomAllocation(src)
+			got := sess.Evaluate(a)
+			want := referenceEvaluate(e, a)
+			if math.Abs(got.Utility-want.Utility) > 1e-9 ||
+				math.Abs(got.Energy-want.Energy) > 1e-9 ||
+				math.Abs(got.Makespan-want.Makespan) > 1e-9 ||
+				got.Completed != want.Completed {
+				t.Fatalf("n=%d trial %d: fast %+v vs reference %+v", n, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEvaluateAgainstReferenceWithDrops(t *testing.T) {
+	sys := data.RealSystem()
+	tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: 60, Window: 300}, rng.New(301))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AllowDropping = true
+	sess := e.NewSession()
+	src := rng.New(302)
+	for trial := 0; trial < 20; trial++ {
+		a := e.RandomAllocation(src)
+		for i := 0; i < a.Len(); i++ {
+			if src.Bool(0.3) {
+				a.Machine[i] = Dropped
+			}
+		}
+		got := sess.Evaluate(a)
+		want := referenceEvaluate(e, a)
+		if math.Abs(got.Utility-want.Utility) > 1e-9 || math.Abs(got.Energy-want.Energy) > 1e-9 ||
+			got.Completed != want.Completed {
+			t.Fatalf("trial %d: fast %+v vs reference %+v", trial, got, want)
+		}
+	}
+}
+
+func TestEvaluateAgainstReferenceOnEnlargedSystem(t *testing.T) {
+	// The special-purpose machine paths (Incapable entries) must agree
+	// too; use a capability-respecting random allocation.
+	sys := data.RealSystem()
+	// Build a minimal special-purpose system by hand to avoid importing
+	// datagen (cycle-free but heavier); reuse the tiny system style.
+	tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: 150, Window: 900, Arrival: workload.PoissonArrivals}, rng.New(303))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEvaluator(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := e.NewSession()
+	src := rng.New(304)
+	for trial := 0; trial < 20; trial++ {
+		a := e.RandomAllocation(src)
+		got := sess.Evaluate(a)
+		want := referenceEvaluate(e, a)
+		if math.Abs(got.Utility-want.Utility) > 1e-9 || math.Abs(got.Energy-want.Energy) > 1e-9 {
+			t.Fatalf("trial %d mismatch", trial)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGramCharlierQuantile builds expansions from fuzzed moments and
+// checks quantile/CDF consistency and PDF nonnegativity.
+func FuzzGramCharlierQuantile(f *testing.F) {
+	f.Add(0.0, 1.0, 0.0, 3.0, 0.5)
+	f.Add(50.0, 400.0, 0.9, 4.2, 0.25)
+	f.Add(-3.0, 0.1, -1.5, 8.0, 0.99)
+	f.Fuzz(func(t *testing.T, mean, variance, skew, kurt, p float64) {
+		g, err := NewGramCharlier(Moments{Mean: mean, Variance: variance, Skewness: skew, Kurtosis: kurt})
+		if err != nil {
+			return // invalid moments are rejected, which is fine
+		}
+		p = math.Abs(math.Mod(p, 1))
+		x := g.Quantile(p)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("Quantile(%v) = %v", p, x)
+		}
+		if c := g.CDF(x); c < -1e-9 || c > 1+1e-9 {
+			t.Fatalf("CDF(%v) = %v out of range", x, c)
+		}
+		if d := g.PDF(x); d < 0 || math.IsNaN(d) {
+			t.Fatalf("PDF(%v) = %v", x, d)
+		}
+	})
+}

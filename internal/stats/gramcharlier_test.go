@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tradeoff/internal/rng"
+)
+
+func TestGramCharlierRejectsBadMoments(t *testing.T) {
+	cases := []Moments{
+		{Mean: 1, Variance: 0},
+		{Mean: 1, Variance: -2},
+		{Mean: math.NaN(), Variance: 1},
+		{Mean: 1, Variance: 1, Skewness: math.Inf(1)},
+	}
+	for _, c := range cases {
+		if _, err := NewGramCharlier(c); err == nil {
+			t.Errorf("NewGramCharlier(%v) accepted invalid moments", c)
+		}
+	}
+}
+
+func TestGramCharlierReducesToNormal(t *testing.T) {
+	// With skew=0 and kurtosis=3 the correction terms vanish and the PDF
+	// must match the normal density.
+	g, err := NewGramCharlier(Moments{Mean: 5, Variance: 4, Skewness: 0, Kurtosis: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{1, 3, 5, 7, 9} {
+		z := (x - 5) / 2
+		want := math.Exp(-z*z/2) / (2 * math.Sqrt(2*math.Pi))
+		if got := g.PDF(x); !almost(got, want, 1e-3*want+1e-9) {
+			t.Errorf("PDF(%v) = %v, want normal %v", x, got, want)
+		}
+	}
+}
+
+func TestGramCharlierPDFNonNegative(t *testing.T) {
+	g, err := NewGramCharlier(Moments{Mean: 0, Variance: 1, Skewness: 1.5, Kurtosis: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := -8.0; z <= 8; z += 0.01 {
+		if g.PDF(z) < 0 {
+			t.Fatalf("PDF(%v) negative", z)
+		}
+	}
+}
+
+func TestGramCharlierCDFMonotone(t *testing.T) {
+	g, err := NewGramCharlier(Moments{Mean: 10, Variance: 9, Skewness: 0.8, Kurtosis: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := -10.0; x <= 30; x += 0.1 {
+		c := g.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, c, prev)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF(%v) = %v out of [0,1]", x, c)
+		}
+		prev = c
+	}
+	if g.CDF(-1e9) != 0 || g.CDF(1e9) != 1 {
+		t.Fatal("CDF tails wrong")
+	}
+}
+
+func TestGramCharlierQuantileInvertsCDF(t *testing.T) {
+	g, err := NewGramCharlier(Moments{Mean: 3, Variance: 2, Skewness: 0.5, Kurtosis: 3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x := g.Quantile(p)
+		if got := g.CDF(x); !almost(got, p, 1e-3) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestGramCharlierQuantileEdges(t *testing.T) {
+	g, err := NewGramCharlier(Moments{Mean: 0, Variance: 1, Skewness: 0, Kurtosis: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo := g.Quantile(0); !almost(lo, -gcTailSigmas, 1e-9) {
+		t.Fatalf("Quantile(0) = %v", lo)
+	}
+	if hi := g.Quantile(1); !almost(hi, gcTailSigmas, 1e-9) {
+		t.Fatalf("Quantile(1) = %v", hi)
+	}
+}
+
+func TestGramCharlierSamplerMatchesTargetMoments(t *testing.T) {
+	// Moderately skewed, heavy-tailed target, comparable to row-average
+	// execution-time distributions in the data sets.
+	target := Moments{Mean: 50, Variance: 400, Skewness: 0.9, Kurtosis: 4.2}
+	g, err := NewGramCharlier(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	xs := g.SampleN(src, 300000)
+	m := MustSampleMoments(xs)
+	if !almost(m.Mean, target.Mean, 0.5) {
+		t.Errorf("sample mean = %v, want ~%v", m.Mean, target.Mean)
+	}
+	if !almost(m.Variance, target.Variance, 0.06*target.Variance) {
+		t.Errorf("sample variance = %v, want ~%v", m.Variance, target.Variance)
+	}
+	if !almost(m.Skewness, target.Skewness, 0.2) {
+		t.Errorf("sample skewness = %v, want ~%v", m.Skewness, target.Skewness)
+	}
+	if !almost(m.Kurtosis, target.Kurtosis, 0.6) {
+		t.Errorf("sample kurtosis = %v, want ~%v", m.Kurtosis, target.Kurtosis)
+	}
+}
+
+func TestGramCharlierSamplerNormalTarget(t *testing.T) {
+	target := Moments{Mean: 0, Variance: 1, Skewness: 0, Kurtosis: 3}
+	g, err := NewGramCharlier(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(8)
+	m := MustSampleMoments(g.SampleN(src, 200000))
+	if !almost(m.Mean, 0, 0.02) || !almost(m.Variance, 1, 0.03) ||
+		!almost(m.Skewness, 0, 0.05) || !almost(m.Kurtosis, 3, 0.1) {
+		t.Fatalf("normal-target sample moments: %v", m)
+	}
+}
+
+func TestSamplePositive(t *testing.T) {
+	// Mean near zero so raw samples are frequently negative.
+	g, err := NewGramCharlier(Moments{Mean: 0.1, Variance: 1, Skewness: 0, Kurtosis: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	for i := 0; i < 5000; i++ {
+		if x := g.SamplePositive(src); x <= 0 {
+			t.Fatalf("SamplePositive returned %v", x)
+		}
+	}
+}
+
+func TestGramCharlierSampleDeterminism(t *testing.T) {
+	g, err := NewGramCharlier(Moments{Mean: 1, Variance: 1, Skewness: 0.3, Kurtosis: 3.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := g.SampleN(rng.New(5), 100)
+	b := g.SampleN(rng.New(5), 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("samples diverged at %d", i)
+		}
+	}
+}
+
+func TestGramCharlierQuantileMonotoneProperty(t *testing.T) {
+	g, err := NewGramCharlier(Moments{Mean: 2, Variance: 3, Skewness: -0.7, Kurtosis: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(a, b float64) bool {
+		p := math.Abs(math.Mod(a, 1))
+		q := math.Abs(math.Mod(b, 1))
+		if p > q {
+			p, q = q, p
+		}
+		return g.Quantile(p) <= g.Quantile(q)+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramCharlierPDFIntegratesToOne(t *testing.T) {
+	g, err := NewGramCharlier(Moments{Mean: 4, Variance: 2, Skewness: 1.0, Kurtosis: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var integral float64
+	const dx = 0.001
+	for x := 4 - 7*math.Sqrt(2.0); x <= 4+7*math.Sqrt(2.0); x += dx {
+		integral += g.PDF(x) * dx
+	}
+	if !almost(integral, 1, 0.01) {
+		t.Fatalf("PDF integrates to %v", integral)
+	}
+}
+
+func BenchmarkGramCharlierBuild(b *testing.B) {
+	target := Moments{Mean: 50, Variance: 400, Skewness: 0.9, Kurtosis: 4.2}
+	for i := 0; i < b.N; i++ {
+		if _, err := NewGramCharlier(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGramCharlierSample(b *testing.B) {
+	g, err := NewGramCharlier(Moments{Mean: 50, Variance: 400, Skewness: 0.9, Kurtosis: 4.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Sample(src)
+	}
+}

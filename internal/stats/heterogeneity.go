@@ -1,0 +1,100 @@
+package stats
+
+import "fmt"
+
+// Heterogeneity bundles the three standard heterogeneity measures used by
+// Al-Qawasmeh et al. and adopted by the paper for comparing data sets:
+// coefficient of variation, skewness, and kurtosis. Two data sets with
+// similar values for all three are considered to exhibit similar
+// heterogeneity.
+type Heterogeneity struct {
+	CV       float64
+	Skewness float64
+	Kurtosis float64
+}
+
+// MeasureHeterogeneity computes the heterogeneity measures of a sample.
+func MeasureHeterogeneity(xs []float64) (Heterogeneity, error) {
+	m, err := SampleMoments(xs)
+	if err != nil {
+		return Heterogeneity{}, err
+	}
+	return Heterogeneity{CV: m.CV(), Skewness: m.Skewness, Kurtosis: m.Kurtosis}, nil
+}
+
+// Distance returns a scale-free distance between two heterogeneity
+// signatures: the maximum relative discrepancy across the three measures.
+// Denominators are floored at 1 so near-zero measures do not explode the
+// metric.
+func (h Heterogeneity) Distance(o Heterogeneity) float64 {
+	rel := func(a, b float64) float64 {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		den := a
+		if den < 0 {
+			den = -den
+		}
+		if den < 1 {
+			den = 1
+		}
+		return d / den
+	}
+	worst := rel(h.CV, o.CV)
+	if d := rel(h.Skewness, o.Skewness); d > worst {
+		worst = d
+	}
+	if d := rel(h.Kurtosis, o.Kurtosis); d > worst {
+		worst = d
+	}
+	return worst
+}
+
+func (h Heterogeneity) String() string {
+	return fmt.Sprintf("CV=%.4g skew=%.4g kurt=%.4g", h.CV, h.Skewness, h.Kurtosis)
+}
+
+// RowAverages returns the mean of each row of a matrix stored as a slice
+// of rows. Rows may not be empty. Entries equal to skip are ignored (used
+// for "incapable" sentinel entries); a row whose entries are all skipped
+// averages to skip.
+func RowAverages(rows [][]float64, skip float64) []float64 {
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		var sum float64
+		var n int
+		for _, v := range row {
+			if v == skip {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			out[i] = skip
+			continue
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// ColumnRatios returns, for column j of the matrix, the per-row ratio
+// rows[i][j] / rowAvg[i]. Entries equal to skip (or rows whose average is
+// skip or zero) are omitted. This is the "task type execution time ratio"
+// of §III-D2: faster machines have ratios below one.
+func ColumnRatios(rows [][]float64, rowAvg []float64, col int, skip float64) []float64 {
+	var out []float64
+	for i, row := range rows {
+		if col >= len(row) {
+			continue
+		}
+		v := row[col]
+		if v == skip || rowAvg[i] == skip || rowAvg[i] == 0 {
+			continue
+		}
+		out = append(out, v/rowAvg[i])
+	}
+	return out
+}

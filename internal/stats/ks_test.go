@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"tradeoff/internal/rng"
+)
+
+func TestKSStatisticIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	d, err := KSStatistic(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSStatisticDisjoint(t *testing.T) {
+	d, err := KSStatistic([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSStatisticErrors(t *testing.T) {
+	if _, err := KSStatistic(nil, []float64{1}); err == nil {
+		t.Error("empty xs accepted")
+	}
+	if _, err := KSStatistic([]float64{1}, nil); err == nil {
+		t.Error("empty ys accepted")
+	}
+}
+
+func TestKSSameDistributionBelowCritical(t *testing.T) {
+	src := rng.New(1)
+	const n = 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = src.NormFloat64()
+		ys[i] = src.NormFloat64()
+	}
+	d, err := KSStatistic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(n, n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > crit {
+		t.Fatalf("same-distribution KS %v above critical %v", d, crit)
+	}
+}
+
+func TestKSDifferentDistributionsAboveCritical(t *testing.T) {
+	src := rng.New(2)
+	const n = 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = src.NormFloat64()
+		ys[i] = src.ExpFloat64()
+	}
+	d, err := KSStatistic(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(n, n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= crit {
+		t.Fatalf("different-distribution KS %v below critical %v", d, crit)
+	}
+}
+
+func TestKSOneSampleAgainstOwnCDF(t *testing.T) {
+	// Gram-Charlier samples tested against the generating CDF.
+	g, err := NewGramCharlier(Moments{Mean: 5, Variance: 4, Skewness: 0.6, Kurtosis: 3.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	xs := g.SampleN(src, 4000)
+	d, err := KSOneSample(xs, g.CDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-sample critical value ~ 1.63/sqrt(n) at alpha=0.01.
+	if crit := 1.63 / math.Sqrt(4000); d > crit {
+		t.Fatalf("sampler KS %v above critical %v — sampler does not match its CDF", d, crit)
+	}
+}
+
+func TestKSOneSampleErrors(t *testing.T) {
+	if _, err := KSOneSample(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestKSCriticalValueValidation(t *testing.T) {
+	if _, err := KSCriticalValue(0, 5, 0.05); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := KSCriticalValue(5, 5, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := KSCriticalValue(5, 5, 1); err == nil {
+		t.Error("alpha=1 accepted")
+	}
+	// Monotone in alpha: stricter alpha -> larger critical value.
+	strict, _ := KSCriticalValue(100, 100, 0.01)
+	loose, _ := KSCriticalValue(100, 100, 0.2)
+	if !(strict > loose) {
+		t.Fatalf("critical values not monotone: %v vs %v", strict, loose)
+	}
+}

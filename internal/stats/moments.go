@@ -1,0 +1,146 @@
+// Package stats implements the statistical machinery the analysis
+// framework relies on: descriptive moments, the heterogeneity measures of
+// Al-Qawasmeh et al. (coefficient of variation, skewness, kurtosis), and
+// the Gram-Charlier type-A expansion used to build probability density
+// functions that match a target mean/variance/skewness/kurtosis (mvsk)
+// tuple, together with an inverse-transform sampler over those PDFs.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Moments summarizes a sample by its first four standardized moments.
+// Skewness is the standardized third central moment; Kurtosis is the
+// standardized fourth central moment (3 for a normal distribution, i.e.
+// not excess kurtosis).
+type Moments struct {
+	Mean     float64
+	Variance float64
+	Skewness float64
+	Kurtosis float64
+}
+
+// StdDev returns the standard deviation.
+func (m Moments) StdDev() float64 { return math.Sqrt(m.Variance) }
+
+// CV returns the coefficient of variation (stddev / mean), the primary
+// heterogeneity measure of Al-Qawasmeh et al. It returns +Inf when the
+// mean is zero and the deviation is not.
+func (m Moments) CV() float64 {
+	sd := m.StdDev()
+	if m.Mean == 0 {
+		if sd == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return sd / m.Mean
+}
+
+func (m Moments) String() string {
+	return fmt.Sprintf("mean=%.6g var=%.6g skew=%.6g kurt=%.6g", m.Mean, m.Variance, m.Skewness, m.Kurtosis)
+}
+
+// ErrTooFewSamples is returned when a sample is too small for the
+// requested statistic.
+var ErrTooFewSamples = errors.New("stats: too few samples")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divide by n).
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - mu
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// SampleMoments computes the first four standardized moments of xs using
+// population (biased) central moments, which is the convention in the
+// heterogeneity-measures literature the paper builds on.
+func SampleMoments(xs []float64) (Moments, error) {
+	if len(xs) < 2 {
+		return Moments{}, fmt.Errorf("%w: need at least 2 samples, got %d", ErrTooFewSamples, len(xs))
+	}
+	mu := Mean(xs)
+	var m2, m3, m4 float64
+	for _, x := range xs {
+		d := x - mu
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	n := float64(len(xs))
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	m := Moments{Mean: mu, Variance: m2}
+	if m2 > 0 {
+		sd := math.Sqrt(m2)
+		m.Skewness = m3 / (sd * sd * sd)
+		m.Kurtosis = m4 / (m2 * m2)
+	} else {
+		// Degenerate constant sample: conventionally normal-shaped.
+		m.Skewness = 0
+		m.Kurtosis = 3
+	}
+	return m, nil
+}
+
+// MustSampleMoments is SampleMoments for callers that have already
+// validated the sample size; it panics on error.
+func MustSampleMoments(xs []float64) Moments {
+	m, err := SampleMoments(xs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tradeoff/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestVarianceConstant(t *testing.T) {
+	if got := Variance([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("Variance of constants = %v, want 0", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Population variance of {1,2,3,4} is 1.25.
+	if got := Variance([]float64{1, 2, 3, 4}); !almost(got, 1.25, 1e-12) {
+		t.Fatalf("Variance = %v, want 1.25", got)
+	}
+}
+
+func TestSampleMomentsTooFew(t *testing.T) {
+	if _, err := SampleMoments([]float64{1}); err == nil {
+		t.Fatal("expected error for single sample")
+	}
+}
+
+func TestSampleMomentsSymmetric(t *testing.T) {
+	m := MustSampleMoments([]float64{-2, -1, 0, 1, 2})
+	if !almost(m.Mean, 0, 1e-12) || !almost(m.Skewness, 0, 1e-12) {
+		t.Fatalf("symmetric sample: %v", m)
+	}
+}
+
+func TestSampleMomentsDegenerateKurtosis(t *testing.T) {
+	m := MustSampleMoments([]float64{3, 3, 3})
+	if m.Kurtosis != 3 || m.Skewness != 0 {
+		t.Fatalf("degenerate sample moments = %v", m)
+	}
+}
+
+func TestSampleMomentsOfNormalDraws(t *testing.T) {
+	src := rng.New(100)
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = 10 + 2*src.NormFloat64()
+	}
+	m := MustSampleMoments(xs)
+	if !almost(m.Mean, 10, 0.05) {
+		t.Errorf("mean = %v, want ~10", m.Mean)
+	}
+	if !almost(m.Variance, 4, 0.15) {
+		t.Errorf("variance = %v, want ~4", m.Variance)
+	}
+	if !almost(m.Skewness, 0, 0.05) {
+		t.Errorf("skewness = %v, want ~0", m.Skewness)
+	}
+	if !almost(m.Kurtosis, 3, 0.15) {
+		t.Errorf("kurtosis = %v, want ~3", m.Kurtosis)
+	}
+}
+
+func TestSampleMomentsOfExponentialDraws(t *testing.T) {
+	// Exponential(1): mean 1, var 1, skew 2, kurtosis 9.
+	src := rng.New(101)
+	xs := make([]float64, 400000)
+	for i := range xs {
+		xs[i] = src.ExpFloat64()
+	}
+	m := MustSampleMoments(xs)
+	if !almost(m.Mean, 1, 0.02) || !almost(m.Variance, 1, 0.05) {
+		t.Errorf("exp moments: %v", m)
+	}
+	if !almost(m.Skewness, 2, 0.15) {
+		t.Errorf("exp skewness = %v, want ~2", m.Skewness)
+	}
+	if !almost(m.Kurtosis, 9, 1.0) {
+		t.Errorf("exp kurtosis = %v, want ~9", m.Kurtosis)
+	}
+}
+
+func TestCV(t *testing.T) {
+	m := Moments{Mean: 10, Variance: 4}
+	if !almost(m.CV(), 0.2, 1e-12) {
+		t.Fatalf("CV = %v, want 0.2", m.CV())
+	}
+	z := Moments{Mean: 0, Variance: 4}
+	if !math.IsInf(z.CV(), 1) {
+		t.Fatalf("CV with zero mean should be +Inf, got %v", z.CV())
+	}
+	d := Moments{Mean: 0, Variance: 0}
+	if d.CV() != 0 {
+		t.Fatalf("CV of degenerate zero sample should be 0, got %v", d.CV())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max wrong: %v %v", Min(xs), Max(xs))
+	}
+}
+
+func TestMinPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMaxPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Max(nil) did not panic")
+		}
+	}()
+	Max(nil)
+}
+
+func TestMomentsShiftInvariance(t *testing.T) {
+	// Skewness and kurtosis are invariant under affine maps x -> a*x+b (a>0).
+	check := func(seed uint32) bool {
+		src := rng.New(uint64(seed))
+		xs := make([]float64, 64)
+		for i := range xs {
+			xs[i] = src.ExpFloat64()
+		}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = 3*x + 7
+		}
+		mx := MustSampleMoments(xs)
+		my := MustSampleMoments(ys)
+		return almost(mx.Skewness, my.Skewness, 1e-9) && almost(mx.Kurtosis, my.Kurtosis, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowAverages(t *testing.T) {
+	rows := [][]float64{{2, 4}, {6, 0}}
+	got := RowAverages(rows, -1)
+	if got[0] != 3 || got[1] != 3 {
+		t.Fatalf("RowAverages = %v", got)
+	}
+}
+
+func TestRowAveragesSkip(t *testing.T) {
+	rows := [][]float64{{2, -1, 4}, {-1, -1, -1}}
+	got := RowAverages(rows, -1)
+	if got[0] != 3 {
+		t.Fatalf("row 0 average = %v, want 3", got[0])
+	}
+	if got[1] != -1 {
+		t.Fatalf("all-skip row should average to skip, got %v", got[1])
+	}
+}
+
+func TestColumnRatios(t *testing.T) {
+	rows := [][]float64{{8, 12}, {5, 15}}
+	avg := RowAverages(rows, -1)
+	r0 := ColumnRatios(rows, avg, 0, -1)
+	if len(r0) != 2 || !almost(r0[0], 0.8, 1e-12) || !almost(r0[1], 0.5, 1e-12) {
+		t.Fatalf("ColumnRatios col 0 = %v", r0)
+	}
+}
+
+func TestColumnRatiosSkips(t *testing.T) {
+	rows := [][]float64{{-1, 12}, {5, 15}}
+	avg := RowAverages(rows, -1)
+	r0 := ColumnRatios(rows, avg, 0, -1)
+	if len(r0) != 1 {
+		t.Fatalf("expected one ratio, got %v", r0)
+	}
+}
+
+func TestHeterogeneityDistanceZero(t *testing.T) {
+	h := Heterogeneity{CV: 0.5, Skewness: 1, Kurtosis: 4}
+	if d := h.Distance(h); d != 0 {
+		t.Fatalf("self-distance = %v", d)
+	}
+}
+
+func TestHeterogeneityDistanceSymmetricInSign(t *testing.T) {
+	a := Heterogeneity{CV: 0.5, Skewness: 1, Kurtosis: 4}
+	b := Heterogeneity{CV: 0.6, Skewness: 1.5, Kurtosis: 5}
+	if !almost(a.Distance(b), 0.5, 1e-12) {
+		// max rel diff: CV (0.1/1 floored) -> 0.1; skew 0.5/1 -> 0.5; kurt 1/4 -> 0.25.
+		t.Fatalf("distance = %v, want 0.5", a.Distance(b))
+	}
+}
+
+func TestMeasureHeterogeneity(t *testing.T) {
+	h, err := MeasureHeterogeneity([]float64{1, 2, 3, 4, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CV <= 0 {
+		t.Fatalf("CV should be positive, got %v", h.CV)
+	}
+	if h.Skewness <= 0 {
+		t.Fatalf("right-tailed sample should have positive skew, got %v", h.Skewness)
+	}
+}

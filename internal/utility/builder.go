@@ -1,0 +1,58 @@
+package utility
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Breakpoint anchors a utility fraction at a time offset from arrival.
+type Breakpoint struct {
+	// T is the time since arrival in seconds.
+	T float64
+	// Frac is the fraction of priority earned at completion time T.
+	Frac float64
+}
+
+// FromBreakpoints builds a piecewise-linear monotone TUF through the
+// given (time, fraction) anchors: utility starts at the first anchor's
+// fraction, interpolates linearly between anchors, and stays at the last
+// anchor's fraction afterwards. Anchors are sorted by time; fractions
+// must be non-increasing in time, within [0,1], and times non-negative
+// with no duplicates.
+func FromBreakpoints(priority float64, points []Breakpoint) (*Function, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("utility: need at least 2 breakpoints, got %d", len(points))
+	}
+	ps := append([]Breakpoint(nil), points...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].T < ps[j].T })
+	if ps[0].T < 0 {
+		return nil, fmt.Errorf("utility: breakpoint time %v negative", ps[0].T)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].T == ps[i-1].T {
+			return nil, fmt.Errorf("utility: duplicate breakpoint time %v", ps[i].T)
+		}
+		if ps[i].Frac > ps[i-1].Frac {
+			return nil, fmt.Errorf("%w: fraction rises from %v to %v at t=%v",
+				ErrNotMonotone, ps[i-1].Frac, ps[i].Frac, ps[i].T)
+		}
+	}
+	var segs []Segment
+	// Leading plateau from 0 to the first anchor, if it starts after 0.
+	if ps[0].T > 0 {
+		segs = append(segs, Segment{Duration: ps[0].T, StartFrac: ps[0].Frac, EndFrac: ps[0].Frac, Shape: Constant})
+	}
+	for i := 1; i < len(ps); i++ {
+		shape := Linear
+		if ps[i].Frac == ps[i-1].Frac {
+			shape = Constant
+		}
+		segs = append(segs, Segment{
+			Duration:  ps[i].T - ps[i-1].T,
+			StartFrac: ps[i-1].Frac,
+			EndFrac:   ps[i].Frac,
+			Shape:     shape,
+		})
+	}
+	return New(priority, ps[len(ps)-1].Frac, segs...)
+}

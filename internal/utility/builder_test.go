@@ -1,0 +1,77 @@
+package utility
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFromBreakpointsBasic(t *testing.T) {
+	f, err := FromBreakpoints(10, []Breakpoint{
+		{T: 0, Frac: 1},
+		{T: 10, Frac: 1},
+		{T: 30, Frac: 0.5},
+		{T: 60, Frac: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Value(0); got != 10 {
+		t.Errorf("Value(0) = %v", got)
+	}
+	if got := f.Value(10); got != 10 {
+		t.Errorf("Value(10) = %v", got)
+	}
+	if got := f.Value(20); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("Value(20) = %v, want 7.5", got)
+	}
+	if got := f.Value(100); got != 0 {
+		t.Errorf("Value(100) = %v", got)
+	}
+}
+
+func TestFromBreakpointsLeadingPlateau(t *testing.T) {
+	f, err := FromBreakpoints(4, []Breakpoint{
+		{T: 5, Frac: 0.8},
+		{T: 15, Frac: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Value(0); math.Abs(got-3.2) > 1e-12 {
+		t.Errorf("Value(0) = %v, want plateau at 3.2", got)
+	}
+	// Tail holds the last fraction.
+	if got := f.Value(1000); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Value(tail) = %v, want 0.8", got)
+	}
+}
+
+func TestFromBreakpointsSortsInput(t *testing.T) {
+	f, err := FromBreakpoints(1, []Breakpoint{
+		{T: 30, Frac: 0},
+		{T: 0, Frac: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Value(0) != 1 {
+		t.Fatal("unsorted input mishandled")
+	}
+}
+
+func TestFromBreakpointsRejectsBadInput(t *testing.T) {
+	if _, err := FromBreakpoints(1, []Breakpoint{{T: 0, Frac: 1}}); err == nil {
+		t.Error("single breakpoint accepted")
+	}
+	if _, err := FromBreakpoints(1, []Breakpoint{{T: -1, Frac: 1}, {T: 5, Frac: 0}}); err == nil {
+		t.Error("negative time accepted")
+	}
+	if _, err := FromBreakpoints(1, []Breakpoint{{T: 0, Frac: 1}, {T: 0, Frac: 0.5}}); err == nil {
+		t.Error("duplicate time accepted")
+	}
+	_, err := FromBreakpoints(1, []Breakpoint{{T: 0, Frac: 0.5}, {T: 5, Frac: 0.9}})
+	if !errors.Is(err, ErrNotMonotone) {
+		t.Errorf("rising fractions: err = %v", err)
+	}
+}

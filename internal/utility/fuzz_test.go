@@ -1,0 +1,38 @@
+package utility
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFunctionMonotone builds two-segment functions from fuzzed
+// parameters; every function Validate accepts must be monotonically
+// non-increasing and bounded by [0, MaxValue].
+func FuzzFunctionMonotone(f *testing.F) {
+	f.Add(10.0, 5.0, 0.8, 7.0, 0.3, 12.0, 30.0)
+	f.Add(1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 2.0)
+	f.Fuzz(func(t *testing.T, priority, d1, frac1, d2, frac2, t1, t2 float64) {
+		fn := &Function{
+			Priority: priority,
+			Segments: []Segment{
+				{Duration: d1, StartFrac: 1, EndFrac: frac1, Shape: Linear},
+				{Duration: d2, StartFrac: frac1, EndFrac: frac2, Shape: Linear},
+			},
+		}
+		if fn.Validate() != nil {
+			return
+		}
+		a := math.Abs(math.Mod(t1, 1000))
+		b := math.Abs(math.Mod(t2, 1000))
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := fn.Value(a), fn.Value(b)
+		if vb > va+1e-9 {
+			t.Fatalf("V(%v)=%v > V(%v)=%v", b, vb, a, va)
+		}
+		if va < 0 || va > fn.MaxValue()+1e-9 {
+			t.Fatalf("value %v outside [0, %v]", va, fn.MaxValue())
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package utility implements the time-utility functions (TUFs) of the
+// paper's §IV-B1, following the model of Briceno et al. (HCW 2011):
+// every task is assigned a monotonically decreasing function of its
+// completion time built from three ingredients —
+//
+//   - priority: the maximum utility the task can earn,
+//   - urgency: how quickly utility decays,
+//   - utility characteristic class: a partition of time into discrete
+//     intervals, each holding beginning/ending percentages of the maximum
+//     priority and a shape controlling the decay inside the interval.
+//
+// A Function is a priority plus an ordered list of segments; evaluating
+// it at the time elapsed between a task's arrival and its completion
+// yields the utility earned. Tasks with hard deadlines are modeled by
+// functions that decay to zero at the deadline.
+package utility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Shape selects how utility decays inside a segment.
+type Shape int
+
+const (
+	// Constant holds the segment's start fraction for its whole duration
+	// (plateaus, as in the paper's Fig. 1).
+	Constant Shape = iota
+	// Linear interpolates from the start fraction to the end fraction.
+	Linear
+	// Exponential decays geometrically from the start fraction to the end
+	// fraction (both must be positive).
+	Exponential
+)
+
+func (s Shape) String() string {
+	switch s {
+	case Constant:
+		return "constant"
+	case Linear:
+		return "linear"
+	case Exponential:
+		return "exponential"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// Segment is one interval of a utility characteristic class. Fractions
+// are of the function's priority; Duration is in the same time unit as
+// task completion times (seconds throughout this repository).
+type Segment struct {
+	Duration  float64
+	StartFrac float64
+	EndFrac   float64
+	Shape     Shape
+}
+
+// Function is a complete time-utility function. The zero value is not
+// valid; use New or a preset and check Validate.
+type Function struct {
+	// Priority is the maximum utility the task could earn (the paper's
+	// "how important a task is").
+	Priority float64
+	// Segments partition time after arrival. Time past the last segment
+	// earns TailFrac × Priority.
+	Segments []Segment
+	// TailFrac is the fraction earned after all segments have elapsed
+	// (commonly 0; hard-deadline tasks always use 0).
+	TailFrac float64
+}
+
+// New constructs and validates a Function.
+func New(priority float64, tailFrac float64, segments ...Segment) (*Function, error) {
+	f := &Function{Priority: priority, Segments: segments, TailFrac: tailFrac}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ErrNotMonotone is returned by Validate for functions that would
+// increase somewhere.
+var ErrNotMonotone = errors.New("utility: function is not monotonically decreasing")
+
+// Validate checks that the function is well formed and monotonically
+// non-increasing: priority positive; durations positive; fractions within
+// [0,1]; within each segment EndFrac ≤ StartFrac; across segment
+// boundaries the next StartFrac does not exceed the previous EndFrac; the
+// tail does not exceed the last EndFrac; and Exponential segments have
+// positive endpoints.
+func (f *Function) Validate() error {
+	if !(f.Priority > 0) || math.IsInf(f.Priority, 0) || math.IsNaN(f.Priority) {
+		return fmt.Errorf("utility: priority %v, want finite > 0", f.Priority)
+	}
+	if len(f.Segments) == 0 {
+		return fmt.Errorf("utility: function needs at least one segment")
+	}
+	if f.TailFrac < 0 || f.TailFrac > 1 {
+		return fmt.Errorf("utility: tail fraction %v outside [0,1]", f.TailFrac)
+	}
+	prevEnd := 1.0
+	for i, seg := range f.Segments {
+		if !(seg.Duration > 0) || math.IsInf(seg.Duration, 0) || math.IsNaN(seg.Duration) {
+			return fmt.Errorf("utility: segment %d duration %v, want finite > 0", i, seg.Duration)
+		}
+		if seg.StartFrac < 0 || seg.StartFrac > 1 || seg.EndFrac < 0 || seg.EndFrac > 1 {
+			return fmt.Errorf("utility: segment %d fractions (%v, %v) outside [0,1]", i, seg.StartFrac, seg.EndFrac)
+		}
+		if seg.EndFrac > seg.StartFrac {
+			return fmt.Errorf("%w: segment %d rises from %v to %v", ErrNotMonotone, i, seg.StartFrac, seg.EndFrac)
+		}
+		if seg.StartFrac > prevEnd {
+			return fmt.Errorf("%w: segment %d starts at %v above previous end %v", ErrNotMonotone, i, seg.StartFrac, prevEnd)
+		}
+		if seg.Shape == Exponential && (seg.StartFrac <= 0 || seg.EndFrac <= 0) {
+			return fmt.Errorf("utility: segment %d is exponential but has a non-positive endpoint", i)
+		}
+		if seg.Shape == Constant && seg.EndFrac != seg.StartFrac {
+			return fmt.Errorf("utility: segment %d is constant but start %v != end %v", i, seg.StartFrac, seg.EndFrac)
+		}
+		switch seg.Shape {
+		case Constant, Linear, Exponential:
+		default:
+			return fmt.Errorf("utility: segment %d has unknown shape %d", i, seg.Shape)
+		}
+		prevEnd = seg.EndFrac
+	}
+	if f.TailFrac > prevEnd {
+		return fmt.Errorf("%w: tail fraction %v above final segment end %v", ErrNotMonotone, f.TailFrac, prevEnd)
+	}
+	return nil
+}
+
+// Value returns the utility earned by a task that completes elapsed time
+// units after its arrival (the paper's Υ evaluated at the completion
+// time). Negative elapsed values are treated as zero; completion cannot
+// precede arrival.
+func (f *Function) Value(elapsed float64) float64 {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	t := elapsed
+	for _, seg := range f.Segments {
+		if t < seg.Duration {
+			return f.Priority * segValue(seg, t)
+		}
+		t -= seg.Duration
+	}
+	return f.Priority * f.TailFrac
+}
+
+func segValue(seg Segment, t float64) float64 {
+	switch seg.Shape {
+	case Constant:
+		return seg.StartFrac
+	case Linear:
+		return seg.StartFrac + (seg.EndFrac-seg.StartFrac)*(t/seg.Duration)
+	case Exponential:
+		// Geometric interpolation start * (end/start)^(t/d).
+		return seg.StartFrac * math.Pow(seg.EndFrac/seg.StartFrac, t/seg.Duration)
+	default:
+		panic(fmt.Sprintf("utility: unknown shape %d", seg.Shape))
+	}
+}
+
+// MaxValue returns the largest utility the function can award (value at
+// completion immediately upon arrival).
+func (f *Function) MaxValue() float64 {
+	if len(f.Segments) == 0 {
+		return 0
+	}
+	return f.Priority * f.Segments[0].StartFrac
+}
+
+// Horizon returns the total duration covered by the segments; beyond it
+// the function is flat at TailFrac × Priority.
+func (f *Function) Horizon() float64 {
+	var d float64
+	for _, seg := range f.Segments {
+		d += seg.Duration
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (f *Function) Clone() *Function {
+	return &Function{
+		Priority: f.Priority,
+		Segments: append([]Segment(nil), f.Segments...),
+		TailFrac: f.TailFrac,
+	}
+}
+
+// StepDeadline returns a hard-deadline TUF: full priority until the
+// deadline, zero afterwards.
+func StepDeadline(priority, deadline float64) *Function {
+	f, err := New(priority, 0, Segment{Duration: deadline, StartFrac: 1, EndFrac: 1, Shape: Constant})
+	if err != nil {
+		panic(err) // only reachable with invalid arguments
+	}
+	return f
+}
+
+// LinearDecay returns a TUF that decays linearly from full priority to
+// zero over the given horizon.
+func LinearDecay(priority, horizon float64) *Function {
+	f, err := New(priority, 0, Segment{Duration: horizon, StartFrac: 1, EndFrac: 0, Shape: Linear})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ExponentialDecay returns a TUF that decays geometrically from full
+// priority to floorFrac over the horizon, then drops to zero.
+func ExponentialDecay(priority, horizon, floorFrac float64) *Function {
+	f, err := New(priority, 0, Segment{Duration: horizon, StartFrac: 1, EndFrac: floorFrac, Shape: Exponential})
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Figure1 reproduces the paper's sample task time-utility function: a
+// plateaued, monotonically decreasing function whose value is 12 units at
+// completion time 20 and 7 units at completion time 47.
+func Figure1() *Function {
+	f, err := New(15, 0,
+		Segment{Duration: 15, StartFrac: 1, EndFrac: 1, Shape: Constant},                 // 15 units until t=15
+		Segment{Duration: 20, StartFrac: 12.0 / 15, EndFrac: 12.0 / 15, Shape: Constant}, // 12 units on [15,35)
+		Segment{Duration: 25, StartFrac: 7.0 / 15, EndFrac: 7.0 / 15, Shape: Constant},   // 7 units on [35,60)
+	)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,258 @@
+package utility
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tradeoff/internal/rng"
+)
+
+func TestValidateRejectsBadPriority(t *testing.T) {
+	for _, p := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := New(p, 0, Segment{Duration: 1, StartFrac: 1, EndFrac: 1, Shape: Constant}); err == nil {
+			t.Errorf("priority %v accepted", p)
+		}
+	}
+}
+
+func TestValidateRejectsNoSegments(t *testing.T) {
+	if _, err := New(1, 0); err == nil {
+		t.Fatal("empty segment list accepted")
+	}
+}
+
+func TestValidateRejectsRisingSegment(t *testing.T) {
+	_, err := New(1, 0, Segment{Duration: 1, StartFrac: 0.5, EndFrac: 0.8, Shape: Linear})
+	if !errors.Is(err, ErrNotMonotone) {
+		t.Fatalf("rising segment: err = %v, want ErrNotMonotone", err)
+	}
+}
+
+func TestValidateRejectsRisingBoundary(t *testing.T) {
+	_, err := New(1, 0,
+		Segment{Duration: 1, StartFrac: 1, EndFrac: 0.3, Shape: Linear},
+		Segment{Duration: 1, StartFrac: 0.9, EndFrac: 0.1, Shape: Linear},
+	)
+	if !errors.Is(err, ErrNotMonotone) {
+		t.Fatalf("rising boundary: err = %v, want ErrNotMonotone", err)
+	}
+}
+
+func TestValidateRejectsRisingTail(t *testing.T) {
+	_, err := New(1, 0.5, Segment{Duration: 1, StartFrac: 1, EndFrac: 0.2, Shape: Linear})
+	if !errors.Is(err, ErrNotMonotone) {
+		t.Fatalf("rising tail: err = %v, want ErrNotMonotone", err)
+	}
+}
+
+func TestValidateRejectsExponentialToZero(t *testing.T) {
+	if _, err := New(1, 0, Segment{Duration: 1, StartFrac: 1, EndFrac: 0, Shape: Exponential}); err == nil {
+		t.Fatal("exponential segment reaching zero accepted")
+	}
+}
+
+func TestValidateRejectsBadDurations(t *testing.T) {
+	for _, d := range []float64{0, -2, math.NaN(), math.Inf(1)} {
+		if _, err := New(1, 0, Segment{Duration: d, StartFrac: 1, EndFrac: 1, Shape: Constant}); err == nil {
+			t.Errorf("duration %v accepted", d)
+		}
+	}
+}
+
+func TestValidateRejectsNonConstantConstant(t *testing.T) {
+	if _, err := New(1, 0, Segment{Duration: 1, StartFrac: 1, EndFrac: 0.5, Shape: Constant}); err == nil {
+		t.Fatal("constant segment with differing endpoints accepted")
+	}
+}
+
+func TestValidateRejectsUnknownShape(t *testing.T) {
+	if _, err := New(1, 0, Segment{Duration: 1, StartFrac: 1, EndFrac: 1, Shape: Shape(42)}); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestValidateRejectsFractionsOutOfRange(t *testing.T) {
+	if _, err := New(1, 0, Segment{Duration: 1, StartFrac: 1.2, EndFrac: 1, Shape: Linear}); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := New(1, -0.1, Segment{Duration: 1, StartFrac: 1, EndFrac: 1, Shape: Constant}); err == nil {
+		t.Fatal("tail fraction < 0 accepted")
+	}
+}
+
+func TestFigure1Values(t *testing.T) {
+	f := Figure1()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The two calibration points the paper reads off Fig. 1.
+	if got := f.Value(20); got != 12 {
+		t.Errorf("Value(20) = %v, want 12", got)
+	}
+	if got := f.Value(47); got != 7 {
+		t.Errorf("Value(47) = %v, want 7", got)
+	}
+	if got := f.Value(0); got != 15 {
+		t.Errorf("Value(0) = %v, want 15", got)
+	}
+	if got := f.Value(1000); got != 0 {
+		t.Errorf("Value(1000) = %v, want 0", got)
+	}
+}
+
+func TestLinearDecay(t *testing.T) {
+	f := LinearDecay(10, 100)
+	if got := f.Value(0); got != 10 {
+		t.Errorf("Value(0) = %v", got)
+	}
+	if got := f.Value(50); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Value(50) = %v, want 5", got)
+	}
+	if got := f.Value(100); got != 0 {
+		t.Errorf("Value(100) = %v, want 0", got)
+	}
+}
+
+func TestStepDeadline(t *testing.T) {
+	f := StepDeadline(8, 60)
+	if f.Value(59.999) != 8 {
+		t.Error("utility before deadline should be full priority")
+	}
+	if f.Value(60) != 0 {
+		t.Error("utility at deadline should be zero")
+	}
+}
+
+func TestExponentialDecay(t *testing.T) {
+	f := ExponentialDecay(10, 100, 0.1)
+	if math.Abs(f.Value(0)-10) > 1e-12 {
+		t.Errorf("Value(0) = %v", f.Value(0))
+	}
+	if got := f.Value(100); math.Abs(got-0) > 1e-12 {
+		t.Errorf("Value(100) = %v, want 0 (tail)", got)
+	}
+	// Midpoint of a geometric decay from 1 to 0.1 is sqrt(0.1)*10.
+	if got, want := f.Value(50), 10*math.Sqrt(0.1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Value(50) = %v, want %v", got, want)
+	}
+}
+
+func TestValueNegativeElapsed(t *testing.T) {
+	f := LinearDecay(10, 100)
+	if f.Value(-5) != f.Value(0) {
+		t.Fatal("negative elapsed should clamp to 0")
+	}
+}
+
+func TestMonotoneProperty(t *testing.T) {
+	// Any validated function must be non-increasing; probe with random
+	// multi-segment functions and random evaluation pairs.
+	src := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		f := randomFunction(src)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("randomFunction produced invalid TUF: %v", err)
+		}
+		h := f.Horizon()
+		prevT, prevV := 0.0, f.Value(0)
+		for i := 0; i < 50; i++ {
+			dt := src.Range(0, h*1.2)
+			if dt < prevT {
+				continue
+			}
+			v := f.Value(dt)
+			if v > prevV+1e-9 {
+				t.Fatalf("function increased: V(%v)=%v > V(%v)=%v", dt, v, prevT, prevV)
+			}
+			prevT, prevV = dt, v
+		}
+	}
+}
+
+// randomFunction builds a random valid monotone TUF.
+func randomFunction(src *rng.Source) *Function {
+	n := 1 + src.Intn(4)
+	segs := make([]Segment, 0, n)
+	cur := 1.0
+	for i := 0; i < n; i++ {
+		end := cur * src.Range(0.2, 1.0)
+		shape := Shape(src.Intn(3))
+		switch shape {
+		case Constant:
+			end = cur
+		case Exponential:
+			if end <= 0 {
+				end = cur * 0.5
+			}
+		}
+		segs = append(segs, Segment{
+			Duration:  src.Range(1, 50),
+			StartFrac: cur,
+			EndFrac:   end,
+			Shape:     shape,
+		})
+		cur = end * src.Range(0.5, 1.0) // allow drops at boundaries
+		if i < n-1 {
+			segs[len(segs)-1].EndFrac = end
+		}
+		cur = end
+	}
+	f, err := New(src.Range(1, 20), 0, segs...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestValueWithinBounds(t *testing.T) {
+	check := func(seed uint32, elapsedRaw float64) bool {
+		src := rng.New(uint64(seed))
+		f := randomFunction(src)
+		elapsed := math.Abs(math.Mod(elapsedRaw, 1000))
+		v := f.Value(elapsed)
+		return v >= 0 && v <= f.MaxValue()+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxValueAndHorizon(t *testing.T) {
+	f := Figure1()
+	if f.MaxValue() != 15 {
+		t.Fatalf("MaxValue = %v", f.MaxValue())
+	}
+	if f.Horizon() != 60 {
+		t.Fatalf("Horizon = %v", f.Horizon())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	f := Figure1()
+	c := f.Clone()
+	c.Segments[0].Duration = 999
+	c.Priority = 1
+	if f.Segments[0].Duration == 999 || f.Priority == 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	for s, want := range map[Shape]string{Constant: "constant", Linear: "linear", Exponential: "exponential"} {
+		if s.String() != want {
+			t.Errorf("Shape(%d).String() = %q", s, s.String())
+		}
+	}
+	if Shape(9).String() == "" {
+		t.Error("unknown shape empty string")
+	}
+}
+
+func BenchmarkValue(b *testing.B) {
+	f := Figure1()
+	for i := 0; i < b.N; i++ {
+		_ = f.Value(float64(i % 80))
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tradeoff/internal/hcs"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/utility"
+)
+
+// ImportCSV reads a trace recorded by an external system — the paper's
+// claim that the framework can "take traces from any given system" and
+// analyze them. The CSV needs a header with at least:
+//
+//	arrival     seconds from trace start
+//	task_type   a task-type name (matched against the system) or index
+//
+// and optionally:
+//
+//	priority    maximum utility (with horizon, builds a linear-decay TUF)
+//	horizon     seconds until utility reaches zero
+//
+// Tasks without priority/horizon columns get TUFs from the policy (nil
+// means DefaultTUFPolicy, driven by src). Rows may be unordered; the
+// window is the last arrival unless a larger one is given.
+func ImportCSV(r io.Reader, sys *hcs.System, window float64, policy TUFPolicy, src *rng.Source) (*Trace, error) {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading CSV: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("workload: CSV needs a header and at least one row")
+	}
+	col := map[string]int{}
+	for i, h := range records[0] {
+		col[strings.ToLower(strings.TrimSpace(h))] = i
+	}
+	arrivalCol, ok := col["arrival"]
+	if !ok {
+		return nil, fmt.Errorf("workload: CSV missing arrival column")
+	}
+	typeCol, ok := col["task_type"]
+	if !ok {
+		return nil, fmt.Errorf("workload: CSV missing task_type column")
+	}
+	prioCol, hasPrio := col["priority"]
+	horizonCol, hasHorizon := col["horizon"]
+	if hasPrio != hasHorizon {
+		return nil, fmt.Errorf("workload: priority and horizon columns must appear together")
+	}
+	byName := map[string]int{}
+	for i, tt := range sys.TaskTypes {
+		byName[strings.ToLower(tt.Name)] = i
+	}
+	if policy == nil {
+		policy = NewDefaultTUFPolicy(sys)
+	}
+	if src == nil {
+		src = rng.New(1)
+	}
+
+	type row struct {
+		arrival float64
+		ttype   int
+		tuf     *utility.Function
+	}
+	rows := make([]row, 0, len(records)-1)
+	for ln, rec := range records[1:] {
+		get := func(c int) string { return strings.TrimSpace(rec[c]) }
+		if arrivalCol >= len(rec) || typeCol >= len(rec) {
+			return nil, fmt.Errorf("workload: row %d too short", ln+2)
+		}
+		arrival, err := strconv.ParseFloat(get(arrivalCol), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: row %d arrival: %w", ln+2, err)
+		}
+		typeField := get(typeCol)
+		ttype, ok := byName[strings.ToLower(typeField)]
+		if !ok {
+			idx, err := strconv.Atoi(typeField)
+			if err != nil || idx < 0 || idx >= sys.NumTaskTypes() {
+				return nil, fmt.Errorf("workload: row %d unknown task type %q", ln+2, typeField)
+			}
+			ttype = idx
+		}
+		var tuf *utility.Function
+		if hasPrio && prioCol < len(rec) && get(prioCol) != "" {
+			prio, err := strconv.ParseFloat(get(prioCol), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d priority: %w", ln+2, err)
+			}
+			horizon, err := strconv.ParseFloat(get(horizonCol), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d horizon: %w", ln+2, err)
+			}
+			if !(prio > 0) || !(horizon > 0) {
+				return nil, fmt.Errorf("workload: row %d priority/horizon must be positive", ln+2)
+			}
+			tuf = utility.LinearDecay(prio, horizon)
+		} else {
+			tuf = policy.NewTUF(src, ttype)
+		}
+		rows = append(rows, row{arrival: arrival, ttype: ttype, tuf: tuf})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].arrival < rows[j].arrival })
+
+	tr := &Trace{Window: window}
+	for i, r := range rows {
+		tr.Tasks = append(tr.Tasks, Task{ID: i, Type: r.ttype, Arrival: r.arrival, TUF: r.tuf})
+		if r.arrival > tr.Window {
+			tr.Window = r.arrival
+		}
+	}
+	if tr.Window <= 0 {
+		tr.Window = 1
+	}
+	if err := tr.Validate(sys); err != nil {
+		return nil, fmt.Errorf("workload: imported trace invalid: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/rng"
+)
+
+func TestImportCSVWithTUFColumns(t *testing.T) {
+	sys := data.RealSystem()
+	csvData := `arrival,task_type,priority,horizon
+30,C-Ray,10,600
+5,7-Zip Compression,4,300
+10,2,8,450
+`
+	tr, err := ImportCSV(strings.NewReader(csvData), sys, 900, nil, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTasks() != 3 || tr.Window != 900 {
+		t.Fatalf("trace shape: %d tasks, window %v", tr.NumTasks(), tr.Window)
+	}
+	// Sorted by arrival: 5, 10, 30.
+	if tr.Tasks[0].Arrival != 5 || tr.Tasks[2].Arrival != 30 {
+		t.Fatalf("arrivals not sorted: %v %v", tr.Tasks[0].Arrival, tr.Tasks[2].Arrival)
+	}
+	// Task named by index 2 resolves to Warsow.
+	if tr.Tasks[1].Type != 2 {
+		t.Fatalf("numeric task type = %d", tr.Tasks[1].Type)
+	}
+	// Names resolved case-insensitively.
+	if tr.Tasks[2].Type != 0 {
+		t.Fatalf("C-Ray resolved to %d", tr.Tasks[2].Type)
+	}
+	// TUF built from priority/horizon: linear decay.
+	if got := tr.Tasks[2].TUF.Value(0); got != 10 {
+		t.Fatalf("TUF max = %v", got)
+	}
+	if got := tr.Tasks[2].TUF.Value(600); got != 0 {
+		t.Fatalf("TUF at horizon = %v", got)
+	}
+}
+
+func TestImportCSVPolicyFallback(t *testing.T) {
+	sys := data.RealSystem()
+	csvData := "arrival,task_type\n0,C-Ray\n9,Warsow\n"
+	tr, err := ImportCSV(strings.NewReader(csvData), sys, 0, nil, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window defaults to the last arrival.
+	if tr.Window != 9 {
+		t.Fatalf("window = %v", tr.Window)
+	}
+	for _, task := range tr.Tasks {
+		if task.TUF == nil || task.TUF.Validate() != nil {
+			t.Fatal("policy TUF missing or invalid")
+		}
+	}
+}
+
+func TestImportCSVErrors(t *testing.T) {
+	sys := data.RealSystem()
+	cases := map[string]string{
+		"no header rows":     "arrival,task_type\n",
+		"missing arrival":    "task_type\nC-Ray\n",
+		"missing task_type":  "arrival\n5\n",
+		"bad arrival":        "arrival,task_type\nxx,C-Ray\n",
+		"unknown type":       "arrival,task_type\n5,NoSuchTask\n",
+		"index out of range": "arrival,task_type\n5,99\n",
+		"priority only":      "arrival,task_type,priority\n5,C-Ray,3\n",
+		"bad priority":       "arrival,task_type,priority,horizon\n5,C-Ray,xx,10\n",
+		"zero horizon":       "arrival,task_type,priority,horizon\n5,C-Ray,3,0\n",
+	}
+	for name, csvData := range cases {
+		if _, err := ImportCSV(strings.NewReader(csvData), sys, 100, nil, rng.New(1)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestImportCSVRoundTripThroughEvaluator(t *testing.T) {
+	// Imported traces must drive the full pipeline.
+	sys := data.RealSystem()
+	var sb strings.Builder
+	sb.WriteString("arrival,task_type,priority,horizon\n")
+	src := rng.New(3)
+	for i := 0; i < 50; i++ {
+		sb.WriteString(strings.Join([]string{
+			fmtF(src.Range(0, 600)),
+			sys.TaskTypes[src.Intn(5)].Name,
+			fmtF(src.Range(1, 10)),
+			fmtF(src.Range(100, 900)),
+		}, ",") + "\n")
+	}
+	tr, err := ImportCSV(strings.NewReader(sb.String()), sys, 600, nil, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTasks() != 50 {
+		t.Fatalf("%d tasks", tr.NumTasks())
+	}
+	if _, err := Stats(tr, sys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtF(v float64) string {
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tradeoff/internal/hcs"
+)
+
+// JSON serialization for traces. TUFs serialize structurally (priority,
+// segments, tail); decoded traces are validated against the target
+// system before use.
+
+// MarshalJSON implements json.Marshaler for Trace.
+func (tr *Trace) MarshalJSON() ([]byte, error) {
+	type alias Trace // avoid recursion
+	return json.Marshal((*alias)(tr))
+}
+
+// DecodeTrace parses a trace from JSON and validates it against sys.
+func DecodeTrace(raw []byte, sys *hcs.System) (*Trace, error) {
+	var tr Trace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if err := tr.Validate(sys); err != nil {
+		return nil, fmt.Errorf("workload: decoded trace invalid: %w", err)
+	}
+	return &tr, nil
+}
+
+// EncodeTrace renders a trace as indented JSON.
+func EncodeTrace(tr *Trace) ([]byte, error) {
+	return json.MarshalIndent(tr, "", "  ")
+}

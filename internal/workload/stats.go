@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tradeoff/internal/hcs"
+)
+
+// TraceStats summarizes a trace against a system, the numbers a system
+// administrator checks before trusting an analysis run.
+type TraceStats struct {
+	NumTasks int
+	Window   float64
+	// ArrivalRate is tasks per second.
+	ArrivalRate float64
+	// TypeCounts maps task type index to its task count.
+	TypeCounts []int
+	// OfferedLoad is the total average execution demand (Σ mean ETC over
+	// capable machine types per task) divided by machine-seconds
+	// available in the window. Values near or above 1 mean the window
+	// alone cannot absorb the work and queues must spill past it.
+	OfferedLoad float64
+	// MaxUtility is the unreachable utility upper bound.
+	MaxUtility float64
+	// SpecialPurposeTasks counts tasks whose type is special-purpose.
+	SpecialPurposeTasks int
+}
+
+// Stats computes TraceStats for a trace on a system.
+func Stats(tr *Trace, sys *hcs.System) (TraceStats, error) {
+	if err := tr.Validate(sys); err != nil {
+		return TraceStats{}, err
+	}
+	st := TraceStats{
+		NumTasks:    tr.NumTasks(),
+		Window:      tr.Window,
+		ArrivalRate: float64(tr.NumTasks()) / tr.Window,
+		TypeCounts:  make([]int, sys.NumTaskTypes()),
+		MaxUtility:  tr.MaxUtility(),
+	}
+	avgExec := make([]float64, sys.NumTaskTypes())
+	for t := 0; t < sys.NumTaskTypes(); t++ {
+		var sum float64
+		var n int
+		for mu := 0; mu < sys.NumMachineTypes(); mu++ {
+			if sys.Capable(t, mu) {
+				sum += sys.ETC.At(t, mu)
+				n++
+			}
+		}
+		if n > 0 {
+			avgExec[t] = sum / float64(n)
+		}
+	}
+	var demand float64
+	for i := range tr.Tasks {
+		tt := tr.Tasks[i].Type
+		st.TypeCounts[tt]++
+		demand += avgExec[tt]
+		if sys.TaskTypes[tt].Category == hcs.SpecialPurpose {
+			st.SpecialPurposeTasks++
+		}
+	}
+	st.OfferedLoad = demand / (float64(sys.NumMachines()) * tr.Window)
+	return st, nil
+}
+
+// Write prints the stats in a human-readable layout, listing the top
+// task types by count.
+func (st TraceStats) Write(w io.Writer, sys *hcs.System) {
+	fmt.Fprintf(w, "trace: %d tasks over %.0f s (%.3f tasks/s), offered load %.2f\n",
+		st.NumTasks, st.Window, st.ArrivalRate, st.OfferedLoad)
+	fmt.Fprintf(w, "max attainable utility: %.1f; special-purpose tasks: %d\n",
+		st.MaxUtility, st.SpecialPurposeTasks)
+	type tc struct {
+		t, n int
+	}
+	var counts []tc
+	for t, n := range st.TypeCounts {
+		if n > 0 {
+			counts = append(counts, tc{t, n})
+		}
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i].n > counts[j].n })
+	limit := 10
+	if len(counts) < limit {
+		limit = len(counts)
+	}
+	fmt.Fprintf(w, "top task types:\n")
+	for _, c := range counts[:limit] {
+		fmt.Fprintf(w, "  %-34s %d\n", sys.TaskTypes[c.t].Name, c.n)
+	}
+}

@@ -1,0 +1,169 @@
+// Package wssa implements a weighted-sum simulated-annealing scheduler,
+// the style of bi-objective solver the paper contrasts itself against in
+// §II (Abbasi et al. [8]): one run scalarizes the two objectives with a
+// fixed weight and anneals toward a single solution; sweeping the weight
+// produces a ladder of solutions approximating a front — at the cost of
+// one full run per point, unlike NSGA-II's one-run front.
+//
+// The neighborhood operators mirror the genetic operators of the NSGA-II
+// adaptation so the comparison isolates the search strategy: a move
+// either reassigns one task to a random eligible machine or swaps the
+// global scheduling order of two tasks.
+package wssa
+
+import (
+	"fmt"
+	"math"
+
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// Config parameterizes one annealing run.
+type Config struct {
+	// Weight blends the objectives: the scalar score is
+	// w·(utility/U0) − (1−w)·(energy/E0), maximized. 0 ≤ Weight ≤ 1.
+	// U0 and E0 are normalization constants taken from the start state.
+	Weight float64
+	// Iterations is the number of annealing steps. Default 10000.
+	Iterations int
+	// StartTemp is the initial temperature in normalized-score units.
+	// Default 0.05.
+	StartTemp float64
+	// EndTemp is the final temperature. Default 1e-4.
+	EndTemp float64
+	// Start optionally seeds the annealer; nil starts from a random
+	// allocation.
+	Start *sched.Allocation
+}
+
+func (c *Config) fillAndValidate() error {
+	if c.Iterations == 0 {
+		c.Iterations = 10000
+	}
+	if c.StartTemp == 0 {
+		c.StartTemp = 0.05
+	}
+	if c.EndTemp == 0 {
+		c.EndTemp = 1e-4
+	}
+	if c.Weight < 0 || c.Weight > 1 {
+		return fmt.Errorf("wssa: weight %v outside [0,1]", c.Weight)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("wssa: iterations %d, want >= 1", c.Iterations)
+	}
+	if !(c.StartTemp > 0) || !(c.EndTemp > 0) || c.EndTemp > c.StartTemp {
+		return fmt.Errorf("wssa: temperatures (%v, %v) invalid", c.StartTemp, c.EndTemp)
+	}
+	return nil
+}
+
+// Result is one annealing run's outcome.
+type Result struct {
+	Alloc      *sched.Allocation
+	Evaluation sched.Evaluation
+	// Accepted counts accepted moves (diagnostics).
+	Accepted int
+	// Iterations actually performed.
+	Iterations int
+}
+
+// Anneal runs simulated annealing with geometric cooling and returns the
+// best-scoring allocation seen. Deterministic in src.
+func Anneal(e *sched.Evaluator, cfg Config, src *rng.Source) (*Result, error) {
+	if err := cfg.fillAndValidate(); err != nil {
+		return nil, err
+	}
+	cur := cfg.Start
+	if cur == nil {
+		cur = e.RandomAllocation(src)
+	} else {
+		if err := e.Validate(cur); err != nil {
+			return nil, fmt.Errorf("wssa: invalid start: %w", err)
+		}
+		cur = cur.Clone()
+	}
+	sess := e.NewSession()
+	curEv := sess.Evaluate(cur)
+
+	// Normalization constants from the start state keep the scalarized
+	// objective dimensionless; guard against zeros.
+	u0 := curEv.Utility
+	if u0 <= 0 {
+		u0 = 1
+	}
+	e0 := curEv.Energy
+	if e0 <= 0 {
+		e0 = 1
+	}
+	score := func(ev sched.Evaluation) float64 {
+		return cfg.Weight*(ev.Utility/u0) - (1-cfg.Weight)*(ev.Energy/e0)
+	}
+
+	curScore := score(curEv)
+	best := &Result{Alloc: cur.Clone(), Evaluation: curEv, Iterations: cfg.Iterations}
+	bestScore := curScore
+
+	cooling := math.Pow(cfg.EndTemp/cfg.StartTemp, 1/float64(cfg.Iterations))
+	temp := cfg.StartTemp
+	tasks := e.Trace().Tasks
+	n := cur.Len()
+
+	// Scratch for undoing moves without re-cloning.
+	for it := 0; it < cfg.Iterations; it++ {
+		// Propose: machine reassignment or order swap, equiprobable.
+		var undo func()
+		if src.Bool(0.5) {
+			k := src.Intn(n)
+			el := e.Eligible(tasks[k].Type)
+			old := cur.Machine[k]
+			cur.Machine[k] = el[src.Intn(len(el))]
+			undo = func() { cur.Machine[k] = old }
+		} else {
+			x, y := src.Intn(n), src.Intn(n)
+			cur.Order[x], cur.Order[y] = cur.Order[y], cur.Order[x]
+			undo = func() { cur.Order[x], cur.Order[y] = cur.Order[y], cur.Order[x] }
+		}
+		ev := sess.Evaluate(cur)
+		sc := score(ev)
+		accept := sc >= curScore
+		if !accept {
+			// Metropolis criterion.
+			accept = src.Float64() < math.Exp((sc-curScore)/temp)
+		}
+		if accept {
+			curScore, curEv = sc, ev
+			best.Accepted++
+			if sc > bestScore {
+				bestScore = sc
+				best.Alloc = cur.Clone()
+				best.Evaluation = ev
+			}
+		} else {
+			undo()
+		}
+		temp *= cooling
+	}
+	return best, nil
+}
+
+// Ladder runs one annealing per weight and returns the results in weight
+// order — the multi-run protocol a weighted-sum solver needs to sketch a
+// front. Deterministic in src (each run gets a split stream).
+func Ladder(e *sched.Evaluator, weights []float64, base Config, src *rng.Source) ([]*Result, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("wssa: no weights")
+	}
+	out := make([]*Result, len(weights))
+	for i, w := range weights {
+		cfg := base
+		cfg.Weight = w
+		r, err := Anneal(e, cfg, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

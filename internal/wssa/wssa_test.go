@@ -1,0 +1,163 @@
+package wssa
+
+import (
+	"testing"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/heuristics"
+	"tradeoff/internal/moea"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+	"tradeoff/internal/workload"
+)
+
+func newEval(t testing.TB, n int) *sched.Evaluator {
+	t.Helper()
+	sys := data.RealSystem()
+	tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: n, Window: 900}, rng.New(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sched.NewEvaluator(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := newEval(t, 10)
+	bad := []Config{
+		{Weight: -0.1},
+		{Weight: 1.1},
+		{Weight: 0.5, Iterations: -3},
+		{Weight: 0.5, StartTemp: -1},
+		{Weight: 0.5, StartTemp: 0.001, EndTemp: 0.01}, // end > start
+	}
+	for i, cfg := range bad {
+		if _, err := Anneal(e, cfg, rng.New(1)); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	badStart := sched.NewAllocation(3)
+	if _, err := Anneal(e, Config{Weight: 0.5, Start: badStart}, rng.New(1)); err == nil {
+		t.Error("invalid start accepted")
+	}
+}
+
+func TestAnnealImprovesScalarizedObjective(t *testing.T) {
+	e := newEval(t, 80)
+	src := rng.New(2)
+	start := e.RandomAllocation(src)
+	startEv := e.Evaluate(start)
+	res, err := Anneal(e, Config{Weight: 0.7, Iterations: 3000, Start: start}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(res.Alloc); err != nil {
+		t.Fatal(err)
+	}
+	// Scalarized score of the result must beat the start's.
+	u0, e0 := startEv.Utility, startEv.Energy
+	score := func(ev sched.Evaluation) float64 { return 0.7*(ev.Utility/u0) - 0.3*(ev.Energy/e0) }
+	if !(score(res.Evaluation) > score(startEv)) {
+		t.Fatalf("annealing did not improve: %v -> %v", score(startEv), score(res.Evaluation))
+	}
+	if res.Accepted == 0 {
+		t.Fatal("no moves accepted")
+	}
+}
+
+func TestAnnealDeterministic(t *testing.T) {
+	e := newEval(t, 40)
+	run := func() sched.Evaluation {
+		res, err := Anneal(e, Config{Weight: 0.5, Iterations: 1000}, rng.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Evaluation
+	}
+	if run() != run() {
+		t.Fatal("annealing not deterministic")
+	}
+}
+
+func TestWeightExtremesPullObjectives(t *testing.T) {
+	e := newEval(t, 100)
+	energyFocused, err := Anneal(e, Config{Weight: 0, Iterations: 4000}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	utilityFocused, err := Anneal(e, Config{Weight: 1, Iterations: 4000}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(energyFocused.Evaluation.Energy < utilityFocused.Evaluation.Energy) {
+		t.Fatalf("w=0 energy %v not below w=1 energy %v",
+			energyFocused.Evaluation.Energy, utilityFocused.Evaluation.Energy)
+	}
+	if !(utilityFocused.Evaluation.Utility > energyFocused.Evaluation.Utility) {
+		t.Fatalf("w=1 utility %v not above w=0 utility %v",
+			utilityFocused.Evaluation.Utility, energyFocused.Evaluation.Utility)
+	}
+}
+
+func TestLadderProducesTradeoffs(t *testing.T) {
+	e := newEval(t, 80)
+	weights := []float64{0, 0.25, 0.5, 0.75, 1}
+	results, err := Ladder(e, weights, Config{Iterations: 2000}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(weights) {
+		t.Fatalf("%d results", len(results))
+	}
+	// At least one pair must be mutually nondominated — the ladder
+	// sketches a trade-off, not a single point.
+	sp := moea.UtilityEnergySpace()
+	tradeoff := false
+	for i := range results {
+		for j := i + 1; j < len(results); j++ {
+			a := []float64{results[i].Evaluation.Utility, results[i].Evaluation.Energy}
+			b := []float64{results[j].Evaluation.Utility, results[j].Evaluation.Energy}
+			if sp.Incomparable(a, b) {
+				tradeoff = true
+			}
+		}
+	}
+	if !tradeoff {
+		t.Fatal("ladder produced no mutually nondominated pair")
+	}
+}
+
+func TestLadderEmptyWeights(t *testing.T) {
+	e := newEval(t, 10)
+	if _, err := Ladder(e, nil, Config{}, rng.New(1)); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+}
+
+func TestSeededAnnealNotWorseThanSeedScore(t *testing.T) {
+	e := newEval(t, 80)
+	seed := heuristics.BuildMaxUtility(e)
+	seedEv := e.Evaluate(seed)
+	res, err := Anneal(e, Config{Weight: 1, Iterations: 2000, Start: seed}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight 1 = pure utility; best-seen tracking means the result can
+	// never earn less utility than the seed.
+	if res.Evaluation.Utility < seedEv.Utility-1e-9 {
+		t.Fatalf("seeded anneal lost utility: %v -> %v", seedEv.Utility, res.Evaluation.Utility)
+	}
+}
+
+func BenchmarkAnneal250x1000(b *testing.B) {
+	e := newEval(b, 250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Anneal(e, Config{Weight: 0.5, Iterations: 1000}, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
