@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench-record bench-diff check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of each Step benchmark: catches benchmarks that no longer
+# compile or panic, without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Step -benchtime 1x -benchmem .
+
+# Re-measure the Step benchmarks and refresh the canonical baseline at
+# the repo root (BENCH_step.json).
+bench-record:
+	$(GO) test -run '^$$' -bench 'BenchmarkStep|BenchmarkParetoFront' -benchtime 10x -benchmem . | tee /tmp/bench_step.txt
+	$(GO) run ./cmd/benchdiff -record BENCH_step.json /tmp/bench_step.txt
+
+# Compare the current tree against the recorded baseline; fails on >10%
+# regression in ns/op or allocs/op.
+bench-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkStep|BenchmarkParetoFront' -benchtime 10x -benchmem . > /tmp/bench_new.txt
+	$(GO) run ./cmd/benchdiff BENCH_step.json /tmp/bench_new.txt
+
+check: build vet race bench-smoke

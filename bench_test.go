@@ -182,6 +182,39 @@ func benchPop(b *testing.B, n int) {
 	}
 }
 
+// Steady-state generation cost and allocation profile across population
+// scales. The generation loop recycles chromosome and objective buffers
+// through the engine arena, so allocs/op stays flat (goroutine fan-out
+// overhead only) as the population grows. cmd/benchdiff compares two
+// runs of these and fails on regression.
+func BenchmarkStepPop100(b *testing.B)  { benchStep(b, 100) }
+func BenchmarkStepPop200(b *testing.B)  { benchStep(b, 200) }
+func BenchmarkStepPop1000(b *testing.B) { benchStep(b, 1000) }
+
+func benchStep(b *testing.B, n int) {
+	eng := ablationEngine(b, func(c *nsga2.Config) { c.PopulationSize = n })
+	eng.Step() // size the arena and scratch before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Pareto-front extraction cost (rank-1 copy + sort), measured on a
+// converged population where the front is large.
+func BenchmarkParetoFront(b *testing.B) {
+	eng := ablationEngine(b, nil)
+	eng.Run(25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(eng.ParetoFront()) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+}
+
 // Seed construction cost relative to one NSGA-II generation (the paper's
 // claim that greedy heuristics are negligible).
 func BenchmarkSeedConstructionAll(b *testing.B) {

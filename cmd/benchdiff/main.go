@@ -1,0 +1,321 @@
+// Command benchdiff compares two `go test -bench` outputs and fails on
+// performance regressions, guarding the engine's steady-state cost (see
+// DESIGN.md §8). It understands three input formats, auto-detected per
+// file: plain `go test -bench` text, `go test -json` (test2json) streams,
+// and its own canonical JSON (written by -record).
+//
+// Usage:
+//
+//	benchdiff old new            compare two bench outputs ("-" = stdin)
+//	benchdiff -record out.json f parse f and write canonical JSON
+//	benchdiff -threshold 0.05 …  tighten the regression threshold
+//
+// A benchmark regresses when its ns/op or allocs/op in `new` exceeds the
+// value in `old` by more than the threshold (default 10%). Benchmarks
+// present in only one input are reported but never fail the run. Exit
+// status is 1 when any regression is found, 2 on usage or parse errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// HasAllocs distinguishes a measured 0 allocs/op from a run without
+	// -benchmem.
+	HasAllocs bool `json:"has_allocs,omitempty"`
+}
+
+// File is the canonical JSON document -record writes.
+type File struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix so runs from
+// machines with different core counts still line up.
+func normalizeName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseBenchLine parses one `go test -bench` result line, reporting ok =
+// false for non-benchmark lines.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: normalizeName(fields[0]), Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+			r.HasAllocs = true
+		}
+	}
+	return r, seen
+}
+
+// parse reads benchmark results from r, auto-detecting the format.
+// Duplicate names keep the last measurement (matching `go test -count`
+// semantics closely enough for threshold checks).
+func parse(r io.Reader) ([]Result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical JSON is a single document with a "benchmarks" key.
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+		var f File
+		if err := json.Unmarshal([]byte(trimmed), &f); err == nil && f.Benchmarks != nil {
+			return f.Benchmarks, nil
+		}
+	}
+	var out []Result
+	add := func(res Result) {
+		for i := range out {
+			if out[i].Name == res.Name {
+				out[i] = res
+				return
+			}
+		}
+		out = append(out, res)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		trimmed := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(trimmed, "{") {
+			// test2json event: benchmark lines arrive as output events.
+			var ev struct {
+				Action string `json:"Action"`
+				Output string `json:"Output"`
+			}
+			if err := json.Unmarshal([]byte(trimmed), &ev); err == nil && ev.Action == "output" {
+				if res, ok := parseBenchLine(strings.TrimSpace(ev.Output)); ok {
+					add(res)
+				}
+				continue
+			}
+		}
+		if res, ok := parseBenchLine(trimmed); ok {
+			add(res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseFile(path string) ([]Result, error) {
+	if path == "-" {
+		return parse(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+// Regression is one threshold violation.
+type Regression struct {
+	Name   string
+	Metric string
+	Old    float64
+	New    float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.6g -> %.6g (%+.1f%%)", r.Name, r.Metric, r.Old, r.New, 100*(r.New/r.Old-1))
+}
+
+// ratio formats new relative to old for the comparison table.
+func ratio(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "=" // 0 -> 0
+		}
+		return "worse (from 0)"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(newV/oldV-1))
+}
+
+// compare returns the regressions of new against old under the
+// threshold (e.g. 0.10 allows 10% slack on ns/op and allocs/op).
+func compare(oldRes, newRes []Result, threshold float64) []Regression {
+	oldBy := make(map[string]Result, len(oldRes))
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	var regs []Regression
+	for _, n := range newRes {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			continue
+		}
+		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+threshold) {
+			regs = append(regs, Regression{n.Name, "ns/op", o.NsPerOp, n.NsPerOp})
+		}
+		if o.HasAllocs && n.HasAllocs {
+			limit := o.AllocsPerOp * (1 + threshold)
+			if o.AllocsPerOp == 0 {
+				limit = 0 // zero-alloc benchmarks must stay zero-alloc
+			}
+			if n.AllocsPerOp > limit {
+				regs = append(regs, Regression{n.Name, "allocs/op", o.AllocsPerOp, n.AllocsPerOp})
+			}
+		}
+	}
+	return regs
+}
+
+func writeTable(w io.Writer, oldRes, newRes []Result) {
+	oldBy := make(map[string]Result, len(oldRes))
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	names := make([]string, 0, len(newRes))
+	for _, r := range newRes {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	newBy := make(map[string]Result, len(newRes))
+	for _, r := range newRes {
+		newBy[r.Name] = r
+	}
+	fmt.Fprintf(w, "%-44s %14s %14s %10s %12s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "Δallocs")
+	for _, name := range names {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14s %14.0f %10s %12s\n", name, "(absent)", n.NsPerOp, "-", "-")
+			continue
+		}
+		dAllocs := "-"
+		if o.HasAllocs && n.HasAllocs {
+			dAllocs = ratio(o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %10s %12s\n", name, o.NsPerOp, n.NsPerOp, ratio(o.NsPerOp, n.NsPerOp), dAllocs)
+	}
+	for _, r := range oldRes {
+		if _, ok := newBy[r.Name]; !ok {
+			fmt.Fprintf(w, "%-44s %14.0f %14s %10s %12s\n", r.Name, r.NsPerOp, "(absent)", "-", "-")
+		}
+	}
+}
+
+func record(outPath string, results []Result) error {
+	f := File{Benchmarks: results}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10, "allowed fractional regression in ns/op and allocs/op")
+	recordPath := fs.String("record", "", "parse one input and write canonical JSON to this path instead of comparing")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.10] old new")
+		fmt.Fprintln(stderr, "       benchdiff -record out.json bench-output")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *recordPath != "" {
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return 2
+		}
+		results, err := parseFile(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		if err := record(*recordPath, results); err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "recorded %d benchmarks to %s\n", len(results), *recordPath)
+		return 0
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldRes, err := parseFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newRes, err := parseFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if len(oldRes) == 0 || len(newRes) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark results found")
+		return 2
+	}
+	writeTable(stdout, oldRes, newRes)
+	regs := compare(oldRes, newRes, *threshold)
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "\nok: no regression beyond %.0f%%\n", *threshold*100)
+		return 0
+	}
+	fmt.Fprintf(stdout, "\nFAIL: %d regression(s) beyond %.0f%%\n", len(regs), *threshold*100)
+	for _, r := range regs {
+		fmt.Fprintln(stdout, "  "+r.String())
+	}
+	return 1
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

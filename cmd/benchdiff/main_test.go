@@ -1,0 +1,181 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const plainOutput = `goos: linux
+goarch: amd64
+pkg: tradeoff
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStepPop100-8      	     100	   1895817 ns/op	   23653 B/op	      23 allocs/op
+BenchmarkStepPop200-8      	      50	   3722078 ns/op	   46814 B/op	      43 allocs/op
+BenchmarkParetoFront-8     	   20000	     61234 ns/op	   12345 B/op	      51 allocs/op
+BenchmarkNoMem-8           	    1000	    500000 ns/op
+PASS
+ok  	tradeoff	2.5s
+`
+
+func TestParsePlain(t *testing.T) {
+	res, err := parse(strings.NewReader(plainOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(res), res)
+	}
+	first := res[0]
+	if first.Name != "BenchmarkStepPop100" {
+		t.Fatalf("name %q, want GOMAXPROCS suffix stripped", first.Name)
+	}
+	if first.NsPerOp != 1895817 || first.AllocsPerOp != 23 || !first.HasAllocs {
+		t.Fatalf("unexpected measurement: %+v", first)
+	}
+	if res[3].HasAllocs {
+		t.Fatalf("no-benchmem line must have HasAllocs=false: %+v", res[3])
+	}
+}
+
+func TestParseTest2JSON(t *testing.T) {
+	in := `{"Action":"start","Package":"tradeoff"}
+{"Action":"output","Package":"tradeoff","Output":"BenchmarkStepPop100-8   100   1000 ns/op   64 B/op   2 allocs/op\n"}
+{"Action":"output","Package":"tradeoff","Output":"PASS\n"}
+{"Action":"pass","Package":"tradeoff"}
+`
+	res, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Name != "BenchmarkStepPop100" || res[0].NsPerOp != 1000 || res[0].AllocsPerOp != 2 {
+		t.Fatalf("unexpected results: %+v", res)
+	}
+}
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	res, err := parse(strings.NewReader(plainOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := record(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := parse(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res) {
+		t.Fatalf("round trip lost results: %d vs %d", len(back), len(res))
+	}
+	for i := range res {
+		if back[i] != res[i] {
+			t.Fatalf("result %d: %+v vs %+v", i, back[i], res[i])
+		}
+	}
+}
+
+func TestParseDuplicateKeepsLast(t *testing.T) {
+	in := "BenchmarkX-8 10 200 ns/op\nBenchmarkX-8 10 100 ns/op\n"
+	res, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].NsPerOp != 100 {
+		t.Fatalf("unexpected results: %+v", res)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	oldRes := []Result{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 100, HasAllocs: true},
+		{Name: "B", NsPerOp: 1000, AllocsPerOp: 0, HasAllocs: true},
+		{Name: "OnlyOld", NsPerOp: 5},
+	}
+	newRes := []Result{
+		{Name: "A", NsPerOp: 1099, AllocsPerOp: 110, HasAllocs: true}, // within 10%
+		{Name: "B", NsPerOp: 900, AllocsPerOp: 0, HasAllocs: true},
+		{Name: "OnlyNew", NsPerOp: 5},
+	}
+	if regs := compare(oldRes, newRes, 0.10); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// Beyond 10% on ns/op.
+	newRes[0].NsPerOp = 1101
+	regs := compare(oldRes, newRes, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+	// Beyond 10% on allocs/op too.
+	newRes[0].AllocsPerOp = 111
+	if regs := compare(oldRes, newRes, 0.10); len(regs) != 2 {
+		t.Fatalf("want two regressions, got %v", regs)
+	}
+	// Zero-alloc benchmarks must stay zero-alloc regardless of threshold.
+	newRes[1].AllocsPerOp = 1
+	regs = compare(oldRes, newRes, 0.10)
+	found := false
+	for _, r := range regs {
+		if r.Name == "B" && r.Metric == "allocs/op" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("0 -> 1 allocs/op not flagged: %v", regs)
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(oldPath, []byte("BenchmarkA-8 10 1000 ns/op 8 B/op 1 allocs/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte("BenchmarkA-8 10 1050 ns/op 8 B/op 1 allocs/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d for 5%% drift under 10%% threshold; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ok: no regression") {
+		t.Fatalf("missing ok line in output:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-threshold", "0.01", oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d for 5%% drift over 1%% threshold", code)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("missing FAIL line in output:\n%s", out.String())
+	}
+	if code := run([]string{oldPath}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for bad usage, want 2", code)
+	}
+}
+
+func TestRunRecord(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	outJSON := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(in, []byte(plainOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-record", outJSON, in}, &out, &errOut); code != 0 {
+		t.Fatalf("record exit %d; stderr: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"benchmarks\"") {
+		t.Fatalf("canonical file missing benchmarks key:\n%s", data)
+	}
+}

@@ -1,0 +1,62 @@
+package tradeoff_test
+
+import (
+	"testing"
+
+	"tradeoff/internal/experiments"
+	"tradeoff/internal/nsga2"
+	"tradeoff/internal/rng"
+)
+
+// TestWorkerCountInvariance is the determinism regression test for the
+// parallel variation phase: every offspring pair draws from its own rng
+// stream derived from the generation counter, so two engines that differ
+// only in worker count must evolve bit-identical populations — same
+// allocations, objectives, ranks, and crowding, in the same order.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, dsNum := range []int{1, 2} {
+		ds, err := experiments.ByNumber(dsNum, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newEngine := func(workers int) *nsga2.Engine {
+			eng, err := nsga2.New(ds.Evaluator, nsga2.Config{
+				PopulationSize: 40,
+				Workers:        workers,
+			}, rng.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return eng
+		}
+		serial := newEngine(1)
+		parallel := newEngine(8)
+		serial.Run(25)
+		parallel.Run(25)
+
+		sp, pp := serial.Population(), parallel.Population()
+		if len(sp) != len(pp) {
+			t.Fatalf("data set %d: population sizes %d vs %d", dsNum, len(sp), len(pp))
+		}
+		for i := range sp {
+			a, b := sp[i], pp[i]
+			if a.Rank != b.Rank || a.Crowding != b.Crowding {
+				t.Fatalf("data set %d individual %d: rank/crowding (%d, %v) vs (%d, %v)",
+					dsNum, i, a.Rank, a.Crowding, b.Rank, b.Crowding)
+			}
+			for m := range a.Objectives {
+				if a.Objectives[m] != b.Objectives[m] {
+					t.Fatalf("data set %d individual %d objective %d: %v vs %v",
+						dsNum, i, m, a.Objectives[m], b.Objectives[m])
+				}
+			}
+			for g := range a.Alloc.Machine {
+				if a.Alloc.Machine[g] != b.Alloc.Machine[g] || a.Alloc.Order[g] != b.Alloc.Order[g] {
+					t.Fatalf("data set %d individual %d gene %d: (%d,%d) vs (%d,%d)",
+						dsNum, i, g, a.Alloc.Machine[g], a.Alloc.Order[g],
+						b.Alloc.Machine[g], b.Alloc.Order[g])
+				}
+			}
+		}
+	}
+}

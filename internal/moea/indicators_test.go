@@ -280,3 +280,79 @@ func TestNewBoundedArchivePanicsOnZero(t *testing.T) {
 	}()
 	NewBoundedArchive(NewSpace(Minimize), 0)
 }
+
+// --- Hypervolume2D degenerate inputs (duplicates, reference-equal
+// points, single-point fronts) ---------------------------------------
+
+func TestHypervolume2DDuplicatePoints(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	ref := []float64{10, 10}
+	single := sp.Hypervolume2D([][]float64{{2, 3}}, ref)
+	dup := sp.Hypervolume2D([][]float64{{2, 3}, {2, 3}, {2, 3}}, ref)
+	if single != dup {
+		t.Fatalf("duplicates changed hypervolume: %v vs %v", single, dup)
+	}
+	if want := (10.0 - 2) * (10 - 3); single != want {
+		t.Fatalf("hypervolume %v, want %v", single, want)
+	}
+}
+
+func TestHypervolume2DPointEqualToReference(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	ref := []float64{5, 5}
+	// A point equal to the reference dominates zero area and must
+	// contribute nothing (it does not strictly dominate the reference).
+	if hv := sp.Hypervolume2D([][]float64{{5, 5}}, ref); hv != 0 {
+		t.Fatalf("reference-equal point contributed %v", hv)
+	}
+	// Equal in just one coordinate: also excluded (needs to be strictly
+	// better in both to bound positive area).
+	if hv := sp.Hypervolume2D([][]float64{{5, 1}, {1, 5}}, ref); hv != 0 {
+		t.Fatalf("edge points contributed %v", hv)
+	}
+	// A strictly dominating point mixed with reference-equal ones counts
+	// exactly once.
+	hv := sp.Hypervolume2D([][]float64{{5, 5}, {4, 4}, {5, 1}}, ref)
+	if want := 1.0; hv != want {
+		t.Fatalf("hypervolume %v, want %v", hv, want)
+	}
+}
+
+func TestHypervolume2DSinglePointFront(t *testing.T) {
+	for _, sp := range []Space{
+		NewSpace(Minimize, Minimize),
+		UtilityEnergySpace(),
+	} {
+		ref := []float64{0, 100}
+		pt := []float64{10, 20}
+		if sp.Senses[0] == Minimize {
+			ref[0] = 100
+		}
+		hv := sp.Hypervolume2D([][]float64{pt}, ref)
+		want := (100.0 - 10) * (100 - 20)
+		if sp.Senses[0] == Maximize {
+			want = (10.0 - 0) * (100 - 20)
+		}
+		if hv != want {
+			t.Fatalf("senses %v: hypervolume %v, want %v", sp.Senses, hv, want)
+		}
+	}
+}
+
+func TestHypervolume2DEmptyFront(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	if hv := sp.Hypervolume2D(nil, []float64{1, 1}); hv != 0 {
+		t.Fatalf("empty front hypervolume %v", hv)
+	}
+}
+
+func TestHypervolume2DDuplicateColumn(t *testing.T) {
+	// Several points sharing one coordinate: only the best survives the
+	// staircase; duplicates of the staircase corner must not double-count.
+	sp := NewSpace(Minimize, Minimize)
+	ref := []float64{10, 10}
+	hv := sp.Hypervolume2D([][]float64{{2, 3}, {2, 5}, {2, 9}, {4, 3}}, ref)
+	if want := (10.0 - 2) * (10 - 3); hv != want {
+		t.Fatalf("hypervolume %v, want %v", hv, want)
+	}
+}

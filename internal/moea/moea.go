@@ -8,7 +8,6 @@ package moea
 
 import (
 	"fmt"
-	"math"
 	"sort"
 )
 
@@ -84,54 +83,46 @@ func (sp Space) Incomparable(a, b []float64) bool {
 
 // FastNondominatedSort partitions point indices into fronts: front 0 is
 // the nondominated set; front k is nondominated once fronts < k are
-// removed. This is the O(M·N²) algorithm of Deb et al. (2002).
+// removed. Indices are ascending within each front. Two-objective spaces
+// dispatch to the O(N log N) sweep of NondominatedSort2D; higher
+// dimensions use the generic O(M·N²) algorithm of Deb et al. (2002).
+// Callers ranking populations repeatedly should hold a Ranker instead to
+// avoid re-allocating scratch.
 func (sp Space) FastNondominatedSort(points [][]float64) [][]int {
-	n := len(points)
-	if n == 0 {
+	return new(Ranker).Fronts(sp, points)
+}
+
+// NondominatedSort2D is the bi-objective O(N log N) sweep sort: points
+// are ordered lexicographically by the minimization-converted
+// objectives, then each is placed on the first front that does not
+// dominate it, located by binary search. The fronts are identical (as
+// sets) to the generic algorithm's. It panics if the space is not
+// two-dimensional.
+func (sp Space) NondominatedSort2D(points [][]float64) [][]int {
+	if sp.Dim() != 2 {
+		panic(fmt.Sprintf("moea: NondominatedSort2D on %d-dim space", sp.Dim()))
+	}
+	if len(points) == 0 {
 		return nil
 	}
-	dominated := make([][]int, n) // dominated[i]: indices i dominates
-	count := make([]int, n)       // count[i]: how many points dominate i
-	var first []int
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			switch {
-			case sp.Dominates(points[i], points[j]):
-				dominated[i] = append(dominated[i], j)
-				count[j]++
-			case sp.Dominates(points[j], points[i]):
-				dominated[j] = append(dominated[j], i)
-				count[i]++
-			}
-		}
+	return new(Ranker).fronts2D(sp, points)
+}
+
+// NondominatedSortGeneric is the dimension-agnostic O(M·N²) pairwise
+// algorithm, exported so tests and higher-dimensional callers can
+// cross-check the 2-D sweep against it.
+func (sp Space) NondominatedSortGeneric(points [][]float64) [][]int {
+	if len(points) == 0 {
+		return nil
 	}
-	for i := 0; i < n; i++ {
-		if count[i] == 0 {
-			first = append(first, i)
-		}
-	}
-	var fronts [][]int
-	cur := first
-	for len(cur) > 0 {
-		fronts = append(fronts, cur)
-		var next []int
-		for _, i := range cur {
-			for _, j := range dominated[i] {
-				count[j]--
-				if count[j] == 0 {
-					next = append(next, j)
-				}
-			}
-		}
-		cur = next
-	}
-	return fronts
+	return new(Ranker).frontsGeneric(sp, points)
 }
 
 // DominanceCountRanks returns, for each point, 1 + the number of points
 // that dominate it — the ranking rule as literally stated in the paper's
 // §IV-D. Rank-1 points coincide with front 0 of FastNondominatedSort;
-// deeper ranks differ in general.
+// deeper ranks differ in general. Hot loops should use
+// Ranker.DominanceCountGroups, which reuses scratch.
 func (sp Space) DominanceCountRanks(points [][]float64) []int {
 	n := len(points)
 	ranks := make([]int, n)
@@ -173,40 +164,9 @@ func (sp Space) ParetoFront(points [][]float64) []int {
 // CrowdingDistance returns Deb's crowding distance for the points at the
 // given indices (one front). Boundary points in any objective get +Inf.
 // Distances are normalized per objective by the front's value range.
+// Two-objective staircase fronts take a single-sort fast path; see
+// Ranker.Crowding, which hot loops should call directly to reuse
+// scratch.
 func (sp Space) CrowdingDistance(points [][]float64, front []int) []float64 {
-	n := len(front)
-	dist := make([]float64, n)
-	if n == 0 {
-		return dist
-	}
-	if n <= 2 {
-		for i := range dist {
-			dist[i] = math.Inf(1)
-		}
-		return dist
-	}
-	idx := make([]int, n) // positions into front
-	for m := 0; m < sp.Dim(); m++ {
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			return points[front[idx[a]]][m] < points[front[idx[b]]][m]
-		})
-		lo := points[front[idx[0]]][m]
-		hi := points[front[idx[n-1]]][m]
-		dist[idx[0]] = math.Inf(1)
-		dist[idx[n-1]] = math.Inf(1)
-		span := hi - lo
-		if span == 0 {
-			continue
-		}
-		for k := 1; k < n-1; k++ {
-			if math.IsInf(dist[idx[k]], 1) {
-				continue
-			}
-			dist[idx[k]] += (points[front[idx[k+1]]][m] - points[front[idx[k-1]]][m]) / span
-		}
-	}
-	return dist
+	return new(Ranker).Crowding(sp, points, front)
 }

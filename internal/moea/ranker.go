@@ -1,0 +1,416 @@
+package moea
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Ranker bundles the scratch buffers nondominated sorting, crowding
+// distance, and dominance-count ranking need, so callers that rank
+// populations every generation (the NSGA-II engine) do not allocate in
+// steady state. The slices returned by Ranker methods are owned by the
+// Ranker and valid only until its next method call; copy them to retain.
+// A Ranker is not safe for concurrent use. The zero value is ready.
+//
+// For two-objective spaces Fronts runs Kung-style sweep sorting in
+// O(n log n) instead of the generic O(d·n²) pairwise algorithm — the
+// asymptotic win the bi-objective scheduling literature leans on for
+// large fronts (cf. arXiv:1907.04080, arXiv:1501.05414).
+type Ranker struct {
+	// Front-sorting scratch (shared by 2-D sweep, generic, and
+	// dominance-count paths; disjoint from crowding scratch).
+	frontOf []int   // front index per point
+	counts  []int   // bucket sizes, then fill cursors
+	store   []int   // flat backing array for the returned fronts
+	fronts  [][]int // front headers into store
+
+	// 2-D sweep scratch.
+	xs, ys []float64 // minimization-converted coordinates
+	order  []int     // lexicographic processing order
+	minX   []float64 // per-front coordinates of the minimal-y point
+	minY   []float64
+	lex    lexSorter
+
+	// Generic-path scratch.
+	domStore [][]int // dominated[i]: points i dominates (ragged, reused)
+	domCount []int   // how many points dominate i
+	queue    []int   // cascade worklist
+
+	// Crowding scratch.
+	dist []float64
+	idx  []int
+	obj  objSorter
+}
+
+// NewRanker returns an empty Ranker. Equivalent to new(Ranker); provided
+// for discoverability.
+func NewRanker() *Ranker { return &Ranker{} }
+
+// Fronts partitions point indices into nondominated fronts, like
+// Space.FastNondominatedSort, reusing the Ranker's buffers. Indices are
+// ascending within each front. Two-objective spaces dispatch to the
+// O(n log n) sweep; higher dimensions use the generic algorithm.
+func (r *Ranker) Fronts(sp Space, points [][]float64) [][]int {
+	if len(points) == 0 {
+		return nil
+	}
+	if sp.Dim() == 2 {
+		return r.fronts2D(sp, points)
+	}
+	return r.frontsGeneric(sp, points)
+}
+
+// growInts resizes an []int scratch to length n.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// conv maps a point to minimization coordinates.
+func (sp Space) conv2D(p []float64) (x, y float64) {
+	x, y = p[0], p[1]
+	if sp.Senses[0] == Maximize {
+		x = -x
+	}
+	if sp.Senses[1] == Maximize {
+		y = -y
+	}
+	return x, y
+}
+
+// fronts2D is the bi-objective sweep: sort points lexicographically by
+// the (minimization-converted) first then second objective, then insert
+// each point into the first front whose minimal-second-objective point
+// does not dominate it, found by binary search. Dominance by a front is
+// monotone in the front index (every point of front f+1 has a dominator
+// in front f), so binary search over fronts is sound, and checking only
+// the front's minimal-y point suffices: any other member with y ≤ q.y
+// would dominate that member, contradicting front membership.
+func (r *Ranker) fronts2D(sp Space, points [][]float64) [][]int {
+	n := len(points)
+	if sp.Dim() != 2 {
+		panic(fmt.Sprintf("moea: 2-D sweep on %d-dim space", sp.Dim()))
+	}
+	r.xs = growFloats(r.xs, n)
+	r.ys = growFloats(r.ys, n)
+	r.order = growInts(r.order, n)
+	r.frontOf = growInts(r.frontOf, n)
+	r.minX = growFloats(r.minX, n)
+	r.minY = growFloats(r.minY, n)
+	for i, p := range points {
+		if len(p) != 2 {
+			panic(fmt.Sprintf("moea: point %d has %d objectives in 2-dim space", i, len(p)))
+		}
+		r.xs[i], r.ys[i] = sp.conv2D(p)
+		r.order[i] = i
+	}
+	r.lex.xs, r.lex.ys, r.lex.order = r.xs, r.ys, r.order
+	sort.Sort(&r.lex)
+
+	nf := 0
+	for _, q := range r.order {
+		qx, qy := r.xs[q], r.ys[q]
+		// First front whose minimal-y point does not dominate q. Every
+		// stored (minX, minY) was processed earlier, so minX ≤ qx holds.
+		lo, hi := 0, nf
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if r.minY[mid] < qy || (r.minY[mid] == qy && r.minX[mid] < qx) {
+				lo = mid + 1 // front mid dominates q
+			} else {
+				hi = mid
+			}
+		}
+		f := lo
+		if f == nf {
+			nf++
+			r.minX[f], r.minY[f] = qx, qy
+		} else if qy <= r.minY[f] {
+			r.minX[f], r.minY[f] = qx, qy
+		}
+		r.frontOf[q] = f
+	}
+	return r.bucketize(n, nf)
+}
+
+// frontsGeneric is Deb's O(d·n²) algorithm over reusable buffers,
+// producing ascending index order within each front (same convention as
+// the 2-D sweep).
+func (r *Ranker) frontsGeneric(sp Space, points [][]float64) [][]int {
+	n := len(points)
+	r.domCount = growInts(r.domCount, n)
+	if cap(r.domStore) < n {
+		r.domStore = make([][]int, n)
+	}
+	r.domStore = r.domStore[:n]
+	for i := 0; i < n; i++ {
+		r.domCount[i] = 0
+		r.domStore[i] = r.domStore[i][:0]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case sp.Dominates(points[i], points[j]):
+				r.domStore[i] = append(r.domStore[i], j)
+				r.domCount[j]++
+			case sp.Dominates(points[j], points[i]):
+				r.domStore[j] = append(r.domStore[j], i)
+				r.domCount[i]++
+			}
+		}
+	}
+	r.frontOf = growInts(r.frontOf, n)
+	r.queue = r.queue[:0]
+	for i := 0; i < n; i++ {
+		if r.domCount[i] == 0 {
+			r.frontOf[i] = 0
+			r.queue = append(r.queue, i)
+		}
+	}
+	nf := 0
+	for head := 0; head < len(r.queue); head++ {
+		i := r.queue[head]
+		if r.frontOf[i] >= nf {
+			nf = r.frontOf[i] + 1
+		}
+		for _, j := range r.domStore[i] {
+			r.domCount[j]--
+			if r.domCount[j] == 0 {
+				r.frontOf[j] = r.frontOf[i] + 1
+				r.queue = append(r.queue, j)
+			}
+		}
+	}
+	return r.bucketize(n, nf)
+}
+
+// bucketize groups the n points into their fronts from r.frontOf,
+// ascending index order within each front, skipping empty fronts.
+func (r *Ranker) bucketize(n, nf int) [][]int {
+	r.counts = growInts(r.counts, nf)
+	for f := 0; f < nf; f++ {
+		r.counts[f] = 0
+	}
+	for i := 0; i < n; i++ {
+		r.counts[r.frontOf[i]]++
+	}
+	// Prefix-sum the bucket sizes into fill cursors.
+	r.store = growInts(r.store, n)
+	start := 0
+	for f := 0; f < nf; f++ {
+		c := r.counts[f]
+		r.counts[f] = start
+		start += c
+	}
+	for i := 0; i < n; i++ {
+		f := r.frontOf[i]
+		r.store[r.counts[f]] = i
+		r.counts[f]++
+	}
+	// counts[f] now holds the end of bucket f.
+	r.fronts = r.fronts[:0]
+	prev := 0
+	for f := 0; f < nf; f++ {
+		end := r.counts[f]
+		if end > prev {
+			r.fronts = append(r.fronts, r.store[prev:end])
+		}
+		prev = end
+	}
+	return r.fronts
+}
+
+// DominanceCountGroups partitions point indices into ascending-rank
+// groups under the dominance-count rule (rank = 1 + number of
+// dominators), reusing the Ranker's buffers like Fronts.
+func (r *Ranker) DominanceCountGroups(sp Space, points [][]float64) [][]int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	r.frontOf = growInts(r.frontOf, n)
+	for i := range r.frontOf {
+		r.frontOf[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case sp.Dominates(points[i], points[j]):
+				r.frontOf[j]++
+			case sp.Dominates(points[j], points[i]):
+				r.frontOf[i]++
+			}
+		}
+	}
+	nf := 0
+	for _, f := range r.frontOf {
+		if f >= nf {
+			nf = f + 1
+		}
+	}
+	return r.bucketize(n, nf)
+}
+
+// Crowding computes Deb's crowding distance for one front, like
+// Space.CrowdingDistance, reusing the Ranker's buffers. In two-objective
+// spaces, when the front is a strict staircase (distinct first-objective
+// values, strictly monotone second objective — always true for a
+// mutually nondominated front without duplicates), the second
+// objective's neighbor gaps are read off the first objective's sorted
+// order, halving the sorting work; the result is identical to the
+// generic path.
+func (r *Ranker) Crowding(sp Space, points [][]float64, front []int) []float64 {
+	n := len(front)
+	r.dist = growFloats(r.dist, n)
+	dist := r.dist
+	if n == 0 {
+		return dist
+	}
+	if n <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	for i := range dist {
+		dist[i] = 0
+	}
+	r.idx = growInts(r.idx, n)
+	idx := r.idx
+	r.obj.points, r.obj.front, r.obj.idx = points, front, idx
+
+	m := 0
+	for i := range idx {
+		idx[i] = i
+	}
+	r.obj.m = m
+	sort.Sort(&r.obj)
+	r.accumulate(points, front, idx, m)
+
+	if sp.Dim() == 2 {
+		if dir := staircaseDir(points, front, idx); dir != 0 {
+			// Objective 1 sorted order is idx itself (dir > 0) or its
+			// reverse (dir < 0); either way neighbor pairs coincide, and
+			// the boundary points are idx[0] and idx[n-1].
+			lo := points[front[idx[0]]][1]
+			hi := points[front[idx[n-1]]][1]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			dist[idx[0]] = math.Inf(1)
+			dist[idx[n-1]] = math.Inf(1)
+			if span := hi - lo; span != 0 {
+				for k := 1; k < n-1; k++ {
+					if math.IsInf(dist[idx[k]], 1) {
+						continue
+					}
+					gap := points[front[idx[k+1]]][1] - points[front[idx[k-1]]][1]
+					if gap < 0 {
+						gap = -gap
+					}
+					dist[idx[k]] += gap / span
+				}
+			}
+			return dist
+		}
+	}
+	for m = 1; m < sp.Dim(); m++ {
+		for i := range idx {
+			idx[i] = i
+		}
+		r.obj.m = m
+		sort.Sort(&r.obj)
+		r.accumulate(points, front, idx, m)
+	}
+	return dist
+}
+
+// accumulate adds objective m's crowding contributions for an idx slice
+// sorted ascending by that objective.
+func (r *Ranker) accumulate(points [][]float64, front, idx []int, m int) {
+	n := len(idx)
+	dist := r.dist
+	lo := points[front[idx[0]]][m]
+	hi := points[front[idx[n-1]]][m]
+	dist[idx[0]] = math.Inf(1)
+	dist[idx[n-1]] = math.Inf(1)
+	span := hi - lo
+	if span == 0 {
+		return
+	}
+	for k := 1; k < n-1; k++ {
+		if math.IsInf(dist[idx[k]], 1) {
+			continue
+		}
+		dist[idx[k]] += (points[front[idx[k+1]]][m] - points[front[idx[k-1]]][m]) / span
+	}
+}
+
+// staircaseDir reports whether, along idx (sorted ascending by objective
+// 0), objective 0 is strictly increasing and objective 1 strictly
+// monotone: +1 increasing, -1 decreasing, 0 not a strict staircase.
+func staircaseDir(points [][]float64, front, idx []int) int {
+	n := len(idx)
+	dir := 0
+	for k := 1; k < n; k++ {
+		a, b := points[front[idx[k-1]]], points[front[idx[k]]]
+		if !(a[0] < b[0]) {
+			return 0
+		}
+		switch {
+		case a[1] < b[1]:
+			if dir < 0 {
+				return 0
+			}
+			dir = 1
+		case a[1] > b[1]:
+			if dir > 0 {
+				return 0
+			}
+			dir = -1
+		default:
+			return 0
+		}
+	}
+	return dir
+}
+
+// lexSorter orders point indices by (x, then y) ascending.
+type lexSorter struct {
+	xs, ys []float64
+	order  []int
+}
+
+func (s *lexSorter) Len() int { return len(s.order) }
+func (s *lexSorter) Less(a, b int) bool {
+	i, j := s.order[a], s.order[b]
+	if s.xs[i] != s.xs[j] {
+		return s.xs[i] < s.xs[j]
+	}
+	return s.ys[i] < s.ys[j]
+}
+func (s *lexSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+
+// objSorter orders front positions ascending by one objective.
+type objSorter struct {
+	points [][]float64
+	front  []int
+	idx    []int
+	m      int
+}
+
+func (s *objSorter) Len() int { return len(s.idx) }
+func (s *objSorter) Less(a, b int) bool {
+	return s.points[s.front[s.idx[a]]][s.m] < s.points[s.front[s.idx[b]]][s.m]
+}
+func (s *objSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }

@@ -1,0 +1,253 @@
+package moea
+
+import (
+	"math"
+	"testing"
+
+	"tradeoff/internal/rng"
+)
+
+// allSpaces2D enumerates the four sense combinations of a bi-objective
+// space.
+func allSpaces2D() []Space {
+	return []Space{
+		NewSpace(Minimize, Minimize),
+		NewSpace(Minimize, Maximize),
+		NewSpace(Maximize, Minimize),
+		NewSpace(Maximize, Maximize),
+	}
+}
+
+// randomPoints2D draws n points; quantizing to a small grid forces
+// duplicate coordinates and exact ties.
+func randomPoints2D(src *rng.Source, n int, quantized bool) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		x, y := src.Float64(), src.Float64()
+		if quantized {
+			x = math.Floor(x*8) / 8
+			y = math.Floor(y*8) / 8
+		}
+		pts[i] = []float64{x, y}
+	}
+	return pts
+}
+
+func frontsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for f := range a {
+		if len(a[f]) != len(b[f]) {
+			return false
+		}
+		for k := range a[f] {
+			if a[f][k] != b[f][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSort2DMatchesGenericProperty cross-checks the O(n log n) sweep
+// against the generic pairwise algorithm on 1,000 random point sets,
+// covering all sense combinations, duplicate-heavy quantized sets, and
+// sizes from empty to a few hundred.
+func TestSort2DMatchesGenericProperty(t *testing.T) {
+	src := rng.New(42)
+	for trial := 0; trial < 1000; trial++ {
+		sp := allSpaces2D()[trial%4]
+		n := src.Intn(120)
+		if trial%10 == 0 {
+			n = 200 + src.Intn(200)
+		}
+		pts := randomPoints2D(src, n, trial%3 == 0)
+		fast := sp.NondominatedSort2D(pts)
+		slow := sp.NondominatedSortGeneric(pts)
+		if !frontsEqual(fast, slow) {
+			t.Fatalf("trial %d (n=%d, senses=%v): sweep fronts %v != generic %v",
+				trial, n, sp.Senses, fast, slow)
+		}
+	}
+}
+
+// TestSort2DKnownFronts pins a hand-checked instance in min/min space.
+func TestSort2DKnownFronts(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	pts := [][]float64{
+		{1, 5}, // front 0
+		{2, 2}, // front 0
+		{5, 1}, // front 0
+		{2, 6}, // front 1 (dominated by {1,5})
+		{3, 3}, // front 1 (dominated by {2,2})
+		{3, 3}, // duplicate: same front as its twin
+		{6, 6}, // front 2
+	}
+	fronts := sp.NondominatedSort2D(pts)
+	want := [][]int{{0, 1, 2}, {3, 4, 5}, {6}}
+	if !frontsEqual(fronts, want) {
+		t.Fatalf("fronts %v, want %v", fronts, want)
+	}
+}
+
+func TestSort2DPanicsOnWrongDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 3-dim space")
+		}
+	}()
+	NewSpace(Minimize, Minimize, Minimize).NondominatedSort2D(nil)
+}
+
+// referenceCrowding is a deliberately naive reimplementation of Deb's
+// crowding distance used as an oracle.
+func referenceCrowding(sp Space, points [][]float64, front []int) []float64 {
+	n := len(front)
+	dist := make([]float64, n)
+	if n == 0 {
+		return dist
+	}
+	if n <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	for m := 0; m < sp.Dim(); m++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		// Insertion sort by objective m (stable; values are distinct in
+		// the cases this oracle is used for).
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && points[front[idx[j]]][m] < points[front[idx[j-1]]][m]; j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+		lo := points[front[idx[0]]][m]
+		hi := points[front[idx[n-1]]][m]
+		dist[idx[0]] = math.Inf(1)
+		dist[idx[n-1]] = math.Inf(1)
+		span := hi - lo
+		if span == 0 {
+			continue
+		}
+		for k := 1; k < n-1; k++ {
+			if math.IsInf(dist[idx[k]], 1) {
+				continue
+			}
+			dist[idx[k]] += (points[front[idx[k+1]]][m] - points[front[idx[k-1]]][m]) / span
+		}
+	}
+	return dist
+}
+
+// TestCrowdingFastPathMatchesReference exercises the 2-D staircase fast
+// path: fronts produced by nondominated sorting of distinct random
+// points are strict staircases, so the single-sort path runs and must
+// agree exactly with the naive oracle.
+func TestCrowdingFastPathMatchesReference(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 300; trial++ {
+		sp := allSpaces2D()[trial%4]
+		pts := randomPoints2D(src, 3+src.Intn(80), false)
+		for _, front := range sp.FastNondominatedSort(pts) {
+			got := sp.CrowdingDistance(pts, front)
+			want := referenceCrowding(sp, pts, front)
+			for k := range want {
+				if got[k] != want[k] && !(math.IsInf(got[k], 1) && math.IsInf(want[k], 1)) {
+					t.Fatalf("trial %d front %v position %d: crowding %v, want %v",
+						trial, front, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestCrowdingGenericFallback feeds non-staircase index sets (not
+// mutually nondominated), which must take the generic path and still
+// match the oracle.
+func TestCrowdingGenericFallback(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 0.5}, {0.5, 3}}
+	front := []int{0, 1, 2, 3, 4}
+	got := sp.CrowdingDistance(pts, front)
+	want := referenceCrowding(sp, pts, front)
+	for k := range want {
+		if got[k] != want[k] && !(math.IsInf(got[k], 1) && math.IsInf(want[k], 1)) {
+			t.Fatalf("position %d: crowding %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestRankerReuse verifies a single Ranker produces correct results over
+// repeated calls with varying sizes (the buffers shrink and grow).
+func TestRankerReuse(t *testing.T) {
+	r := NewRanker()
+	src := rng.New(11)
+	for trial := 0; trial < 200; trial++ {
+		sp := allSpaces2D()[trial%4]
+		pts := randomPoints2D(src, src.Intn(150), trial%2 == 0)
+		got := r.Fronts(sp, pts)
+		want := sp.NondominatedSortGeneric(pts)
+		if !frontsEqual(got, want) {
+			t.Fatalf("trial %d: reused ranker fronts diverge", trial)
+		}
+	}
+}
+
+// TestDominanceCountGroupsMatchesRanks cross-checks the scratch-reusing
+// grouping against the allocating DominanceCountRanks.
+func TestDominanceCountGroupsMatchesRanks(t *testing.T) {
+	r := NewRanker()
+	src := rng.New(13)
+	for trial := 0; trial < 200; trial++ {
+		sp := allSpaces2D()[trial%4]
+		pts := randomPoints2D(src, src.Intn(100), trial%2 == 0)
+		ranks := sp.DominanceCountRanks(pts)
+		groups := r.DominanceCountGroups(sp, pts)
+		seen := 0
+		prevRank := 0
+		for _, g := range groups {
+			if len(g) == 0 {
+				t.Fatalf("trial %d: empty group", trial)
+			}
+			rank := ranks[g[0]]
+			if rank <= prevRank {
+				t.Fatalf("trial %d: group ranks not ascending", trial)
+			}
+			prevRank = rank
+			for _, i := range g {
+				if ranks[i] != rank {
+					t.Fatalf("trial %d: mixed ranks in group", trial)
+				}
+				seen++
+			}
+		}
+		if seen != len(pts) {
+			t.Fatalf("trial %d: groups cover %d of %d points", trial, seen, len(pts))
+		}
+	}
+}
+
+func BenchmarkSort2DvsGeneric(b *testing.B) {
+	src := rng.New(3)
+	sp := UtilityEnergySpace()
+	pts := randomPoints2D(src, 2000, false)
+	b.Run("sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		r := NewRanker()
+		for i := 0; i < b.N; i++ {
+			r.Fronts(sp, pts)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
+		r := NewRanker()
+		for i := 0; i < b.N; i++ {
+			r.frontsGeneric(sp, pts)
+		}
+	})
+}

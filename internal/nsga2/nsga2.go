@@ -17,11 +17,20 @@
 // orders are repaired back into permutations by re-ranking (stable sort
 // by swapped value, ties by gene index), which preserves the relative
 // order the crossover expressed; see DESIGN.md §4.
+//
+// The generation loop is engineered to be allocation-free in steady
+// state: chromosomes and objective vectors of non-surviving individuals
+// are recycled through a per-engine arena, ranking runs over reusable
+// scratch (O(n log n) for the paper's bi-objective space via
+// moea.Ranker), and the variation phase fans out across workers with one
+// deterministic child rng stream per offspring pair, so results are
+// bit-identical regardless of worker count. See DESIGN.md §8.
 package nsga2
 
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -85,8 +94,9 @@ type Config struct {
 	// Seeds are allocations injected into the initial population; the
 	// remainder is random. Seeds beyond PopulationSize are ignored.
 	Seeds []*sched.Allocation
-	// Workers bounds parallel fitness evaluation; 0 means GOMAXPROCS,
-	// 1 forces serial evaluation.
+	// Workers bounds parallelism of fitness evaluation and of the
+	// variation phase; 0 means GOMAXPROCS, 1 forces serial execution.
+	// Results are identical for every worker count.
 	Workers int
 	// Repair selects how offspring order arrays are restored into
 	// permutations after crossover. Default RerankRepair.
@@ -111,6 +121,25 @@ type Problem struct {
 	// Objectives maps a schedule evaluation to an objective vector
 	// matching Space.
 	Objectives func(sched.Evaluation) []float64
+	// FillObjectives, when non-nil, writes the objective vector into dst
+	// (len Space.Dim()), letting the engine recycle objective buffers
+	// instead of allocating each evaluation. Optional; Objectives remains
+	// the fallback and the two must agree.
+	FillObjectives func(dst []float64, ev sched.Evaluation)
+}
+
+// fill writes the objectives of ev into ind, reusing ind.Objectives when
+// possible.
+func (p *Problem) fill(ind *Individual, ev sched.Evaluation, dim int) {
+	if p.FillObjectives == nil {
+		ind.Objectives = p.Objectives(ev)
+		return
+	}
+	if cap(ind.Objectives) < dim {
+		ind.Objectives = make([]float64, dim)
+	}
+	ind.Objectives = ind.Objectives[:dim]
+	p.FillObjectives(ind.Objectives, ev)
 }
 
 // UtilityEnergyProblem is the paper's bi-objective problem: maximize
@@ -121,6 +150,9 @@ func UtilityEnergyProblem() *Problem {
 		Space: moea.UtilityEnergySpace(),
 		Objectives: func(ev sched.Evaluation) []float64 {
 			return []float64{ev.Utility, ev.Energy}
+		},
+		FillObjectives: func(dst []float64, ev sched.Evaluation) {
+			dst[0], dst[1] = ev.Utility, ev.Energy
 		},
 	}
 }
@@ -133,6 +165,9 @@ func MakespanEnergyProblem() *Problem {
 		Space: moea.NewSpace(moea.Minimize, moea.Minimize),
 		Objectives: func(ev sched.Evaluation) []float64 {
 			return []float64{ev.Makespan, ev.Energy}
+		},
+		FillObjectives: func(dst []float64, ev sched.Evaluation) {
+			dst[0], dst[1] = ev.Makespan, ev.Energy
 		},
 	}
 }
@@ -226,8 +261,48 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// arena recycles the buffers of non-surviving individuals so the
+// generation loop allocates nothing in steady state: exactly N
+// chromosomes and objective vectors leave the population each
+// generation, and exactly N are needed for the next offspring batch.
+type arena struct {
+	allocs []*sched.Allocation
+	objs   [][]float64
+}
+
+func (ar *arena) getAlloc(n int) *sched.Allocation {
+	if k := len(ar.allocs); k > 0 {
+		a := ar.allocs[k-1]
+		ar.allocs = ar.allocs[:k-1]
+		return a
+	}
+	return &sched.Allocation{Machine: make([]int, 0, n), Order: make([]int, 0, n)}
+}
+
+func (ar *arena) putAlloc(a *sched.Allocation) {
+	if a != nil {
+		ar.allocs = append(ar.allocs, a)
+	}
+}
+
+func (ar *arena) getObjs(dim int) []float64 {
+	if k := len(ar.objs); k > 0 {
+		o := ar.objs[k-1]
+		ar.objs = ar.objs[:k-1]
+		return o
+	}
+	return make([]float64, 0, dim)
+}
+
+func (ar *arena) putObjs(o []float64) {
+	if o != nil {
+		ar.objs = append(ar.objs, o)
+	}
+}
+
 // Engine runs NSGA-II over a fixed evaluator. It is not safe for
-// concurrent use; fitness evaluation parallelism is internal.
+// concurrent use; fitness-evaluation and variation parallelism is
+// internal and deterministic.
 type Engine struct {
 	cfg     Config
 	eval    *sched.Evaluator
@@ -239,6 +314,20 @@ type Engine struct {
 	generation int
 
 	sessions []*sched.Session // one per worker
+
+	// Steady-state scratch (lazily sized on first Step).
+	ranker     *moea.Ranker
+	arena      arena
+	parents    []*sched.Allocation // 2 per offspring pair, drawn serially
+	offspring  []Individual
+	meta       []Individual
+	popBuf     []Individual // survivor build buffer, swapped with pop
+	points     [][]float64
+	picked     []bool
+	groupOrder []int
+	crowdOrd   crowdOrderSorter
+	workerSrc  []rng.Source // reseeded per offspring pair
+	varScratch [][]int      // per-worker repair scratch
 }
 
 // New creates an engine with an initial population: the seeds (validated)
@@ -264,6 +353,7 @@ func New(eval *sched.Evaluator, cfg Config, src *rng.Source) (*Engine, error) {
 		problem: problem,
 		space:   problem.Space,
 		src:     src,
+		ranker:  moea.NewRanker(),
 	}
 	e.sessions = make([]*sched.Session, cfg.Workers)
 	for i := range e.sessions {
@@ -288,6 +378,31 @@ func New(eval *sched.Evaluator, cfg Config, src *rng.Source) (*Engine, error) {
 	return e, nil
 }
 
+// ensureScratch sizes the per-engine buffers the generation loop reuses.
+func (e *Engine) ensureScratch() {
+	n := e.cfg.PopulationSize
+	if cap(e.parents) >= n {
+		return
+	}
+	nt := e.eval.NumTasks()
+	e.parents = make([]*sched.Allocation, n)
+	e.offspring = make([]Individual, 0, n)
+	e.meta = make([]Individual, 0, 2*n)
+	e.popBuf = make([]Individual, 0, n)
+	e.points = make([][]float64, 0, 2*n)
+	e.picked = make([]bool, 2*n)
+	e.groupOrder = make([]int, 0, 2*n)
+	workers := e.cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e.workerSrc = make([]rng.Source, workers)
+	e.varScratch = make([][]int, workers)
+	for w := range e.varScratch {
+		e.varScratch[w] = make([]int, nt)
+	}
+}
+
 // Generation returns the number of completed generations.
 func (e *Engine) Generation() int { return e.generation }
 
@@ -303,7 +418,13 @@ func (e *Engine) Population() []Individual {
 // ParetoFront returns deep copies of the rank-1 individuals, sorted by
 // descending utility.
 func (e *Engine) ParetoFront() []Individual {
-	var out []Individual
+	count := 0
+	for i := range e.pop {
+		if e.pop[i].Rank == 1 {
+			count++
+		}
+	}
+	out := make([]Individual, 0, count)
 	for _, ind := range e.pop {
 		if ind.Rank == 1 {
 			out = append(out, ind.Clone())
@@ -333,6 +454,9 @@ func (e *Engine) FrontPoints() [][]float64 {
 // Elites returns deep copies of the n best individuals under the
 // crowded-comparison order (rank ascending, crowding descending).
 func (e *Engine) Elites(n int) []Individual {
+	if n > len(e.pop) {
+		n = len(e.pop)
+	}
 	idx := make([]int, len(e.pop))
 	for i := range idx {
 		idx[i] = i
@@ -344,9 +468,6 @@ func (e *Engine) Elites(n int) []Individual {
 		}
 		return ia.Crowding > ib.Crowding
 	})
-	if n > len(idx) {
-		n = len(idx)
-	}
 	out := make([]Individual, n)
 	for i := 0; i < n; i++ {
 		out[i] = e.pop[idx[i]].Clone()
@@ -387,6 +508,8 @@ func (e *Engine) Inject(inds []Individual) error {
 		return ia.Crowding < ib.Crowding
 	})
 	for i, c := range clones {
+		e.arena.putAlloc(e.pop[idx[i]].Alloc)
+		e.arena.putObjs(e.pop[idx[i]].Objectives)
 		e.pop[idx[i]] = c
 	}
 	e.rank(e.pop)
@@ -394,32 +517,43 @@ func (e *Engine) Inject(inds []Individual) error {
 }
 
 // Step advances the engine by one generation (Algorithm 1 steps 3–11).
+// Steady-state Steps allocate nothing: offspring chromosomes come from
+// the arena, variation and evaluation run over per-worker scratch, and
+// ranking reuses the engine's moea.Ranker.
 func (e *Engine) Step() {
 	n := e.cfg.PopulationSize
-	offspring := make([]Individual, 0, n)
-	// Step 3–4: N/2 crossovers, two offspring each.
-	for len(offspring) < n {
-		p1 := e.selectParent()
-		p2 := e.selectParent()
-		c1, c2 := e.crossover(p1, p2)
-		offspring = append(offspring, Individual{Alloc: c1}, Individual{Alloc: c2})
+	pairs := n / 2
+	e.ensureScratch()
+
+	// Steps 3–4: draw parents serially (selection consumes the engine
+	// source in a worker-independent order), then derive one child rng
+	// stream per offspring pair from two generation-level draws. The
+	// variation fan-out below is bit-identical for every worker count.
+	for k := 0; k < 2*pairs; k++ {
+		e.parents[k] = e.selectParent()
 	}
-	offspring = offspring[:n]
-	// Step 5: mutate each offspring with probability MutationRate.
-	for i := range offspring {
-		if e.src.Bool(e.cfg.MutationRate) {
-			e.mutate(offspring[i].Alloc)
-		}
+	genSeed := e.src.Uint64()
+	genStream := e.src.Uint64()
+
+	e.offspring = e.offspring[:0]
+	nt := e.eval.NumTasks()
+	for i := 0; i < n; i++ {
+		e.offspring = append(e.offspring, Individual{
+			Alloc:      e.arena.getAlloc(nt),
+			Objectives: e.arena.getObjs(e.space.Dim()),
+		})
 	}
-	e.evaluateAll(offspring)
+	// Steps 4–5: crossover + repair + mutation, parallel across pairs.
+	e.varyAll(genSeed, genStream, pairs)
+	e.evaluateInPlace(e.offspring)
 
 	// Step 6: merge into the 2N meta-population (elitism).
-	meta := make([]Individual, 0, 2*n)
-	meta = append(meta, e.pop...)
-	meta = append(meta, offspring...)
+	e.meta = e.meta[:0]
+	e.meta = append(e.meta, e.pop...)
+	e.meta = append(e.meta, e.offspring...)
 
 	// Steps 7–10: rank, fill by rank groups, truncate by crowding.
-	e.pop = e.selectSurvivors(meta, n)
+	e.selectSurvivors(n)
 	e.generation++
 }
 
@@ -472,15 +606,80 @@ func (e *Engine) selectParent() *sched.Allocation {
 	}
 }
 
+// varyAll runs crossover, repair, and mutation for all offspring pairs,
+// fanning out across the configured workers. Pair k always draws from
+// the stream (genSeed, genStream+k), so the offspring are independent of
+// how pairs are partitioned across workers.
+func (e *Engine) varyAll(genSeed, genStream uint64, pairs int) {
+	workers := e.cfg.Workers
+	if workers > pairs {
+		workers = pairs
+	}
+	if workers <= 1 {
+		src := &e.workerSrc[0]
+		for k := 0; k < pairs; k++ {
+			src.Reseed(genSeed, genStream+uint64(k))
+			e.varyPair(k, src, e.varScratch[0])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (pairs + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= pairs {
+			break
+		}
+		hi := lo + chunk
+		if hi > pairs {
+			hi = pairs
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			src := &e.workerSrc[w]
+			for k := lo; k < hi; k++ {
+				src.Reseed(genSeed, genStream+uint64(k))
+				e.varyPair(k, src, e.varScratch[w])
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// varyPair produces offspring 2k and 2k+1 from parents 2k and 2k+1 in
+// recycled buffers: crossover, order repair, then per-child mutation
+// coin flips, all drawn from the pair's own stream.
+func (e *Engine) varyPair(k int, src *rng.Source, scratch []int) {
+	c1 := e.offspring[2*k].Alloc
+	c2 := e.offspring[2*k+1].Alloc
+	c1.CopyFrom(e.parents[2*k])
+	c2.CopyFrom(e.parents[2*k+1])
+	e.crossInto(c1, c2, src, scratch)
+	if src.Bool(e.cfg.MutationRate) {
+		e.mutateWith(c1, src)
+	}
+	if src.Bool(e.cfg.MutationRate) {
+		e.mutateWith(c2, src)
+	}
+}
+
 // crossover implements the paper's operator: choose two gene indices
 // uniformly at random and swap the inclusive segment between copies of
 // the parents — machine assignments and global scheduling orders both —
 // then repair the order permutations.
 func (e *Engine) crossover(p1, p2 *sched.Allocation) (*sched.Allocation, *sched.Allocation) {
-	n := p1.Len()
 	c1, c2 := p1.Clone(), p2.Clone()
-	i := e.src.Intn(n)
-	j := e.src.Intn(n)
+	e.crossInto(c1, c2, e.src, make([]int, p1.Len()))
+	return c1, c2
+}
+
+// crossInto applies segment swap and order repair to two chromosomes in
+// place.
+func (e *Engine) crossInto(c1, c2 *sched.Allocation, src *rng.Source, scratch []int) {
+	n := c1.Len()
+	i := src.Intn(n)
+	j := src.Intn(n)
 	if i > j {
 		i, j = j, i
 	}
@@ -490,40 +689,80 @@ func (e *Engine) crossover(p1, p2 *sched.Allocation) (*sched.Allocation, *sched.
 	}
 	switch e.cfg.Repair {
 	case ShuffleRepair:
-		copy(c1.Order, e.src.Perm(n))
-		copy(c2.Order, e.src.Perm(n))
+		src.PermInto(c1.Order)
+		src.PermInto(c2.Order)
 	default:
-		repairOrder(c1.Order)
-		repairOrder(c2.Order)
+		repairOrderScratch(c1.Order, scratch)
+		repairOrderScratch(c2.Order, scratch)
 	}
-	return c1, c2
 }
 
 // repairOrder rewrites ord into a permutation of [0, len): genes are
 // ranked by their (possibly duplicated) swapped order values, ties broken
 // by gene index, preserving the relative ordering the values express.
 func repairOrder(ord []int) {
+	repairOrderScratch(ord, make([]int, len(ord)))
+}
+
+// repairOrderScratch is repairOrder over caller-provided scratch (len >=
+// len(ord)). Each gene's sort key packs (order value, gene index) into
+// one int, so a plain integer sort ranks genes by value with ties broken
+// by index — stable by construction and allocation-free.
+func repairOrderScratch(ord, scratch []int) {
 	n := len(ord)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	keys := scratch[:n]
+	for i, v := range ord {
+		keys[i] = v*n + i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return ord[idx[a]] < ord[idx[b]] })
-	for pos, gene := range idx {
-		ord[gene] = pos
+	slices.Sort(keys)
+	for pos, key := range keys {
+		ord[key%n] = pos
 	}
 }
 
 // mutate implements the paper's operator: reassign one random gene to a
 // random eligible machine, and swap the global scheduling orders of two
 // random genes.
-func (e *Engine) mutate(a *sched.Allocation) {
+func (e *Engine) mutate(a *sched.Allocation) { e.mutateWith(a, e.src) }
+
+func (e *Engine) mutateWith(a *sched.Allocation, src *rng.Source) {
 	n := a.Len()
-	g := e.src.Intn(n)
+	g := src.Intn(n)
 	el := e.eval.Eligible(e.eval.Trace().Tasks[g].Type)
-	a.Machine[g] = el[e.src.Intn(len(el))]
-	x, y := e.src.Intn(n), e.src.Intn(n)
+	a.Machine[g] = el[src.Intn(len(el))]
+	x, y := src.Intn(n), src.Intn(n)
 	a.Order[x], a.Order[y] = a.Order[y], a.Order[x]
+}
+
+// fanout partitions [0, count) across the configured workers and invokes
+// fn once per non-empty chunk with a dedicated worker id.
+func (e *Engine) fanout(count int, fn func(worker, lo, hi int)) {
+	workers := e.cfg.Workers
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		fn(0, 0, count)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (count + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= count {
+			break
+		}
+		hi := lo + chunk
+		if hi > count {
+			hi = count
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 }
 
 // evaluateAll fills Objectives for individuals lacking them, fanning out
@@ -539,48 +778,35 @@ func (e *Engine) evaluateAll(inds []Individual) {
 	if len(todo) == 0 {
 		return
 	}
-	workers := e.cfg.Workers
-	if workers > len(todo) {
-		workers = len(todo)
-	}
-	if workers <= 1 {
-		sess := e.sessions[0]
-		for _, i := range todo {
-			inds[i].Objectives = e.problem.Objectives(sess.Evaluate(inds[i].Alloc))
+	e.fanout(len(todo), func(w, lo, hi int) {
+		sess := e.sessions[w]
+		for _, i := range todo[lo:hi] {
+			e.problem.fill(&inds[i], sess.Evaluate(inds[i].Alloc), e.space.Dim())
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (len(todo) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(todo) {
-			break
+	})
+}
+
+// evaluateInPlace unconditionally (re-)evaluates every individual,
+// writing objectives into recycled buffers.
+func (e *Engine) evaluateInPlace(inds []Individual) {
+	dim := e.space.Dim()
+	e.fanout(len(inds), func(w, lo, hi int) {
+		sess := e.sessions[w]
+		for i := lo; i < hi; i++ {
+			e.problem.fill(&inds[i], sess.Evaluate(inds[i].Alloc), dim)
 		}
-		hi := lo + chunk
-		if hi > len(todo) {
-			hi = len(todo)
-		}
-		wg.Add(1)
-		go func(sess *sched.Session, part []int) {
-			defer wg.Done()
-			for _, i := range part {
-				inds[i].Objectives = e.problem.Objectives(sess.Evaluate(inds[i].Alloc))
-			}
-		}(e.sessions[w], todo[lo:hi])
-	}
-	wg.Wait()
+	})
 }
 
 // rank computes Rank and Crowding for a population in place.
 func (e *Engine) rank(pop []Individual) {
-	points := make([][]float64, len(pop))
+	e.points = e.points[:0]
 	for i := range pop {
-		points[i] = pop[i].Objectives
+		e.points = append(e.points, pop[i].Objectives)
 	}
-	groups := e.rankGroups(points)
+	groups := e.rankGroups(e.points)
 	for rank, group := range groups {
-		dist := e.space.CrowdingDistance(points, group)
+		dist := e.ranker.Crowding(e.space, e.points, group)
 		for k, i := range group {
 			pop[i].Rank = rank + 1
 			pop[i].Crowding = dist[k]
@@ -589,70 +815,85 @@ func (e *Engine) rank(pop []Individual) {
 }
 
 // rankGroups partitions point indices into ascending-rank groups using
-// the configured ranking rule.
+// the configured ranking rule. The returned groups alias the engine's
+// ranker and are valid until its next use.
 func (e *Engine) rankGroups(points [][]float64) [][]int {
-	switch e.cfg.Ranking {
-	case DominanceCount:
-		ranks := e.space.DominanceCountRanks(points)
-		byRank := map[int][]int{}
-		maxRank := 0
-		for i, r := range ranks {
-			byRank[r] = append(byRank[r], i)
-			if r > maxRank {
-				maxRank = r
-			}
-		}
-		var groups [][]int
-		for r := 1; r <= maxRank; r++ {
-			if g, ok := byRank[r]; ok {
-				groups = append(groups, g)
-			}
-		}
-		return groups
-	default:
-		return e.space.FastNondominatedSort(points)
+	if e.cfg.Ranking == DominanceCount {
+		return e.ranker.DominanceCountGroups(e.space, points)
 	}
+	return e.ranker.Fronts(e.space, points)
 }
 
-// selectSurvivors picks the best n individuals from meta: whole rank
+// selectSurvivors picks the best n individuals from e.meta: whole rank
 // groups while they fit, then the most crowded-out members of the next
-// group by descending crowding distance (Algorithm 1 steps 7–10).
-func (e *Engine) selectSurvivors(meta []Individual, n int) []Individual {
-	points := make([][]float64, len(meta))
+// group by descending crowding distance (Algorithm 1 steps 7–10). The
+// buffers of everyone left behind return to the arena.
+func (e *Engine) selectSurvivors(n int) {
+	meta := e.meta
+	e.points = e.points[:0]
 	for i := range meta {
-		points[i] = meta[i].Objectives
+		e.points = append(e.points, meta[i].Objectives)
 	}
-	groups := e.rankGroups(points)
-	next := make([]Individual, 0, n)
+	groups := e.rankGroups(e.points)
+	if cap(e.picked) < len(meta) {
+		e.picked = make([]bool, len(meta))
+	}
+	picked := e.picked[:len(meta)]
+	for i := range picked {
+		picked[i] = false
+	}
+	e.popBuf = e.popBuf[:0]
 	for rank, group := range groups {
-		dist := e.space.CrowdingDistance(points, group)
+		dist := e.ranker.Crowding(e.space, e.points, group)
 		for k, i := range group {
 			meta[i].Rank = rank + 1
 			meta[i].Crowding = dist[k]
 		}
-		if len(next)+len(group) <= n {
+		if len(e.popBuf)+len(group) <= n {
 			for _, i := range group {
-				next = append(next, meta[i])
+				e.popBuf = append(e.popBuf, meta[i])
+				picked[i] = true
 			}
-			if len(next) == n {
+			if len(e.popBuf) == n {
 				break
 			}
 			continue
 		}
 		// Partial group: take the most isolated by crowding distance.
-		rem := n - len(next)
-		order := make([]int, len(group))
-		for i := range order {
-			order[i] = i
+		rem := n - len(e.popBuf)
+		e.groupOrder = e.groupOrder[:0]
+		for k := range group {
+			e.groupOrder = append(e.groupOrder, k)
 		}
-		sort.SliceStable(order, func(a, b int) bool { return dist[order[a]] > dist[order[b]] })
-		for _, k := range order[:rem] {
-			next = append(next, meta[group[k]])
+		e.crowdOrd.dist, e.crowdOrd.order = dist, e.groupOrder
+		sort.Stable(&e.crowdOrd)
+		for _, k := range e.groupOrder[:rem] {
+			e.popBuf = append(e.popBuf, meta[group[k]])
+			picked[group[k]] = true
 		}
 		break
 	}
+	// Recycle the chromosomes and objective vectors of the fallen.
+	for i := range meta {
+		if !picked[i] {
+			e.arena.putAlloc(meta[i].Alloc)
+			e.arena.putObjs(meta[i].Objectives)
+			meta[i] = Individual{}
+		}
+	}
+	e.pop, e.popBuf = e.popBuf, e.pop
 	// Re-rank the survivor population so Rank/Crowding reflect the new
 	// population rather than the meta-population.
-	e.rank(next)
-	return next
+	e.rank(e.pop)
 }
+
+// crowdOrderSorter stably orders group positions by descending crowding
+// distance.
+type crowdOrderSorter struct {
+	dist  []float64
+	order []int
+}
+
+func (s *crowdOrderSorter) Len() int           { return len(s.order) }
+func (s *crowdOrderSorter) Less(a, b int) bool { return s.dist[s.order[a]] > s.dist[s.order[b]] }
+func (s *crowdOrderSorter) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }

@@ -40,6 +40,16 @@ func NewStream(seed, stream uint64) *Source {
 	return s
 }
 
+// Reseed resets the source in place to the exact sequence
+// NewStream(seed, stream) would produce, without allocating. Parallel
+// components reuse one Source value per worker and Reseed it once per
+// work item, so results are independent of how items map to workers.
+func (s *Source) Reseed(seed, stream uint64) {
+	s.inc = stream<<1 | 1
+	s.state = s.inc + seed
+	s.step()
+}
+
 func (s *Source) step() {
 	s.state = s.state*pcgMultiplier + s.inc
 }
@@ -117,11 +127,21 @@ func (s *Source) ExpFloat64() float64 {
 // Perm returns a uniformly random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
 	p := make([]int, n)
+	s.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)),
+// drawing the same sequence Perm would. It never allocates, making it
+// suitable for hot loops that recycle permutation buffers.
+func (s *Source) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	s.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
-	return p
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
 }
 
 // Shuffle performs a Fisher-Yates shuffle over n elements using swap.

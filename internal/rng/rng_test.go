@@ -323,3 +323,46 @@ func TestStateRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestReseedMatchesNewStream(t *testing.T) {
+	var s Source
+	for trial := 0; trial < 20; trial++ {
+		seed, stream := uint64(trial*17+3), uint64(trial*31+5)
+		s.Reseed(seed, stream)
+		want := NewStream(seed, stream)
+		for i := 0; i < 50; i++ {
+			if got, w := s.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("trial %d step %d: Reseed diverged from NewStream", trial, i)
+			}
+		}
+	}
+}
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		a, b := New(uint64(n+1)), New(uint64(n+1))
+		p := make([]int, n)
+		b.PermInto(p)
+		want := a.Perm(n)
+		for i := range want {
+			if p[i] != want[i] {
+				t.Fatalf("n=%d: PermInto %v != Perm %v", n, p, want)
+			}
+		}
+	}
+}
+
+func TestPermIntoIsPermutation(t *testing.T) {
+	s := New(8)
+	p := make([]int, 64)
+	for trial := 0; trial < 50; trial++ {
+		s.PermInto(p)
+		seen := make([]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= len(p) || seen[v] {
+				t.Fatalf("trial %d: not a permutation: %v", trial, p)
+			}
+			seen[v] = true
+		}
+	}
+}

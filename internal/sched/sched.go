@@ -51,6 +51,15 @@ func (a *Allocation) Clone() *Allocation {
 	}
 }
 
+// CopyFrom overwrites a with src's genes, reusing a's backing arrays
+// when they have sufficient capacity. Recycled allocations combined with
+// CopyFrom let hot loops (the NSGA-II variation phase) produce offspring
+// without per-generation allocation.
+func (a *Allocation) CopyFrom(src *Allocation) {
+	a.Machine = append(a.Machine[:0], src.Machine...)
+	a.Order = append(a.Order[:0], src.Order...)
+}
+
 // Evaluation is the outcome of simulating an allocation.
 type Evaluation struct {
 	// Utility is the total utility earned, U = Σ Υ(t).

@@ -561,3 +561,30 @@ func TestSessionEvaluateZeroAlloc(t *testing.T) {
 		t.Fatalf("Session.Evaluate allocates %v per run, want 0", allocs)
 	}
 }
+
+func TestAllocationCopyFrom(t *testing.T) {
+	src := &Allocation{Machine: []int{2, 0, 1}, Order: []int{1, 2, 0}}
+	dst := NewAllocation(3)
+	dst.CopyFrom(src)
+	for i := range src.Machine {
+		if dst.Machine[i] != src.Machine[i] || dst.Order[i] != src.Order[i] {
+			t.Fatalf("CopyFrom mismatch at %d: %+v vs %+v", i, dst, src)
+		}
+	}
+	// Mutating the copy must not touch the source.
+	dst.Machine[0], dst.Order[0] = 9, 9
+	if src.Machine[0] == 9 || src.Order[0] == 9 {
+		t.Fatal("CopyFrom aliases the source")
+	}
+	// Copying a shorter allocation into a longer one shrinks it in place
+	// without reallocating.
+	long := NewAllocation(10)
+	backing := &long.Machine[0]
+	long.CopyFrom(src)
+	if long.Len() != 3 {
+		t.Fatalf("CopyFrom length %d, want 3", long.Len())
+	}
+	if &long.Machine[0] != backing {
+		t.Fatal("CopyFrom reallocated despite sufficient capacity")
+	}
+}
