@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-record bench-diff check
+.PHONY: all build vet test race bench-smoke bench-record bench-diff bench-evaluate check
+
+# Benchmarks guarded by the >10% regression gate (cmd/benchdiff against
+# BENCH_step.json): generation cost, front extraction, and the
+# evaluation kernels.
+BENCH_GATE = BenchmarkStep|BenchmarkParetoFront|BenchmarkEvaluate
 
 all: check
 
@@ -21,16 +26,22 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Step -benchtime 1x -benchmem .
 
-# Re-measure the Step benchmarks and refresh the canonical baseline at
+# Re-measure the gated benchmarks and refresh the canonical baseline at
 # the repo root (BENCH_step.json).
 bench-record:
-	$(GO) test -run '^$$' -bench 'BenchmarkStep|BenchmarkParetoFront' -benchtime 10x -benchmem . | tee /tmp/bench_step.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime 500ms -count 3 -benchmem . | tee /tmp/bench_step.txt
 	$(GO) run ./cmd/benchdiff -record BENCH_step.json /tmp/bench_step.txt
 
 # Compare the current tree against the recorded baseline; fails on >10%
 # regression in ns/op or allocs/op.
 bench-diff:
-	$(GO) test -run '^$$' -bench 'BenchmarkStep|BenchmarkParetoFront' -benchtime 10x -benchmem . > /tmp/bench_new.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime 500ms -count 3 -benchmem . > /tmp/bench_new.txt
 	$(GO) run ./cmd/benchdiff BENCH_step.json /tmp/bench_new.txt
+
+# Evaluation-kernel slice of the regression gate: the task-major session
+# sweep and the machine-major full evaluation on the large traces.
+bench-evaluate:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate' -benchtime 500ms -count 3 -benchmem . > /tmp/bench_eval.txt
+	$(GO) run ./cmd/benchdiff BENCH_step.json /tmp/bench_eval.txt
 
 check: build vet race bench-smoke

@@ -201,6 +201,29 @@ func benchStep(b *testing.B, n int) {
 	}
 }
 
+// Generation cost on the large traces, where per-offspring evaluation
+// dominates and the machine-major kernel with delta inheritance pays
+// off.
+func BenchmarkStepPop100Tasks1000(b *testing.B) { benchStepLarge(b, 2) }
+func BenchmarkStepPop100Tasks4000(b *testing.B) { benchStepLarge(b, 3) }
+
+func benchStepLarge(b *testing.B, dsNum int) {
+	ds, err := experiments.ByNumber(dsNum, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := nsga2.New(ds.Evaluator, nsga2.Config{PopulationSize: 100}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Step() // size the arena and scratch before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
 // Pareto-front extraction cost (rank-1 copy + sort), measured on a
 // converged population where the front is large.
 func BenchmarkParetoFront(b *testing.B) {
@@ -235,7 +258,8 @@ func BenchmarkSeedConstructionAll(b *testing.B) {
 	}
 }
 
-// End-to-end evaluation throughput across the three data-set scales.
+// End-to-end evaluation throughput across the three data-set scales
+// (task-major Session sweep, the kernel external analysis code uses).
 func BenchmarkEvaluateDataSet1(b *testing.B) { benchEvaluate(b, 1) }
 func BenchmarkEvaluateDataSet2(b *testing.B) { benchEvaluate(b, 2) }
 func BenchmarkEvaluateDataSet3(b *testing.B) { benchEvaluate(b, 3) }
@@ -248,9 +272,33 @@ func benchEvaluate(b *testing.B, dsNum int) {
 	sess := ds.Evaluator.NewSession()
 	a := ds.Evaluator.RandomAllocation(rng.New(2))
 	var sink sched.Evaluation
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sink = sess.Evaluate(a)
+	}
+	_ = sink
+}
+
+// Machine-major full-evaluation kernel on the 1000- and 4000-task
+// traces: the per-offspring simulation cost inside the NSGA-II engine
+// (compiled TUF table + transposed execution-time/energy rows).
+func BenchmarkEvaluate1000(b *testing.B) { benchEvaluateFull(b, 2) }
+func BenchmarkEvaluate4000(b *testing.B) { benchEvaluateFull(b, 3) }
+
+func benchEvaluateFull(b *testing.B, dsNum int) {
+	ds, err := experiments.ByNumber(dsNum, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsess := ds.Evaluator.NewDeltaSession()
+	contribs := ds.Evaluator.NewContribs()
+	a := ds.Evaluator.RandomAllocation(rng.New(2))
+	var sink sched.Evaluation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = dsess.EvaluateFull(a, contribs)
 	}
 	_ = sink
 }

@@ -89,8 +89,8 @@ func parseBenchLine(line string) (Result, bool) {
 }
 
 // parse reads benchmark results from r, auto-detecting the format.
-// Duplicate names keep the last measurement (matching `go test -count`
-// semantics closely enough for threshold checks).
+// Duplicate names (as produced by `go test -count=N`) are averaged,
+// damping run-to-run noise on busy measurement hosts.
 func parse(r io.Reader) ([]Result, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -104,13 +104,21 @@ func parse(r io.Reader) ([]Result, error) {
 		}
 	}
 	var out []Result
+	runs := make(map[string]float64)
 	add := func(res Result) {
 		for i := range out {
 			if out[i].Name == res.Name {
-				out[i] = res
+				k := runs[res.Name]
+				runs[res.Name] = k + 1
+				out[i].NsPerOp = (out[i].NsPerOp*k + res.NsPerOp) / (k + 1)
+				out[i].BytesPerOp = (out[i].BytesPerOp*k + res.BytesPerOp) / (k + 1)
+				out[i].AllocsPerOp = (out[i].AllocsPerOp*k + res.AllocsPerOp) / (k + 1)
+				out[i].Iterations += res.Iterations
+				out[i].HasAllocs = out[i].HasAllocs || res.HasAllocs
 				return
 			}
 		}
+		runs[res.Name] = 1
 		out = append(out, res)
 	}
 	sc := bufio.NewScanner(strings.NewReader(string(data)))

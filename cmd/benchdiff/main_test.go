@@ -81,14 +81,17 @@ func TestParseCanonicalRoundTrip(t *testing.T) {
 	}
 }
 
-func TestParseDuplicateKeepsLast(t *testing.T) {
+func TestParseDuplicatesAveraged(t *testing.T) {
 	in := "BenchmarkX-8 10 200 ns/op\nBenchmarkX-8 10 100 ns/op\n"
 	res, err := parse(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 1 || res[0].NsPerOp != 100 {
+	if len(res) != 1 || res[0].NsPerOp != 150 {
 		t.Fatalf("unexpected results: %+v", res)
+	}
+	if res[0].Iterations != 20 {
+		t.Fatalf("iterations not summed: %+v", res)
 	}
 }
 

@@ -53,12 +53,14 @@ func (f *Framework) Seed(h heuristics.Heuristic) (*sched.Allocation, error) {
 	return h.Build(f.eval)
 }
 
-// Evaluate simulates an allocation.
+// Evaluate simulates an allocation with the machine-major kernel the
+// NSGA-II engine evaluates with, so re-evaluating an allocation returned
+// by Optimize reproduces its front point bit for bit.
 func (f *Framework) Evaluate(a *sched.Allocation) (sched.Evaluation, error) {
 	if err := f.eval.Validate(a); err != nil {
 		return sched.Evaluation{}, err
 	}
-	return f.eval.Evaluate(a), nil
+	return f.eval.NewDeltaSession().EvaluateFull(a, f.eval.NewContribs()), nil
 }
 
 // Options parameterizes an optimization run.

@@ -3,7 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"tradeoff/internal/analysis"
 	"tradeoff/internal/moea"
@@ -66,6 +69,12 @@ type RepeatResult struct {
 // RunRepeats evolves every seeding variant `runs` times with distinct
 // seeds and reports hypervolume and best-utility distributions under a
 // common reference point.
+//
+// The variant × run grid fans out across cfg.Workers goroutines (0 =
+// GOMAXPROCS). Each run owns its engine and its per-(variant, run) rng
+// stream, the shared evaluator is read-only, and results land in
+// grid-indexed slots, so the outcome is bit-identical to a serial sweep
+// for every worker count.
 func RunRepeats(ds *DataSet, cfg RunConfig, runs int) (*RepeatResult, error) {
 	if runs < 2 {
 		return nil, fmt.Errorf("experiments: need >= 2 runs, got %d", runs)
@@ -74,53 +83,83 @@ func RunRepeats(ds *DataSet, cfg RunConfig, runs int) (*RepeatResult, error) {
 	gens := cfg.Checkpoints[len(cfg.Checkpoints)-1]
 	res := &RepeatResult{DataSet: ds.Name, Generations: gens, Runs: runs}
 
-	type runFront struct {
-		variant int
-		front   []analysis.FrontPoint
-	}
-	var fronts []runFront
-	for vi, v := range Variants() {
-		var seeds []*sched.Allocation
+	// Build the seed allocations serially — heuristics share the
+	// evaluator's sessions — then fan the independent runs out.
+	variants := Variants()
+	seeds := make([][]*sched.Allocation, len(variants))
+	for vi, v := range variants {
 		if v.Seed != nil {
 			alloc, err := v.Seed.Build(ds.Evaluator)
 			if err != nil {
 				return nil, err
 			}
-			seeds = append(seeds, alloc)
-		}
-		for r := 0; r < runs; r++ {
-			eng, err := nsga2.New(ds.Evaluator, nsga2.Config{
-				PopulationSize: cfg.PopulationSize,
-				MutationRate:   cfg.MutationRate,
-				Seeds:          seeds,
-				Workers:        cfg.Workers,
-			}, rng.NewStream(cfg.Seed+uint64(r)*7919, hashName(v.Name)))
-			if err != nil {
-				return nil, err
-			}
-			eng.Run(gens)
-			fronts = append(fronts, runFront{variant: vi, front: analysis.FromObjectives(eng.FrontPoints())})
+			seeds[vi] = append(seeds[vi], alloc)
 		}
 		res.Names = append(res.Names, v.Name)
 	}
 
+	jobs := len(variants) * runs // job vi*runs+r = (variant vi, run r)
+	fronts := make([][]analysis.FrontPoint, jobs)
+	errs := make([]error, jobs)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= jobs {
+					return
+				}
+				vi, r := j/runs, j%runs
+				eng, err := nsga2.New(ds.Evaluator, nsga2.Config{
+					PopulationSize: cfg.PopulationSize,
+					MutationRate:   cfg.MutationRate,
+					Seeds:          seeds[vi],
+					Workers:        1, // parallelism lives in the run fan-out here
+				}, rng.NewStream(cfg.Seed+uint64(r)*7919, hashName(variants[vi].Name)))
+				if err != nil {
+					errs[j] = err
+					continue
+				}
+				eng.Run(gens)
+				fronts[j] = analysis.FromObjectives(eng.FrontPoints())
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	sp := moea.UtilityEnergySpace()
-	sets := make([][][]float64, len(fronts))
+	sets := make([][][]float64, jobs)
 	for i, f := range fronts {
-		sets[i] = analysis.ToObjectives(f.front)
+		sets[i] = analysis.ToObjectives(f)
 	}
 	ref := sp.ReferenceFrom(0.05, sets...)
 	hv := make([][]float64, len(res.Names))
 	mu := make([][]float64, len(res.Names))
 	for i, f := range fronts {
-		hv[f.variant] = append(hv[f.variant], sp.Hypervolume2D(sets[i], ref))
+		vi := i / runs
+		hv[vi] = append(hv[vi], sp.Hypervolume2D(sets[i], ref))
 		best := 0.0
-		for _, p := range f.front {
+		for _, p := range f {
 			if p.Utility > best {
 				best = p.Utility
 			}
 		}
-		mu[f.variant] = append(mu[f.variant], best)
+		mu[vi] = append(mu[vi], best)
 	}
 	for vi := range res.Names {
 		res.Hypervolumes = append(res.Hypervolumes, summarize(hv[vi]))

@@ -272,10 +272,14 @@ func TestRepairOrderIdentityOnPermutation(t *testing.T) {
 func TestCrossoverProducesValidChildren(t *testing.T) {
 	eng := newEngine(t, 30, Config{PopulationSize: 10}, 13)
 	e := eng.eval
+	scratch := make([]int, e.NumTasks())
 	for trial := 0; trial < 100; trial++ {
-		p1 := e.RandomAllocation(eng.src)
-		p2 := e.RandomAllocation(eng.src)
-		c1, c2 := eng.crossover(p1, p2)
+		c1 := e.RandomAllocation(eng.src)
+		c2 := e.RandomAllocation(eng.src)
+		lo, hi := eng.crossInto(c1, c2, eng.src, scratch)
+		if lo < 0 || hi >= e.NumTasks() || lo > hi {
+			t.Fatalf("swapped segment [%d,%d] out of range", lo, hi)
+		}
 		if err := e.Validate(c1); err != nil {
 			t.Fatalf("child 1 invalid: %v", err)
 		}
@@ -289,10 +293,23 @@ func TestMutationProducesValidAllocations(t *testing.T) {
 	eng := newEngine(t, 30, Config{PopulationSize: 10}, 14)
 	e := eng.eval
 	a := e.RandomAllocation(eng.src)
+	dirty := make([]bool, e.NumMachines())
 	for trial := 0; trial < 200; trial++ {
-		eng.mutate(a)
+		for m := range dirty {
+			dirty[m] = false
+		}
+		eng.mutateWith(a, eng.src, dirty)
 		if err := e.Validate(a); err != nil {
 			t.Fatalf("mutated allocation invalid: %v", err)
+		}
+		n := 0
+		for _, d := range dirty {
+			if d {
+				n++
+			}
+		}
+		if n == 0 || n > 4 {
+			t.Fatalf("mutation dirtied %d machines, want 1..4", n)
 		}
 	}
 }

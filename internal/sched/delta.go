@@ -1,0 +1,233 @@
+package sched
+
+import "slices"
+
+// Machine-major and incremental (dirty-machine) evaluation.
+//
+// The schedule semantics are machine-independent: a machine's queue —
+// and therefore its utility, energy, busy time, and last completion —
+// depends only on the set of tasks assigned to it and their relative
+// scheduling order, never on what other machines run (§IV-D: a machine
+// idles until the next of ITS tasks arrives). Evaluation can therefore
+// be restructured machine-major: bucket the tasks per machine in
+// execution order, simulate each machine independently, and reduce the
+// per-machine contributions in fixed machine order. Because the
+// reduction order is fixed, a re-evaluation that re-simulates only the
+// machines whose task sequence changed and reuses the cached
+// contributions of the rest produces bit-identical objective values —
+// the basis of the NSGA-II engine's incremental offspring evaluation.
+
+// Contribs caches the outcome of one allocation's machine-major
+// simulation: per-machine objective contributions plus the machine-major
+// task layout (each machine's task ids in execution order). A Contribs
+// belongs to exactly one allocation snapshot; pass it as the parent
+// cache to DeltaSession.EvaluateDelta when evaluating a variation of
+// that allocation.
+type Contribs struct {
+	// Utility, Energy, Busy and Ready hold each machine's total earned
+	// utility, execution energy, accumulated execution time, and last
+	// task completion time (zero for idle machines).
+	Utility []float64
+	Energy  []float64
+	Busy    []float64
+	Ready   []float64
+	// Done is the number of executed (non-dropped) tasks per machine.
+	Done []int32
+
+	// bucket holds task ids grouped by machine in execution order;
+	// machine m's tasks are bucket[start[m]:start[m+1]]. Dropped tasks
+	// appear in no bucket.
+	bucket []int32
+	start  []int32
+
+	valid bool
+}
+
+// NewContribs returns an empty contribution cache sized for the
+// evaluator, ready to be filled by EvaluateFull or EvaluateDelta.
+func (e *Evaluator) NewContribs() *Contribs {
+	nm := e.NumMachines()
+	return &Contribs{
+		Utility: make([]float64, nm),
+		Energy:  make([]float64, nm),
+		Busy:    make([]float64, nm),
+		Ready:   make([]float64, nm),
+		Done:    make([]int32, nm),
+		bucket:  make([]int32, 0, e.NumTasks()),
+		start:   make([]int32, nm+1),
+	}
+}
+
+// Valid reports whether the cache holds the outcome of a completed
+// evaluation.
+func (c *Contribs) Valid() bool { return c != nil && c.valid }
+
+// Invalidate marks the cache as stale; the next EvaluateDelta against it
+// falls back to a full evaluation.
+func (c *Contribs) Invalidate() {
+	if c != nil {
+		c.valid = false
+	}
+}
+
+// machineTasks returns machine m's task ids in execution order.
+func (c *Contribs) machineTasks(m int) []int32 {
+	return c.bucket[c.start[m]:c.start[m+1]]
+}
+
+// DeltaSession holds the scratch space for machine-major evaluation on
+// one goroutine. Like Session, the underlying evaluator is read-only and
+// may be shared; each goroutine needs its own DeltaSession.
+type DeltaSession struct {
+	e *Evaluator
+	// inv scatters execution order to task id: inv[a.Order[i]] = i.
+	inv []int32
+	// fill holds per-machine counts, then bucket fill cursors.
+	fill []int32
+}
+
+// NewDeltaSession returns a machine-major evaluation session bound to e.
+func (e *Evaluator) NewDeltaSession() *DeltaSession {
+	return &DeltaSession{
+		e:    e,
+		inv:  make([]int32, e.NumTasks()),
+		fill: make([]int32, e.NumMachines()),
+	}
+}
+
+// Evaluator returns the evaluator the session is bound to.
+func (d *DeltaSession) Evaluator() *Evaluator { return d.e }
+
+// bucketize rewrites dst's machine-major layout for the allocation: a
+// counting sort by machine of the order-sorted task stream. Pass one
+// scatters order→task and counts each machine's tasks; pass two walks
+// the orders once more and appends each task to its machine's bucket.
+func (d *DeltaSession) bucketize(a *Allocation, dst *Contribs) {
+	n := len(a.Machine)
+	inv, fill := d.inv, d.fill
+	for m := range fill {
+		fill[m] = 0
+	}
+	executed := 0
+	for i := 0; i < n; i++ {
+		inv[a.Order[i]] = int32(i)
+		if m := a.Machine[i]; m >= 0 {
+			fill[m]++
+			executed++
+		}
+	}
+	start := dst.start
+	var cum int32
+	for m, cnt := range fill {
+		start[m] = cum
+		fill[m] = cum // becomes the bucket fill cursor
+		cum += cnt
+	}
+	start[len(fill)] = cum
+	dst.bucket = dst.bucket[:executed]
+	bucket := dst.bucket
+	for o := 0; o < n; o++ {
+		i := inv[o]
+		if m := a.Machine[i]; m >= 0 {
+			bucket[fill[m]] = i
+			fill[m]++
+		}
+	}
+}
+
+// simMachine simulates machine m's task sequence and records its
+// contribution row in dst.
+func (d *DeltaSession) simMachine(m int, tasks []int32, dst *Contribs) {
+	e := d.e
+	etcRow, eecRow := e.etcT[m], e.eecT[m]
+	var ready, busy, util, energy float64
+	for _, ti := range tasks {
+		tt := e.taskType[ti]
+		arr := e.arrival[ti]
+		start := ready
+		if arr > start {
+			start = arr // machine idles until the task arrives
+		}
+		etc := etcRow[tt]
+		completion := start + etc
+		ready = completion
+		busy += etc
+		util += e.tufs.Value(int(ti), completion-arr)
+		energy += eecRow[tt]
+	}
+	dst.Utility[m] = util
+	dst.Energy[m] = energy
+	dst.Busy[m] = busy
+	dst.Ready[m] = ready
+	dst.Done[m] = int32(len(tasks))
+}
+
+// reduce folds the per-machine contributions into the objective values
+// in fixed machine order. Both the full and the incremental path end
+// here, which is what makes them bit-identical.
+func (d *DeltaSession) reduce(c *Contribs) Evaluation {
+	e := d.e
+	var ev Evaluation
+	for m := range c.Utility {
+		ev.Utility += c.Utility[m]
+		ev.Energy += c.Energy[m]
+		if c.Ready[m] > ev.Makespan {
+			ev.Makespan = c.Ready[m]
+		}
+		ev.Completed += int(c.Done[m])
+	}
+	if e.idleWatts != nil {
+		var sum float64
+		for m, w := range e.idleWatts {
+			if idle := c.Ready[m] - c.Busy[m]; idle > 0 {
+				sum += w * idle
+			}
+		}
+		ev.Energy += sum
+	}
+	return ev
+}
+
+// EvaluateFull simulates the allocation machine-major, filling dst with
+// the per-machine contributions and layout, and returns the objective
+// values. dst must come from the same evaluator's NewContribs; its prior
+// contents are overwritten. The allocation is not validated.
+func (d *DeltaSession) EvaluateFull(a *Allocation, dst *Contribs) Evaluation {
+	d.bucketize(a, dst)
+	for m := 0; m < len(d.fill); m++ {
+		d.simMachine(m, dst.machineTasks(m), dst)
+	}
+	dst.valid = true
+	return d.reduce(dst)
+}
+
+// EvaluateDelta evaluates an allocation derived from a parent whose
+// contribution cache is `parent`, re-simulating only machines whose task
+// sequence actually changed. `dirty` must flag every machine whose task
+// set or intra-machine execution order MAY differ from the parent's — a
+// superset is safe (flagged-but-unchanged machines are detected by
+// sequence comparison and inherit the parent's row), an undercount is
+// not. Machines not flagged dirty inherit the parent's cached
+// contribution without any check.
+//
+// The result is bit-identical to EvaluateFull on the same allocation.
+// If parent is nil or invalid, EvaluateDelta falls back to EvaluateFull.
+func (d *DeltaSession) EvaluateDelta(a *Allocation, parent *Contribs, dirty []bool, dst *Contribs) Evaluation {
+	if !parent.Valid() || parent == dst {
+		return d.EvaluateFull(a, dst)
+	}
+	d.bucketize(a, dst)
+	for m := 0; m < len(d.fill); m++ {
+		if dirty[m] && !slices.Equal(dst.machineTasks(m), parent.machineTasks(m)) {
+			d.simMachine(m, dst.machineTasks(m), dst)
+			continue
+		}
+		dst.Utility[m] = parent.Utility[m]
+		dst.Energy[m] = parent.Energy[m]
+		dst.Busy[m] = parent.Busy[m]
+		dst.Ready[m] = parent.Ready[m]
+		dst.Done[m] = parent.Done[m]
+	}
+	dst.valid = true
+	return d.reduce(dst)
+}

@@ -14,6 +14,7 @@ import (
 
 	"tradeoff/internal/hcs"
 	"tradeoff/internal/rng"
+	"tradeoff/internal/utility"
 	"tradeoff/internal/workload"
 )
 
@@ -95,8 +96,19 @@ type Evaluator struct {
 	eec [][]float64
 	// etc[t][m] caches ETC of task-type t on machine instance m.
 	etc [][]float64
+	// etcT and eecT are the machine-major transposes [m][t], so the
+	// machine-major kernel walks one row per machine.
+	etcT [][]float64
+	eecT [][]float64
 	// eligible[t] lists machine instances capable of task type t.
 	eligible [][]int
+
+	// Per-task flattened trace data for the evaluation hot loops: task
+	// type, arrival time, and the compiled time-utility functions (one
+	// table entry per task, bit-identical to Task.TUF.Value).
+	taskType []int32
+	arrival  []float64
+	tufs     *utility.Table
 }
 
 // NewEvaluator validates the trace against the system and precomputes
@@ -122,6 +134,28 @@ func NewEvaluator(sys *hcs.System, trace *workload.Trace) (*Evaluator, error) {
 			e.eec[t][m] = sys.EEC(t, mu)
 		}
 		e.eligible[t] = sys.EligibleMachines(t)
+	}
+	e.etcT = make([][]float64, nm)
+	e.eecT = make([][]float64, nm)
+	for m := 0; m < nm; m++ {
+		e.etcT[m] = make([]float64, nt)
+		e.eecT[m] = make([]float64, nt)
+		for t := 0; t < nt; t++ {
+			e.etcT[m][t] = e.etc[t][m]
+			e.eecT[m][t] = e.eec[t][m]
+		}
+	}
+	n := trace.NumTasks()
+	e.taskType = make([]int32, n)
+	e.arrival = make([]float64, n)
+	e.tufs = utility.NewTable(n, 2*n)
+	for i := range trace.Tasks {
+		task := &trace.Tasks[i]
+		e.taskType[i] = int32(task.Type)
+		e.arrival[i] = task.Arrival
+		if _, err := e.tufs.Add(task.TUF); err != nil {
+			return nil, fmt.Errorf("sched: task %d TUF: %w", i, err)
+		}
 	}
 	return e, nil
 }
@@ -278,7 +312,7 @@ func (s *Session) Evaluate(a *Allocation) Evaluation {
 		completion := start + etc
 		s.ready[m] = completion
 		s.busy[m] += etc
-		ev.Utility += task.TUF.Value(completion - task.Arrival)
+		ev.Utility += e.tufs.Value(ti, completion-task.Arrival)
 		ev.Energy += e.eec[task.Type][m]
 		if completion > ev.Makespan {
 			ev.Makespan = completion
@@ -320,7 +354,7 @@ func (s *Session) CompletionTimes(a *Allocation) ([]float64, Evaluation) {
 		s.ready[m] = completion
 		s.busy[m] += etc
 		times[ti] = completion
-		ev.Utility += task.TUF.Value(completion - task.Arrival)
+		ev.Utility += e.tufs.Value(ti, completion-task.Arrival)
 		ev.Energy += e.eec[task.Type][m]
 		if completion > ev.Makespan {
 			ev.Makespan = completion

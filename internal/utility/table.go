@@ -1,0 +1,108 @@
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table flattens a batch of Functions into contiguous parallel arrays so
+// hot loops (schedule evaluation calls one TUF per simulated task) read
+// segments from cache-friendly memory instead of chasing a *Function,
+// its segment slice, and four fields per segment. Table.Value is
+// bit-identical to Function.Value on the source function: it performs
+// the same floating-point operations in the same order, only the data
+// layout changes.
+//
+// A Table is immutable after construction and safe for concurrent use.
+type Table struct {
+	progs []tableProg
+	segs  []tableSeg
+}
+
+// tableProg is one compiled function: a segment range plus the scalars
+// Value needs after segment lookup.
+type tableProg struct {
+	off  int32
+	n    int32
+	prio float64
+	tail float64
+}
+
+// tableSeg is one compiled segment. For Constant and Linear shapes aux
+// holds EndFrac-StartFrac (zero for Constant), and the segment value is
+// start + aux*(t/dur) — for Constant the product term is exactly +0, so
+// the shared formula reproduces Function.Value bit for bit. For
+// Exponential aux holds EndFrac/StartFrac and the value is
+// start * Pow(aux, t/dur), again matching segValue's arithmetic.
+type tableSeg struct {
+	dur   float64
+	start float64
+	aux   float64
+	exp   bool
+}
+
+// NewTable returns an empty table with capacity hints for n functions
+// and totalSegs segments.
+func NewTable(n, totalSegs int) *Table {
+	return &Table{
+		progs: make([]tableProg, 0, n),
+		segs:  make([]tableSeg, 0, totalSegs),
+	}
+}
+
+// Add compiles a validated function into the table and returns its id.
+// The function is copied; later mutation of f does not affect the table.
+func (tb *Table) Add(f *Function) (int, error) {
+	if err := f.Validate(); err != nil {
+		return 0, fmt.Errorf("utility: compiling invalid function: %w", err)
+	}
+	id := len(tb.progs)
+	off := int32(len(tb.segs))
+	for _, seg := range f.Segments {
+		ts := tableSeg{dur: seg.Duration, start: seg.StartFrac}
+		if seg.Shape == Exponential {
+			ts.aux = seg.EndFrac / seg.StartFrac
+			ts.exp = true
+		} else {
+			ts.aux = seg.EndFrac - seg.StartFrac
+		}
+		tb.segs = append(tb.segs, ts)
+	}
+	tb.progs = append(tb.progs, tableProg{
+		off:  off,
+		n:    int32(len(f.Segments)),
+		prio: f.Priority,
+		tail: f.TailFrac,
+	})
+	return id, nil
+}
+
+// Len returns the number of compiled functions.
+func (tb *Table) Len() int { return len(tb.progs) }
+
+// Value returns the utility earned by the id-th compiled function at the
+// given elapsed time. It is bit-identical to calling Value on the
+// function passed to Add.
+func (tb *Table) Value(id int, elapsed float64) float64 {
+	p := &tb.progs[id]
+	t := elapsed
+	if t < 0 {
+		t = 0
+	}
+	segs := tb.segs[p.off : p.off+p.n]
+	for k := range segs {
+		sg := &segs[k]
+		if t < sg.dur {
+			if sg.exp {
+				// Same ops as segValue: start * (end/start)^(t/d).
+				return p.prio * (sg.start * math.Pow(sg.aux, t/sg.dur))
+			}
+			// Same ops as segValue Linear; Constant has aux == 0 and
+			// t/dur finite, so the product term is +0 and the sum is
+			// exactly start.
+			return p.prio * (sg.start + sg.aux*(t/sg.dur))
+		}
+		t -= sg.dur
+	}
+	return p.prio * p.tail
+}

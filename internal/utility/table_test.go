@@ -1,0 +1,117 @@
+package utility
+
+import (
+	"math"
+	"testing"
+
+	"tradeoff/internal/rng"
+)
+
+// randomTableFunction draws a valid function with 1-4 segments mixing
+// all three shapes, sometimes with a non-zero tail (randomFunction in
+// utility_test.go always uses tail 0).
+func randomTableFunction(src *rng.Source) *Function {
+	nseg := 1 + src.Intn(4)
+	segs := make([]Segment, 0, nseg)
+	frac := 0.2 + 0.8*src.Float64() // keep positive so Exponential stays legal
+	for s := 0; s < nseg; s++ {
+		end := frac * (0.1 + 0.9*src.Float64())
+		seg := Segment{Duration: 0.5 + 100*src.Float64(), StartFrac: frac, EndFrac: end}
+		switch src.Intn(3) {
+		case 0:
+			seg.Shape = Constant
+			seg.EndFrac = seg.StartFrac
+		case 1:
+			seg.Shape = Linear
+		default:
+			seg.Shape = Exponential
+		}
+		segs = append(segs, seg)
+		frac = seg.EndFrac
+	}
+	tail := 0.0
+	if src.Bool(0.3) {
+		tail = frac * src.Float64()
+	}
+	f, err := New(0.5+20*src.Float64(), tail, segs...)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// TestTableValueBitIdentical cross-checks Table.Value against
+// Function.Value at random, boundary, negative, and far-tail times. The
+// two must agree bit for bit: the table performs the same arithmetic on
+// flattened data.
+func TestTableValueBitIdentical(t *testing.T) {
+	src := rng.New(1)
+	tb := NewTable(0, 0)
+	var fns []*Function
+	for i := 0; i < 200; i++ {
+		f := randomTableFunction(src)
+		id, err := tb.Add(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("Add returned id %d, want %d", id, i)
+		}
+		fns = append(fns, f)
+	}
+	if tb.Len() != len(fns) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(fns))
+	}
+	for id, f := range fns {
+		horizon := f.Horizon()
+		times := []float64{-5, -1e-9, 0, horizon, horizon * 2, math.Nextafter(horizon, 0)}
+		var cum float64
+		for _, seg := range f.Segments {
+			times = append(times, cum, math.Nextafter(cum, math.Inf(1)), cum+seg.Duration/3)
+			cum += seg.Duration
+		}
+		for trial := 0; trial < 50; trial++ {
+			times = append(times, src.Float64()*horizon*1.2)
+		}
+		for _, at := range times {
+			want := f.Value(at)
+			got := tb.Value(id, at)
+			if got != want {
+				t.Fatalf("function %d at t=%v: table %v (%x) vs function %v (%x)",
+					id, at, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestTableRejectsInvalid checks that Add validates.
+func TestTableRejectsInvalid(t *testing.T) {
+	tb := NewTable(1, 1)
+	if _, err := tb.Add(&Function{Priority: -1}); err == nil {
+		t.Fatal("invalid function compiled")
+	}
+}
+
+// FuzzTableValue feeds arbitrary segment data and times; wherever the
+// source function validates, the table must agree exactly.
+func FuzzTableValue(f *testing.F) {
+	f.Add(uint64(1), 25.0)
+	f.Add(uint64(42), -3.0)
+	f.Add(uint64(7), 1e9)
+	f.Fuzz(func(t *testing.T, seed uint64, at float64) {
+		if math.IsNaN(at) {
+			return
+		}
+		src := rng.New(seed)
+		fn := randomTableFunction(src)
+		tb := NewTable(1, len(fn.Segments))
+		id, err := tb.Add(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := fn.Value(at), tb.Value(id, at)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("t=%v: table %v vs function %v", at, got, want)
+		}
+	})
+}
