@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-record bench-diff bench-evaluate check
+.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate check
 
 # Benchmarks guarded by the >10% regression gate (cmd/benchdiff against
 # BENCH_step.json): generation cost, front extraction, and the
@@ -15,11 +15,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# gofmt gate: fails listing any file (fixtures included) that is not
+# gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# detlint: the determinism/hot-path static analysis suite (internal/lint).
+# Prints a per-analyzer findings summary and exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/detlint
+
+# -shuffle=on randomizes test execution order each run, so accidental
+# inter-test order dependence fails loudly instead of lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # One iteration of each Step benchmark: catches benchmarks that no longer
 # compile or panic, without paying for a full measurement run.
@@ -44,4 +56,4 @@ bench-evaluate:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate' -benchtime 500ms -count 3 -benchmem . > /tmp/bench_eval.txt
 	$(GO) run ./cmd/benchdiff BENCH_step.json /tmp/bench_eval.txt
 
-check: build vet race bench-smoke
+check: build vet fmt lint race bench-smoke

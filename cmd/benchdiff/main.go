@@ -12,13 +12,23 @@
 //
 // A benchmark regresses when its ns/op or allocs/op in `new` exceeds the
 // value in `old` by more than the threshold (default 10%). Benchmarks
-// present in only one input are reported but never fail the run. Exit
-// status is 1 when any regression is found, 2 on usage or parse errors.
+// present in only one input are reported but never fail the run.
+//
+// Exit status distinguishes the failure modes so CI wrappers can react
+// per cause:
+//
+//	0  no regression
+//	1  regression beyond the threshold
+//	2  usage error (bad flags or arguments)
+//	3  unreadable input (e.g. missing baseline file)
+//	4  malformed input (Benchmark lines present but none parsed)
+//	5  empty input (no benchmark data at all)
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +36,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+)
+
+// Sentinel parse failures; run maps each to its own exit status.
+var (
+	errMalformedInput = errors.New("Benchmark lines present but none parsed; is the output truncated or corrupted?")
+	errEmptyInput     = errors.New("no benchmark data found (empty input)")
 )
 
 // Result is one benchmark measurement.
@@ -100,6 +116,9 @@ func parse(r io.Reader) ([]Result, error) {
 	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
 		var f File
 		if err := json.Unmarshal([]byte(trimmed), &f); err == nil && f.Benchmarks != nil {
+			if len(f.Benchmarks) == 0 {
+				return nil, errEmptyInput
+			}
 			return f.Benchmarks, nil
 		}
 	}
@@ -121,6 +140,14 @@ func parse(r io.Reader) ([]Result, error) {
 		runs[res.Name] = 1
 		out = append(out, res)
 	}
+	benchLike := 0 // lines that looked like benchmark results but failed to parse
+	consume := func(line string) {
+		if res, ok := parseBenchLine(line); ok {
+			add(res)
+		} else if strings.HasPrefix(line, "Benchmark") {
+			benchLike++
+		}
+	}
 	sc := bufio.NewScanner(strings.NewReader(string(data)))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -132,18 +159,20 @@ func parse(r io.Reader) ([]Result, error) {
 				Output string `json:"Output"`
 			}
 			if err := json.Unmarshal([]byte(trimmed), &ev); err == nil && ev.Action == "output" {
-				if res, ok := parseBenchLine(strings.TrimSpace(ev.Output)); ok {
-					add(res)
-				}
+				consume(strings.TrimSpace(ev.Output))
 				continue
 			}
 		}
-		if res, ok := parseBenchLine(trimmed); ok {
-			add(res)
-		}
+		consume(trimmed)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if len(out) == 0 {
+		if benchLike > 0 {
+			return nil, fmt.Errorf("%w (%d candidate line(s))", errMalformedInput, benchLike)
+		}
+		return nil, errEmptyInput
 	}
 	return out, nil
 }
@@ -162,6 +191,19 @@ func parseFile(path string) ([]Result, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return res, nil
+}
+
+// exitCodeFor maps a parseFile failure to its exit status: malformed
+// and empty inputs get their own codes; anything else is an I/O error.
+func exitCodeFor(err error) int {
+	switch {
+	case errors.Is(err, errMalformedInput):
+		return 4
+	case errors.Is(err, errEmptyInput):
+		return 5
+	default:
+		return 3
+	}
 }
 
 // Regression is one threshold violation.
@@ -286,11 +328,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		results, err := parseFile(fs.Arg(0))
 		if err != nil {
 			fmt.Fprintln(stderr, "benchdiff:", err)
-			return 2
+			return exitCodeFor(err)
 		}
 		if err := record(*recordPath, results); err != nil {
 			fmt.Fprintln(stderr, "benchdiff:", err)
-			return 2
+			return 3
 		}
 		fmt.Fprintf(stdout, "recorded %d benchmarks to %s\n", len(results), *recordPath)
 		return 0
@@ -301,17 +343,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	oldRes, err := parseFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(stderr, "benchdiff:", err)
-		return 2
+		fmt.Fprintln(stderr, "benchdiff: baseline:", err)
+		return exitCodeFor(err)
 	}
 	newRes, err := parseFile(fs.Arg(1))
 	if err != nil {
-		fmt.Fprintln(stderr, "benchdiff:", err)
-		return 2
-	}
-	if len(oldRes) == 0 || len(newRes) == 0 {
-		fmt.Fprintln(stderr, "benchdiff: no benchmark results found")
-		return 2
+		fmt.Fprintln(stderr, "benchdiff: candidate:", err)
+		return exitCodeFor(err)
 	}
 	writeTable(stdout, oldRes, newRes)
 	regs := compare(oldRes, newRes, *threshold)

@@ -182,3 +182,51 @@ func TestRunRecord(t *testing.T) {
 		t.Fatalf("canonical file missing benchmarks key:\n%s", data)
 	}
 }
+
+// TestRunErrorExitCodes pins the distinct exit statuses for the three
+// input-failure modes: missing file (3), malformed bench lines (4), and
+// empty input (5), each with a message naming the cause.
+func TestRunErrorExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(good, []byte("BenchmarkA-8 10 1000 ns/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	malformed := write("malformed.txt", "BenchmarkA-8 ten 1000 ns/op\nBenchmarkB\n")
+	empty := write("empty.txt", "")
+	noBench := write("nobench.txt", "PASS\nok  \ttradeoff\t0.1s\n")
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantMsg  string
+	}{
+		{"missing baseline", []string{filepath.Join(dir, "nope.txt"), good}, 3, "no such file"},
+		{"missing candidate", []string{good, filepath.Join(dir, "nope.txt")}, 3, "no such file"},
+		{"malformed baseline", []string{malformed, good}, 4, "none parsed"},
+		{"empty baseline", []string{empty, good}, 5, "empty input"},
+		{"empty candidate", []string{good, empty}, 5, "empty input"},
+		{"no bench content", []string{noBench, good}, 5, "empty input"},
+		{"record empty", []string{"-record", filepath.Join(dir, "out.json"), empty}, 5, "empty input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(tc.args, &out, &errOut)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d; stderr: %s", code, tc.wantCode, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), tc.wantMsg) {
+				t.Fatalf("stderr %q does not mention %q", errOut.String(), tc.wantMsg)
+			}
+		})
+	}
+}

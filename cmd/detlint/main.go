@@ -1,0 +1,59 @@
+// Command detlint runs the project's determinism and hot-path
+// static-analysis suite (internal/lint, DESIGN.md §9) over every package
+// in the module, including test files. It is stdlib-only: packages are
+// parsed and type-checked from source with go/parser and go/types.
+//
+// Usage:
+//
+//	detlint [-C dir]
+//
+// Diagnostics are printed one per line as `file:line: analyzer: message`
+// with paths relative to the module root, followed by a per-analyzer
+// findings summary. Exit status is 0 when clean, 1 when any finding is
+// reported, and 2 when the module fails to load or type-check.
+//
+// A finding is suppressed by a `//detlint:allow <analyzer> <reason>`
+// comment on the offending line or the line above; `make lint` wires the
+// tool into `make check`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tradeoff/internal/lint"
+)
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory inside the module to lint")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: detlint [-C dir]")
+		return 2
+	}
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "detlint:", err)
+		return 2
+	}
+	analyzers := lint.Analyzers()
+	diags := lint.Run(mod, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	fmt.Fprintf(stdout, "detlint: %d package(s), %d finding(s)\n", len(mod.Units), len(diags))
+	for _, line := range lint.Summary(analyzers, diags) {
+		fmt.Fprintln(stdout, "  "+line)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }

@@ -133,7 +133,7 @@ func TestEachSpecialTaskHasOneAcceleratedMachine(t *testing.T) {
 			if accel != 1 {
 				t.Fatalf("special task %d accelerated by %d machines, want 1", tt, accel)
 			}
-		default:
+		case hcs.GeneralPurpose:
 			if accel != 0 {
 				t.Fatalf("general task %d accelerated by %d machines, want 0", tt, accel)
 			}

@@ -98,8 +98,11 @@ func TestBaselineStrings(t *testing.T) {
 	want := map[Baseline]string{
 		OLB: "olb", MCT: "mct", MET: "met", MaxMin: "max-min", Sufferage: "sufferage",
 	}
-	for b, s := range want {
-		if b.String() != s {
+	if len(want) != len(Baselines) {
+		t.Fatalf("want table covers %d baselines, Baselines has %d", len(want), len(Baselines))
+	}
+	for _, b := range Baselines {
+		if b.String() != want[b] {
 			t.Errorf("%d.String() = %q", int(b), b.String())
 		}
 	}

@@ -195,9 +195,12 @@ func TestHeuristicString(t *testing.T) {
 		MaxUtilityPerEnergy: "max-utility-per-energy",
 		MinMin:              "min-min",
 	}
-	for h, s := range want {
-		if h.String() != s {
-			t.Errorf("%d.String() = %q, want %q", int(h), h.String(), s)
+	if len(want) != len(All) {
+		t.Fatalf("want table covers %d heuristics, All has %d", len(want), len(All))
+	}
+	for _, h := range All {
+		if h.String() != want[h] {
+			t.Errorf("%d.String() = %q, want %q", int(h), h.String(), want[h])
 		}
 	}
 	if Heuristic(42).String() == "" {

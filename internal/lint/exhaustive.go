@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerExhaustive requires switches over project enum types to cover
+// every declared constant. An enum type is a named integer type declared
+// in this module with at least two package-level constants of exactly
+// that type (utility.Shape, heuristics.Heuristic, nsga2.Ranking, …). A
+// default clause is allowed — validation switches panic there — but it
+// does not excuse a missing constant: the point is that adding an enum
+// member forces every switch to be revisited, not silently routed to
+// default. Coverage is by constant value, so aliases count.
+var AnalyzerExhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "require switches over project enum types to cover every declared constant",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(p, sw)
+			return true
+		})
+	}
+}
+
+// enumMembers returns the package-level constants of exactly type named,
+// or nil if there are fewer than two (not an enum).
+func enumMembers(named *types.Named) []*types.Const {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	var members []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			members = append(members, c)
+		}
+	}
+	if len(members) < 2 {
+		return nil
+	}
+	return members
+}
+
+func checkSwitch(p *Pass, sw *ast.SwitchStmt) {
+	tagType := p.Info.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return
+	}
+	if path := obj.Pkg().Path(); path != p.ModulePath && !strings.HasPrefix(path, p.ModulePath+"/") {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	members := enumMembers(named)
+	if members == nil {
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := p.Info.Types[expr]
+			if !ok || tv.Value == nil {
+				// A non-constant case guard means coverage cannot be
+				// decided statically; stay silent rather than guess.
+				return
+			}
+			covered[tv.Value.ExactString()] = true
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.Val().ExactString()] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	p.Reportf(sw.Switch, "switch over %s.%s is not exhaustive: missing %s", obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+}

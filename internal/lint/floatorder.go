@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatOrder flags floating-point accumulation into state shared
+// across worker goroutines. Float addition is not associative, so a sum
+// built in goroutine completion order differs between runs even when
+// every access is mutex- or atomic-protected — synchronization buys
+// atomicity, not order. The sanctioned pattern (DESIGN.md §9) is the
+// fixed-order reduce: each worker writes its own slot (results[i] = v),
+// and a single goroutine folds the slots in deterministic index order.
+// Per-slot plain assignments are therefore never flagged; compound
+// accumulation into captured state is.
+var AnalyzerFloatOrder = &Analyzer{
+	Name: "floatorder",
+	Doc:  "flag float accumulation into captured state inside goroutines",
+	Run:  runFloatOrder,
+}
+
+func runFloatOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(p, fl)
+			return true
+		})
+	}
+}
+
+// checkGoroutineBody flags compound float assignments whose target is
+// captured from outside the goroutine's function literal.
+func checkGoroutineBody(p *Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch a.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range a.Lhs {
+			if !isFloat(p.Info.TypeOf(lhs)) {
+				continue
+			}
+			id := rootIdent(lhs)
+			if id == nil {
+				continue
+			}
+			obj := objOf(p.Info, id)
+			v, ok := obj.(*types.Var)
+			if !ok || v.IsField() {
+				continue
+			}
+			// Captured: declared outside the literal but not at package
+			// scope (package-level vars are purity's concern; capture is
+			// what makes the accumulation order worker-dependent here).
+			if v.Parent() == p.Pkg.Scope() {
+				continue
+			}
+			if v.Pos() < fl.Pos() || v.Pos() > fl.End() {
+				p.Reportf(a.Pos(), "goroutine accumulates into captured float %s; the sum depends on scheduling order — write per-worker slots and reduce in fixed order", types.ExprString(lhs))
+			}
+		}
+		return true
+	})
+}

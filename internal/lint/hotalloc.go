@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerHotAlloc enforces allocation discipline in functions annotated
+// with a `//detlint:hotpath` doc-comment line (the NSGA-II step loop,
+// the sched evaluation kernels, the moea.Ranker methods). Inside such a
+// function three allocation sources are forbidden:
+//
+//   - append without a preallocated-capacity guard: the appended-to
+//     expression must be reset via `x = x[:k]` or created with a 3-arg
+//     make in the same function, proving capacity was established;
+//   - fmt.Sprintf and friends, except as a panic argument (failure
+//     paths may format; steady-state iterations may not);
+//   - closures that capture variables: a capturing func literal
+//     allocates its environment on every evaluation.
+var AnalyzerHotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid unguarded appends, fmt.Sprintf, and capturing closures in //detlint:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+// hotpathMarker is the doc-comment line that opts a function in.
+const hotpathMarker = "//detlint:hotpath"
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotFunc(p, fd)
+		}
+	}
+}
+
+// guardKey canonicalizes an append/reset target so index variables do
+// not matter: resetting base[i] in a loop establishes capacity for every
+// element slice, so an append to base[j] counts as guarded.
+func guardKey(e ast.Expr) string {
+	if ix, ok := ast.Unparen(e).(*ast.IndexExpr); ok {
+		return types.ExprString(ix.X) + "[_]"
+	}
+	return types.ExprString(e)
+}
+
+// capacityGuards collects the canonical forms of expressions whose
+// capacity the function establishes: targets of `x = x[...]` self
+// reslices and of 3-arg makes.
+func capacityGuards(body *ast.BlockStmt) map[string]bool {
+	guards := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i, lhs := range a.Lhs {
+			key := guardKey(lhs)
+			switch rhs := a.Rhs[i].(type) {
+			case *ast.SliceExpr:
+				if guardKey(rhs.X) == key {
+					guards[key] = true
+				}
+			case *ast.CallExpr:
+				if id, ok := rhs.Fun.(*ast.Ident); ok && id.Name == "make" && len(rhs.Args) == 3 {
+					guards[key] = true
+				}
+			}
+		}
+		return true
+	})
+	return guards
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	guards := capacityGuards(fd.Body)
+	var walk func(n ast.Node, inPanic bool)
+	walk = func(n ast.Node, inPanic bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := x.Fun.(*ast.Ident); ok {
+					switch objOf(p.Info, id).(type) {
+					case *types.Builtin:
+						switch id.Name {
+						case "append":
+							if len(x.Args) > 0 && !guards[guardKey(x.Args[0])] {
+								p.Reportf(x.Pos(), "append to %s without preallocated capacity in hotpath %s; reset with x = x[:0] or size with a 3-arg make", types.ExprString(x.Args[0]), name)
+							}
+						case "panic":
+							// Formatting a panic message is fine: it runs
+							// once, on the failure path.
+							for _, arg := range x.Args {
+								walk(arg, true)
+							}
+							return false
+						}
+					}
+				}
+				if fname, ok := pkgFunc(p.Info, x, "fmt"); ok && !inPanic {
+					switch fname {
+					case "Sprintf", "Sprint", "Sprintln", "Errorf":
+						p.Reportf(x.Pos(), "fmt.%s allocates in hotpath %s (allowed only as a panic argument)", fname, name)
+					}
+				}
+			case *ast.FuncLit:
+				if capt := capturedVars(p, x); len(capt) > 0 {
+					p.Reportf(x.Pos(), "closure capturing %s allocates in hotpath %s; hoist state into a reused struct (cf. crowdOrderSorter)", strings.Join(capt, ", "), name)
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+}
+
+// capturedVars returns the names of variables a func literal captures
+// from an enclosing function scope, sorted by first use.
+func capturedVars(p *Pass, fl *ast.FuncLit) []string {
+	var names []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		// Package-level vars are not captured; neither are the literal's
+		// own parameters and locals (declared within its extent).
+		if v.Parent() == p.Pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() >= fl.Pos() && v.Pos() <= fl.End() {
+			return true
+		}
+		seen[v] = true
+		names = append(names, v.Name())
+		return true
+	})
+	return names
+}

@@ -1,0 +1,280 @@
+// Package lint implements detlint, the project's static-analysis pass
+// enforcing the determinism and hot-path invariants the reproduction
+// depends on (DESIGN.md §9). It is built purely on the standard
+// library's go/parser, go/ast and go/types: the loader type-checks every
+// package in the module from source, and a suite of project-specific
+// analyzers walks the typed syntax trees.
+//
+// The analyzers:
+//
+//   - purity: internal packages must not import math/rand, call
+//     time.Now/time.Since, read the environment, or hold mutable
+//     package-level state. All randomness flows through internal/rng.
+//   - maprange: a `range` over a map whose body has order-sensitive
+//     effects (appends, float accumulation, rng draws, ordered output)
+//     is nondeterministic; iterate sorted keys instead.
+//   - floatorder: floating-point accumulation into state captured by a
+//     goroutine makes the sum depend on goroutine scheduling; use the
+//     fixed-order reduce pattern (per-slot writes, serial fold).
+//   - hotalloc: functions annotated //detlint:hotpath must not contain
+//     appends without a preallocated-capacity guard, fmt.Sprintf
+//     outside panic, or variable-capturing closures.
+//   - exhaustive: a switch over a project enum type must cover every
+//     declared constant, even when a default clause is present.
+//
+// A finding can be suppressed by placing a comment of the form
+// `//detlint:allow <analyzer> <reason>` on the offending line or the
+// line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Pos locates the finding; Filename is relative to the module root.
+	Pos token.Position
+	// Analyzer names the rule that fired.
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the canonical `file:line: analyzer: message` form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Pass hands one analysis unit to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Files are the files the analyzer reports on.
+	Files []*ast.File
+	// AllFiles is the unit's full file set (Files plus, for test units,
+	// the non-test files they compile against). Context-only.
+	AllFiles []*ast.File
+	// Pkg and Info hold the type-checked unit.
+	Pkg  *types.Package
+	Info *types.Info
+	// PkgPath is the unit's import path; RelDir its directory relative
+	// to the module root ("." for the root package).
+	PkgPath string
+	RelDir  string
+	// ModulePath is the module's import path prefix.
+	ModulePath string
+
+	reportf func(pos token.Pos, format string, args ...any)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportf(pos, format, args...)
+}
+
+// Analyzer is one detlint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full detlint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerPurity,
+		AnalyzerMapRange,
+		AnalyzerFloatOrder,
+		AnalyzerHotAlloc,
+		AnalyzerExhaustive,
+	}
+}
+
+// Run applies the analyzers to every unit of the module and returns the
+// surviving diagnostics sorted by file, line, column, analyzer.
+func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range mod.Units {
+		allow := allowedLines(mod.Fset, u.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:       mod.Fset,
+				Files:      u.Files,
+				AllFiles:   u.AllFiles,
+				Pkg:        u.Pkg,
+				Info:       u.Info,
+				PkgPath:    u.PkgPath,
+				RelDir:     u.RelDir,
+				ModulePath: mod.Path,
+			}
+			name := a.Name
+			pass.reportf = func(pos token.Pos, format string, args ...any) {
+				position := mod.Fset.Position(pos)
+				if allow.suppressed(name, position) {
+					return
+				}
+				position.Filename = mod.relPath(position.Filename)
+				diags = append(diags, Diagnostic{
+					Pos:      position,
+					Analyzer: name,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// allowSet records `//detlint:allow <analyzer>` comment lines per file.
+type allowSet map[string]map[int][]string // filename -> line -> analyzer names
+
+func allowedLines(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//detlint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+			}
+		}
+	}
+	return set
+}
+
+// suppressed reports whether an allow comment for the analyzer sits on
+// the diagnostic's line or the line directly above.
+func (s allowSet) suppressed(analyzer string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range byLine[line] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Summary tallies diagnostics per analyzer, including zero rows for
+// analyzers that found nothing, in the suite's stable order.
+func Summary(analyzers []*Analyzer, diags []Diagnostic) []string {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	lines := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		lines = append(lines, fmt.Sprintf("%-11s %d", a.Name, counts[a.Name]))
+	}
+	return lines
+}
+
+// rootIdent unwraps selectors, indexes, stars, and parens down to the
+// base identifier of an lvalue-ish expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object (use or definition).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// pkgFunc reports whether call is pkg.name(...) for an imported package
+// with the given import path, returning the selected name.
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := objOf(info, id).(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isFloat reports whether t is a floating-point type (possibly named).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedRecv returns the named type of a method call receiver expression,
+// unwrapping pointers, or nil.
+func namedRecv(info *types.Info, e ast.Expr) *types.Named {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := types.Unalias(t).(*types.Named)
+	return n
+}

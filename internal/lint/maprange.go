@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerMapRange flags `range` statements over maps whose loop body
+// has order-sensitive effects. Go randomizes map iteration order, so any
+// such loop produces run-dependent results: appended slices permute,
+// float sums reassociate, rng draws consume the stream in a different
+// order, and ordered output interleaves. The fix is to range over sorted
+// keys (a slice), which this analyzer never flags.
+var AnalyzerMapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration whose body appends, accumulates floats, draws rng, or writes ordered output",
+	Run:  runMapRange,
+}
+
+// orderedWriterPkgs are packages whose Write/WriteString receivers count
+// as ordered output sinks.
+var orderedWriterPkgs = map[string]bool{
+	"strings": true, "bytes": true, "bufio": true, "os": true,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if effect := orderSensitiveEffect(p, file, rs); effect != "" {
+				p.Reportf(rs.For, "map iteration with order-sensitive effect (%s); iterate sorted keys instead", effect)
+			}
+			return true
+		})
+	}
+}
+
+// sortedLater reports whether obj is passed to a sort call somewhere in
+// the function enclosing the range statement — the sorted-keys guard:
+// collecting keys into a slice and sorting it canonicalizes the order,
+// so the append is not an order-sensitive effect.
+func sortedLater(p *Pass, file *ast.File, rs *ast.RangeStmt, obj types.Object) bool {
+	body := enclosingFuncBody(file, rs.Pos())
+	if body == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := pkgFunc(p.Info, call, "sort")
+		if !ok {
+			name, ok = pkgFunc(p.Info, call, "slices")
+		}
+		if !ok || !strings.Contains(name, "Sort") && !strings.HasPrefix(name, "Ints") && !strings.HasPrefix(name, "Strings") && !strings.HasPrefix(name, "Float64s") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && objOf(p.Info, id) == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// containing pos, or nil.
+func enclosingFuncBody(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || pos < n.Pos() || pos > n.End() {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			body = x.Body
+		case *ast.FuncLit:
+			body = x.Body
+		}
+		return true
+	})
+	return body
+}
+
+// orderSensitiveEffect returns a description of the first order-sensitive
+// effect in the range body, or "".
+func orderSensitiveEffect(p *Pass, file *ast.File, rs *ast.RangeStmt) string {
+	var effect string
+	declaredOutside := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := objOf(p.Info, id)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if effect != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			effect = "send on channel"
+		case *ast.AssignStmt:
+			switch x.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range x.Lhs {
+					if isFloat(p.Info.TypeOf(lhs)) && declaredOutside(lhs) {
+						effect = "float accumulation into " + types.ExprString(lhs)
+						break
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := objOf(p.Info, id).(*types.Builtin); isBuiltin && len(x.Args) > 0 && declaredOutside(x.Args[0]) {
+					target := rootIdent(x.Args[0])
+					if target == nil || !sortedLater(p, file, rs, objOf(p.Info, target)) {
+						effect = "append to " + types.ExprString(x.Args[0])
+					}
+					return true
+				}
+			}
+			if name, ok := pkgFunc(p.Info, x, "fmt"); ok {
+				switch name {
+				case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+					effect = "write to ordered output via fmt." + name
+					return true
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if recv := namedRecv(p.Info, sel.X); recv != nil && recv.Obj().Pkg() != nil {
+					pkgPath := recv.Obj().Pkg().Path()
+					name := sel.Sel.Name
+					switch {
+					case pkgPath == p.ModulePath+"/internal/rng":
+						effect = "rng draw (" + recv.Obj().Name() + "." + name + ")"
+					case pkgPath == "testing" && (name == "Error" || name == "Errorf" || name == "Log" || name == "Logf"):
+						effect = "write to test log via t." + name
+					case orderedWriterPkgs[pkgPath] && (name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune"):
+						effect = "write to ordered output via " + recv.Obj().Name() + "." + name
+					}
+				}
+			}
+		}
+		return effect == ""
+	})
+	return effect
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerPurity forbids ambient nondeterminism in internal packages:
+// math/rand imports (randomness must flow through internal/rng),
+// wall-clock reads, environment reads, and mutable package-level state.
+var AnalyzerPurity = &Analyzer{
+	Name: "purity",
+	Doc:  "forbid math/rand, wall clocks, env reads, and mutable globals in internal packages",
+	Run:  runPurity,
+}
+
+// forbiddenCalls maps package path -> selector names -> why.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock time is not reproducible; thread timing through explicitly",
+		"Since": "wall-clock time is not reproducible; thread timing through explicitly",
+	},
+	"os": {
+		"Getenv":    "ambient environment reads make runs machine-dependent; pass configuration explicitly",
+		"LookupEnv": "ambient environment reads make runs machine-dependent; pass configuration explicitly",
+		"Environ":   "ambient environment reads make runs machine-dependent; pass configuration explicitly",
+	},
+}
+
+func runPurity(p *Pass) {
+	if p.RelDir != "internal" && !strings.HasPrefix(p.RelDir, "internal/") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s is forbidden in internal packages; all randomness must flow through tradeoff/internal/rng", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := objOf(p.Info, id).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if why, ok := forbiddenCalls[pn.Imported().Path()][sel.Sel.Name]; ok {
+				p.Reportf(sel.Pos(), "use of %s.%s in internal package: %s", pn.Imported().Name(), sel.Sel.Name, why)
+			}
+			return true
+		})
+	}
+	checkGlobals(p)
+}
+
+// checkGlobals flags package-level vars that the package itself mutates
+// or takes the address of. Write-once lookup tables and sentinel errors
+// pass; anything reassigned, element-written, or aliased is shared
+// mutable state that makes results depend on call history.
+func checkGlobals(p *Pass) {
+	// Collect the package-level var objects declared in the target files.
+	globals := map[types.Object]*ast.Ident{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if obj := p.Info.Defs[name]; obj != nil {
+						globals[obj] = name
+					}
+				}
+			}
+		}
+	}
+	if len(globals) == 0 {
+		return
+	}
+	// Find writes anywhere in the unit (including files compiled
+	// alongside the targets, e.g. library files under a test unit).
+	written := map[types.Object]token.Pos{}
+	mark := func(e ast.Expr, pos token.Pos) {
+		id := rootIdent(e)
+		if id == nil {
+			return
+		}
+		obj := objOf(p.Info, id)
+		if _, ok := globals[obj]; ok {
+			if _, seen := written[obj]; !seen {
+				written[obj] = pos
+			}
+		}
+	}
+	for _, f := range p.AllFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					mark(lhs, x.Pos())
+				}
+			case *ast.IncDecStmt:
+				mark(x.X, x.Pos())
+			case *ast.UnaryExpr:
+				if x.Op == token.AND {
+					mark(x.X, x.Pos())
+				}
+			}
+			return true
+		})
+	}
+	for obj, name := range globals {
+		if pos, ok := written[obj]; ok {
+			where := p.Fset.Position(pos)
+			p.Reportf(name.Pos(), "package-level var %s is mutated (e.g. line %d); global mutable state is forbidden in internal packages", name.Name, where.Line)
+		}
+	}
+}

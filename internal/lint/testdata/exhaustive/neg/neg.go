@@ -1,0 +1,36 @@
+// Package neg is exhaustive-clean: every switch over the enum names
+// all declared constants.
+package neg
+
+// Phase enumerates simulation phases.
+type Phase int
+
+// Phase values.
+const (
+	Warmup Phase = iota
+	Steady
+	Drain
+)
+
+// Describe covers every Phase constant.
+func Describe(p Phase) string {
+	switch p {
+	case Warmup:
+		return "warmup"
+	case Steady:
+		return "steady"
+	case Drain:
+		return "drain"
+	}
+	return "unknown"
+}
+
+// Tagless switches are out of scope for the analyzer.
+func Tagless(p Phase) string {
+	switch {
+	case p == Warmup:
+		return "warmup"
+	default:
+		return "other"
+	}
+}

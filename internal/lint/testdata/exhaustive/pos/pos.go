@@ -1,0 +1,35 @@
+// Package pos seeds deliberate exhaustive violations: switches over a
+// project enum that omit declared constants, with and without default.
+package pos
+
+// Phase enumerates simulation phases.
+type Phase int
+
+// Phase values.
+const (
+	Warmup Phase = iota
+	Steady
+	Drain
+	Shutdown
+)
+
+// Describe omits Drain and Shutdown.
+func Describe(p Phase) string {
+	switch p {
+	case Warmup:
+		return "warmup"
+	case Steady:
+		return "steady"
+	}
+	return "unknown"
+}
+
+// Busy omits Shutdown; the default clause does not excuse the gap.
+func Busy(p Phase) bool {
+	switch p {
+	case Warmup, Steady, Drain:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,27 @@
+// Package neg is floatorder-clean: the fixed-order reduce pattern.
+// Workers write disjoint slots; one goroutine folds the slots in index
+// order, so the sum is bit-identical for every worker interleaving.
+package neg
+
+import "sync"
+
+// SumParallel squares in parallel, reduces serially in fixed order.
+func SumParallel(xs []float64) float64 {
+	results := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i int, x float64) {
+			defer wg.Done()
+			local := x * x // goroutine-local accumulation is fine
+			local += x
+			results[i] = local // per-slot plain write, not accumulation
+		}(i, x)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, r := range results {
+		sum += r
+	}
+	return sum
+}

@@ -1,0 +1,49 @@
+// Package pos seeds deliberate floatorder violations: goroutines
+// accumulating floats into captured state, so the sum depends on
+// scheduling order even under a mutex.
+package pos
+
+import "sync"
+
+// SumParallel races workers onto one captured accumulator.
+func SumParallel(xs []float64) float64 {
+	var (
+		mu  sync.Mutex
+		sum float64
+		wg  sync.WaitGroup
+	)
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			sum += x
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return sum
+}
+
+// Stats accumulates two captured floats through a struct field path.
+type Stats struct{ Mean, M2 float64 }
+
+// Fill accumulates into a captured struct from workers.
+func Fill(xs []float64) Stats {
+	var (
+		mu sync.Mutex
+		st Stats
+		wg sync.WaitGroup
+	)
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x float64) {
+			defer wg.Done()
+			mu.Lock()
+			st.Mean += x
+			mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+	return st
+}

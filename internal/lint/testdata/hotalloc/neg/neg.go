@@ -1,0 +1,48 @@
+// Package neg is hotalloc-clean: the hotpath function recycles its
+// arena with a reset-then-append guard, keeps its only Sprintf inside a
+// panic, and sorts through a pre-bound capture-free sorter struct.
+package neg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Evaluator carries scratch state across calls.
+type Evaluator struct {
+	scratch []int
+	sorter  bySlot
+}
+
+// bySlot is a pre-bound sorter: binding the slice to a field avoids a
+// capturing closure in the hotpath.
+type bySlot struct{ xs []int }
+
+func (s bySlot) Len() int           { return len(s.xs) }
+func (s bySlot) Less(i, j int) bool { return s.xs[i] < s.xs[j] }
+func (s bySlot) Swap(i, j int)      { s.xs[i], s.xs[j] = s.xs[j], s.xs[i] }
+
+// Step runs once per generation without steady-state allocation.
+//
+//detlint:hotpath
+func (e *Evaluator) Step(xs []int) int {
+	if len(xs) == 0 {
+		panic(fmt.Sprintf("neg: empty input (cap %d)", cap(e.scratch)))
+	}
+	e.scratch = e.scratch[:0] // reset-then-append arena reuse
+	for _, x := range xs {
+		e.scratch = append(e.scratch, x)
+	}
+	e.sorter.xs = e.scratch
+	sort.Sort(e.sorter)
+	return e.scratch[len(e.scratch)/2]
+}
+
+// Cold is not annotated, so allocation rules do not apply here.
+func Cold(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("row-%d", i))
+	}
+	return out
+}

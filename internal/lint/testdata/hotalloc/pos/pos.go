@@ -1,0 +1,29 @@
+// Package pos seeds deliberate hotalloc violations inside a
+// //detlint:hotpath function: unguarded append, fmt.Sprintf outside
+// panic, and a capturing closure.
+package pos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Evaluator carries scratch state across calls.
+type Evaluator struct {
+	scratch []int
+	calls   int
+}
+
+// Step runs once per generation.
+//
+//detlint:hotpath
+func (e *Evaluator) Step(xs []int) string {
+	for _, x := range xs {
+		e.scratch = append(e.scratch, x) // no reset-to-zero guard: grows forever
+	}
+	sort.Slice(e.scratch, func(i, j int) bool { // closure captures e
+		return e.scratch[i] < e.scratch[j]
+	})
+	e.calls++
+	return fmt.Sprintf("calls=%d", e.calls)
+}

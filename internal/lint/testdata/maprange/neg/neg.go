@@ -1,0 +1,58 @@
+// Package neg is maprange-clean: every order-sensitive fold runs over
+// sorted keys, and the remaining map iterations have order-insensitive
+// bodies.
+package neg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys uses the sorted-keys guard: the collected keys are sorted before
+// anyone observes their order.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum folds in sorted-key order, so the float sum is reproducible.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, k := range Keys2(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// Keys2 is Keys for float-valued maps.
+func Keys2(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count has an order-insensitive body: integer counting is exact, and
+// writes into another map carry no order.
+func Count(m map[string]int) (int, map[string]bool) {
+	n := 0
+	present := map[string]bool{}
+	for k := range m {
+		n++
+		present[k] = true
+	}
+	return n, present
+}
+
+// Dump writes in sorted-key order.
+func Dump(m map[string]int) {
+	for _, k := range Keys(m) {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}

@@ -1,0 +1,44 @@
+// Package pos seeds deliberate maprange violations: map iterations
+// whose bodies append to outer slices, accumulate floats, draw from an
+// rng stream, and write ordered output.
+package pos
+
+import (
+	"fmt"
+
+	"tradeoff/internal/rng"
+)
+
+// Keys collects map keys without sorting them afterwards, so the result
+// permutes between runs.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sum folds float values in map order, reassociating the sum per run.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Jitter consumes the rng stream in map order, desynchronizing every
+// later draw.
+func Jitter(m map[string]float64, src *rng.Source) {
+	for k := range m {
+		m[k] += src.Float64()
+	}
+}
+
+// Dump writes rows to ordered output in map order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

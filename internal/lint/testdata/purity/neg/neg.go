@@ -1,0 +1,24 @@
+// Package neg is purity-clean: randomness flows through an explicit
+// rng.Source, package-level state is write-once, and no ambient clock or
+// environment is consulted.
+package neg
+
+import (
+	"errors"
+
+	"tradeoff/internal/rng"
+)
+
+// ErrEmpty is a sentinel error; never reassigned, so not mutable state.
+var ErrEmpty = errors.New("neg: empty")
+
+// weights is a write-once lookup table.
+var weights = []float64{1, 2, 3}
+
+// Draw derives all randomness from the caller's source.
+func Draw(src *rng.Source) (int, error) {
+	if len(weights) == 0 {
+		return 0, ErrEmpty
+	}
+	return src.Pick(weights), nil
+}

@@ -1,0 +1,25 @@
+// Package pos seeds deliberate purity violations: ambient randomness,
+// wall-clock reads, environment reads, and mutable package-level state.
+package pos
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// counter is package-level state mutated by Draw: call history changes
+// results, which purity forbids.
+var counter int
+
+// Draw mixes every forbidden ambient source into one value.
+func Draw() int64 {
+	counter++
+	n := rand.Int63()
+	if os.Getenv("DETLINT_FIXTURE") != "" {
+		n++
+	}
+	start := time.Now()
+	n += int64(time.Since(start))
+	return n
+}

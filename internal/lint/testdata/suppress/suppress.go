@@ -1,0 +1,16 @@
+// Package suppress exercises //detlint:allow comments: one violation
+// is excused on its own line, one by the preceding line, and one is
+// left unsuppressed so the package still reports exactly one finding.
+package suppress
+
+import "time"
+
+// Stamp reads the wall clock twice under suppression and once without.
+func Stamp() [3]int64 {
+	var out [3]int64
+	out[0] = time.Now().UnixNano() //detlint:allow purity boot-time banner only
+	//detlint:allow purity second excused read
+	out[1] = time.Now().UnixNano()
+	out[2] = time.Now().UnixNano() // unsuppressed: detlint must flag this
+	return out
+}

@@ -51,6 +51,8 @@ func NewRanker() *Ranker { return &Ranker{} }
 // Space.FastNondominatedSort, reusing the Ranker's buffers. Indices are
 // ascending within each front. Two-objective spaces dispatch to the
 // O(n log n) sweep; higher dimensions use the generic algorithm.
+//
+//detlint:hotpath
 func (r *Ranker) Fronts(sp Space, points [][]float64) [][]int {
 	if len(points) == 0 {
 		return nil
@@ -96,6 +98,8 @@ func (sp Space) conv2D(p []float64) (x, y float64) {
 // in front f), so binary search over fronts is sound, and checking only
 // the front's minimal-y point suffices: any other member with y ≤ q.y
 // would dominate that member, contradicting front membership.
+//
+//detlint:hotpath
 func (r *Ranker) fronts2D(sp Space, points [][]float64) [][]int {
 	n := len(points)
 	if sp.Dim() != 2 {
@@ -146,6 +150,8 @@ func (r *Ranker) fronts2D(sp Space, points [][]float64) [][]int {
 // frontsGeneric is Deb's O(d·n²) algorithm over reusable buffers,
 // producing ascending index order within each front (same convention as
 // the 2-D sweep).
+//
+//detlint:hotpath
 func (r *Ranker) frontsGeneric(sp Space, points [][]float64) [][]int {
 	n := len(points)
 	r.domCount = growInts(r.domCount, n)
@@ -196,6 +202,8 @@ func (r *Ranker) frontsGeneric(sp Space, points [][]float64) [][]int {
 
 // bucketize groups the n points into their fronts from r.frontOf,
 // ascending index order within each front, skipping empty fronts.
+//
+//detlint:hotpath
 func (r *Ranker) bucketize(n, nf int) [][]int {
 	r.counts = growInts(r.counts, nf)
 	for f := 0; f < nf; f++ {
@@ -233,6 +241,8 @@ func (r *Ranker) bucketize(n, nf int) [][]int {
 // DominanceCountGroups partitions point indices into ascending-rank
 // groups under the dominance-count rule (rank = 1 + number of
 // dominators), reusing the Ranker's buffers like Fronts.
+//
+//detlint:hotpath
 func (r *Ranker) DominanceCountGroups(sp Space, points [][]float64) [][]int {
 	n := len(points)
 	if n == 0 {
@@ -269,6 +279,8 @@ func (r *Ranker) DominanceCountGroups(sp Space, points [][]float64) [][]int {
 // objective's neighbor gaps are read off the first objective's sorted
 // order, halving the sorting work; the result is identical to the
 // generic path.
+//
+//detlint:hotpath
 func (r *Ranker) Crowding(sp Space, points [][]float64, front []int) []float64 {
 	n := len(front)
 	r.dist = growFloats(r.dist, n)
@@ -337,6 +349,8 @@ func (r *Ranker) Crowding(sp Space, points [][]float64, front []int) []float64 {
 
 // accumulate adds objective m's crowding contributions for an idx slice
 // sorted ascending by that objective.
+//
+//detlint:hotpath
 func (r *Ranker) accumulate(points [][]float64, front, idx []int, m int) {
 	n := len(idx)
 	dist := r.dist

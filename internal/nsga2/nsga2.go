@@ -608,6 +608,8 @@ func (e *Engine) Inject(inds []Individual) error {
 // Steady-state Steps allocate nothing: offspring chromosomes come from
 // the arena, variation and evaluation run over per-worker scratch, and
 // ranking reuses the engine's moea.Ranker.
+//
+//detlint:hotpath
 func (e *Engine) Step() {
 	n := e.cfg.PopulationSize
 	pairs := n / 2
@@ -677,8 +679,7 @@ func (e *Engine) RunCheckpoints(checkpoints []int, fn func(generation int, front
 // selection replaces the population.
 func (e *Engine) selectParent() *Individual {
 	n := len(e.pop)
-	switch e.cfg.Selection {
-	case TournamentSelection:
+	if e.cfg.Selection == TournamentSelection {
 		a, b := e.src.Intn(n), e.src.Intn(n)
 		ia, ib := &e.pop[a], &e.pop[b]
 		switch {
@@ -691,9 +692,8 @@ func (e *Engine) selectParent() *Individual {
 		default:
 			return ib
 		}
-	default:
-		return &e.pop[e.src.Intn(n)]
 	}
+	return &e.pop[e.src.Intn(n)]
 }
 
 // varyAll runs crossover, repair, and mutation for all offspring pairs,
@@ -743,6 +743,8 @@ func (e *Engine) varyAll(genSeed, genStream uint64, pairs int) {
 // chromosomes it records the delta-evaluation metadata: which machines
 // each child may have dirtied relative to its parent, how many, and
 // whether the child must be fully re-simulated.
+//
+//detlint:hotpath
 func (e *Engine) varyPair(k int, src *rng.Source, scratch []int) {
 	c1 := e.offspring[2*k].Alloc
 	c2 := e.offspring[2*k+1].Alloc
@@ -792,6 +794,8 @@ func (e *Engine) varyPair(k int, src *rng.Source, scratch []int) {
 
 // crossInto applies segment swap and order repair to two chromosomes in
 // place, returning the inclusive swapped gene range.
+//
+//detlint:hotpath
 func (e *Engine) crossInto(c1, c2 *sched.Allocation, src *rng.Source, scratch []int) (int, int) {
 	n := c1.Len()
 	i := src.Intn(n)
@@ -803,11 +807,10 @@ func (e *Engine) crossInto(c1, c2 *sched.Allocation, src *rng.Source, scratch []
 		c1.Machine[k], c2.Machine[k] = c2.Machine[k], c1.Machine[k]
 		c1.Order[k], c2.Order[k] = c2.Order[k], c1.Order[k]
 	}
-	switch e.cfg.Repair {
-	case ShuffleRepair:
+	if e.cfg.Repair == ShuffleRepair {
 		src.PermInto(c1.Order)
 		src.PermInto(c2.Order)
-	default:
+	} else {
 		repairOrderScratch(c1.Order, scratch)
 		repairOrderScratch(c2.Order, scratch)
 	}
@@ -829,6 +832,8 @@ func repairOrder(ord []int) {
 // by construction, and the whole repair is O(n) with no comparison sort
 // — on 4000-task chromosomes this is the difference between the repair
 // and the simulation dominating a generation.
+//
+//detlint:hotpath
 func repairOrderScratch(ord, scratch []int) {
 	n := len(ord)
 	counts := scratch[:n]
@@ -855,6 +860,8 @@ func repairOrderScratch(ord, scratch []int) {
 // may have touched: the gene's old and new machine, plus the hosts of
 // the two order-swapped genes (an order swap only reorders those two
 // tasks within their own machines).
+//
+//detlint:hotpath
 func (e *Engine) mutateWith(a *sched.Allocation, src *rng.Source, dirty []bool) {
 	n := a.Len()
 	g := src.Intn(n)
@@ -965,6 +972,8 @@ func (e *Engine) evaluateInPlace(inds []Individual) {
 }
 
 // rank computes Rank and Crowding for a population in place.
+//
+//detlint:hotpath
 func (e *Engine) rank(pop []Individual) {
 	e.points = e.points[:0]
 	for i := range pop {
@@ -994,6 +1003,8 @@ func (e *Engine) rankGroups(points [][]float64) [][]int {
 // groups while they fit, then the most crowded-out members of the next
 // group by descending crowding distance (Algorithm 1 steps 7–10). The
 // buffers of everyone left behind return to the arena.
+//
+//detlint:hotpath
 func (e *Engine) selectSurvivors(n int) {
 	meta := e.meta
 	e.points = e.points[:0]

@@ -102,6 +102,8 @@ func (d *DeltaSession) Evaluator() *Evaluator { return d.e }
 // counting sort by machine of the order-sorted task stream. Pass one
 // scatters order→task and counts each machine's tasks; pass two walks
 // the orders once more and appends each task to its machine's bucket.
+//
+//detlint:hotpath
 func (d *DeltaSession) bucketize(a *Allocation, dst *Contribs) {
 	n := len(a.Machine)
 	inv, fill := d.inv, d.fill
@@ -137,6 +139,8 @@ func (d *DeltaSession) bucketize(a *Allocation, dst *Contribs) {
 
 // simMachine simulates machine m's task sequence and records its
 // contribution row in dst.
+//
+//detlint:hotpath
 func (d *DeltaSession) simMachine(m int, tasks []int32, dst *Contribs) {
 	e := d.e
 	etcRow, eecRow := e.etcT[m], e.eecT[m]
@@ -165,6 +169,8 @@ func (d *DeltaSession) simMachine(m int, tasks []int32, dst *Contribs) {
 // reduce folds the per-machine contributions into the objective values
 // in fixed machine order. Both the full and the incremental path end
 // here, which is what makes them bit-identical.
+//
+//detlint:hotpath
 func (d *DeltaSession) reduce(c *Contribs) Evaluation {
 	e := d.e
 	var ev Evaluation
@@ -192,6 +198,8 @@ func (d *DeltaSession) reduce(c *Contribs) Evaluation {
 // the per-machine contributions and layout, and returns the objective
 // values. dst must come from the same evaluator's NewContribs; its prior
 // contents are overwritten. The allocation is not validated.
+//
+//detlint:hotpath
 func (d *DeltaSession) EvaluateFull(a *Allocation, dst *Contribs) Evaluation {
 	d.bucketize(a, dst)
 	for m := 0; m < len(d.fill); m++ {
@@ -212,6 +220,8 @@ func (d *DeltaSession) EvaluateFull(a *Allocation, dst *Contribs) Evaluation {
 //
 // The result is bit-identical to EvaluateFull on the same allocation.
 // If parent is nil or invalid, EvaluateDelta falls back to EvaluateFull.
+//
+//detlint:hotpath
 func (d *DeltaSession) EvaluateDelta(a *Allocation, parent *Contribs, dirty []bool, dst *Contribs) Evaluation {
 	if !parent.Valid() || parent == dst {
 		return d.EvaluateFull(a, dst)

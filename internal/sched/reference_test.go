@@ -29,7 +29,15 @@ func referenceEvaluate(e *Evaluator, a *Allocation) Evaluation {
 	}
 	var ev Evaluation
 	tasks := e.Trace().Tasks
-	for m, q := range queues {
+	// Accumulate in ascending machine order so the float sums are
+	// reproducible; map iteration order would reassociate them.
+	machines := make([]int, 0, len(queues))
+	for m := range queues {
+		machines = append(machines, m)
+	}
+	sort.Ints(machines)
+	for _, m := range machines {
+		q := queues[m]
 		sort.Slice(q, func(x, y int) bool { return q[x].order < q[y].order })
 		clock := 0.0
 		for _, item := range q {

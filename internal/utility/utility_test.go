@@ -182,6 +182,8 @@ func randomFunction(src *rng.Source) *Function {
 		switch shape {
 		case Constant:
 			end = cur
+		case Linear:
+			// end stays as drawn; any value in (0, cur] is valid.
 		case Exponential:
 			if end <= 0 {
 				end = cur * 0.5
@@ -240,9 +242,11 @@ func TestCloneIndependent(t *testing.T) {
 }
 
 func TestShapeString(t *testing.T) {
-	for s, want := range map[Shape]string{Constant: "constant", Linear: "linear", Exponential: "exponential"} {
-		if s.String() != want {
-			t.Errorf("Shape(%d).String() = %q", s, s.String())
+	shapes := []Shape{Constant, Linear, Exponential}
+	want := []string{"constant", "linear", "exponential"}
+	for i, s := range shapes {
+		if s.String() != want[i] {
+			t.Errorf("Shape(%d).String() = %q, want %q", s, s.String(), want[i])
 		}
 	}
 	if Shape(9).String() == "" {

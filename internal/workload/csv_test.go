@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -75,8 +76,13 @@ func TestImportCSVErrors(t *testing.T) {
 		"bad priority":       "arrival,task_type,priority,horizon\n5,C-Ray,xx,10\n",
 		"zero horizon":       "arrival,task_type,priority,horizon\n5,C-Ray,3,0\n",
 	}
-	for name, csvData := range cases {
-		if _, err := ImportCSV(strings.NewReader(csvData), sys, 100, nil, rng.New(1)); err == nil {
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := ImportCSV(strings.NewReader(cases[name]), sys, 100, nil, rng.New(1)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
