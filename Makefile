@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate check
+.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate trace-smoke check
 
 # Benchmarks guarded by the >10% regression gate (cmd/benchdiff against
 # BENCH_step.json): generation cost, front extraction, and the
@@ -56,4 +56,10 @@ bench-evaluate:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate' -benchtime 500ms -count 3 -benchmem . > /tmp/bench_eval.txt
 	$(GO) run ./cmd/benchdiff BENCH_step.json /tmp/bench_eval.txt
 
-check: build vet fmt lint race bench-smoke
+# End-to-end telemetry smoke: run a short traced experiment through
+# cmd/tradeoff, then validate the JSONL schema with cmd/tracecheck.
+trace-smoke:
+	$(GO) run ./cmd/tradeoff -generations 20 -pop 20 -tasks 60 -trace /tmp/trace_smoke.jsonl > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/trace_smoke.jsonl
+
+check: build vet fmt lint race bench-smoke trace-smoke

@@ -33,6 +33,8 @@
 package tradeoff
 
 import (
+	"io"
+
 	"tradeoff/internal/analysis"
 	"tradeoff/internal/core"
 	"tradeoff/internal/data"
@@ -40,6 +42,7 @@ import (
 	"tradeoff/internal/dvfs"
 	"tradeoff/internal/hcs"
 	"tradeoff/internal/heuristics"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
 	"tradeoff/internal/utility"
@@ -233,3 +236,42 @@ type SystemBuilder = hcs.Builder
 
 // NewSystemBuilder returns an empty system builder.
 func NewSystemBuilder() *SystemBuilder { return hcs.NewBuilder() }
+
+// Observability. Attach an Observer via Options.Observer to receive
+// per-generation telemetry (front points, convergence indicators,
+// delta-evaluation counters) and island migration events. Observation
+// never consumes randomness and never changes results bit-for-bit.
+type (
+	// Observer receives telemetry events from an optimization run.
+	Observer = obs.Observer
+	// GenerationStats is the per-generation telemetry payload. Slices in
+	// the event are borrowed and valid only during the callback.
+	GenerationStats = obs.GenerationStats
+	// MigrationEvent describes one island migration edge.
+	MigrationEvent = obs.MigrationEvent
+	// RunEvent summarizes one completed experiment run.
+	RunEvent = obs.RunEvent
+	// MetricsRegistry is a typed metric registry with Prometheus-text and
+	// JSON exposition.
+	MetricsRegistry = obs.Registry
+	// TraceWriter streams telemetry events as JSONL.
+	TraceWriter = obs.TraceWriter
+	// Clock supplies nanosecond timestamps to a TraceWriter; inject a
+	// fixed clock for byte-identical traces.
+	Clock = obs.Clock
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsObserver registers the standard instrument set on r and
+// returns the observer that feeds it.
+func NewMetricsObserver(r *MetricsRegistry) Observer { return obs.NewMetrics(r) }
+
+// NewTraceWriter returns an observer that appends one JSON object per
+// telemetry event to w, timestamped by clock (nil stamps 0).
+func NewTraceWriter(w io.Writer, clock Clock) *TraceWriter { return obs.NewTraceWriter(w, clock) }
+
+// CombineObservers fans telemetry out to every non-nil observer (nil
+// when none remain).
+func CombineObservers(os ...Observer) Observer { return obs.Combine(os...) }

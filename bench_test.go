@@ -10,6 +10,7 @@ import (
 
 	"tradeoff/internal/experiments"
 	"tradeoff/internal/nsga2"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
 )
@@ -194,6 +195,23 @@ func BenchmarkStepPop1000(b *testing.B) { benchStep(b, 1000) }
 func benchStep(b *testing.B, n int) {
 	eng := ablationEngine(b, func(c *nsga2.Config) { c.PopulationSize = n })
 	eng.Step() // size the arena and scratch before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Steady-state generation cost with the full telemetry chain attached:
+// metrics observer plus JSONL trace writer (to io.Discard). Both record
+// paths recycle their buffers, so the observed loop stays allocation-
+// free too; the delta against BenchmarkStepPop100 is the whole
+// per-generation price of telemetry.
+func BenchmarkStepObserved(b *testing.B) {
+	eng := ablationEngine(b, nil)
+	reg := obs.NewRegistry()
+	eng.SetObserver(obs.Combine(obs.NewMetrics(reg), obs.NewTraceWriter(io.Discard, nil)))
+	eng.Step() // size the arena, scratch, and telemetry buffers before measuring
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -9,6 +9,7 @@
 //	benchdiff old new            compare two bench outputs ("-" = stdin)
 //	benchdiff -record out.json f parse f and write canonical JSON
 //	benchdiff -threshold 0.05 …  tighten the regression threshold
+//	benchdiff -json old new      emit the comparison as JSON
 //
 // A benchmark regresses when its ns/op or allocs/op in `new` exceeds the
 // value in `old` by more than the threshold (default 10%). Benchmarks
@@ -293,6 +294,83 @@ func writeTable(w io.Writer, oldRes, newRes []Result) {
 	}
 }
 
+// DiffEntry is one benchmark's comparison row in -json output. Nil
+// pointers mark a benchmark absent from that side; DeltaNs and
+// DeltaAllocs are fractional changes (0.1 = +10%) present only when
+// both sides measured the metric.
+type DiffEntry struct {
+	Name        string   `json:"name"`
+	OldNsPerOp  *float64 `json:"old_ns_per_op,omitempty"`
+	NewNsPerOp  *float64 `json:"new_ns_per_op,omitempty"`
+	DeltaNs     *float64 `json:"delta_ns,omitempty"`
+	OldAllocs   *float64 `json:"old_allocs_per_op,omitempty"`
+	NewAllocs   *float64 `json:"new_allocs_per_op,omitempty"`
+	DeltaAllocs *float64 `json:"delta_allocs,omitempty"`
+}
+
+// DiffRegression is one threshold violation in -json output.
+type DiffRegression struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+}
+
+// DiffDoc is the top-level -json comparison document.
+type DiffDoc struct {
+	Threshold   float64          `json:"threshold"`
+	OK          bool             `json:"ok"`
+	Benchmarks  []DiffEntry      `json:"benchmarks"`
+	Regressions []DiffRegression `json:"regressions"`
+}
+
+// buildDiff assembles the machine-readable comparison: the union of
+// both result sets sorted by name, plus the regression list.
+func buildDiff(oldRes, newRes []Result, regs []Regression, threshold float64) DiffDoc {
+	byName := map[string]*DiffEntry{}
+	var names []string
+	get := func(name string) *DiffEntry {
+		if e, ok := byName[name]; ok {
+			return e
+		}
+		e := &DiffEntry{Name: name}
+		byName[name] = e
+		names = append(names, name)
+		return e
+	}
+	ptr := func(v float64) *float64 { return &v }
+	for _, r := range oldRes {
+		e := get(r.Name)
+		e.OldNsPerOp = ptr(r.NsPerOp)
+		if r.HasAllocs {
+			e.OldAllocs = ptr(r.AllocsPerOp)
+		}
+	}
+	for _, r := range newRes {
+		e := get(r.Name)
+		e.NewNsPerOp = ptr(r.NsPerOp)
+		if r.HasAllocs {
+			e.NewAllocs = ptr(r.AllocsPerOp)
+		}
+	}
+	sort.Strings(names)
+	doc := DiffDoc{Threshold: threshold, OK: len(regs) == 0, Regressions: []DiffRegression{}}
+	for _, name := range names {
+		e := byName[name]
+		if e.OldNsPerOp != nil && e.NewNsPerOp != nil && *e.OldNsPerOp > 0 {
+			e.DeltaNs = ptr(*e.NewNsPerOp / *e.OldNsPerOp - 1)
+		}
+		if e.OldAllocs != nil && e.NewAllocs != nil && *e.OldAllocs > 0 {
+			e.DeltaAllocs = ptr(*e.NewAllocs / *e.OldAllocs - 1)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, *e)
+	}
+	for _, r := range regs {
+		doc.Regressions = append(doc.Regressions, DiffRegression{Name: r.Name, Metric: r.Metric, Old: r.Old, New: r.New})
+	}
+	return doc
+}
+
 func record(outPath string, results []Result) error {
 	f := File{Benchmarks: results}
 	data, err := json.MarshalIndent(f, "", "  ")
@@ -312,8 +390,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.10, "allowed fractional regression in ns/op and allocs/op")
 	recordPath := fs.String("record", "", "parse one input and write canonical JSON to this path instead of comparing")
+	jsonOut := fs.Bool("json", false, "emit the comparison as a JSON document instead of a table")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.10] old new")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.10] [-json] old new")
 		fmt.Fprintln(stderr, "       benchdiff -record out.json bench-output")
 		fs.PrintDefaults()
 	}
@@ -351,8 +430,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchdiff: candidate:", err)
 		return exitCodeFor(err)
 	}
-	writeTable(stdout, oldRes, newRes)
 	regs := compare(oldRes, newRes, *threshold)
+	if *jsonOut {
+		// Machine-readable mode: same exit-code contract, one JSON
+		// document on stdout instead of the table.
+		data, err := json.MarshalIndent(buildDiff(oldRes, newRes, regs, *threshold), "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 3
+		}
+		fmt.Fprintln(stdout, string(data))
+		if len(regs) > 0 {
+			return 1
+		}
+		return 0
+	}
+	writeTable(stdout, oldRes, newRes)
 	if len(regs) == 0 {
 		fmt.Fprintf(stdout, "\nok: no regression beyond %.0f%%\n", *threshold*100)
 		return 0

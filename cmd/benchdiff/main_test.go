@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -228,5 +229,98 @@ func TestRunErrorExitCodes(t *testing.T) {
 				t.Fatalf("stderr %q does not mention %q", errOut.String(), tc.wantMsg)
 			}
 		})
+	}
+}
+
+// TestRunJSON pins the -json compare mode: same exit-code contract as
+// the table mode, with one parseable JSON document on stdout.
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := write("good.txt", "BenchmarkA-8 10 1000 ns/op 8 B/op 1 allocs/op\nBenchmarkOnlyOld-8 10 5 ns/op\n")
+	drift := write("drift.txt", "BenchmarkA-8 10 1050 ns/op 8 B/op 1 allocs/op\nBenchmarkOnlyNew-8 10 5 ns/op\n")
+	regress := write("regress.txt", "BenchmarkA-8 10 2000 ns/op 8 B/op 9 allocs/op\n")
+	malformed := write("malformed.txt", "BenchmarkA-8 ten 1000 ns/op\n")
+	empty := write("empty.txt", "")
+
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+	}{
+		{"ok", []string{"-json", good, drift}, 0},
+		{"regression", []string{"-json", good, regress}, 1},
+		{"tight threshold", []string{"-json", "-threshold", "0.01", good, drift}, 1},
+		{"usage", []string{"-json", good}, 2},
+		{"missing file", []string{"-json", filepath.Join(dir, "nope.txt"), good}, 3},
+		{"malformed", []string{"-json", malformed, good}, 4},
+		{"empty", []string{"-json", empty, good}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(tc.args, &out, &errOut)
+			if code != tc.wantCode {
+				t.Fatalf("exit %d, want %d; stderr: %s", code, tc.wantCode, errOut.String())
+			}
+			if tc.wantCode > 1 {
+				return // no document expected on usage/input errors
+			}
+			var doc DiffDoc
+			if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+				t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
+			}
+			if doc.OK != (tc.wantCode == 0) {
+				t.Fatalf("ok=%v with exit %d", doc.OK, code)
+			}
+			if doc.OK && len(doc.Regressions) != 0 {
+				t.Fatalf("ok document lists regressions: %+v", doc.Regressions)
+			}
+			if !doc.OK && len(doc.Regressions) == 0 {
+				t.Fatalf("failing document lists no regressions")
+			}
+		})
+	}
+}
+
+// TestBuildDiff checks the per-benchmark rows: union of both sides,
+// sorted, with deltas only where both sides measured.
+func TestBuildDiff(t *testing.T) {
+	oldRes := []Result{
+		{Name: "A", NsPerOp: 1000, AllocsPerOp: 10, HasAllocs: true},
+		{Name: "OnlyOld", NsPerOp: 5},
+	}
+	newRes := []Result{
+		{Name: "A", NsPerOp: 1100, AllocsPerOp: 10, HasAllocs: true},
+		{Name: "OnlyNew", NsPerOp: 7},
+	}
+	doc := buildDiff(oldRes, newRes, nil, 0.10)
+	if !doc.OK || doc.Threshold != 0.10 {
+		t.Fatalf("header wrong: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("want union of 3 benchmarks, got %+v", doc.Benchmarks)
+	}
+	if doc.Benchmarks[0].Name != "A" || doc.Benchmarks[1].Name != "OnlyNew" || doc.Benchmarks[2].Name != "OnlyOld" {
+		t.Fatalf("not sorted by name: %+v", doc.Benchmarks)
+	}
+	a := doc.Benchmarks[0]
+	if a.DeltaNs == nil || *a.DeltaNs < 0.099 || *a.DeltaNs > 0.101 {
+		t.Fatalf("DeltaNs wrong: %+v", a)
+	}
+	if a.DeltaAllocs == nil || *a.DeltaAllocs != 0 {
+		t.Fatalf("DeltaAllocs wrong: %+v", a)
+	}
+	if doc.Benchmarks[1].OldNsPerOp != nil || doc.Benchmarks[1].DeltaNs != nil {
+		t.Fatalf("OnlyNew must have no old side: %+v", doc.Benchmarks[1])
+	}
+	if doc.Benchmarks[2].NewNsPerOp != nil {
+		t.Fatalf("OnlyOld must have no new side: %+v", doc.Benchmarks[2])
 	}
 }

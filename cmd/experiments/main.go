@@ -13,6 +13,10 @@
 // scale default checkpoints; -paperscale switches to the paper's
 // iteration counts (expect hours), -scale multiplies whichever schedule
 // is active.
+//
+// -trace streams per-generation JSONL telemetry to a file and
+// -metrics-addr serves the run's metric registry as Prometheus text on
+// /metrics; neither changes any result.
 package main
 
 import (
@@ -20,32 +24,64 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"tradeoff/internal/experiments"
+	"tradeoff/internal/obs"
+	"tradeoff/internal/telemetry"
+)
+
+var (
+	table       = flag.Int("table", 0, "print table 1-3 and exit")
+	figure      = flag.Int("figure", 0, "reproduce figure 1-6")
+	all         = flag.Bool("all", false, "reproduce every table and figure")
+	scale       = flag.Float64("scale", 1, "multiply iteration checkpoints")
+	pop         = flag.Int("pop", 100, "NSGA-II population size")
+	seed        = flag.Uint64("seed", 1, "random seed")
+	paperScale  = flag.Bool("paperscale", false, "use the paper's iteration counts (slow)")
+	svgDir      = flag.String("svgdir", "", "write SVG charts into this directory")
+	matrices    = flag.Bool("matrices", false, "print the embedded real ETC/EPC matrices")
+	convergence = flag.Int("convergence", 0, "run the hypervolume-convergence study on data set 1-3")
+	baselines   = flag.Int("baselines", 0, "compare single-solution heuristics to the evolved front on data set 1-3")
+	wssaCmp     = flag.Int("wssa", 0, "compare NSGA-II against weighted-sum simulated annealing on data set 1-3")
+	mutSweep    = flag.Int("mutsweep", 0, "sweep mutation rates on data set 1-3")
+	onlineStudy = flag.Int("online", 0, "offline-informs-online study on data set 1-3")
+	hetero      = flag.Int("heterogeneity", 0, "heterogeneity-preservation study with N synthetic task types")
+	ablation    = flag.Int("ablation", 0, "design-choice ablation on data set 1-3")
+	repeats     = flag.Int("repeats", 0, "statistical repeats study on data set 1-3")
+	runs        = flag.Int("runs", 5, "runs per variant for -repeats")
+	tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
+	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
 )
 
 func main() {
-	var (
-		table       = flag.Int("table", 0, "print table 1-3 and exit")
-		figure      = flag.Int("figure", 0, "reproduce figure 1-6")
-		all         = flag.Bool("all", false, "reproduce every table and figure")
-		scale       = flag.Float64("scale", 1, "multiply iteration checkpoints")
-		pop         = flag.Int("pop", 100, "NSGA-II population size")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		paperScale  = flag.Bool("paperscale", false, "use the paper's iteration counts (slow)")
-		svgDir      = flag.String("svgdir", "", "write SVG charts into this directory")
-		matrices    = flag.Bool("matrices", false, "print the embedded real ETC/EPC matrices")
-		convergence = flag.Int("convergence", 0, "run the hypervolume-convergence study on data set 1-3")
-		baselines   = flag.Int("baselines", 0, "compare single-solution heuristics to the evolved front on data set 1-3")
-		wssaCmp     = flag.Int("wssa", 0, "compare NSGA-II against weighted-sum simulated annealing on data set 1-3")
-		mutSweep    = flag.Int("mutsweep", 0, "sweep mutation rates on data set 1-3")
-		onlineStudy = flag.Int("online", 0, "offline-informs-online study on data set 1-3")
-		hetero      = flag.Int("heterogeneity", 0, "heterogeneity-preservation study with N synthetic task types")
-		ablation    = flag.Int("ablation", 0, "design-choice ablation on data set 1-3")
-		repeats     = flag.Int("repeats", 0, "statistical repeats study on data set 1-3")
-		runs        = flag.Int("runs", 5, "runs per variant for -repeats")
-	)
 	flag.Parse()
+
+	// The wall clock enters here, at the command layer; internal packages
+	// only ever see the injected obs.Clock.
+	tel, err := telemetry.Setup(telemetry.Config{
+		TracePath:   *tracePath,
+		MetricsAddr: *metricsAddr,
+		Clock:       func() int64 { return time.Now().UnixNano() },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	telSession = tel
+	if url := tel.MetricsURL(); url != "" {
+		fmt.Println("serving metrics at", url)
+	}
+	dispatch(tel.Observer())
+	if err := tel.Close(); err != nil {
+		fatal(err)
+	}
+	if *tracePath != "" {
+		fmt.Println("wrote", *tracePath)
+	}
+}
+
+func dispatch(observer obs.Observer) {
+	baseCfg := experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed, Observer: observer}
 
 	if *matrices {
 		experiments.WriteMatrices(os.Stdout)
@@ -56,7 +92,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := experiments.RunConvergence(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed})
+		res, err := experiments.RunConvergence(ds, baseCfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -68,7 +104,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := experiments.RunBaselineComparison(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed})
+		res, err := experiments.RunBaselineComparison(ds, baseCfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -80,7 +116,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := experiments.RunRepeats(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed}, *runs)
+		res, err := experiments.RunRepeats(ds, baseCfg, *runs)
 		if err != nil {
 			fatal(err)
 		}
@@ -92,7 +128,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := experiments.RunAblation(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed})
+		res, err := experiments.RunAblation(ds, baseCfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -112,7 +148,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := experiments.RunOnlineStudy(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed})
+		res, err := experiments.RunOnlineStudy(ds, baseCfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -124,7 +160,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := experiments.RunMutationSweep(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed}, nil)
+		res, err := experiments.RunMutationSweep(ds, baseCfg, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -136,7 +172,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := experiments.RunWSSAComparison(ds, experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed}, nil)
+		res, err := experiments.RunWSSAComparison(ds, baseCfg, nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -150,7 +186,7 @@ func main() {
 		return
 	}
 	run := func(fig int) error {
-		return runFigure(fig, *scale, *pop, *seed, *paperScale, *svgDir)
+		return runFigure(fig, baseCfg, *paperScale, *svgDir)
 	}
 	switch {
 	case *all:
@@ -190,7 +226,7 @@ func printTable(n int) error {
 	return nil
 }
 
-func runFigure(fig int, scale float64, pop int, seed uint64, paperScale bool, svgDir string) error {
+func runFigure(fig int, baseCfg experiments.RunConfig, paperScale bool, svgDir string) error {
 	switch fig {
 	case 1:
 		experiments.WriteFigure1(os.Stdout)
@@ -200,11 +236,11 @@ func runFigure(fig int, scale float64, pop int, seed uint64, paperScale bool, sv
 		return nil
 	case 3, 4, 6:
 		dsNum := map[int]int{3: 1, 4: 2, 6: 3}[fig]
-		ds, err := experiments.ByNumber(dsNum, seed)
+		ds, err := experiments.ByNumber(dsNum, baseCfg.Seed)
 		if err != nil {
 			return err
 		}
-		cfg := experiments.RunConfig{PopulationSize: pop, Scale: scale, Seed: seed}
+		cfg := baseCfg
 		if paperScale {
 			cfg.Checkpoints = ds.PaperCheckpoints
 		}
@@ -238,11 +274,11 @@ func runFigure(fig int, scale float64, pop int, seed uint64, paperScale bool, sv
 		}
 		return nil
 	case 5:
-		ds, err := experiments.ByNumber(2, seed)
+		ds, err := experiments.ByNumber(2, baseCfg.Seed)
 		if err != nil {
 			return err
 		}
-		cfg := experiments.RunConfig{PopulationSize: pop, Scale: scale, Seed: seed}
+		cfg := baseCfg
 		if paperScale {
 			cfg.Checkpoints = ds.PaperCheckpoints
 		}
@@ -257,7 +293,11 @@ func runFigure(fig int, scale float64, pop int, seed uint64, paperScale bool, sv
 	}
 }
 
+// telSession lets fatal flush a partially written trace before exiting.
+var telSession *telemetry.Session
+
 func fatal(err error) {
+	telSession.Close()
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,59 @@
+// Command tracecheck validates a JSONL telemetry trace produced by the
+// -trace flag of cmd/tradeoff or cmd/experiments: every line must parse,
+// carry the fields its record type requires, and keep per-run generation
+// numbers strictly increasing.
+//
+// Usage:
+//
+//	tracecheck run.jsonl
+//	tracecheck < run.jsonl
+//
+// On success it prints a one-line summary of the record counts and exits
+// 0; the first violation is reported with its line number and the exit
+// status is 1 (2 for usage or I/O errors).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tradeoff/internal/obs"
+)
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var in io.Reader
+	name := "stdin"
+	switch fs.NArg() {
+	case 0:
+		in = stdin
+	case 1:
+		name = fs.Arg(0)
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracecheck:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintln(stderr, "usage: tracecheck [trace.jsonl]")
+		return 2
+	}
+	sum, err := obs.ValidateTrace(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "tracecheck: %s: %v\n", name, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: ok: %d generation, %d migration, %d run record(s)\n",
+		name, sum.Generations, sum.Migrations, sum.Runs)
+	return 0
+}
+
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }

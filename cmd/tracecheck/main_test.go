@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const goodTrace = `{"type":"generation","ts":1,"label":"ds1/x","gen":1,"pop":4,"full_evals":4,"delta_evals":0,"machines_simulated":8,"machines_inherited":0,"dirty_mean":1,"dirty_max":2,"machines":2,"front_size":1,"hv":3.5,"eps":0,"spread":0,"front":[[10,2]]}
+{"type":"migration","ts":2,"gen":5,"from":0,"to":1,"count":3}
+{"type":"run","ts":3,"dataset":"ds1","variant":"random","run":0,"seed":1,"hv":4,"max_utility":10,"front_size":1}
+`
+
+func TestRunStdin(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(nil, strings.NewReader(goodTrace), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	want := "stdin: ok: 1 generation, 1 migration, 1 run record(s)\n"
+	if out.String() != want {
+		t.Fatalf("stdout %q, want %q", out.String(), want)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	if err := os.WriteFile(path, []byte(goodTrace), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{path}, nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok: 1 generation") {
+		t.Fatalf("stdout %q", out.String())
+	}
+}
+
+func TestRunViolations(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace string
+		code  int
+	}{
+		{"empty", "", 1},
+		{"garbage", "not json\n", 1},
+		{"bad type", `{"type":"nope","ts":1}` + "\n", 1},
+		{"non-increasing gen", strings.Repeat(`{"type":"generation","ts":1,"label":"a","gen":1,"pop":2,"full_evals":2,"delta_evals":0,"machines_simulated":2,"machines_inherited":0,"dirty_mean":0,"dirty_max":0,"machines":1,"front_size":0,"hv":0,"eps":0,"spread":0,"front":[]}`+"\n", 2), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			if code := run(nil, strings.NewReader(tc.trace), &out, &errb); code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr %q)", code, tc.code, errb.String())
+			}
+		})
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"/does/not/exist.jsonl"}, nil, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestRunTooManyArgs(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"a", "b"}, nil, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -7,7 +7,13 @@
 //
 //	tradeoff [-dataset 1|2|3] [-generations 2000] [-pop 100] \
 //	         [-seeds min-energy,max-utility] [-seed 1] \
-//	         [-csv front.csv] [-svg front.svg] [-system system.json]
+//	         [-csv front.csv] [-svg front.svg] [-system system.json] \
+//	         [-trace run.jsonl] [-metrics-addr :9090]
+//
+// -trace streams one JSON object per generation (front points,
+// convergence indicators, evaluation counters) to a file; -metrics-addr
+// serves the run's metric registry as Prometheus text on /metrics and
+// JSON on /metrics.json. Neither changes the optimization result.
 //
 // With -system the environment is loaded from a JSON file produced by
 // the datagen command instead of a built-in data set.
@@ -29,6 +35,7 @@ import (
 	"tradeoff/internal/report"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
+	"tradeoff/internal/telemetry"
 	"tradeoff/internal/workload"
 )
 
@@ -56,8 +63,25 @@ func main() {
 		traceCSV    = flag.String("tracecsv", "", "import the trace from a CSV (arrival,task_type[,priority,horizon])")
 		islands     = flag.Int("islands", 0, "run the island model with this many populations (0 = single population)")
 		machines    = flag.Bool("machines", false, "print the per-machine breakdown of the efficient-region allocation")
+		tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
 	)
 	flag.Parse()
+
+	// The wall clock enters here, at the command layer; internal packages
+	// only ever see the injected obs.Clock.
+	tel, err := telemetry.Setup(telemetry.Config{
+		TracePath:   *tracePath,
+		MetricsAddr: *metricsAddr,
+		Clock:       func() int64 { return time.Now().UnixNano() },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	telSession = tel
+	if url := tel.MetricsURL(); url != "" {
+		fmt.Println("serving metrics at", url)
+	}
 
 	fw, name, err := buildFramework(*dataset, *systemFile, *tasks, *window, *seed)
 	if err != nil {
@@ -135,6 +159,7 @@ func main() {
 		RandomSeed:     *seed,
 		Workers:        *workers,
 		Islands:        *islands,
+		Observer:       tel.Observer(),
 	})
 	if err != nil {
 		fatal(err)
@@ -228,6 +253,12 @@ func main() {
 		}
 		fmt.Println("wrote", *svgPath)
 	}
+	if err := tel.Close(); err != nil {
+		fatal(err)
+	}
+	if *tracePath != "" {
+		fmt.Println("wrote", *tracePath)
+	}
 }
 
 func buildFramework(dataset int, systemFile string, tasks int, window float64, seed uint64) (*core.Framework, string, error) {
@@ -309,7 +340,11 @@ func writeCSV(path string, res *core.Result) error {
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
+// telSession lets fatal flush a partially written trace before exiting.
+var telSession *telemetry.Session
+
 func fatal(err error) {
+	telSession.Close()
 	fmt.Fprintln(os.Stderr, "tradeoff:", err)
 	os.Exit(1)
 }

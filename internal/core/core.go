@@ -18,6 +18,7 @@ import (
 	"tradeoff/internal/heuristics"
 	"tradeoff/internal/moea"
 	"tradeoff/internal/nsga2"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
 	"tradeoff/internal/workload"
@@ -91,6 +92,11 @@ type Options struct {
 	Islands int
 	// MigrationInterval is the island migration period (default 25).
 	MigrationInterval int
+	// Observer, when non-nil, receives run telemetry: per-generation
+	// front/indicator/evaluation events from a single-population run, or
+	// migration events from an island run. Observation never consumes
+	// randomness or changes results; see internal/obs.
+	Observer obs.Observer
 }
 
 // Result is the outcome of one optimization run.
@@ -145,6 +151,7 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.SetObserver(opts.Observer)
 	res := &Result{Generations: opts.Generations}
 	if len(opts.Checkpoints) > 0 {
 		last := opts.Checkpoints[len(opts.Checkpoints)-1]
@@ -212,6 +219,7 @@ func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*R
 	if err != nil {
 		return nil, err
 	}
+	is.SetObserver(opts.Observer)
 	is.Run(opts.Generations)
 	res := &Result{Generations: opts.Generations}
 	front := is.ParetoFront()

@@ -51,6 +51,7 @@ func RunConvergence(ds *DataSet, cfg RunConfig) (*ConvergenceResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		eng.SetObserver(cfg.observerFor(ds, "conv-"+v.Name))
 		var cps []analysis.Checkpoint
 		err = eng.RunCheckpoints(cfg.Checkpoints, func(gen int, front []nsga2.Individual) {
 			pts := make([]analysis.FrontPoint, len(front))
@@ -164,6 +165,7 @@ func RunBaselineComparison(ds *DataSet, cfg RunConfig) (*BaselineComparison, err
 	if err != nil {
 		return nil, err
 	}
+	eng.SetObserver(cfg.observerFor(ds, "baselines"))
 	eng.Run(cfg.Checkpoints[len(cfg.Checkpoints)-1])
 	front := analysis.FromObjectives(eng.FrontPoints())
 

@@ -7,6 +7,7 @@ import (
 
 	"tradeoff/internal/analysis"
 	"tradeoff/internal/moea"
+	"tradeoff/internal/obs"
 )
 
 // smallCfg keeps experiment tests fast.
@@ -558,5 +559,139 @@ func TestSummarizeQuantiles(t *testing.T) {
 	one := summarize([]float64{7})
 	if one.Min != 7 || one.Median != 7 || one.Max != 7 {
 		t.Fatalf("single-value summary wrong: %+v", one)
+	}
+}
+
+// TestCheckpointZeroSurvivesScaling pins the generation-0 contract:
+// scaling must not erase an explicit 0 checkpoint (the initial
+// population's front) while still clamping positive ones to >= 1.
+func TestCheckpointZeroSurvivesScaling(t *testing.T) {
+	ds, err := DataSet1(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{Scale: 0.01, Checkpoints: []int{0, 10, 100}}.withDefaults(ds)
+	want := []int{0, 1, 1}
+	if len(cfg.Checkpoints) != len(want) {
+		t.Fatalf("checkpoints %v, want %v", cfg.Checkpoints, want)
+	}
+	for i := range want {
+		if cfg.Checkpoints[i] != want[i] {
+			t.Fatalf("checkpoints %v, want %v", cfg.Checkpoints, want)
+		}
+	}
+}
+
+// TestRunConvergenceGenerationZero checks that an explicit generation-0
+// checkpoint reaches the convergence measurement as the baseline point.
+func TestRunConvergenceGenerationZero(t *testing.T) {
+	ds, err := DataSet1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConvergence(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{0, 4}, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Variants {
+		gens := v.Convergence.Generations
+		if len(gens) != 2 || gens[0] != 0 || gens[1] != 4 {
+			t.Fatalf("%s: checkpoint generations %v, want [0 4]", v.Variant, gens)
+		}
+	}
+}
+
+// eventLog records labeled generation and run events for the experiment
+// drivers' telemetry tests.
+type eventLog struct {
+	labels []string
+	gens   []int
+	runs   []obs.RunEvent
+}
+
+func (l *eventLog) ObserveGeneration(g obs.GenerationStats) {
+	l.labels = append(l.labels, g.Label)
+	l.gens = append(l.gens, g.Generation)
+}
+
+func (l *eventLog) ObserveMigration(obs.MigrationEvent) {}
+
+func (l *eventLog) ObserveRun(e obs.RunEvent) { l.runs = append(l.runs, e) }
+
+// TestRunConvergenceObserverLabels checks that experiment telemetry is
+// labeled "dataset/variant" and generations increase per label.
+func TestRunConvergenceObserverLabels(t *testing.T) {
+	ds, err := DataSet1(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &eventLog{}
+	_, err = RunConvergence(ds, RunConfig{PopulationSize: 10, Checkpoints: []int{3}, Seed: 12, Observer: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.labels) == 0 {
+		t.Fatal("no generation events observed")
+	}
+	seen := map[string]int{}
+	for i, label := range log.labels {
+		if !strings.HasPrefix(label, ds.Name+"/conv-") {
+			t.Fatalf("event %d: label %q, want prefix %q", i, label, ds.Name+"/conv-")
+		}
+		if last, ok := seen[label]; ok && log.gens[i] <= last {
+			t.Fatalf("label %q: generation %d after %d", label, log.gens[i], last)
+		}
+		seen[label] = log.gens[i]
+	}
+	if len(seen) != len(Variants()) {
+		t.Fatalf("%d labels, want one per variant (%d)", len(seen), len(Variants()))
+	}
+}
+
+// TestRunRepeatsObserverDeterministic checks that per-run telemetry is
+// emitted in grid order regardless of worker count, and that observing
+// changes no statistic.
+func TestRunRepeatsObserverDeterministic(t *testing.T) {
+	ds, err := DataSet1(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := func(workers int, log *eventLog) *RepeatResult {
+		cfg := RunConfig{PopulationSize: 8, Checkpoints: []int{3}, Seed: 5, Workers: workers}
+		if log != nil {
+			cfg.Observer = log
+		}
+		res, err := RunRepeats(ds, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	logSerial, logParallel := &eventLog{}, &eventLog{}
+	plain := sweep(1, nil)
+	serial := sweep(1, logSerial)
+	parallel := sweep(4, logParallel)
+
+	wantEvents := len(Variants()) * 2
+	if len(logSerial.runs) != wantEvents || len(logParallel.runs) != wantEvents {
+		t.Fatalf("run events %d / %d, want %d", len(logSerial.runs), len(logParallel.runs), wantEvents)
+	}
+	for i := range logSerial.runs {
+		if logSerial.runs[i] != logParallel.runs[i] {
+			t.Fatalf("run event %d differs across worker counts:\n%+v\n%+v",
+				i, logSerial.runs[i], logParallel.runs[i])
+		}
+		wantVariant := Variants()[i/2].Name
+		if logSerial.runs[i].Variant != wantVariant || logSerial.runs[i].Run != i%2 {
+			t.Fatalf("run event %d out of grid order: %+v", i, logSerial.runs[i])
+		}
+		if logSerial.runs[i].Dataset != ds.Name {
+			t.Fatalf("run event %d dataset %q", i, logSerial.runs[i].Dataset)
+		}
+	}
+	for vi := range plain.Names {
+		if plain.Hypervolumes[vi] != serial.Hypervolumes[vi] || serial.Hypervolumes[vi] != parallel.Hypervolumes[vi] {
+			t.Fatalf("variant %s: hypervolume stats diverged with observer/workers", plain.Names[vi])
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"tradeoff/internal/heuristics"
 	"tradeoff/internal/moea"
 	"tradeoff/internal/nsga2"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/plot"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
@@ -52,6 +53,11 @@ type RunConfig struct {
 	Seed uint64
 	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Observer, when non-nil, receives run telemetry: per-generation
+	// events from the serial experiment engines (labeled
+	// "dataset/variant") and per-run summary events from RunRepeats.
+	// Observation never changes results; see internal/obs.
+	Observer obs.Observer
 }
 
 func (c RunConfig) withDefaults(ds *DataSet) RunConfig {
@@ -73,7 +79,10 @@ func (c RunConfig) withDefaults(ds *DataSet) RunConfig {
 	scaled := make([]int, len(c.Checkpoints))
 	for i, cp := range c.Checkpoints {
 		s := int(float64(cp) * c.Scale)
-		if s < 1 {
+		// Clamp only positive checkpoints: scaling must not erase an
+		// explicit generation-0 checkpoint (the initial population's
+		// front), nor collapse a positive one to "no evolution".
+		if s < 1 && cp > 0 {
 			s = 1
 		}
 		scaled[i] = s
@@ -81,6 +90,16 @@ func (c RunConfig) withDefaults(ds *DataSet) RunConfig {
 	sort.Ints(scaled)
 	c.Checkpoints = scaled
 	return c
+}
+
+// observerFor returns the engine-level observer for one experiment run,
+// labeling its generation events "dataset/name", or nil when telemetry
+// is disabled.
+func (c RunConfig) observerFor(ds *DataSet, name string) obs.Observer {
+	if c.Observer == nil {
+		return nil
+	}
+	return obs.Labeled{Label: ds.Name + "/" + name, Next: c.Observer}
 }
 
 // VariantRun is one population's recorded front evolution.
@@ -129,6 +148,7 @@ func RunParetoFigure(ds *DataSet, cfg RunConfig) (*FigureResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: engine for %s: %w", v.Name, err)
 		}
+		eng.SetObserver(cfg.observerFor(ds, v.Name))
 		run := VariantRun{Variant: v.Name}
 		err = eng.RunCheckpoints(cfg.Checkpoints, func(gen int, front []nsga2.Individual) {
 			pts := make([]analysis.FrontPoint, len(front))
@@ -306,6 +326,7 @@ func RunFigure5(ds *DataSet, cfg RunConfig) (*Figure5Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.SetObserver(cfg.observerFor(ds, "figure5"))
 	last := cfg.Checkpoints[len(cfg.Checkpoints)-1]
 	eng.Run(last)
 	pts := analysis.FromObjectives(eng.FrontPoints())

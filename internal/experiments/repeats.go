@@ -11,6 +11,7 @@ import (
 	"tradeoff/internal/analysis"
 	"tradeoff/internal/moea"
 	"tradeoff/internal/nsga2"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
 )
@@ -151,8 +152,9 @@ func RunRepeats(ds *DataSet, cfg RunConfig, runs int) (*RepeatResult, error) {
 	hv := make([][]float64, len(res.Names))
 	mu := make([][]float64, len(res.Names))
 	for i, f := range fronts {
-		vi := i / runs
-		hv[vi] = append(hv[vi], sp.Hypervolume2D(sets[i], ref))
+		vi, r := i/runs, i%runs
+		h := sp.Hypervolume2D(sets[i], ref)
+		hv[vi] = append(hv[vi], h)
 		best := 0.0
 		for _, p := range f {
 			if p.Utility > best {
@@ -160,6 +162,20 @@ func RunRepeats(ds *DataSet, cfg RunConfig, runs int) (*RepeatResult, error) {
 			}
 		}
 		mu[vi] = append(mu[vi], best)
+		// Per-run telemetry is emitted here, in the serial aggregation
+		// loop in grid order, so event order is deterministic for every
+		// worker count (the run goroutines themselves must not observe).
+		if cfg.Observer != nil {
+			cfg.Observer.ObserveRun(obs.RunEvent{
+				Dataset:     ds.Name,
+				Variant:     res.Names[vi],
+				Run:         r,
+				Seed:        cfg.Seed + uint64(r)*7919,
+				Hypervolume: h,
+				MaxUtility:  best,
+				FrontSize:   len(f),
+			})
+		}
 	}
 	for vi := range res.Names {
 		res.Hypervolumes = append(res.Hypervolumes, summarize(hv[vi]))

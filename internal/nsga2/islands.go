@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"tradeoff/internal/moea"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
 )
@@ -57,6 +58,17 @@ type Islands struct {
 	engines    []*Engine
 	space      moea.Space
 	generation int
+	observer   obs.Observer
+}
+
+// SetObserver attaches (or, with nil, detaches) a telemetry observer.
+// The island model emits only migration events: islands step in
+// parallel goroutines, so forwarding their per-generation events would
+// interleave nondeterministically, while the migration phase is serial
+// and deterministic. Attach a per-engine observer for generation-level
+// telemetry of a single deterministic population.
+func (is *Islands) SetObserver(o obs.Observer) {
+	is.observer = o
 }
 
 // NewIslands builds the islands, splitting the random source so each
@@ -129,6 +141,14 @@ func (is *Islands) migrate() {
 		// the same evaluator.
 		if err := is.engines[dst].Inject(outbound[i]); err != nil {
 			panic(fmt.Sprintf("nsga2: ring migration failed: %v", err))
+		}
+		if is.observer != nil {
+			is.observer.ObserveMigration(obs.MigrationEvent{
+				Generation: is.generation,
+				From:       i,
+				To:         dst,
+				Count:      len(outbound[i]),
+			})
 		}
 	}
 }

@@ -276,3 +276,65 @@ func TestDecodeSnapshotErrors(t *testing.T) {
 		t.Fatal("empty population accepted")
 	}
 }
+
+// TestIslandsMigrationEvents checks that an attached observer sees one
+// migration event per ring edge at every migration interval, and that
+// observing does not perturb the run.
+func TestIslandsMigrationEvents(t *testing.T) {
+	e := newEval(t, 40)
+	cfg := IslandConfig{
+		Islands:           3,
+		MigrationInterval: 4,
+		Migrants:          2,
+		Engine:            Config{PopulationSize: 8},
+	}
+	newIs := func() *Islands {
+		is, err := NewIslands(e, cfg, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return is
+	}
+	plain := newIs()
+	plain.Run(12)
+
+	observed := newIs()
+	rec := &recorder{}
+	observed.SetObserver(rec)
+	observed.Run(12)
+
+	// Migrations fire at generations 4, 8, and 12; each moves migrants
+	// along every ring edge.
+	if want := 3 * cfg.Islands; len(rec.migrations) != want {
+		t.Fatalf("%d migration events, want %d", len(rec.migrations), want)
+	}
+	seen := map[int]int{}
+	for _, m := range rec.migrations {
+		if m.Generation%cfg.MigrationInterval != 0 || m.Generation == 0 {
+			t.Fatalf("migration at generation %d, want multiples of %d", m.Generation, cfg.MigrationInterval)
+		}
+		if m.To != (m.From+1)%cfg.Islands {
+			t.Fatalf("migration %d -> %d is not a ring edge", m.From, m.To)
+		}
+		if m.Count != cfg.Migrants {
+			t.Fatalf("migration carried %d individuals, want %d", m.Count, cfg.Migrants)
+		}
+		seen[m.Generation]++
+	}
+	for gen, n := range seen {
+		if n != cfg.Islands {
+			t.Fatalf("generation %d saw %d migration events, want %d", gen, n, cfg.Islands)
+		}
+	}
+
+	// Bit-identical merged fronts with and without the observer.
+	pf, of := plain.FrontPoints(), observed.FrontPoints()
+	if len(pf) != len(of) {
+		t.Fatalf("front sizes differ with observer: %d vs %d", len(pf), len(of))
+	}
+	for i := range pf {
+		if pf[i][0] != of[i][0] || pf[i][1] != of[i][1] {
+			t.Fatal("observer changed the island run")
+		}
+	}
+}

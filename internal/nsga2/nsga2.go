@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"tradeoff/internal/moea"
+	"tradeoff/internal/obs"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
 )
@@ -407,6 +408,14 @@ type Engine struct {
 	dirtyN    []int
 	forceFull []bool
 	maxDirtyN int // fallback threshold in machines, from DeltaMaxDirtyFrac
+
+	// Observer state (see observe.go). observer is nil when telemetry is
+	// disabled — the only cost then is one nil check per Step.
+	observer  obs.Observer
+	kernel    *obs.IndicatorKernel
+	statsBase sched.DeltaStats
+	frontObs  [][]float64 // recycled borrow-only front buffer
+	frontOrd  frontSorter
 }
 
 // New creates an engine with an initial population: the seeds (validated)
@@ -646,6 +655,13 @@ func (e *Engine) Step() {
 	// Steps 7–10: rank, fill by rank groups, truncate by crowding.
 	e.selectSurvivors(n)
 	e.generation++
+
+	// Telemetry last: the observer sees the post-step state and, by
+	// construction, cannot influence it (no rng access, borrow-only
+	// buffers). Disabled observation is this one nil check.
+	if e.observer != nil {
+		e.notifyGeneration()
+	}
 }
 
 // Run advances the engine by the given number of generations.
@@ -657,11 +673,22 @@ func (e *Engine) Run(generations int) {
 
 // RunCheckpoints advances the engine through increasing generation
 // checkpoints, invoking fn with the cumulative generation count after
-// each. Checkpoints at or below the current generation are invoked
-// without stepping.
+// each.
+//
+// Checkpoint contract: checkpoints are absolute generation counts, must
+// be nonnegative and nondecreasing, and fn is invoked exactly once per
+// checkpoint entry — a checkpoint at or below the engine's current
+// generation reports the current front without stepping. In particular,
+// checkpoint 0 on a fresh engine reports the evaluated and ranked
+// INITIAL population's front (generation 0): the baseline every
+// convergence plot starts from. Duplicate checkpoints re-report the
+// same generation.
 func (e *Engine) RunCheckpoints(checkpoints []int, fn func(generation int, front []Individual)) error {
 	prev := 0
 	for _, cp := range checkpoints {
+		if cp < 0 {
+			return fmt.Errorf("nsga2: checkpoint %d is negative", cp)
+		}
 		if cp < prev {
 			return fmt.Errorf("nsga2: checkpoints must be nondecreasing, got %d after %d", cp, prev)
 		}

@@ -62,6 +62,10 @@ func (e *Engine) Restore(s *Snapshot) error {
 	e.pop = pop
 	e.generation = s.Generation
 	e.src = rng.FromState(s.RNG)
+	// Re-evaluating the restored population is bookkeeping, not search
+	// progress: resync the telemetry baseline so an attached observer's
+	// first post-restore generation reports only its own evaluations.
+	e.statsBase = e.sessionStats()
 	return nil
 }
 

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// IndicatorKernel computes per-generation convergence indicators —
+// 2-D hypervolume w.r.t. a reference point, additive epsilon against
+// the previous generation's front, and front size/spread — from the
+// engine's FrontPoints output ([utility, energy] vectors, utility
+// maximized, energy minimized).
+//
+// The kernel recycles its point buffers across generations, so the
+// steady state allocates nothing; Update is on the engine's observer
+// path and annotated //detlint:hotpath. It is not safe for concurrent
+// use — each engine owns one.
+type IndicatorKernel struct {
+	// refX, refY is the hypervolume reference point in minimization
+	// coordinates (x = -utility, y = energy).
+	refX, refY float64
+	// margin derives an automatic reference point from the first
+	// observed front when no explicit reference was given.
+	margin  float64
+	haveRef bool
+
+	// cur and prev are recycled minimization-coordinate front buffers;
+	// cur is sorted by (x, y) ascending after each Update.
+	cur, prev []kpoint
+	hasPrev   bool
+}
+
+// kpoint is one front point in minimization coordinates.
+type kpoint struct{ x, y float64 }
+
+// NewIndicatorKernel returns a kernel using the explicit hypervolume
+// reference point ref = [utility, energy] in original objective
+// coordinates. The reference must be dominated by (worse than) every
+// front point for that point to contribute area, matching
+// moea.Hypervolume2D.
+func NewIndicatorKernel(ref []float64) *IndicatorKernel {
+	if len(ref) != 2 {
+		panic("obs: indicator kernel needs a 2-dim reference point")
+	}
+	return &IndicatorKernel{refX: -ref[0], refY: ref[1], haveRef: true}
+}
+
+// NewAutoIndicatorKernel returns a kernel that derives its reference
+// point from the first front it sees: the per-objective worst value,
+// degraded by margin (a fraction of the observed range, at least 1e-9
+// absolute), mirroring moea.ReferenceFrom. Subsequent fronts are
+// measured against that fixed reference so hypervolume values are
+// comparable across generations.
+func NewAutoIndicatorKernel(margin float64) *IndicatorKernel {
+	if margin < 0 {
+		panic("obs: indicator kernel margin must be >= 0")
+	}
+	return &IndicatorKernel{margin: margin}
+}
+
+// Len, Less, Swap implement sort.Interface over cur so Update can sort
+// without a capturing closure.
+func (k *IndicatorKernel) Len() int { return len(k.cur) }
+
+func (k *IndicatorKernel) Less(i, j int) bool {
+	if k.cur[i].x != k.cur[j].x {
+		return k.cur[i].x < k.cur[j].x
+	}
+	return k.cur[i].y < k.cur[j].y
+}
+
+func (k *IndicatorKernel) Swap(i, j int) { k.cur[i], k.cur[j] = k.cur[j], k.cur[i] }
+
+// deriveRef fixes the automatic reference point from the front held in
+// cur (minimization coordinates).
+func (k *IndicatorKernel) deriveRef() {
+	worstX, worstY := math.Inf(-1), math.Inf(-1)
+	bestX, bestY := math.Inf(1), math.Inf(1)
+	for _, p := range k.cur {
+		worstX = math.Max(worstX, p.x)
+		worstY = math.Max(worstY, p.y)
+		bestX = math.Min(bestX, p.x)
+		bestY = math.Min(bestY, p.y)
+	}
+	padX := math.Max(k.margin*(worstX-bestX), 1e-9)
+	padY := math.Max(k.margin*(worstY-bestY), 1e-9)
+	k.refX = worstX + padX
+	k.refY = worstY + padY
+	k.haveRef = true
+}
+
+// load fills cur from front in minimization coordinates and sorts it.
+//
+//detlint:hotpath
+func (k *IndicatorKernel) load(front [][]float64) {
+	k.cur = k.cur[:0]
+	for _, p := range front {
+		k.cur = append(k.cur, kpoint{x: -p[0], y: p[1]})
+	}
+	sort.Sort(k)
+}
+
+// Prime seeds the previous-front buffer from front without computing
+// indicators, so the next Update's epsilon compares against front
+// rather than reporting the first-observation zero. The engine calls it
+// when an observer attaches to an already-initialized population.
+func (k *IndicatorKernel) Prime(front [][]float64) {
+	if len(front) == 0 {
+		return
+	}
+	k.load(front)
+	if !k.haveRef {
+		k.deriveRef()
+	}
+	k.cur, k.prev = k.prev, k.cur
+	k.hasPrev = true
+}
+
+// Update computes the indicators for front and retires it as the new
+// previous front. Front points are read during the call only.
+//
+//detlint:hotpath
+func (k *IndicatorKernel) Update(front [][]float64) Indicators {
+	ind := Indicators{FrontSize: len(front)}
+	if len(front) == 0 {
+		return ind
+	}
+	k.load(front)
+	if !k.haveRef {
+		k.deriveRef()
+	}
+	ind.Hypervolume = k.hypervolume()
+	if k.hasPrev {
+		ind.Epsilon = k.epsilon()
+	}
+	ind.Spread = k.spread()
+	k.cur, k.prev = k.prev, k.cur
+	k.hasPrev = true
+	return ind
+}
+
+// hypervolume sweeps the sorted staircase in cur: each point strictly
+// dominating the reference contributes the rectangle between it, the
+// running best y, and the reference corner. Identical in result to
+// moea.Hypervolume2D.
+//
+//detlint:hotpath
+func (k *IndicatorKernel) hypervolume() float64 {
+	var area float64
+	bestY := k.refY
+	for _, p := range k.cur {
+		if p.x >= k.refX || p.y >= bestY {
+			continue
+		}
+		area += (k.refX - p.x) * (bestY - p.y)
+		bestY = p.y
+	}
+	return area
+}
+
+// epsilon returns the additive ε-indicator I_ε+(cur, prev): the max
+// over previous-front points of the min over current-front points of
+// the largest per-coordinate excess, all in minimization coordinates.
+// Identical in result to moea.EpsilonIndicator with the previous front
+// as reference set.
+//
+//detlint:hotpath
+func (k *IndicatorKernel) epsilon() float64 {
+	worst := math.Inf(-1)
+	for _, r := range k.prev {
+		best := math.Inf(1)
+		for _, p := range k.cur {
+			eps := math.Max(p.x-r.x, p.y-r.y)
+			if eps < best {
+				best = eps
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// spread returns Deb's Δ diversity indicator over the sorted front in
+// cur: the mean absolute deviation of consecutive-point distances
+// divided by their mean. Coordinate negation preserves distances, so
+// this matches the original-coordinate value. Returns 0 for fronts
+// with fewer than 3 points or zero total extent.
+//
+//detlint:hotpath
+func (k *IndicatorKernel) spread() float64 {
+	n := len(k.cur)
+	if n < 3 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < n; i++ {
+		sum += math.Hypot(k.cur[i].x-k.cur[i-1].x, k.cur[i].y-k.cur[i-1].y)
+	}
+	mean := sum / float64(n-1)
+	if mean == 0 {
+		return 0
+	}
+	var dev float64
+	for i := 1; i < n; i++ {
+		d := math.Hypot(k.cur[i].x-k.cur[i-1].x, k.cur[i].y-k.cur[i-1].y)
+		dev += math.Abs(d - mean)
+	}
+	return dev / (float64(n-1) * mean)
+}
+
+// Reference returns the kernel's hypervolume reference point in
+// original objective coordinates [utility, energy], and whether it has
+// been fixed yet (auto kernels have no reference until the first
+// front).
+func (k *IndicatorKernel) Reference() ([]float64, bool) {
+	if !k.haveRef {
+		return nil, false
+	}
+	return []float64{-k.refX, k.refY}, true
+}

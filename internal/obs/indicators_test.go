@@ -1,0 +1,291 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tradeoff/internal/moea"
+	"tradeoff/internal/rng"
+)
+
+// bruteHypervolume computes the 2-D hypervolume by coordinate-compressed
+// cell decomposition: the dominated region is a union of axis-aligned
+// rectangles, so splitting the plane on every point coordinate yields
+// cells that are each entirely inside or outside the union. Slow and
+// obviously correct.
+func bruteHypervolume(points [][]float64, ref []float64) float64 {
+	rx, ry := -ref[0], ref[1]
+	type pt struct{ x, y float64 }
+	var ps []pt
+	xs := []float64{rx}
+	ys := []float64{ry}
+	for _, p := range points {
+		x, y := -p[0], p[1]
+		if x < rx && y < ry {
+			ps = append(ps, pt{x, y})
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+	}
+	if len(ps) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	var area float64
+	for i := 0; i+1 < len(xs); i++ {
+		for j := 0; j+1 < len(ys); j++ {
+			dominated := false
+			for _, p := range ps {
+				if p.x <= xs[i] && p.y <= ys[j] {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				area += (xs[i+1] - xs[i]) * (ys[j+1] - ys[j])
+			}
+		}
+	}
+	return area
+}
+
+// bruteEpsilon computes the additive epsilon indicator of a vs ref by
+// the literal max-min-max definition in minimization coordinates.
+func bruteEpsilon(a, ref [][]float64) float64 {
+	worst := math.Inf(-1)
+	for _, r := range ref {
+		best := math.Inf(1)
+		for _, p := range a {
+			eps := math.Max((-p[0])-(-r[0]), p[1]-r[1])
+			if eps < best {
+				best = eps
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// bruteSpread computes Deb's Δ over the front sorted by descending
+// utility, per the kernel's documented definition.
+func bruteSpread(points [][]float64) float64 {
+	if len(points) < 3 {
+		return 0
+	}
+	sorted := append([][]float64(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i][0] != sorted[j][0] {
+			return sorted[i][0] > sorted[j][0]
+		}
+		return sorted[i][1] < sorted[j][1]
+	})
+	var d []float64
+	var sum float64
+	for i := 1; i < len(sorted); i++ {
+		dist := math.Hypot(sorted[i][0]-sorted[i-1][0], sorted[i][1]-sorted[i-1][1])
+		d = append(d, dist)
+		sum += dist
+	}
+	mean := sum / float64(len(d))
+	if mean == 0 {
+		return 0
+	}
+	var dev float64
+	for _, di := range d {
+		dev += math.Abs(di - mean)
+	}
+	return dev / (float64(len(d)) * mean)
+}
+
+// randomPoints draws n [utility, energy] vectors deterministically.
+func randomPoints(src *rng.Source, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{src.Range(0, 100), src.Range(0, 100)}
+	}
+	return out
+}
+
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*math.Max(scale, 1)
+}
+
+func TestKernelHypervolumeHandComputed(t *testing.T) {
+	k := NewIndicatorKernel([]float64{0, 5})
+	ind := k.Update([][]float64{{10, 2}, {8, 1}})
+	if !approxEqual(ind.Hypervolume, 38, 1e-12) {
+		t.Fatalf("hypervolume %g, want 38", ind.Hypervolume)
+	}
+	if ind.FrontSize != 2 {
+		t.Fatalf("front size %d, want 2", ind.FrontSize)
+	}
+	if ind.Epsilon != 0 {
+		t.Fatalf("first-front epsilon %g, want 0", ind.Epsilon)
+	}
+}
+
+func TestKernelHypervolumeMatchesReferences(t *testing.T) {
+	sp := moea.UtilityEnergySpace()
+	src := rng.New(42)
+	for trial := 0; trial < 30; trial++ {
+		pts := randomPoints(src, 1+src.Intn(25))
+		ref := sp.ReferenceFrom(0.1, pts)
+		k := NewIndicatorKernel(ref)
+		got := k.Update(pts).Hypervolume
+		wantMoea := sp.Hypervolume2D(pts, ref)
+		wantBrute := bruteHypervolume(pts, ref)
+		if !approxEqual(got, wantMoea, 1e-9) {
+			t.Fatalf("trial %d: kernel HV %g != moea HV %g", trial, got, wantMoea)
+		}
+		if !approxEqual(got, wantBrute, 1e-9) {
+			t.Fatalf("trial %d: kernel HV %g != brute HV %g", trial, got, wantBrute)
+		}
+	}
+}
+
+func TestKernelHypervolumeIgnoresNondominatingPoints(t *testing.T) {
+	// Reference (5, 5): one point strictly dominates it, the others are
+	// outside the dominated box and must contribute nothing.
+	k := NewIndicatorKernel([]float64{5, 5})
+	ind := k.Update([][]float64{{10, 3}, {4, 1}, {12, 7}})
+	if want := (10.0 - 5.0) * (5.0 - 3.0); !approxEqual(ind.Hypervolume, want, 1e-12) {
+		t.Fatalf("hypervolume %g, want %g", ind.Hypervolume, want)
+	}
+}
+
+func TestKernelEpsilonMatchesReferences(t *testing.T) {
+	sp := moea.UtilityEnergySpace()
+	src := rng.New(7)
+	k := NewIndicatorKernel([]float64{-1, 200})
+	prev := randomPoints(src, 10)
+	k.Update(prev)
+	for trial := 0; trial < 30; trial++ {
+		cur := randomPoints(src, 1+src.Intn(20))
+		got := k.Update(cur).Epsilon
+		wantMoea, err := sp.EpsilonIndicator(cur, prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBrute := bruteEpsilon(cur, prev)
+		if !approxEqual(got, wantMoea, 1e-9) {
+			t.Fatalf("trial %d: kernel eps %g != moea eps %g", trial, got, wantMoea)
+		}
+		if !approxEqual(got, wantBrute, 1e-9) {
+			t.Fatalf("trial %d: kernel eps %g != brute eps %g", trial, got, wantBrute)
+		}
+		prev = cur
+	}
+}
+
+func TestKernelEpsilonSelfIsZeroAndImprovementNegative(t *testing.T) {
+	k := NewIndicatorKernel([]float64{0, 100})
+	front := [][]float64{{10, 5}, {8, 3}, {6, 1}}
+	k.Update(front)
+	if eps := k.Update(front).Epsilon; eps != 0 {
+		t.Fatalf("epsilon vs identical front %g, want 0", eps)
+	}
+	// Uniformly better front: +1 utility, -0.5 energy on every point.
+	better := [][]float64{{11, 4.5}, {9, 2.5}, {7, 0.5}}
+	if eps := k.Update(better).Epsilon; eps >= 0 {
+		t.Fatalf("epsilon vs dominated predecessor %g, want negative", eps)
+	}
+}
+
+func TestKernelSpreadMatchesBruteForce(t *testing.T) {
+	src := rng.New(11)
+	k := NewIndicatorKernel([]float64{-1, 200})
+	for trial := 0; trial < 20; trial++ {
+		// Strictly monotone staircase front: utility descending, energy
+		// descending — rank-1 by construction, distinct coordinates.
+		n := 3 + src.Intn(12)
+		pts := make([][]float64, n)
+		u, e := 100.0, 100.0
+		for i := range pts {
+			u -= src.Range(0.5, 5)
+			e -= src.Range(0.5, 5)
+			pts[i] = []float64{u, e}
+		}
+		got := k.Update(pts).Spread
+		want := bruteSpread(pts)
+		if !approxEqual(got, want, 1e-9) {
+			t.Fatalf("trial %d: kernel spread %g != brute spread %g", trial, got, want)
+		}
+	}
+	if s := k.Update([][]float64{{1, 1}, {0, 0}}).Spread; s != 0 {
+		t.Fatalf("spread of 2-point front %g, want 0", s)
+	}
+}
+
+func TestKernelAutoReferenceMatchesMoea(t *testing.T) {
+	sp := moea.UtilityEnergySpace()
+	src := rng.New(3)
+	pts := randomPoints(src, 12)
+	k := NewAutoIndicatorKernel(0.1)
+	if _, ok := k.Reference(); ok {
+		t.Fatal("auto kernel must have no reference before the first front")
+	}
+	got := k.Update(pts).Hypervolume
+	ref := sp.ReferenceFrom(0.1, pts)
+	want := sp.Hypervolume2D(pts, ref)
+	if !approxEqual(got, want, 1e-9) {
+		t.Fatalf("auto-ref HV %g, want %g (ref %v)", got, want, ref)
+	}
+	kref, ok := k.Reference()
+	if !ok {
+		t.Fatal("auto kernel must expose its derived reference")
+	}
+	for i := range ref {
+		if !approxEqual(kref[i], ref[i], 1e-12) {
+			t.Fatalf("derived reference %v, want %v", kref, ref)
+		}
+	}
+	// The reference stays fixed for later fronts.
+	k.Update(randomPoints(src, 5))
+	kref2, _ := k.Reference()
+	if kref2[0] != kref[0] || kref2[1] != kref[1] {
+		t.Fatal("auto reference must not move after derivation")
+	}
+}
+
+func TestKernelPrimeSeedsEpsilonBaseline(t *testing.T) {
+	base := [][]float64{{10, 5}, {8, 3}}
+	cur := [][]float64{{9, 4}, {7, 2}}
+	k := NewIndicatorKernel([]float64{0, 100})
+	k.Prime(base)
+	got := k.Update(cur).Epsilon
+	want := bruteEpsilon(cur, base)
+	if !approxEqual(got, want, 1e-12) {
+		t.Fatalf("epsilon after Prime %g, want %g", got, want)
+	}
+}
+
+func TestKernelEmptyFront(t *testing.T) {
+	k := NewIndicatorKernel([]float64{0, 100})
+	ind := k.Update(nil)
+	if ind != (Indicators{}) {
+		t.Fatalf("empty front indicators %+v, want zero", ind)
+	}
+}
+
+func TestKernelUpdateAllocationFree(t *testing.T) {
+	src := rng.New(99)
+	a := randomPoints(src, 30)
+	b := randomPoints(src, 25)
+	k := NewIndicatorKernel([]float64{-1, 200})
+	k.Update(a)
+	k.Update(b)
+	if n := testing.AllocsPerRun(100, func() {
+		k.Update(a)
+		k.Update(b)
+	}); n != 0 {
+		t.Fatalf("kernel Update allocates %.1f per run in steady state, want 0", n)
+	}
+}

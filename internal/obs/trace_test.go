@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// countingClock returns a Clock ticking by step from start on each call.
+func countingClock(start, step int64) Clock {
+	t := start - step
+	return func() int64 {
+		t += step
+		return t
+	}
+}
+
+func sampleGeneration(gen int) GenerationStats {
+	return GenerationStats{
+		Label: "ds1", Generation: gen, Population: 4,
+		Front:     [][]float64{{10.5, 2.25}, {8, 1}},
+		FullEvals: 1, DeltaEvals: 3,
+		MachinesSimulated: 6, MachinesInherited: 18,
+		DirtyCounts: []int{0, 1, 2, 3}, NumMachines: 6,
+		Indicators: Indicators{Hypervolume: 38.5, Epsilon: -0.5, Spread: 0.1, FrontSize: 2},
+	}
+}
+
+func writeSampleTrace(w io.Writer, clock Clock) error {
+	tw := NewTraceWriter(w, clock)
+	for gen := 1; gen <= 3; gen++ {
+		tw.ObserveGeneration(sampleGeneration(gen))
+	}
+	tw.ObserveMigration(MigrationEvent{Generation: 3, From: 0, To: 1, Count: 2})
+	tw.ObserveRun(RunEvent{Dataset: "ds1", Variant: "base", Run: 0, Seed: 42, Hypervolume: 38.5, MaxUtility: 10.5, FrontSize: 2})
+	return tw.Err()
+}
+
+func TestTraceWriterRecordsParseAndRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := writeSampleTrace(&sb, countingClock(1000, 10)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("trace has %d lines, want 5:\n%s", len(lines), sb.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	for k, want := range map[string]any{
+		"type": "generation", "ts": 1000.0, "label": "ds1", "gen": 1.0,
+		"pop": 4.0, "full_evals": 1.0, "delta_evals": 3.0,
+		"machines_simulated": 6.0, "machines_inherited": 18.0,
+		"dirty_mean": 1.5, "dirty_max": 3.0, "machines": 6.0,
+		"front_size": 2.0, "hv": 38.5, "eps": -0.5, "spread": 0.1,
+	} {
+		if first[k] != want {
+			t.Fatalf("generation record %s = %v, want %v", k, first[k], want)
+		}
+	}
+	var mig map[string]any
+	if err := json.Unmarshal([]byte(lines[3]), &mig); err != nil {
+		t.Fatal(err)
+	}
+	if mig["type"] != "migration" || mig["from"] != 0.0 || mig["to"] != 1.0 || mig["count"] != 2.0 {
+		t.Fatalf("unexpected migration record: %v", mig)
+	}
+	var run map[string]any
+	if err := json.Unmarshal([]byte(lines[4]), &run); err != nil {
+		t.Fatal(err)
+	}
+	if run["type"] != "run" || run["seed"] != 42.0 || run["variant"] != "base" {
+		t.Fatalf("unexpected run record: %v", run)
+	}
+}
+
+func TestTraceByteIdenticalWithInjectedClock(t *testing.T) {
+	var a, b strings.Builder
+	if err := writeSampleTrace(&a, countingClock(5, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSampleTrace(&b, countingClock(5, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("traces differ across repeats with identical clock:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	var c strings.Builder
+	if err := writeSampleTrace(&c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(c.String(), "\n", 2)[0], `"ts":0`) {
+		t.Fatal("nil clock must stamp ts 0")
+	}
+}
+
+func TestTraceValidates(t *testing.T) {
+	var sb strings.Builder
+	if err := writeSampleTrace(&sb, countingClock(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if sum != (TraceSummary{Generations: 3, Migrations: 1, Runs: 1}) {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	gen := `{"type":"generation","ts":1,"label":"x","gen":1,"pop":4,"full_evals":1,"delta_evals":3,"machines_simulated":0,"machines_inherited":0,"dirty_mean":0,"dirty_max":0,"machines":6,"front_size":1,"hv":1,"eps":0,"spread":0,"front":[[1,2]]}`
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"empty trace", "", "no records"},
+		{"invalid json", "not json\n", "invalid JSON"},
+		{"unknown type", `{"type":"bogus","ts":1}` + "\n", "unknown record type"},
+		{"missing type", `{"ts":1}` + "\n", "missing record type"},
+		{"missing ts", `{"type":"migration","gen":1,"from":0,"to":1,"count":1}` + "\n", "missing ts"},
+		{"generation missing fields", `{"type":"generation","ts":1,"gen":1}` + "\n", "missing required fields"},
+		{"front size mismatch", strings.Replace(gen, `"front_size":1`, `"front_size":3`, 1) + "\n", "does not match"},
+		{"non-increasing gen", gen + "\n" + gen + "\n", "not after"},
+		{"dirty max over machines", strings.Replace(gen, `"dirty_max":0`, `"dirty_max":9`, 1) + "\n", "exceeds machine count"},
+		{"negative hv", strings.Replace(gen, `"hv":1`, `"hv":-2`, 1) + "\n", "negative hypervolume"},
+		{"bad front point", strings.Replace(gen, `"front":[[1,2]]`, `"front":[[1,2,3]]`, 1) + "\n", "coordinates"},
+		{"migration missing fields", `{"type":"migration","ts":1,"from":0}` + "\n", "missing gen/from/to/count"},
+		{"run missing fields", `{"type":"run","ts":1,"dataset":"x"}` + "\n", "missing required fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateTrace(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("validator accepted invalid trace")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// errWriter fails after n successful writes.
+type errWriter struct{ n int }
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	e.n--
+	return len(p), nil
+}
+
+func TestTraceWriterStickyError(t *testing.T) {
+	tw := NewTraceWriter(&errWriter{n: 1}, nil)
+	tw.ObserveGeneration(sampleGeneration(1))
+	if tw.Err() != nil {
+		t.Fatal("first write should succeed")
+	}
+	tw.ObserveGeneration(sampleGeneration(2))
+	if tw.Err() == nil {
+		t.Fatal("second write must surface the error")
+	}
+	tw.ObserveGeneration(sampleGeneration(3)) // dropped, no panic
+	if err := tw.Flush(); err == nil {
+		t.Fatal("Flush must report the sticky error")
+	}
+}
+
+func TestTraceWriterGenerationPathAllocationFree(t *testing.T) {
+	tw := NewTraceWriter(io.Discard, countingClock(0, 1))
+	g := sampleGeneration(1)
+	tw.ObserveGeneration(g)
+	if n := testing.AllocsPerRun(200, func() { tw.ObserveGeneration(g) }); n != 0 {
+		t.Fatalf("trace generation path allocates %.1f per run, want 0", n)
+	}
+}

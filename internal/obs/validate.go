@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSummary reports what a validated trace contained.
+type TraceSummary struct {
+	Generations int
+	Migrations  int
+	Runs        int
+}
+
+// traceRecord mirrors the union of the TraceWriter record schemas for
+// validation. Pointer fields distinguish absent from zero.
+type traceRecord struct {
+	Type              string      `json:"type"`
+	TS                *int64      `json:"ts"`
+	Label             *string     `json:"label"`
+	Gen               *int        `json:"gen"`
+	Pop               *int        `json:"pop"`
+	FullEvals         *int        `json:"full_evals"`
+	DeltaEvals        *int        `json:"delta_evals"`
+	MachinesSimulated *int        `json:"machines_simulated"`
+	MachinesInherited *int        `json:"machines_inherited"`
+	DirtyMean         *float64    `json:"dirty_mean"`
+	DirtyMax          *int        `json:"dirty_max"`
+	Machines          *int        `json:"machines"`
+	FrontSize         *int        `json:"front_size"`
+	HV                *float64    `json:"hv"`
+	Eps               *float64    `json:"eps"`
+	Spread            *float64    `json:"spread"`
+	Front             [][]float64 `json:"front"`
+	From              *int        `json:"from"`
+	To                *int        `json:"to"`
+	Count             *int        `json:"count"`
+	Dataset           *string     `json:"dataset"`
+	Variant           *string     `json:"variant"`
+	Run               *int        `json:"run"`
+	Seed              *uint64     `json:"seed"`
+	MaxUtility        *float64    `json:"max_utility"`
+}
+
+// ValidateTrace reads a JSONL trace and checks every record against the
+// TraceWriter schema: required fields present per record type,
+// generation counters strictly increasing per label, evaluation counts
+// consistent with the population, dirty-machine summaries within the
+// machine count, and front payloads matching their declared size. It
+// returns a summary of the record counts, or the first violation with
+// its 1-based line number.
+func ValidateTrace(r io.Reader) (TraceSummary, error) {
+	var sum TraceSummary
+	lastGen := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			return sum, fmt.Errorf("line %d: empty line", line)
+		}
+		var rec traceRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return sum, fmt.Errorf("line %d: invalid JSON: %v", line, err)
+		}
+		if rec.TS == nil {
+			return sum, fmt.Errorf("line %d: missing ts", line)
+		}
+		switch rec.Type {
+		case "generation":
+			if err := validateGeneration(&rec, lastGen); err != nil {
+				return sum, fmt.Errorf("line %d: %v", line, err)
+			}
+			sum.Generations++
+		case "migration":
+			if rec.Gen == nil || rec.From == nil || rec.To == nil || rec.Count == nil {
+				return sum, fmt.Errorf("line %d: migration record missing gen/from/to/count", line)
+			}
+			if *rec.From < 0 || *rec.To < 0 || *rec.Count < 0 {
+				return sum, fmt.Errorf("line %d: negative migration field", line)
+			}
+			sum.Migrations++
+		case "run":
+			if rec.Dataset == nil || rec.Variant == nil || rec.Run == nil || rec.Seed == nil ||
+				rec.HV == nil || rec.MaxUtility == nil || rec.FrontSize == nil {
+				return sum, fmt.Errorf("line %d: run record missing required fields", line)
+			}
+			if *rec.FrontSize < 0 {
+				return sum, fmt.Errorf("line %d: negative front_size", line)
+			}
+			sum.Runs++
+		case "":
+			return sum, fmt.Errorf("line %d: missing record type", line)
+		default:
+			return sum, fmt.Errorf("line %d: unknown record type %q", line, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sum, err
+	}
+	if sum.Generations+sum.Migrations+sum.Runs == 0 {
+		return sum, fmt.Errorf("trace contains no records")
+	}
+	return sum, nil
+}
+
+func validateGeneration(rec *traceRecord, lastGen map[string]int) error {
+	if rec.Label == nil || rec.Gen == nil || rec.Pop == nil ||
+		rec.FullEvals == nil || rec.DeltaEvals == nil ||
+		rec.MachinesSimulated == nil || rec.MachinesInherited == nil ||
+		rec.DirtyMean == nil || rec.DirtyMax == nil || rec.Machines == nil ||
+		rec.FrontSize == nil || rec.HV == nil || rec.Eps == nil || rec.Spread == nil ||
+		rec.Front == nil {
+		return fmt.Errorf("generation record missing required fields")
+	}
+	if *rec.Pop <= 0 {
+		return fmt.Errorf("pop %d not positive", *rec.Pop)
+	}
+	if *rec.FullEvals < 0 || *rec.DeltaEvals < 0 {
+		return fmt.Errorf("negative evaluation counts")
+	}
+	if *rec.MachinesSimulated < 0 || *rec.MachinesInherited < 0 {
+		return fmt.Errorf("negative machine counts")
+	}
+	if *rec.Machines > 0 && *rec.DirtyMax > *rec.Machines {
+		return fmt.Errorf("dirty_max %d exceeds machine count %d", *rec.DirtyMax, *rec.Machines)
+	}
+	if *rec.DirtyMean < 0 || float64(*rec.DirtyMax) < *rec.DirtyMean {
+		return fmt.Errorf("dirty_mean %g outside [0, dirty_max=%d]", *rec.DirtyMean, *rec.DirtyMax)
+	}
+	if *rec.FrontSize != len(rec.Front) {
+		return fmt.Errorf("front_size %d does not match %d front points", *rec.FrontSize, len(rec.Front))
+	}
+	if *rec.HV < 0 {
+		return fmt.Errorf("negative hypervolume %g", *rec.HV)
+	}
+	for i, p := range rec.Front {
+		if len(p) != 2 {
+			return fmt.Errorf("front point %d has %d coordinates, want 2", i, len(p))
+		}
+	}
+	if prev, ok := lastGen[*rec.Label]; ok && *rec.Gen <= prev {
+		return fmt.Errorf("generation %d for label %q not after %d", *rec.Gen, *rec.Label, prev)
+	}
+	lastGen[*rec.Label] = *rec.Gen
+	return nil
+}

@@ -75,6 +75,39 @@ func (c *Contribs) machineTasks(m int) []int32 {
 	return c.bucket[c.start[m]:c.start[m+1]]
 }
 
+// DeltaStats counts the work a DeltaSession has performed since its
+// creation: evaluations by kernel choice and the per-machine
+// simulate-vs-inherit split inside them. Counters are cumulative and
+// monotone; diff two snapshots for an interval.
+type DeltaStats struct {
+	// FullEvals counts EvaluateFull runs, including EvaluateDelta
+	// fallbacks; DeltaEvals counts EvaluateDelta runs that took the
+	// incremental path.
+	FullEvals  uint64
+	DeltaEvals uint64
+	// MachinesSimulated counts machine queues re-simulated;
+	// MachinesInherited counts contribution rows reused from a parent
+	// cache.
+	MachinesSimulated uint64
+	MachinesInherited uint64
+}
+
+// Add accumulates o into s.
+func (s *DeltaStats) Add(o DeltaStats) {
+	s.FullEvals += o.FullEvals
+	s.DeltaEvals += o.DeltaEvals
+	s.MachinesSimulated += o.MachinesSimulated
+	s.MachinesInherited += o.MachinesInherited
+}
+
+// Sub subtracts o from s (for diffing cumulative snapshots).
+func (s *DeltaStats) Sub(o DeltaStats) {
+	s.FullEvals -= o.FullEvals
+	s.DeltaEvals -= o.DeltaEvals
+	s.MachinesSimulated -= o.MachinesSimulated
+	s.MachinesInherited -= o.MachinesInherited
+}
+
 // DeltaSession holds the scratch space for machine-major evaluation on
 // one goroutine. Like Session, the underlying evaluator is read-only and
 // may be shared; each goroutine needs its own DeltaSession.
@@ -84,7 +117,14 @@ type DeltaSession struct {
 	inv []int32
 	// fill holds per-machine counts, then bucket fill cursors.
 	fill []int32
+	// stats counts the session's work with plain (non-atomic)
+	// increments — sessions are single-goroutine by contract, so the
+	// counters are always on and cost nothing measurable.
+	stats DeltaStats
 }
+
+// Stats returns a snapshot of the session's cumulative work counters.
+func (d *DeltaSession) Stats() DeltaStats { return d.stats }
 
 // NewDeltaSession returns a machine-major evaluation session bound to e.
 func (e *Evaluator) NewDeltaSession() *DeltaSession {
@@ -205,6 +245,8 @@ func (d *DeltaSession) EvaluateFull(a *Allocation, dst *Contribs) Evaluation {
 	for m := 0; m < len(d.fill); m++ {
 		d.simMachine(m, dst.machineTasks(m), dst)
 	}
+	d.stats.FullEvals++
+	d.stats.MachinesSimulated += uint64(len(d.fill))
 	dst.valid = true
 	return d.reduce(dst)
 }
@@ -230,6 +272,7 @@ func (d *DeltaSession) EvaluateDelta(a *Allocation, parent *Contribs, dirty []bo
 	for m := 0; m < len(d.fill); m++ {
 		if dirty[m] && !slices.Equal(dst.machineTasks(m), parent.machineTasks(m)) {
 			d.simMachine(m, dst.machineTasks(m), dst)
+			d.stats.MachinesSimulated++
 			continue
 		}
 		dst.Utility[m] = parent.Utility[m]
@@ -237,7 +280,9 @@ func (d *DeltaSession) EvaluateDelta(a *Allocation, parent *Contribs, dirty []bo
 		dst.Busy[m] = parent.Busy[m]
 		dst.Ready[m] = parent.Ready[m]
 		dst.Done[m] = parent.Done[m]
+		d.stats.MachinesInherited++
 	}
+	d.stats.DeltaEvals++
 	dst.valid = true
 	return d.reduce(dst)
 }

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tradeoff/internal/obs"
+)
+
+func sampleGeneration() obs.GenerationStats {
+	return obs.GenerationStats{
+		Label:             "ds1/test",
+		Generation:        1,
+		Population:        4,
+		Front:             [][]float64{{10, 2}},
+		FullEvals:         4,
+		MachinesSimulated: 8,
+		NumMachines:       2,
+		Indicators:        obs.Indicators{Hypervolume: 3.5, FrontSize: 1},
+	}
+}
+
+func TestSetupDisabled(t *testing.T) {
+	s, err := Setup(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Observer() != nil {
+		t.Fatal("zero config must yield a nil observer")
+	}
+	if s.Registry() != nil || s.MetricsURL() != "" {
+		t.Fatal("zero config opened a sink")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilSession *Session
+	if nilSession.Observer() != nil || nilSession.Close() != nil {
+		t.Fatal("nil session must be inert")
+	}
+}
+
+func TestSetupTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var ticks int64
+	s, err := Setup(Config{TracePath: path, Clock: func() int64 { ticks += 7; return ticks }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := s.Observer()
+	if o == nil {
+		t.Fatal("trace config yielded no observer")
+	}
+	o.ObserveGeneration(sampleGeneration())
+	o.ObserveMigration(obs.MigrationEvent{Generation: 5, From: 0, To: 1, Count: 2})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := obs.ValidateTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Generations != 1 || sum.Migrations != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestSetupMetricsServer(t *testing.T) {
+	s, err := Setup(Config{MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Registry() == nil {
+		t.Fatal("metrics config yielded no registry")
+	}
+	s.Observer().ObserveGeneration(sampleGeneration())
+
+	url := s.MetricsURL()
+	if !strings.HasPrefix(url, "http://127.0.0.1:") {
+		t.Fatalf("metrics URL %q", url)
+	}
+	get := func(u string) string {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", u, resp.StatusCode)
+		}
+		return string(body)
+	}
+	text := get(url)
+	if !strings.Contains(text, "tradeoff_generations_total 1") {
+		t.Fatalf("/metrics missing generation counter:\n%s", text)
+	}
+	jsonBody := get(strings.TrimSuffix(url, "/metrics") + "/metrics.json")
+	if !strings.Contains(jsonBody, "\"tradeoff_generations_total\":1") {
+		t.Fatalf("/metrics.json missing generation counter:\n%s", jsonBody)
+	}
+}
+
+func TestSetupBadAddr(t *testing.T) {
+	if _, err := Setup(Config{MetricsAddr: "definitely:not:an:addr"}); err == nil {
+		t.Fatal("bad metrics address accepted")
+	}
+}
+
+func TestSetupBadTracePath(t *testing.T) {
+	if _, err := Setup(Config{TracePath: filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")}); err == nil {
+		t.Fatal("uncreatable trace path accepted")
+	}
+}
