@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate trace-smoke check
+.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate bench-dedup bench-dedup-record trace-smoke check
 
 # Benchmarks guarded by the >10% regression gate (cmd/benchdiff against
 # BENCH_step.json): generation cost, front extraction, and the
@@ -56,10 +56,25 @@ bench-evaluate:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate' -benchtime 500ms -count 3 -benchmem . > /tmp/bench_eval.txt
 	$(GO) run ./cmd/benchdiff BENCH_step.json /tmp/bench_eval.txt
 
+# Fitness-memoization slice of the regression gate (DESIGN.md §11):
+# cached vs uncached generation cost in the regimes where the
+# fingerprint cache matters, compared against BENCH_dedup.json. The
+# looser threshold absorbs host-level variance on shared runners while
+# still catching structural regressions (an allocation reintroduced on
+# the insert path, a probe-window blowup).
+bench-dedup:
+	$(GO) test -run '^$$' -bench BenchmarkDedup -benchtime 300ms -count 3 -benchmem . > /tmp/bench_dedup.txt
+	$(GO) run ./cmd/benchdiff -threshold 0.30 BENCH_dedup.json /tmp/bench_dedup.txt
+
+# Refresh the dedup baseline after an intentional cache change.
+bench-dedup-record:
+	$(GO) test -run '^$$' -bench BenchmarkDedup -benchtime 300ms -count 3 -benchmem . | tee /tmp/bench_dedup.txt
+	$(GO) run ./cmd/benchdiff -record BENCH_dedup.json /tmp/bench_dedup.txt
+
 # End-to-end telemetry smoke: run a short traced experiment through
 # cmd/tradeoff, then validate the JSONL schema with cmd/tracecheck.
 trace-smoke:
 	$(GO) run ./cmd/tradeoff -generations 20 -pop 20 -tasks 60 -trace /tmp/trace_smoke.jsonl > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/trace_smoke.jsonl
 
-check: build vet fmt lint race bench-smoke trace-smoke
+check: build vet fmt lint race bench-smoke bench-dedup trace-smoke

@@ -16,7 +16,10 @@
 //
 // -trace streams per-generation JSONL telemetry to a file and
 // -metrics-addr serves the run's metric registry as Prometheus text on
-// /metrics; neither changes any result.
+// /metrics; neither changes any result. -cpuprofile and -memprofile
+// write pprof profiles of the whole invocation, and -cache-capacity
+// sizes the engines' fitness-memoization cache (negative disables it)
+// without changing any front.
 package main
 
 import (
@@ -52,10 +55,19 @@ var (
 	runs        = flag.Int("runs", 5, "runs per variant for -repeats")
 	tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
 	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
+	cacheCap    = flag.Int("cache-capacity", 0, "fitness-memoization cache entries per engine (0 = 4x population, negative = off)")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func main() {
 	flag.Parse()
+
+	prof, err := startProfiler(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	profSession = prof
 
 	// The wall clock enters here, at the command layer; internal packages
 	// only ever see the injected obs.Clock.
@@ -78,10 +90,19 @@ func main() {
 	if *tracePath != "" {
 		fmt.Println("wrote", *tracePath)
 	}
+	if err := prof.stop(); err != nil {
+		fatal(err)
+	}
+	if *cpuProfile != "" {
+		fmt.Println("wrote", *cpuProfile)
+	}
+	if *memProfile != "" {
+		fmt.Println("wrote", *memProfile)
+	}
 }
 
 func dispatch(observer obs.Observer) {
-	baseCfg := experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed, Observer: observer}
+	baseCfg := experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed, CacheCapacity: *cacheCap, Observer: observer}
 
 	if *matrices {
 		experiments.WriteMatrices(os.Stdout)
@@ -293,11 +314,16 @@ func runFigure(fig int, baseCfg experiments.RunConfig, paperScale bool, svgDir s
 	}
 }
 
-// telSession lets fatal flush a partially written trace before exiting.
-var telSession *telemetry.Session
+// telSession lets fatal flush a partially written trace before exiting;
+// profSession likewise salvages any profile collected so far.
+var (
+	telSession  *telemetry.Session
+	profSession *profiler
+)
 
 func fatal(err error) {
 	telSession.Close()
+	profSession.stop()
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

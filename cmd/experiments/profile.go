@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler writes optional CPU and heap profiles. Profiling lives at
+// the command layer, like the wall clock: internal packages stay free
+// of files and timers, and a run without the flags pays nothing.
+type profiler struct {
+	cpu  *os.File
+	heap string
+}
+
+// startProfiler begins CPU profiling if cpuPath is non-empty and
+// remembers heapPath for a heap snapshot at stop. Either path may be
+// empty; a profiler with both empty is a no-op.
+func startProfiler(cpuPath, heapPath string) (*profiler, error) {
+	p := &profiler{heap: heapPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpu = f
+	}
+	return p, nil
+}
+
+// stop ends CPU profiling and writes the heap profile, once; later
+// calls (and calls on a nil profiler) are no-ops, so the error path
+// can stop the same profiler the success path does.
+func (p *profiler) stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		err := p.cpu.Close()
+		p.cpu = nil
+		if err != nil {
+			return err
+		}
+	}
+	if p.heap != "" {
+		path := p.heap
+		p.heap = ""
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle transients so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -8,12 +8,18 @@
 //	tradeoff [-dataset 1|2|3] [-generations 2000] [-pop 100] \
 //	         [-seeds min-energy,max-utility] [-seed 1] \
 //	         [-csv front.csv] [-svg front.svg] [-system system.json] \
-//	         [-trace run.jsonl] [-metrics-addr :9090]
+//	         [-trace run.jsonl] [-metrics-addr :9090] \
+//	         [-cache-capacity 400] [-cpuprofile cpu.pprof]
 //
 // -trace streams one JSON object per generation (front points,
 // convergence indicators, evaluation counters) to a file; -metrics-addr
 // serves the run's metric registry as Prometheus text on /metrics and
 // JSON on /metrics.json. Neither changes the optimization result.
+//
+// -cache-capacity bounds the fitness-memoization cache (0 picks the
+// default of 4x the population, negative disables it); every setting
+// yields bit-identical fronts. -cpuprofile and -memprofile write pprof
+// profiles of the run.
 //
 // With -system the environment is loaded from a JSON file produced by
 // the datagen command instead of a built-in data set.
@@ -65,8 +71,18 @@ func main() {
 		machines    = flag.Bool("machines", false, "print the per-machine breakdown of the efficient-region allocation")
 		tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
+		cacheCap    = flag.Int("cache-capacity", 0, "fitness-memoization cache entries (0 = 4x population, negative = off)")
+		cacheVerify = flag.Bool("cache-verify", false, "re-simulate every cache hit and abort on divergence (debug)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	prof, err := startProfiler(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	profSession = prof
 
 	// The wall clock enters here, at the command layer; internal packages
 	// only ever see the injected obs.Clock.
@@ -159,6 +175,8 @@ func main() {
 		RandomSeed:     *seed,
 		Workers:        *workers,
 		Islands:        *islands,
+		CacheCapacity:  *cacheCap,
+		CacheVerify:    *cacheVerify,
 		Observer:       tel.Observer(),
 	})
 	if err != nil {
@@ -259,6 +277,15 @@ func main() {
 	if *tracePath != "" {
 		fmt.Println("wrote", *tracePath)
 	}
+	if err := prof.stop(); err != nil {
+		fatal(err)
+	}
+	if *cpuProfile != "" {
+		fmt.Println("wrote", *cpuProfile)
+	}
+	if *memProfile != "" {
+		fmt.Println("wrote", *memProfile)
+	}
 }
 
 func buildFramework(dataset int, systemFile string, tasks int, window float64, seed uint64) (*core.Framework, string, error) {
@@ -340,11 +367,16 @@ func writeCSV(path string, res *core.Result) error {
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
-// telSession lets fatal flush a partially written trace before exiting.
-var telSession *telemetry.Session
+// telSession lets fatal flush a partially written trace before exiting;
+// profSession likewise salvages any profile collected so far.
+var (
+	telSession  *telemetry.Session
+	profSession *profiler
+)
 
 func fatal(err error) {
 	telSession.Close()
+	profSession.stop()
 	fmt.Fprintln(os.Stderr, "tradeoff:", err)
 	os.Exit(1)
 }

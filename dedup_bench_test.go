@@ -1,0 +1,63 @@
+// Benchmarks for the deduplicating fitness-memoization layer (DESIGN.md
+// §11): cached vs uncached generation cost in the regimes where the
+// fingerprint cache matters. Convergence drives the hit rate — as the
+// population collapses onto the Pareto front, crossover and low-rate
+// mutation reproduce chromosomes the cache has already scored — so each
+// pair below warms an engine past the exploratory phase before
+// measuring. cmd/benchdiff gates these against BENCH_dedup.json
+// (`make bench-dedup`); the names deliberately avoid the BENCH_GATE
+// patterns so the two baselines stay independent.
+package tradeoff_test
+
+import (
+	"testing"
+
+	"tradeoff/internal/experiments"
+	"tradeoff/internal/nsga2"
+	"tradeoff/internal/rng"
+)
+
+// dedupEngine builds a population-100 engine on the given data set with
+// the cache capacity under test and runs warmup generations so duplicate
+// chromosomes recur at the steady-state rate.
+func dedupEngine(b *testing.B, dsNum, capacity, warmup int) *nsga2.Engine {
+	b.Helper()
+	ds, err := experiments.ByNumber(dsNum, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := nsga2.Config{PopulationSize: 100, CacheCapacity: capacity}
+	eng, err := nsga2.New(ds.Evaluator, cfg, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Run(warmup)
+	return eng
+}
+
+func benchDedup(b *testing.B, dsNum, capacity, warmup int) {
+	eng := dedupEngine(b, dsNum, capacity, warmup)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Converged population on the small trace: duplicates dominate the
+// offspring stream, so the cached engine skips most simulations. The
+// Uncached twin (CacheCapacity -1) is the control; the gap between the
+// two is the whole value of memoization in this regime.
+func BenchmarkDedupConvergedCached(b *testing.B)   { benchDedup(b, 1, 0, 25) }
+func BenchmarkDedupConvergedUncached(b *testing.B) { benchDedup(b, 1, -1, 25) }
+
+// Large 4000-task trace: each hit saves a full machine-major
+// simulation, so this is where memoization pays most per hit even at a
+// lower hit rate.
+func BenchmarkDedupLargeCached(b *testing.B)   { benchDedup(b, 3, 0, 8) }
+func BenchmarkDedupLargeUncached(b *testing.B) { benchDedup(b, 3, -1, 8) }
+
+// Tiny cache on the converged population: the probe window thrashes, so
+// this pins the floor — lookup+insert overhead with few hits must stay
+// within the regression threshold of the uncached engine.
+func BenchmarkDedupTinyCache(b *testing.B) { benchDedup(b, 1, 2, 25) }

@@ -92,6 +92,13 @@ type Options struct {
 	Islands int
 	// MigrationInterval is the island migration period (default 25).
 	MigrationInterval int
+	// CacheCapacity bounds the fitness-memoization cache: 0 picks the
+	// engine default (4× the population), negative disables memoization.
+	// Results are bit-identical for every setting; see internal/nsga2.
+	CacheCapacity int
+	// CacheVerify re-simulates every cache hit and panics on divergence.
+	// Debug aid: it forfeits the cache's speedup.
+	CacheVerify bool
 	// Observer, when non-nil, receives run telemetry: per-generation
 	// front/indicator/evaluation events from a single-population run, or
 	// migration events from an island run. Observation never consumes
@@ -147,6 +154,8 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 		MutationRate:   opts.MutationRate,
 		Seeds:          seeds,
 		Workers:        opts.Workers,
+		CacheCapacity:  opts.CacheCapacity,
+		CacheVerify:    opts.CacheVerify,
 	}, rng.New(opts.RandomSeed))
 	if err != nil {
 		return nil, err
@@ -214,6 +223,8 @@ func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*R
 			MutationRate:   opts.MutationRate,
 			Seeds:          seeds,
 			Workers:        opts.Workers,
+			CacheCapacity:  opts.CacheCapacity,
+			CacheVerify:    opts.CacheVerify,
 		},
 	}, rng.New(opts.RandomSeed))
 	if err != nil {

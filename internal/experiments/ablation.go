@@ -47,6 +47,7 @@ func RunAblation(ds *DataSet, cfg RunConfig) (*AblationResult, error) {
 			PopulationSize: cfg.PopulationSize,
 			MutationRate:   cfg.MutationRate,
 			Workers:        cfg.Workers,
+			CacheCapacity:  cfg.CacheCapacity,
 		}
 		if v.mutate != nil {
 			v.mutate(&ecfg)

@@ -47,6 +47,7 @@ func RunConvergence(ds *DataSet, cfg RunConfig) (*ConvergenceResult, error) {
 			MutationRate:   cfg.MutationRate,
 			Seeds:          seeds,
 			Workers:        cfg.Workers,
+			CacheCapacity:  cfg.CacheCapacity,
 		}, rng.NewStream(cfg.Seed, hashName("conv-"+v.Name)))
 		if err != nil {
 			return nil, err
@@ -161,6 +162,7 @@ func RunBaselineComparison(ds *DataSet, cfg RunConfig) (*BaselineComparison, err
 		MutationRate:   cfg.MutationRate,
 		Seeds:          seeds,
 		Workers:        cfg.Workers,
+		CacheCapacity:  cfg.CacheCapacity,
 	}, rng.NewStream(cfg.Seed, hashName("baselines")))
 	if err != nil {
 		return nil, err

@@ -53,6 +53,10 @@ type RunConfig struct {
 	Seed uint64
 	// Workers bounds evaluation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// CacheCapacity bounds each engine's fitness-memoization cache
+	// (0 = engine default of 4x the population, negative = disabled).
+	// Results are bit-identical for every setting.
+	CacheCapacity int
 	// Observer, when non-nil, receives run telemetry: per-generation
 	// events from the serial experiment engines (labeled
 	// "dataset/variant") and per-run summary events from RunRepeats.
@@ -144,6 +148,7 @@ func RunParetoFigure(ds *DataSet, cfg RunConfig) (*FigureResult, error) {
 			MutationRate:   cfg.MutationRate,
 			Seeds:          seeds,
 			Workers:        cfg.Workers,
+			CacheCapacity:  cfg.CacheCapacity,
 		}, rng.NewStream(cfg.Seed, hashName(v.Name)))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: engine for %s: %w", v.Name, err)
@@ -322,6 +327,7 @@ func RunFigure5(ds *DataSet, cfg RunConfig) (*Figure5Result, error) {
 		MutationRate:   cfg.MutationRate,
 		Seeds:          []*sched.Allocation{seedAlloc},
 		Workers:        cfg.Workers,
+		CacheCapacity:  cfg.CacheCapacity,
 	}, rng.NewStream(cfg.Seed, hashName("figure5")))
 	if err != nil {
 		return nil, err

@@ -42,6 +42,7 @@ func RunMutationSweep(ds *DataSet, cfg RunConfig, rates []float64) (*MutationSwe
 			PopulationSize: cfg.PopulationSize,
 			MutationRate:   rate,
 			Workers:        cfg.Workers,
+			CacheCapacity:  cfg.CacheCapacity,
 		}, rng.NewStream(cfg.Seed, hashName(fmt.Sprintf("mut-%v", rate))))
 		if err != nil {
 			return nil, err

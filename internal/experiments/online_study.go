@@ -57,6 +57,7 @@ func RunOnlineStudy(ds *DataSet, cfg RunConfig) (*OnlineStudy, error) {
 		MutationRate:   cfg.MutationRate,
 		Seeds:          seeds,
 		Workers:        cfg.Workers,
+		CacheCapacity:  cfg.CacheCapacity,
 	}, rng.NewStream(cfg.Seed, hashName("online-offline")))
 	if err != nil {
 		return nil, err

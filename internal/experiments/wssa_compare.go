@@ -46,6 +46,7 @@ func RunWSSAComparison(ds *DataSet, cfg RunConfig, weights []float64) (*WSSAComp
 		PopulationSize: cfg.PopulationSize,
 		MutationRate:   cfg.MutationRate,
 		Workers:        cfg.Workers,
+		CacheCapacity:  cfg.CacheCapacity,
 	}, rng.NewStream(cfg.Seed, hashName("wssa-nsga2")))
 	if err != nil {
 		return nil, err

@@ -1,0 +1,82 @@
+// Package neg is the determinism-clean shape of a fitness-memoization
+// layer: compile-time fingerprint constants (no process seeding), an
+// open-addressing slot array probed in index order (no map iteration),
+// generation-stamped clock-free eviction, and hot paths that recycle
+// their buffers.
+package neg
+
+// Splitmix-style mixing constants, fixed at compile time: the same
+// chromosome fingerprints identically in every process, so caches
+// survive snapshot/resume and replays.
+const (
+	fpGamma = 0x9e3779b97f4a7c15
+	fpM1    = 0xbf58476d1ce4e5b9
+	fpM2    = 0x94d049bb133111eb
+)
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= fpM1
+	x ^= x >> 27
+	x *= fpM2
+	x ^= x >> 31
+	return x
+}
+
+// fingerprint absorbs genes with xor-multiply and finalizes with the
+// length, allocation-free.
+//
+//detlint:hotpath
+func fingerprint(genes []uint64) uint64 {
+	h := mix64(fpGamma)
+	for _, g := range genes {
+		h = (h ^ g) * fpM1
+	}
+	return mix64(h ^ uint64(len(genes)))
+}
+
+type slot struct {
+	fp  uint64
+	gen int64 // generation stamp; -1 = empty
+	val float64
+}
+
+// cache is power-of-two open addressing with a fixed probe window.
+type cache struct {
+	slots  []slot
+	mask   uint64
+	window int
+}
+
+// insert probes a bounded window in index order and evicts the
+// oldest-stamped slot on overflow — deterministic and clock-free, with
+// no steady-state allocation.
+//
+//detlint:hotpath
+func (c *cache) insert(fp uint64, gen int64, val float64) {
+	empty, oldest := -1, -1
+	var oldestGen int64
+	for o := 0; o < c.window; o++ {
+		i := int((fp + uint64(o)) & c.mask)
+		s := &c.slots[i]
+		if s.gen < 0 {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if s.fp == fp {
+			s.gen, s.val = gen, val
+			return
+		}
+		if oldest < 0 || s.gen < oldestGen {
+			oldest, oldestGen = i, s.gen
+		}
+	}
+	dst := empty
+	if dst < 0 {
+		dst = oldest
+	}
+	c.slots[dst] = slot{fp: fp, gen: gen, val: val}
+}

@@ -1,0 +1,51 @@
+// Package pos seeds the determinism violations a naive fitness-
+// memoization layer invites: a process-seeded fingerprint (mutable
+// package-level hash state, the hash/maphash pattern), a map-backed
+// cache whose eviction scan iterates the map, and an annotated insert
+// path that allocates per call.
+package pos
+
+import "fmt"
+
+// fpSeed is re-derived at startup in real maphash-style code; any
+// mutation makes fingerprints differ between processes, so resumed or
+// replayed runs stop hitting their own cache entries.
+var fpSeed uint64
+
+func reseed(v uint64) {
+	fpSeed = v // mutable global: fingerprints now depend on call history
+}
+
+type entry struct {
+	utility float64
+	energy  float64
+}
+
+// cache maps fingerprints to outcomes with no bound or eviction order.
+type lruless struct {
+	entries map[uint64]entry
+	victims []uint64
+}
+
+// evictOld scans for victims by iterating the map: the victim order —
+// and therefore which entries survive — changes run to run.
+//
+//detlint:hotpath
+func (c *lruless) evictOld(cutoff float64) {
+	for fp, e := range c.entries {
+		if e.utility < cutoff {
+			c.victims = append(c.victims, fp) // grows forever, order unstable
+		}
+	}
+	for _, fp := range c.victims {
+		delete(c.entries, fp)
+	}
+}
+
+// insert allocates a formatted key per call inside the hot path.
+//
+//detlint:hotpath
+func (c *lruless) insert(fp uint64, e entry) string {
+	c.entries[fp^fpSeed] = e
+	return fmt.Sprintf("cached %d entries", len(c.entries))
+}

@@ -1,0 +1,150 @@
+package nsga2
+
+import (
+	"tradeoff/internal/sched"
+)
+
+// Fitness memoization (see DESIGN.md §11): an open-addressing hash table
+// from genotype fingerprint to evaluation outcome — objective values
+// plus the per-machine contribution rows delta evaluation inherits from.
+// Selection, elitism, and island migration constantly reproduce exact
+// clones of surviving chromosomes; a cache hit hands a clone its
+// evaluation for the cost of a memcpy instead of a simulation.
+//
+// Determinism: the cache is only ever probed, touched, and filled from
+// the engine's serial phases, in offspring index order, so its entire
+// state evolves identically for every worker count. Eviction is
+// clock-free — stamped with the engine's generation counter, never wall
+// time — and bounded: a fixed probe window per fingerprint, with the
+// oldest-stamped slot in the window evicted on overflow (ties broken by
+// probe order). Because a cached outcome is bit-identical to what
+// re-evaluating the same genotype would produce, populations are
+// bit-identical for ANY capacity, including a disabled cache — the only
+// observable difference is time saved (absent a 64-bit fingerprint
+// collision, which the verify-on-hit debug mode exists to rule out).
+
+// fitSlot is one cache entry. contrib is an owned buffer drawn from the
+// engine arena at construction and recycled across evictions for the
+// lifetime of the cache.
+type fitSlot struct {
+	fp      uint64
+	gen     int64 // generation stamp of last touch; -1 = empty
+	ev      sched.Evaluation
+	contrib *sched.Contribs
+}
+
+// cacheStats is a snapshot of the cache's cumulative counters, diffed
+// per generation for telemetry (the DeltaStats pattern).
+type cacheStats struct {
+	hits, misses, evicts uint64
+}
+
+func (s *cacheStats) sub(o cacheStats) {
+	s.hits -= o.hits
+	s.misses -= o.misses
+	s.evicts -= o.evicts
+}
+
+// fitCache is the memoization table: power-of-two open addressing with a
+// short probe window.
+type fitCache struct {
+	slots  []fitSlot
+	mask   uint64
+	window int
+	live   int
+	stats  cacheStats
+}
+
+// fitCacheWindow bounds the linear probe per fingerprint; longer probes
+// trade lookup cost for fewer forced evictions.
+const fitCacheWindow = 8
+
+// newFitCache returns a cache with capacity rounded up to a power of
+// two. Capacity must be >= 1 (the engine maps "disabled" to a nil
+// cache). Every slot's contribution buffer is drawn from the arena up
+// front: a filled table is the steady state anyway — each miss inserts,
+// so the slots populate within a few generations — and pre-drawing
+// keeps the generation loop allocation-free from the first Step rather
+// than after a coupon-collector fill phase.
+func newFitCache(capacity int, ar *arena) *fitCache {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	c := &fitCache{
+		slots:  make([]fitSlot, size),
+		mask:   uint64(size - 1),
+		window: fitCacheWindow,
+	}
+	if c.window > size {
+		c.window = size
+	}
+	for i := range c.slots {
+		c.slots[i].gen = -1
+		c.slots[i].contrib = ar.getContrib()
+	}
+	return c
+}
+
+// lookup returns the slot index holding fp, or -1. Serial phases only.
+//
+//detlint:hotpath
+func (c *fitCache) lookup(fp uint64) int {
+	for o := 0; o < c.window; o++ {
+		i := (fp + uint64(o)) & c.mask
+		s := &c.slots[i]
+		if s.gen >= 0 && s.fp == fp {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// touch refreshes the slot's generation stamp so hot entries outlive
+// cold ones under the oldest-stamp eviction rule.
+func (c *fitCache) touch(slot int, gen int64) { c.slots[slot].gen = gen }
+
+// insert stores (fp → ev, contrib) stamped with gen, copying contrib
+// into the slot's own pre-drawn buffer. If the probe window is full,
+// the oldest-stamped slot in the window is evicted; ties break toward
+// the earliest probe position, so the replacement choice is
+// deterministic. Serial phases only.
+//
+//detlint:hotpath
+func (c *fitCache) insert(fp uint64, gen int64, ev sched.Evaluation, contrib *sched.Contribs) {
+	empty, oldest := -1, -1
+	var oldestGen int64
+	for o := 0; o < c.window; o++ {
+		i := int((fp + uint64(o)) & c.mask)
+		s := &c.slots[i]
+		if s.gen < 0 {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if s.fp == fp {
+			// Duplicate genotype evaluated twice in one generation (both
+			// missed before either inserted): refresh in place.
+			s.gen = gen
+			s.ev = ev
+			s.contrib.CopyFrom(contrib)
+			return
+		}
+		if oldest < 0 || s.gen < oldestGen {
+			oldest, oldestGen = i, s.gen
+		}
+	}
+	dst := empty
+	if dst < 0 {
+		dst = oldest
+		c.stats.evicts++
+	} else {
+		c.live++
+	}
+	s := &c.slots[dst]
+	s.fp = fp
+	s.gen = gen
+	s.ev = ev
+	s.contrib.CopyFrom(contrib)
+}

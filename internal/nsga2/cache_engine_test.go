@@ -1,0 +1,255 @@
+package nsga2
+
+import (
+	"testing"
+
+	"tradeoff/internal/heuristics"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// TestCacheEngineMatchesUncached is the memoization bit-identity
+// property: an engine with the fitness cache enabled (at any capacity,
+// with or without verify-on-hit) and an engine with the cache disabled,
+// driven by the same rng seed, must produce identical populations
+// generation by generation — across repair strategies, selection rules,
+// worker counts, seeded populations, and cache capacities small enough
+// to force constant eviction.
+func TestCacheEngineMatchesUncached(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks int
+		cfg   Config
+		seed  bool
+	}{
+		{name: "default-capacity", tasks: 60, cfg: Config{PopulationSize: 20}},
+		{name: "tiny-capacity", tasks: 60, cfg: Config{PopulationSize: 20, CacheCapacity: 2}},
+		{name: "mid-capacity", tasks: 60, cfg: Config{PopulationSize: 20, CacheCapacity: 16}},
+		{name: "verify-on-hit", tasks: 60, cfg: Config{PopulationSize: 20, CacheVerify: true}},
+		{name: "shuffle-repair", tasks: 60, cfg: Config{PopulationSize: 20, Repair: ShuffleRepair}},
+		{name: "tournament", tasks: 60, cfg: Config{PopulationSize: 20, Selection: TournamentSelection}},
+		{name: "workers", tasks: 60, cfg: Config{PopulationSize: 20, Workers: 4}},
+		{name: "seeded", tasks: 80, cfg: Config{PopulationSize: 16}, seed: true},
+		{name: "full-eval-mode", tasks: 40, cfg: Config{PopulationSize: 12, Evaluation: FullEvaluation}},
+		{name: "high-mutation", tasks: 40, cfg: Config{PopulationSize: 12, MutationRate: 0.9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mkEngine := func(cacheCapacity int, verify bool) *Engine {
+				e := newEval(t, tc.tasks)
+				cfg := tc.cfg
+				cfg.CacheCapacity = cacheCapacity
+				cfg.CacheVerify = verify
+				if tc.seed {
+					cfg.Seeds = []*sched.Allocation{heuristics.BuildMinEnergy(e)}
+				}
+				eng, err := New(e, cfg, rng.New(77))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return eng
+			}
+			capacity := tc.cfg.CacheCapacity
+			if capacity == 0 {
+				capacity = 4 * tc.cfg.PopulationSize
+			}
+			cached := mkEngine(capacity, tc.cfg.CacheVerify)
+			uncached := mkEngine(-1, false)
+			if (cached.cache == nil) != false {
+				t.Fatal("cached engine built without a cache")
+			}
+			if uncached.cache != nil {
+				t.Fatal("negative CacheCapacity did not disable the cache")
+			}
+			comparePopulations(t, tc.name+"/gen0", cached, uncached)
+			for gen := 1; gen <= 12; gen++ {
+				cached.Step()
+				uncached.Step()
+				comparePopulations(t, tc.name, cached, uncached)
+			}
+			// A cache big enough to hold the population must see hits
+			// (elitist clones recur constantly); a tiny or thrashing one
+			// may legitimately never hit, and shuffle repair re-randomizes
+			// order genes so exact clones stop recurring — in those cases
+			// bit-identity above is the whole test.
+			if hits := cached.cache.stats.hits; hits == 0 &&
+				capacity >= tc.cfg.PopulationSize && tc.cfg.Repair != ShuffleRepair {
+				t.Fatalf("%s: 12 generations produced zero cache hits — the memoized path went unexercised", tc.name)
+			}
+		})
+	}
+}
+
+// TestCacheCapacityInvariance runs one engine per capacity across the
+// whole disabled → tiny → default spectrum and requires every population
+// sequence to match the disabled baseline: capacity must only change
+// time, never results.
+func TestCacheCapacityInvariance(t *testing.T) {
+	capacities := []int{-1, 1, 2, 3, 8, 50, 0 /* default */}
+	engines := make([]*Engine, len(capacities))
+	for i, capacity := range capacities {
+		eng, err := New(newEval(t, 50), Config{PopulationSize: 14, CacheCapacity: capacity}, rng.New(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = eng
+	}
+	for gen := 1; gen <= 10; gen++ {
+		for _, eng := range engines {
+			eng.Step()
+		}
+		for i := 1; i < len(engines); i++ {
+			comparePopulations(t, "capacity-sweep", engines[0], engines[i])
+		}
+	}
+}
+
+// TestCacheEngineMatchesUncachedWithInject covers genotypes entering the
+// population mid-run: injected individuals must fingerprint and cache
+// like bred ones.
+func TestCacheEngineMatchesUncachedWithInject(t *testing.T) {
+	cached := newEngine(t, 50, Config{PopulationSize: 16}, 5)
+	uncached := newEngine(t, 50, Config{PopulationSize: 16, CacheCapacity: -1}, 5)
+	cached.Run(5)
+	uncached.Run(5)
+	inject := []Individual{
+		{Alloc: cached.eval.RandomAllocation(rng.New(99))},
+		{Alloc: heuristics.BuildMinEnergy(cached.eval)},
+	}
+	if err := cached.Inject(inject); err != nil {
+		t.Fatal(err)
+	}
+	if err := uncached.Inject(inject); err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 8; gen++ {
+		cached.Step()
+		uncached.Step()
+		comparePopulations(t, "post-inject", cached, uncached)
+	}
+}
+
+// TestCacheEngineMatchesUncachedAfterRestore covers snapshot/restore: a
+// restored cached engine must continue bit-for-bit like an uncached one
+// restored from the same snapshot.
+func TestCacheEngineMatchesUncachedAfterRestore(t *testing.T) {
+	src := newEngine(t, 40, Config{PopulationSize: 12}, 8)
+	src.Run(4)
+	snap := src.Snapshot()
+
+	cached := newEngine(t, 40, Config{PopulationSize: 12, CacheCapacity: 8}, 8)
+	uncached := newEngine(t, 40, Config{PopulationSize: 12, CacheCapacity: -1}, 8)
+	if err := cached.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := uncached.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 8; gen++ {
+		cached.Step()
+		uncached.Step()
+		comparePopulations(t, "post-restore", cached, uncached)
+	}
+}
+
+// TestCacheWorkerInvariance pins the serial-probe/serial-insert bracket:
+// the cache's internal state — not just the population — must be
+// identical for every worker count after the same run.
+func TestCacheWorkerInvariance(t *testing.T) {
+	run := func(workers int) *Engine {
+		eng, err := New(newEval(t, 60), Config{PopulationSize: 20, Workers: workers, CacheCapacity: 32}, rng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(10)
+		return eng
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		par := run(workers)
+		comparePopulations(t, "worker-invariance", serial, par)
+		if par.cache.stats != serial.cache.stats {
+			t.Fatalf("workers=%d: cache stats %+v diverged from serial %+v",
+				workers, par.cache.stats, serial.cache.stats)
+		}
+		if par.cache.live != serial.cache.live {
+			t.Fatalf("workers=%d: cache live %d vs serial %d", workers, par.cache.live, serial.cache.live)
+		}
+		for i := range par.cache.slots {
+			ps, ss := &par.cache.slots[i], &serial.cache.slots[i]
+			if ps.fp != ss.fp || ps.gen != ss.gen || ps.ev != ss.ev {
+				t.Fatalf("workers=%d: cache slot %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestCacheVerifyAcceptsHonestCache runs verify-on-hit for many
+// generations: every memoized outcome is re-simulated and must match, so
+// completing without a panic certifies the cached payloads.
+func TestCacheVerifyAcceptsHonestCache(t *testing.T) {
+	eng := newEngine(t, 50, Config{PopulationSize: 16, CacheVerify: true}, 21)
+	eng.Run(15)
+	if eng.cache.stats.hits == 0 {
+		t.Fatal("verify run produced no hits to check")
+	}
+}
+
+// TestCacheVerifyPanicsOnCorruptEntry corrupts a cached payload and
+// requires the verify path to catch the divergence — proof the debug
+// flag actually re-simulates rather than trusting the cache.
+func TestCacheVerifyPanicsOnCorruptEntry(t *testing.T) {
+	eng := newEngine(t, 40, Config{PopulationSize: 12, CacheVerify: true}, 9)
+	eng.Run(3)
+	poisoned := 0
+	for i := range eng.cache.slots {
+		if eng.cache.slots[i].gen >= 0 {
+			eng.cache.slots[i].ev.Utility += 1e6
+			// Keep the stamp fresh so the poisoned entries survive
+			// eviction long enough to be hit.
+			eng.cache.slots[i].gen = int64(eng.generation)
+			poisoned++
+		}
+	}
+	if poisoned == 0 {
+		t.Fatal("no live cache entries to poison")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("verify-on-hit did not panic on a corrupted cache entry")
+		}
+	}()
+	eng.Run(10)
+}
+
+// FuzzCacheEngine drives arbitrary configurations through the
+// cached-vs-uncached population equality check, varying capacity,
+// repair, selection, worker count, and generation count.
+func FuzzCacheEngine(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(10), uint8(0), false, false, uint8(3), uint8(1))
+	f.Add(uint64(9), uint8(90), uint8(8), uint8(2), true, true, uint8(5), uint8(4))
+	f.Add(uint64(4), uint8(20), uint8(6), uint8(255), false, true, uint8(7), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, tasksRaw, popRaw, capRaw uint8, shuffle, tournament bool, gens, workersRaw uint8) {
+		tasks := 2 + int(tasksRaw)%100
+		pop := 2 * (1 + int(popRaw)%10)
+		cfg := Config{PopulationSize: pop, Workers: 1 + int(workersRaw)%4}
+		if shuffle {
+			cfg.Repair = ShuffleRepair
+		}
+		if tournament {
+			cfg.Selection = TournamentSelection
+		}
+		cachedCfg := cfg
+		// Capacity sweeps 1..64 and 0 (the default) via the raw byte.
+		cachedCfg.CacheCapacity = int(capRaw) % 65
+		uncachedCfg := cfg
+		uncachedCfg.CacheCapacity = -1
+		cached := newEngine(t, tasks, cachedCfg, seed|1)
+		uncached := newEngine(t, tasks, uncachedCfg, seed|1)
+		for g := 0; g < int(gens)%10+1; g++ {
+			cached.Step()
+			uncached.Step()
+		}
+		comparePopulations(t, "fuzz", cached, uncached)
+	})
+}

@@ -1,0 +1,228 @@
+package nsga2
+
+import (
+	"testing"
+
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+func allocOf(machine []int, order []int) *sched.Allocation {
+	return &sched.Allocation{Machine: machine, Order: order}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := allocOf([]int{0, 1, 2, 1, 0}, []int{4, 2, 0, 1, 3})
+	if fingerprint(a) != fingerprint(a) {
+		t.Fatal("fingerprint of the same allocation differs between calls")
+	}
+	b := allocOf(append([]int(nil), a.Machine...), append([]int(nil), a.Order...))
+	if fingerprint(a) != fingerprint(b) {
+		t.Fatal("fingerprint differs between equal allocations in distinct storage")
+	}
+}
+
+// TestFingerprintSensitivity flips one gene at a time — machine or order,
+// at every position including the lane boundaries around multiples of 4 —
+// and requires the fingerprint to change.
+func TestFingerprintSensitivity(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
+		machine := make([]int, n)
+		order := make([]int, n)
+		for i := range machine {
+			machine[i] = i % 3
+			order[i] = i
+		}
+		base := fingerprint(allocOf(machine, order))
+		for i := 0; i < n; i++ {
+			m2 := append([]int(nil), machine...)
+			m2[i] += 7
+			if fingerprint(allocOf(m2, order)) == base {
+				t.Fatalf("n=%d: machine flip at %d not reflected in fingerprint", n, i)
+			}
+			o2 := append([]int(nil), order...)
+			o2[i] += 100
+			if fingerprint(allocOf(machine, o2)) == base {
+				t.Fatalf("n=%d: order flip at %d not reflected in fingerprint", n, i)
+			}
+		}
+	}
+}
+
+// TestFingerprintLengthAndSwap pins two classic weak-hash failure modes:
+// prefix-extension (a shorter chromosome must not collide with a padded
+// one) and transposition (swapping two genes must change the hash).
+func TestFingerprintLengthAndSwap(t *testing.T) {
+	short := allocOf([]int{1, 1, 1}, []int{0, 1, 2})
+	long := allocOf([]int{1, 1, 1, 0}, []int{0, 1, 2, 3})
+	if fingerprint(short) == fingerprint(long) {
+		t.Fatal("length not absorbed: prefix chromosomes collide")
+	}
+	a := allocOf([]int{0, 1, 2, 3, 4, 5, 6, 7}, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	b := allocOf([]int{1, 0, 2, 3, 4, 5, 6, 7}, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	if fingerprint(a) == fingerprint(b) {
+		t.Fatal("adjacent transposition collides")
+	}
+	// Cross-lane swap: positions 0 and 4 land in the same lane under the
+	// 4-stride absorption, 0 and 5 in different lanes; both must differ.
+	c := allocOf([]int{4, 1, 2, 3, 0, 5, 6, 7}, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	d := allocOf([]int{5, 1, 2, 3, 4, 0, 6, 7}, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	if fingerprint(a) == fingerprint(c) || fingerprint(a) == fingerprint(d) {
+		t.Fatal("gene swap across lanes collides")
+	}
+}
+
+// TestFingerprintNoCollisionsAcrossRandomPool hashes a pool of random
+// chromosomes and requires all distinct genotypes to get distinct
+// fingerprints — at this pool size a 64-bit hash colliding at all would
+// point at a mixing bug, not bad luck (expected collisions ~3e-12).
+func TestFingerprintNoCollisionsAcrossRandomPool(t *testing.T) {
+	eval := newEval(t, 40)
+	src := rng.New(7)
+	seen := make(map[uint64][]int, 2000)
+	for k := 0; k < 2000; k++ {
+		a := eval.RandomAllocation(src)
+		fp := fingerprint(a)
+		if prev, ok := seen[fp]; ok {
+			same := len(prev) == 2*len(a.Machine)
+			if same {
+				for i := range a.Machine {
+					if prev[i] != a.Machine[i] || prev[len(a.Machine)+i] != a.Order[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if !same {
+				t.Fatalf("fingerprint collision between distinct genotypes after %d draws", k)
+			}
+			continue
+		}
+		flat := make([]int, 0, 2*len(a.Machine))
+		flat = append(flat, a.Machine...)
+		flat = append(flat, a.Order...)
+		seen[fp] = flat
+	}
+}
+
+func TestFitCacheCapacityRounding(t *testing.T) {
+	ar := &arena{}
+	ar.init(newEval(t, 20), 2, 8)
+	for _, tc := range []struct{ capacity, slots, window int }{
+		{1, 1, 1},
+		{2, 2, 2},
+		{3, 4, 4},
+		{8, 8, 8},
+		{9, 16, 8},
+		{400, 512, 8},
+	} {
+		c := newFitCache(tc.capacity, ar)
+		if len(c.slots) != tc.slots || c.window != tc.window {
+			t.Fatalf("capacity %d: %d slots window %d, want %d slots window %d",
+				tc.capacity, len(c.slots), c.window, tc.slots, tc.window)
+		}
+		if c.mask != uint64(tc.slots-1) {
+			t.Fatalf("capacity %d: mask %#x", tc.capacity, c.mask)
+		}
+	}
+}
+
+func TestFitCacheInsertLookupEvict(t *testing.T) {
+	eval := newEval(t, 20)
+	ar := &arena{}
+	ar.init(eval, 2, 8)
+	c := newFitCache(2, ar) // 2 slots, window 2: every insert probes both
+	ev1 := sched.Evaluation{Utility: 1, Energy: 10}
+	ev2 := sched.Evaluation{Utility: 2, Energy: 20}
+	contrib := eval.NewContribs()
+
+	c.insert(100, 1, ev1, contrib)
+	if s := c.lookup(100); s < 0 || c.slots[s].ev != ev1 {
+		t.Fatal("inserted entry not found")
+	}
+	if c.lookup(101) >= 0 {
+		t.Fatal("phantom hit for a fingerprint never inserted")
+	}
+	// Same fingerprint again refreshes in place instead of duplicating.
+	c.insert(100, 2, ev2, contrib)
+	if c.live != 1 {
+		t.Fatalf("duplicate insert grew live to %d", c.live)
+	}
+	if s := c.lookup(100); c.slots[s].ev != ev2 || c.slots[s].gen != 2 {
+		t.Fatal("duplicate insert did not refresh payload and stamp")
+	}
+
+	// Fill the second slot, then insert a third fingerprint: the oldest
+	// stamp in the probe window must be evicted, deterministically.
+	c.insert(200, 3, ev1, contrib)
+	if c.live != 2 {
+		t.Fatalf("live %d after two distinct inserts", c.live)
+	}
+	c.insert(300, 4, ev2, contrib)
+	if c.live != 2 {
+		t.Fatalf("live %d after eviction insert", c.live)
+	}
+	if c.stats.evicts != 1 {
+		t.Fatalf("evicts %d, want 1", c.stats.evicts)
+	}
+	if c.lookup(100) >= 0 {
+		t.Fatal("oldest-stamped entry (gen 2) survived eviction")
+	}
+	if c.lookup(200) < 0 || c.lookup(300) < 0 {
+		t.Fatal("newer entries evicted instead of the oldest")
+	}
+}
+
+// TestFitCacheTouchKeepsEntryAlive pins the generation-stamp recency
+// rule: a hit re-stamps the entry, so a recently-hit old entry outlives
+// a never-hit newer one under eviction pressure.
+func TestFitCacheTouchKeepsEntryAlive(t *testing.T) {
+	eval := newEval(t, 20)
+	ar := &arena{}
+	ar.init(eval, 2, 8)
+	c := newFitCache(2, ar)
+	contrib := eval.NewContribs()
+	ev := sched.Evaluation{Utility: 1, Energy: 1}
+
+	c.insert(100, 1, ev, contrib)
+	c.insert(200, 2, ev, contrib)
+	c.touch(c.lookup(100), 9) // old entry hit at generation 9
+	c.insert(300, 10, ev, contrib)
+	if c.lookup(100) < 0 {
+		t.Fatal("re-stamped entry evicted despite recent hit")
+	}
+	if c.lookup(200) >= 0 {
+		t.Fatal("stale entry survived over the re-stamped one")
+	}
+}
+
+func TestCacheStatsDiff(t *testing.T) {
+	cum := cacheStats{hits: 10, misses: 20, evicts: 3}
+	base := cacheStats{hits: 4, misses: 15, evicts: 1}
+	cum.sub(base)
+	if cum != (cacheStats{hits: 6, misses: 5, evicts: 2}) {
+		t.Fatalf("sub produced %+v", cum)
+	}
+}
+
+// BenchmarkFingerprint4000 measures fingerprint throughput at the
+// largest trace scale: the cost a cache lookup adds to every offspring
+// before any simulation is saved, so it must stay a small fraction of
+// EvaluateFull on the same trace (BENCH_step.json records ~115µs).
+func BenchmarkFingerprint4000(b *testing.B) {
+	const n = 4000
+	machine := make([]int, n)
+	order := make([]int, n)
+	for i := range machine {
+		machine[i] = i % 8
+		order[i] = i
+	}
+	a := allocOf(machine, order)
+	var sink uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = fingerprint(a)
+	}
+	_ = sink
+}

@@ -127,6 +127,17 @@ type Config struct {
 	// of diffing every flagged machine's task sequence against the
 	// parent's. 0 means the default (0.95); 1 disables the fallback.
 	DeltaMaxDirtyFrac float64
+	// CacheCapacity bounds the fitness-memoization cache in entries
+	// (rounded up to a power of two). 0 means the default, 4 ×
+	// PopulationSize; negative disables memoization entirely.
+	// Populations are bit-identical for every capacity, including
+	// disabled — the cache only changes how fast evaluations happen.
+	CacheCapacity int
+	// CacheVerify re-evaluates every cache hit and panics if the
+	// memoized outcome is not bit-identical — a debug guard against
+	// 64-bit fingerprint collisions. Expensive: each hit then costs a
+	// full simulation plus comparison.
+	CacheVerify bool
 }
 
 // Evaluation selects how offspring objective values are computed.
@@ -277,6 +288,9 @@ func (c *Config) fillDefaults() {
 	if c.DeltaMaxDirtyFrac == 0 {
 		c.DeltaMaxDirtyFrac = 0.95
 	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 4 * c.PopulationSize
+	}
 }
 
 func (c *Config) validate() error {
@@ -319,19 +333,57 @@ func (c *Config) validate() error {
 // generation loop allocates nothing in steady state: exactly N
 // chromosomes and objective vectors leave the population each
 // generation, and exactly N are needed for the next offspring batch.
+//
+// Buffers are carved from contiguous structure-of-arrays blocks — one
+// backing slice per field (machine genes, order genes, objectives,
+// contribution rows) — so a population walk streams through memory
+// instead of chasing per-individual allocations. Slot strides are
+// padded to whole cache lines: two slots handed to offspring owned by
+// different workers never share a line, so the parallel variation and
+// evaluation fan-outs write into disjoint cache-line-padded regions.
+// Each field grows independently in blocks of `batch` slots (the
+// fitness cache draws contribution buffers without touching the
+// chromosome lists).
 type arena struct {
+	eval  *sched.Evaluator
+	dim   int
+	batch int
+
 	allocs   []*sched.Allocation
 	objs     [][]float64
 	contribs []*sched.Contribs
+
+	// Carved-slot totals per field; in-use = carved − free-list length.
+	allocSlots, objSlots, contribSlots int
 }
 
-func (ar *arena) getAlloc(n int) *sched.Allocation {
-	if k := len(ar.allocs); k > 0 {
-		a := ar.allocs[k-1]
-		ar.allocs = ar.allocs[:k-1]
-		return a
+func (ar *arena) init(eval *sched.Evaluator, dim, batch int) {
+	ar.eval = eval
+	ar.dim = dim
+	if batch < 1 {
+		batch = 1
 	}
-	return &sched.Allocation{Machine: make([]int, 0, n), Order: make([]int, 0, n)}
+	ar.batch = batch
+}
+
+func (ar *arena) getAlloc() *sched.Allocation {
+	if len(ar.allocs) == 0 {
+		nt := ar.eval.NumTasks()
+		stride := (nt + 7) / 8 * 8 // 8 ints per 64-byte line
+		machine := make([]int, ar.batch*stride)
+		order := make([]int, ar.batch*stride)
+		for s := 0; s < ar.batch; s++ {
+			ar.allocs = append(ar.allocs, &sched.Allocation{
+				Machine: machine[s*stride : s*stride : s*stride+nt],
+				Order:   order[s*stride : s*stride : s*stride+nt],
+			})
+		}
+		ar.allocSlots += ar.batch
+	}
+	k := len(ar.allocs) - 1
+	a := ar.allocs[k]
+	ar.allocs = ar.allocs[:k]
+	return a
 }
 
 func (ar *arena) putAlloc(a *sched.Allocation) {
@@ -340,13 +392,19 @@ func (ar *arena) putAlloc(a *sched.Allocation) {
 	}
 }
 
-func (ar *arena) getObjs(dim int) []float64 {
-	if k := len(ar.objs); k > 0 {
-		o := ar.objs[k-1]
-		ar.objs = ar.objs[:k-1]
-		return o
+func (ar *arena) getObjs() []float64 {
+	if len(ar.objs) == 0 {
+		stride := (ar.dim + 7) / 8 * 8 // whole 64-byte lines per slot
+		back := make([]float64, ar.batch*stride)
+		for s := 0; s < ar.batch; s++ {
+			ar.objs = append(ar.objs, back[s*stride:s*stride:s*stride+ar.dim])
+		}
+		ar.objSlots += ar.batch
 	}
-	return make([]float64, 0, dim)
+	k := len(ar.objs) - 1
+	o := ar.objs[k]
+	ar.objs = ar.objs[:k]
+	return o
 }
 
 func (ar *arena) putObjs(o []float64) {
@@ -355,20 +413,30 @@ func (ar *arena) putObjs(o []float64) {
 	}
 }
 
-func (ar *arena) getContrib(eval *sched.Evaluator) *sched.Contribs {
-	if k := len(ar.contribs); k > 0 {
-		c := ar.contribs[k-1]
-		ar.contribs = ar.contribs[:k-1]
-		c.Invalidate() // stale rows; the next evaluation overwrites them
-		return c
+func (ar *arena) getContrib() *sched.Contribs {
+	if len(ar.contribs) == 0 {
+		ar.contribs = append(ar.contribs, ar.eval.NewContribsBatch(ar.batch)...)
+		ar.contribSlots += ar.batch
 	}
-	return eval.NewContribs()
+	k := len(ar.contribs) - 1
+	c := ar.contribs[k]
+	ar.contribs = ar.contribs[:k]
+	c.Invalidate() // stale rows; the next evaluation overwrites them
+	return c
 }
 
 func (ar *arena) putContrib(c *sched.Contribs) {
 	if c != nil {
 		ar.contribs = append(ar.contribs, c)
 	}
+}
+
+// occupancy returns the in-use fraction of all carved slots across the
+// three fields (0 when nothing has been carved yet).
+func (ar *arena) occupancy() (inUse, total int) {
+	total = ar.allocSlots + ar.objSlots + ar.contribSlots
+	free := len(ar.allocs) + len(ar.objs) + len(ar.contribs)
+	return total - free, total
 }
 
 // Engine runs NSGA-II over a fixed evaluator. It is not safe for
@@ -401,13 +469,27 @@ type Engine struct {
 	varScratch [][]int      // per-worker repair scratch
 
 	// Dirty-machine tracking for delta evaluation: one row of machine
-	// flags per offspring, written by the variation fan-out, plus a
-	// per-offspring dirty count and a force-full flag (ShuffleRepair
-	// discards the order information delta inheritance relies on).
+	// flags per offspring — rows padded to whole cache lines inside one
+	// backing slice, so concurrent workers never share a line — written
+	// by the variation fan-out, plus a per-offspring dirty count and a
+	// force-full flag (ShuffleRepair discards the order information
+	// delta inheritance relies on).
 	dirty     [][]bool
 	dirtyN    []int
 	forceFull []bool
 	maxDirtyN int // fallback threshold in machines, from DeltaMaxDirtyFrac
+
+	// Fitness memoization (cache.go): nil when disabled. fprint and
+	// cacheEv are per-offspring slots written inside the fan-outs;
+	// cacheSlot is the serial probe phase's verdict per offspring (slot
+	// index, or -1 for a miss). verifyContribs is per-worker scratch for
+	// the verify-on-hit debug mode.
+	cache          *fitCache
+	fprint         []uint64
+	cacheSlot      []int32
+	cacheEv        []sched.Evaluation
+	cacheBase      cacheStats
+	verifyContribs []*sched.Contribs
 
 	// Observer state (see observe.go). observer is nil when telemetry is
 	// disabled — the only cost then is one nil check per Step.
@@ -447,6 +529,10 @@ func New(eval *sched.Evaluator, cfg Config, src *rng.Source) (*Engine, error) {
 	for i := range e.sessions {
 		e.sessions[i] = eval.NewDeltaSession()
 	}
+	e.arena.init(eval, e.space.Dim(), 2*cfg.PopulationSize)
+	if cfg.CacheCapacity > 0 {
+		e.cache = newFitCache(cfg.CacheCapacity, &e.arena)
+	}
 
 	e.pop = make([]Individual, 0, cfg.PopulationSize)
 	for _, s := range cfg.Seeds {
@@ -456,10 +542,14 @@ func New(eval *sched.Evaluator, cfg Config, src *rng.Source) (*Engine, error) {
 		if err := eval.Validate(s); err != nil {
 			return nil, fmt.Errorf("nsga2: invalid seed: %w", err)
 		}
-		e.pop = append(e.pop, Individual{Alloc: s.Clone()})
+		a := e.arena.getAlloc()
+		a.CopyFrom(s)
+		e.pop = append(e.pop, Individual{Alloc: a})
 	}
 	for len(e.pop) < cfg.PopulationSize {
-		e.pop = append(e.pop, Individual{Alloc: eval.RandomAllocation(src)})
+		a := e.arena.getAlloc()
+		eval.RandomAllocationInto(a, src)
+		e.pop = append(e.pop, Individual{Alloc: a})
 	}
 	e.evaluateAll(e.pop)
 	e.rank(e.pop)
@@ -482,12 +572,19 @@ func (e *Engine) ensureScratch() {
 	e.picked = make([]bool, 2*n)
 	e.groupOrder = make([]int, 0, 2*n)
 	e.dirty = make([][]bool, n)
+	stride := (nm + 63) / 64 * 64 // whole cache lines per row
+	dirtyBack := make([]bool, n*stride)
 	for i := range e.dirty {
-		e.dirty[i] = make([]bool, nm)
+		e.dirty[i] = dirtyBack[i*stride : i*stride+nm : i*stride+nm]
 	}
 	e.dirtyN = make([]int, n)
 	e.forceFull = make([]bool, n)
 	e.maxDirtyN = int(e.cfg.DeltaMaxDirtyFrac * float64(nm))
+	if e.cache != nil {
+		e.fprint = make([]uint64, n)
+		e.cacheSlot = make([]int32, n)
+		e.cacheEv = make([]sched.Evaluation, n)
+	}
 	workers := e.cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -496,6 +593,9 @@ func (e *Engine) ensureScratch() {
 	e.varScratch = make([][]int, workers)
 	for w := range e.varScratch {
 		e.varScratch[w] = make([]int, nt)
+	}
+	if e.cfg.CacheVerify && e.verifyContribs == nil {
+		e.verifyContribs = e.eval.NewContribsBatch(workers)
 	}
 }
 
@@ -582,14 +682,18 @@ func (e *Engine) Inject(inds []Individual) error {
 	if len(inds) > len(e.pop) {
 		inds = inds[:len(e.pop)]
 	}
-	clones := make([]Individual, len(inds))
 	for i, ind := range inds {
 		if err := e.eval.Validate(ind.Alloc); err != nil {
 			return fmt.Errorf("nsga2: injected individual %d invalid: %w", i, err)
 		}
-		c := ind.Clone()
-		c.Objectives = nil // re-evaluate under this engine's problem
-		clones[i] = c
+	}
+	clones := make([]Individual, len(inds))
+	for i, ind := range inds {
+		// Copy into arena slots and leave Objectives nil: evaluateAll
+		// re-evaluates (or cache-hits) under this engine's problem.
+		a := e.arena.getAlloc()
+		a.CopyFrom(ind.Alloc)
+		clones[i] = Individual{Alloc: a}
 	}
 	e.evaluateAll(clones)
 	idx := make([]int, len(e.pop))
@@ -635,17 +739,26 @@ func (e *Engine) Step() {
 	genStream := e.src.Uint64()
 
 	e.offspring = e.offspring[:0]
-	nt := e.eval.NumTasks()
 	for i := 0; i < n; i++ {
 		e.offspring = append(e.offspring, Individual{
-			Alloc:      e.arena.getAlloc(nt),
-			Objectives: e.arena.getObjs(e.space.Dim()),
-			contrib:    e.arena.getContrib(e.eval),
+			Alloc:      e.arena.getAlloc(),
+			Objectives: e.arena.getObjs(),
+			contrib:    e.arena.getContrib(),
 		})
 	}
 	// Steps 4–5: crossover + repair + mutation, parallel across pairs.
 	e.varyAll(genSeed, genStream, pairs)
+	// Memoization bracket: probe the fitness cache serially (its state
+	// must evolve identically for every worker count), let the parallel
+	// evaluation fan-out copy hits and simulate misses, then insert the
+	// missed outcomes serially in offspring order.
+	if e.cache != nil {
+		e.probeCache(n)
+	}
 	e.evaluateInPlace(e.offspring)
+	if e.cache != nil {
+		e.insertCache(n)
+	}
 
 	// Step 6: merge into the 2N meta-population (elitism).
 	e.meta = e.meta[:0]
@@ -817,6 +930,10 @@ func (e *Engine) varyPair(k int, src *rng.Source, scratch []int) {
 		}
 	}
 	e.dirtyN[2*k], e.dirtyN[2*k+1] = n1, n2
+	if e.cache != nil {
+		e.fprint[2*k] = fingerprint(c1)
+		e.fprint[2*k+1] = fingerprint(c2)
+	}
 }
 
 // crossInto applies segment swap and order repair to two chromosomes in
@@ -943,55 +1060,149 @@ func (e *Engine) fanout(count int, fn func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// probeCache looks every offspring's fingerprint up in the fitness
+// cache, recording per-offspring hit slots for the evaluation fan-out
+// and refreshing hit stamps. Serial, in offspring order: the cache's
+// state transitions must not depend on worker count.
+//
+//detlint:hotpath
+func (e *Engine) probeCache(n int) {
+	gen := int64(e.generation)
+	for i := 0; i < n; i++ {
+		slot := e.cache.lookup(e.fprint[i])
+		if slot >= 0 {
+			e.cache.stats.hits++
+			e.cache.touch(slot, gen)
+		} else {
+			e.cache.stats.misses++
+		}
+		e.cacheSlot[i] = int32(slot)
+	}
+}
+
+// insertCache memoizes the outcomes of this generation's cache misses,
+// serially in offspring order (determinism, as probeCache).
+//
+//detlint:hotpath
+func (e *Engine) insertCache(n int) {
+	gen := int64(e.generation)
+	for i := 0; i < n; i++ {
+		if e.cacheSlot[i] >= 0 {
+			continue
+		}
+		e.cache.insert(e.fprint[i], gen, e.cacheEv[i], e.offspring[i].contrib)
+	}
+}
+
+// verifyHit is the verify-on-hit debug guard: re-simulate the
+// allocation and demand the memoized outcome be bit-identical.
+func (e *Engine) verifyHit(sess *sched.DeltaSession, scratch *sched.Contribs, a *sched.Allocation, s *fitSlot) {
+	if ev := sess.EvaluateFull(a, scratch); ev != s.ev || !scratch.Equal(s.contrib) {
+		panic("nsga2: fitness cache verify-on-hit mismatch (64-bit fingerprint collision)")
+	}
+}
+
 // evaluateAll fully simulates individuals lacking Objectives (seeds,
 // injected, restored), fanning out across the configured workers.
-// Contribution caches are assigned serially first — the arena is not
-// goroutine-safe — then filled inside the fan-out. Results are
-// deterministic because each individual's evaluation is independent of
-// scheduling.
+// Contribution caches are assigned — and the fitness cache consulted —
+// serially first (neither the arena nor the cache is goroutine-safe),
+// then the misses are simulated inside the fan-out and memoized
+// serially after it. Results are deterministic because each
+// individual's evaluation is independent of scheduling.
 func (e *Engine) evaluateAll(inds []Individual) {
 	todo := make([]int, 0, len(inds))
+	var fps []uint64
+	if e.cache != nil {
+		fps = make([]uint64, 0, len(inds))
+	}
+	gen := int64(e.generation)
 	for i := range inds {
-		if inds[i].Objectives == nil {
-			if inds[i].contrib == nil {
-				inds[i].contrib = e.arena.getContrib(e.eval)
-			}
-			todo = append(todo, i)
+		if inds[i].Objectives != nil {
+			continue
 		}
+		if inds[i].contrib == nil {
+			inds[i].contrib = e.arena.getContrib()
+		}
+		if e.cache != nil {
+			fp := fingerprint(inds[i].Alloc)
+			if slot := e.cache.lookup(fp); slot >= 0 {
+				s := &e.cache.slots[slot]
+				e.cache.stats.hits++
+				e.cache.touch(slot, gen)
+				if e.cfg.CacheVerify {
+					e.verifyHit(e.sessions[0], e.eval.NewContribs(), inds[i].Alloc, s)
+				}
+				inds[i].contrib.CopyFrom(s.contrib)
+				e.problem.fill(&inds[i], s.ev, e.space.Dim())
+				continue
+			}
+			e.cache.stats.misses++
+			fps = append(fps, fp)
+		}
+		todo = append(todo, i)
 	}
 	if len(todo) == 0 {
 		return
 	}
+	evs := make([]sched.Evaluation, len(todo))
 	e.fanout(len(todo), func(w, lo, hi int) {
 		sess := e.sessions[w]
-		for _, i := range todo[lo:hi] {
-			e.problem.fill(&inds[i], sess.EvaluateFull(inds[i].Alloc, inds[i].contrib), e.space.Dim())
+		for k, i := range todo[lo:hi] {
+			ev := sess.EvaluateFull(inds[i].Alloc, inds[i].contrib)
+			evs[lo+k] = ev
+			e.problem.fill(&inds[i], ev, e.space.Dim())
 		}
 	})
+	if e.cache != nil {
+		for k, i := range todo {
+			e.cache.insert(fps[k], gen, evs[k], inds[i].contrib)
+		}
+	}
 }
 
 // evaluateInPlace (re-)evaluates every offspring, writing objectives and
-// contribution caches into recycled buffers. Under DeltaEvaluation an
-// offspring reuses its parent's cached per-machine contributions and
-// re-simulates only the machines its variation dirtied; it falls back to
-// a full simulation when the parent cache is unusable (seed or injected
-// parent evaluated before caching existed), when ShuffleRepair discarded
-// the order information inheritance relies on, or when the dirty set is
-// so large that diffing buys nothing. Parent caches are read-only during
-// the fan-out, so sharing a parent across offspring is safe.
+// contribution caches into recycled buffers. A fitness-cache hit copies
+// the memoized objective values and contribution rows — bit-identical
+// to re-simulating, so hits and misses interleave freely. Under
+// DeltaEvaluation a missed offspring reuses its parent's cached
+// per-machine contributions and re-simulates only the machines its
+// variation dirtied; it falls back to a full simulation when the parent
+// cache is unusable (seed or injected parent evaluated before caching
+// existed), when ShuffleRepair discarded the order information
+// inheritance relies on, or when the dirty set is so large that diffing
+// buys nothing. Parent caches and hit cache slots are read-only during
+// the fan-out, so sharing them across offspring is safe. (Not annotated
+// //detlint:hotpath: the fan-out closure necessarily captures, like the
+// other fanout callers.)
 func (e *Engine) evaluateInPlace(inds []Individual) {
 	dim := e.space.Dim()
 	full := e.cfg.Evaluation == FullEvaluation
+	cached := e.cache != nil
+	verify := e.cfg.CacheVerify
 	e.fanout(len(inds), func(w, lo, hi int) {
 		sess := e.sessions[w]
 		for i := lo; i < hi; i++ {
 			ind := &inds[i]
+			if cached {
+				if slot := e.cacheSlot[i]; slot >= 0 {
+					s := &e.cache.slots[slot]
+					if verify {
+						e.verifyHit(sess, e.verifyContribs[w], ind.Alloc, s)
+					}
+					ind.contrib.CopyFrom(s.contrib)
+					e.problem.fill(ind, s.ev, dim)
+					continue
+				}
+			}
 			parent := e.parents[i].contrib
 			var ev sched.Evaluation
 			if full || e.forceFull[i] || e.dirtyN[i] > e.maxDirtyN || !parent.Valid() {
 				ev = sess.EvaluateFull(ind.Alloc, ind.contrib)
 			} else {
 				ev = sess.EvaluateDelta(ind.Alloc, parent, e.dirty[i], ind.contrib)
+			}
+			if cached {
+				e.cacheEv[i] = ev
 			}
 			e.problem.fill(ind, ev, dim)
 		}

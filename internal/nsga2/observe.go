@@ -37,6 +37,9 @@ func (e *Engine) SetObserver(o obs.Observer) {
 		e.kernel.Prime(e.gatherFront())
 	}
 	e.statsBase = e.sessionStats()
+	if e.cache != nil {
+		e.cacheBase = e.cache.stats
+	}
 }
 
 // SetIndicatorReference replaces the indicator kernel with one using the
@@ -93,6 +96,16 @@ func (e *Engine) notifyGeneration() {
 	gen := cum
 	gen.Sub(e.statsBase)
 	e.statsBase = cum
+	var cgen cacheStats
+	var cacheSize, cacheCap int
+	if e.cache != nil {
+		ccum := e.cache.stats
+		cgen = ccum
+		cgen.sub(e.cacheBase)
+		e.cacheBase = ccum
+		cacheSize, cacheCap = e.cache.live, len(e.cache.slots)
+	}
+	arenaInUse, arenaSlots := e.arena.occupancy()
 	var ind obs.Indicators
 	if e.kernel != nil {
 		ind = e.kernel.Update(front)
@@ -105,6 +118,13 @@ func (e *Engine) notifyGeneration() {
 		Front:             front,
 		FullEvals:         int(gen.FullEvals),
 		DeltaEvals:        int(gen.DeltaEvals),
+		CacheHits:         int(cgen.hits),
+		CacheMisses:       int(cgen.misses),
+		CacheEvictions:    int(cgen.evicts),
+		CacheSize:         cacheSize,
+		CacheCapacity:     cacheCap,
+		ArenaInUse:        arenaInUse,
+		ArenaSlots:        arenaSlots,
 		MachinesSimulated: int(gen.MachinesSimulated),
 		MachinesInherited: int(gen.MachinesInherited),
 		DirtyCounts:       e.dirtyN,

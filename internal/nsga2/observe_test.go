@@ -49,16 +49,27 @@ func TestObserverGenerationEvents(t *testing.T) {
 		if g.Population != 10 {
 			t.Fatalf("event %d: population %d", i, g.Population)
 		}
-		// Every offspring is evaluated exactly once, either fully or by
-		// delta inheritance.
-		if g.FullEvals+g.DeltaEvals != 10 {
-			t.Fatalf("event %d: %d full + %d delta evals, want 10 total", i, g.FullEvals, g.DeltaEvals)
+		// Every offspring is accounted for exactly once: evaluated fully,
+		// by delta inheritance, or served from the fitness cache.
+		if g.FullEvals+g.DeltaEvals+g.CacheHits != 10 {
+			t.Fatalf("event %d: %d full + %d delta + %d cached, want 10 total",
+				i, g.FullEvals, g.DeltaEvals, g.CacheHits)
 		}
-		// Each evaluation accounts for every machine, simulated or
-		// inherited.
-		if g.MachinesSimulated+g.MachinesInherited != 10*machines {
+		if g.CacheHits+g.CacheMisses != 10 {
+			t.Fatalf("event %d: %d hits + %d misses, want 10 probes", i, g.CacheHits, g.CacheMisses)
+		}
+		if g.CacheCapacity <= 0 || g.CacheSize < 0 || g.CacheSize > g.CacheCapacity {
+			t.Fatalf("event %d: cache size %d / capacity %d", i, g.CacheSize, g.CacheCapacity)
+		}
+		if g.ArenaSlots <= 0 || g.ArenaInUse <= 0 || g.ArenaInUse > g.ArenaSlots {
+			t.Fatalf("event %d: arena %d in use of %d slots", i, g.ArenaInUse, g.ArenaSlots)
+		}
+		// Each simulation-backed evaluation accounts for every machine,
+		// simulated or inherited; cache hits touch none.
+		wantMachines := (g.FullEvals + g.DeltaEvals) * machines
+		if g.MachinesSimulated+g.MachinesInherited != wantMachines {
 			t.Fatalf("event %d: %d simulated + %d inherited machines, want %d",
-				i, g.MachinesSimulated, g.MachinesInherited, 10*machines)
+				i, g.MachinesSimulated, g.MachinesInherited, wantMachines)
 		}
 		if g.NumMachines != machines {
 			t.Fatalf("event %d: NumMachines %d, want %d", i, g.NumMachines, machines)
@@ -219,9 +230,9 @@ func TestSnapshotRestoreWithObserver(t *testing.T) {
 		if g.Generation != 4+i {
 			t.Fatalf("post-restore event %d: generation %d, want %d", i, g.Generation, 4+i)
 		}
-		if g.FullEvals+g.DeltaEvals != 10 {
-			t.Fatalf("post-restore event %d: %d full + %d delta evals, want 10 — restore work leaked into the generation",
-				i, g.FullEvals, g.DeltaEvals)
+		if g.FullEvals+g.DeltaEvals+g.CacheHits != 10 {
+			t.Fatalf("post-restore event %d: %d full + %d delta evals + %d cache hits, want 10 — restore work leaked into the generation",
+				i, g.FullEvals, g.DeltaEvals, g.CacheHits)
 		}
 	}
 

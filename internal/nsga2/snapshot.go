@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"tradeoff/internal/rng"
-	"tradeoff/internal/sched"
 )
 
 // Snapshot is a serializable capture of an engine mid-run: the
@@ -46,19 +45,31 @@ func (e *Engine) Restore(s *Snapshot) error {
 		return fmt.Errorf("nsga2: snapshot population %d, engine expects %d",
 			len(s.Population), e.cfg.PopulationSize)
 	}
+	// Build the restored population in arena slots; on a validation
+	// error the drawn slots go back and the engine is untouched.
 	pop := make([]Individual, len(s.Population))
 	for i, g := range s.Population {
-		alloc := &sched.Allocation{
-			Machine: append([]int(nil), g.Machine...),
-			Order:   append([]int(nil), g.Order...),
-		}
+		alloc := e.arena.getAlloc()
+		alloc.Machine = append(alloc.Machine[:0], g.Machine...)
+		alloc.Order = append(alloc.Order[:0], g.Order...)
 		if err := e.eval.Validate(alloc); err != nil {
+			for k := 0; k <= i; k++ {
+				e.arena.putAlloc(pop[k].Alloc)
+			}
+			e.arena.putAlloc(alloc)
 			return fmt.Errorf("nsga2: snapshot genome %d invalid: %w", i, err)
 		}
 		pop[i] = Individual{Alloc: alloc}
 	}
 	e.evaluateAll(pop)
 	e.rank(pop)
+	// Recycle the replaced population's buffers before swapping in the
+	// restored one.
+	for i := range e.pop {
+		e.arena.putAlloc(e.pop[i].Alloc)
+		e.arena.putObjs(e.pop[i].Objectives)
+		e.arena.putContrib(e.pop[i].contrib)
+	}
 	e.pop = pop
 	e.generation = s.Generation
 	e.src = rng.FromState(s.RNG)

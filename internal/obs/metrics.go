@@ -11,14 +11,19 @@ type Metrics struct {
 	deltaEvals        *Counter
 	machinesSimulated *Counter
 	machinesInherited *Counter
+	cacheHits         *Counter
+	cacheMisses       *Counter
+	cacheEvictions    *Counter
 	migrations        *Counter
 	migrants          *Counter
 	runs              *Counter
 
-	hypervolume *Gauge
-	epsilon     *Gauge
-	spread      *Gauge
-	frontSize   *Gauge
+	hypervolume    *Gauge
+	epsilon        *Gauge
+	spread         *Gauge
+	frontSize      *Gauge
+	cacheSize      *Gauge
+	arenaOccupancy *Gauge
 
 	dirtyFraction *Histogram
 }
@@ -39,6 +44,9 @@ func NewMetrics(r *Registry) *Metrics {
 		deltaEvals:        r.Counter("tradeoff_delta_evals_total", "offspring evaluated by the delta kernel"),
 		machinesSimulated: r.Counter("tradeoff_machines_simulated_total", "machine queues re-simulated during evaluation"),
 		machinesInherited: r.Counter("tradeoff_machines_inherited_total", "machine contribution rows inherited from parent caches"),
+		cacheHits:         r.Counter("tradeoff_cache_hits_total", "offspring evaluations served from the fitness-memoization cache"),
+		cacheMisses:       r.Counter("tradeoff_cache_misses_total", "fitness-cache lookups that required a simulation"),
+		cacheEvictions:    r.Counter("tradeoff_cache_evictions_total", "fitness-cache entries displaced by newer outcomes"),
 		migrations:        r.Counter("tradeoff_migrations_total", "island migration edges performed"),
 		migrants:          r.Counter("tradeoff_migrants_total", "individuals migrated between islands"),
 		runs:              r.Counter("tradeoff_runs_total", "completed experiment runs"),
@@ -46,6 +54,8 @@ func NewMetrics(r *Registry) *Metrics {
 		epsilon:           r.Gauge("tradeoff_front_epsilon", "additive epsilon of the latest front vs its predecessor"),
 		spread:            r.Gauge("tradeoff_front_spread", "Deb spread of the latest observed front"),
 		frontSize:         r.Gauge("tradeoff_front_size", "point count of the latest observed front"),
+		cacheSize:         r.Gauge("tradeoff_cache_size", "live entries in the fitness-memoization cache"),
+		arenaOccupancy:    r.Gauge("tradeoff_arena_occupancy", "in-use fraction of the population arena's slots"),
 		dirtyFraction: r.Histogram("tradeoff_dirty_machine_fraction",
 			"per-offspring fraction of machines touched by variation", dirtyFractionBounds()),
 	}
@@ -60,6 +70,11 @@ func (m *Metrics) ObserveGeneration(g GenerationStats) {
 	m.deltaEvals.Add(uint64(g.DeltaEvals))
 	m.machinesSimulated.Add(uint64(g.MachinesSimulated))
 	m.machinesInherited.Add(uint64(g.MachinesInherited))
+	m.cacheHits.Add(uint64(g.CacheHits))
+	m.cacheMisses.Add(uint64(g.CacheMisses))
+	m.cacheEvictions.Add(uint64(g.CacheEvictions))
+	m.cacheSize.Set(float64(g.CacheSize))
+	m.arenaOccupancy.Set(g.ArenaOccupancy())
 	m.hypervolume.Set(g.Indicators.Hypervolume)
 	m.epsilon.Set(g.Indicators.Epsilon)
 	m.spread.Set(g.Indicators.Spread)

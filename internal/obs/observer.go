@@ -36,9 +36,25 @@ type GenerationStats struct {
 	// [utility, energy], sorted by descending utility. Borrowed.
 	Front [][]float64
 	// FullEvals and DeltaEvals count offspring evaluations this
-	// generation by kernel choice; their sum is the offspring count.
+	// generation by kernel choice; FullEvals + DeltaEvals + CacheHits
+	// is the offspring count.
 	FullEvals  int
 	DeltaEvals int
+	// CacheHits, CacheMisses, and CacheEvictions count fitness-
+	// memoization activity this generation: hits skipped a simulation
+	// entirely, misses were simulated and memoized, evictions displaced
+	// older entries. All zero when memoization is disabled.
+	CacheHits      int
+	CacheMisses    int
+	CacheEvictions int
+	// CacheSize and CacheCapacity are the memoization table's live-entry
+	// count and entry bound after the step (zero when disabled).
+	CacheSize     int
+	CacheCapacity int
+	// ArenaInUse and ArenaSlots describe the population arena's
+	// structure-of-arrays slots: handed out vs carved in total.
+	ArenaInUse int
+	ArenaSlots int
 	// MachinesSimulated and MachinesInherited split per-machine work
 	// inside the evaluation kernels: simulated machines were re-run,
 	// inherited machines reused the parent's cached contribution rows.
@@ -53,6 +69,24 @@ type GenerationStats struct {
 	// Indicators holds the convergence indicators for Front, if an
 	// indicator kernel is active (all-zero otherwise).
 	Indicators Indicators
+}
+
+// CacheHitRate returns the generation's fitness-cache hit fraction,
+// hits / (hits + misses), or 0 when the cache saw no lookups.
+func (g *GenerationStats) CacheHitRate() float64 {
+	if n := g.CacheHits + g.CacheMisses; n > 0 {
+		return float64(g.CacheHits) / float64(n)
+	}
+	return 0
+}
+
+// ArenaOccupancy returns the in-use fraction of the population arena's
+// slots, or 0 when nothing has been carved.
+func (g *GenerationStats) ArenaOccupancy() float64 {
+	if g.ArenaSlots > 0 {
+		return float64(g.ArenaInUse) / float64(g.ArenaSlots)
+	}
+	return 0
 }
 
 // Indicators bundles the per-generation convergence indicators computed

@@ -5,6 +5,15 @@ import (
 	"strconv"
 )
 
+// TraceSchemaVersion is the version stamped on every emitted record as
+// the "v" field. Version history:
+//
+//	v1 (implicit; records carry no "v" field): the original schema.
+//	v2: every record carries "v"; generation records gain the
+//	    fitness-memoization and arena fields cache_hits, cache_misses,
+//	    cache_hit_rate, and arena_occupancy.
+const TraceSchemaVersion = 2
+
 // TraceWriter is an Observer that appends one JSON object per event to
 // an io.Writer (JSONL). Records are hand-encoded with strconv into a
 // recycled buffer: no reflection, no map iteration, and fixed key
@@ -69,7 +78,9 @@ func (t *TraceWriter) ObserveGeneration(g GenerationStats) {
 		return
 	}
 	t.buf = t.buf[:0]
-	t.buf = append(t.buf, `{"type":"generation","ts":`...)
+	t.buf = append(t.buf, `{"type":"generation","v":`...)
+	t.buf = strconv.AppendInt(t.buf, TraceSchemaVersion, 10)
+	t.buf = append(t.buf, `,"ts":`...)
 	t.buf = strconv.AppendInt(t.buf, t.now(), 10)
 	t.buf = append(t.buf, `,"label":`...)
 	t.buf = strconv.AppendQuote(t.buf, g.Label)
@@ -85,6 +96,14 @@ func (t *TraceWriter) ObserveGeneration(g GenerationStats) {
 	t.buf = strconv.AppendInt(t.buf, int64(g.MachinesSimulated), 10)
 	t.buf = append(t.buf, `,"machines_inherited":`...)
 	t.buf = strconv.AppendInt(t.buf, int64(g.MachinesInherited), 10)
+	t.buf = append(t.buf, `,"cache_hits":`...)
+	t.buf = strconv.AppendInt(t.buf, int64(g.CacheHits), 10)
+	t.buf = append(t.buf, `,"cache_misses":`...)
+	t.buf = strconv.AppendInt(t.buf, int64(g.CacheMisses), 10)
+	t.buf = append(t.buf, `,"cache_hit_rate":`...)
+	t.buf = appendJSONFloat(t.buf, g.CacheHitRate())
+	t.buf = append(t.buf, `,"arena_occupancy":`...)
+	t.buf = appendJSONFloat(t.buf, g.ArenaOccupancy())
 	dirtyMax := 0
 	dirtySum := 0
 	for _, d := range g.DirtyCounts {
@@ -132,7 +151,9 @@ func (t *TraceWriter) ObserveMigration(m MigrationEvent) {
 		return
 	}
 	t.buf = t.buf[:0]
-	t.buf = append(t.buf, `{"type":"migration","ts":`...)
+	t.buf = append(t.buf, `{"type":"migration","v":`...)
+	t.buf = strconv.AppendInt(t.buf, TraceSchemaVersion, 10)
+	t.buf = append(t.buf, `,"ts":`...)
 	t.buf = strconv.AppendInt(t.buf, t.now(), 10)
 	t.buf = append(t.buf, `,"gen":`...)
 	t.buf = strconv.AppendInt(t.buf, int64(m.Generation), 10)
@@ -151,7 +172,9 @@ func (t *TraceWriter) ObserveRun(r RunEvent) {
 		return
 	}
 	t.buf = t.buf[:0]
-	t.buf = append(t.buf, `{"type":"run","ts":`...)
+	t.buf = append(t.buf, `{"type":"run","v":`...)
+	t.buf = strconv.AppendInt(t.buf, TraceSchemaVersion, 10)
+	t.buf = append(t.buf, `,"ts":`...)
 	t.buf = strconv.AppendInt(t.buf, t.now(), 10)
 	t.buf = append(t.buf, `,"dataset":`...)
 	t.buf = strconv.AppendQuote(t.buf, r.Dataset)

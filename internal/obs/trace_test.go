@@ -21,8 +21,10 @@ func sampleGeneration(gen int) GenerationStats {
 	return GenerationStats{
 		Label: "ds1", Generation: gen, Population: 4,
 		Front:     [][]float64{{10.5, 2.25}, {8, 1}},
-		FullEvals: 1, DeltaEvals: 3,
-		MachinesSimulated: 6, MachinesInherited: 18,
+		FullEvals: 1, DeltaEvals: 2, CacheHits: 1, CacheMisses: 3,
+		CacheEvictions: 0, CacheSize: 5, CacheCapacity: 16,
+		ArenaInUse: 12, ArenaSlots: 16,
+		MachinesSimulated: 6, MachinesInherited: 12,
 		DirtyCounts: []int{0, 1, 2, 3}, NumMachines: 6,
 		Indicators: Indicators{Hypervolume: 38.5, Epsilon: -0.5, Spread: 0.1, FrontSize: 2},
 	}
@@ -52,9 +54,12 @@ func TestTraceWriterRecordsParseAndRoundTrip(t *testing.T) {
 		t.Fatalf("line 1 not valid JSON: %v", err)
 	}
 	for k, want := range map[string]any{
-		"type": "generation", "ts": 1000.0, "label": "ds1", "gen": 1.0,
-		"pop": 4.0, "full_evals": 1.0, "delta_evals": 3.0,
-		"machines_simulated": 6.0, "machines_inherited": 18.0,
+		"type": "generation", "v": float64(TraceSchemaVersion),
+		"ts": 1000.0, "label": "ds1", "gen": 1.0,
+		"pop": 4.0, "full_evals": 1.0, "delta_evals": 2.0,
+		"machines_simulated": 6.0, "machines_inherited": 12.0,
+		"cache_hits": 1.0, "cache_misses": 3.0,
+		"cache_hit_rate": 0.25, "arena_occupancy": 0.75,
 		"dirty_mean": 1.5, "dirty_max": 3.0, "machines": 6.0,
 		"front_size": 2.0, "hv": 38.5, "eps": -0.5, "spread": 0.1,
 	} {
@@ -130,6 +135,60 @@ func TestValidateTraceRejections(t *testing.T) {
 		{"bad front point", strings.Replace(gen, `"front":[[1,2]]`, `"front":[[1,2,3]]`, 1) + "\n", "coordinates"},
 		{"migration missing fields", `{"type":"migration","ts":1,"from":0}` + "\n", "missing gen/from/to/count"},
 		{"run missing fields", `{"type":"run","ts":1,"dataset":"x"}` + "\n", "missing required fields"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateTrace(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("validator accepted invalid trace")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestTraceSchemaVersion pins the versioning contract: every emitted
+// record carries "v" equal to TraceSchemaVersion, legacy v1 records
+// (no "v" field) still validate, and unknown versions are rejected —
+// as are stamped records missing the fields their version introduced.
+func TestTraceSchemaVersion(t *testing.T) {
+	if TraceSchemaVersion != 2 {
+		t.Fatalf("TraceSchemaVersion = %d; update this test alongside a schema bump", TraceSchemaVersion)
+	}
+	var sb strings.Builder
+	if err := writeSampleTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n") {
+		var rec struct {
+			V *int `json:"v"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.V == nil || *rec.V != TraceSchemaVersion {
+			t.Fatalf("line %d: record not stamped with v%d: %s", i+1, TraceSchemaVersion, line)
+		}
+	}
+
+	v1 := `{"type":"generation","ts":1,"label":"x","gen":1,"pop":4,"full_evals":1,"delta_evals":3,"machines_simulated":0,"machines_inherited":0,"dirty_mean":0,"dirty_max":0,"machines":6,"front_size":1,"hv":1,"eps":0,"spread":0,"front":[[1,2]]}` + "\n"
+	if _, err := ValidateTrace(strings.NewReader(v1)); err != nil {
+		t.Fatalf("legacy v1 record rejected: %v", err)
+	}
+	v2 := strings.Replace(v1, `"ts":1`, `"v":2,"ts":1,"cache_hits":2,"cache_misses":2,"cache_hit_rate":0.5,"arena_occupancy":0.5`, 1)
+	if _, err := ValidateTrace(strings.NewReader(v2)); err != nil {
+		t.Fatalf("well-formed v2 record rejected: %v", err)
+	}
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"future version", strings.Replace(v1, `"ts":1`, `"v":99,"ts":1`, 1), "unsupported schema version"},
+		{"v2 missing cache fields", strings.Replace(v1, `"ts":1`, `"v":2,"ts":1`, 1), "missing cache_hits"},
+		{"negative cache counter", strings.Replace(v2, `"cache_hits":2`, `"cache_hits":-1`, 1), "negative cache counters"},
+		{"hit rate above one", strings.Replace(v2, `"cache_hit_rate":0.5`, `"cache_hit_rate":1.5`, 1), "outside [0,1]"},
+		{"occupancy above one", strings.Replace(v2, `"arena_occupancy":0.5`, `"arena_occupancy":2`, 1), "outside [0,1]"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -18,6 +18,7 @@ type TraceSummary struct {
 // validation. Pointer fields distinguish absent from zero.
 type traceRecord struct {
 	Type              string      `json:"type"`
+	V                 *int        `json:"v"`
 	TS                *int64      `json:"ts"`
 	Label             *string     `json:"label"`
 	Gen               *int        `json:"gen"`
@@ -26,6 +27,10 @@ type traceRecord struct {
 	DeltaEvals        *int        `json:"delta_evals"`
 	MachinesSimulated *int        `json:"machines_simulated"`
 	MachinesInherited *int        `json:"machines_inherited"`
+	CacheHits         *int        `json:"cache_hits"`
+	CacheMisses       *int        `json:"cache_misses"`
+	CacheHitRate      *float64    `json:"cache_hit_rate"`
+	ArenaOccupancy    *float64    `json:"arena_occupancy"`
 	DirtyMean         *float64    `json:"dirty_mean"`
 	DirtyMax          *int        `json:"dirty_max"`
 	Machines          *int        `json:"machines"`
@@ -69,6 +74,13 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 		}
 		if rec.TS == nil {
 			return sum, fmt.Errorf("line %d: missing ts", line)
+		}
+		// Schema versioning: records without a "v" field are legacy v1
+		// traces and validate against the v1 rules; stamped records
+		// must carry a version this validator knows.
+		if rec.V != nil && *rec.V != TraceSchemaVersion {
+			return sum, fmt.Errorf("line %d: unsupported schema version %d (validator supports v1 records without a version field, and v%d)",
+				line, *rec.V, TraceSchemaVersion)
 		}
 		switch rec.Type {
 		case "generation":
@@ -125,6 +137,22 @@ func validateGeneration(rec *traceRecord, lastGen map[string]int) error {
 	}
 	if *rec.MachinesSimulated < 0 || *rec.MachinesInherited < 0 {
 		return fmt.Errorf("negative machine counts")
+	}
+	if rec.V != nil {
+		// v2 additions: memoization and arena health.
+		if rec.CacheHits == nil || rec.CacheMisses == nil ||
+			rec.CacheHitRate == nil || rec.ArenaOccupancy == nil {
+			return fmt.Errorf("v%d generation record missing cache_hits/cache_misses/cache_hit_rate/arena_occupancy", *rec.V)
+		}
+		if *rec.CacheHits < 0 || *rec.CacheMisses < 0 {
+			return fmt.Errorf("negative cache counters")
+		}
+		if *rec.CacheHitRate < 0 || *rec.CacheHitRate > 1 {
+			return fmt.Errorf("cache_hit_rate %g outside [0,1]", *rec.CacheHitRate)
+		}
+		if *rec.ArenaOccupancy < 0 || *rec.ArenaOccupancy > 1 {
+			return fmt.Errorf("arena_occupancy %g outside [0,1]", *rec.ArenaOccupancy)
+		}
 	}
 	if *rec.Machines > 0 && *rec.DirtyMax > *rec.Machines {
 		return fmt.Errorf("dirty_max %d exceeds machine count %d", *rec.DirtyMax, *rec.Machines)

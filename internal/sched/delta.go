@@ -58,6 +58,89 @@ func (e *Evaluator) NewContribs() *Contribs {
 	}
 }
 
+// CopyFrom overwrites c with a deep copy of src — contribution rows,
+// machine-major task layout, and validity — reusing c's backing arrays
+// when they have sufficient capacity. A copied cache is interchangeable
+// with the original: passing either as the parent of EvaluateDelta
+// yields bit-identical results, which is what lets a fitness-memoization
+// layer hand out cached contributions to recycled offspring buffers.
+//
+//detlint:hotpath
+func (c *Contribs) CopyFrom(src *Contribs) {
+	c.Utility = c.Utility[:0]
+	c.Utility = append(c.Utility, src.Utility...)
+	c.Energy = c.Energy[:0]
+	c.Energy = append(c.Energy, src.Energy...)
+	c.Busy = c.Busy[:0]
+	c.Busy = append(c.Busy, src.Busy...)
+	c.Ready = c.Ready[:0]
+	c.Ready = append(c.Ready, src.Ready...)
+	c.Done = c.Done[:0]
+	c.Done = append(c.Done, src.Done...)
+	c.bucket = c.bucket[:0]
+	c.bucket = append(c.bucket, src.bucket...)
+	c.start = c.start[:0]
+	c.start = append(c.start, src.start...)
+	c.valid = src.valid
+}
+
+// Equal reports whether two caches hold bit-identical contents
+// (contribution rows, machine-major layout, and validity). It backs the
+// memoization layer's verify-on-hit debug mode.
+func (c *Contribs) Equal(o *Contribs) bool {
+	return c.valid == o.valid &&
+		slices.Equal(c.Utility, o.Utility) &&
+		slices.Equal(c.Energy, o.Energy) &&
+		slices.Equal(c.Busy, o.Busy) &&
+		slices.Equal(c.Ready, o.Ready) &&
+		slices.Equal(c.Done, o.Done) &&
+		slices.Equal(c.bucket, o.bucket) &&
+		slices.Equal(c.start, o.start)
+}
+
+// contribsLine is the cache-line size the batch allocator pads to.
+const contribsLine = 64
+
+// padSlots rounds n elements up so a slot's row occupies whole cache
+// lines (elemSize must divide contribsLine).
+func padSlots(n, elemSize int) int {
+	per := contribsLine / elemSize
+	return (n + per - 1) / per * per
+}
+
+// NewContribsBatch returns k contribution caches laid out
+// structure-of-arrays: one contiguous backing slice per field, each
+// cache's rows padded to whole cache lines so caches written by
+// different workers never share a line. Every returned cache is
+// interchangeable with a NewContribs one.
+func (e *Evaluator) NewContribsBatch(k int) []*Contribs {
+	nm, nt := e.NumMachines(), e.NumTasks()
+	fs := padSlots(nm, 8)   // float64 rows
+	ds := padSlots(nm, 4)   // int32 Done rows
+	bs := padSlots(nt, 4)   // int32 bucket rows
+	ss := padSlots(nm+1, 4) // int32 start rows
+	util := make([]float64, k*fs)
+	energy := make([]float64, k*fs)
+	busy := make([]float64, k*fs)
+	ready := make([]float64, k*fs)
+	done := make([]int32, k*ds)
+	bucket := make([]int32, k*bs)
+	start := make([]int32, k*ss)
+	out := make([]*Contribs, k)
+	for s := 0; s < k; s++ {
+		out[s] = &Contribs{
+			Utility: util[s*fs : s*fs+nm : s*fs+nm],
+			Energy:  energy[s*fs : s*fs+nm : s*fs+nm],
+			Busy:    busy[s*fs : s*fs+nm : s*fs+nm],
+			Ready:   ready[s*fs : s*fs+nm : s*fs+nm],
+			Done:    done[s*ds : s*ds+nm : s*ds+nm],
+			bucket:  bucket[s*bs : s*bs : s*bs+nt],
+			start:   start[s*ss : s*ss+nm+1 : s*ss+nm+1],
+		}
+	}
+	return out
+}
+
 // Valid reports whether the cache holds the outcome of a completed
 // evaluation.
 func (c *Contribs) Valid() bool { return c != nil && c.valid }

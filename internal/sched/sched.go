@@ -375,11 +375,27 @@ func (e *Evaluator) Evaluate(a *Allocation) Evaluation {
 // task on a uniformly random eligible machine, with a uniformly random
 // global scheduling order.
 func (e *Evaluator) RandomAllocation(src *rng.Source) *Allocation {
+	a := &Allocation{}
+	e.RandomAllocationInto(a, src)
+	return a
+}
+
+// RandomAllocationInto fills a with a uniformly random feasible
+// allocation, drawing the same rng sequence RandomAllocation would. It
+// reuses a's backing arrays when they have sufficient capacity, letting
+// arena-backed population initialization stay allocation-free.
+func (e *Evaluator) RandomAllocationInto(a *Allocation, src *rng.Source) {
 	n := e.NumTasks()
-	a := &Allocation{Machine: make([]int, n), Order: src.Perm(n)}
+	if cap(a.Machine) < n {
+		a.Machine = make([]int, n)
+	}
+	if cap(a.Order) < n {
+		a.Order = make([]int, n)
+	}
+	a.Machine, a.Order = a.Machine[:n], a.Order[:n]
+	src.PermInto(a.Order)
 	for i := 0; i < n; i++ {
 		el := e.eligible[e.trace.Tasks[i].Type]
 		a.Machine[i] = el[src.Intn(len(el))]
 	}
-	return a
 }

@@ -26,6 +26,16 @@ type tableProg struct {
 	n    int32
 	prio float64
 	tail float64
+	// tailT is a conservative elapsed-time threshold: any elapsed >=
+	// tailT is guaranteed to fall off the end of the segment walk, so
+	// Value can return prio*tail without touching the segments. The
+	// guard must never fire for an elapsed the walk would place inside
+	// a segment: the walk subtracts durations with one rounding per
+	// step, so its effective boundary sits within n·2^-52 (relative) of
+	// the exact duration sum; a 1e-12 relative margin clears that for
+	// any realistic segment count. Times below the threshold take the
+	// walk, so the result is bit-identical either way.
+	tailT float64
 }
 
 // tableSeg is one compiled segment. For Constant and Linear shapes aux
@@ -58,7 +68,9 @@ func (tb *Table) Add(f *Function) (int, error) {
 	}
 	id := len(tb.progs)
 	off := int32(len(tb.segs))
+	var total float64
 	for _, seg := range f.Segments {
+		total += seg.Duration
 		ts := tableSeg{dur: seg.Duration, start: seg.StartFrac}
 		if seg.Shape == Exponential {
 			ts.aux = seg.EndFrac / seg.StartFrac
@@ -69,10 +81,11 @@ func (tb *Table) Add(f *Function) (int, error) {
 		tb.segs = append(tb.segs, ts)
 	}
 	tb.progs = append(tb.progs, tableProg{
-		off:  off,
-		n:    int32(len(f.Segments)),
-		prio: f.Priority,
-		tail: f.TailFrac,
+		off:   off,
+		n:     int32(len(f.Segments)),
+		prio:  f.Priority,
+		tail:  f.TailFrac,
+		tailT: total + total*1e-12,
 	})
 	return id, nil
 }
@@ -88,6 +101,13 @@ func (tb *Table) Value(id int, elapsed float64) float64 {
 	t := elapsed
 	if t < 0 {
 		t = 0
+	}
+	if t >= p.tailT {
+		// Past every segment with margin beyond the walk's worst-case
+		// rounding (see tailT): identical to falling off the loop below.
+		// On saturated systems most completions land here, so this guard
+		// skips the segment walk for the overwhelming share of calls.
+		return p.prio * p.tail
 	}
 	segs := tb.segs[p.off : p.off+p.n]
 	for k := range segs {
