@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate bench-dedup bench-dedup-record trace-smoke check
+.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate bench-dedup bench-dedup-record bench-typed bench-typed-record trace-smoke check
 
 # Benchmarks guarded by the >10% regression gate (cmd/benchdiff against
 # BENCH_step.json): generation cost, front extraction, and the
@@ -66,6 +66,21 @@ bench-dedup:
 	$(GO) test -run '^$$' -bench BenchmarkDedup -benchtime 300ms -count 3 -benchmem . > /tmp/bench_dedup.txt
 	$(GO) run ./cmd/benchdiff -threshold 0.30 BENCH_dedup.json /tmp/bench_dedup.txt
 
+# Typed-kernel slice of the regression gate (DESIGN.md §12): the
+# kernel/machine-cache ablation twins plus the datagen-synthesized
+# 50k-task generation, compared against BENCH_typed.json. benchdiff's
+# -bench filter scopes the diff to this slice so the shared exit-code
+# contract still applies; the threshold matches bench-dedup's for the
+# same shared-runner-variance reason.
+bench-typed:
+	$(GO) test -run '^$$' -bench BenchmarkTypedStep -benchtime 300ms -count 3 -benchmem . > /tmp/bench_typed.txt
+	$(GO) run ./cmd/benchdiff -threshold 0.30 -bench BenchmarkTypedStep BENCH_typed.json /tmp/bench_typed.txt
+
+# Refresh the typed-kernel baseline after an intentional kernel change.
+bench-typed-record:
+	$(GO) test -run '^$$' -bench BenchmarkTypedStep -benchtime 300ms -count 3 -benchmem . | tee /tmp/bench_typed.txt
+	$(GO) run ./cmd/benchdiff -bench BenchmarkTypedStep -record BENCH_typed.json /tmp/bench_typed.txt
+
 # Refresh the dedup baseline after an intentional cache change.
 bench-dedup-record:
 	$(GO) test -run '^$$' -bench BenchmarkDedup -benchtime 300ms -count 3 -benchmem . | tee /tmp/bench_dedup.txt
@@ -77,4 +92,4 @@ trace-smoke:
 	$(GO) run ./cmd/tradeoff -generations 20 -pop 20 -tasks 60 -trace /tmp/trace_smoke.jsonl > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/trace_smoke.jsonl
 
-check: build vet fmt lint race bench-smoke bench-dedup trace-smoke
+check: build vet fmt lint race bench-smoke bench-dedup bench-typed trace-smoke

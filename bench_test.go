@@ -8,11 +8,14 @@ import (
 	"io"
 	"testing"
 
+	"tradeoff/internal/data"
+	"tradeoff/internal/datagen"
 	"tradeoff/internal/experiments"
 	"tradeoff/internal/nsga2"
 	"tradeoff/internal/obs"
 	"tradeoff/internal/rng"
 	"tradeoff/internal/sched"
+	"tradeoff/internal/workload"
 )
 
 // benchCfg keeps figure benches to a few hundred milliseconds per op.
@@ -231,6 +234,82 @@ func benchStepLarge(b *testing.B, dsNum int) {
 		b.Fatal(err)
 	}
 	eng, err := nsga2.New(ds.Evaluator, nsga2.Config{PopulationSize: 100}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Step() // size the arena and scratch before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// Typed-kernel and machine-cache ablation twins on the 4000-task trace:
+// the same generation loop as BenchmarkStepPop100Tasks4000 with each
+// level toggled independently, so benchdiff can attribute a regression
+// to the kernel or to the bucket cache rather than to the step as a
+// whole. All four configurations produce bit-identical populations —
+// only the speed may differ.
+func BenchmarkTypedStepKernelTyped(b *testing.B) {
+	benchStepConfigured(b, 3, func(c *nsga2.Config) { c.Kernel = sched.KernelTyped })
+}
+
+func BenchmarkTypedStepKernelScalar(b *testing.B) {
+	benchStepConfigured(b, 3, func(c *nsga2.Config) { c.Kernel = sched.KernelScalar })
+}
+
+func BenchmarkTypedStepMachineCacheOn(b *testing.B) {
+	benchStepConfigured(b, 3, func(c *nsga2.Config) { c.MachineCacheCapacity = 0 })
+}
+
+func BenchmarkTypedStepMachineCacheOff(b *testing.B) {
+	benchStepConfigured(b, 3, func(c *nsga2.Config) { c.MachineCacheCapacity = -1 })
+}
+
+// BenchmarkTypedStep50kTasks measures one generation over a
+// datagen-synthesized 50 000-task trace on an enlarged heterogeneous
+// system — the scale where the typed kernel's run-length compression
+// and the machine-bucket cache have long queues to work with, unlike
+// the paper traces' short ones. Skipped under -short: building the
+// trace and one warm-up generation cost seconds.
+func BenchmarkTypedStep50kTasks(b *testing.B) {
+	if testing.Short() {
+		b.Skip("50k-task trace synthesis is too slow for -short")
+	}
+	src := rng.New(1)
+	sys, err := datagen.Enlarge(data.RealSystem(), datagen.Default(), src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: 50000, Window: 40000}, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := sched.NewEvaluator(sys, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := nsga2.New(ev, nsga2.Config{PopulationSize: 20}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Step() // size the arena and scratch before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func benchStepConfigured(b *testing.B, dsNum int, mod func(*nsga2.Config)) {
+	ds, err := experiments.ByNumber(dsNum, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := nsga2.Config{PopulationSize: 100}
+	mod(&cfg)
+	eng, err := nsga2.New(ds.Evaluator, cfg, rng.New(1))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -10,10 +10,18 @@
 //	benchdiff -record out.json f parse f and write canonical JSON
 //	benchdiff -threshold 0.05 …  tighten the regression threshold
 //	benchdiff -json old new      emit the comparison as JSON
+//	benchdiff -bench Typed o n   restrict to names matching a regexp
 //
 // A benchmark regresses when its ns/op or allocs/op in `new` exceeds the
 // value in `old` by more than the threshold (default 10%). Benchmarks
 // present in only one input are reported but never fail the run.
+//
+// -bench restricts both comparison and recording to benchmarks whose
+// (GOMAXPROCS-stripped) name matches the regexp, so one canonical
+// baseline file can back several Makefile slices: each slice re-runs
+// its own `go test -bench` subset and diffs it against the shared
+// baseline without the absent benchmarks muddying the table. A filter
+// that matches nothing in an input is an empty-input error (exit 5).
 //
 // Exit status distinguishes the failure modes so CI wrappers can react
 // per cause:
@@ -34,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -192,6 +201,26 @@ func parseFile(path string) ([]Result, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return res, nil
+}
+
+// filterResults keeps the benchmarks whose name matches re (nil = all).
+// An input left empty by the filter is an empty-input error, the same
+// failure as a file with no benchmark data: silently comparing nothing
+// would report "ok" for a slice that never ran.
+func filterResults(results []Result, re *regexp.Regexp, path string) ([]Result, error) {
+	if re == nil {
+		return results, nil
+	}
+	kept := results[:0]
+	for _, r := range results {
+		if re.MatchString(r.Name) {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("%s: %w (no benchmark matches -bench %q)", path, errEmptyInput, re.String())
+	}
+	return kept, nil
 }
 
 // exitCodeFor maps a parseFile failure to its exit status: malformed
@@ -391,13 +420,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", 0.10, "allowed fractional regression in ns/op and allocs/op")
 	recordPath := fs.String("record", "", "parse one input and write canonical JSON to this path instead of comparing")
 	jsonOut := fs.Bool("json", false, "emit the comparison as a JSON document instead of a table")
+	benchFilter := fs.String("bench", "", "only consider benchmarks whose name matches this regexp")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.10] [-json] old new")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.10] [-json] [-bench regexp] old new")
 		fmt.Fprintln(stderr, "       benchdiff -record out.json bench-output")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var benchRe *regexp.Regexp
+	if *benchFilter != "" {
+		var err error
+		if benchRe, err = regexp.Compile(*benchFilter); err != nil {
+			fmt.Fprintln(stderr, "benchdiff: -bench:", err)
+			return 2
+		}
 	}
 	if *recordPath != "" {
 		if fs.NArg() != 1 {
@@ -405,6 +443,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		results, err := parseFile(fs.Arg(0))
+		if err == nil {
+			results, err = filterResults(results, benchRe, fs.Arg(0))
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "benchdiff:", err)
 			return exitCodeFor(err)
@@ -421,11 +462,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	oldRes, err := parseFile(fs.Arg(0))
+	if err == nil {
+		oldRes, err = filterResults(oldRes, benchRe, fs.Arg(0))
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff: baseline:", err)
 		return exitCodeFor(err)
 	}
 	newRes, err := parseFile(fs.Arg(1))
+	if err == nil {
+		newRes, err = filterResults(newRes, benchRe, fs.Arg(1))
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff: candidate:", err)
 		return exitCodeFor(err)

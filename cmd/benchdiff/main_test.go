@@ -232,6 +232,65 @@ func TestRunErrorExitCodes(t *testing.T) {
 	}
 }
 
+// TestRunBenchFilter pins the -bench regexp: comparison sees only the
+// matching benchmarks (a regression outside the filter cannot fail the
+// run), recording writes only the matching subset, an unmatched filter
+// is an empty-input error (exit 5), and a bad regexp is a usage error.
+func TestRunBenchFilter(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := write("old.txt",
+		"BenchmarkTypedStep-8 10 1000 ns/op 8 B/op 1 allocs/op\nBenchmarkOther-8 10 1000 ns/op 8 B/op 1 allocs/op\n")
+	newPath := write("new.txt",
+		"BenchmarkTypedStep-8 10 1010 ns/op 8 B/op 1 allocs/op\nBenchmarkOther-8 10 9000 ns/op 8 B/op 1 allocs/op\n")
+
+	var out, errOut strings.Builder
+	if code := run([]string{newPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("sanity self-compare exit %d; stderr: %s", code, errOut.String())
+	}
+	out.Reset()
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatal("unfiltered compare must fail on BenchmarkOther's 9x regression")
+	}
+	out.Reset()
+	if code := run([]string{"-bench", "Typed", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("filtered compare exit %d; stderr: %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkOther") {
+		t.Fatalf("filtered table still lists BenchmarkOther:\n%s", out.String())
+	}
+
+	outJSON := filepath.Join(dir, "typed.json")
+	out.Reset()
+	if code := run([]string{"-bench", "Typed", "-record", outJSON, oldPath}, &out, &errOut); code != 0 {
+		t.Fatalf("filtered record exit %d; stderr: %s", code, errOut.String())
+	}
+	res, err := parseFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Name != "BenchmarkTypedStep" {
+		t.Fatalf("filtered record kept %+v, want only BenchmarkTypedStep", res)
+	}
+
+	errOut.Reset()
+	if code := run([]string{"-bench", "NoSuchBench", oldPath, newPath}, &out, &errOut); code != 5 {
+		t.Fatalf("unmatched filter exit %d, want 5; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "NoSuchBench") {
+		t.Fatalf("unmatched-filter error does not name the pattern: %s", errOut.String())
+	}
+	if code := run([]string{"-bench", "(", oldPath, newPath}, &out, &errOut); code != 2 {
+		t.Fatal("invalid regexp must be a usage error (exit 2)")
+	}
+}
+
 // TestRunJSON pins the -json compare mode: same exit-code contract as
 // the table mode, with one parseable JSON document on stdout.
 func TestRunJSON(t *testing.T) {

@@ -19,7 +19,10 @@
 // /metrics; neither changes any result. -cpuprofile and -memprofile
 // write pprof profiles of the whole invocation, and -cache-capacity
 // sizes the engines' fitness-memoization cache (negative disables it)
-// without changing any front.
+// without changing any front. -machine-cache-capacity likewise sizes the
+// machine-bucket memoization cache beneath it, and -kernel selects the
+// typed (run-length compressed) or scalar per-machine simulation kernel;
+// all settings are bit-identical.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 
 	"tradeoff/internal/experiments"
 	"tradeoff/internal/obs"
+	"tradeoff/internal/sched"
 	"tradeoff/internal/telemetry"
 )
 
@@ -56,6 +60,8 @@ var (
 	tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
 	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
 	cacheCap    = flag.Int("cache-capacity", 0, "fitness-memoization cache entries per engine (0 = 4x population, negative = off)")
+	mcacheCap   = flag.Int("machine-cache-capacity", 0, "machine-bucket memoization cache entries per engine (0 = default, negative = off)")
+	kernelName  = flag.String("kernel", "typed", "per-machine simulation kernel: typed or scalar (bit-identical)")
 	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -102,7 +108,24 @@ func main() {
 }
 
 func dispatch(observer obs.Observer) {
-	baseCfg := experiments.RunConfig{PopulationSize: *pop, Scale: *scale, Seed: *seed, CacheCapacity: *cacheCap, Observer: observer}
+	var kernel sched.Kernel
+	switch *kernelName {
+	case "typed":
+		kernel = sched.KernelTyped
+	case "scalar":
+		kernel = sched.KernelScalar
+	default:
+		fatal(fmt.Errorf("unknown -kernel %q (want typed or scalar)", *kernelName))
+	}
+	baseCfg := experiments.RunConfig{
+		PopulationSize:       *pop,
+		Scale:                *scale,
+		Seed:                 *seed,
+		CacheCapacity:        *cacheCap,
+		MachineCacheCapacity: *mcacheCap,
+		Kernel:               kernel,
+		Observer:             observer,
+	}
 
 	if *matrices {
 		experiments.WriteMatrices(os.Stdout)

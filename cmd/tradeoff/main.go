@@ -17,8 +17,11 @@
 // JSON on /metrics.json. Neither changes the optimization result.
 //
 // -cache-capacity bounds the fitness-memoization cache (0 picks the
-// default of 4x the population, negative disables it); every setting
-// yields bit-identical fronts. -cpuprofile and -memprofile write pprof
+// default of 4x the population, negative disables it) and
+// -machine-cache-capacity bounds the machine-bucket memoization cache
+// beneath it; -kernel selects the typed (run-length compressed) or
+// scalar per-machine simulation kernel. Every setting yields
+// bit-identical fronts. -cpuprofile and -memprofile write pprof
 // profiles of the run.
 //
 // With -system the environment is loaded from a JSON file produced by
@@ -73,10 +76,23 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
 		cacheCap    = flag.Int("cache-capacity", 0, "fitness-memoization cache entries (0 = 4x population, negative = off)")
 		cacheVerify = flag.Bool("cache-verify", false, "re-simulate every cache hit and abort on divergence (debug)")
+		mcacheCap   = flag.Int("machine-cache-capacity", 0, "machine-bucket memoization cache entries (0 = 128x population, negative = off)")
+		mcacheVer   = flag.Bool("machine-cache-verify", false, "re-simulate every machine-cache hit and abort on divergence (debug)")
+		kernelName  = flag.String("kernel", "typed", "per-machine simulation kernel: typed or scalar (bit-identical)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var kernel sched.Kernel
+	switch *kernelName {
+	case "typed":
+		kernel = sched.KernelTyped
+	case "scalar":
+		kernel = sched.KernelScalar
+	default:
+		fatal(fmt.Errorf("unknown -kernel %q (want typed or scalar)", *kernelName))
+	}
 
 	prof, err := startProfiler(*cpuProfile, *memProfile)
 	if err != nil {
@@ -178,6 +194,10 @@ func main() {
 		CacheCapacity:  *cacheCap,
 		CacheVerify:    *cacheVerify,
 		Observer:       tel.Observer(),
+
+		MachineCacheCapacity: *mcacheCap,
+		MachineCacheVerify:   *mcacheVer,
+		Kernel:               kernel,
 	})
 	if err != nil {
 		fatal(err)

@@ -99,6 +99,18 @@ type Options struct {
 	// CacheVerify re-simulates every cache hit and panics on divergence.
 	// Debug aid: it forfeits the cache's speedup.
 	CacheVerify bool
+	// MachineCacheCapacity bounds the machine-bucket memoization cache
+	// beneath the chromosome cache: 0 picks the engine default (128× the
+	// population), negative disables the level. Results are
+	// bit-identical for every setting; see internal/nsga2.
+	MachineCacheCapacity int
+	// MachineCacheVerify re-simulates every machine-cache hit and panics
+	// on divergence. Debug aid: it forfeits that level's speedup.
+	MachineCacheVerify bool
+	// Kernel selects the per-machine simulation loop: sched.KernelTyped
+	// (the default) or the sched.KernelScalar reference. Bit-identical;
+	// only speed differs.
+	Kernel sched.Kernel
 	// Observer, when non-nil, receives run telemetry: per-generation
 	// front/indicator/evaluation events from a single-population run, or
 	// migration events from an island run. Observation never consumes
@@ -156,6 +168,10 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 		Workers:        opts.Workers,
 		CacheCapacity:  opts.CacheCapacity,
 		CacheVerify:    opts.CacheVerify,
+
+		MachineCacheCapacity: opts.MachineCacheCapacity,
+		MachineCacheVerify:   opts.MachineCacheVerify,
+		Kernel:               opts.Kernel,
 	}, rng.New(opts.RandomSeed))
 	if err != nil {
 		return nil, err
@@ -225,6 +241,10 @@ func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*R
 			Workers:        opts.Workers,
 			CacheCapacity:  opts.CacheCapacity,
 			CacheVerify:    opts.CacheVerify,
+
+			MachineCacheCapacity: opts.MachineCacheCapacity,
+			MachineCacheVerify:   opts.MachineCacheVerify,
+			Kernel:               opts.Kernel,
 		},
 	}, rng.New(opts.RandomSeed))
 	if err != nil {

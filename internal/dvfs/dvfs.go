@@ -153,10 +153,10 @@ func (e *Evaluator) Evaluate(a *sched.Allocation, pstates []int) sched.Evaluatio
 		if task.Arrival > start {
 			start = task.Arrival
 		}
-		completion := start + base.ETCInstance(task.Type, m)*e.tScale[ps]
+		completion := start + base.ETCInstance(task.Type, int(m))*e.tScale[ps]
 		ready[m] = completion
 		ev.Utility += task.TUF.Value(completion - task.Arrival)
-		ev.Energy += base.EECInstance(task.Type, m) * e.eScale[ps]
+		ev.Energy += base.EECInstance(task.Type, int(m)) * e.eScale[ps]
 		if completion > ev.Makespan {
 			ev.Makespan = completion
 		}

@@ -190,7 +190,7 @@ func (g *GA) crossover(p1, p2 Individual) (Individual, Individual) {
 
 // repairOrder mirrors the nsga2 re-ranking repair (stable by value then
 // index).
-func repairOrder(ord []int) {
+func repairOrder(ord []int32) {
 	n := len(ord)
 	idx := make([]int, n)
 	for i := range idx {
@@ -198,7 +198,7 @@ func repairOrder(ord []int) {
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return ord[idx[a]] < ord[idx[b]] })
 	for pos, gene := range idx {
-		ord[gene] = pos
+		ord[gene] = int32(pos)
 	}
 }
 
@@ -207,7 +207,7 @@ func (g *GA) mutate(ind *Individual) {
 	n := ind.Alloc.Len()
 	k := g.src.Intn(n)
 	el := base.Eligible(base.Trace().Tasks[k].Type)
-	ind.Alloc.Machine[k] = el[g.src.Intn(len(el))]
+	ind.Alloc.Machine[k] = int32(el[g.src.Intn(len(el))])
 	ind.PStates[k] = g.src.Intn(g.eval.NumStates())
 	x, y := g.src.Intn(n), g.src.Intn(n)
 	ind.Alloc.Order[x], ind.Alloc.Order[y] = ind.Alloc.Order[y], ind.Alloc.Order[x]

@@ -44,10 +44,12 @@ func RunAblation(ds *DataSet, cfg RunConfig) (*AblationResult, error) {
 	var fronts [][]analysis.FrontPoint
 	for _, v := range variants {
 		ecfg := nsga2.Config{
-			PopulationSize: cfg.PopulationSize,
-			MutationRate:   cfg.MutationRate,
-			Workers:        cfg.Workers,
-			CacheCapacity:  cfg.CacheCapacity,
+			PopulationSize:       cfg.PopulationSize,
+			MutationRate:         cfg.MutationRate,
+			Workers:              cfg.Workers,
+			CacheCapacity:        cfg.CacheCapacity,
+			MachineCacheCapacity: cfg.MachineCacheCapacity,
+			Kernel:               cfg.Kernel,
 		}
 		if v.mutate != nil {
 			v.mutate(&ecfg)

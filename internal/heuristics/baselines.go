@@ -137,7 +137,7 @@ func buildArrivalOrder(e *sched.Evaluator, choose func(taskView, []float64) int)
 	ready := make([]float64, e.NumMachines())
 	for i, task := range views {
 		m := choose(task, ready)
-		a.Machine[i] = m
+		a.Machine[i] = int32(m)
 		ready[m] = completionOn(task, ready, m)
 	}
 	return a
@@ -179,8 +179,8 @@ func buildTwoStage(e *sched.Evaluator, minFirst bool) *sched.Allocation {
 				pick, pickM, pickC = i, bestM, bestC
 			}
 		}
-		a.Machine[pick] = pickM
-		a.Order[pick] = step
+		a.Machine[pick] = int32(pickM)
+		a.Order[pick] = int32(step)
 		mapped[pick] = true
 		ready[pickM] = pickC
 	}
@@ -226,8 +226,8 @@ func buildSufferage(e *sched.Evaluator) *sched.Allocation {
 				pick, pickM, pickSuffer, pickC = i, bestM, suffer, best
 			}
 		}
-		a.Machine[pick] = pickM
-		a.Order[pick] = step
+		a.Machine[pick] = int32(pickM)
+		a.Order[pick] = int32(step)
 		mapped[pick] = true
 		ready[pickM] = pickC
 	}

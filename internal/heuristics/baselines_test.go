@@ -39,7 +39,7 @@ func TestMETMatchesPerTaskMinimumETC(t *testing.T) {
 				best = c
 			}
 		}
-		if got := e.ETCInstance(task.Type, a.Machine[i]); got != best {
+		if got := e.ETCInstance(task.Type, int(a.Machine[i])); got != best {
 			t.Fatalf("task %d: MET chose ETC %v, min is %v", i, got, best)
 		}
 	}

@@ -89,7 +89,7 @@ func BuildMinEnergy(e *sched.Evaluator) *sched.Allocation {
 				best, bestE = m, c
 			}
 		}
-		a.Machine[i] = best
+		a.Machine[i] = int32(best)
 	}
 	return a
 }
@@ -116,7 +116,7 @@ func BuildMaxUtility(e *sched.Evaluator) *sched.Allocation {
 				best, bestU, bestC = m, u, completion
 			}
 		}
-		a.Machine[i] = best
+		a.Machine[i] = int32(best)
 		ready[best] = bestC
 	}
 	return a
@@ -147,7 +147,7 @@ func BuildMaxUtilityPerEnergy(e *sched.Evaluator) *sched.Allocation {
 				best, bestRatio, bestEnergy, bestC = m, ratio, en, completion
 			}
 		}
-		a.Machine[i] = best
+		a.Machine[i] = int32(best)
 		ready[best] = bestC
 	}
 	return a
@@ -202,8 +202,8 @@ func BuildMinMin(e *sched.Evaluator) *sched.Allocation {
 				pick = i
 			}
 		}
-		a.Machine[pick] = bestM[pick]
-		a.Order[pick] = step
+		a.Machine[pick] = int32(bestM[pick])
+		a.Order[pick] = int32(step)
 		mapped[pick] = true
 		m := bestM[pick]
 		ready[m] = bestC[pick]

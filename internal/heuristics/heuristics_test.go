@@ -177,7 +177,7 @@ func TestMinMinOrderMatchesMappingSequence(t *testing.T) {
 		t.Fatal("no task mapped first")
 	}
 	task := e.Trace().Tasks[first]
-	got := task.Arrival + e.ETCInstance(task.Type, a.Machine[first])
+	got := task.Arrival + e.ETCInstance(task.Type, int(a.Machine[first]))
 	for _, other := range e.Trace().Tasks {
 		for _, m := range e.Eligible(other.Type) {
 			c := other.Arrival + e.ETCInstance(other.Type, m)

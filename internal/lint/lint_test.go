@@ -147,6 +147,39 @@ func TestFitcacheFixture(t *testing.T) {
 	checkGolden(t, negDir, negLines)
 }
 
+// TestMachineFingerprintFixture golden-checks the machine-bucket
+// memoization shape (DESIGN.md §12): the positive fixture seeds the
+// three violations a naive bucket cache invites — process-seeded
+// fingerprints, map-ordered eviction, hot-path allocation — and each
+// must fire; the negative fixture is the engine's real shape (fixed
+// mixing constants, index-ordered slot probing, rows by value) and
+// must stay silent.
+func TestMachineFingerprintFixture(t *testing.T) {
+	posDir := filepath.Join("testdata", "mfingerprint", "pos")
+	posLines := runFixture(t, posDir, Analyzers())
+	for _, want := range []string{"purity", "maprange", "hotalloc"} {
+		found := false
+		for _, l := range posLines {
+			if strings.Contains(l, ": "+want+": ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("positive mfingerprint fixture did not trigger %s:\n%s",
+				want, strings.Join(posLines, "\n"))
+		}
+	}
+	checkGolden(t, posDir, posLines)
+	negDir := filepath.Join("testdata", "mfingerprint", "neg")
+	negLines := runFixture(t, negDir, Analyzers())
+	if len(negLines) != 0 {
+		t.Errorf("negative mfingerprint fixture produced diagnostics:\n%s",
+			strings.Join(negLines, "\n"))
+	}
+	checkGolden(t, negDir, negLines)
+}
+
 // TestSuppress checks //detlint:allow: two excused wall-clock reads stay
 // silent, the third is reported.
 func TestSuppress(t *testing.T) {

@@ -1,0 +1,105 @@
+// Package neg is the determinism-clean machine-bucket shape the engine
+// actually uses (DESIGN.md §12): slot packing and per-machine
+// fingerprints built from compile-time mixing constants (no process
+// seeding), a flat generation-stamped slot table probed in index order
+// (no map iteration anywhere near eviction), and rows cached by value
+// so the hot paths never allocate.
+package neg
+
+// Splitmix-style mixing constants, fixed at compile time: a machine's
+// task sequence fingerprints identically in every process, so bucket
+// rows survive snapshot/resume and replays bit-identically.
+const (
+	fpGamma = 0x9e3779b97f4a7c15
+	fpM1    = 0xbf58476d1ce4e5b9
+	fpM2    = 0x94d049bb133111eb
+)
+
+// packSlot packs a machine assignment and task id into one word; the
+// +1 keeps the dropped sentinel (-1) at zero.
+func packSlot(machine int32, task int) uint64 {
+	return uint64(uint32(machine+1))<<32 | uint64(uint32(task))
+}
+
+// bucketFP absorbs one machine's execution-order slots with xor-multiply
+// and finalizes with the count, allocation-free.
+//
+//detlint:hotpath
+func bucketFP(slots []uint64) uint64 {
+	h := fpGamma ^ uint64(len(slots))
+	for _, s := range slots {
+		h = (h ^ s) * fpM1
+	}
+	h ^= h >> 30
+	h *= fpM2
+	h ^= h >> 31
+	return h
+}
+
+// mrow is one machine's contribution row, cached by value: no owned
+// buffers, so insert and hit are single struct copies.
+type mrow struct {
+	utility float64
+	energy  float64
+	busy    float64
+	ready   float64
+	done    int32
+}
+
+type mslot struct {
+	fp  uint64
+	gen int64 // generation stamp; -1 = empty
+	row mrow
+}
+
+// mcache is power-of-two open addressing with a fixed probe window.
+type mcache struct {
+	slots  []mslot
+	mask   uint64
+	window int
+}
+
+// lookup probes a bounded window in index order; a miss is -1.
+//
+//detlint:hotpath
+func (c *mcache) lookup(fp uint64) int {
+	for o := 0; o < c.window; o++ {
+		i := (fp + uint64(o)) & c.mask
+		s := &c.slots[i]
+		if s.gen >= 0 && s.fp == fp {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// insert evicts the oldest-stamped slot in the window on overflow —
+// deterministic, clock-free, and allocation-free.
+//
+//detlint:hotpath
+func (c *mcache) insert(fp uint64, gen int64, r mrow) {
+	empty, oldest := -1, -1
+	var oldestGen int64
+	for o := 0; o < c.window; o++ {
+		i := int((fp + uint64(o)) & c.mask)
+		s := &c.slots[i]
+		if s.gen < 0 {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if s.fp == fp {
+			s.gen, s.row = gen, r
+			return
+		}
+		if oldest < 0 || s.gen < oldestGen {
+			oldest, oldestGen = i, s.gen
+		}
+	}
+	dst := empty
+	if dst < 0 {
+		dst = oldest
+	}
+	c.slots[dst] = mslot{fp: fp, gen: gen, row: r}
+}

@@ -1,0 +1,57 @@
+// Package pos seeds the determinism violations a naive machine-bucket
+// memoization layer invites: a process-seeded bucket fingerprint
+// (mutable package-level hash state), an eviction scan that iterates
+// the row map in hash order, and an annotated probe path that
+// allocates per call. Each is the anti-shape of the real machine
+// cache's contract — fixed mixing constants, index-ordered slot
+// probing, and allocation-free hot paths.
+package pos
+
+import "fmt"
+
+// bucketSeed stands in for maphash-style per-process seeding: once the
+// seed differs between processes, the same machine schedule fingerprints
+// differently, and a resumed run stops inheriting its own rows.
+var bucketSeed uint64
+
+func reseedBuckets(v uint64) {
+	bucketSeed = v // mutable global: fingerprints depend on call history
+}
+
+// row is one machine's cached contribution.
+type row struct {
+	utility float64
+	energy  float64
+}
+
+// rowmap caches machine rows keyed by bucket fingerprint with no bound
+// and no eviction order.
+type rowmap struct {
+	rows    map[uint64]row
+	victims []uint64
+}
+
+// evictStale selects victims by iterating the map: which rows survive
+// changes run to run, so two identical runs diverge in their hit
+// patterns (and, with a collision, in their populations).
+//
+//detlint:hotpath
+func (c *rowmap) evictStale(cutoff float64) {
+	for fp, r := range c.rows {
+		if r.utility < cutoff {
+			c.victims = append(c.victims, fp) // grows forever, order unstable
+		}
+	}
+	for _, fp := range c.victims {
+		delete(c.rows, fp)
+	}
+}
+
+// probe mixes the mutable seed into the lookup key and formats a label
+// per call inside the hot path.
+//
+//detlint:hotpath
+func (c *rowmap) probe(fp uint64) (row, string) {
+	r := c.rows[fp^bucketSeed]
+	return r, fmt.Sprintf("probed %d rows", len(c.rows))
+}

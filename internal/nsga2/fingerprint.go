@@ -6,30 +6,14 @@ import "tradeoff/internal/sched"
 // DESIGN.md §11). A fingerprint is a 64-bit hash of a chromosome's
 // machine-assignment and scheduling-order genes: equal genotypes always
 // produce equal fingerprints, so a fingerprint match identifies a
-// candidate duplicate whose evaluation can be reused. The mixing is
-// splitmix-style — xor-multiply absorption with the splitmix64
-// finalizer — built from compile-time constants only: no hash/maphash
-// (whose per-process seed would make cache behaviour differ between
-// runs) and no other runtime-seeded state, so fingerprints are
-// bit-identical across processes, platforms, and worker counts.
-
-const (
-	// fpGamma is the splitmix64 increment ("golden gamma"); the lane
-	// seeds below are its first four weyl-sequence multiples, mixed.
-	fpGamma = 0x9e3779b97f4a7c15
-	// fpM1/fpM2 are the splitmix64 finalizer multipliers; fpM1 doubles
-	// as the per-gene absorption multiplier.
-	fpM1 = 0xbf58476d1ce4e5b9
-	fpM2 = 0x94d049bb133111eb
-)
-
-// mix64 is the splitmix64 finalizer: an invertible avalanche over all 64
-// bits.
-func mix64(z uint64) uint64 {
-	z = (z ^ (z >> 30)) * fpM1
-	z = (z ^ (z >> 27)) * fpM2
-	return z ^ (z >> 31)
-}
+// candidate duplicate whose evaluation can be reused. The splitmix
+// primitives (constants and finalizer) are shared with the evaluation
+// layer's machine-bucket fingerprints — sched.FPGamma, sched.FPMul1,
+// sched.FPMul2, sched.Mix64 — compile-time constants only, no
+// hash/maphash (whose per-process seed would make cache behaviour
+// differ between runs) and no other runtime-seeded state, so
+// fingerprints are bit-identical across processes, platforms, and
+// worker counts.
 
 // fingerprint hashes the allocation's genotype. Each gene packs into one
 // 64-bit word — machine assignment (shifted so Dropped stays
@@ -44,28 +28,28 @@ func mix64(z uint64) uint64 {
 func fingerprint(a *sched.Allocation) uint64 {
 	machine, order := a.Machine, a.Order
 	n := len(machine)
-	g := uint64(fpGamma)
-	h0 := mix64(g)
-	h1 := mix64(g * 2) // weyl-sequence multiples; wrapping is intended
-	h2 := mix64(g * 3)
-	h3 := mix64(g * 4)
+	g := uint64(sched.FPGamma)
+	h0 := sched.Mix64(g)
+	h1 := sched.Mix64(g * 2) // weyl-sequence multiples; wrapping is intended
+	h2 := sched.Mix64(g * 3)
+	h3 := sched.Mix64(g * 4)
 	i := 0
 	for ; i+4 <= n; i += 4 {
 		v0 := uint64(machine[i]+1)<<32 | uint64(uint32(order[i]))
 		v1 := uint64(machine[i+1]+1)<<32 | uint64(uint32(order[i+1]))
 		v2 := uint64(machine[i+2]+1)<<32 | uint64(uint32(order[i+2]))
 		v3 := uint64(machine[i+3]+1)<<32 | uint64(uint32(order[i+3]))
-		h0 = (h0 ^ v0) * fpM1
-		h1 = (h1 ^ v1) * fpM1
-		h2 = (h2 ^ v2) * fpM1
-		h3 = (h3 ^ v3) * fpM1
+		h0 = (h0 ^ v0) * sched.FPMul1
+		h1 = (h1 ^ v1) * sched.FPMul1
+		h2 = (h2 ^ v2) * sched.FPMul1
+		h3 = (h3 ^ v3) * sched.FPMul1
 	}
 	for ; i < n; i++ {
-		h0 = (h0 ^ (uint64(machine[i]+1)<<32 | uint64(uint32(order[i])))) * fpM1
+		h0 = (h0 ^ (uint64(machine[i]+1)<<32 | uint64(uint32(order[i])))) * sched.FPMul1
 	}
-	h := mix64(h0)
-	h = mix64(h ^ h1)
-	h = mix64(h ^ h2)
-	h = mix64(h ^ h3)
-	return mix64(h ^ uint64(n))
+	h := sched.Mix64(h0)
+	h = sched.Mix64(h ^ h1)
+	h = sched.Mix64(h ^ h2)
+	h = sched.Mix64(h ^ h3)
+	return sched.Mix64(h ^ uint64(n))
 }

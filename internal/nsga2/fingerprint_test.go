@@ -7,16 +7,16 @@ import (
 	"tradeoff/internal/sched"
 )
 
-func allocOf(machine []int, order []int) *sched.Allocation {
+func allocOf(machine []int32, order []int32) *sched.Allocation {
 	return &sched.Allocation{Machine: machine, Order: order}
 }
 
 func TestFingerprintDeterministic(t *testing.T) {
-	a := allocOf([]int{0, 1, 2, 1, 0}, []int{4, 2, 0, 1, 3})
+	a := allocOf([]int32{0, 1, 2, 1, 0}, []int32{4, 2, 0, 1, 3})
 	if fingerprint(a) != fingerprint(a) {
 		t.Fatal("fingerprint of the same allocation differs between calls")
 	}
-	b := allocOf(append([]int(nil), a.Machine...), append([]int(nil), a.Order...))
+	b := allocOf(append([]int32(nil), a.Machine...), append([]int32(nil), a.Order...))
 	if fingerprint(a) != fingerprint(b) {
 		t.Fatal("fingerprint differs between equal allocations in distinct storage")
 	}
@@ -27,20 +27,20 @@ func TestFingerprintDeterministic(t *testing.T) {
 // and requires the fingerprint to change.
 func TestFingerprintSensitivity(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
-		machine := make([]int, n)
-		order := make([]int, n)
+		machine := make([]int32, n)
+		order := make([]int32, n)
 		for i := range machine {
-			machine[i] = i % 3
-			order[i] = i
+			machine[i] = int32(i % 3)
+			order[i] = int32(i)
 		}
 		base := fingerprint(allocOf(machine, order))
 		for i := 0; i < n; i++ {
-			m2 := append([]int(nil), machine...)
+			m2 := append([]int32(nil), machine...)
 			m2[i] += 7
 			if fingerprint(allocOf(m2, order)) == base {
 				t.Fatalf("n=%d: machine flip at %d not reflected in fingerprint", n, i)
 			}
-			o2 := append([]int(nil), order...)
+			o2 := append([]int32(nil), order...)
 			o2[i] += 100
 			if fingerprint(allocOf(machine, o2)) == base {
 				t.Fatalf("n=%d: order flip at %d not reflected in fingerprint", n, i)
@@ -53,20 +53,20 @@ func TestFingerprintSensitivity(t *testing.T) {
 // prefix-extension (a shorter chromosome must not collide with a padded
 // one) and transposition (swapping two genes must change the hash).
 func TestFingerprintLengthAndSwap(t *testing.T) {
-	short := allocOf([]int{1, 1, 1}, []int{0, 1, 2})
-	long := allocOf([]int{1, 1, 1, 0}, []int{0, 1, 2, 3})
+	short := allocOf([]int32{1, 1, 1}, []int32{0, 1, 2})
+	long := allocOf([]int32{1, 1, 1, 0}, []int32{0, 1, 2, 3})
 	if fingerprint(short) == fingerprint(long) {
 		t.Fatal("length not absorbed: prefix chromosomes collide")
 	}
-	a := allocOf([]int{0, 1, 2, 3, 4, 5, 6, 7}, []int{0, 1, 2, 3, 4, 5, 6, 7})
-	b := allocOf([]int{1, 0, 2, 3, 4, 5, 6, 7}, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	a := allocOf([]int32{0, 1, 2, 3, 4, 5, 6, 7}, []int32{0, 1, 2, 3, 4, 5, 6, 7})
+	b := allocOf([]int32{1, 0, 2, 3, 4, 5, 6, 7}, []int32{0, 1, 2, 3, 4, 5, 6, 7})
 	if fingerprint(a) == fingerprint(b) {
 		t.Fatal("adjacent transposition collides")
 	}
 	// Cross-lane swap: positions 0 and 4 land in the same lane under the
 	// 4-stride absorption, 0 and 5 in different lanes; both must differ.
-	c := allocOf([]int{4, 1, 2, 3, 0, 5, 6, 7}, []int{0, 1, 2, 3, 4, 5, 6, 7})
-	d := allocOf([]int{5, 1, 2, 3, 4, 0, 6, 7}, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	c := allocOf([]int32{4, 1, 2, 3, 0, 5, 6, 7}, []int32{0, 1, 2, 3, 4, 5, 6, 7})
+	d := allocOf([]int32{5, 1, 2, 3, 4, 0, 6, 7}, []int32{0, 1, 2, 3, 4, 5, 6, 7})
 	if fingerprint(a) == fingerprint(c) || fingerprint(a) == fingerprint(d) {
 		t.Fatal("gene swap across lanes collides")
 	}
@@ -79,7 +79,7 @@ func TestFingerprintLengthAndSwap(t *testing.T) {
 func TestFingerprintNoCollisionsAcrossRandomPool(t *testing.T) {
 	eval := newEval(t, 40)
 	src := rng.New(7)
-	seen := make(map[uint64][]int, 2000)
+	seen := make(map[uint64][]int32, 2000)
 	for k := 0; k < 2000; k++ {
 		a := eval.RandomAllocation(src)
 		fp := fingerprint(a)
@@ -98,7 +98,7 @@ func TestFingerprintNoCollisionsAcrossRandomPool(t *testing.T) {
 			}
 			continue
 		}
-		flat := make([]int, 0, 2*len(a.Machine))
+		flat := make([]int32, 0, 2*len(a.Machine))
 		flat = append(flat, a.Machine...)
 		flat = append(flat, a.Order...)
 		seen[fp] = flat
@@ -211,11 +211,11 @@ func TestCacheStatsDiff(t *testing.T) {
 // EvaluateFull on the same trace (BENCH_step.json records ~115µs).
 func BenchmarkFingerprint4000(b *testing.B) {
 	const n = 4000
-	machine := make([]int, n)
-	order := make([]int, n)
+	machine := make([]int32, n)
+	order := make([]int32, n)
 	for i := range machine {
-		machine[i] = i % 8
-		order[i] = i
+		machine[i] = int32(i % 8)
+		order[i] = int32(i)
 	}
 	a := allocOf(machine, order)
 	var sink uint64

@@ -13,15 +13,15 @@ func FuzzRepairOrder(f *testing.F) {
 			return
 		}
 		n := len(raw)
-		ord := make([]int, n)
+		ord := make([]int32, n)
 		for i, b := range raw {
-			ord[i] = int(b) % n
+			ord[i] = int32(int(b) % n)
 		}
-		before := append([]int(nil), ord...)
+		before := append([]int32(nil), ord...)
 		repairOrder(ord)
 		seen := make([]bool, n)
 		for _, v := range ord {
-			if v < 0 || v >= n || seen[v] {
+			if v < 0 || int(v) >= n || seen[v] {
 				t.Fatalf("not a permutation: %v", ord)
 			}
 			seen[v] = true

@@ -1,0 +1,127 @@
+package nsga2
+
+import "tradeoff/internal/sched"
+
+// Machine-bucket memoization (see DESIGN.md §12): the second cache
+// level beneath the whole-chromosome fitness cache. Where the
+// chromosome cache hits only on exact genotype clones, this level keys
+// on a single machine's bucket fingerprint — the hash of its task
+// sequence in execution order that Prepare computes anyway — and caches
+// that machine's contribution row. Crossover children are almost never
+// whole-chromosome clones, but they constantly reproduce individual
+// machine schedules already simulated in another lineage or an earlier
+// generation; a hit hands such a machine its row for the cost of a
+// 40-byte copy instead of a queue simulation.
+//
+// The determinism contract matches the chromosome cache: probed,
+// touched, and filled only from the engine's serial phases in offspring
+// then Need order, clock-free generation-stamped eviction with a fixed
+// probe window, and — because a cached row is bit-identical to what
+// re-simulating the same bucket would produce — populations are
+// bit-identical for ANY capacity, including disabled (absent a 64-bit
+// fingerprint collision, which MachineCacheVerify exists to rule out).
+
+// machineSlot is one cache entry: a bucket fingerprint, its stamped
+// generation (-1 = empty), and the machine's contribution row by value
+// — no owned buffers, so the table is a single flat allocation.
+type machineSlot struct {
+	fp  uint64
+	gen int64
+	row sched.MachineRow
+}
+
+// machineCache is the memoization table: power-of-two open addressing
+// with a short probe window, like fitCache.
+type machineCache struct {
+	slots  []machineSlot
+	mask   uint64
+	window int
+	live   int
+	stats  cacheStats
+}
+
+// machineCacheWindow bounds the linear probe per fingerprint.
+const machineCacheWindow = 8
+
+// newMachineCache returns a cache with capacity rounded up to a power
+// of two. Capacity must be >= 1 (the engine maps "disabled" to a nil
+// cache).
+func newMachineCache(capacity int) *machineCache {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	c := &machineCache{
+		slots:  make([]machineSlot, size),
+		mask:   uint64(size - 1),
+		window: machineCacheWindow,
+	}
+	if c.window > size {
+		c.window = size
+	}
+	for i := range c.slots {
+		c.slots[i].gen = -1
+	}
+	return c
+}
+
+// lookup returns the slot index holding fp, or -1. Serial phases only.
+//
+//detlint:hotpath
+func (c *machineCache) lookup(fp uint64) int {
+	for o := 0; o < c.window; o++ {
+		i := (fp + uint64(o)) & c.mask
+		s := &c.slots[i]
+		if s.gen >= 0 && s.fp == fp {
+			return int(i)
+		}
+	}
+	return -1
+}
+
+// touch refreshes the slot's generation stamp so hot buckets outlive
+// cold ones under the oldest-stamp eviction rule.
+func (c *machineCache) touch(slot int, gen int64) { c.slots[slot].gen = gen }
+
+// insert stores (fp → row) stamped with gen. If the probe window is
+// full, the oldest-stamped slot in the window is evicted; ties break
+// toward the earliest probe position, so the replacement choice is
+// deterministic. Serial phases only.
+//
+//detlint:hotpath
+func (c *machineCache) insert(fp uint64, gen int64, row sched.MachineRow) {
+	empty, oldest := -1, -1
+	var oldestGen int64
+	for o := 0; o < c.window; o++ {
+		i := int((fp + uint64(o)) & c.mask)
+		s := &c.slots[i]
+		if s.gen < 0 {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if s.fp == fp {
+			// The same bucket simulated twice in one generation (two
+			// offspring both missed before either inserted): refresh in
+			// place.
+			s.gen = gen
+			s.row = row
+			return
+		}
+		if oldest < 0 || s.gen < oldestGen {
+			oldest, oldestGen = i, s.gen
+		}
+	}
+	dst := empty
+	if dst < 0 {
+		dst = oldest
+		c.stats.evicts++
+	} else {
+		c.live++
+	}
+	s := &c.slots[dst]
+	s.fp = fp
+	s.gen = gen
+	s.row = row
+}

@@ -1,0 +1,156 @@
+package nsga2
+
+import (
+	"testing"
+
+	"tradeoff/internal/rng"
+	"tradeoff/internal/sched"
+)
+
+// TestMachineCacheBitIdentical is the machine-bucket cache's core
+// contract: populations are bit-identical for every capacity (including
+// disabled) under both kernels, generation by generation.
+func TestMachineCacheBitIdentical(t *testing.T) {
+	for _, kernel := range []sched.Kernel{sched.KernelTyped, sched.KernelScalar} {
+		base := Config{PopulationSize: 16, Workers: 1, Kernel: kernel, MachineCacheCapacity: -1}
+		ref := newEngine(t, 70, base, 5)
+		others := make([]*Engine, 0, 4)
+		for _, capacity := range []int{1, 8, 64, 0} {
+			cfg := base
+			cfg.MachineCacheCapacity = capacity
+			others = append(others, newEngine(t, 70, cfg, 5))
+		}
+		for g := 0; g < 12; g++ {
+			ref.Step()
+			for _, eng := range others {
+				eng.Step()
+				comparePopulations(t, "mcache-capacity", ref, eng)
+			}
+		}
+	}
+}
+
+// TestMachineCacheWorkerInvariance pins the serial-probe/serial-insert
+// bracket of the machine-bucket cache: after the same run, not just the
+// population but the cache's entire internal state — stats, live count,
+// and every slot — must be identical for every worker count.
+func TestMachineCacheWorkerInvariance(t *testing.T) {
+	run := func(workers int) *Engine {
+		eng, err := New(newEval(t, 60),
+			Config{PopulationSize: 20, Workers: workers, MachineCacheCapacity: 256}, rng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run(10)
+		return eng
+	}
+	serial := run(1)
+	if serial.mcache.stats.hits == 0 {
+		t.Fatal("run produced no machine-cache hits; invariance check is vacuous")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par := run(workers)
+		comparePopulations(t, "mcache-worker-invariance", serial, par)
+		if par.mcache.stats != serial.mcache.stats {
+			t.Fatalf("workers=%d: machine-cache stats %+v diverged from serial %+v",
+				workers, par.mcache.stats, serial.mcache.stats)
+		}
+		if par.mcache.live != serial.mcache.live {
+			t.Fatalf("workers=%d: machine-cache live %d vs serial %d",
+				workers, par.mcache.live, serial.mcache.live)
+		}
+		for i := range par.mcache.slots {
+			ps, ss := &par.mcache.slots[i], &serial.mcache.slots[i]
+			if ps.fp != ss.fp || ps.gen != ss.gen || ps.row != ss.row {
+				t.Fatalf("workers=%d: machine-cache slot %d diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestMachineCacheVerifyAcceptsHonestCache runs verify-on-hit for many
+// generations: every memoized machine row is re-simulated and must
+// match bitwise, so completing without a panic certifies the cache.
+func TestMachineCacheVerifyAcceptsHonestCache(t *testing.T) {
+	eng := newEngine(t, 50, Config{PopulationSize: 16, MachineCacheVerify: true}, 21)
+	eng.Run(15)
+	if eng.mcache.stats.hits == 0 {
+		t.Fatal("verify run produced no machine-cache hits to check")
+	}
+}
+
+// TestMachineCacheVerifyPanicsOnCorruptEntry corrupts a cached machine
+// row and requires the verify path to catch the divergence.
+func TestMachineCacheVerifyPanicsOnCorruptEntry(t *testing.T) {
+	eng := newEngine(t, 40, Config{PopulationSize: 12, MachineCacheVerify: true}, 9)
+	eng.Run(3)
+	poisoned := 0
+	for i := range eng.mcache.slots {
+		if eng.mcache.slots[i].gen >= 0 {
+			eng.mcache.slots[i].row.Utility += 1e6
+			eng.mcache.slots[i].gen = int64(eng.generation)
+			poisoned++
+		}
+	}
+	if poisoned == 0 {
+		t.Fatal("no live machine-cache entries to poison")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("verify-on-hit did not panic on a corrupted machine-cache entry")
+		}
+	}()
+	eng.Run(10)
+}
+
+// FuzzMachineCacheSnapshot drives snapshot/restore through arbitrary
+// machine-cache configurations: an engine snapshotted mid-run and
+// restored into a fresh engine — with a different seed, worker count,
+// kernel, and machine-cache capacity — must finish bit-identical to the
+// uninterrupted run, because the cache is pure memoization and restore
+// starts it cold.
+func FuzzMachineCacheSnapshot(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(10), uint8(0), uint8(3), uint8(1), false)
+	f.Add(uint64(9), uint8(80), uint8(8), uint8(64), uint8(5), uint8(4), true)
+	f.Add(uint64(4), uint8(20), uint8(6), uint8(255), uint8(7), uint8(2), false)
+	f.Fuzz(func(t *testing.T, seed uint64, tasksRaw, popRaw, capRaw, gensRaw, workersRaw uint8, scalar bool) {
+		tasks := 2 + int(tasksRaw)%100
+		pop := 2 * (1 + int(popRaw)%10)
+		gens := int(gensRaw)%8 + 2
+		half := gens / 2
+		cfg := Config{PopulationSize: pop, Workers: 1 + int(workersRaw)%4}
+		if scalar {
+			cfg.Kernel = sched.KernelScalar
+		}
+		// Capacity sweeps -1 (disabled), 0 (default), and 1..64.
+		cfg.MachineCacheCapacity = int(capRaw)%66 - 1
+
+		full := newEngine(t, tasks, cfg, seed|1)
+		full.Run(gens)
+
+		interrupted := newEngine(t, tasks, cfg, seed|1)
+		interrupted.Run(half)
+		raw, err := EncodeSnapshot(interrupted.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := DecodeSnapshot(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The resumed engine flips kernel and capacity: neither may
+		// change the population the run converges to.
+		resumedCfg := cfg
+		resumedCfg.Kernel = sched.KernelTyped
+		if !scalar {
+			resumedCfg.Kernel = sched.KernelScalar
+		}
+		resumedCfg.MachineCacheCapacity = -1 - resumedCfg.MachineCacheCapacity
+		resumed := newEngine(t, tasks, resumedCfg, seed^0xdead)
+		if err := resumed.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		resumed.Run(gens - half)
+		comparePopulations(t, "mcache-snapshot", full, resumed)
+	})
+}

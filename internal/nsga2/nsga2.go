@@ -122,10 +122,11 @@ type Config struct {
 	// machine. Both run the machine-major kernel and produce
 	// bit-identical populations for the same seed and any worker count.
 	Evaluation Evaluation
-	// DeltaMaxDirtyFrac is the dirty-machine fraction above which delta
-	// evaluation of an offspring falls back to a full simulation instead
-	// of diffing every flagged machine's task sequence against the
-	// parent's. 0 means the default (0.95); 1 disables the fallback.
+	// DeltaMaxDirtyFrac is retained for configuration compatibility and
+	// no longer consulted: since the type-compressed kernel rework,
+	// parent inheritance is decided per machine by bucket-fingerprint
+	// match rather than by variation-reported dirty flags, so there is no
+	// diff phase left to bail out of. Values in [0,1] validate as before.
 	DeltaMaxDirtyFrac float64
 	// CacheCapacity bounds the fitness-memoization cache in entries
 	// (rounded up to a power of two). 0 means the default, 4 ×
@@ -138,6 +139,25 @@ type Config struct {
 	// 64-bit fingerprint collisions. Expensive: each hit then costs a
 	// full simulation plus comparison.
 	CacheVerify bool
+	// MachineCacheCapacity bounds the machine-bucket memoization cache
+	// in entries (rounded up to a power of two). This second level sits
+	// beneath the whole-chromosome cache: it keys on one machine's
+	// bucket fingerprint and caches that machine's contribution row, so
+	// an offspring that reproduces a previously seen machine schedule
+	// skips that machine's simulation even when the chromosome as a
+	// whole is new. 0 means the default, 128 × PopulationSize; negative
+	// disables the level. Populations are bit-identical for every
+	// capacity, including disabled.
+	MachineCacheCapacity int
+	// MachineCacheVerify re-simulates every machine-cache hit and panics
+	// if the memoized row is not bit-identical — the bucket-fingerprint
+	// analogue of CacheVerify, and as expensive.
+	MachineCacheVerify bool
+	// Kernel selects the per-machine simulation loop: the
+	// type-compressed run-length kernel (the default) or the per-task
+	// scalar reference. Both are bit-identical; the choice only affects
+	// speed.
+	Kernel sched.Kernel
 }
 
 // Evaluation selects how offspring objective values are computed.
@@ -291,6 +311,9 @@ func (c *Config) fillDefaults() {
 	if c.CacheCapacity == 0 {
 		c.CacheCapacity = 4 * c.PopulationSize
 	}
+	if c.MachineCacheCapacity == 0 {
+		c.MachineCacheCapacity = 128 * c.PopulationSize
+	}
 }
 
 func (c *Config) validate() error {
@@ -325,6 +348,11 @@ func (c *Config) validate() error {
 	}
 	if c.DeltaMaxDirtyFrac < 0 || c.DeltaMaxDirtyFrac > 1 {
 		return fmt.Errorf("nsga2: delta dirty fraction %v outside [0,1]", c.DeltaMaxDirtyFrac)
+	}
+	switch c.Kernel {
+	case sched.KernelTyped, sched.KernelScalar:
+	default:
+		return fmt.Errorf("nsga2: unknown evaluation kernel %d", int(c.Kernel))
 	}
 	return nil
 }
@@ -369,9 +397,9 @@ func (ar *arena) init(eval *sched.Evaluator, dim, batch int) {
 func (ar *arena) getAlloc() *sched.Allocation {
 	if len(ar.allocs) == 0 {
 		nt := ar.eval.NumTasks()
-		stride := (nt + 7) / 8 * 8 // 8 ints per 64-byte line
-		machine := make([]int, ar.batch*stride)
-		order := make([]int, ar.batch*stride)
+		stride := (nt + 15) / 16 * 16 // 16 int32 genes per 64-byte line
+		machine := make([]int32, ar.batch*stride)
+		order := make([]int32, ar.batch*stride)
 		for s := 0; s < ar.batch; s++ {
 			ar.allocs = append(ar.allocs, &sched.Allocation{
 				Machine: machine[s*stride : s*stride : s*stride+nt],
@@ -455,29 +483,45 @@ type Engine struct {
 	sessions []*sched.DeltaSession // one per worker
 
 	// Steady-state scratch (lazily sized on first Step).
-	ranker     *moea.Ranker
-	arena      arena
-	parents    []*Individual // 2 per offspring pair, drawn serially
-	offspring  []Individual
-	meta       []Individual
-	popBuf     []Individual // survivor build buffer, swapped with pop
-	points     [][]float64
-	picked     []bool
-	groupOrder []int
-	crowdOrd   crowdOrderSorter
-	workerSrc  []rng.Source // reseeded per offspring pair
-	varScratch [][]int      // per-worker repair scratch
+	ranker      *moea.Ranker
+	arena       arena
+	parents     []*Individual // 2 per offspring pair, drawn serially
+	offspring   []Individual
+	meta        []Individual
+	popBuf      []Individual // survivor build buffer, swapped with pop
+	points      [][]float64
+	picked      []bool
+	groupOrder  []int
+	crowdOrd    crowdOrderSorter
+	workerSrc   []rng.Source // reseeded per offspring pair
+	varScratch  [][]int32    // per-worker repair scratch (first child's histogram)
+	varScratch2 [][]int32    // second child's histogram, alive at the same time
 
-	// Dirty-machine tracking for delta evaluation: one row of machine
-	// flags per offspring — rows padded to whole cache lines inside one
-	// backing slice, so concurrent workers never share a line — written
-	// by the variation fan-out, plus a per-offspring dirty count and a
-	// force-full flag (ShuffleRepair discards the order information
-	// delta inheritance relies on).
-	dirty     [][]bool
-	dirtyN    []int
-	forceFull []bool
-	maxDirtyN int // fallback threshold in machines, from DeltaMaxDirtyFrac
+	// Per-offspring evaluation scratch. slots[i] is offspring i's
+	// execution-order slot array (sched.PackSlot per scheduling
+	// position) and mcounts[i] its per-machine task histogram, both
+	// written by the variation fan-out as by-products of order repair
+	// (mutation patches them in O(1)); plans[i] carries Prepare's
+	// residue (fingerprint misses to simulate) between the evaluation
+	// phases; needSlot[i][k] is the machine-bucket cache's verdict for
+	// plan Need entry k (slot index, or -1 for a miss). All rows are
+	// padded to whole cache lines inside one backing slice so concurrent
+	// workers never share a line.
+	slots    [][]uint64
+	mcounts  [][]int32
+	plans    []*sched.DeltaPlan
+	needSlot [][]int32
+	// missKs[w] is worker w's scratch for the Need indices the
+	// machine-bucket cache missed, handed to SimulateNeedList so the
+	// batched kernel sees the misses as one group.
+	missKs [][]int32
+
+	// Dirty-machine telemetry: one row of machine flags per offspring,
+	// written by the variation fan-out only while an observer is
+	// attached (evaluation no longer consumes the flags — fingerprint
+	// matching decides inheritance by content).
+	dirty  [][]bool
+	dirtyN []int
 
 	// Fitness memoization (cache.go): nil when disabled. fprint and
 	// cacheEv are per-offspring slots written inside the fan-outs;
@@ -490,6 +534,11 @@ type Engine struct {
 	cacheEv        []sched.Evaluation
 	cacheBase      cacheStats
 	verifyContribs []*sched.Contribs
+
+	// Machine-bucket memoization (mcache.go): the second cache level,
+	// keyed on per-machine bucket fingerprints. nil when disabled.
+	mcache     *machineCache
+	mcacheBase cacheStats
 
 	// Observer state (see observe.go). observer is nil when telemetry is
 	// disabled — the only cost then is one nil check per Step.
@@ -528,10 +577,14 @@ func New(eval *sched.Evaluator, cfg Config, src *rng.Source) (*Engine, error) {
 	e.sessions = make([]*sched.DeltaSession, cfg.Workers)
 	for i := range e.sessions {
 		e.sessions[i] = eval.NewDeltaSession()
+		e.sessions[i].SetKernel(cfg.Kernel)
 	}
 	e.arena.init(eval, e.space.Dim(), 2*cfg.PopulationSize)
 	if cfg.CacheCapacity > 0 {
 		e.cache = newFitCache(cfg.CacheCapacity, &e.arena)
+	}
+	if cfg.MachineCacheCapacity > 0 {
+		e.mcache = newMachineCache(cfg.MachineCacheCapacity)
 	}
 
 	e.pop = make([]Individual, 0, cfg.PopulationSize)
@@ -578,8 +631,30 @@ func (e *Engine) ensureScratch() {
 		e.dirty[i] = dirtyBack[i*stride : i*stride+nm : i*stride+nm]
 	}
 	e.dirtyN = make([]int, n)
-	e.forceFull = make([]bool, n)
-	e.maxDirtyN = int(e.cfg.DeltaMaxDirtyFrac * float64(nm))
+	slotStride := (nt + 7) / 8 * 8 // 8 uint64 per 64-byte line
+	slotBack := make([]uint64, n*slotStride)
+	e.slots = make([][]uint64, n)
+	for i := range e.slots {
+		e.slots[i] = slotBack[i*slotStride : i*slotStride+nt : i*slotStride+nt]
+	}
+	e.plans = make([]*sched.DeltaPlan, n)
+	for i := range e.plans {
+		e.plans[i] = e.eval.NewDeltaPlan()
+	}
+	cntStride := (nm + 15) / 16 * 16 // 16 int32 per 64-byte line
+	cntBack := make([]int32, n*cntStride)
+	e.mcounts = make([][]int32, n)
+	for i := range e.mcounts {
+		e.mcounts[i] = cntBack[i*cntStride : i*cntStride+nm : i*cntStride+nm]
+	}
+	if e.mcache != nil {
+		nsStride := (nm + 15) / 16 * 16 // 16 int32 per 64-byte line
+		nsBack := make([]int32, n*nsStride)
+		e.needSlot = make([][]int32, n)
+		for i := range e.needSlot {
+			e.needSlot[i] = nsBack[i*nsStride : i*nsStride+nm : i*nsStride+nm]
+		}
+	}
 	if e.cache != nil {
 		e.fprint = make([]uint64, n)
 		e.cacheSlot = make([]int32, n)
@@ -590,9 +665,15 @@ func (e *Engine) ensureScratch() {
 		workers = 1
 	}
 	e.workerSrc = make([]rng.Source, workers)
-	e.varScratch = make([][]int, workers)
+	e.varScratch = make([][]int32, workers)
+	e.varScratch2 = make([][]int32, workers)
+	e.missKs = make([][]int32, workers)
+	for w := range e.missKs {
+		e.missKs[w] = make([]int32, 0, nm)
+	}
 	for w := range e.varScratch {
-		e.varScratch[w] = make([]int, nt)
+		e.varScratch[w] = make([]int32, nt)
+		e.varScratch2[w] = make([]int32, nt)
 	}
 	if e.cfg.CacheVerify && e.verifyContribs == nil {
 		e.verifyContribs = e.eval.NewContribsBatch(workers)
@@ -849,7 +930,7 @@ func (e *Engine) varyAll(genSeed, genStream uint64, pairs int) {
 		src := &e.workerSrc[0]
 		for k := 0; k < pairs; k++ {
 			src.Reseed(genSeed, genStream+uint64(k))
-			e.varyPair(k, src, e.varScratch[0])
+			e.varyPair(k, src, e.varScratch[0], e.varScratch2[0])
 		}
 		return
 	}
@@ -870,7 +951,7 @@ func (e *Engine) varyAll(genSeed, genStream uint64, pairs int) {
 			src := &e.workerSrc[w]
 			for k := lo; k < hi; k++ {
 				src.Reseed(genSeed, genStream+uint64(k))
-				e.varyPair(k, src, e.varScratch[w])
+				e.varyPair(k, src, e.varScratch[w], e.varScratch2[w])
 			}
 		}(w, lo, hi)
 	}
@@ -880,25 +961,29 @@ func (e *Engine) varyAll(genSeed, genStream uint64, pairs int) {
 // varyPair produces offspring 2k and 2k+1 from parents 2k and 2k+1 in
 // recycled buffers: crossover, order repair, then per-child mutation
 // coin flips, all drawn from the pair's own stream. Alongside the
-// chromosomes it records the delta-evaluation metadata: which machines
-// each child may have dirtied relative to its parent, how many, and
-// whether the child must be fully re-simulated.
+// chromosomes it maintains each child's execution-order slot array (a
+// by-product of order repair, patched in O(1) by mutation) and, while
+// an observer is attached, the dirty-machine telemetry: which machines
+// each child's variation may have touched relative to its parent.
 //
 //detlint:hotpath
-func (e *Engine) varyPair(k int, src *rng.Source, scratch []int) {
+func (e *Engine) varyPair(k int, src *rng.Source, scratch, scratch2 []int32) {
 	c1 := e.offspring[2*k].Alloc
 	c2 := e.offspring[2*k+1].Alloc
+	s1, s2 := e.slots[2*k], e.slots[2*k+1]
+	n1, n2 := e.mcounts[2*k], e.mcounts[2*k+1]
 	c1.CopyFrom(e.parents[2*k].Alloc)
 	c2.CopyFrom(e.parents[2*k+1].Alloc)
-	d1, d2 := e.dirty[2*k], e.dirty[2*k+1]
-	for m := range d1 {
-		d1[m] = false
-		d2[m] = false
+	var d1, d2 []bool
+	if e.observer != nil {
+		d1, d2 = e.dirty[2*k], e.dirty[2*k+1]
+		for m := range d1 {
+			d1[m] = false
+			d2[m] = false
+		}
 	}
-	i, j := e.crossInto(c1, c2, src, scratch)
-	shuffled := e.cfg.Repair == ShuffleRepair
-	e.forceFull[2*k], e.forceFull[2*k+1] = shuffled, shuffled
-	if !shuffled {
+	i, j := e.crossInto(c1, c2, s1, s2, n1, n2, src, scratch, scratch2)
+	if d1 != nil && e.cfg.Repair != ShuffleRepair {
 		// The candidate-dirty machines of BOTH children are the machines
 		// appearing in either child's post-swap segment: a machine either
 		// gains the segment tasks it now hosts or loses the ones the swap
@@ -915,21 +1000,23 @@ func (e *Engine) varyPair(k int, src *rng.Source, scratch []int) {
 		}
 	}
 	if src.Bool(e.cfg.MutationRate) {
-		e.mutateWith(c1, src, d1)
+		e.mutateWith(c1, s1, n1, src, d1)
 	}
 	if src.Bool(e.cfg.MutationRate) {
-		e.mutateWith(c2, src, d2)
+		e.mutateWith(c2, s2, n2, src, d2)
 	}
-	n1, n2 := 0, 0
-	for m := range d1 {
-		if d1[m] {
-			n1++
+	if d1 != nil {
+		n1, n2 := 0, 0
+		for m := range d1 {
+			if d1[m] {
+				n1++
+			}
+			if d2[m] {
+				n2++
+			}
 		}
-		if d2[m] {
-			n2++
-		}
+		e.dirtyN[2*k], e.dirtyN[2*k+1] = n1, n2
 	}
-	e.dirtyN[2*k], e.dirtyN[2*k+1] = n1, n2
 	if e.cache != nil {
 		e.fprint[2*k] = fingerprint(c1)
 		e.fprint[2*k+1] = fingerprint(c2)
@@ -937,28 +1024,76 @@ func (e *Engine) varyPair(k int, src *rng.Source, scratch []int) {
 }
 
 // crossInto applies segment swap and order repair to two chromosomes in
-// place, returning the inclusive swapped gene range.
+// place, returning the inclusive swapped gene range. s1 and s2 receive
+// the children's execution-order slot arrays and n1 and n2 their
+// per-machine task histograms: the rerank path writes both during the
+// repair's placement pass for free, the shuffle path scatters them
+// after drawing fresh permutations.
+//
+// The rerank path never recounts order values from scratch: each child
+// starts as a copy of one parent — a valid permutation, so every value's
+// count is one — and the segment swap adjusts exactly the counts of the
+// values it moves. The repair then consumes the maintained histogram
+// directly (repairOrderSlotsCounted), skipping the counting pass over
+// the whole chromosome.
 //
 //detlint:hotpath
-func (e *Engine) crossInto(c1, c2 *sched.Allocation, src *rng.Source, scratch []int) (int, int) {
+func (e *Engine) crossInto(c1, c2 *sched.Allocation, s1, s2 []uint64, n1, n2 []int32, src *rng.Source, scratch, scratch2 []int32) (int, int) {
 	n := c1.Len()
 	i := src.Intn(n)
 	j := src.Intn(n)
 	if i > j {
 		i, j = j, i
 	}
-	for k := i; k <= j; k++ {
-		c1.Machine[k], c2.Machine[k] = c2.Machine[k], c1.Machine[k]
-		c1.Order[k], c2.Order[k] = c2.Order[k], c1.Order[k]
-	}
 	if e.cfg.Repair == ShuffleRepair {
-		src.PermInto(c1.Order)
-		src.PermInto(c2.Order)
-	} else {
-		repairOrderScratch(c1.Order, scratch)
-		repairOrderScratch(c2.Order, scratch)
+		for k := i; k <= j; k++ {
+			c1.Machine[k], c2.Machine[k] = c2.Machine[k], c1.Machine[k]
+			c1.Order[k], c2.Order[k] = c2.Order[k], c1.Order[k]
+		}
+		src.PermInto32(c1.Order)
+		src.PermInto32(c2.Order)
+		scatterSlots(c1, s1, n1)
+		scatterSlots(c2, s2, n2)
+		return i, j
 	}
+	cnt1, cnt2 := scratch[:n], scratch2[:n]
+	for k := range cnt1 {
+		cnt1[k] = 1
+	}
+	for k := range cnt2 {
+		cnt2[k] = 1
+	}
+	for k := i; k <= j; k++ {
+		o1, o2 := c1.Order[k], c2.Order[k]
+		c1.Machine[k], c2.Machine[k] = c2.Machine[k], c1.Machine[k]
+		c1.Order[k], c2.Order[k] = o2, o1
+		cnt1[o1]--
+		cnt1[o2]++
+		cnt2[o2]--
+		cnt2[o1]++
+	}
+	repairOrderSlotsCounted(c1.Order, c1.Machine, cnt1, s1, n1)
+	repairOrderSlotsCounted(c2.Order, c2.Machine, cnt2, s2, n2)
 	return i, j
+}
+
+// scatterSlots rebuilds an execution-order slot array and per-machine
+// task histogram from scratch — the fallback for repair paths that
+// don't produce them as by-products.
+//
+//detlint:hotpath
+func scatterSlots(a *sched.Allocation, slots []uint64, counts []int32) {
+	machine, order := a.Machine, a.Order
+	for m := range counts {
+		counts[m] = 0
+	}
+	for i := range machine {
+		m := machine[i]
+		slots[order[i]] = sched.PackSlot(m, i)
+		if m >= 0 {
+			counts[m]++
+		}
+	}
 }
 
 // repairOrder rewrites ord into a permutation of [0, len): genes are
@@ -966,8 +1101,8 @@ func (e *Engine) crossInto(c1, c2 *sched.Allocation, src *rng.Source, scratch []
 // by gene index, preserving the relative ordering the values express.
 // Values must lie in [0, len), which segment swap between two
 // permutations guarantees.
-func repairOrder(ord []int) {
-	repairOrderScratch(ord, make([]int, len(ord)))
+func repairOrder(ord []int32) {
+	repairOrderScratch(ord, make([]int32, len(ord)))
 }
 
 // repairOrderScratch is repairOrder over caller-provided scratch (len >=
@@ -978,7 +1113,7 @@ func repairOrder(ord []int) {
 // and the simulation dominating a generation.
 //
 //detlint:hotpath
-func repairOrderScratch(ord, scratch []int) {
+func repairOrderScratch(ord, scratch []int32) {
 	n := len(ord)
 	counts := scratch[:n]
 	for i := range counts {
@@ -987,7 +1122,7 @@ func repairOrderScratch(ord, scratch []int) {
 	for _, v := range ord {
 		counts[v]++
 	}
-	sum := 0
+	var sum int32
 	for v, c := range counts {
 		counts[v] = sum
 		sum += c
@@ -998,22 +1133,77 @@ func repairOrderScratch(ord, scratch []int) {
 	}
 }
 
-// mutateWith implements the paper's operator: reassign one random gene
-// to a random eligible machine, and swap the global scheduling orders of
-// two random genes. When dirty is non-nil it flags the machines the edit
-// may have touched: the gene's old and new machine, plus the hosts of
-// the two order-swapped genes (an order swap only reorders those two
-// tasks within their own machines).
+// repairOrderSlots is repairOrderScratch fused with the slot scatter:
+// the placement pass already visits every (gene, final rank) pair, so
+// writing slots[rank] = PackSlot(machine, gene) there — and bumping the
+// machine's task histogram — makes the execution-order layout and the
+// per-machine counts the evaluation phases consume free by-products of
+// the repair instead of separate passes over the chromosome.
 //
 //detlint:hotpath
-func (e *Engine) mutateWith(a *sched.Allocation, src *rng.Source, dirty []bool) {
+func repairOrderSlots(ord, machine, scratch []int32, slots []uint64, mcounts []int32) {
+	n := len(ord)
+	counts := scratch[:n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, v := range ord {
+		counts[v]++
+	}
+	repairOrderSlotsCounted(ord, machine, counts, slots, mcounts)
+}
+
+// repairOrderSlotsCounted is repairOrderSlots with the order-value
+// histogram supplied by the caller (crossInto maintains it through the
+// segment swap instead of recounting the chromosome). counts is
+// consumed: the prefix-sum pass turns it into placement cursors.
+//
+//detlint:hotpath
+func repairOrderSlotsCounted(ord, machine, counts []int32, slots []uint64, mcounts []int32) {
+	var sum int32
+	for v, c := range counts {
+		counts[v] = sum
+		sum += c
+	}
+	for m := range mcounts {
+		mcounts[m] = 0
+	}
+	for i, v := range ord {
+		r := counts[v]
+		ord[i] = r
+		counts[v] = r + 1
+		m := machine[i]
+		slots[r] = sched.PackSlot(m, i)
+		if m >= 0 {
+			mcounts[m]++
+		}
+	}
+}
+
+// mutateWith implements the paper's operator: reassign one random gene
+// to a random eligible machine, and swap the global scheduling orders of
+// two random genes — patching the chromosome's slot array and machine
+// histogram in O(1) per edit. When dirty is non-nil it flags the
+// machines the edit may have touched: the gene's old and new machine,
+// plus the hosts of the two order-swapped genes (an order swap only
+// reorders those two tasks within their own machines).
+//
+//detlint:hotpath
+func (e *Engine) mutateWith(a *sched.Allocation, slots []uint64, counts []int32, src *rng.Source, dirty []bool) {
 	n := a.Len()
 	g := src.Intn(n)
 	el := e.eval.Eligible(e.eval.Trace().Tasks[g].Type)
 	old := a.Machine[g]
-	a.Machine[g] = el[src.Intn(len(el))]
+	a.Machine[g] = int32(el[src.Intn(len(el))])
+	slots[a.Order[g]] = sched.PackSlot(a.Machine[g], g)
+	if old >= 0 {
+		counts[old]--
+	}
+	counts[a.Machine[g]]++
 	x, y := src.Intn(n), src.Intn(n)
-	a.Order[x], a.Order[y] = a.Order[y], a.Order[x]
+	ox, oy := a.Order[x], a.Order[y]
+	a.Order[x], a.Order[y] = oy, ox
+	slots[ox], slots[oy] = slots[oy], slots[ox]
 	if dirty == nil {
 		return
 	}
@@ -1161,24 +1351,67 @@ func (e *Engine) evaluateAll(inds []Individual) {
 }
 
 // evaluateInPlace (re-)evaluates every offspring, writing objectives and
-// contribution caches into recycled buffers. A fitness-cache hit copies
-// the memoized objective values and contribution rows — bit-identical
-// to re-simulating, so hits and misses interleave freely. Under
-// DeltaEvaluation a missed offspring reuses its parent's cached
-// per-machine contributions and re-simulates only the machines its
-// variation dirtied; it falls back to a full simulation when the parent
-// cache is unusable (seed or injected parent evaluated before caching
-// existed), when ShuffleRepair discarded the order information
-// inheritance relies on, or when the dirty set is so large that diffing
-// buys nothing. Parent caches and hit cache slots are read-only during
-// the fan-out, so sharing them across offspring is safe. (Not annotated
-// //detlint:hotpath: the fan-out closure necessarily captures, like the
-// other fanout callers.)
+// contribution caches into recycled buffers. It runs the machine-major
+// pipeline in four phases, keeping the serial-probe / parallel-work /
+// serial-insert bracket discipline of the chromosome cache so both
+// memoization levels evolve identically for every worker count:
+//
+//  1. parallel — Prepare every chromosome-cache miss: fingerprint its
+//     machine buckets from the slot array variation built and inherit
+//     the row of every machine whose bucket matches the parent's.
+//  2. serial — probe the machine-bucket cache for the remaining
+//     machines, in offspring then Need order.
+//  3. parallel — copy chromosome-cache hits; for misses, copy
+//     machine-cache hit rows, gather and simulate what no cache level
+//     supplied, and reduce to objective values.
+//  4. serial — insert the freshly simulated machine rows.
+//
+// Cache hits at either level are bit-identical to re-simulating, so
+// hits and misses interleave freely; under FullEvaluation the parent is
+// withheld and every machine misses level one. Parent caches and hit
+// cache slots are read-only during the fan-outs, so sharing them across
+// offspring is safe. (Not annotated //detlint:hotpath: the fan-out
+// closures necessarily capture, like the other fanout callers.)
 func (e *Engine) evaluateInPlace(inds []Individual) {
 	dim := e.space.Dim()
 	full := e.cfg.Evaluation == FullEvaluation
 	cached := e.cache != nil
 	verify := e.cfg.CacheVerify
+	mverify := e.cfg.MachineCacheVerify
+	e.fanout(len(inds), func(w, lo, hi int) {
+		sess := e.sessions[w]
+		for i := lo; i < hi; i++ {
+			if cached && e.cacheSlot[i] >= 0 {
+				continue
+			}
+			var parent *sched.Contribs
+			if !full {
+				parent = e.parents[i].contrib
+			}
+			sess.Prepare(e.slots[i], e.mcounts[i], parent, inds[i].contrib, e.plans[i])
+		}
+	})
+	if e.mcache != nil {
+		gen := int64(e.generation)
+		for i := range inds {
+			if cached && e.cacheSlot[i] >= 0 {
+				continue
+			}
+			plan := e.plans[i]
+			fp := inds[i].contrib.FP
+			ns := e.needSlot[i][:len(plan.Need)]
+			for k, m := range plan.Need {
+				slot := e.mcache.lookup(fp[m])
+				if slot >= 0 {
+					e.mcache.stats.hits++
+					e.mcache.touch(slot, gen)
+				} else {
+					e.mcache.stats.misses++
+				}
+				ns[k] = int32(slot)
+			}
+		}
+	}
 	e.fanout(len(inds), func(w, lo, hi int) {
 		sess := e.sessions[w]
 		for i := lo; i < hi; i++ {
@@ -1194,19 +1427,61 @@ func (e *Engine) evaluateInPlace(inds []Individual) {
 					continue
 				}
 			}
-			parent := e.parents[i].contrib
-			var ev sched.Evaluation
-			if full || e.forceFull[i] || e.dirtyN[i] > e.maxDirtyN || !parent.Valid() {
-				ev = sess.EvaluateFull(ind.Alloc, ind.contrib)
+			plan := e.plans[i]
+			if e.mcache == nil {
+				sess.SimulateAllNeeds(plan, ind.contrib)
 			} else {
-				ev = sess.EvaluateDelta(ind.Alloc, parent, e.dirty[i], ind.contrib)
+				ns := e.needSlot[i][:len(plan.Need)]
+				miss := e.missKs[w][:0]
+				for k := range plan.Need {
+					if s := ns[k]; s >= 0 {
+						row := e.mcache.slots[s].row
+						if mverify {
+							e.verifyMachineHit(sess, plan, k, ind.contrib, row)
+						}
+						ind.contrib.SetRow(int(plan.Need[k]), row)
+					} else {
+						miss = append(miss, int32(k))
+					}
+				}
+				e.missKs[w] = miss
+				sess.SimulateNeedList(miss, plan, ind.contrib)
 			}
+			ev := sess.Finish(ind.contrib, plan)
 			if cached {
 				e.cacheEv[i] = ev
 			}
 			e.problem.fill(ind, ev, dim)
 		}
 	})
+	if e.mcache != nil {
+		gen := int64(e.generation)
+		for i := range inds {
+			if cached && e.cacheSlot[i] >= 0 {
+				continue
+			}
+			plan := e.plans[i]
+			contrib := inds[i].contrib
+			ns := e.needSlot[i][:len(plan.Need)]
+			for k, m := range plan.Need {
+				if ns[k] >= 0 {
+					continue
+				}
+				e.mcache.insert(contrib.FP[m], gen, contrib.Row(int(m)))
+			}
+		}
+	}
+}
+
+// verifyMachineHit is the machine cache's verify-on-hit debug guard:
+// re-simulate the gathered bucket and demand the memoized row be
+// bit-identical.
+func (e *Engine) verifyMachineHit(sess *sched.DeltaSession, plan *sched.DeltaPlan, k int, dst *sched.Contribs, row sched.MachineRow) {
+	m := int(plan.Need[k])
+	sess.SimulateNeed(k, plan, dst)
+	if dst.Row(m) != row {
+		panic("nsga2: machine cache verify-on-hit mismatch (64-bit bucket-fingerprint collision)")
+	}
 }
 
 // rank computes Rank and Crowding for a population in place.

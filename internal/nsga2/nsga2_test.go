@@ -229,16 +229,16 @@ func TestRepairOrderProperty(t *testing.T) {
 	check := func(seed uint32, nRaw uint8) bool {
 		n := int(nRaw%30) + 2
 		src := rng.New(uint64(seed))
-		ord := make([]int, n)
+		ord := make([]int32, n)
 		for i := range ord {
-			ord[i] = src.Intn(n) // duplicates likely
+			ord[i] = int32(src.Intn(n)) // duplicates likely
 		}
-		before := append([]int(nil), ord...)
+		before := append([]int32(nil), ord...)
 		repairOrder(ord)
 		// Must be a permutation.
 		seen := make([]bool, n)
 		for _, v := range ord {
-			if v < 0 || v >= n || seen[v] {
+			if v < 0 || int(v) >= n || seen[v] {
 				return false
 			}
 			seen[v] = true
@@ -259,9 +259,9 @@ func TestRepairOrderProperty(t *testing.T) {
 }
 
 func TestRepairOrderIdentityOnPermutation(t *testing.T) {
-	ord := []int{3, 1, 0, 2}
+	ord := []int32{3, 1, 0, 2}
 	repairOrder(ord)
-	want := []int{3, 1, 0, 2}
+	want := []int32{3, 1, 0, 2}
 	for i := range ord {
 		if ord[i] != want[i] {
 			t.Fatalf("repair changed a valid permutation: %v", ord)
@@ -272,11 +272,16 @@ func TestRepairOrderIdentityOnPermutation(t *testing.T) {
 func TestCrossoverProducesValidChildren(t *testing.T) {
 	eng := newEngine(t, 30, Config{PopulationSize: 10}, 13)
 	e := eng.eval
-	scratch := make([]int, e.NumTasks())
+	scratch := make([]int32, e.NumTasks())
+	scratch2 := make([]int32, e.NumTasks())
+	s1 := make([]uint64, e.NumTasks())
+	s2 := make([]uint64, e.NumTasks())
+	n1 := make([]int32, e.NumMachines())
+	n2 := make([]int32, e.NumMachines())
 	for trial := 0; trial < 100; trial++ {
 		c1 := e.RandomAllocation(eng.src)
 		c2 := e.RandomAllocation(eng.src)
-		lo, hi := eng.crossInto(c1, c2, eng.src, scratch)
+		lo, hi := eng.crossInto(c1, c2, s1, s2, n1, n2, eng.src, scratch, scratch2)
 		if lo < 0 || hi >= e.NumTasks() || lo > hi {
 			t.Fatalf("swapped segment [%d,%d] out of range", lo, hi)
 		}
@@ -294,11 +299,19 @@ func TestMutationProducesValidAllocations(t *testing.T) {
 	e := eng.eval
 	a := e.RandomAllocation(eng.src)
 	dirty := make([]bool, e.NumMachines())
+	slots := make([]uint64, e.NumTasks())
+	counts := make([]int32, e.NumMachines())
+	for i, o := range a.Order {
+		slots[o] = sched.PackSlot(a.Machine[i], i)
+		if m := a.Machine[i]; m >= 0 {
+			counts[m]++
+		}
+	}
 	for trial := 0; trial < 200; trial++ {
 		for m := range dirty {
 			dirty[m] = false
 		}
-		eng.mutateWith(a, eng.src, dirty)
+		eng.mutateWith(a, slots, counts, eng.src, dirty)
 		if err := e.Validate(a); err != nil {
 			t.Fatalf("mutated allocation invalid: %v", err)
 		}

@@ -40,6 +40,9 @@ func (e *Engine) SetObserver(o obs.Observer) {
 	if e.cache != nil {
 		e.cacheBase = e.cache.stats
 	}
+	if e.mcache != nil {
+		e.mcacheBase = e.mcache.stats
+	}
 }
 
 // SetIndicatorReference replaces the indicator kernel with one using the
@@ -105,6 +108,15 @@ func (e *Engine) notifyGeneration() {
 		e.cacheBase = ccum
 		cacheSize, cacheCap = e.cache.live, len(e.cache.slots)
 	}
+	var mgen cacheStats
+	var mcacheSize, mcacheCap int
+	if e.mcache != nil {
+		mcum := e.mcache.stats
+		mgen = mcum
+		mgen.sub(e.mcacheBase)
+		e.mcacheBase = mcum
+		mcacheSize, mcacheCap = e.mcache.live, len(e.mcache.slots)
+	}
 	arenaInUse, arenaSlots := e.arena.occupancy()
 	var ind obs.Indicators
 	if e.kernel != nil {
@@ -113,23 +125,30 @@ func (e *Engine) notifyGeneration() {
 		ind.FrontSize = len(front)
 	}
 	e.observer.ObserveGeneration(obs.GenerationStats{
-		Generation:        e.generation,
-		Population:        e.cfg.PopulationSize,
-		Front:             front,
-		FullEvals:         int(gen.FullEvals),
-		DeltaEvals:        int(gen.DeltaEvals),
-		CacheHits:         int(cgen.hits),
-		CacheMisses:       int(cgen.misses),
-		CacheEvictions:    int(cgen.evicts),
-		CacheSize:         cacheSize,
-		CacheCapacity:     cacheCap,
-		ArenaInUse:        arenaInUse,
-		ArenaSlots:        arenaSlots,
-		MachinesSimulated: int(gen.MachinesSimulated),
-		MachinesInherited: int(gen.MachinesInherited),
-		DirtyCounts:       e.dirtyN,
-		NumMachines:       e.eval.NumMachines(),
-		Indicators:        ind,
+		Generation:            e.generation,
+		Population:            e.cfg.PopulationSize,
+		Front:                 front,
+		FullEvals:             int(gen.FullEvals),
+		DeltaEvals:            int(gen.DeltaEvals),
+		CacheHits:             int(cgen.hits),
+		CacheMisses:           int(cgen.misses),
+		CacheEvictions:        int(cgen.evicts),
+		CacheSize:             cacheSize,
+		CacheCapacity:         cacheCap,
+		ArenaInUse:            arenaInUse,
+		ArenaSlots:            arenaSlots,
+		MachinesSimulated:     int(gen.MachinesSimulated),
+		MachinesInherited:     int(gen.MachinesInherited),
+		MachineCacheHits:      int(mgen.hits),
+		MachineCacheMisses:    int(mgen.misses),
+		MachineCacheEvictions: int(mgen.evicts),
+		MachineCacheSize:      mcacheSize,
+		MachineCacheCapacity:  mcacheCap,
+		TypedTasks:            int(gen.TypedTasks),
+		TypedRuns:             int(gen.TypedRuns),
+		DirtyCounts:           e.dirtyN,
+		NumMachines:           e.eval.NumMachines(),
+		Indicators:            ind,
 	})
 }
 

@@ -64,12 +64,25 @@ func TestObserverGenerationEvents(t *testing.T) {
 		if g.ArenaSlots <= 0 || g.ArenaInUse <= 0 || g.ArenaInUse > g.ArenaSlots {
 			t.Fatalf("event %d: arena %d in use of %d slots", i, g.ArenaInUse, g.ArenaSlots)
 		}
-		// Each simulation-backed evaluation accounts for every machine,
-		// simulated or inherited; cache hits touch none.
+		// Each simulation-backed evaluation accounts for every machine:
+		// simulated, inherited from the parent by fingerprint match, or
+		// served from the machine-bucket cache. Chromosome-cache hits
+		// touch none.
 		wantMachines := (g.FullEvals + g.DeltaEvals) * machines
-		if g.MachinesSimulated+g.MachinesInherited != wantMachines {
-			t.Fatalf("event %d: %d simulated + %d inherited machines, want %d",
-				i, g.MachinesSimulated, g.MachinesInherited, wantMachines)
+		if g.MachinesSimulated+g.MachinesInherited+g.MachineCacheHits != wantMachines {
+			t.Fatalf("event %d: %d simulated + %d inherited + %d bucket-cached machines, want %d",
+				i, g.MachinesSimulated, g.MachinesInherited, g.MachineCacheHits, wantMachines)
+		}
+		// Every machine neither inherited nor bucket-cached was probed
+		// and missed, then simulated.
+		if g.MachineCacheMisses != g.MachinesSimulated {
+			t.Fatalf("event %d: %d machine-cache misses vs %d simulated machines",
+				i, g.MachineCacheMisses, g.MachinesSimulated)
+		}
+		// The typed kernel (the default) walks every simulated task at
+		// least one run per machine, never more runs than tasks.
+		if g.TypedRuns > g.TypedTasks {
+			t.Fatalf("event %d: %d typed runs exceed %d typed tasks", i, g.TypedRuns, g.TypedTasks)
 		}
 		if g.NumMachines != machines {
 			t.Fatalf("event %d: NumMachines %d, want %d", i, g.NumMachines, machines)

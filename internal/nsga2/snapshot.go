@@ -30,8 +30,8 @@ func (e *Engine) Snapshot() *Snapshot {
 	s := &Snapshot{Generation: e.generation, RNG: e.src.State()}
 	for _, ind := range e.pop {
 		s.Population = append(s.Population, GenomeSnapshot{
-			Machine: append([]int(nil), ind.Alloc.Machine...),
-			Order:   append([]int(nil), ind.Alloc.Order...),
+			Machine: widen(ind.Alloc.Machine),
+			Order:   widen(ind.Alloc.Order),
 		})
 	}
 	return s
@@ -50,8 +50,8 @@ func (e *Engine) Restore(s *Snapshot) error {
 	pop := make([]Individual, len(s.Population))
 	for i, g := range s.Population {
 		alloc := e.arena.getAlloc()
-		alloc.Machine = append(alloc.Machine[:0], g.Machine...)
-		alloc.Order = append(alloc.Order[:0], g.Order...)
+		alloc.Machine = narrowInto(alloc.Machine[:0], g.Machine)
+		alloc.Order = narrowInto(alloc.Order[:0], g.Order)
 		if err := e.eval.Validate(alloc); err != nil {
 			for k := 0; k <= i; k++ {
 				e.arena.putAlloc(pop[k].Alloc)
@@ -102,4 +102,25 @@ func DecodeSnapshot(raw []byte) (*Snapshot, error) {
 // EncodeSnapshot renders a snapshot as JSON.
 func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 	return json.Marshal(s)
+}
+
+// widen copies int32 genes into the []int form the JSON snapshot schema
+// has used since v1, keeping saved snapshots readable across the
+// genotype's narrowing to int32.
+func widen(src []int32) []int {
+	out := make([]int, len(src))
+	for i, v := range src {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// narrowInto appends src to dst narrowed to int32. Gene values are
+// machine indices and order ranks, both far below 2^31; Validate rejects
+// out-of-range values after the restore regardless.
+func narrowInto(dst []int32, src []int) []int32 {
+	for _, v := range src {
+		dst = append(dst, int32(v))
+	}
+	return dst
 }

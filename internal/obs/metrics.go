@@ -14,6 +14,11 @@ type Metrics struct {
 	cacheHits         *Counter
 	cacheMisses       *Counter
 	cacheEvictions    *Counter
+	mcacheHits        *Counter
+	mcacheMisses      *Counter
+	mcacheEvictions   *Counter
+	typedTasks        *Counter
+	typedRuns         *Counter
 	migrations        *Counter
 	migrants          *Counter
 	runs              *Counter
@@ -23,6 +28,7 @@ type Metrics struct {
 	spread         *Gauge
 	frontSize      *Gauge
 	cacheSize      *Gauge
+	mcacheSize     *Gauge
 	arenaOccupancy *Gauge
 
 	dirtyFraction *Histogram
@@ -47,6 +53,11 @@ func NewMetrics(r *Registry) *Metrics {
 		cacheHits:         r.Counter("tradeoff_cache_hits_total", "offspring evaluations served from the fitness-memoization cache"),
 		cacheMisses:       r.Counter("tradeoff_cache_misses_total", "fitness-cache lookups that required a simulation"),
 		cacheEvictions:    r.Counter("tradeoff_cache_evictions_total", "fitness-cache entries displaced by newer outcomes"),
+		mcacheHits:        r.Counter("tradeoff_machine_cache_hits_total", "machine simulations served from the machine-bucket cache"),
+		mcacheMisses:      r.Counter("tradeoff_machine_cache_misses_total", "machine-bucket cache lookups that required a simulation"),
+		mcacheEvictions:   r.Counter("tradeoff_machine_cache_evictions_total", "machine-bucket cache entries displaced by newer rows"),
+		typedTasks:        r.Counter("tradeoff_typed_tasks_total", "tasks simulated by the type-compressed kernel"),
+		typedRuns:         r.Counter("tradeoff_typed_runs_total", "same-type runs the type-compressed kernel walked"),
 		migrations:        r.Counter("tradeoff_migrations_total", "island migration edges performed"),
 		migrants:          r.Counter("tradeoff_migrants_total", "individuals migrated between islands"),
 		runs:              r.Counter("tradeoff_runs_total", "completed experiment runs"),
@@ -55,6 +66,7 @@ func NewMetrics(r *Registry) *Metrics {
 		spread:            r.Gauge("tradeoff_front_spread", "Deb spread of the latest observed front"),
 		frontSize:         r.Gauge("tradeoff_front_size", "point count of the latest observed front"),
 		cacheSize:         r.Gauge("tradeoff_cache_size", "live entries in the fitness-memoization cache"),
+		mcacheSize:        r.Gauge("tradeoff_machine_cache_size", "live entries in the machine-bucket cache"),
 		arenaOccupancy:    r.Gauge("tradeoff_arena_occupancy", "in-use fraction of the population arena's slots"),
 		dirtyFraction: r.Histogram("tradeoff_dirty_machine_fraction",
 			"per-offspring fraction of machines touched by variation", dirtyFractionBounds()),
@@ -73,7 +85,13 @@ func (m *Metrics) ObserveGeneration(g GenerationStats) {
 	m.cacheHits.Add(uint64(g.CacheHits))
 	m.cacheMisses.Add(uint64(g.CacheMisses))
 	m.cacheEvictions.Add(uint64(g.CacheEvictions))
+	m.mcacheHits.Add(uint64(g.MachineCacheHits))
+	m.mcacheMisses.Add(uint64(g.MachineCacheMisses))
+	m.mcacheEvictions.Add(uint64(g.MachineCacheEvictions))
+	m.typedTasks.Add(uint64(g.TypedTasks))
+	m.typedRuns.Add(uint64(g.TypedRuns))
 	m.cacheSize.Set(float64(g.CacheSize))
+	m.mcacheSize.Set(float64(g.MachineCacheSize))
 	m.arenaOccupancy.Set(g.ArenaOccupancy())
 	m.hypervolume.Set(g.Indicators.Hypervolume)
 	m.epsilon.Set(g.Indicators.Epsilon)

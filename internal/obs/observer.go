@@ -60,6 +60,25 @@ type GenerationStats struct {
 	// inherited machines reused the parent's cached contribution rows.
 	MachinesSimulated int
 	MachinesInherited int
+	// MachineCacheHits, MachineCacheMisses, and MachineCacheEvictions
+	// count machine-bucket memoization activity this generation — the
+	// second cache level, keyed on per-machine bucket fingerprints. A
+	// hit skipped one machine's queue simulation. All zero when the
+	// level is disabled.
+	MachineCacheHits      int
+	MachineCacheMisses    int
+	MachineCacheEvictions int
+	// MachineCacheSize and MachineCacheCapacity are the machine-bucket
+	// table's live-entry count and entry bound after the step (zero when
+	// disabled).
+	MachineCacheSize     int
+	MachineCacheCapacity int
+	// TypedTasks and TypedRuns count the typed evaluation kernel's work
+	// this generation: tasks simulated and the same-type runs they
+	// compressed into. TypedTasks / TypedRuns is the type-compression
+	// ratio; both zero under the scalar kernel.
+	TypedTasks int
+	TypedRuns  int
 	// DirtyCounts[i] is the number of machines touched by variation for
 	// offspring i (the dirty-machine distribution). Borrowed.
 	DirtyCounts []int
@@ -76,6 +95,24 @@ type GenerationStats struct {
 func (g *GenerationStats) CacheHitRate() float64 {
 	if n := g.CacheHits + g.CacheMisses; n > 0 {
 		return float64(g.CacheHits) / float64(n)
+	}
+	return 0
+}
+
+// MachineCacheHitRate returns the generation's machine-bucket cache hit
+// fraction, hits / (hits + misses), or 0 when the level saw no lookups.
+func (g *GenerationStats) MachineCacheHitRate() float64 {
+	if n := g.MachineCacheHits + g.MachineCacheMisses; n > 0 {
+		return float64(g.MachineCacheHits) / float64(n)
+	}
+	return 0
+}
+
+// TypeCompression returns the typed kernel's tasks-per-run ratio this
+// generation, or 0 when the typed kernel simulated nothing.
+func (g *GenerationStats) TypeCompression() float64 {
+	if g.TypedRuns > 0 {
+		return float64(g.TypedTasks) / float64(g.TypedRuns)
 	}
 	return 0
 }

@@ -12,7 +12,10 @@ import (
 //	v2: every record carries "v"; generation records gain the
 //	    fitness-memoization and arena fields cache_hits, cache_misses,
 //	    cache_hit_rate, and arena_occupancy.
-const TraceSchemaVersion = 2
+//	v3: generation records gain the machine-bucket memoization and
+//	    typed-kernel fields machine_cache_hits, machine_cache_misses,
+//	    machine_cache_hit_rate, typed_tasks, and typed_runs.
+const TraceSchemaVersion = 3
 
 // TraceWriter is an Observer that appends one JSON object per event to
 // an io.Writer (JSONL). Records are hand-encoded with strconv into a
@@ -102,6 +105,16 @@ func (t *TraceWriter) ObserveGeneration(g GenerationStats) {
 	t.buf = strconv.AppendInt(t.buf, int64(g.CacheMisses), 10)
 	t.buf = append(t.buf, `,"cache_hit_rate":`...)
 	t.buf = appendJSONFloat(t.buf, g.CacheHitRate())
+	t.buf = append(t.buf, `,"machine_cache_hits":`...)
+	t.buf = strconv.AppendInt(t.buf, int64(g.MachineCacheHits), 10)
+	t.buf = append(t.buf, `,"machine_cache_misses":`...)
+	t.buf = strconv.AppendInt(t.buf, int64(g.MachineCacheMisses), 10)
+	t.buf = append(t.buf, `,"machine_cache_hit_rate":`...)
+	t.buf = appendJSONFloat(t.buf, g.MachineCacheHitRate())
+	t.buf = append(t.buf, `,"typed_tasks":`...)
+	t.buf = strconv.AppendInt(t.buf, int64(g.TypedTasks), 10)
+	t.buf = append(t.buf, `,"typed_runs":`...)
+	t.buf = strconv.AppendInt(t.buf, int64(g.TypedRuns), 10)
 	t.buf = append(t.buf, `,"arena_occupancy":`...)
 	t.buf = appendJSONFloat(t.buf, g.ArenaOccupancy())
 	dirtyMax := 0

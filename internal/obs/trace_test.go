@@ -25,6 +25,9 @@ func sampleGeneration(gen int) GenerationStats {
 		CacheEvictions: 0, CacheSize: 5, CacheCapacity: 16,
 		ArenaInUse: 12, ArenaSlots: 16,
 		MachinesSimulated: 6, MachinesInherited: 12,
+		MachineCacheHits: 4, MachineCacheMisses: 6, MachineCacheEvictions: 0,
+		MachineCacheSize: 7, MachineCacheCapacity: 32,
+		TypedTasks: 20, TypedRuns: 8,
 		DirtyCounts: []int{0, 1, 2, 3}, NumMachines: 6,
 		Indicators: Indicators{Hypervolume: 38.5, Epsilon: -0.5, Spread: 0.1, FrontSize: 2},
 	}
@@ -60,6 +63,9 @@ func TestTraceWriterRecordsParseAndRoundTrip(t *testing.T) {
 		"machines_simulated": 6.0, "machines_inherited": 12.0,
 		"cache_hits": 1.0, "cache_misses": 3.0,
 		"cache_hit_rate": 0.25, "arena_occupancy": 0.75,
+		"machine_cache_hits": 4.0, "machine_cache_misses": 6.0,
+		"machine_cache_hit_rate": 0.4,
+		"typed_tasks":            20.0, "typed_runs": 8.0,
 		"dirty_mean": 1.5, "dirty_max": 3.0, "machines": 6.0,
 		"front_size": 2.0, "hv": 38.5, "eps": -0.5, "spread": 0.1,
 	} {
@@ -154,7 +160,7 @@ func TestValidateTraceRejections(t *testing.T) {
 // (no "v" field) still validate, and unknown versions are rejected —
 // as are stamped records missing the fields their version introduced.
 func TestTraceSchemaVersion(t *testing.T) {
-	if TraceSchemaVersion != 2 {
+	if TraceSchemaVersion != 3 {
 		t.Fatalf("TraceSchemaVersion = %d; update this test alongside a schema bump", TraceSchemaVersion)
 	}
 	var sb strings.Builder
@@ -181,6 +187,11 @@ func TestTraceSchemaVersion(t *testing.T) {
 	if _, err := ValidateTrace(strings.NewReader(v2)); err != nil {
 		t.Fatalf("well-formed v2 record rejected: %v", err)
 	}
+	v3 := strings.Replace(v2, `"v":2`,
+		`"v":3,"machine_cache_hits":4,"machine_cache_misses":6,"machine_cache_hit_rate":0.4,"typed_tasks":20,"typed_runs":8`, 1)
+	if _, err := ValidateTrace(strings.NewReader(v3)); err != nil {
+		t.Fatalf("well-formed v3 record rejected: %v", err)
+	}
 	cases := []struct {
 		name, in, wantErr string
 	}{
@@ -189,6 +200,11 @@ func TestTraceSchemaVersion(t *testing.T) {
 		{"negative cache counter", strings.Replace(v2, `"cache_hits":2`, `"cache_hits":-1`, 1), "negative cache counters"},
 		{"hit rate above one", strings.Replace(v2, `"cache_hit_rate":0.5`, `"cache_hit_rate":1.5`, 1), "outside [0,1]"},
 		{"occupancy above one", strings.Replace(v2, `"arena_occupancy":0.5`, `"arena_occupancy":2`, 1), "outside [0,1]"},
+		{"v3 missing machine-cache fields", strings.Replace(v2, `"v":2`, `"v":3`, 1), "missing machine_cache_hits"},
+		{"negative machine-cache counter", strings.Replace(v3, `"machine_cache_misses":6`, `"machine_cache_misses":-1`, 1), "negative machine-cache counters"},
+		{"machine hit rate above one", strings.Replace(v3, `"machine_cache_hit_rate":0.4`, `"machine_cache_hit_rate":1.4`, 1), "outside [0,1]"},
+		{"negative typed counter", strings.Replace(v3, `"typed_runs":8`, `"typed_runs":-8`, 1), "negative typed-kernel counters"},
+		{"typed runs exceed tasks", strings.Replace(v3, `"typed_runs":8`, `"typed_runs":21`, 1), "exceeds typed_tasks"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -30,6 +30,11 @@ type traceRecord struct {
 	CacheHits         *int        `json:"cache_hits"`
 	CacheMisses       *int        `json:"cache_misses"`
 	CacheHitRate      *float64    `json:"cache_hit_rate"`
+	MCacheHits        *int        `json:"machine_cache_hits"`
+	MCacheMisses      *int        `json:"machine_cache_misses"`
+	MCacheHitRate     *float64    `json:"machine_cache_hit_rate"`
+	TypedTasks        *int        `json:"typed_tasks"`
+	TypedRuns         *int        `json:"typed_runs"`
 	ArenaOccupancy    *float64    `json:"arena_occupancy"`
 	DirtyMean         *float64    `json:"dirty_mean"`
 	DirtyMax          *int        `json:"dirty_max"`
@@ -77,9 +82,10 @@ func ValidateTrace(r io.Reader) (TraceSummary, error) {
 		}
 		// Schema versioning: records without a "v" field are legacy v1
 		// traces and validate against the v1 rules; stamped records
-		// must carry a version this validator knows.
-		if rec.V != nil && *rec.V != TraceSchemaVersion {
-			return sum, fmt.Errorf("line %d: unsupported schema version %d (validator supports v1 records without a version field, and v%d)",
+		// must carry a version this validator knows (v2 through the
+		// current version — each validates against its own rules).
+		if rec.V != nil && (*rec.V < 2 || *rec.V > TraceSchemaVersion) {
+			return sum, fmt.Errorf("line %d: unsupported schema version %d (validator supports v1 records without a version field, and v2–v%d)",
 				line, *rec.V, TraceSchemaVersion)
 		}
 		switch rec.Type {
@@ -152,6 +158,25 @@ func validateGeneration(rec *traceRecord, lastGen map[string]int) error {
 		}
 		if *rec.ArenaOccupancy < 0 || *rec.ArenaOccupancy > 1 {
 			return fmt.Errorf("arena_occupancy %g outside [0,1]", *rec.ArenaOccupancy)
+		}
+	}
+	if rec.V != nil && *rec.V >= 3 {
+		// v3 additions: machine-bucket memoization and typed-kernel work.
+		if rec.MCacheHits == nil || rec.MCacheMisses == nil || rec.MCacheHitRate == nil ||
+			rec.TypedTasks == nil || rec.TypedRuns == nil {
+			return fmt.Errorf("v%d generation record missing machine_cache_hits/machine_cache_misses/machine_cache_hit_rate/typed_tasks/typed_runs", *rec.V)
+		}
+		if *rec.MCacheHits < 0 || *rec.MCacheMisses < 0 {
+			return fmt.Errorf("negative machine-cache counters")
+		}
+		if *rec.MCacheHitRate < 0 || *rec.MCacheHitRate > 1 {
+			return fmt.Errorf("machine_cache_hit_rate %g outside [0,1]", *rec.MCacheHitRate)
+		}
+		if *rec.TypedTasks < 0 || *rec.TypedRuns < 0 {
+			return fmt.Errorf("negative typed-kernel counters")
+		}
+		if *rec.TypedRuns > *rec.TypedTasks {
+			return fmt.Errorf("typed_runs %d exceeds typed_tasks %d", *rec.TypedRuns, *rec.TypedTasks)
 		}
 	}
 	if *rec.Machines > 0 && *rec.DirtyMax > *rec.Machines {

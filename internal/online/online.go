@@ -92,7 +92,7 @@ func Simulate(e *sched.Evaluator, p Policy) (*Result, error) {
 		if !e.System().CapableMachine(task.Type, d.Machine) {
 			return nil, fmt.Errorf("online: policy %s placed task %d on incapable machine %d", p.Name(), i, d.Machine)
 		}
-		alloc.Machine[i] = d.Machine
+		alloc.Machine[i] = int32(d.Machine)
 		completion := st.CompletionOn(task.Type, d.Machine)
 		st.Ready[d.Machine] = completion
 		st.EnergySpent += e.EECInstance(task.Type, d.Machine)

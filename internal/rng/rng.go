@@ -144,6 +144,20 @@ func (s *Source) PermInto(p []int) {
 	}
 }
 
+// PermInto32 fills p with a uniformly random permutation of [0, len(p)),
+// drawing the same rng sequence Perm would. It is the int32 counterpart
+// of PermInto for permutation buffers stored narrow (genotype order
+// arrays).
+func (s *Source) PermInto32(p []int32) {
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
 // Shuffle performs a Fisher-Yates shuffle over n elements using swap.
 func (s *Source) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {

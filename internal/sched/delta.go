@@ -16,13 +16,23 @@ import "slices"
 // machines whose task sequence changed and reuses the cached
 // contributions of the rest produces bit-identical objective values —
 // the basis of the NSGA-II engine's incremental offspring evaluation.
+//
+// Since the type-compressed kernel rework (DESIGN.md §12), a machine's
+// bucket is identified by a splitmix fingerprint of its task sequence
+// rather than by a stored copy of the sequence itself: Prepare streams
+// the allocation's execution-order slots once, accumulating each
+// machine's bucket fingerprint while gathering the task sequences
+// machine-major, and inherits the parent row of every machine whose
+// fingerprint matches the parent's. Only the machines that still need a
+// row (a cache miss at every level) get their sequence simulated.
 
 // Contribs caches the outcome of one allocation's machine-major
-// simulation: per-machine objective contributions plus the machine-major
-// task layout (each machine's task ids in execution order). A Contribs
-// belongs to exactly one allocation snapshot; pass it as the parent
-// cache to DeltaSession.EvaluateDelta when evaluating a variation of
-// that allocation.
+// simulation: per-machine objective contributions plus each machine's
+// bucket fingerprint (a deterministic hash of its task sequence in
+// execution order, folded with the machine id and queue length). A
+// Contribs belongs to exactly one allocation snapshot; pass it as the
+// parent cache to DeltaSession.EvaluateDelta when evaluating a
+// variation of that allocation.
 type Contribs struct {
 	// Utility, Energy, Busy and Ready hold each machine's total earned
 	// utility, execution energy, accumulated execution time, and last
@@ -33,14 +43,46 @@ type Contribs struct {
 	Ready   []float64
 	// Done is the number of executed (non-dropped) tasks per machine.
 	Done []int32
-
-	// bucket holds task ids grouped by machine in execution order;
-	// machine m's tasks are bucket[start[m]:start[m+1]]. Dropped tasks
-	// appear in no bucket.
-	bucket []int32
-	start  []int32
+	// FP is each machine's bucket fingerprint. Equal fingerprints
+	// identify equal task sequences (up to 64-bit hash collision), so a
+	// row whose fingerprint matches may be inherited without
+	// re-simulation.
+	FP []uint64
 
 	valid bool
+}
+
+// MachineRow is one machine's contribution row, the value cached by the
+// engine's machine-bucket memoization layer.
+type MachineRow struct {
+	Utility float64
+	Energy  float64
+	Busy    float64
+	Ready   float64
+	Done    int32
+}
+
+// Row returns machine m's contribution row.
+func (c *Contribs) Row(m int) MachineRow {
+	return MachineRow{
+		Utility: c.Utility[m],
+		Energy:  c.Energy[m],
+		Busy:    c.Busy[m],
+		Ready:   c.Ready[m],
+		Done:    c.Done[m],
+	}
+}
+
+// SetRow overwrites machine m's contribution row (the bucket
+// fingerprint is untouched; Prepare computes it).
+//
+//detlint:hotpath
+func (c *Contribs) SetRow(m int, r MachineRow) {
+	c.Utility[m] = r.Utility
+	c.Energy[m] = r.Energy
+	c.Busy[m] = r.Busy
+	c.Ready[m] = r.Ready
+	c.Done[m] = r.Done
 }
 
 // NewContribs returns an empty contribution cache sized for the
@@ -53,17 +95,16 @@ func (e *Evaluator) NewContribs() *Contribs {
 		Busy:    make([]float64, nm),
 		Ready:   make([]float64, nm),
 		Done:    make([]int32, nm),
-		bucket:  make([]int32, 0, e.NumTasks()),
-		start:   make([]int32, nm+1),
+		FP:      make([]uint64, nm),
 	}
 }
 
 // CopyFrom overwrites c with a deep copy of src — contribution rows,
-// machine-major task layout, and validity — reusing c's backing arrays
-// when they have sufficient capacity. A copied cache is interchangeable
-// with the original: passing either as the parent of EvaluateDelta
-// yields bit-identical results, which is what lets a fitness-memoization
-// layer hand out cached contributions to recycled offspring buffers.
+// bucket fingerprints, and validity — reusing c's backing arrays. A
+// copied cache is interchangeable with the original: passing either as
+// the parent of EvaluateDelta yields bit-identical results, which is
+// what lets a fitness-memoization layer hand out cached contributions
+// to recycled offspring buffers.
 //
 //detlint:hotpath
 func (c *Contribs) CopyFrom(src *Contribs) {
@@ -77,16 +118,14 @@ func (c *Contribs) CopyFrom(src *Contribs) {
 	c.Ready = append(c.Ready, src.Ready...)
 	c.Done = c.Done[:0]
 	c.Done = append(c.Done, src.Done...)
-	c.bucket = c.bucket[:0]
-	c.bucket = append(c.bucket, src.bucket...)
-	c.start = c.start[:0]
-	c.start = append(c.start, src.start...)
+	c.FP = c.FP[:0]
+	c.FP = append(c.FP, src.FP...)
 	c.valid = src.valid
 }
 
 // Equal reports whether two caches hold bit-identical contents
-// (contribution rows, machine-major layout, and validity). It backs the
-// memoization layer's verify-on-hit debug mode.
+// (contribution rows, bucket fingerprints, and validity). It backs the
+// memoization layers' verify-on-hit debug modes.
 func (c *Contribs) Equal(o *Contribs) bool {
 	return c.valid == o.valid &&
 		slices.Equal(c.Utility, o.Utility) &&
@@ -94,8 +133,7 @@ func (c *Contribs) Equal(o *Contribs) bool {
 		slices.Equal(c.Busy, o.Busy) &&
 		slices.Equal(c.Ready, o.Ready) &&
 		slices.Equal(c.Done, o.Done) &&
-		slices.Equal(c.bucket, o.bucket) &&
-		slices.Equal(c.start, o.start)
+		slices.Equal(c.FP, o.FP)
 }
 
 // contribsLine is the cache-line size the batch allocator pads to.
@@ -114,18 +152,15 @@ func padSlots(n, elemSize int) int {
 // different workers never share a line. Every returned cache is
 // interchangeable with a NewContribs one.
 func (e *Evaluator) NewContribsBatch(k int) []*Contribs {
-	nm, nt := e.NumMachines(), e.NumTasks()
-	fs := padSlots(nm, 8)   // float64 rows
-	ds := padSlots(nm, 4)   // int32 Done rows
-	bs := padSlots(nt, 4)   // int32 bucket rows
-	ss := padSlots(nm+1, 4) // int32 start rows
+	nm := e.NumMachines()
+	fs := padSlots(nm, 8) // float64 and uint64 rows
+	ds := padSlots(nm, 4) // int32 Done rows
 	util := make([]float64, k*fs)
 	energy := make([]float64, k*fs)
 	busy := make([]float64, k*fs)
 	ready := make([]float64, k*fs)
 	done := make([]int32, k*ds)
-	bucket := make([]int32, k*bs)
-	start := make([]int32, k*ss)
+	fp := make([]uint64, k*fs)
 	out := make([]*Contribs, k)
 	for s := 0; s < k; s++ {
 		out[s] = &Contribs{
@@ -134,8 +169,7 @@ func (e *Evaluator) NewContribsBatch(k int) []*Contribs {
 			Busy:    busy[s*fs : s*fs+nm : s*fs+nm],
 			Ready:   ready[s*fs : s*fs+nm : s*fs+nm],
 			Done:    done[s*ds : s*ds+nm : s*ds+nm],
-			bucket:  bucket[s*bs : s*bs : s*bs+nt],
-			start:   start[s*ss : s*ss+nm+1 : s*ss+nm+1],
+			FP:      fp[s*fs : s*fs+nm : s*fs+nm],
 		}
 	}
 	return out
@@ -153,19 +187,40 @@ func (c *Contribs) Invalidate() {
 	}
 }
 
-// machineTasks returns machine m's task ids in execution order.
-func (c *Contribs) machineTasks(m int) []int32 {
-	return c.bucket[c.start[m]:c.start[m+1]]
+// Kernel selects the per-machine simulation loop.
+type Kernel int
+
+const (
+	// KernelTyped is the type-compressed run-length kernel: consecutive
+	// same-type tasks in a machine's queue share one ETC/EEC row load,
+	// and completions past a task's TUF tail threshold take a
+	// precomputed utility instead of a segment-table call. Bit-identical
+	// to KernelScalar.
+	KernelTyped Kernel = iota
+	// KernelScalar is the original per-task loop, kept as the reference
+	// implementation and property-test oracle.
+	KernelScalar
+)
+
+// String names the kernel choice.
+func (k Kernel) String() string {
+	switch k {
+	case KernelTyped:
+		return "typed"
+	case KernelScalar:
+		return "scalar"
+	}
+	return "unknown"
 }
 
 // DeltaStats counts the work a DeltaSession has performed since its
-// creation: evaluations by kernel choice and the per-machine
-// simulate-vs-inherit split inside them. Counters are cumulative and
-// monotone; diff two snapshots for an interval.
+// creation: evaluations by kernel choice, the per-machine
+// simulate-vs-inherit split inside them, and the typed kernel's
+// run-length compression. Counters are cumulative and monotone; diff
+// two snapshots for an interval.
 type DeltaStats struct {
-	// FullEvals counts EvaluateFull runs, including EvaluateDelta
-	// fallbacks; DeltaEvals counts EvaluateDelta runs that took the
-	// incremental path.
+	// FullEvals counts evaluations without a usable parent cache;
+	// DeltaEvals counts evaluations that could inherit from a parent.
 	FullEvals  uint64
 	DeltaEvals uint64
 	// MachinesSimulated counts machine queues re-simulated;
@@ -173,6 +228,11 @@ type DeltaStats struct {
 	// cache.
 	MachinesSimulated uint64
 	MachinesInherited uint64
+	// TypedTasks counts tasks simulated by the typed kernel; TypedRuns
+	// counts the same-type runs they compressed into. TypedTasks /
+	// TypedRuns is the type-compression ratio.
+	TypedTasks uint64
+	TypedRuns  uint64
 }
 
 // Add accumulates o into s.
@@ -181,6 +241,8 @@ func (s *DeltaStats) Add(o DeltaStats) {
 	s.DeltaEvals += o.DeltaEvals
 	s.MachinesSimulated += o.MachinesSimulated
 	s.MachinesInherited += o.MachinesInherited
+	s.TypedTasks += o.TypedTasks
+	s.TypedRuns += o.TypedRuns
 }
 
 // Sub subtracts o from s (for diffing cumulative snapshots).
@@ -189,17 +251,71 @@ func (s *DeltaStats) Sub(o DeltaStats) {
 	s.DeltaEvals -= o.DeltaEvals
 	s.MachinesSimulated -= o.MachinesSimulated
 	s.MachinesInherited -= o.MachinesInherited
+	s.TypedTasks -= o.TypedTasks
+	s.TypedRuns -= o.TypedRuns
+}
+
+// DeltaPlan is the residue of one Prepare call: which machines still
+// need a contribution row after parent inheritance, plus every
+// machine's task sequence in execution order (gathered machine-major
+// during Prepare's single slot walk). Plans are caller-owned scratch
+// (the engine keeps one per offspring so the prepare and simulate
+// phases can run in separate fan-outs); allocate with NewDeltaPlan and
+// reuse freely.
+type DeltaPlan struct {
+	// Need lists the machines (ascending) whose row was neither
+	// inherited from the parent nor otherwise supplied; the caller must
+	// fill them via SimulateNeed or SetRow before Finish.
+	Need []int32
+
+	// seq holds every machine's task sequence back-to-back in machine
+	// order; seqStart[m] offsets machine m's slice.
+	seq      []int32
+	seqStart []int32
+
+	parentValid bool
+}
+
+// NewDeltaPlan returns an empty plan sized for the evaluator.
+func (e *Evaluator) NewDeltaPlan() *DeltaPlan {
+	nm, nt := e.NumMachines(), e.NumTasks()
+	return &DeltaPlan{
+		Need:     make([]int32, 0, nm),
+		seq:      make([]int32, 0, nt),
+		seqStart: make([]int32, nm+1),
+	}
+}
+
+// NeedSeq returns the task sequence of Need[k] in execution order.
+func (p *DeltaPlan) NeedSeq(k int) []int32 {
+	m := p.Need[k]
+	return p.seq[p.seqStart[m]:p.seqStart[m+1]]
 }
 
 // DeltaSession holds the scratch space for machine-major evaluation on
 // one goroutine. Like Session, the underlying evaluator is read-only and
 // may be shared; each goroutine needs its own DeltaSession.
 type DeltaSession struct {
-	e *Evaluator
-	// inv scatters execution order to task id: inv[a.Order[i]] = i.
-	inv []int32
-	// fill holds per-machine counts, then bucket fill cursors.
-	fill []int32
+	e      *Evaluator
+	kernel Kernel
+	// slots is the standalone execution-order scratch for the
+	// Allocation-based entry points; engine callers pass their own
+	// per-offspring slot arrays.
+	slots []uint64
+	// fpSeed[m] seeds machine m's bucket fingerprint, so identical
+	// sequences on different machines never share one.
+	fpSeed []uint64
+	// cur is the per-machine gather cursor scratch.
+	cur []int32
+	// counts is the per-machine task-count scratch for the standalone
+	// Allocation-based entry points; engine callers maintain their own
+	// counts as a by-product of order repair.
+	counts []int32
+	// plan is the standalone plan for the Allocation-based entry points.
+	plan *DeltaPlan
+	// needKs is the Need-index scratch SimulateAllNeeds feeds to
+	// SimulateNeedList.
+	needKs []int32
 	// stats counts the session's work with plain (non-atomic)
 	// increments — sessions are single-goroutine by contract, so the
 	// counters are always on and cost nothing measurable.
@@ -209,84 +325,431 @@ type DeltaSession struct {
 // Stats returns a snapshot of the session's cumulative work counters.
 func (d *DeltaSession) Stats() DeltaStats { return d.stats }
 
-// NewDeltaSession returns a machine-major evaluation session bound to e.
+// NewDeltaSession returns a machine-major evaluation session bound to e,
+// using the typed kernel.
 func (e *Evaluator) NewDeltaSession() *DeltaSession {
-	return &DeltaSession{
-		e:    e,
-		inv:  make([]int32, e.NumTasks()),
-		fill: make([]int32, e.NumMachines()),
+	nm := e.NumMachines()
+	d := &DeltaSession{
+		e:      e,
+		slots:  make([]uint64, e.NumTasks()),
+		fpSeed: make([]uint64, nm),
+		cur:    make([]int32, nm),
+		counts: make([]int32, nm),
+		plan:   e.NewDeltaPlan(),
+		needKs: make([]int32, 0, nm),
 	}
+	for m := 0; m < nm; m++ {
+		d.fpSeed[m] = Mix64(uint64(m+1) * FPGamma)
+	}
+	return d
 }
 
 // Evaluator returns the evaluator the session is bound to.
 func (d *DeltaSession) Evaluator() *Evaluator { return d.e }
 
-// bucketize rewrites dst's machine-major layout for the allocation: a
-// counting sort by machine of the order-sorted task stream. Pass one
-// scatters order→task and counts each machine's tasks; pass two walks
-// the orders once more and appends each task to its machine's bucket.
+// SetKernel selects the per-machine simulation loop (typed by default).
+// Both kernels are bit-identical; the choice only affects speed.
+func (d *DeltaSession) SetKernel(k Kernel) { d.kernel = k }
+
+// ScatterSlots rewrites slots (length NumTasks) into the allocation's
+// execution-order layout — slots[o] packs the machine assignment and
+// task id of the task scheduled o-th — and histograms the non-dropped
+// task count per machine into counts (length NumMachines). The engine
+// builds both as a by-product of order repair; this is the standalone
+// fallback.
 //
 //detlint:hotpath
-func (d *DeltaSession) bucketize(a *Allocation, dst *Contribs) {
-	n := len(a.Machine)
-	inv, fill := d.inv, d.fill
-	for m := range fill {
-		fill[m] = 0
+func (d *DeltaSession) ScatterSlots(a *Allocation, slots []uint64, counts []int32) {
+	machine, order := a.Machine, a.Order
+	for m := range counts {
+		counts[m] = 0
 	}
-	executed := 0
-	for i := 0; i < n; i++ {
-		inv[a.Order[i]] = int32(i)
-		if m := a.Machine[i]; m >= 0 {
-			fill[m]++
-			executed++
-		}
-	}
-	start := dst.start
-	var cum int32
-	for m, cnt := range fill {
-		start[m] = cum
-		fill[m] = cum // becomes the bucket fill cursor
-		cum += cnt
-	}
-	start[len(fill)] = cum
-	dst.bucket = dst.bucket[:executed]
-	bucket := dst.bucket
-	for o := 0; o < n; o++ {
-		i := inv[o]
-		if m := a.Machine[i]; m >= 0 {
-			bucket[fill[m]] = i
-			fill[m]++
+	for i := range machine {
+		m := machine[i]
+		slots[order[i]] = PackSlot(m, i)
+		if m >= 0 {
+			counts[m]++
 		}
 	}
 }
 
+// Prepare streams the execution-order slots once, computing every
+// machine's bucket fingerprint into dst and gathering every machine's
+// task sequence machine-major into the plan, inheriting the parent's
+// contribution row for each machine whose fingerprint matches (any
+// machine when parent is nil, invalid, or dst itself never matches),
+// and listing the remaining machines in plan.Need. counts must hold
+// each machine's non-dropped task count for these slots (a by-product
+// of building them — see ScatterSlots); it is what lets the gather
+// land machine-major in the same walk that computes the fingerprints.
+// The caller supplies each needed machine's row — from a memoization
+// layer via SetRow, or by SimulateNeed — then calls Finish.
+//
+// Fingerprint-matched inheritance subsumes the dirty-machine flags of
+// the pre-typed delta path: an unchanged sequence always reproduces the
+// parent's fingerprint, so flagged-but-unchanged machines inherit
+// without a stored copy of the parent's layout. A 64-bit collision
+// between different sequences on the same machine would inherit a stale
+// row; the engine's verify mode exists to rule that out.
+//
+//detlint:hotpath
+func (d *DeltaSession) Prepare(slots []uint64, counts []int32, parent *Contribs, dst *Contribs, plan *DeltaPlan) {
+	nm := len(dst.FP)
+	fp := dst.FP
+	copy(fp, d.fpSeed)
+	seqStart := plan.seqStart[:nm+1]
+	cur := d.cur[:nm]
+	var cum int32
+	for m, c := range counts[:nm] {
+		seqStart[m] = cum
+		cur[m] = cum
+		cum += c
+	}
+	seqStart[nm] = cum
+	plan.seq = plan.seq[:cum]
+	seq := plan.seq
+	for _, v := range slots {
+		m := v >> 32
+		if m == 0 {
+			continue // dropped task
+		}
+		fp[m-1] = (fp[m-1] ^ (v&0xffffffff + 1)) * FPMul1
+		seq[cur[m-1]] = int32(uint32(v))
+		cur[m-1]++
+	}
+	pv := parent.Valid() && parent != dst
+	plan.parentValid = pv
+	plan.Need = plan.Need[:0]
+	for m := 0; m < nm; m++ {
+		fp[m] = Mix64(fp[m] ^ uint64(uint32(counts[m])))
+		if pv && fp[m] == parent.FP[m] {
+			dst.Utility[m] = parent.Utility[m]
+			dst.Energy[m] = parent.Energy[m]
+			dst.Busy[m] = parent.Busy[m]
+			dst.Ready[m] = parent.Ready[m]
+			dst.Done[m] = parent.Done[m]
+			d.stats.MachinesInherited++
+			continue
+		}
+		plan.Need = append(plan.Need, int32(m))
+	}
+}
+
+// SimulateNeed simulates the k-th Need machine's gathered sequence with
+// the session's kernel, writing its contribution row into dst.
+//
+//detlint:hotpath
+func (d *DeltaSession) SimulateNeed(k int, plan *DeltaPlan, dst *Contribs) {
+	m := int(plan.Need[k])
+	tasks := plan.NeedSeq(k)
+	switch d.kernel {
+	case KernelTyped:
+		d.simMachineTyped(m, tasks, dst)
+	case KernelScalar:
+		d.simMachine(m, tasks, dst)
+	}
+	d.stats.MachinesSimulated++
+}
+
+// Finish folds dst's per-machine contributions into the objective
+// values and marks dst valid. Every Prepare must be balanced by exactly
+// one Finish after the Need rows are supplied.
+//
+//detlint:hotpath
+func (d *DeltaSession) Finish(dst *Contribs, plan *DeltaPlan) Evaluation {
+	if plan.parentValid {
+		d.stats.DeltaEvals++
+	} else {
+		d.stats.FullEvals++
+	}
+	dst.valid = true
+	return d.reduce(dst)
+}
+
 // simMachine simulates machine m's task sequence and records its
-// contribution row in dst.
+// contribution row in dst: the original per-task reference loop.
 //
 //detlint:hotpath
 func (d *DeltaSession) simMachine(m int, tasks []int32, dst *Contribs) {
 	e := d.e
 	etcRow, eecRow := e.etcT[m], e.eecT[m]
+	meta := e.meta
 	var ready, busy, util, energy float64
 	for _, ti := range tasks {
-		tt := e.taskType[ti]
-		arr := e.arrival[ti]
+		mt := &meta[ti]
+		arr := mt.arrival
 		start := ready
 		if arr > start {
 			start = arr // machine idles until the task arrives
 		}
-		etc := etcRow[tt]
+		etc := etcRow[mt.ty]
 		completion := start + etc
 		ready = completion
 		busy += etc
 		util += e.tufs.Value(int(ti), completion-arr)
-		energy += eecRow[tt]
+		energy += eecRow[mt.ty]
 	}
 	dst.Utility[m] = util
 	dst.Energy[m] = energy
 	dst.Busy[m] = busy
 	dst.Ready[m] = ready
 	dst.Done[m] = int32(len(tasks))
+}
+
+// simMachineTyped is the type-compressed kernel: it walks the queue as
+// runs of consecutive same-type tasks, loading the (type, machine)
+// execution time and energy once per run, and resolves each task's
+// utility through the hoisted TUF tail guard — a precomputed threshold
+// and value per task — falling back to the segment table only for
+// completions inside the segment window. Every floating-point operation
+// that reaches an accumulator is the same operation in the same order
+// as simMachine: the per-task additions are kept sequential (run
+// lengths never become multiplications, which would re-associate), and
+// the tail guard substitutes the exact product Table.Value returns past
+// the threshold. The result is bit-identical to simMachine for any
+// queue and any TUF shape.
+//
+//detlint:hotpath
+func (d *DeltaSession) simMachineTyped(m int, tasks []int32, dst *Contribs) {
+	st := kstate{prevTy: -1}
+	d.typedCont(m, tasks, &st)
+	d.stats.TypedRuns += uint64(st.runs)
+	d.stats.TypedTasks += uint64(len(tasks))
+	dst.Utility[m] = st.util
+	dst.Energy[m] = st.energy
+	dst.Busy[m] = st.busy
+	dst.Ready[m] = st.ready
+	dst.Done[m] = int32(len(tasks))
+}
+
+// kstate is one machine's in-flight typed-kernel state, carried across
+// the lockstep and tail halves of the interleaved batch kernel. prevTy
+// tracks the type of the previous task so run boundaries survive the
+// hand-off (a run spanning the split must count once); the sentinel -1
+// makes the first task always open a run.
+type kstate struct {
+	ready, busy, util, energy float64
+	prevTy                    int32
+	runs                      uint32
+}
+
+// typedCont advances machine m's typed walk over tasks, continuing from
+// (and updating) the carried state. Counting runs by previous-type
+// comparison instead of an explicit inner run scan visits each task
+// once and accumulates the same floating-point operations in the same
+// order, so the walk stays bit-identical to the per-task reference.
+//
+//detlint:hotpath
+func (d *DeltaSession) typedCont(m int, tasks []int32, st *kstate) {
+	e := d.e
+	etcRow, eecRow := e.etcT[m], e.eecT[m]
+	meta := e.meta
+	ready, busy, util, energy := st.ready, st.busy, st.util, st.energy
+	prevTy, runs := st.prevTy, st.runs
+	for _, ti := range tasks {
+		mt := &meta[ti]
+		ty := mt.ty
+		if ty != prevTy {
+			prevTy = ty
+			runs++
+		}
+		etc := etcRow[ty]
+		arr := mt.arrival
+		start := ready
+		if arr > start {
+			start = arr
+		}
+		completion := start + etc
+		ready = completion
+		busy += etc
+		if el := completion - arr; el >= mt.tailT {
+			util += mt.tailV
+		} else {
+			util += e.tufs.Value(int(ti), el)
+		}
+		energy += eecRow[ty]
+	}
+	st.ready, st.busy, st.util, st.energy = ready, busy, util, energy
+	st.prevTy, st.runs = prevTy, runs
+}
+
+// simNeed4 simulates four Need machines in interleaved lockstep: the
+// inner loop advances each machine by one task per iteration, so the
+// four serial completion-time dependency chains (max with arrival, add
+// execution time — the latency floor of queue simulation) overlap
+// instead of serializing. Each machine's tasks still execute in its own
+// sequence order with the exact per-task operations of typedCont, so
+// every contribution row is bit-identical to simulating the machines
+// one at a time; only the wall-clock interleaving differs. After the
+// shortest queue drains, the remaining tails finish through typedCont
+// with their carried state.
+//
+//detlint:hotpath
+func (d *DeltaSession) simNeed4(plan *DeltaPlan, dst *Contribs, k0, k1, k2, k3 int) {
+	e := d.e
+	meta := e.meta
+	m0, m1, m2, m3 := int(plan.Need[k0]), int(plan.Need[k1]), int(plan.Need[k2]), int(plan.Need[k3])
+	s0, s1, s2, s3 := plan.NeedSeq(k0), plan.NeedSeq(k1), plan.NeedSeq(k2), plan.NeedSeq(k3)
+	etc0, eec0 := e.etcT[m0], e.eecT[m0]
+	etc1, eec1 := e.etcT[m1], e.eecT[m1]
+	etc2, eec2 := e.etcT[m2], e.eecT[m2]
+	etc3, eec3 := e.etcT[m3], e.eecT[m3]
+	var r0, b0, u0, en0, r1, b1, u1, en1 float64
+	var r2, b2, u2, en2, r3, b3, u3, en3 float64
+	var pt0, pt1, pt2, pt3 int32 = -1, -1, -1, -1
+	var rn0, rn1, rn2, rn3 uint32
+	L := len(s0)
+	if len(s1) < L {
+		L = len(s1)
+	}
+	if len(s2) < L {
+		L = len(s2)
+	}
+	if len(s3) < L {
+		L = len(s3)
+	}
+	for t := 0; t < L; t++ {
+		{
+			mt := &meta[s0[t]]
+			ty := mt.ty
+			if ty != pt0 {
+				pt0 = ty
+				rn0++
+			}
+			etc := etc0[ty]
+			arr := mt.arrival
+			start := r0
+			if arr > start {
+				start = arr
+			}
+			completion := start + etc
+			r0 = completion
+			b0 += etc
+			if el := completion - arr; el >= mt.tailT {
+				u0 += mt.tailV
+			} else {
+				u0 += e.tufs.Value(int(s0[t]), el)
+			}
+			en0 += eec0[ty]
+		}
+		{
+			mt := &meta[s1[t]]
+			ty := mt.ty
+			if ty != pt1 {
+				pt1 = ty
+				rn1++
+			}
+			etc := etc1[ty]
+			arr := mt.arrival
+			start := r1
+			if arr > start {
+				start = arr
+			}
+			completion := start + etc
+			r1 = completion
+			b1 += etc
+			if el := completion - arr; el >= mt.tailT {
+				u1 += mt.tailV
+			} else {
+				u1 += e.tufs.Value(int(s1[t]), el)
+			}
+			en1 += eec1[ty]
+		}
+		{
+			mt := &meta[s2[t]]
+			ty := mt.ty
+			if ty != pt2 {
+				pt2 = ty
+				rn2++
+			}
+			etc := etc2[ty]
+			arr := mt.arrival
+			start := r2
+			if arr > start {
+				start = arr
+			}
+			completion := start + etc
+			r2 = completion
+			b2 += etc
+			if el := completion - arr; el >= mt.tailT {
+				u2 += mt.tailV
+			} else {
+				u2 += e.tufs.Value(int(s2[t]), el)
+			}
+			en2 += eec2[ty]
+		}
+		{
+			mt := &meta[s3[t]]
+			ty := mt.ty
+			if ty != pt3 {
+				pt3 = ty
+				rn3++
+			}
+			etc := etc3[ty]
+			arr := mt.arrival
+			start := r3
+			if arr > start {
+				start = arr
+			}
+			completion := start + etc
+			r3 = completion
+			b3 += etc
+			if el := completion - arr; el >= mt.tailT {
+				u3 += mt.tailV
+			} else {
+				u3 += e.tufs.Value(int(s3[t]), el)
+			}
+			en3 += eec3[ty]
+		}
+	}
+	st0 := kstate{ready: r0, busy: b0, util: u0, energy: en0, prevTy: pt0, runs: rn0}
+	st1 := kstate{ready: r1, busy: b1, util: u1, energy: en1, prevTy: pt1, runs: rn1}
+	st2 := kstate{ready: r2, busy: b2, util: u2, energy: en2, prevTy: pt2, runs: rn2}
+	st3 := kstate{ready: r3, busy: b3, util: u3, energy: en3, prevTy: pt3, runs: rn3}
+	d.typedCont(m0, s0[L:], &st0)
+	d.typedCont(m1, s1[L:], &st1)
+	d.typedCont(m2, s2[L:], &st2)
+	d.typedCont(m3, s3[L:], &st3)
+	dst.Utility[m0], dst.Energy[m0], dst.Busy[m0], dst.Ready[m0], dst.Done[m0] = st0.util, st0.energy, st0.busy, st0.ready, int32(len(s0))
+	dst.Utility[m1], dst.Energy[m1], dst.Busy[m1], dst.Ready[m1], dst.Done[m1] = st1.util, st1.energy, st1.busy, st1.ready, int32(len(s1))
+	dst.Utility[m2], dst.Energy[m2], dst.Busy[m2], dst.Ready[m2], dst.Done[m2] = st2.util, st2.energy, st2.busy, st2.ready, int32(len(s2))
+	dst.Utility[m3], dst.Energy[m3], dst.Busy[m3], dst.Ready[m3], dst.Done[m3] = st3.util, st3.energy, st3.busy, st3.ready, int32(len(s3))
+	d.stats.TypedRuns += uint64(st0.runs) + uint64(st1.runs) + uint64(st2.runs) + uint64(st3.runs)
+	d.stats.TypedTasks += uint64(len(s0) + len(s1) + len(s2) + len(s3))
+	d.stats.MachinesSimulated += 4
+}
+
+// SimulateNeedList simulates the Need machines whose indices are listed
+// in ks, batching the typed kernel four machines at a time so their
+// completion-time dependency chains overlap; the remainder — and every
+// machine under the scalar reference kernel — runs through
+// SimulateNeed. Contribution rows are bit-identical either way, so
+// callers may hand over any subset in any grouping.
+//
+//detlint:hotpath
+func (d *DeltaSession) SimulateNeedList(ks []int32, plan *DeltaPlan, dst *Contribs) {
+	i := 0
+	if d.kernel == KernelTyped {
+		for ; i+4 <= len(ks); i += 4 {
+			d.simNeed4(plan, dst, int(ks[i]), int(ks[i+1]), int(ks[i+2]), int(ks[i+3]))
+		}
+	}
+	for ; i < len(ks); i++ {
+		d.SimulateNeed(int(ks[i]), plan, dst)
+	}
+}
+
+// SimulateAllNeeds simulates every machine the plan left to the caller,
+// through the same batched path as SimulateNeedList.
+//
+//detlint:hotpath
+func (d *DeltaSession) SimulateAllNeeds(plan *DeltaPlan, dst *Contribs) {
+	ks := d.needKs[:len(plan.Need)]
+	for k := range ks {
+		ks[k] = int32(k)
+	}
+	d.needKs = ks
+	d.SimulateNeedList(ks, plan, dst)
 }
 
 // reduce folds the per-machine contributions into the objective values
@@ -317,55 +780,43 @@ func (d *DeltaSession) reduce(c *Contribs) Evaluation {
 	return ev
 }
 
+// evaluate is the shared Allocation-based pipeline: scatter, prepare
+// against the given parent, simulate every needed machine, reduce.
+//
+//detlint:hotpath
+func (d *DeltaSession) evaluate(a *Allocation, parent *Contribs, dst *Contribs) Evaluation {
+	d.ScatterSlots(a, d.slots, d.counts)
+	d.Prepare(d.slots, d.counts, parent, dst, d.plan)
+	d.SimulateAllNeeds(d.plan, dst)
+	return d.Finish(dst, d.plan)
+}
+
 // EvaluateFull simulates the allocation machine-major, filling dst with
-// the per-machine contributions and layout, and returns the objective
-// values. dst must come from the same evaluator's NewContribs; its prior
-// contents are overwritten. The allocation is not validated.
+// the per-machine contributions and bucket fingerprints, and returns
+// the objective values. dst must come from the same evaluator's
+// NewContribs; its prior contents are overwritten. The allocation is
+// not validated.
 //
 //detlint:hotpath
 func (d *DeltaSession) EvaluateFull(a *Allocation, dst *Contribs) Evaluation {
-	d.bucketize(a, dst)
-	for m := 0; m < len(d.fill); m++ {
-		d.simMachine(m, dst.machineTasks(m), dst)
-	}
-	d.stats.FullEvals++
-	d.stats.MachinesSimulated += uint64(len(d.fill))
-	dst.valid = true
-	return d.reduce(dst)
+	return d.evaluate(a, nil, dst)
 }
 
 // EvaluateDelta evaluates an allocation derived from a parent whose
-// contribution cache is `parent`, re-simulating only machines whose task
-// sequence actually changed. `dirty` must flag every machine whose task
-// set or intra-machine execution order MAY differ from the parent's — a
-// superset is safe (flagged-but-unchanged machines are detected by
-// sequence comparison and inherit the parent's row), an undercount is
-// not. Machines not flagged dirty inherit the parent's cached
-// contribution without any check.
+// contribution cache is `parent`, re-simulating only machines whose
+// task sequence actually changed: a machine whose bucket fingerprint
+// matches the parent's inherits the parent's row. The dirty parameter
+// is accepted for compatibility with the pre-typed flag-based path and
+// no longer consulted — fingerprint matching checks every machine by
+// content, which both subsumes any correct dirty superset and inherits
+// through machines the flags over-approximated.
 //
-// The result is bit-identical to EvaluateFull on the same allocation.
-// If parent is nil or invalid, EvaluateDelta falls back to EvaluateFull.
+// The result is bit-identical to EvaluateFull on the same allocation
+// (up to 64-bit fingerprint collision; see Prepare). If parent is nil
+// or invalid, every machine is simulated.
 //
 //detlint:hotpath
 func (d *DeltaSession) EvaluateDelta(a *Allocation, parent *Contribs, dirty []bool, dst *Contribs) Evaluation {
-	if !parent.Valid() || parent == dst {
-		return d.EvaluateFull(a, dst)
-	}
-	d.bucketize(a, dst)
-	for m := 0; m < len(d.fill); m++ {
-		if dirty[m] && !slices.Equal(dst.machineTasks(m), parent.machineTasks(m)) {
-			d.simMachine(m, dst.machineTasks(m), dst)
-			d.stats.MachinesSimulated++
-			continue
-		}
-		dst.Utility[m] = parent.Utility[m]
-		dst.Energy[m] = parent.Energy[m]
-		dst.Busy[m] = parent.Busy[m]
-		dst.Ready[m] = parent.Ready[m]
-		dst.Done[m] = parent.Done[m]
-		d.stats.MachinesInherited++
-	}
-	d.stats.DeltaEvals++
-	dst.valid = true
-	return d.reduce(dst)
+	_ = dirty
+	return d.evaluate(a, parent, dst)
 }

@@ -94,7 +94,7 @@ func mutateAlloc(e *Evaluator, a *Allocation, src *rng.Source, dirty []bool, all
 		a.Machine[g] = Dropped
 	} else {
 		el := e.Eligible(int(e.taskType[g]))
-		a.Machine[g] = el[src.Intn(len(el))]
+		a.Machine[g] = int32(el[src.Intn(len(el))])
 		dirty[a.Machine[g]] = true
 	}
 	x, y := src.Intn(n), src.Intn(n)
@@ -133,15 +133,15 @@ func crossAlloc(a, b *Allocation, src *rng.Source, dirty []bool) {
 
 // repairRerank mirrors the engine's re-rank repair: rank genes by
 // (order value, gene index).
-func repairRerank(ord []int) {
+func repairRerank(ord []int32) {
 	n := len(ord)
 	keys := make([]int, n)
 	for i, v := range ord {
-		keys[i] = v*n + i
+		keys[i] = int(v)*n + i
 	}
 	slices.Sort(keys)
 	for pos, key := range keys {
-		ord[key%n] = pos
+		ord[key%n] = int32(pos)
 	}
 }
 

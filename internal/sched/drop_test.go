@@ -66,7 +66,7 @@ func TestDropNegligibleNoopWhenAllUseful(t *testing.T) {
 	// sched_test.go, whose three tasks all earn strictly positive
 	// utility under the arrival-order allocation.
 	e := newEval(t)
-	a := &Allocation{Machine: []int{0, 0, 0}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, 0, 0}, Order: []int32{0, 1, 2}}
 	dropped, ev := DropNegligible(e, a, 0)
 	for i, m := range dropped.Machine {
 		if m == Dropped {
@@ -95,7 +95,7 @@ func TestDropNegligibleThreshold(t *testing.T) {
 func TestDropNegligibleDoesNotMutateInput(t *testing.T) {
 	e := dropEval(t, 100, 60)
 	a := e.RandomAllocation(rng.New(86))
-	before := append([]int(nil), a.Machine...)
+	before := append([]int32(nil), a.Machine...)
 	DropNegligible(e, a, 0)
 	for i := range before {
 		if a.Machine[i] != before[i] {

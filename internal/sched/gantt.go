@@ -50,7 +50,7 @@ func (e *Evaluator) Gantt(a *Allocation) ([]GanttRow, error) {
 		rows = append(rows, GanttRow{
 			Task:        ti,
 			TaskType:    task.Type,
-			Machine:     m,
+			Machine:     int(m),
 			Arrival:     task.Arrival,
 			Start:       start,
 			End:         end,

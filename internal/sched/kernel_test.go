@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"testing"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/rng"
+	"tradeoff/internal/utility"
+	"tradeoff/internal/workload"
+)
+
+// randomTUF draws a randomized but valid time-utility function: 1-4
+// segments of random shape with non-increasing fractions and a tail not
+// above the last segment's end.
+func randomTUF(t *testing.T, src *rng.Source) *utility.Function {
+	t.Helper()
+	nseg := 1 + src.Intn(4)
+	segs := make([]utility.Segment, 0, nseg)
+	prevEnd := 1.0
+	for i := 0; i < nseg; i++ {
+		start := prevEnd * (0.2 + 0.8*src.Float64())
+		end := start * (0.2 + 0.8*src.Float64())
+		shape := utility.Shape(src.Intn(3))
+		if shape == utility.Constant {
+			end = start
+		}
+		segs = append(segs, utility.Segment{
+			Duration:  1 + 200*src.Float64(),
+			StartFrac: start,
+			EndFrac:   end,
+			Shape:     shape,
+		})
+		prevEnd = end
+	}
+	tail := prevEnd * src.Float64()
+	f, err := utility.New(1+99*src.Float64(), tail, segs...)
+	if err != nil {
+		t.Fatalf("random TUF invalid: %v", err)
+	}
+	return f
+}
+
+// degenerateTUF draws one of the closed-form-friendly edge shapes the
+// typed kernel special-cases through its hoisted tail guard: a
+// single-segment step function, or a zero-penalty function that earns
+// full priority no matter when the task completes.
+func degenerateTUF(t *testing.T, src *rng.Source) *utility.Function {
+	t.Helper()
+	var f *utility.Function
+	var err error
+	if src.Bool(0.5) {
+		// Single segment, zero tail: a hard-deadline step.
+		f, err = utility.New(1+9*src.Float64(), 0,
+			utility.Segment{Duration: 1 + 50*src.Float64(), StartFrac: 1, EndFrac: 1, Shape: utility.Constant})
+	} else {
+		// Zero penalty: constant at priority forever (tail = 1).
+		f, err = utility.New(1+9*src.Float64(), 1,
+			utility.Segment{Duration: 1 + 50*src.Float64(), StartFrac: 1, EndFrac: 1, Shape: utility.Constant})
+	}
+	if err != nil {
+		t.Fatalf("degenerate TUF invalid: %v", err)
+	}
+	return f
+}
+
+// kernelEval builds an evaluator over the real system with n tasks whose
+// TUFs are replaced by randomized shapes; degenerateFrac of the tasks
+// receive a degenerate (single-segment or zero-penalty) function.
+func kernelEval(t *testing.T, n int, seed uint64, degenerateFrac float64) *Evaluator {
+	t.Helper()
+	sys := data.RealSystem()
+	tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: n, Window: 600}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(seed ^ 0x9e3779b97f4a7c15)
+	for i := range tr.Tasks {
+		if src.Bool(degenerateFrac) {
+			tr.Tasks[i].TUF = degenerateTUF(t, src)
+		} else {
+			tr.Tasks[i].TUF = randomTUF(t, src)
+		}
+	}
+	e, err := NewEvaluator(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// contribsEqual reports whether two contribution sets are bitwise equal
+// on every machine row.
+func contribsEqual(a, b *Contribs) bool {
+	for m := range a.Utility {
+		if a.Utility[m] != b.Utility[m] || a.Energy[m] != b.Energy[m] ||
+			a.Busy[m] != b.Busy[m] || a.Ready[m] != b.Ready[m] ||
+			a.Done[m] != b.Done[m] || a.FP[m] != b.FP[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKernelsBitIdentical is the typed-vs-scalar property test: on
+// randomized TUF shapes (including degenerate single-segment and
+// zero-penalty functions), random allocations — with and without drops —
+// must produce bitwise-equal evaluations and per-machine contribution
+// rows under both kernels.
+func TestKernelsBitIdentical(t *testing.T) {
+	for _, cfg := range []struct {
+		n       int
+		degFrac float64
+		drops   bool
+	}{
+		{30, 0, false},
+		{30, 1, false}, // all degenerate
+		{120, 0.3, false},
+		{120, 0.3, true},
+		{400, 0.5, true},
+	} {
+		e := kernelEval(t, cfg.n, uint64(9000+cfg.n), cfg.degFrac)
+		e.AllowDropping = cfg.drops
+		typed := e.NewDeltaSession()
+		typed.SetKernel(KernelTyped)
+		scalar := e.NewDeltaSession()
+		scalar.SetKernel(KernelScalar)
+		ct, cs := e.NewContribs(), e.NewContribs()
+		src := rng.New(uint64(31 + cfg.n))
+		for trial := 0; trial < 20; trial++ {
+			a := e.RandomAllocation(src)
+			if cfg.drops {
+				for i := 0; i < a.Len(); i++ {
+					if src.Bool(0.15) {
+						a.Machine[i] = Dropped
+					}
+				}
+			}
+			evT := typed.EvaluateFull(a, ct)
+			evS := scalar.EvaluateFull(a, cs)
+			if evT != evS {
+				t.Fatalf("n=%d deg=%v drops=%v trial %d: typed %+v vs scalar %+v",
+					cfg.n, cfg.degFrac, cfg.drops, trial, evT, evS)
+			}
+			if !contribsEqual(ct, cs) {
+				t.Fatalf("n=%d deg=%v drops=%v trial %d: contribution rows differ",
+					cfg.n, cfg.degFrac, cfg.drops, trial)
+			}
+		}
+	}
+}
+
+// TestKernelListMatchesPerMachine checks that the batched
+// SimulateNeedList path (4-way interleaved under the typed kernel) is
+// bitwise equal to simulating each Need machine individually through
+// SimulateNeed, for both kernels and odd batch remainders.
+func TestKernelListMatchesPerMachine(t *testing.T) {
+	for _, kernel := range []Kernel{KernelTyped, KernelScalar} {
+		e := kernelEval(t, 150, 42, 0.25)
+		batched := e.NewDeltaSession()
+		batched.SetKernel(kernel)
+		single := e.NewDeltaSession()
+		single.SetKernel(kernel)
+		cb, cs := e.NewContribs(), e.NewContribs()
+		pb, ps := e.NewDeltaPlan(), e.NewDeltaPlan()
+		src := rng.New(7)
+		counts := make([]int32, e.NumMachines())
+		for trial := 0; trial < 10; trial++ {
+			a := e.RandomAllocation(src)
+			slots := make([]uint64, a.Len())
+			batched.ScatterSlots(a, slots, counts)
+			batched.Prepare(slots, counts, nil, cb, pb)
+			batched.SimulateAllNeeds(pb, cb)
+			evB := batched.Finish(cb, pb)
+
+			single.ScatterSlots(a, slots, counts)
+			single.Prepare(slots, counts, nil, cs, ps)
+			for k := range ps.Need {
+				single.SimulateNeed(k, ps, cs)
+			}
+			evS := single.Finish(cs, ps)
+			if evB != evS || !contribsEqual(cb, cs) {
+				t.Fatalf("kernel=%v trial %d: batched vs per-machine rows differ", kernel, trial)
+			}
+		}
+	}
+}

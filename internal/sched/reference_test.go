@@ -21,11 +21,11 @@ func referenceEvaluate(e *Evaluator, a *Allocation) Evaluation {
 	}
 	queues := make(map[int][]queued)
 	for i := 0; i < a.Len(); i++ {
-		m := a.Machine[i]
+		m := int(a.Machine[i])
 		if m == Dropped {
 			continue
 		}
-		queues[m] = append(queues[m], queued{task: i, order: a.Order[i]})
+		queues[m] = append(queues[m], queued{task: i, order: int(a.Order[i])})
 	}
 	var ev Evaluation
 	tasks := e.Trace().Tasks

@@ -27,16 +27,16 @@ const Dropped = -1
 // Allocation maps every task of a trace to a machine and a global
 // scheduling order. Order must be a permutation of [0, T).
 type Allocation struct {
-	Machine []int
-	Order   []int
+	Machine []int32
+	Order   []int32
 }
 
 // NewAllocation returns a zero-valued allocation for n tasks with
 // identity order.
 func NewAllocation(n int) *Allocation {
-	a := &Allocation{Machine: make([]int, n), Order: make([]int, n)}
+	a := &Allocation{Machine: make([]int32, n), Order: make([]int32, n)}
 	for i := range a.Order {
-		a.Order[i] = i
+		a.Order[i] = int32(i)
 	}
 	return a
 }
@@ -47,8 +47,8 @@ func (a *Allocation) Len() int { return len(a.Machine) }
 // Clone returns a deep copy.
 func (a *Allocation) Clone() *Allocation {
 	return &Allocation{
-		Machine: append([]int(nil), a.Machine...),
-		Order:   append([]int(nil), a.Order...),
+		Machine: append([]int32(nil), a.Machine...),
+		Order:   append([]int32(nil), a.Order...),
 	}
 }
 
@@ -109,6 +109,28 @@ type Evaluator struct {
 	taskType []int32
 	arrival  []float64
 	tufs     *utility.Table
+	// tufTailT and tufTailV mirror the compiled TUF table's per-task
+	// tail guard (threshold and past-threshold value), hoisted into flat
+	// arrays so the typed kernel resolves the common saturated case
+	// without a Table.Value call. Substituting tufTailV past tufTailT is
+	// bit-identical to Value by the Table accessors' contract.
+	tufTailT []float64
+	tufTailV []float64
+	// meta interleaves the four per-task hot-loop fields into one
+	// 32-byte record so the simulation kernels touch a single cache
+	// line per task instead of gathering from four parallel arrays.
+	meta []taskMeta
+}
+
+// taskMeta is the per-task record of everything the machine-major
+// simulation kernels read: arrival time, hoisted TUF tail guard, and
+// task type. Sized and padded to 32 bytes — two records per cache line.
+type taskMeta struct {
+	arrival float64
+	tailT   float64
+	tailV   float64
+	ty      int32
+	_       int32
 }
 
 // NewEvaluator validates the trace against the system and precomputes
@@ -157,6 +179,21 @@ func NewEvaluator(sys *hcs.System, trace *workload.Trace) (*Evaluator, error) {
 			return nil, fmt.Errorf("sched: task %d TUF: %w", i, err)
 		}
 	}
+	e.tufTailT = make([]float64, n)
+	e.tufTailV = make([]float64, n)
+	for i := 0; i < n; i++ {
+		e.tufTailT[i] = e.tufs.TailThreshold(i)
+		e.tufTailV[i] = e.tufs.TailValue(i)
+	}
+	e.meta = make([]taskMeta, n)
+	for i := 0; i < n; i++ {
+		e.meta[i] = taskMeta{
+			arrival: e.arrival[i],
+			tailT:   e.tufTailT[i],
+			tailV:   e.tufTailV[i],
+			ty:      e.taskType[i],
+		}
+	}
 	return e, nil
 }
 
@@ -199,15 +236,15 @@ func (e *Evaluator) Validate(a *Allocation) error {
 				return fmt.Errorf("sched: task %d dropped but dropping is not enabled", i)
 			}
 		} else {
-			if m < 0 || m >= e.NumMachines() {
+			if m < 0 || int(m) >= e.NumMachines() {
 				return fmt.Errorf("sched: task %d assigned machine %d out of range", i, m)
 			}
 			tt := e.trace.Tasks[i].Type
-			if !e.sys.CapableMachine(tt, m) {
+			if !e.sys.CapableMachine(tt, int(m)) {
 				return fmt.Errorf("sched: task %d (type %d) assigned incapable machine %d", i, tt, m)
 			}
 		}
-		o := a.Order[i]
+		o := int(a.Order[i])
 		if o < 0 || o >= n {
 			return fmt.Errorf("sched: task %d order %d out of range", i, o)
 		}
@@ -387,15 +424,15 @@ func (e *Evaluator) RandomAllocation(src *rng.Source) *Allocation {
 func (e *Evaluator) RandomAllocationInto(a *Allocation, src *rng.Source) {
 	n := e.NumTasks()
 	if cap(a.Machine) < n {
-		a.Machine = make([]int, n)
+		a.Machine = make([]int32, n)
 	}
 	if cap(a.Order) < n {
-		a.Order = make([]int, n)
+		a.Order = make([]int32, n)
 	}
 	a.Machine, a.Order = a.Machine[:n], a.Order[:n]
-	src.PermInto(a.Order)
+	src.PermInto32(a.Order)
 	for i := 0; i < n; i++ {
 		el := e.eligible[e.trace.Tasks[i].Type]
-		a.Machine[i] = el[src.Intn(len(el))]
+		a.Machine[i] = int32(el[src.Intn(len(el))])
 	}
 }

@@ -64,7 +64,7 @@ func newEval(t *testing.T) *Evaluator {
 func TestEvaluateHandComputed(t *testing.T) {
 	e := newEval(t)
 	// All three tasks on machine 0 in arrival order.
-	a := &Allocation{Machine: []int{0, 0, 0}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, 0, 0}, Order: []int32{0, 1, 2}}
 	if err := e.Validate(a); err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestEvaluateHandComputed(t *testing.T) {
 func TestGlobalOrderControlsSequence(t *testing.T) {
 	e := newEval(t)
 	// Tasks 0 and 2 both on machine 0; run task 2 first by global order.
-	a := &Allocation{Machine: []int{0, 1, 0}, Order: []int{2, 1, 0}}
+	a := &Allocation{Machine: []int32{0, 1, 0}, Order: []int32{2, 1, 0}}
 	if err := e.Validate(a); err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,8 @@ func TestEnergyIndependentOfOrder(t *testing.T) {
 	base := e.Evaluate(a).Energy
 	for i := 0; i < 20; i++ {
 		b := a.Clone()
-		b.Order = src.Perm(a.Len())
+		b.Order = make([]int32, a.Len())
+		src.PermInto32(b.Order)
 		if got := e.Evaluate(b).Energy; math.Abs(got-base) > 1e-9 {
 			t.Fatalf("energy changed with order: %v vs %v", got, base)
 		}
@@ -134,7 +135,7 @@ func TestStartNeverBeforeArrival(t *testing.T) {
 		times, _ := sess.CompletionTimes(a)
 		for i, ct := range times {
 			task := tr.Tasks[i]
-			etc := e.ETCInstance(task.Type, a.Machine[i])
+			etc := e.ETCInstance(task.Type, int(a.Machine[i]))
 			if ct-etc < task.Arrival-1e-9 {
 				t.Fatalf("task %d starts at %v before arrival %v", i, ct-etc, task.Arrival)
 			}
@@ -163,7 +164,7 @@ func TestMachineQueuesDoNotOverlap(t *testing.T) {
 		seq[o] = i
 	}
 	for _, ti := range seq {
-		m := a.Machine[ti]
+		m := int(a.Machine[ti])
 		etc := e.ETCInstance(tr.Tasks[ti].Type, m)
 		byMachine[m] = append(byMachine[m], interval{times[ti] - etc, times[ti]})
 	}
@@ -179,12 +180,12 @@ func TestMachineQueuesDoNotOverlap(t *testing.T) {
 func TestValidateRejectsBadAllocations(t *testing.T) {
 	e := newEval(t)
 	cases := []*Allocation{
-		{Machine: []int{0, 0}, Order: []int{0, 1}},        // wrong length
-		{Machine: []int{0, 0, 9}, Order: []int{0, 1, 2}},  // machine out of range
-		{Machine: []int{0, 0, -1}, Order: []int{0, 1, 2}}, // dropped without permission
-		{Machine: []int{0, 0, 0}, Order: []int{0, 1, 1}},  // duplicate order
-		{Machine: []int{0, 0, 0}, Order: []int{0, 1, 5}},  // order out of range
-		{Machine: []int{0, 0, 0}, Order: []int{0, 1, -2}}, // negative order
+		{Machine: []int32{0, 0}, Order: []int32{0, 1}},        // wrong length
+		{Machine: []int32{0, 0, 9}, Order: []int32{0, 1, 2}},  // machine out of range
+		{Machine: []int32{0, 0, -1}, Order: []int32{0, 1, 2}}, // dropped without permission
+		{Machine: []int32{0, 0, 0}, Order: []int32{0, 1, 1}},  // duplicate order
+		{Machine: []int32{0, 0, 0}, Order: []int32{0, 1, 5}},  // order out of range
+		{Machine: []int32{0, 0, 0}, Order: []int32{0, 1, -2}}, // negative order
 	}
 	for i, a := range cases {
 		if err := e.Validate(a); err == nil {
@@ -223,11 +224,11 @@ func TestValidateRejectsIncapableAssignment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := &Allocation{Machine: []int{1, 1}, Order: []int{0, 1}}
+	bad := &Allocation{Machine: []int32{1, 1}, Order: []int32{0, 1}}
 	if err := e.Validate(bad); err == nil {
 		t.Fatal("general-purpose task on special-purpose machine accepted")
 	}
-	good := &Allocation{Machine: []int{0, 1}, Order: []int{0, 1}}
+	good := &Allocation{Machine: []int32{0, 1}, Order: []int32{0, 1}}
 	if err := e.Validate(good); err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestValidateRejectsIncapableAssignment(t *testing.T) {
 func TestDroppedTasks(t *testing.T) {
 	e := newEval(t)
 	e.AllowDropping = true
-	a := &Allocation{Machine: []int{0, Dropped, 0}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, Dropped, 0}, Order: []int32{0, 1, 2}}
 	if err := e.Validate(a); err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestDroppedTasks(t *testing.T) {
 		t.Fatalf("Completed = %d, want 2", ev.Completed)
 	}
 	// Energy excludes the dropped task (task 1 would cost 30*120).
-	full := e.Evaluate(&Allocation{Machine: []int{0, 0, 0}, Order: []int{0, 1, 2}})
+	full := e.Evaluate(&Allocation{Machine: []int32{0, 0, 0}, Order: []int32{0, 1, 2}})
 	if !(ev.Energy < full.Energy) {
 		t.Fatal("dropping did not reduce energy")
 	}
@@ -365,7 +366,7 @@ func TestIdlePowerValidation(t *testing.T) {
 func TestIdlePowerHandComputed(t *testing.T) {
 	e := newEval(t)
 	// All on machine 0 in arrival order: busy 10+30+10=50, end 60, idle 10.
-	a := &Allocation{Machine: []int{0, 0, 0}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, 0, 0}, Order: []int32{0, 1, 2}}
 	base := e.Evaluate(a).Energy
 	if err := e.SetIdlePower([]float64{7, 11}); err != nil {
 		t.Fatal(err)
@@ -385,8 +386,8 @@ func TestIdlePowerMakesEnergyOrderDependent(t *testing.T) {
 	}
 	// Same machines, different order: running task 2 (arrival 50) first
 	// forces idle time before it.
-	a := &Allocation{Machine: []int{0, 1, 0}, Order: []int{0, 1, 2}}
-	b := &Allocation{Machine: []int{0, 1, 0}, Order: []int{2, 1, 0}}
+	a := &Allocation{Machine: []int32{0, 1, 0}, Order: []int32{0, 1, 2}}
+	b := &Allocation{Machine: []int32{0, 1, 0}, Order: []int32{2, 1, 0}}
 	ea, eb := e.Evaluate(a).Energy, e.Evaluate(b).Energy
 	if ea == eb {
 		t.Fatal("idle power should make energy order-dependent here")
@@ -426,7 +427,7 @@ func TestIdlePowerNeverReducesEnergy(t *testing.T) {
 
 func TestReportBreakdown(t *testing.T) {
 	e := newEval(t)
-	a := &Allocation{Machine: []int{0, 0, 1}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, 0, 1}, Order: []int32{0, 1, 2}}
 	reports, err := e.Report(a)
 	if err != nil {
 		t.Fatal(err)
@@ -457,14 +458,14 @@ func TestReportBreakdown(t *testing.T) {
 
 func TestReportValidatesInput(t *testing.T) {
 	e := newEval(t)
-	if _, err := e.Report(&Allocation{Machine: []int{0}, Order: []int{0}}); err == nil {
+	if _, err := e.Report(&Allocation{Machine: []int32{0}, Order: []int32{0}}); err == nil {
 		t.Fatal("short allocation accepted")
 	}
 }
 
 func TestWriteReport(t *testing.T) {
 	e := newEval(t)
-	a := &Allocation{Machine: []int{0, 1, 0}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, 1, 0}, Order: []int32{0, 1, 2}}
 	var sb strings.Builder
 	if err := e.WriteReport(&sb, a); err != nil {
 		t.Fatal(err)
@@ -476,7 +477,7 @@ func TestWriteReport(t *testing.T) {
 
 func TestGanttRowsConsistent(t *testing.T) {
 	e := newEval(t)
-	a := &Allocation{Machine: []int{0, 0, 1}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, 0, 1}, Order: []int32{0, 1, 2}}
 	rows, err := e.Gantt(a)
 	if err != nil {
 		t.Fatal(err)
@@ -511,7 +512,7 @@ func TestGanttRowsConsistent(t *testing.T) {
 func TestGanttSkipsDropped(t *testing.T) {
 	e := newEval(t)
 	e.AllowDropping = true
-	a := &Allocation{Machine: []int{0, Dropped, 1}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, Dropped, 1}, Order: []int32{0, 1, 2}}
 	rows, err := e.Gantt(a)
 	if err != nil {
 		t.Fatal(err)
@@ -523,7 +524,7 @@ func TestGanttSkipsDropped(t *testing.T) {
 
 func TestWriteGanttCSV(t *testing.T) {
 	e := newEval(t)
-	a := &Allocation{Machine: []int{0, 0, 1}, Order: []int{0, 1, 2}}
+	a := &Allocation{Machine: []int32{0, 0, 1}, Order: []int32{0, 1, 2}}
 	var sb strings.Builder
 	if err := e.WriteGanttCSV(&sb, a); err != nil {
 		t.Fatal(err)
@@ -535,7 +536,7 @@ func TestWriteGanttCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "task,task_type,machine") {
 		t.Fatal("CSV header wrong")
 	}
-	if err := e.WriteGanttCSV(&sb, &Allocation{Machine: []int{9}, Order: []int{0}}); err == nil {
+	if err := e.WriteGanttCSV(&sb, &Allocation{Machine: []int32{9}, Order: []int32{0}}); err == nil {
 		t.Fatal("invalid allocation accepted")
 	}
 }
@@ -563,7 +564,7 @@ func TestSessionEvaluateZeroAlloc(t *testing.T) {
 }
 
 func TestAllocationCopyFrom(t *testing.T) {
-	src := &Allocation{Machine: []int{2, 0, 1}, Order: []int{1, 2, 0}}
+	src := &Allocation{Machine: []int32{2, 0, 1}, Order: []int32{1, 2, 0}}
 	dst := NewAllocation(3)
 	dst.CopyFrom(src)
 	for i := range src.Machine {

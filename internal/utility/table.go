@@ -93,6 +93,22 @@ func (tb *Table) Add(f *Function) (int, error) {
 // Len returns the number of compiled functions.
 func (tb *Table) Len() int { return len(tb.progs) }
 
+// TailThreshold returns the compiled function's tail guard: any elapsed
+// time >= the threshold is guaranteed past every segment, and Value
+// returns TailValue without walking the segments. Callers that hoist the
+// guard (the typed evaluation kernel) stay bit-identical to Value as
+// long as they use this exact threshold and TailValue's exact product.
+func (tb *Table) TailThreshold(id int) float64 { return tb.progs[id].tailT }
+
+// TailValue returns the utility earned past TailThreshold. It is the
+// same single multiplication Value performs on its tail path, so a
+// caller substituting TailValue for Value past the threshold is
+// bit-identical.
+func (tb *Table) TailValue(id int) float64 {
+	p := &tb.progs[id]
+	return p.prio * p.tail
+}
+
 // Value returns the utility earned by the id-th compiled function at the
 // given elapsed time. It is bit-identical to calling Value on the
 // function passed to Add.

@@ -118,7 +118,7 @@ func Anneal(e *sched.Evaluator, cfg Config, src *rng.Source) (*Result, error) {
 			k := src.Intn(n)
 			el := e.Eligible(tasks[k].Type)
 			old := cur.Machine[k]
-			cur.Machine[k] = el[src.Intn(len(el))]
+			cur.Machine[k] = int32(el[src.Intn(len(el))])
 			undo = func() { cur.Machine[k] = old }
 		} else {
 			x, y := src.Intn(n), src.Intn(n)
