@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate bench-dedup bench-dedup-record bench-typed bench-typed-record trace-smoke check
+.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate bench-dedup bench-dedup-record bench-typed bench-typed-record bench-scale bench-scale-record trace-smoke check
 
 # Benchmarks guarded by the >10% regression gate (cmd/benchdiff against
 # BENCH_step.json): generation cost, front extraction, and the
@@ -34,9 +34,12 @@ race:
 	$(GO) test -race -shuffle=on ./...
 
 # One iteration of each Step benchmark: catches benchmarks that no longer
-# compile or panic, without paying for a full measurement run.
+# compile or panic, without paying for a full measurement run. -short
+# keeps the smoke fast: the Step pattern also matches the scale-slice
+# BenchmarkScaleStep benchmarks, whose 50k/200k-task trace synthesis
+# alone costs tens of seconds and which self-skip under -short.
 bench-smoke:
-	$(GO) test -run '^$$' -bench Step -benchtime 1x -benchmem .
+	$(GO) test -short -run '^$$' -bench Step -benchtime 1x -benchmem .
 
 # Re-measure the gated benchmarks and refresh the canonical baseline at
 # the repo root (BENCH_step.json).
@@ -85,6 +88,24 @@ bench-typed-record:
 bench-dedup-record:
 	$(GO) test -run '^$$' -bench BenchmarkDedup -benchtime 300ms -count 3 -benchmem . | tee /tmp/bench_dedup.txt
 	$(GO) run ./cmd/benchdiff -record BENCH_dedup.json /tmp/bench_dedup.txt
+
+# Scale slice of the regression gate: paper-sized populations stepping
+# over datagen-synthesized 50k/200k-task instances plus the 200k-point
+# ε-archive insert stream, compared against BENCH_scale.json. Minutes of
+# wall clock (trace synthesis dominates), so the slice is deliberately
+# not part of make check — run it when touching the archive, the arena,
+# or the evaluation path. -benchtime 1x with -count 2 bounds the cost
+# while still letting benchdiff average; the 0.30 threshold matches the
+# other long-trace slices.
+bench-scale:
+	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -count 2 -benchmem . > /tmp/bench_scale.txt
+	$(GO) run ./cmd/benchdiff -threshold 0.30 -bench BenchmarkScale BENCH_scale.json /tmp/bench_scale.txt
+
+# Refresh the scale baseline after an intentional change to the archive,
+# arena, or kernels.
+bench-scale-record:
+	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -count 2 -benchmem . | tee /tmp/bench_scale.txt
+	$(GO) run ./cmd/benchdiff -bench BenchmarkScale -record BENCH_scale.json /tmp/bench_scale.txt
 
 # End-to-end telemetry smoke: run a short traced experiment through
 # cmd/tradeoff, then validate the JSONL schema with cmd/tracecheck.

@@ -5,7 +5,20 @@
 //
 // Usage:
 //
-//	datagen [-tasktypes 25] [-special 4] [-speedup 10] [-seed 1] -o system.json
+//	datagen [-tasktypes 25] [-special 4] [-speedup 10] [-seed 1] -o system.json \
+//	        [-tasks 200000] [-window 0] [-traceout trace.json]
+//
+// With -tasks N the command also emits an N-task workload trace for the
+// generated system, making complete 50k/200k/1M-task scale instances
+// reproducible from a single seed. A zero -window keeps the paper's
+// data-set-2 arrival density (0.9 s per task) so large instances stay
+// comparably loaded. The trace uses the same rng stream the tradeoff
+// command derives when regenerating a trace for a loaded system, so
+//
+//	tradeoff -system system.json -tasks N -window W -seed S
+//
+// reproduces the written trace bit for bit; pass the written file
+// directly with -loadtrace to skip regeneration.
 package main
 
 import (
@@ -19,6 +32,7 @@ import (
 	"tradeoff/internal/etcgen"
 	"tradeoff/internal/hcs"
 	"tradeoff/internal/rng"
+	"tradeoff/internal/workload"
 )
 
 func main() {
@@ -34,12 +48,19 @@ func main() {
 		method    = flag.String("method", "gram-charlier", "generation method: gram-charlier (paper), cvb, range")
 		machines  = flag.Int("machines", 13, "machine types for cvb/range methods")
 		basePower = flag.Float64("basepower", 120, "fleet-average power in watts for cvb/range methods")
+		tasks     = flag.Int("tasks", 0, "also emit a workload trace with this many tasks (0 = system only)")
+		window    = flag.Float64("window", 0, "trace window in seconds (0 = 0.9 s per task, the data-set-2 density)")
+		traceOut  = flag.String("traceout", "trace.json", "trace output path (with -tasks)")
 	)
 	flag.Parse()
 
 	switch *method {
 	case "cvb", "range":
-		if err := writeClassic(*method, *taskTypes, *machines, *basePower, *seed, *out); err != nil {
+		sys, err := writeClassic(*method, *taskTypes, *machines, *basePower, *seed, *out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeTrace(sys, *tasks, *window, *seed, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -87,11 +108,41 @@ func main() {
 				epcRep.Real, epcRep.Synthetic, epcRep.Distance)
 		}
 	}
+	if err := writeTrace(sys, *tasks, *window, *seed, *traceOut); err != nil {
+		fatal(err)
+	}
+}
+
+// writeTrace generates and writes an n-task trace for sys. A no-op when
+// n <= 0. The trace stream is (seed, 10) — the one the tradeoff command
+// uses to regenerate a trace for a loaded system file — so the written
+// instance is reproducible from the seed alone.
+func writeTrace(sys *hcs.System, n int, window float64, seed uint64, out string) error {
+	if n <= 0 {
+		return nil
+	}
+	if window == 0 {
+		window = 0.9 * float64(n)
+	}
+	tr, err := workload.Generate(sys, workload.GenConfig{NumTasks: n, Window: window}, rng.NewStream(seed, 10))
+	if err != nil {
+		return err
+	}
+	raw, err := workload.EncodeTrace(tr)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d tasks over %.0f s\n", out, tr.NumTasks(), tr.Window)
+	return nil
 }
 
 // writeClassic generates a system with one of the Ali et al. methods
-// (range-based or CVB) and derives a plausible EPC matrix.
-func writeClassic(method string, taskTypes, machineTypes int, basePower float64, seed uint64, out string) error {
+// (range-based or CVB), derives a plausible EPC matrix, and returns the
+// written system so a trace can be attached.
+func writeClassic(method string, taskTypes, machineTypes int, basePower float64, seed uint64, out string) (*hcs.System, error) {
 	src := rng.New(seed)
 	var (
 		etc hcs.Matrix
@@ -115,26 +166,26 @@ func writeClassic(method string, taskTypes, machineTypes int, basePower float64,
 		}, src)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	epc, err := etcgen.PowerFromETC(etc, basePower, 0.4, src)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sys, err := etcgen.SystemFrom(etc, epc)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	raw, err := json.MarshalIndent(sys, "", "  ")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := os.WriteFile(out, raw, 0o644); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("wrote %s (%s method): %d task types, %d machine types\n",
 		out, method, sys.NumTaskTypes(), sys.NumMachineTypes())
-	return nil
+	return sys, nil
 }
 
 func fatal(err error) {

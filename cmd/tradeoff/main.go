@@ -16,6 +16,13 @@
 // serves the run's metric registry as Prometheus text on /metrics and
 // JSON on /metrics.json. Neither changes the optimization result.
 //
+// -islands runs the island model; -async switches its Run loop to
+// asynchronous steady-state stepping (bit-identical results).
+// -archive bounds the reported front to at most N ε-dominance
+// representatives, with box widths from -archive-eps or derived from
+// the front's own extent — essential at 10^5+ tasks, where raw fronts
+// hold thousands of near-duplicate points.
+//
 // -cache-capacity bounds the fitness-memoization cache (0 picks the
 // default of 4x the population, negative disables it) and
 // -machine-cache-capacity bounds the machine-bucket memoization cache
@@ -33,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -71,6 +79,9 @@ func main() {
 		ganttPath   = flag.String("gantt", "", "write the efficient-region schedule as Gantt CSV")
 		traceCSV    = flag.String("tracecsv", "", "import the trace from a CSV (arrival,task_type[,priority,horizon])")
 		islands     = flag.Int("islands", 0, "run the island model with this many populations (0 = single population)")
+		asyncFlag   = flag.Bool("async", false, "asynchronous island stepping (with -islands; bit-identical results)")
+		archiveSize = flag.Int("archive", 0, "bound the reported front to at most this many ε-dominance representatives (0 = full front)")
+		archiveEps  = flag.String("archive-eps", "", "comma-separated ε widths utility,energy for -archive (empty = derived from the front extent)")
 		machines    = flag.Bool("machines", false, "print the per-machine breakdown of the efficient-region allocation")
 		tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
@@ -183,6 +194,10 @@ func main() {
 	}
 	fmt.Printf("analyzing %s: %d tasks over %.0f s on %d machines\n",
 		name, fw.Trace().NumTasks(), fw.Trace().Window, fw.System().NumMachines())
+	eps, err := parseEpsilon(*archiveEps)
+	if err != nil {
+		fatal(err)
+	}
 	res, err := fw.Optimize(core.Options{
 		Generations:    *generations,
 		PopulationSize: *pop,
@@ -191,6 +206,9 @@ func main() {
 		RandomSeed:     *seed,
 		Workers:        *workers,
 		Islands:        *islands,
+		AsyncIslands:   *asyncFlag,
+		ArchiveSize:    *archiveSize,
+		ArchiveEpsilon: eps,
 		CacheCapacity:  *cacheCap,
 		CacheVerify:    *cacheVerify,
 		Observer:       tel.Observer(),
@@ -353,6 +371,21 @@ func buildFramework(dataset int, systemFile string, tasks int, window float64, s
 	}
 	fw, err := core.New(ds.System, ds.Trace)
 	return fw, ds.Name, err
+}
+
+func parseEpsilon(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -archive-eps %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseSeeds(s string) ([]heuristics.Heuristic, error) {

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"tradeoff/internal/analysis"
@@ -92,6 +93,23 @@ type Options struct {
 	Islands int
 	// MigrationInterval is the island migration period (default 25).
 	MigrationInterval int
+	// AsyncIslands selects asynchronous steady-state island stepping:
+	// each island advances on its own goroutine under a logical-clock
+	// migration schedule with no per-generation barrier. Results and
+	// telemetry are bit-identical to synchronous stepping; only
+	// meaningful with Islands > 1. See internal/nsga2.
+	AsyncIslands bool
+	// ArchiveSize, when > 0, bounds the returned front: the final
+	// rank-1 points are filtered through an ε-dominance archive keeping
+	// at most ArchiveSize well-spread representatives (with their
+	// allocations). Region and Hypervolume describe the compacted
+	// front. Essential at 10^5+ tasks, where raw fronts can hold
+	// thousands of near-duplicate points.
+	ArchiveSize int
+	// ArchiveEpsilon gives the per-objective ε box widths
+	// (utility, energy) for ArchiveSize; empty derives each width from
+	// the front's own extent divided by ArchiveSize.
+	ArchiveEpsilon []float64
 	// CacheCapacity bounds the fitness-memoization cache: 0 picks the
 	// engine default (4× the population), negative disables memoization.
 	// Results are bit-identical for every setting; see internal/nsga2.
@@ -218,15 +236,87 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 		res.Front = append(res.Front, analysis.FrontPoint{Utility: ind.Objectives[0], Energy: ind.Objectives[1]})
 		res.Allocations = append(res.Allocations, ind.Alloc)
 	}
+	if err := finishResult(res, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// finishResult applies the optional ε-archive front compaction, then
+// computes the UPE region and hypervolume of the front actually
+// returned to the caller.
+func finishResult(res *Result, opts Options) error {
+	if err := compactFront(res, opts.ArchiveSize, opts.ArchiveEpsilon); err != nil {
+		return err
+	}
 	region, err := analysis.AnalyzeUPE(res.Front, opts.UPETolerance)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	res.Region = region
 	sp := moea.UtilityEnergySpace()
 	objs := analysis.ToObjectives(res.Front)
 	res.Hypervolume = sp.Hypervolume2D(objs, sp.ReferenceFrom(0.05, objs))
-	return res, nil
+	return nil
+}
+
+// compactFront filters res.Front through a bounded ε-dominance archive
+// of at most size points, carrying each surviving point's allocation
+// along. A no-op when size <= 0. The archive emits points in improving
+// utility order (descending, for the Maximize sense); reversing gives
+// ascending utility, which for mutually nondominated
+// (max-utility, min-energy) points is also ascending energy — the
+// Front sort contract is preserved.
+func compactFront(res *Result, size int, eps []float64) error {
+	if size <= 0 {
+		return nil
+	}
+	sp := moea.UtilityEnergySpace()
+	switch {
+	case len(eps) == 0:
+		eps = deriveEpsilon(res.Front, size)
+	case len(eps) != sp.Dim():
+		return fmt.Errorf("core: ArchiveEpsilon has %d widths, want %d (utility, energy)", len(eps), sp.Dim())
+	default:
+		for _, e := range eps {
+			if !(e > 0) || math.IsInf(e, 0) {
+				return fmt.Errorf("core: ArchiveEpsilon widths must be positive and finite, got %v", eps)
+			}
+		}
+	}
+	ar := moea.NewEpsilonArchive(sp, eps, size)
+	for i, p := range res.Front {
+		ar.Add([]float64{p.Utility, p.Energy}, i)
+	}
+	pts, pays := ar.Points(), ar.Payloads()
+	front := make([]analysis.FrontPoint, len(pts))
+	allocs := make([]*sched.Allocation, len(pts))
+	for i := range pts {
+		j := len(pts) - 1 - i
+		front[i] = analysis.FrontPoint{Utility: pts[j][0], Energy: pts[j][1]}
+		allocs[i] = res.Allocations[pays[j].(int)]
+	}
+	res.Front, res.Allocations = front, allocs
+	return nil
+}
+
+// deriveEpsilon spreads size ε-boxes across the front's own extent in
+// each objective. Degenerate extents (single point, empty front) fall
+// back to a unit width, which collapses the objective into one box.
+func deriveEpsilon(front []analysis.FrontPoint, size int) []float64 {
+	minU, maxU := math.Inf(1), math.Inf(-1)
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	for _, p := range front {
+		minU, maxU = math.Min(minU, p.Utility), math.Max(maxU, p.Utility)
+		minE, maxE = math.Min(minE, p.Energy), math.Max(maxE, p.Energy)
+	}
+	eps := []float64{(maxU - minU) / float64(size), (maxE - minE) / float64(size)}
+	for k, e := range eps {
+		if !(e > 0) {
+			eps[k] = 1
+		}
+	}
+	return eps
 }
 
 // optimizeIslands runs the island model and assembles the merged front.
@@ -234,6 +324,7 @@ func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*R
 	is, err := nsga2.NewIslands(f.eval, nsga2.IslandConfig{
 		Islands:           opts.Islands,
 		MigrationInterval: opts.MigrationInterval,
+		Async:             opts.AsyncIslands,
 		Engine: nsga2.Config{
 			PopulationSize: opts.PopulationSize,
 			MutationRate:   opts.MutationRate,
@@ -266,14 +357,9 @@ func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*R
 		res.Front = append(res.Front, analysis.FrontPoint{Utility: ind.Objectives[0], Energy: ind.Objectives[1]})
 		res.Allocations = append(res.Allocations, ind.Alloc)
 	}
-	region, err := analysis.AnalyzeUPE(res.Front, opts.UPETolerance)
-	if err != nil {
+	if err := finishResult(res, opts); err != nil {
 		return nil, err
 	}
-	res.Region = region
-	sp := moea.UtilityEnergySpace()
-	objs := analysis.ToObjectives(res.Front)
-	res.Hypervolume = sp.Hypervolume2D(objs, sp.ReferenceFrom(0.05, objs))
 	return res, nil
 }
 

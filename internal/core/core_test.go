@@ -213,6 +213,101 @@ func TestOptimizeIslands(t *testing.T) {
 	}
 }
 
+// TestOptimizeAsyncIslandsMatchesSync: the API-level async toggle is
+// bit-identical to synchronous island stepping.
+func TestOptimizeAsyncIslandsMatchesSync(t *testing.T) {
+	f := newFramework(t, 50)
+	opts := Options{
+		Generations:       18,
+		PopulationSize:    8,
+		Islands:           3,
+		MigrationInterval: 5,
+		RandomSeed:        7,
+	}
+	sync, err := f.Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.AsyncIslands = true
+	async, err := f.Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sync.Front) != len(async.Front) {
+		t.Fatalf("front sizes differ: sync %d, async %d", len(sync.Front), len(async.Front))
+	}
+	for i := range sync.Front {
+		if sync.Front[i] != async.Front[i] {
+			t.Fatalf("front point %d differs: sync %+v, async %+v", i, sync.Front[i], async.Front[i])
+		}
+	}
+	if sync.Hypervolume != async.Hypervolume {
+		t.Fatal("hypervolumes differ")
+	}
+}
+
+// TestOptimizeArchiveCompaction: ArchiveSize bounds the returned front
+// through the ε-dominance archive while keeping the sort contract and
+// point/allocation alignment.
+func TestOptimizeArchiveCompaction(t *testing.T) {
+	f := newFramework(t, 60)
+	opts := Options{Generations: 25, PopulationSize: 20, RandomSeed: 4}
+	full, err := f.Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Front) < 4 {
+		t.Skipf("front too small (%d points) to exercise compaction", len(full.Front))
+	}
+	opts.ArchiveSize = 3
+	compact, err := f.Optimize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact.Front) > 3 {
+		t.Fatalf("compacted front has %d points, want <= 3", len(compact.Front))
+	}
+	if len(compact.Front) == 0 {
+		t.Fatal("compacted front empty")
+	}
+	if len(compact.Allocations) != len(compact.Front) {
+		t.Fatal("allocations not aligned with compacted front")
+	}
+	fullSet := make(map[[2]float64]bool, len(full.Front))
+	for _, p := range full.Front {
+		fullSet[[2]float64{p.Utility, p.Energy}] = true
+	}
+	for i, p := range compact.Front {
+		if i > 0 && p.Energy < compact.Front[i-1].Energy {
+			t.Fatal("compacted front not energy-sorted")
+		}
+		if !fullSet[[2]float64{p.Utility, p.Energy}] {
+			t.Fatalf("compacted point %d not drawn from the full front", i)
+		}
+		ev, err := f.Evaluate(compact.Allocations[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Utility != p.Utility || ev.Energy != p.Energy {
+			t.Fatalf("compacted allocation %d does not reproduce its point", i)
+		}
+	}
+
+	// Explicit widths are honored; malformed widths are rejected.
+	opts.ArchiveEpsilon = []float64{1, 1}
+	if _, err := f.Optimize(opts); err != nil {
+		t.Fatal(err)
+	}
+	opts.ArchiveEpsilon = []float64{1}
+	if _, err := f.Optimize(opts); err == nil {
+		t.Fatal("wrong-length ArchiveEpsilon accepted")
+	}
+	opts.ArchiveEpsilon = []float64{1, -2}
+	if _, err := f.Optimize(opts); err == nil {
+		t.Fatal("negative ArchiveEpsilon accepted")
+	}
+}
+
 func TestOptimizeIslandsRejectsCheckpoints(t *testing.T) {
 	f := newFramework(t, 20)
 	_, err := f.Optimize(Options{Generations: 5, PopulationSize: 4, Islands: 2, Checkpoints: []int{3}})

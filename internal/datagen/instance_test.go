@@ -1,0 +1,48 @@
+package datagen
+
+import (
+	"testing"
+
+	"tradeoff/internal/data"
+)
+
+func TestInstanceDeterministicAndScaled(t *testing.T) {
+	base := data.RealSystem()
+	sys1, tr1, err := Instance(base, Default(), 500, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.NumTasks() != 500 {
+		t.Fatalf("trace has %d tasks, want 500", tr1.NumTasks())
+	}
+	// Zero window picks the data-set-2 arrival density: 0.9 s per task.
+	if tr1.Window != 450 {
+		t.Fatalf("default window %v, want 450", tr1.Window)
+	}
+	sys2, tr2, err := Instance(base, Default(), 500, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys1.NumMachines() != sys2.NumMachines() || sys1.ETC.At(10, 3) != sys2.ETC.At(10, 3) {
+		t.Fatal("instance system not deterministic in seed")
+	}
+	// Task holds a TUF pointer, so compare the value fields.
+	a, b := tr1.Tasks[499], tr2.Tasks[499]
+	if len(tr1.Tasks) != len(tr2.Tasks) || a.Type != b.Type || a.Arrival != b.Arrival {
+		t.Fatal("instance trace not deterministic in seed")
+	}
+	// An explicit window overrides the density default.
+	_, tr3, err := Instance(base, Default(), 100, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr3.Window != 60 {
+		t.Fatalf("explicit window %v, want 60", tr3.Window)
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	if _, _, err := Instance(data.RealSystem(), Default(), 0, 0, 1); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tradeoff/internal/data"
+	"tradeoff/internal/datagen"
+	"tradeoff/internal/sched"
+)
+
+// ScaleDataSet builds a paper-shaped scale instance beyond the three
+// §V-A data sets: the enlarged synthetic 30×13 environment carrying an
+// n-task trace. These are the 50k/200k/1M-task instances the scaling
+// roadmap targets; datagen.Instance keeps the arrival density at data
+// set 2's when window is zero and makes the whole instance
+// deterministic in seed. Checkpoints follow data set 2's schedules.
+func ScaleDataSet(tasks int, window float64, seed uint64) (*DataSet, error) {
+	sys, tr, err := datagen.Instance(data.RealSystem(), datagen.Default(), tasks, window, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scale instance: %w", err)
+	}
+	ev, err := sched.NewEvaluator(sys, tr)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scale evaluator: %w", err)
+	}
+	return &DataSet{
+		Name:               fmt.Sprintf("scale-%s", humanTasks(tasks)),
+		Description:        fmt.Sprintf("synthetic 30x13 environment, %d tasks / %.0f s", tasks, tr.Window),
+		System:             sys,
+		Trace:              tr,
+		Evaluator:          ev,
+		PaperCheckpoints:   []int{1000, 10000, 100000, 1000000},
+		DefaultCheckpoints: []int{250, 1000, 4000, 12000},
+	}, nil
+}
+
+// humanTasks renders a task count compactly: 50000 → "50k", 1000000 →
+// "1m", 2500 → "2500".
+func humanTasks(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return fmt.Sprintf("%dm", n/1_000_000)
+	case n >= 1000 && n%1000 == 0:
+		return fmt.Sprintf("%dk", n/1000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

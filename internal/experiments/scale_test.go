@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+func TestScaleDataSet(t *testing.T) {
+	// Small task count keeps the test fast; the construction path is
+	// identical at 50k/200k/1M.
+	ds, err := ScaleDataSet(2000, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "scale-2k" {
+		t.Fatalf("name %q, want scale-2k", ds.Name)
+	}
+	if ds.Trace.NumTasks() != 2000 {
+		t.Fatalf("trace has %d tasks", ds.Trace.NumTasks())
+	}
+	// Data-set-2 arrival density: 0.9 s per task.
+	if ds.Trace.Window != 1800 {
+		t.Fatalf("window %v, want 1800", ds.Trace.Window)
+	}
+	if ds.System.NumMachines() != 30 {
+		t.Fatalf("system has %d machines, want the enlarged 30", ds.System.NumMachines())
+	}
+	if ds.Evaluator == nil {
+		t.Fatal("no evaluator")
+	}
+	if _, err := ScaleDataSet(0, 0, 3); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+}
+
+func TestHumanTasks(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{{50000, "50k"}, {200000, "200k"}, {1000000, "1m"}, {2500, "2500"}, {999, "999"}}
+	for _, c := range cases {
+		if got := humanTasks(c.n); got != c.want {
+			t.Errorf("humanTasks(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

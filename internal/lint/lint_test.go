@@ -180,6 +180,39 @@ func TestMachineFingerprintFixture(t *testing.T) {
 	checkGolden(t, negDir, negLines)
 }
 
+// TestEpsArchiveFixture golden-checks the bounded ε-dominance archive
+// shape (DESIGN.md §13): the positive fixture seeds the violations a
+// naive grid archive invites — process-seeded box hashing, map-ordered
+// pruning, allocating hot-path inserts — and each must fire; the
+// negative fixture is internal/moea's real shape (fixed hash constants,
+// direct-mapped verified hints, manual binary search, reslice-and-copy
+// splices) and must stay silent.
+func TestEpsArchiveFixture(t *testing.T) {
+	posDir := filepath.Join("testdata", "epsarchive", "pos")
+	posLines := runFixture(t, posDir, Analyzers())
+	for _, want := range []string{"purity", "maprange", "hotalloc"} {
+		found := false
+		for _, l := range posLines {
+			if strings.Contains(l, ": "+want+": ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("positive epsarchive fixture did not trigger %s:\n%s",
+				want, strings.Join(posLines, "\n"))
+		}
+	}
+	checkGolden(t, posDir, posLines)
+	negDir := filepath.Join("testdata", "epsarchive", "neg")
+	negLines := runFixture(t, negDir, Analyzers())
+	if len(negLines) != 0 {
+		t.Errorf("negative epsarchive fixture produced diagnostics:\n%s",
+			strings.Join(negLines, "\n"))
+	}
+	checkGolden(t, negDir, negLines)
+}
+
 // TestSuppress checks //detlint:allow: two excused wall-clock reads stay
 // silent, the third is reported.
 func TestSuppress(t *testing.T) {

@@ -1,0 +1,77 @@
+// Package neg is the determinism-clean shape of a bounded ε-dominance
+// archive — the one internal/moea actually uses: compile-time hash
+// constants (no process seeding), a direct-mapped verified hint table
+// instead of a map, a manual binary search over the box staircase (no
+// sort.Search closure), and a splice that recycles value buffers with
+// self-reslices and copy instead of appending on the hot path.
+package neg
+
+// Splitmix-style mixing constants, fixed at compile time: the same
+// ε-box hashes identically in every process, so hint hits replay.
+const (
+	hintSize = 256
+	hashM1   = 0xbf58476d1ce4e5b9
+	hashM2   = 0x94d049bb133111eb
+)
+
+// hashBox mixes the two box coordinates, allocation-free.
+func hashBox(b0, b1 int64) uint64 {
+	x := uint64(b0)*hashM1 ^ uint64(b1)
+	x ^= x >> 30
+	x *= hashM2
+	x ^= x >> 27
+	return x
+}
+
+type hint struct {
+	b0, b1 int64
+	idx    int
+	live   bool
+}
+
+// archive keeps one representative per occupied ε-box on the 2-D
+// staircase invariant: box0 strictly ascending, box1 strictly
+// descending.
+type archive struct {
+	points [][]float64
+	boxes  []int64 // b0,b1 per entry
+	free   [][]float64
+	hints  [hintSize]hint
+}
+
+// lower returns the first staircase slot with box0 >= b0 — a manual
+// binary search, closure-free.
+//
+//detlint:hotpath
+func (a *archive) lower(b0 int64) int {
+	lo, hi := 0, len(a.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.boxes[2*mid] < b0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insert places point into staircase slot i, reusing a recycled value
+// buffer and shifting the suffix with copy — the backing arrays were
+// sized at construction, so the hot path never appends.
+//
+//detlint:hotpath
+func (a *archive) insert(i int, b0, b1 int64, point []float64) {
+	n := len(a.points)
+	a.points = a.points[:n+1]
+	a.boxes = a.boxes[:2*n+2]
+	copy(a.points[i+1:], a.points[i:n])
+	copy(a.boxes[2*i+2:], a.boxes[2*i:2*n])
+	buf := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	copy(buf, point)
+	a.points[i] = buf
+	a.boxes[2*i], a.boxes[2*i+1] = b0, b1
+	h := hashBox(b0, b1) & (hintSize - 1)
+	a.hints[h] = hint{b0: b0, b1: b1, idx: i, live: true}
+}

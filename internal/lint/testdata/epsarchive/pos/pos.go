@@ -1,0 +1,53 @@
+// Package pos seeds the determinism violations a naive ε-dominance
+// archive invites: process-seeded box hashing (mutable package-level
+// seed, the hash/maphash pattern), a map-backed box index whose pruning
+// scan iterates the map, and an annotated insert path that allocates
+// per call.
+package pos
+
+import "fmt"
+
+// boxSeed is re-derived at startup in maphash-style code; any mutation
+// makes box hashes differ between processes, so replayed runs disagree
+// about which grid cells collide and keep different representatives.
+var boxSeed uint64
+
+func reseed(v uint64) {
+	boxSeed = v // mutable global: box identity now depends on call history
+}
+
+type boxKey struct{ b0, b1 int64 }
+
+// grid maps ε-boxes to archive slots with no deterministic order.
+type grid struct {
+	boxes   map[boxKey]int
+	points  [][]float64
+	victims []boxKey
+}
+
+// prune collects over-full boxes by iterating the map: the victim
+// order — and therefore which representatives survive — changes run to
+// run.
+//
+//detlint:hotpath
+func (g *grid) prune(maxBox int64) {
+	for k := range g.boxes {
+		if k.b0 > maxBox {
+			g.victims = append(g.victims, k) // grows forever, order unstable
+		}
+	}
+	for _, k := range g.victims {
+		delete(g.boxes, k)
+	}
+}
+
+// insert appends without a capacity guard and formats a label per call
+// inside the hot path.
+//
+//detlint:hotpath
+func (g *grid) insert(b0, b1 int64, pt []float64) string {
+	k := boxKey{b0 ^ int64(boxSeed), b1}
+	g.boxes[k] = len(g.points)
+	g.points = append(g.points, pt)
+	return fmt.Sprintf("box (%d,%d)", b0, b1)
+}

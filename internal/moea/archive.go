@@ -1,11 +1,26 @@
 package moea
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // Archive incrementally maintains a nondominated set of objective
 // vectors with attached payloads. Adding a dominated point is a no-op;
 // adding a dominating point evicts everything it dominates. Duplicated
 // objective vectors are kept only once (first wins).
+//
+// Two modes share the API:
+//
+//   - Exact mode (NewArchive / NewBoundedArchive): plain Pareto
+//     dominance, O(n) scan per insert. Suitable for small fronts.
+//   - ε-dominance mode (NewEpsilonArchive): objective space is cut into
+//     an ε-grid and at most one representative is kept per occupied box
+//     (DESIGN.md §13). Insert cost is O(log n) against the 2-D box
+//     staircase with an O(1) hash fast path for repeat boxes, and the
+//     archive size is bounded by the grid resolution regardless of how
+//     many points stream in — the property that keeps million-point
+//     fronts tractable.
 type Archive struct {
 	space    Space
 	points   [][]float64
@@ -13,7 +28,32 @@ type Archive struct {
 	// maxSize bounds the archive; 0 means unbounded. When full, the most
 	// crowded point is pruned to make room, keeping the front spread.
 	maxSize int
+
+	// ε-grid state; nil eps selects exact mode. boxes holds the
+	// canonical (minimization-sense) box coordinates of every entry,
+	// dim values per entry, aligned with points/payloads. In the 2-D
+	// fast path entries are kept sorted by box0 strictly ascending —
+	// mutual box-nondominance then forces box1 strictly descending, a
+	// staircase that binary-searches in O(log n). freeVals recycles
+	// point buffers so steady-state inserts never allocate.
+	eps      []float64
+	boxes    []int64
+	freeVals [][]float64
+	hints    []boxHint
 }
+
+// boxHint is one slot of the direct-mapped box→index hint table: the
+// O(1) fast path for candidates landing in an already-occupied box (the
+// common case once a front has formed). Hints are verified against the
+// live staircase before use, so stale entries are harmless.
+type boxHint struct {
+	b0, b1 int64
+	idx    int32
+	live   bool
+}
+
+// boxHintSize is the hint-table size (power of two).
+const boxHintSize = 256
 
 // NewArchive returns an empty unbounded archive over the given space.
 func NewArchive(space Space) *Archive {
@@ -29,13 +69,69 @@ func NewBoundedArchive(space Space, maxSize int) *Archive {
 	return &Archive{space: space, maxSize: maxSize}
 }
 
+// NewEpsilonArchive returns a bounded ε-dominance archive: objective
+// space is partitioned into boxes of per-objective width eps[k]
+// (canonicalized to minimization sense), at most one point is retained
+// per occupied box, and a candidate is rejected when an occupied box
+// dominates its box component-wise. Within one box the duel keeps the
+// dominating point, or failing that the point closer to the box's
+// utopia corner, with ties resolved for the incumbent — so outcomes are
+// deterministic in the insertion order. maxSize is a hard cap on top of
+// the grid bound; on overflow the most crowded point is pruned.
+//
+// All storage is preallocated at construction: steady-state Add never
+// allocates.
+func NewEpsilonArchive(space Space, eps []float64, maxSize int) *Archive {
+	if maxSize < 1 {
+		panic("moea: epsilon archive needs maxSize >= 1")
+	}
+	dim := len(space.Senses)
+	if len(eps) != dim {
+		panic("moea: epsilon archive needs one eps per objective")
+	}
+	for _, e := range eps {
+		if !(e > 0) {
+			panic("moea: epsilon archive needs eps > 0")
+		}
+	}
+	capSlots := maxSize + 1 // one transient extra before overflow pruning
+	ar := &Archive{
+		space:    space,
+		maxSize:  maxSize,
+		eps:      append([]float64(nil), eps...),
+		points:   make([][]float64, 0, capSlots),
+		payloads: make([]interface{}, 0, capSlots),
+		boxes:    make([]int64, 0, capSlots*dim),
+		freeVals: make([][]float64, 0, capSlots),
+		hints:    make([]boxHint, boxHintSize),
+	}
+	back := make([]float64, capSlots*dim)
+	for s := 0; s < capSlots; s++ {
+		ar.freeVals = append(ar.freeVals, back[s*dim:s*dim:(s+1)*dim])
+	}
+	return ar
+}
+
 // Len returns the number of archived points.
 func (ar *Archive) Len() int { return len(ar.points) }
 
+// Epsilon returns a copy of the per-objective box widths, or nil for an
+// exact-mode archive.
+func (ar *Archive) Epsilon() []float64 {
+	if ar.eps == nil {
+		return nil
+	}
+	return append([]float64(nil), ar.eps...)
+}
+
 // Add offers a point to the archive. It returns true if the point was
-// accepted (i.e. it is nondominated with respect to the archive and not
-// an exact duplicate).
+// accepted (i.e. it is nondominated — box-wise in ε mode — with respect
+// to the archive and not an exact duplicate). The point is copied;
+// rejected points and payloads are never retained.
 func (ar *Archive) Add(point []float64, payload interface{}) bool {
+	if ar.eps != nil {
+		return ar.addEps(point, payload)
+	}
 	for _, p := range ar.points {
 		if ar.space.Dominates(p, point) || equalVec(p, point) {
 			return false
@@ -50,6 +146,12 @@ func (ar *Archive) Add(point []float64, payload interface{}) bool {
 			keepPay = append(keepPay, ar.payloads[i])
 		}
 	}
+	// Clear the vacated tail so evicted points and payloads are
+	// released to the collector, not retained by the backing arrays.
+	for i := len(keepPts); i < len(ar.points); i++ {
+		ar.points[i] = nil
+		ar.payloads[i] = nil
+	}
 	ar.points = keepPts
 	ar.payloads = keepPay
 	ar.points = append(ar.points, append([]float64(nil), point...))
@@ -58,6 +160,295 @@ func (ar *Archive) Add(point []float64, payload interface{}) bool {
 		ar.pruneMostCrowded()
 	}
 	return true
+}
+
+// canon returns objective k of point in canonical minimization sense.
+func (ar *Archive) canon(point []float64, k int) float64 {
+	if ar.space.Senses[k] == Maximize {
+		return -point[k]
+	}
+	return point[k]
+}
+
+// boxCoord returns the ε-grid coordinate of objective k of point.
+func (ar *Archive) boxCoord(point []float64, k int) int64 {
+	return int64(math.Floor(ar.canon(point, k) / ar.eps[k]))
+}
+
+// addEps dispatches an ε-mode insert: the 2-D staircase fast path for
+// bi-objective spaces, a linear box scan otherwise.
+//
+//detlint:hotpath
+func (ar *Archive) addEps(point []float64, payload interface{}) bool {
+	if len(point) != len(ar.eps) {
+		panic("moea: point dimension mismatch")
+	}
+	if len(ar.eps) == 2 {
+		return ar.addEps2D(point, payload)
+	}
+	return ar.addEpsGeneric(point, payload)
+}
+
+// hashBox mixes a 2-D box coordinate into a hint-table slot with fixed
+// constants (splitmix64 finalizer), so runs are reproducible across
+// processes.
+func hashBox(b0, b1 int64) uint64 {
+	x := uint64(b0)*0x9e3779b97f4a7c15 ^ uint64(b1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// addEps2D inserts into the sorted box staircase: box0 strictly
+// ascending, box1 strictly descending. A verified hash hint resolves
+// repeat boxes in O(1); otherwise a manual binary search (sort.Search's
+// closure would allocate here) finds the candidate's column in
+// O(log n). Structural edits splice a contiguous run, so the staircase
+// invariant is maintained without re-sorting.
+//
+//detlint:hotpath
+func (ar *Archive) addEps2D(point []float64, payload interface{}) bool {
+	b0 := ar.boxCoord(point, 0)
+	b1 := ar.boxCoord(point, 1)
+	n := len(ar.points)
+
+	// O(1) fast path: a verified hint for an already-occupied box.
+	h := hashBox(b0, b1) & (boxHintSize - 1)
+	if e := &ar.hints[h]; e.live && e.b0 == b0 && e.b1 == b1 {
+		if i := int(e.idx); i < n && ar.boxes[2*i] == b0 && ar.boxes[2*i+1] == b1 {
+			return ar.duel(i, point, payload)
+		}
+		e.live = false // stale after a structural edit; fall through
+	}
+
+	// Lower bound: first entry with box0 >= b0.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ar.boxes[2*mid] < b0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
+	if i < n && ar.boxes[2*i] == b0 {
+		if ar.boxes[2*i+1] == b1 {
+			ar.hints[h] = boxHint{b0: b0, b1: b1, idx: int32(i), live: true}
+			return ar.duel(i, point, payload)
+		}
+		if ar.boxes[2*i+1] < b1 {
+			return false // same column, strictly better row ⇒ box-dominated
+		}
+		// Entry i shares the column with a worse row: it falls inside
+		// the eviction run below.
+	} else if i > 0 && ar.boxes[2*(i-1)+1] <= b1 {
+		// The staircase predecessor has box0 < b0; with box1 <= b1 it
+		// box-dominates the candidate. Because box1 is descending, the
+		// predecessor holds the minimum box1 over all columns <= b0, so
+		// this single probe decides dominance for the whole prefix.
+		return false
+	}
+	// Evict the box-dominated run [i, j): entries with box0 >= b0 and
+	// box1 >= b1 form a contiguous prefix of the suffix.
+	j := i
+	for j < n && ar.boxes[2*j+1] >= b1 {
+		j++
+	}
+	ar.spliceEps(i, j, b0, b1, point, payload)
+	ar.hints[h] = boxHint{b0: b0, b1: b1, idx: int32(i), live: true}
+	if len(ar.points) > ar.maxSize {
+		ar.pruneEps()
+	}
+	return true
+}
+
+// spliceEps replaces the entry run [i, j) with one new entry at i,
+// recycling freed point buffers. All slices were preallocated at
+// construction, so no allocation happens here.
+//
+//detlint:hotpath
+func (ar *Archive) spliceEps(i, j int, b0, b1 int64, point []float64, payload interface{}) {
+	n := len(ar.points)
+	dim := len(ar.eps)
+	if j == i {
+		// Pure insert: shift the suffix right by one and fill slot i
+		// from the free-buffer stack.
+		ar.points = ar.points[:n+1]
+		ar.payloads = ar.payloads[:n+1]
+		ar.boxes = ar.boxes[:dim*(n+1)]
+		copy(ar.points[i+1:], ar.points[i:n])
+		copy(ar.payloads[i+1:], ar.payloads[i:n])
+		copy(ar.boxes[dim*(i+1):], ar.boxes[dim*i:dim*n])
+		k := len(ar.freeVals) - 1
+		v := ar.freeVals[k][:dim]
+		ar.freeVals = ar.freeVals[:k]
+		copy(v, point)
+		ar.points[i] = v
+		ar.payloads[i] = payload
+		ar.boxes[dim*i] = b0
+		ar.boxes[dim*i+1] = b1
+		return
+	}
+	// Overwrite entry i in place, recycle (i, j), close the gap.
+	copy(ar.points[i], point)
+	ar.payloads[i] = payload
+	ar.boxes[dim*i] = b0
+	ar.boxes[dim*i+1] = b1
+	if j == i+1 {
+		return
+	}
+	nf := len(ar.freeVals)
+	ar.freeVals = ar.freeVals[:nf+(j-i-1)]
+	for k := i + 1; k < j; k++ {
+		ar.freeVals[nf] = ar.points[k]
+		nf++
+	}
+	copy(ar.points[i+1:], ar.points[j:n])
+	copy(ar.payloads[i+1:], ar.payloads[j:n])
+	copy(ar.boxes[dim*(i+1):], ar.boxes[dim*j:dim*n])
+	m := n - (j - i - 1)
+	for k := m; k < n; k++ {
+		ar.points[k] = nil // release evicted refs, do not retain
+		ar.payloads[k] = nil
+	}
+	ar.points = ar.points[:m]
+	ar.payloads = ar.payloads[:m]
+	ar.boxes = ar.boxes[:dim*m]
+}
+
+// duel resolves a candidate landing in entry i's box: the dominating
+// point wins; between incomparable points the one closer to the box's
+// utopia corner (ε-normalized canonical coordinates) wins; exact ties
+// keep the incumbent. The replacement reuses the incumbent's buffer.
+//
+//detlint:hotpath
+func (ar *Archive) duel(i int, point []float64, payload interface{}) bool {
+	inc := ar.points[i]
+	if ar.space.Dominates(point, inc) {
+		copy(inc, point)
+		ar.payloads[i] = payload
+		return true
+	}
+	if ar.space.Dominates(inc, point) || equalVec(inc, point) {
+		return false
+	}
+	var dc, dq float64
+	for k := range point {
+		bk := float64(ar.boxCoord(point, k))
+		cc := ar.canon(point, k)/ar.eps[k] - bk
+		cq := ar.canon(inc, k)/ar.eps[k] - bk
+		dc += cc * cc
+		dq += cq * cq
+	}
+	if dc < dq {
+		copy(inc, point)
+		ar.payloads[i] = payload
+		return true
+	}
+	return false
+}
+
+// addEpsGeneric is the ε-mode fallback for spaces with other than two
+// objectives: a linear scan over the (bounded) box set. Entries are
+// kept in insertion order; Points/Payloads sort on output.
+func (ar *Archive) addEpsGeneric(point []float64, payload interface{}) bool {
+	dim := len(ar.eps)
+	n := len(ar.points)
+	for i := 0; i < n; i++ {
+		leq, geq := true, true
+		for k := 0; k < dim; k++ {
+			eb, cb := ar.boxes[i*dim+k], ar.boxCoord(point, k)
+			if eb > cb {
+				leq = false
+			}
+			if eb < cb {
+				geq = false
+			}
+		}
+		if leq && geq {
+			return ar.duel(i, point, payload)
+		}
+		if leq {
+			return false // an occupied box dominates the candidate's
+		}
+	}
+	// Evict entries whose boxes the candidate dominates (>= in every
+	// coordinate; equality was handled above), compacting in order.
+	w := 0
+	for i := 0; i < n; i++ {
+		dominated := true
+		for k := 0; k < dim; k++ {
+			if ar.boxes[i*dim+k] < ar.boxCoord(point, k) {
+				dominated = false
+				break
+			}
+		}
+		if dominated {
+			ar.freeVals = ar.freeVals[:len(ar.freeVals)+1]
+			ar.freeVals[len(ar.freeVals)-1] = ar.points[i]
+			continue
+		}
+		ar.points[w] = ar.points[i]
+		ar.payloads[w] = ar.payloads[i]
+		copy(ar.boxes[w*dim:(w+1)*dim], ar.boxes[i*dim:(i+1)*dim])
+		w++
+	}
+	for k := w; k < n; k++ {
+		ar.points[k] = nil
+		ar.payloads[k] = nil
+	}
+	k := len(ar.freeVals) - 1
+	v := ar.freeVals[k][:dim]
+	ar.freeVals = ar.freeVals[:k]
+	copy(v, point)
+	ar.points = ar.points[:w+1]
+	ar.payloads = ar.payloads[:w+1]
+	ar.boxes = ar.boxes[:(w+1)*dim]
+	ar.points[w] = v
+	ar.payloads[w] = payload
+	for d := 0; d < dim; d++ {
+		ar.boxes[w*dim+d] = ar.boxCoord(point, d)
+	}
+	if len(ar.points) > ar.maxSize {
+		ar.pruneEps()
+	}
+	return true
+}
+
+// pruneEps removes the point with the smallest crowding distance while
+// preserving entry order (the 2-D staircase must stay sorted), and
+// recycles its buffer.
+func (ar *Archive) pruneEps() {
+	front := make([]int, len(ar.points))
+	for i := range front {
+		front[i] = i
+	}
+	dist := ar.space.CrowdingDistance(ar.points, front)
+	victim := -1
+	for i, d := range dist {
+		if victim == -1 || d < dist[victim] {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		return
+	}
+	n := len(ar.points)
+	dim := len(ar.eps)
+	ar.freeVals = ar.freeVals[:len(ar.freeVals)+1]
+	ar.freeVals[len(ar.freeVals)-1] = ar.points[victim]
+	copy(ar.points[victim:], ar.points[victim+1:n])
+	copy(ar.payloads[victim:], ar.payloads[victim+1:n])
+	copy(ar.boxes[dim*victim:], ar.boxes[dim*(victim+1):dim*n])
+	ar.points[n-1] = nil
+	ar.payloads[n-1] = nil
+	ar.points = ar.points[:n-1]
+	ar.payloads = ar.payloads[:n-1]
+	ar.boxes = ar.boxes[:dim*(n-1)]
 }
 
 // pruneMostCrowded removes the point with the smallest crowding distance
@@ -80,6 +471,8 @@ func (ar *Archive) pruneMostCrowded() {
 	last := len(ar.points) - 1
 	ar.points[victim] = ar.points[last]
 	ar.payloads[victim] = ar.payloads[last]
+	ar.points[last] = nil // release, do not retain
+	ar.payloads[last] = nil
 	ar.points = ar.points[:last]
 	ar.payloads = ar.payloads[:last]
 }
@@ -105,6 +498,9 @@ func (ar *Archive) Payloads() []interface{} {
 	return out
 }
 
+// sortedIdx orders entries by the first objective in improving order.
+// The comparator is total (ties fall back to entry index) so the two
+// independent calls from Points and Payloads always agree.
 func (ar *Archive) sortedIdx() []int {
 	idx := make([]int, len(ar.points))
 	for i := range idx {
@@ -112,10 +508,13 @@ func (ar *Archive) sortedIdx() []int {
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		x, y := ar.points[idx[a]][0], ar.points[idx[b]][0]
-		if ar.space.Senses[0] == Maximize {
-			return x > y
+		if x != y {
+			if ar.space.Senses[0] == Maximize {
+				return x > y
+			}
+			return x < y
 		}
-		return x < y
+		return idx[a] < idx[b]
 	})
 	return idx
 }

@@ -1,0 +1,471 @@
+package moea
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tradeoff/internal/rng"
+)
+
+// --- exact-mode semantics ---------------------------------------------------
+
+func TestArchiveExactBasics(t *testing.T) {
+	ar := NewArchive(UtilityEnergySpace())
+	if !ar.Add([]float64{1, 5}, "a") {
+		t.Fatal("first point rejected")
+	}
+	if ar.Add([]float64{1, 5}, "dup") {
+		t.Fatal("exact duplicate accepted")
+	}
+	if ar.Add([]float64{0.5, 6}, "dominated") {
+		t.Fatal("dominated point accepted")
+	}
+	if !ar.Add([]float64{2, 4}, "b") { // dominates (1,5)
+		t.Fatal("dominating point rejected")
+	}
+	if ar.Len() != 1 {
+		t.Fatalf("Len = %d after eviction, want 1", ar.Len())
+	}
+	if got := ar.Payloads()[0]; got != "b" {
+		t.Fatalf("surviving payload = %v, want b", got)
+	}
+}
+
+// TestArchiveEvictedPayloadNotRetained asserts that payloads (and point
+// vectors) dropped by an eviction are cleared from the backing arrays
+// rather than kept alive past the slice length, and that a rejected
+// point's payload never enters the archive at all.
+func TestArchiveEvictedPayloadNotRetained(t *testing.T) {
+	ar := NewArchive(UtilityEnergySpace())
+	for i := 0; i < 8; i++ {
+		// Mutually nondominated fan: utility up, energy up.
+		ar.Add([]float64{float64(i), float64(i)}, i)
+	}
+	if ar.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", ar.Len())
+	}
+	// One point dominating everything evicts all eight.
+	if !ar.Add([]float64{100, -1}, "king") {
+		t.Fatal("dominating point rejected")
+	}
+	if ar.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ar.Len())
+	}
+	backPay := ar.payloads[:cap(ar.payloads)]
+	for i := 1; i < len(backPay); i++ {
+		if backPay[i] != nil {
+			t.Errorf("payload backing slot %d retains %v after eviction", i, backPay[i])
+		}
+	}
+	backPts := ar.points[:cap(ar.points)]
+	for i := 1; i < len(backPts); i++ {
+		if backPts[i] != nil {
+			t.Errorf("point backing slot %d retains %v after eviction", i, backPts[i])
+		}
+	}
+	// Duplicate-objective rejection must not store the payload anywhere.
+	if ar.Add([]float64{100, -1}, "ghost") {
+		t.Fatal("duplicate accepted")
+	}
+	for i, p := range ar.payloads[:cap(ar.payloads)] {
+		if p == "ghost" {
+			t.Errorf("rejected payload retained at backing slot %d", i)
+		}
+	}
+	// Bounded-mode pruning must clear the vacated swap slot too.
+	br := NewBoundedArchive(NewSpace(Minimize, Minimize, Minimize), 2)
+	br.Add([]float64{0, 1, 2}, "p0")
+	br.Add([]float64{1, 2, 0}, "p1")
+	br.Add([]float64{2, 0, 1}, "p2") // overflow: one pruned
+	if br.Len() != 2 {
+		t.Fatalf("bounded Len = %d, want 2", br.Len())
+	}
+	bb := br.payloads[:cap(br.payloads)]
+	for i := br.Len(); i < len(bb); i++ {
+		if bb[i] != nil {
+			t.Errorf("bounded archive retains payload %v at backing slot %d", bb[i], i)
+		}
+	}
+}
+
+// TestArchivePayloadsMatchPoints drives adds and evictions and checks
+// Payloads() stays aligned with Points(), including first-objective ties
+// (possible in spaces with three objectives).
+func TestArchivePayloadsMatchPoints(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize, Minimize)
+	ar := NewArchive(sp)
+	type tagged struct{ pt []float64 }
+	src := rng.New(41)
+	for i := 0; i < 400; i++ {
+		p := []float64{float64(src.Intn(4)), src.Float64() * 10, src.Float64() * 10}
+		ar.Add(p, &tagged{pt: append([]float64(nil), p...)})
+	}
+	pts := ar.Points()
+	pays := ar.Payloads()
+	if len(pts) != len(pays) {
+		t.Fatalf("len(Points)=%d len(Payloads)=%d", len(pts), len(pays))
+	}
+	for i := range pts {
+		tg := pays[i].(*tagged)
+		for k := range pts[i] {
+			if pts[i][k] != tg.pt[k] {
+				t.Fatalf("entry %d: point %v but payload tagged %v", i, pts[i], tg.pt)
+			}
+		}
+	}
+}
+
+// --- ε-mode semantics -------------------------------------------------------
+
+func TestNewEpsilonArchiveValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewEpsilonArchive(UtilityEnergySpace(), []float64{0.1, 0.1}, 0) },
+		func() { NewEpsilonArchive(UtilityEnergySpace(), []float64{0.1}, 10) },
+		func() { NewEpsilonArchive(UtilityEnergySpace(), []float64{0.1, 0}, 10) },
+		func() { NewEpsilonArchive(UtilityEnergySpace(), []float64{0.1, math.NaN()}, 10) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	ar := NewEpsilonArchive(UtilityEnergySpace(), []float64{0.5, 0.5}, 16)
+	if eps := ar.Epsilon(); len(eps) != 2 || eps[0] != 0.5 {
+		t.Fatalf("Epsilon() = %v", eps)
+	}
+	if NewArchive(UtilityEnergySpace()).Epsilon() != nil {
+		t.Fatal("exact archive reports an epsilon")
+	}
+}
+
+// refEpsArchive is a deliberately naive reference implementation of the
+// same ε-dominance semantics: linear scans, no staircase, no hints. The
+// production archive must agree with it entry for entry on any insert
+// stream.
+type refEpsArchive struct {
+	sp       Space
+	eps      []float64
+	pts      [][]float64
+	payloads []interface{}
+}
+
+func (r *refEpsArchive) box(p []float64) []int64 {
+	b := make([]int64, len(r.eps))
+	for k := range r.eps {
+		c := p[k]
+		if r.sp.Senses[k] == Maximize {
+			c = -c
+		}
+		b[k] = int64(math.Floor(c / r.eps[k]))
+	}
+	return b
+}
+
+func (r *refEpsArchive) add(p []float64, payload interface{}) bool {
+	bp := r.box(p)
+	same := -1
+	for i, q := range r.pts {
+		bq := r.box(q)
+		leq, geq := true, true
+		for k := range bp {
+			if bq[k] > bp[k] {
+				leq = false
+			}
+			if bq[k] < bp[k] {
+				geq = false
+			}
+		}
+		if leq && geq {
+			same = i
+			break
+		}
+		if leq {
+			return false
+		}
+	}
+	if same >= 0 {
+		q := r.pts[same]
+		if r.sp.Dominates(p, q) {
+			r.pts[same] = append([]float64(nil), p...)
+			r.payloads[same] = payload
+			return true
+		}
+		if r.sp.Dominates(q, p) || equalVec(q, p) {
+			return false
+		}
+		var dp, dq float64
+		for k := range p {
+			cp, cq := p[k], q[k]
+			if r.sp.Senses[k] == Maximize {
+				cp, cq = -cp, -cq
+			}
+			corner := float64(bp[k])
+			a := cp/r.eps[k] - corner
+			b := cq/r.eps[k] - corner
+			dp += a * a
+			dq += b * b
+		}
+		if dp < dq {
+			r.pts[same] = append([]float64(nil), p...)
+			r.payloads[same] = payload
+			return true
+		}
+		return false
+	}
+	var keepP [][]float64
+	var keepL []interface{}
+	for i, q := range r.pts {
+		bq := r.box(q)
+		dominated := true
+		for k := range bp {
+			if bq[k] < bp[k] {
+				dominated = false
+				break
+			}
+		}
+		if !dominated {
+			keepP = append(keepP, q)
+			keepL = append(keepL, r.payloads[i])
+		}
+	}
+	r.pts = append(keepP, append([]float64(nil), p...))
+	r.payloads = append(keepL, payload)
+	return true
+}
+
+// canonKey renders a point for set comparison.
+func canonKey(p []float64) string {
+	s := ""
+	for _, v := range p {
+		s += "|"
+		s += strconvF(v)
+	}
+	return s
+}
+
+func strconvF(v float64) string {
+	// Exact bit pattern, so distinct floats never collide.
+	u := math.Float64bits(v)
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[u&0xf]
+		u >>= 4
+	}
+	return string(b[:])
+}
+
+// runEpsVsReference streams n random points through the production
+// archive and the reference and requires identical accept verdicts and
+// identical surviving (point, payload) sets.
+func runEpsVsReference(t *testing.T, sp Space, eps []float64, n int, seed uint64, clusterScale float64) {
+	t.Helper()
+	ar := NewEpsilonArchive(sp, eps, 1<<16) // large cap: grid is the bound
+	ref := &refEpsArchive{sp: sp, eps: eps}
+	src := rng.New(seed)
+	dim := sp.Dim()
+	for i := 0; i < n; i++ {
+		p := make([]float64, dim)
+		for k := range p {
+			p[k] = src.Float64() * clusterScale
+		}
+		gotA := ar.Add(p, i)
+		gotR := ref.add(p, i)
+		if gotA != gotR {
+			t.Fatalf("insert %d (%v): archive=%v reference=%v", i, p, gotA, gotR)
+		}
+		if ar.Len() != len(ref.pts) {
+			t.Fatalf("insert %d: Len=%d reference=%d", i, ar.Len(), len(ref.pts))
+		}
+	}
+	want := map[string]interface{}{}
+	for i, p := range ref.pts {
+		want[canonKey(p)] = ref.payloads[i]
+	}
+	pts, pays := ar.Points(), ar.Payloads()
+	if len(pts) != len(want) {
+		t.Fatalf("final size %d, reference %d", len(pts), len(want))
+	}
+	for i, p := range pts {
+		pay, ok := want[canonKey(p)]
+		if !ok {
+			t.Fatalf("point %v not in reference archive", p)
+		}
+		if pay != pays[i] {
+			t.Fatalf("point %v: payload %v, reference %v", p, pays[i], pay)
+		}
+	}
+}
+
+func TestEpsilonArchiveMatchesReference2D(t *testing.T) {
+	sp := UtilityEnergySpace()
+	for _, tc := range []struct {
+		eps   []float64
+		n     int
+		seed  uint64
+		scale float64
+	}{
+		{[]float64{0.25, 0.25}, 3000, 1, 10},  // coarse grid, many duels
+		{[]float64{0.01, 0.01}, 2000, 2, 1},   // fine grid, many boxes
+		{[]float64{0.5, 0.05}, 2500, 3, 5},    // anisotropic
+		{[]float64{1000, 1000}, 500, 4, 10},   // single box: pure duels
+		{[]float64{0.1, 0.1}, 1500, 5, 0.001}, // negative-corner boxes unused; tight cluster
+	} {
+		runEpsVsReference(t, sp, tc.eps, tc.n, tc.seed, tc.scale)
+	}
+}
+
+func TestEpsilonArchiveMatchesReference3D(t *testing.T) {
+	sp := NewSpace(Minimize, Maximize, Minimize)
+	runEpsVsReference(t, sp, []float64{0.2, 0.3, 0.25}, 2000, 7, 4)
+}
+
+// TestEpsilonArchiveStaircaseInvariant white-box checks the 2-D entry
+// order: box0 strictly ascending, box1 strictly descending.
+func TestEpsilonArchiveStaircaseInvariant(t *testing.T) {
+	ar := NewEpsilonArchive(UtilityEnergySpace(), []float64{0.1, 0.1}, 4096)
+	src := rng.New(11)
+	for i := 0; i < 4000; i++ {
+		ar.Add([]float64{src.Float64() * 8, src.Float64() * 8}, nil)
+		n := ar.Len()
+		for j := 1; j < n; j++ {
+			if ar.boxes[2*j] <= ar.boxes[2*(j-1)] {
+				t.Fatalf("insert %d: box0 not strictly ascending at %d", i, j)
+			}
+			if ar.boxes[2*j+1] >= ar.boxes[2*(j-1)+1] {
+				t.Fatalf("insert %d: box1 not strictly descending at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestEpsilonArchiveBounded checks the maxSize cap holds under a stream
+// that occupies far more boxes than the cap.
+func TestEpsilonArchiveBounded(t *testing.T) {
+	ar := NewEpsilonArchive(UtilityEnergySpace(), []float64{1e-4, 1e-4}, 32)
+	src := rng.New(13)
+	for i := 0; i < 5000; i++ {
+		// Sample along a utility/energy tradeoff curve so the stream is
+		// mostly mutually nondominated and occupies thousands of boxes
+		// (a uniform cloud's staircase is only ~ln n points, which
+		// would never press against the cap).
+		u := src.Float64()
+		e := u + 1e-3*src.Float64()
+		ar.Add([]float64{u, e}, i)
+		if ar.Len() > 32 {
+			t.Fatalf("insert %d: Len=%d exceeds cap 32", i, ar.Len())
+		}
+	}
+	if ar.Len() != 32 {
+		t.Fatalf("final Len=%d, want full cap 32", ar.Len())
+	}
+	pts := ar.Points()
+	sp := ar.space
+	for i := range pts {
+		for j := range pts {
+			if i != j && sp.Dominates(pts[i], pts[j]) {
+				// Box-nondominance implies the staircase never holds a
+				// box-dominated pair; the crowding prune preserves that.
+				t.Fatalf("archived points %v dominates %v", pts[i], pts[j])
+			}
+		}
+	}
+}
+
+// TestEpsilonArchiveTieKeepsIncumbent pins the deterministic within-box
+// tie-break: equal corner distance keeps the earlier point.
+func TestEpsilonArchiveTieKeepsIncumbent(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	ar := NewEpsilonArchive(sp, []float64{1, 1}, 8)
+	// Both in box (0,0); incomparable; symmetric distances to corner.
+	if !ar.Add([]float64{0.25, 0.5}, "first") {
+		t.Fatal("first rejected")
+	}
+	if ar.Add([]float64{0.5, 0.25}, "second") {
+		t.Fatal("tied challenger replaced the incumbent")
+	}
+	if got := ar.Payloads()[0]; got != "first" {
+		t.Fatalf("payload = %v, want first", got)
+	}
+	// A strictly closer challenger replaces.
+	if !ar.Add([]float64{0.2, 0.2}, "closer") {
+		t.Fatal("closer challenger rejected")
+	}
+	if got := ar.Payloads()[0]; got != "closer" {
+		t.Fatalf("payload = %v, want closer", got)
+	}
+	if ar.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ar.Len())
+	}
+}
+
+// TestEpsilonArchiveSteadyStateAllocs: once the front stabilizes,
+// repeat-box offers must not allocate.
+func TestEpsilonArchiveSteadyStateAllocs(t *testing.T) {
+	ar := NewEpsilonArchive(UtilityEnergySpace(), []float64{0.5, 0.5}, 64)
+	src := rng.New(17)
+	pts := make([][]float64, 256)
+	for i := range pts {
+		pts[i] = []float64{src.Float64() * 4, src.Float64() * 4}
+		ar.Add(pts[i], i)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(512, func() {
+		// nil payload: boxing a non-interned value would itself allocate
+		// and mask what this test measures.
+		ar.Add(pts[i%len(pts)], nil)
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Add allocates %v per op, want 0", avg)
+	}
+}
+
+// TestEpsilonArchivePayloadRelease: evicted entries release their
+// payload references from the backing array.
+func TestEpsilonArchivePayloadRelease(t *testing.T) {
+	ar := NewEpsilonArchive(UtilityEnergySpace(), []float64{0.1, 0.1}, 64)
+	for i := 0; i < 8; i++ {
+		// Staircase of mutually nondominated boxes.
+		ar.Add([]float64{float64(i), float64(i)}, i)
+	}
+	// Dominates every box: evicts all eight in one splice.
+	if !ar.Add([]float64{100, -100}, "sweep") {
+		t.Fatal("sweeping point rejected")
+	}
+	if ar.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ar.Len())
+	}
+	back := ar.payloads[:cap(ar.payloads)]
+	for i := 1; i < len(back); i++ {
+		if back[i] != nil {
+			t.Errorf("ε archive retains payload %v at backing slot %d", back[i], i)
+		}
+	}
+}
+
+// TestEpsilonArchiveSortedOutput: Points is sorted by the improving
+// direction of objective 0 and aligned with Payloads.
+func TestEpsilonArchiveSortedOutput(t *testing.T) {
+	ar := NewEpsilonArchive(UtilityEnergySpace(), []float64{0.2, 0.2}, 128)
+	src := rng.New(19)
+	for i := 0; i < 1000; i++ {
+		p := []float64{src.Float64() * 6, src.Float64() * 6}
+		ar.Add(p, canonKey(p))
+	}
+	pts, pays := ar.Points(), ar.Payloads()
+	if !sort.SliceIsSorted(pts, func(a, b int) bool { return pts[a][0] > pts[b][0] }) {
+		t.Fatal("Points not sorted by improving utility")
+	}
+	for i := range pts {
+		if pays[i] != canonKey(pts[i]) {
+			t.Fatalf("entry %d: payload %v does not match point %v", i, pays[i], pts[i])
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package nsga2
+
+import (
+	"testing"
+
+	"tradeoff/internal/sched"
+)
+
+// TestArenaChunkSlots pins the genotype growth quantum: byte-bounded by
+// arenaChunkBytes, never below 4 slots, never above the demand hint.
+func TestArenaChunkSlots(t *testing.T) {
+	ar := &arena{batch: 200}
+	cases := []struct {
+		stride, want int
+	}{
+		{64, 200},                 // tiny genomes: demand hint caps the chunk
+		{4096, 200},               // 4k tasks: byte budget (256) still above hint
+		{204800, 5},               // 200k tasks: ~1.6 MB/slot ⇒ 5-slot chunks
+		{1 << 20, 4},              // 1M tasks: floor of 4 slots
+		{arenaChunkBytes * 2, 4},  // absurd stride still yields the floor
+		{arenaChunkBytes / 80, 8}, // exactly 10 slots of budget… clamped math
+	}
+	for _, tc := range cases {
+		got := ar.allocChunkSlots(tc.stride)
+		if got < 4 || got > ar.batch {
+			t.Fatalf("stride %d: chunk %d outside [4, %d]", tc.stride, got, ar.batch)
+		}
+		bytesPerSlot := tc.stride * 8
+		if got > 4 && got < ar.batch && got*bytesPerSlot > arenaChunkBytes {
+			t.Fatalf("stride %d: chunk %d slots = %d bytes exceeds budget", tc.stride, got, got*bytesPerSlot)
+		}
+		if tc.stride == 1<<20 && got != 4 {
+			t.Fatalf("1M-gene stride: chunk %d, want floor 4", got)
+		}
+	}
+}
+
+// TestArenaChunkedGrowth: drawing past one chunk carves additional
+// chunks without touching existing slots, recycled slots are reused
+// before any new chunk is carved, and occupancy tracks draws exactly.
+func TestArenaChunkedGrowth(t *testing.T) {
+	eval := newEval(t, 50)
+	ar := &arena{}
+	ar.init(eval, 2, 10)
+
+	var drawn []*allocHolder
+	for i := 0; i < 25; i++ {
+		a := ar.getAlloc()
+		// Stamp every gene so cross-slot aliasing would be caught below.
+		for k := range a.Machine {
+			a.Machine[k] = int32(i)
+		}
+		drawn = append(drawn, &allocHolder{a, i})
+	}
+	if ar.allocChunks != 3 {
+		t.Fatalf("allocChunks = %d after 25 draws of 10-slot chunks, want 3", ar.allocChunks)
+	}
+	if ar.allocSlots != 30 {
+		t.Fatalf("allocSlots = %d, want 30", ar.allocSlots)
+	}
+	for _, h := range drawn {
+		for k := range h.a.Machine {
+			if h.a.Machine[k] != int32(h.stamp) {
+				t.Fatalf("slot stamped %d reads %d at gene %d: chunks alias or moved",
+					h.stamp, h.a.Machine[k], k)
+			}
+		}
+	}
+	inUse, total := ar.occupancy()
+	if inUse != 25 || total != 30 {
+		t.Fatalf("occupancy %d/%d, want 25/30", inUse, total)
+	}
+	// Recycle everything, draw the full carved count again: steady state
+	// must not grow.
+	for _, h := range drawn {
+		ar.putAlloc(h.a)
+	}
+	for i := 0; i < 30; i++ {
+		ar.getAlloc()
+	}
+	if ar.allocChunks != 3 || ar.allocSlots != 30 {
+		t.Fatalf("steady-state redraw grew the arena to %d chunks / %d slots",
+			ar.allocChunks, ar.allocSlots)
+	}
+	// One more draw crosses the carved capacity: exactly one new chunk.
+	ar.getAlloc()
+	if ar.allocChunks != 4 || ar.allocSlots != 40 {
+		t.Fatalf("overflow draw carved %d chunks / %d slots, want 4/40",
+			ar.allocChunks, ar.allocSlots)
+	}
+}
+
+type allocHolder struct {
+	a     *sched.Allocation
+	stamp int
+}
+
+// TestArenaEngineChunks: a live engine's first generation carves its
+// steady-state demand in whole chunks and stays flat afterwards.
+func TestArenaEngineChunks(t *testing.T) {
+	eng := newEngine(t, 50, Config{PopulationSize: 12}, 3)
+	eng.Run(3)
+	chunks, slots := eng.arena.allocChunks, eng.arena.allocSlots
+	if chunks == 0 || slots == 0 {
+		t.Fatal("engine carved no arena chunks")
+	}
+	eng.Run(10)
+	if eng.arena.allocChunks != chunks || eng.arena.allocSlots != slots {
+		t.Fatalf("steady-state run grew arena %d→%d chunks, %d→%d slots",
+			chunks, eng.arena.allocChunks, slots, eng.arena.allocSlots)
+	}
+}

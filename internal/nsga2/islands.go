@@ -25,6 +25,16 @@ type IslandConfig struct {
 	// Migrants is the number of elites each island sends to its ring
 	// neighbor per migration. Default 2.
 	Migrants int
+	// Async selects asynchronous steady-state stepping for Run: each
+	// island advances on its own goroutine under a logical-clock
+	// migration schedule — it exchanges elites over buffered ring-edge
+	// mailboxes whenever its local generation counter crosses the
+	// migration interval — with no per-generation barrier, so one slow
+	// island no longer stalls the others between migrations. Results
+	// and emitted telemetry are bit-identical to synchronous stepping
+	// regardless of goroutine interleaving (DESIGN.md §13). Step always
+	// uses the synchronous barrier; only Run honors Async.
+	Async bool
 	// Engine configures every island (population size is per island).
 	// Engine.Seeds are distributed round-robin across islands.
 	Engine Config
@@ -59,16 +69,128 @@ type Islands struct {
 	space      moea.Space
 	generation int
 	observer   obs.Observer
+	// aggBase holds the cross-island counter sums at the last emitted
+	// shard-stats event, so each migration tick reports per-tick diffs.
+	aggBase tickShard
 }
 
 // SetObserver attaches (or, with nil, detaches) a telemetry observer.
-// The island model emits only migration events: islands step in
-// parallel goroutines, so forwarding their per-generation events would
-// interleave nondeterministically, while the migration phase is serial
-// and deterministic. Attach a per-engine observer for generation-level
-// telemetry of a single deterministic population.
+// The island model emits migration events plus one aggregated
+// shard-stats GenerationStats per migration tick (Label "islands",
+// summing every island's fitness-cache, machine-cache, and arena
+// counters): islands step in parallel goroutines, so forwarding their
+// per-generation events would interleave nondeterministically, while
+// the migration tick is a deterministic serialization point in both
+// the synchronous and asynchronous modes. Attach a per-engine observer
+// for generation-level telemetry of a single deterministic population.
 func (is *Islands) SetObserver(o obs.Observer) {
 	is.observer = o
+	if o == nil {
+		return
+	}
+	// Resync the aggregation baseline so pre-attach work (initial
+	// evaluation, restores) is not attributed to the first tick.
+	is.aggBase = is.sumShards()
+}
+
+// tickShard is one island's cumulative counters captured at a logical
+// migration tick (or the cross-island sum of them).
+type tickShard struct {
+	sess                   sched.DeltaStats
+	cache, mcache          cacheStats
+	cacheSize, cacheCap    int
+	mcacheSize, mcacheCap  int
+	arenaInUse, arenaSlots int
+	// migrants is the elite count this island sent at the tick (unused
+	// in aggregated sums).
+	migrants int
+}
+
+// add accumulates o into t (sizes and capacities sum across shards).
+//
+//detlint:hotpath
+func (t *tickShard) add(o tickShard) {
+	t.sess.Add(o.sess)
+	t.cache.hits += o.cache.hits
+	t.cache.misses += o.cache.misses
+	t.cache.evicts += o.cache.evicts
+	t.mcache.hits += o.mcache.hits
+	t.mcache.misses += o.mcache.misses
+	t.mcache.evicts += o.mcache.evicts
+	t.cacheSize += o.cacheSize
+	t.cacheCap += o.cacheCap
+	t.mcacheSize += o.mcacheSize
+	t.mcacheCap += o.mcacheCap
+	t.arenaInUse += o.arenaInUse
+	t.arenaSlots += o.arenaSlots
+}
+
+// captureShard reads one engine's cumulative counters. In async runs
+// each island captures its own shard on its own goroutine; the values
+// depend only on that island's deterministic history, never on
+// interleaving.
+//
+//detlint:hotpath
+func captureShard(eng *Engine, sent int) tickShard {
+	ts := tickShard{sess: eng.sessionStats(), migrants: sent}
+	if eng.cache != nil {
+		ts.cache = eng.cache.stats
+		ts.cacheSize, ts.cacheCap = eng.cache.live, len(eng.cache.slots)
+	}
+	if eng.mcache != nil {
+		ts.mcache = eng.mcache.stats
+		ts.mcacheSize, ts.mcacheCap = eng.mcache.live, len(eng.mcache.slots)
+	}
+	ts.arenaInUse, ts.arenaSlots = eng.arena.occupancy()
+	return ts
+}
+
+// sumShards captures and sums every island's current counters.
+func (is *Islands) sumShards() tickShard {
+	var agg tickShard
+	for _, eng := range is.engines {
+		agg.add(captureShard(eng, 0))
+	}
+	return agg
+}
+
+// emitShardStats diffs the aggregated counters against the previous
+// tick's baseline and emits one GenerationStats labeled "islands". The
+// front and indicator fields stay empty: a merged front at an interior
+// tick is not observable in the asynchronous mode, and the two modes
+// must emit identical sequences.
+func (is *Islands) emitShardStats(gen int, agg tickShard) {
+	diff := agg.sess
+	diff.Sub(is.aggBase.sess)
+	dc := agg.cache
+	dc.sub(is.aggBase.cache)
+	dm := agg.mcache
+	dm.sub(is.aggBase.mcache)
+	is.aggBase = agg
+	is.observer.ObserveGeneration(obs.GenerationStats{
+		Label:                 "islands",
+		Generation:            gen,
+		Population:            is.engines[0].cfg.PopulationSize * len(is.engines),
+		FullEvals:             int(diff.FullEvals),
+		DeltaEvals:            int(diff.DeltaEvals),
+		MachinesSimulated:     int(diff.MachinesSimulated),
+		MachinesInherited:     int(diff.MachinesInherited),
+		TypedTasks:            int(diff.TypedTasks),
+		TypedRuns:             int(diff.TypedRuns),
+		CacheHits:             int(dc.hits),
+		CacheMisses:           int(dc.misses),
+		CacheEvictions:        int(dc.evicts),
+		CacheSize:             agg.cacheSize,
+		CacheCapacity:         agg.cacheCap,
+		MachineCacheHits:      int(dm.hits),
+		MachineCacheMisses:    int(dm.misses),
+		MachineCacheEvictions: int(dm.evicts),
+		MachineCacheSize:      agg.mcacheSize,
+		MachineCacheCapacity:  agg.mcacheCap,
+		ArenaInUse:            agg.arenaInUse,
+		ArenaSlots:            agg.arenaSlots,
+		NumMachines:           is.engines[0].eval.NumMachines(),
+	})
 }
 
 // NewIslands builds the islands, splitting the random source so each
@@ -151,12 +273,117 @@ func (is *Islands) migrate() {
 			})
 		}
 	}
+	if is.observer != nil {
+		is.emitShardStats(is.generation, is.sumShards())
+	}
 }
 
-// Run advances the islands by the given number of generations.
+// Run advances the islands by the given number of generations:
+// barrier-synchronized Steps by default, the asynchronous logical-clock
+// schedule when cfg.Async is set. Both modes end in the same state and
+// emit the same telemetry.
 func (is *Islands) Run(generations int) {
+	if is.cfg.Async {
+		is.runAsync(generations)
+		return
+	}
 	for i := 0; i < generations; i++ {
 		is.Step()
+	}
+}
+
+// runAsync advances every island on its own goroutine with no
+// per-generation barrier. Coordination happens only at logical-clock
+// migration ticks — generations that are multiples of the migration
+// interval. At its tick an island sends the elites of its own
+// post-step state into its out-edge mailbox, then blocks until its
+// predecessor's same-tick migrants arrive, and injects them
+// (send-before-receive keeps the ring deadlock-free; the buffered edge
+// lets a fast island run one full interval ahead of its successor).
+//
+// Determinism: island i's population after tick T depends only on its
+// own rng stream and the migrants it received at ticks ≤ T, which are
+// computed from its predecessor's pre-injection state at those ticks —
+// a recursion over deterministic per-island histories that never
+// involves goroutine timing. The synchronous mode computes exactly the
+// same values (it also collects every outbound elite set before any
+// injection), so the two modes are bit-identical (DESIGN.md §13).
+// Telemetry is captured per island at its own ticks and emitted after
+// the run in (generation, from) order, matching the synchronous event
+// sequence.
+func (is *Islands) runAsync(generations int) {
+	if generations <= 0 {
+		return
+	}
+	k := len(is.engines)
+	interval := is.cfg.MigrationInterval
+	start := is.generation
+	target := start + generations
+	// Logical migration ticks in (start, target].
+	firstTick := (start/interval + 1) * interval
+	nticks := 0
+	if is.cfg.Migrants > 0 && k > 1 {
+		for g := firstTick; g <= target; g += interval {
+			nticks++
+		}
+	}
+	recs := make([][]tickShard, k)
+	mail := make([]chan []Individual, k)
+	for i := 0; i < k; i++ {
+		recs[i] = make([]tickShard, nticks)
+		mail[i] = make(chan []Individual, 1)
+	}
+	observing := is.observer != nil
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := is.engines[i]
+			out, in := mail[i], mail[(i+k-1)%k]
+			t := 0
+			for g := start + 1; g <= target; g++ {
+				eng.Step()
+				if nticks == 0 || g%interval != 0 {
+					continue
+				}
+				// Elites reflect this island's own post-step,
+				// pre-injection state, exactly as in the synchronous
+				// collect-then-inject phase.
+				elites := eng.Elites(is.cfg.Migrants)
+				out <- elites
+				inbound := <-in
+				if err := eng.Inject(inbound); err != nil {
+					panic(fmt.Sprintf("nsga2: ring migration failed: %v", err))
+				}
+				if observing {
+					recs[i][t] = captureShard(eng, len(elites))
+				}
+				t++
+			}
+		}(i)
+	}
+	wg.Wait()
+	is.generation = target
+	if !observing {
+		return
+	}
+	// Emit per tick: the ring's migration events in from-ascending
+	// order, then the aggregated shard stats — the same serialization
+	// the synchronous mode produces inline.
+	for t := 0; t < nticks; t++ {
+		gen := firstTick + t*interval
+		var agg tickShard
+		for i := 0; i < k; i++ {
+			is.observer.ObserveMigration(obs.MigrationEvent{
+				Generation: gen,
+				From:       i,
+				To:         (i + 1) % k,
+				Count:      recs[i][t].migrants,
+			})
+			agg.add(recs[i][t])
+		}
+		is.emitShardStats(gen, agg)
 	}
 }
 

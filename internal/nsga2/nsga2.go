@@ -372,9 +372,25 @@ func (c *Config) validate() error {
 // Each field grows independently in blocks of `batch` slots (the
 // fitness cache draws contribution buffers without touching the
 // chromosome lists).
+// arenaChunkBytes bounds the genotype growth quantum: one chunk's
+// machine+order blocks together stay near this size, so a 10⁶-task
+// engine grows its arena a few slots at a time instead of re-carving
+// 2×population slots (which at that scale would be gigabytes per
+// growth step and would double peak memory across a snapshot restore).
+const arenaChunkBytes = 8 << 20
+
+// arena recycles the population's SoA storage as a list of fixed-size
+// chunks per field (DESIGN.md §13). Slot s of chunk c addresses the
+// half-open gene range [s·stride, s·stride+numTasks) of chunk c's
+// contiguous machine/order blocks; chunks are append-only, so growth
+// never copies or moves existing field data — only the free stacks'
+// slot headers are extended, one chunk at a time.
 type arena struct {
-	eval  *sched.Evaluator
-	dim   int
+	eval *sched.Evaluator
+	dim  int
+	// batch is the steady-state demand hint (2×population): the upper
+	// bound on slots per chunk, and the exact chunk size for the small
+	// per-slot fields (objectives, contribs) where one chunk is cheap.
 	batch int
 
 	allocs   []*sched.Allocation
@@ -383,6 +399,8 @@ type arena struct {
 
 	// Carved-slot totals per field; in-use = carved − free-list length.
 	allocSlots, objSlots, contribSlots int
+	// Chunk counts per field, for growth-quantum tests and diagnostics.
+	allocChunks, objChunks, contribChunks int
 }
 
 func (ar *arena) init(eval *sched.Evaluator, dim, batch int) {
@@ -394,19 +412,42 @@ func (ar *arena) init(eval *sched.Evaluator, dim, batch int) {
 	ar.batch = batch
 }
 
+// allocChunkSlots returns the genotype-chunk size for a given gene
+// stride: as many slots as fit arenaChunkBytes (machine+order int32
+// blocks), clamped to [4, batch].
+func (ar *arena) allocChunkSlots(stride int) int {
+	n := arenaChunkBytes / (stride * 8) // 2 fields × 4 bytes per gene
+	if n < 4 {
+		n = 4
+	}
+	if n > ar.batch {
+		n = ar.batch
+	}
+	return n
+}
+
+// growAllocs carves one genotype chunk: two contiguous per-field blocks
+// (machine, order) with 16-gene-aligned strides so slots never share a
+// cache line, pushed onto the free stack as (chunk, offset) slot views.
+func (ar *arena) growAllocs() {
+	nt := ar.eval.NumTasks()
+	stride := (nt + 15) / 16 * 16 // 16 int32 genes per 64-byte line
+	n := ar.allocChunkSlots(stride)
+	machine := make([]int32, n*stride)
+	order := make([]int32, n*stride)
+	for s := 0; s < n; s++ {
+		ar.allocs = append(ar.allocs, &sched.Allocation{
+			Machine: machine[s*stride : s*stride : s*stride+nt],
+			Order:   order[s*stride : s*stride : s*stride+nt],
+		})
+	}
+	ar.allocSlots += n
+	ar.allocChunks++
+}
+
 func (ar *arena) getAlloc() *sched.Allocation {
 	if len(ar.allocs) == 0 {
-		nt := ar.eval.NumTasks()
-		stride := (nt + 15) / 16 * 16 // 16 int32 genes per 64-byte line
-		machine := make([]int32, ar.batch*stride)
-		order := make([]int32, ar.batch*stride)
-		for s := 0; s < ar.batch; s++ {
-			ar.allocs = append(ar.allocs, &sched.Allocation{
-				Machine: machine[s*stride : s*stride : s*stride+nt],
-				Order:   order[s*stride : s*stride : s*stride+nt],
-			})
-		}
-		ar.allocSlots += ar.batch
+		ar.growAllocs()
 	}
 	k := len(ar.allocs) - 1
 	a := ar.allocs[k]
@@ -428,6 +469,7 @@ func (ar *arena) getObjs() []float64 {
 			ar.objs = append(ar.objs, back[s*stride:s*stride:s*stride+ar.dim])
 		}
 		ar.objSlots += ar.batch
+		ar.objChunks++
 	}
 	k := len(ar.objs) - 1
 	o := ar.objs[k]
@@ -445,6 +487,7 @@ func (ar *arena) getContrib() *sched.Contribs {
 	if len(ar.contribs) == 0 {
 		ar.contribs = append(ar.contribs, ar.eval.NewContribsBatch(ar.batch)...)
 		ar.contribSlots += ar.batch
+		ar.contribChunks++
 	}
 	k := len(ar.contribs) - 1
 	c := ar.contribs[k]

@@ -80,6 +80,72 @@ func (e *Engine) Restore(s *Snapshot) error {
 	return nil
 }
 
+// IslandsSnapshot captures an island-model run mid-schedule: the shared
+// logical generation counter plus one engine snapshot per island. It is
+// taken and restored at Run/Step boundaries, where every ring-edge
+// mailbox is provably drained (each migration tick's send is consumed
+// by the receiver at its own same-numbered tick before either island
+// can pass the tick), so no in-flight migrants need to be serialized —
+// resuming an asynchronous run from a snapshot is bit-identical to
+// never having paused, at any logical-clock point.
+type IslandsSnapshot struct {
+	Generation int         `json:"generation"`
+	Islands    []*Snapshot `json:"islands"`
+}
+
+// Snapshot captures the island run's current state.
+func (is *Islands) Snapshot() *IslandsSnapshot {
+	s := &IslandsSnapshot{Generation: is.generation}
+	for _, eng := range is.engines {
+		s.Islands = append(s.Islands, eng.Snapshot())
+	}
+	return s
+}
+
+// Restore resets the island run to the snapshot's state. The island
+// count must match the configuration; each engine validates its own
+// sub-snapshot. On error the run is left untouched for islands before
+// the failing one only in rng/population terms — callers should treat
+// a failed restore as fatal for the run, as with Engine.Restore.
+func (is *Islands) Restore(s *IslandsSnapshot) error {
+	if len(s.Islands) != len(is.engines) {
+		return fmt.Errorf("nsga2: snapshot has %d islands, run expects %d",
+			len(s.Islands), len(is.engines))
+	}
+	for i, sub := range s.Islands {
+		if sub == nil {
+			return fmt.Errorf("nsga2: island snapshot %d is nil", i)
+		}
+		if err := is.engines[i].Restore(sub); err != nil {
+			return fmt.Errorf("nsga2: island %d: %w", i, err)
+		}
+	}
+	is.generation = s.Generation
+	if is.observer != nil {
+		// Restore re-evaluates every population; resync the aggregated
+		// shard baseline so the next tick reports only its own work.
+		is.aggBase = is.sumShards()
+	}
+	return nil
+}
+
+// EncodeIslandsSnapshot renders an island snapshot as JSON.
+func EncodeIslandsSnapshot(s *IslandsSnapshot) ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// DecodeIslandsSnapshot parses an island snapshot from JSON.
+func DecodeIslandsSnapshot(raw []byte) (*IslandsSnapshot, error) {
+	var s IslandsSnapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("nsga2: decoding islands snapshot: %w", err)
+	}
+	if len(s.Islands) == 0 {
+		return nil, fmt.Errorf("nsga2: islands snapshot has no islands")
+	}
+	return &s, nil
+}
+
 // MarshalJSON implements json.Marshaler (plain struct encoding; declared
 // for symmetry and future format versioning).
 func (s *Snapshot) MarshalJSON() ([]byte, error) {

@@ -1,0 +1,70 @@
+package tradeoff
+
+import (
+	"testing"
+
+	"tradeoff/internal/experiments"
+	"tradeoff/internal/moea"
+	"tradeoff/internal/nsga2"
+	"tradeoff/internal/rng"
+)
+
+// The scale trajectory (BENCH_scale.json, gated by make bench-scale)
+// tracks the engine on the 50k/200k-task instances the scaling roadmap
+// targets: one paper-sized population stepping over datagen-synthesized
+// traces one to two orders beyond the paper's 4000-task maximum. The
+// names deliberately do not match the bench-step gate's
+// BenchmarkStep|BenchmarkParetoFront|BenchmarkEvaluate regexps — these
+// runs cost seconds per iteration and have their own baseline.
+// allocs/op in the recorded baseline is the flat-steady-state evidence:
+// after the warm-up generation the chunked arena stops growing.
+
+func benchScaleStep(b *testing.B, tasks int) {
+	if testing.Short() {
+		b.Skipf("%d-task trace synthesis is too slow for -short", tasks)
+	}
+	ds, err := experiments.ScaleDataSet(tasks, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := nsga2.New(ds.Evaluator, nsga2.Config{PopulationSize: 100}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Step() // size the arena and caches before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+func BenchmarkScaleStepPop100Tasks50k(b *testing.B)  { benchScaleStep(b, 50000) }
+func BenchmarkScaleStepPop100Tasks200k(b *testing.B) { benchScaleStep(b, 200000) }
+
+// BenchmarkScaleEpsilonArchiveInsert streams 200k tradeoff-curve points
+// through a 100-slot ε-dominance archive — the million-point-front
+// regime where the old exact archive's O(n) scan-and-prune per insert
+// was the wall. Steady state is hint-hit or binary-search rejects with
+// zero allocations.
+func BenchmarkScaleEpsilonArchiveInsert(b *testing.B) {
+	const n = 200000
+	src := rng.New(5)
+	pts := make([][2]float64, n)
+	for i := range pts {
+		u := src.Float64()
+		pts[i] = [2]float64{u, u + 1e-3*src.Float64()}
+	}
+	sp := moea.UtilityEnergySpace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ar := moea.NewEpsilonArchive(sp, []float64{1e-2, 1e-2}, 100)
+		for _, p := range pts {
+			ar.Add([]float64{p[0], p[1]}, nil)
+		}
+		if ar.Len() > 100 {
+			b.Fatalf("archive overflowed: %d points", ar.Len())
+		}
+	}
+}
