@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	detlint [-C dir]
+//	detlint [-C dir] [-json]
 //
 // Diagnostics are printed one per line as `file:line: analyzer: message`
 // with paths relative to the module root, followed by a per-analyzer
-// findings summary. Exit status is 0 when clean, 1 when any finding is
-// reported, and 2 when the module fails to load or type-check.
+// findings summary. With -json a single machine-readable report object
+// is emitted instead: module path, package count, the findings (file,
+// line, column, analyzer, message), and per-analyzer counts. Exit
+// status is 0 when clean, 1 when any finding is reported, and 2 when
+// the module fails to load or type-check.
 //
 // A finding is suppressed by a `//detlint:allow <analyzer> <reason>`
 // comment on the offending line or the line above; `make lint` wires the
@@ -18,22 +21,41 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"tradeoff/internal/lint"
 )
 
-func run(args []string, stdout, stderr *os.File) int {
+// report is the -json output schema.
+type report struct {
+	Module   string         `json:"module"`
+	Packages int            `json:"packages"`
+	Findings []finding      `json:"findings"`
+	Counts   map[string]int `json:"counts"`
+}
+
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dir := fs.String("C", ".", "directory inside the module to lint")
+	asJSON := fs.Bool("json", false, "emit one machine-readable report object instead of text")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: detlint [-C dir]")
+		fmt.Fprintln(stderr, "usage: detlint [-C dir] [-json]")
 		return 2
 	}
 	mod, err := lint.LoadModule(*dir)
@@ -43,12 +65,40 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	analyzers := lint.Analyzers()
 	diags := lint.Run(mod, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
-	}
-	fmt.Fprintf(stdout, "detlint: %d package(s), %d finding(s)\n", len(mod.Units), len(diags))
-	for _, line := range lint.Summary(analyzers, diags) {
-		fmt.Fprintln(stdout, "  "+line)
+	if *asJSON {
+		rep := report{
+			Module:   mod.Path,
+			Packages: len(mod.Units),
+			Findings: []finding{},
+			Counts:   map[string]int{},
+		}
+		for _, a := range analyzers {
+			rep.Counts[a.Name] = 0
+		}
+		for _, d := range diags {
+			rep.Findings = append(rep.Findings, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			rep.Counts[d.Analyzer]++
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "detlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		fmt.Fprintf(stdout, "detlint: %d package(s), %d finding(s)\n", len(mod.Units), len(diags))
+		for _, line := range lint.Summary(analyzers, diags) {
+			fmt.Fprintln(stdout, "  "+line)
+		}
 	}
 	if len(diags) > 0 {
 		return 1

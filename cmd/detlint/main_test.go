@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under t.TempDir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// dirtySource seeds one maprange finding in an internal package: map
+// iteration feeding an append is order-sensitive.
+const dirtySource = `package x
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`
+
+func TestRunCleanModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":          "module cleanmod\n",
+		"internal/x/x.go": "package x\n\n// Add is trivially clean.\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s\nstdout:\n%s", code, stderr.String(), stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "0 finding(s)") {
+		t.Errorf("missing zero-findings summary:\n%s", stdout.String())
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":          "module dirtymod\n",
+		"internal/x/x.go": dirtySource,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "maprange") {
+		t.Errorf("text output does not name the firing analyzer:\n%s", stdout.String())
+	}
+}
+
+func TestRunLoadFailureExitTwo(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":          "module badmod\n",
+		"internal/x/x.go": "package x\n\nfunc Broken() int { return undefinedSymbol }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stdout:\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "typecheck") {
+		t.Errorf("stderr does not report the typecheck failure:\n%s", stderr.String())
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":          "module dirtymod\n",
+		"internal/x/x.go": dirtySource,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "-json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Module != "dirtymod" {
+		t.Errorf("module = %q, want dirtymod", rep.Module)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("JSON report has no findings despite exit 1")
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "maprange" || f.File != "internal/x/x.go" || f.Line == 0 || f.Column == 0 {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	if rep.Counts["maprange"] != len(rep.Findings) {
+		t.Errorf("counts[maprange] = %d, want %d", rep.Counts["maprange"], len(rep.Findings))
+	}
+	// Silent analyzers still appear with explicit zero counts.
+	if n, ok := rep.Counts["snapshotcover"]; !ok || n != 0 {
+		t.Errorf("counts[snapshotcover] = %d (present=%v), want explicit 0", n, ok)
+	}
+}
+
+func TestRunJSONCleanModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":          "module cleanmod\n",
+		"internal/x/x.go": "package x\n\n// Add is trivially clean.\nfunc Add(a, b int) int { return a + b }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "-json"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Errorf("findings = %v, want present-but-empty array", rep.Findings)
+	}
+}

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	experiments -table 1|2|3
-//	experiments -figure 1|2|3|4|5|6 [-scale 0.1] [-pop 100] [-seed 1] [-svgdir DIR]
+//	experiments -figure 1|2|3|4|5|6 [-scale 0.1] [-pop 100] [-mutation 0.1] \
+//	            [-seed 1] [-workers 0] [-svgdir DIR]
 //	experiments -all [-scale 0.05]
 //
 // Figures 3, 4 and 6 run data sets 1, 2 and 3 respectively at laptop-
@@ -44,7 +45,9 @@ var (
 	all         = flag.Bool("all", false, "reproduce every table and figure")
 	scale       = flag.Float64("scale", 1, "multiply iteration checkpoints")
 	pop         = flag.Int("pop", 100, "NSGA-II population size")
+	mutation    = flag.Float64("mutation", 0.1, "per-offspring mutation probability")
 	seed        = flag.Uint64("seed", 1, "random seed")
+	workersN    = flag.Int("workers", 0, "evaluation workers per engine (0 = GOMAXPROCS; bit-identical)")
 	paperScale  = flag.Bool("paperscale", false, "use the paper's iteration counts (slow)")
 	svgDir      = flag.String("svgdir", "", "write SVG charts into this directory")
 	matrices    = flag.Bool("matrices", false, "print the embedded real ETC/EPC matrices")
@@ -119,8 +122,10 @@ func dispatch(observer obs.Observer) {
 	}
 	baseCfg := experiments.RunConfig{
 		PopulationSize:       *pop,
+		MutationRate:         *mutation,
 		Scale:                *scale,
 		Seed:                 *seed,
+		Workers:              *workersN,
 		CacheCapacity:        *cacheCap,
 		MachineCacheCapacity: *mcacheCap,
 		Kernel:               kernel,

@@ -16,7 +16,12 @@
 // serves the run's metric registry as Prometheus text on /metrics and
 // JSON on /metrics.json. Neither changes the optimization result.
 //
-// -islands runs the island model; -async switches its Run loop to
+// -checkpoints records intermediate fronts at the given generation
+// counts (single population only) and -upe-tolerance widens or narrows
+// the reported utility-per-energy region.
+//
+// -islands runs the island model with ring migration every
+// -migration-interval generations; -async switches its Run loop to
 // asynchronous steady-state stepping (bit-identical results).
 // -archive bounds the reported front to at most N ε-dominance
 // representatives, with box widths from -archive-eps or derived from
@@ -27,8 +32,9 @@
 // default of 4x the population, negative disables it) and
 // -machine-cache-capacity bounds the machine-bucket memoization cache
 // beneath it; -kernel selects the typed (run-length compressed) or
-// scalar per-machine simulation kernel. Every setting yields
-// bit-identical fronts. -cpuprofile and -memprofile write pprof
+// scalar per-machine simulation kernel, and -evaluation the delta
+// (incremental) or full offspring evaluation strategy. Every setting
+// yields bit-identical fronts. -cpuprofile and -memprofile write pprof
 // profiles of the run.
 //
 // With -system the environment is loaded from a JSON file produced by
@@ -48,6 +54,7 @@ import (
 	"tradeoff/internal/experiments"
 	"tradeoff/internal/hcs"
 	"tradeoff/internal/heuristics"
+	"tradeoff/internal/nsga2"
 	"tradeoff/internal/plot"
 	"tradeoff/internal/report"
 	"tradeoff/internal/rng"
@@ -65,6 +72,8 @@ func main() {
 		generations = flag.Int("generations", 2000, "NSGA-II generations")
 		pop         = flag.Int("pop", 100, "population size")
 		mutation    = flag.Float64("mutation", 0.1, "mutation probability")
+		checkpoints = flag.String("checkpoints", "", "comma-separated generation counts to record intermediate fronts at (single population only)")
+		upeTol      = flag.Float64("upe-tolerance", 0.05, "relative tolerance band for the max utility-per-energy region")
 		seedsFlag   = flag.String("seeds", "min-energy,min-min,max-utility,max-utility-per-energy", "comma-separated seeding heuristics (empty = random)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		csvPath     = flag.String("csv", "", "write the front as CSV")
@@ -79,6 +88,7 @@ func main() {
 		ganttPath   = flag.String("gantt", "", "write the efficient-region schedule as Gantt CSV")
 		traceCSV    = flag.String("tracecsv", "", "import the trace from a CSV (arrival,task_type[,priority,horizon])")
 		islands     = flag.Int("islands", 0, "run the island model with this many populations (0 = single population)")
+		migInterval = flag.Int("migration-interval", 25, "generations between island ring migrations (with -islands)")
 		asyncFlag   = flag.Bool("async", false, "asynchronous island stepping (with -islands; bit-identical results)")
 		archiveSize = flag.Int("archive", 0, "bound the reported front to at most this many ε-dominance representatives (0 = full front)")
 		archiveEps  = flag.String("archive-eps", "", "comma-separated ε widths utility,energy for -archive (empty = derived from the front extent)")
@@ -90,6 +100,7 @@ func main() {
 		mcacheCap   = flag.Int("machine-cache-capacity", 0, "machine-bucket memoization cache entries (0 = 128x population, negative = off)")
 		mcacheVer   = flag.Bool("machine-cache-verify", false, "re-simulate every machine-cache hit and abort on divergence (debug)")
 		kernelName  = flag.String("kernel", "typed", "per-machine simulation kernel: typed or scalar (bit-identical)")
+		evalName    = flag.String("evaluation", "delta", "offspring evaluation strategy: delta or full (bit-identical)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -103,6 +114,15 @@ func main() {
 		kernel = sched.KernelScalar
 	default:
 		fatal(fmt.Errorf("unknown -kernel %q (want typed or scalar)", *kernelName))
+	}
+	var evaluation nsga2.Evaluation
+	switch *evalName {
+	case "delta":
+		evaluation = nsga2.DeltaEvaluation
+	case "full":
+		evaluation = nsga2.FullEvaluation
+	default:
+		fatal(fmt.Errorf("unknown -evaluation %q (want delta or full)", *evalName))
 	}
 
 	prof, err := startProfiler(*cpuProfile, *memProfile)
@@ -198,27 +218,39 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cps, err := parseCheckpoints(*checkpoints)
+	if err != nil {
+		fatal(err)
+	}
 	res, err := fw.Optimize(core.Options{
-		Generations:    *generations,
-		PopulationSize: *pop,
-		MutationRate:   *mutation,
-		Seeds:          seeds,
-		RandomSeed:     *seed,
-		Workers:        *workers,
-		Islands:        *islands,
-		AsyncIslands:   *asyncFlag,
-		ArchiveSize:    *archiveSize,
-		ArchiveEpsilon: eps,
-		CacheCapacity:  *cacheCap,
-		CacheVerify:    *cacheVerify,
-		Observer:       tel.Observer(),
+		Generations:       *generations,
+		PopulationSize:    *pop,
+		MutationRate:      *mutation,
+		Seeds:             seeds,
+		Checkpoints:       cps,
+		RandomSeed:        *seed,
+		Workers:           *workers,
+		UPETolerance:      *upeTol,
+		Islands:           *islands,
+		MigrationInterval: *migInterval,
+		AsyncIslands:      *asyncFlag,
+		ArchiveSize:       *archiveSize,
+		ArchiveEpsilon:    eps,
+		CacheCapacity:     *cacheCap,
+		CacheVerify:       *cacheVerify,
+		Observer:          tel.Observer(),
 
 		MachineCacheCapacity: *mcacheCap,
 		MachineCacheVerify:   *mcacheVer,
 		Kernel:               kernel,
+		Evaluation:           evaluation,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	for _, cp := range res.Checkpoints {
+		fmt.Printf("checkpoint at generation %d: %d front points\n", cp.Generation, len(cp.Front))
 	}
 
 	fmt.Printf("\nPareto front after %d generations (%d solutions):\n", res.Generations, len(res.Front))
@@ -371,6 +403,21 @@ func buildFramework(dataset int, systemFile string, tasks int, window float64, s
 	}
 	fw, err := core.New(ds.System, ds.Trace)
 	return fw, ds.Name, err
+}
+
+func parseCheckpoints(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -checkpoints %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseEpsilon(s string) ([]float64, error) {

@@ -66,6 +66,8 @@ func (f *Framework) Evaluate(a *sched.Allocation) (sched.Evaluation, error) {
 }
 
 // Options parameterizes an optimization run.
+//
+//detlint:optwire
 type Options struct {
 	// Generations to evolve. Must be > 0.
 	Generations int
@@ -129,6 +131,11 @@ type Options struct {
 	// (the default) or the sched.KernelScalar reference. Bit-identical;
 	// only speed differs.
 	Kernel sched.Kernel
+	// Evaluation selects the offspring-evaluation strategy:
+	// nsga2.DeltaEvaluation (the default, incremental) or
+	// nsga2.FullEvaluation (re-simulate every machine). Bit-identical;
+	// only speed differs.
+	Evaluation nsga2.Evaluation
 	// Observer, when non-nil, receives run telemetry: per-generation
 	// front/indicator/evaluation events from a single-population run, or
 	// migration events from an island run. Observation never consumes
@@ -190,6 +197,7 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 		MachineCacheCapacity: opts.MachineCacheCapacity,
 		MachineCacheVerify:   opts.MachineCacheVerify,
 		Kernel:               opts.Kernel,
+		Evaluation:           opts.Evaluation,
 	}, rng.New(opts.RandomSeed))
 	if err != nil {
 		return nil, err
@@ -336,6 +344,7 @@ func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*R
 			MachineCacheCapacity: opts.MachineCacheCapacity,
 			MachineCacheVerify:   opts.MachineCacheVerify,
 			Kernel:               opts.Kernel,
+			Evaluation:           opts.Evaluation,
 		},
 	}, rng.New(opts.RandomSeed))
 	if err != nil {

@@ -31,14 +31,19 @@ type AblationRow struct {
 func RunAblation(ds *DataSet, cfg RunConfig) (*AblationResult, error) {
 	cfg = cfg.withDefaults(ds)
 	gens := cfg.Checkpoints[len(cfg.Checkpoints)-1]
+	// Each variant flips exactly one knob off the baseline; the zero
+	// values are the engine defaults (RerankRepair, DebFronts,
+	// UniformSelection).
 	variants := []struct {
-		name   string
-		mutate func(*nsga2.Config)
+		name      string
+		ranking   nsga2.Ranking
+		repair    nsga2.Repair
+		selection nsga2.Selection
 	}{
-		{"baseline (rerank/deb/uniform)", nil},
-		{"repair=shuffle", func(c *nsga2.Config) { c.Repair = nsga2.ShuffleRepair }},
-		{"ranking=dominance-count", func(c *nsga2.Config) { c.Ranking = nsga2.DominanceCount }},
-		{"selection=tournament", func(c *nsga2.Config) { c.Selection = nsga2.TournamentSelection }},
+		{name: "baseline (rerank/deb/uniform)"},
+		{name: "repair=shuffle", repair: nsga2.ShuffleRepair},
+		{name: "ranking=dominance-count", ranking: nsga2.DominanceCount},
+		{name: "selection=tournament", selection: nsga2.TournamentSelection},
 	}
 	res := &AblationResult{DataSet: ds.Name, Generations: gens}
 	var fronts [][]analysis.FrontPoint
@@ -46,13 +51,13 @@ func RunAblation(ds *DataSet, cfg RunConfig) (*AblationResult, error) {
 		ecfg := nsga2.Config{
 			PopulationSize:       cfg.PopulationSize,
 			MutationRate:         cfg.MutationRate,
+			Ranking:              v.ranking,
 			Workers:              cfg.Workers,
+			Repair:               v.repair,
+			Selection:            v.selection,
 			CacheCapacity:        cfg.CacheCapacity,
 			MachineCacheCapacity: cfg.MachineCacheCapacity,
 			Kernel:               cfg.Kernel,
-		}
-		if v.mutate != nil {
-			v.mutate(&ecfg)
 		}
 		eng, err := nsga2.New(ds.Evaluator, ecfg, rng.NewStream(cfg.Seed, hashName("abl-"+v.name)))
 		if err != nil {

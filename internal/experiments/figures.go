@@ -39,6 +39,8 @@ func Variants() []Variant {
 }
 
 // RunConfig parameterizes a Pareto-front experiment.
+//
+//detlint:optwire
 type RunConfig struct {
 	// PopulationSize is NSGA-II's N. Default 100.
 	PopulationSize int

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the module-local call graph the cross-procedural
+// analyzers (snapshotcover, optwire, sharedstate, interpurity) walk. It
+// is deliberately lightweight: nodes are declared functions and methods
+// with bodies, edges are statically resolvable calls (plain
+// identifiers, package-qualified functions, and method selectors whose
+// callee go/types resolves to a concrete *types.Func). Calls through
+// interface values, stored func values, and method values have no
+// edges — each analyzer documents how it degrades under that
+// approximation.
+//
+// Cross-package edges work because the loader memoizes every
+// module-local library package: the *types.Func an importing unit sees
+// is the identical object the defining unit registered. Test units
+// re-type-check library files, so their copies of library functions
+// are distinct nodes; this keeps test-only call paths from polluting
+// library-side reachability.
+
+// FuncNode is one declared function or method with its resolved
+// module-local call edges, in source order.
+type FuncNode struct {
+	// Fn is the declared object in its unit's object world.
+	Fn *types.Func
+	// Decl is the syntax; Body is non-nil.
+	Decl *ast.FuncDecl
+	// Unit is the analysis unit the declaration was type-checked in;
+	// identifier resolution inside Decl must use Unit.Info.
+	Unit *Unit
+	// Calls lists the statically resolved module-local callees.
+	Calls []CallSite
+}
+
+// CallSite is one resolved call edge.
+type CallSite struct {
+	Callee *FuncNode
+	Pos    token.Pos
+}
+
+// Name renders a human-readable function name, with the receiver type
+// prefixed for methods ("Engine.Step").
+func (n *FuncNode) Name() string {
+	if n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 {
+		if id := typeNameOf(n.Decl.Recv.List[0].Type); id != "" {
+			return id + "." + n.Decl.Name.Name
+		}
+	}
+	return n.Decl.Name.Name
+}
+
+// typeNameOf extracts the base type name of a receiver expression.
+func typeNameOf(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr: // generic receiver
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// ModuleIndex is the module-wide call graph plus lazily computed
+// receiver-mutation facts, built once per Run and shared by every pass
+// through Pass.Index.
+type ModuleIndex struct {
+	// Units are the module's analysis units in load order.
+	Units []*Unit
+	nodes []*FuncNode
+	byFn  map[*types.Func]*FuncNode
+	// recvMut memoizes ReceiverMutator: 0 unknown, 1 visiting, 2 false,
+	// 3 true.
+	recvMut map[*FuncNode]int8
+}
+
+// NewModuleIndex registers every function declaration of every unit and
+// resolves the call edges between them.
+func NewModuleIndex(mod *Module) *ModuleIndex {
+	ix := &ModuleIndex{
+		Units:   mod.Units,
+		byFn:    map[*types.Func]*FuncNode{},
+		recvMut: map[*FuncNode]int8{},
+	}
+	for _, u := range mod.Units {
+		for _, f := range u.AllFiles {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{Fn: fn, Decl: fd, Unit: u}
+				ix.byFn[fn] = n
+				ix.nodes = append(ix.nodes, n)
+			}
+		}
+	}
+	for _, n := range ix.nodes {
+		info := n.Unit.Info
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(info, call); callee != nil {
+				if cn := ix.byFn[callee]; cn != nil {
+					n.Calls = append(n.Calls, CallSite{Callee: cn, Pos: call.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	return ix
+}
+
+// calleeFunc resolves a call expression to its statically known callee,
+// unwrapping generic instantiation syntax. Calls through stored func
+// values and interface methods resolve to nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(x.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(x.X)
+	}
+	switch x := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := objOf(info, x).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// NodeOf returns the node registered for a function object, or nil for
+// module-external and unresolved callees.
+func (ix *ModuleIndex) NodeOf(obj types.Object) *FuncNode {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return ix.byFn[fn]
+}
+
+// Reachable returns the call-graph closure of roots (roots included),
+// in deterministic breadth-first order.
+func (ix *ModuleIndex) Reachable(roots []*FuncNode) []*FuncNode {
+	seen := map[*FuncNode]bool{}
+	var order []*FuncNode
+	queue := append([]*FuncNode(nil), roots...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n == nil || seen[n] {
+			continue
+		}
+		seen[n] = true
+		order = append(order, n)
+		for _, c := range n.Calls {
+			if !seen[c.Callee] {
+				queue = append(queue, c.Callee)
+			}
+		}
+	}
+	return order
+}
+
+// ReceiverMutator reports whether calling n can mutate state reachable
+// from its receiver: a direct write through the receiver (field
+// assignment, element write, IncDec, or *r = v) or a call to another
+// module-local method on the receiver that itself mutates. Recursion
+// cycles resolve to false provisionally, which under-approximates
+// pathological mutual recursion; callees the graph cannot resolve
+// (interface methods, external packages) are treated as non-mutating.
+func (ix *ModuleIndex) ReceiverMutator(n *FuncNode) bool {
+	switch ix.recvMut[n] {
+	case 1, 2:
+		return false
+	case 3:
+		return true
+	}
+	ix.recvMut[n] = 1
+	res := ix.receiverMutates(n)
+	if res {
+		ix.recvMut[n] = 3
+	} else {
+		ix.recvMut[n] = 2
+	}
+	return res
+}
+
+func (ix *ModuleIndex) receiverMutates(n *FuncNode) bool {
+	recv := receiverVar(n)
+	if recv == nil {
+		return false
+	}
+	info := n.Unit.Info
+	mutated := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if mutated {
+			return false
+		}
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if isRecvWrite(info, lhs, recv) {
+					mutated = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if isRecvWrite(info, st.X, recv) {
+				mutated = true
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id := rootIdent(sel.X); id == nil || objOf(info, id) != recv {
+				return true
+			}
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+				if cn := ix.byFn[fn]; cn != nil && ix.ReceiverMutator(cn) {
+					mutated = true
+				}
+			}
+		}
+		return true
+	})
+	return mutated
+}
+
+// receiverVar returns the declared receiver variable of a method node,
+// or nil for plain functions and anonymous receivers.
+func receiverVar(n *FuncNode) *types.Var {
+	if n.Decl.Recv == nil || len(n.Decl.Recv.List) == 0 {
+		return nil
+	}
+	names := n.Decl.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	v, _ := n.Unit.Info.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// isRecvWrite reports whether lhs writes through the receiver variable:
+// the lvalue's root identifier is recv and the lvalue is not the bare
+// identifier itself (rebinding a value-receiver copy stays local).
+func isRecvWrite(info *types.Info, lhs ast.Expr, recv *types.Var) bool {
+	lhs = ast.Unparen(lhs)
+	if _, ok := lhs.(*ast.Ident); ok {
+		return false
+	}
+	id := rootIdent(lhs)
+	return id != nil && objOf(info, id) == recv
+}
+
+// declMarker reports whether a declaration's doc comment contains the
+// given //detlint:<name> marker line.
+func declMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == marker || len(c.Text) > len(marker) && c.Text[:len(marker)] == marker && c.Text[len(marker)] == ' ' {
+			return true
+		}
+	}
+	return false
+}

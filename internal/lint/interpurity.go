@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerInterPurity propagates the purity rules across the call
+// graph: a function annotated with a `//detlint:pure` doc-comment line
+// must not reach — directly or through any chain of module-local
+// calls — a wall-clock read (time.Now/Since), an environment read
+// (os.Getenv and friends), a math/rand draw, or a write to a
+// package-level variable. "Pure" here means deterministically
+// replayable: mutating the receiver or parameters is fine, ambient
+// inputs and global state are not.
+//
+// One finding is reported per marked root (the first impurity on the
+// breadth-first walk), at the root's declaration, naming the call path
+// that reaches the impurity. Calls the graph cannot resolve (interface
+// methods, func values, external packages) are assumed pure; the
+// intra-package purity analyzer keeps internal packages honest at the
+// leaves.
+var AnalyzerInterPurity = &Analyzer{
+	Name: "interpurity",
+	Doc:  "a //detlint:pure function must not transitively reach wall clocks, math/rand, env reads, or global mutation",
+	Run:  runInterPurity,
+}
+
+const pureMarker = "//detlint:pure"
+
+func runInterPurity(p *Pass) {
+	if p.Index == nil {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !declMarker(fd.Doc, pureMarker) {
+				continue
+			}
+			root := p.Index.NodeOf(p.Info.Defs[fd.Name])
+			if root == nil {
+				continue
+			}
+			checkPureRoot(p, fd, root)
+		}
+	}
+}
+
+func checkPureRoot(p *Pass, fd *ast.FuncDecl, root *FuncNode) {
+	parent := map[*FuncNode]*FuncNode{}
+	seen := map[*FuncNode]bool{root: true}
+	queue := []*FuncNode{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if desc := firstImpurity(n); desc != "" {
+			via := ""
+			if n != root {
+				var chain []string
+				for m := n; m != nil; m = parent[m] {
+					chain = append(chain, m.Name())
+				}
+				for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+					chain[i], chain[j] = chain[j], chain[i]
+				}
+				via = " (via " + strings.Join(chain, " → ") + ")"
+			}
+			p.Reportf(fd.Name.Pos(), "pure function %s %s%s; a //detlint:pure root must stay deterministically replayable on every call path", root.Name(), desc, via)
+			return
+		}
+		for _, c := range n.Calls {
+			if !seen[c.Callee] {
+				seen[c.Callee] = true
+				parent[c.Callee] = n
+				queue = append(queue, c.Callee)
+			}
+		}
+	}
+}
+
+// firstImpurity scans one function body for the earliest impurity and
+// describes it, or returns "".
+func firstImpurity(n *FuncNode) string {
+	info := n.Unit.Info
+	desc := ""
+	pos := token.Pos(-1)
+	record := func(p token.Pos, d string) {
+		if pos < 0 || p < pos {
+			pos, desc = p, d
+		}
+	}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.SelectorExpr:
+			id, ok := x.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := objOf(info, id).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if _, bad := forbiddenCalls[path][x.Sel.Name]; bad {
+				record(x.Pos(), "reaches "+pn.Imported().Name()+"."+x.Sel.Name)
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				record(x.Pos(), "draws from "+path)
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				if v := packageLevelTarget(info, lhs); v != nil {
+					record(lhs.Pos(), "writes package-level var "+v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if v := packageLevelTarget(info, x.X); v != nil {
+				record(x.Pos(), "writes package-level var "+v.Name())
+			}
+		}
+		return true
+	})
+	return desc
+}
+
+// packageLevelTarget resolves an lvalue to the package-level variable
+// it writes through, or nil.
+func packageLevelTarget(info *types.Info, lhs ast.Expr) *types.Var {
+	id := rootIdent(lhs)
+	if id == nil {
+		return nil
+	}
+	v, ok := objOf(info, id).(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	// A package-scope declaration: its scope's parent is Universe.
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return v
+	}
+	return nil
+}

@@ -22,6 +22,26 @@
 //   - exhaustive: a switch over a project enum type must cover every
 //     declared constant, even when a default clause is present.
 //
+// Four analyzers walk the module-local call graph (callgraph.go) across
+// function and package boundaries:
+//
+//   - snapshotcover: every field of a Snapshot-named struct must be
+//     referenced on both the encode (Snapshot/Encode*/Marshal*) and the
+//     decode (Restore/Decode*/Unmarshal*) side, through any depth of
+//     helpers — a field written but never restored silently breaks
+//     resume equivalence.
+//   - optwire: every exported field of a //detlint:optwire struct must
+//     be read by engine code and transitively reachable from a write in
+//     a cmd/ main package, so no option silently loses its CLI plumbing
+//     or its engine consumer.
+//   - sharedstate: a goroutine closure must not write captured state
+//     except through an element indexed by a goroutine-local variable,
+//     a channel send, or module-external synchronization primitives —
+//     the worker-invariance discipline, mechanized.
+//   - interpurity: a //detlint:pure function must not transitively
+//     reach wall clocks, math/rand, environment reads, or package-level
+//     mutation through any chain of module-local calls.
+//
 // A finding can be suppressed by placing a comment of the form
 // `//detlint:allow <analyzer> <reason>` on the offending line or the
 // line directly above it.
@@ -68,6 +88,9 @@ type Pass struct {
 	RelDir  string
 	// ModulePath is the module's import path prefix.
 	ModulePath string
+	// Index is the module-wide call graph, shared across every pass of
+	// one Run.
+	Index *ModuleIndex
 
 	reportf func(pos token.Pos, format string, args ...any)
 }
@@ -92,12 +115,17 @@ func Analyzers() []*Analyzer {
 		AnalyzerFloatOrder,
 		AnalyzerHotAlloc,
 		AnalyzerExhaustive,
+		AnalyzerSnapshotCover,
+		AnalyzerOptWire,
+		AnalyzerSharedState,
+		AnalyzerInterPurity,
 	}
 }
 
 // Run applies the analyzers to every unit of the module and returns the
 // surviving diagnostics sorted by file, line, column, analyzer.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	index := NewModuleIndex(mod)
 	var diags []Diagnostic
 	for _, u := range mod.Units {
 		allow := allowedLines(mod.Fset, u.Files)
@@ -111,6 +139,7 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 				PkgPath:    u.PkgPath,
 				RelDir:     u.RelDir,
 				ModulePath: mod.Path,
+				Index:      index,
 			}
 			name := a.Name
 			pass.reportf = func(pos token.Pos, format string, args ...any) {
@@ -202,7 +231,7 @@ func Summary(analyzers []*Analyzer, diags []Diagnostic) []string {
 	}
 	lines := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
-		lines = append(lines, fmt.Sprintf("%-11s %d", a.Name, counts[a.Name]))
+		lines = append(lines, fmt.Sprintf("%-13s %d", a.Name, counts[a.Name]))
 	}
 	return lines
 }

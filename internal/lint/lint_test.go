@@ -98,6 +98,10 @@ func TestSeededDiagnosticExact(t *testing.T) {
 		{"floatorder", `pos.go:20: floatorder: goroutine accumulates into captured float sum; the sum depends on scheduling order — write per-worker slots and reduce in fixed order`},
 		{"hotalloc", `pos.go:28: hotalloc: fmt.Sprintf allocates in hotpath Step (allowed only as a panic argument)`},
 		{"exhaustive", `pos.go:18: exhaustive: switch over pos.Phase is not exhaustive: missing Drain, Shutdown`},
+		{"snapshotcover", `pos.go:13: snapshotcover: snapshot field EngineSnapshot.Seed is referenced on the encode side but never on the decode side; a restored run silently drops it`},
+		{"optwire", `conf.go:11: optwire: exported option field Config.Beta is unreachable from any cmd/ CLI write; plumb a flag through (or allow-list a code-level extension point)`},
+		{"sharedstate", `pos.go:24: sharedstate: goroutine writes captured total without per-slot confinement; index it by a goroutine-local variable, send it over a channel, or keep it goroutine-local`},
+		{"interpurity", `pos.go:12: interpurity: pure function step writes package-level var ticks (via step → advance → record); a //detlint:pure root must stay deterministically replayable on every call path`},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -221,21 +221,17 @@ func skipDir(name string) bool {
 	return strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
 }
 
-// LoadModule parses and type-checks every package in the module rooted
-// at or above dir, returning one unit per library package, plus one per
-// in-package and external test file group.
-func LoadModule(dir string) (*Module, error) {
-	root, modPath, err := moduleRoot(dir)
-	if err != nil {
-		return nil, err
-	}
+// goDirs returns every directory at or below top that contains .go
+// files, sorted, skipping testdata/vendor/hidden subtrees below top
+// itself.
+func goDirs(top string) ([]string, error) {
 	var dirs []string
-	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+	err := filepath.WalkDir(top, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
 		if d.IsDir() {
-			if path != root && skipDir(d.Name()) {
+			if path != top && skipDir(d.Name()) {
 				return filepath.SkipDir
 			}
 			return nil
@@ -251,7 +247,42 @@ func LoadModule(dir string) (*Module, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
+	return dirs, nil
+}
 
+// LoadModule parses and type-checks every package in the module rooted
+// at or above dir, returning one unit per library package, plus one per
+// in-package and external test file group.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadTree(root, modPath, root)
+}
+
+// LoadDir loads one directory subtree (plus whatever it imports) as
+// analysis units, using the enclosing module for import resolution.
+// Fixture trees under testdata load this way; multi-package fixtures
+// (a conf package plus a cmd/ main package) land in one Module.
+func LoadDir(dir string) (*Module, error) {
+	root, modPath, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadTree(root, modPath, abs)
+}
+
+// loadTree builds the units of every Go directory under top.
+func loadTree(root, modPath, top string) (*Module, error) {
+	dirs, err := goDirs(top)
+	if err != nil {
+		return nil, err
+	}
 	l := newLoader(root, modPath)
 	mod := &Module{Fset: l.fset, Root: root, Path: modPath}
 	for _, d := range dirs {
@@ -262,26 +293,6 @@ func LoadModule(dir string) (*Module, error) {
 		mod.Units = append(mod.Units, units...)
 	}
 	return mod, nil
-}
-
-// LoadDir loads a single directory (plus whatever it imports) as
-// analysis units, using the enclosing module for import resolution.
-// Fixture packages under testdata load this way.
-func LoadDir(dir string) (*Module, error) {
-	root, modPath, err := moduleRoot(dir)
-	if err != nil {
-		return nil, err
-	}
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return nil, err
-	}
-	l := newLoader(root, modPath)
-	units, err := l.loadDir(abs)
-	if err != nil {
-		return nil, err
-	}
-	return &Module{Fset: l.fset, Root: root, Path: modPath, Units: units}, nil
 }
 
 // loadDir builds the analysis units of one directory: the library

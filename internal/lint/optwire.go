@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerOptWire audits the plumbing of option structs annotated with
+// a `//detlint:optwire` doc-comment line (core.Options, nsga2.Config,
+// experiments.RunConfig). Every exported field must be
+//
+//   - consumed: read somewhere in non-test, non-cmd code (the engine
+//     actually honors the knob), and
+//   - wired: written in a cmd/ main package, or written as a
+//     composite-literal key by a function that itself reads an
+//     already-wired option field (the constructor chain a CLI flag
+//     flows through — e.g. cmd/tradeoff writes Options, core.Optimize
+//     reads Options and writes nsga2.Config).
+//
+// Plain assignments outside cmd/ never wire a field: default-filling
+// methods like withDefaults would otherwise mark every knob as
+// CLI-reachable. Deliberate code-level extension points are documented
+// with an allow comment on the field.
+var AnalyzerOptWire = &Analyzer{
+	Name: "optwire",
+	Doc:  "every exported //detlint:optwire struct field must be engine-consumed and reachable from a cmd/ CLI write",
+	Run:  runOptWire,
+}
+
+const optwireMarker = "//detlint:optwire"
+
+func runOptWire(p *Pass) {
+	if p.Index == nil || unitIsTest(p.PkgPath) {
+		return
+	}
+	// Collect marked option fields module-wide; report only the ones
+	// declared in this unit's files.
+	type fieldState struct {
+		owner, name string
+		pos         token.Pos
+		local       bool // declared in p.Files
+	}
+	var order []types.Object
+	states := map[types.Object]*fieldState{}
+	localFiles := map[*ast.File]bool{}
+	for _, f := range p.Files {
+		localFiles[f] = true
+	}
+	for _, u := range p.Index.Units {
+		if unitIsTest(u.PkgPath) {
+			continue
+		}
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !declMarker(gd.Doc, optwireMarker) && !declMarker(ts.Doc, optwireMarker) {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						for _, nm := range fld.Names {
+							if !nm.IsExported() {
+								continue
+							}
+							obj := u.Info.Defs[nm]
+							if obj == nil || states[obj] != nil {
+								continue
+							}
+							states[obj] = &fieldState{
+								owner: ts.Name.Name,
+								name:  nm.Name,
+								pos:   nm.Pos(),
+								local: localFiles[f] && u.Pkg == p.Pkg,
+							}
+							order = append(order, obj)
+						}
+					}
+				}
+			}
+		}
+	}
+	anyLocal := false
+	for _, obj := range order {
+		if states[obj].local {
+			anyLocal = true
+		}
+	}
+	if !anyLocal {
+		return
+	}
+
+	// One record per function: which option fields it reads, writes via
+	// composite-literal keys, and writes at all (for cmd/ seeding).
+	type funcRec struct {
+		isCmd           bool
+		reads           []types.Object
+		compositeWrites []types.Object
+		allWrites       []types.Object
+	}
+	var recs []*funcRec
+	read := map[types.Object]bool{} // consumption: non-test, non-cmd reads
+	for _, u := range p.Index.Units {
+		if unitIsTest(u.PkgPath) {
+			continue
+		}
+		isCmd := u.Pkg.Name() == "main" && hasCmdSegment(u.RelDir)
+		info := u.Info
+		for _, f := range u.Files {
+			// Write idents are excluded from read classification below.
+			writeIdents := map[*ast.Ident]bool{}
+			collect := func(body ast.Node, rec *funcRec) {
+				ast.Inspect(body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.CompositeLit:
+						for _, elt := range x.Elts {
+							kv, ok := elt.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							key, ok := kv.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							obj := info.Uses[key]
+							if states[obj] == nil {
+								continue
+							}
+							writeIdents[key] = true
+							if rec != nil {
+								rec.compositeWrites = append(rec.compositeWrites, obj)
+								rec.allWrites = append(rec.allWrites, obj)
+							}
+						}
+					case *ast.AssignStmt:
+						if x.Tok == token.DEFINE {
+							return true
+						}
+						for _, lhs := range x.Lhs {
+							sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+							if !ok {
+								continue
+							}
+							obj := info.Uses[sel.Sel]
+							if states[obj] == nil {
+								continue
+							}
+							writeIdents[sel.Sel] = true
+							if rec != nil {
+								rec.allWrites = append(rec.allWrites, obj)
+							}
+						}
+					}
+					return true
+				})
+				ast.Inspect(body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok || writeIdents[id] {
+						return true
+					}
+					obj := info.Uses[id]
+					if states[obj] == nil {
+						return true
+					}
+					if rec != nil {
+						rec.reads = append(rec.reads, obj)
+					}
+					if !isCmd {
+						read[obj] = true
+					}
+					return true
+				})
+			}
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					rec := &funcRec{isCmd: isCmd}
+					collect(fd.Body, rec)
+					recs = append(recs, rec)
+				} else {
+					collect(decl, nil) // package-level reads count as consumption
+				}
+			}
+		}
+	}
+
+	// Wiring fixpoint: cmd/ writes seed, option-reading constructors
+	// propagate through composite-literal keys.
+	wired := map[types.Object]bool{}
+	for _, r := range recs {
+		if r.isCmd {
+			for _, obj := range r.allWrites {
+				wired[obj] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range recs {
+			if r.isCmd || len(r.compositeWrites) == 0 {
+				continue
+			}
+			hot := false
+			for _, obj := range r.reads {
+				if wired[obj] {
+					hot = true
+					break
+				}
+			}
+			if !hot {
+				continue
+			}
+			for _, obj := range r.compositeWrites {
+				if !wired[obj] {
+					wired[obj] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, obj := range order {
+		st := states[obj]
+		if !st.local {
+			continue
+		}
+		switch {
+		case !read[obj]:
+			p.Reportf(st.pos, "exported option field %s.%s is consumed by no engine code; delete it or wire a consumer", st.owner, st.name)
+		case !wired[obj]:
+			p.Reportf(st.pos, "exported option field %s.%s is unreachable from any cmd/ CLI write; plumb a flag through (or allow-list a code-level extension point)", st.owner, st.name)
+		}
+	}
+}
+
+// unitIsTest reports whether a unit path names an in-package test group
+// or an external _test package.
+func unitIsTest(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, " [tests]") || strings.HasSuffix(pkgPath, "_test")
+}
+
+// hasCmdSegment reports whether a module-relative directory has a path
+// segment named "cmd" (cmd/tradeoff, but also fixture trees like
+// testdata/optwire/pos/cmd/app).
+func hasCmdSegment(relDir string) bool {
+	for _, seg := range strings.Split(relDir, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}

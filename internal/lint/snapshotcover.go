@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerSnapshotCover enforces encode/decode symmetry for snapshot
+// structs: every field of a struct whose name contains "Snapshot" must
+// be referenced both somewhere in the call-graph closure of the unit's
+// encode-side roots (functions named Snapshot or prefixed
+// Encode/Marshal) and in the closure of its decode-side roots (Restore,
+// Decode*, Unmarshal*). A field written by Snapshot but never read by
+// Restore means a resumed run silently diverges from the uninterrupted
+// one; the reverse means Restore consumes state no snapshot carries.
+// Units that declare snapshot structs but lack either side's roots are
+// skipped (the pairing lives elsewhere).
+var AnalyzerSnapshotCover = &Analyzer{
+	Name: "snapshotcover",
+	Doc:  "snapshot struct fields must be referenced on both the encode and the decode side",
+	Run:  runSnapshotCover,
+}
+
+func runSnapshotCover(p *Pass) {
+	if p.Index == nil {
+		return
+	}
+	type fieldDecl struct {
+		owner, name string
+		pos         token.Pos
+	}
+	var fields []fieldDecl
+	fieldIdx := map[types.Object]int{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || !strings.Contains(ts.Name.Name, "Snapshot") && !strings.Contains(ts.Name.Name, "snapshot") {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					obj := p.Info.Defs[nm]
+					if obj == nil {
+						continue
+					}
+					fieldIdx[obj] = len(fields)
+					fields = append(fields, fieldDecl{owner: ts.Name.Name, name: nm.Name, pos: nm.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	var enc, dec []*FuncNode
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			node := p.Index.NodeOf(p.Info.Defs[fd.Name])
+			if node == nil {
+				continue
+			}
+			name := fd.Name.Name
+			switch {
+			case name == "Snapshot" || strings.HasPrefix(name, "Encode") || strings.HasPrefix(name, "Marshal"):
+				enc = append(enc, node)
+			case name == "Restore" || strings.HasPrefix(name, "Decode") || strings.HasPrefix(name, "Unmarshal"):
+				dec = append(dec, node)
+			}
+		}
+	}
+	if len(enc) == 0 || len(dec) == 0 {
+		return
+	}
+	encSeen := fieldRefs(p.Index, enc, fieldIdx)
+	decSeen := fieldRefs(p.Index, dec, fieldIdx)
+	for i, fd := range fields {
+		switch {
+		case encSeen[i] && decSeen[i]:
+		case encSeen[i]:
+			p.Reportf(fd.pos, "snapshot field %s.%s is referenced on the encode side but never on the decode side; a restored run silently drops it", fd.owner, fd.name)
+		case decSeen[i]:
+			p.Reportf(fd.pos, "snapshot field %s.%s is referenced on the decode side but never on the encode side; restore reads state no snapshot writes", fd.owner, fd.name)
+		default:
+			p.Reportf(fd.pos, "snapshot field %s.%s is referenced on neither the encode nor the decode side; dead snapshot state breaks resume the day it matters", fd.owner, fd.name)
+		}
+	}
+}
+
+// fieldRefs marks which of the indexed field objects are referenced
+// anywhere in the call-graph closure of roots. Composite-literal keys
+// count: go/types records them in Uses.
+func fieldRefs(ix *ModuleIndex, roots []*FuncNode, fieldIdx map[types.Object]int) []bool {
+	seen := make([]bool, len(fieldIdx))
+	for _, n := range ix.Reachable(roots) {
+		info := n.Unit.Info
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			id, ok := node.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if i, ok := fieldIdx[objOf(info, id)]; ok {
+				seen[i] = true
+			}
+			return true
+		})
+	}
+	return seen
+}

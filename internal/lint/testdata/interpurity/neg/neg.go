@@ -1,0 +1,37 @@
+package neg
+
+import "time"
+
+// depth is pure all the way down, including through direct recursion.
+//
+//detlint:pure
+func depth(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1 + depth(n-1)
+}
+
+// even and odd form a mutual-recursion cycle under a pure root; the
+// walk must terminate without flagging anything.
+//
+//detlint:pure
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// clocked is impure but carries no pure marker; interpurity audits only
+// marked roots.
+func clocked() int64 {
+	return time.Now().UnixNano() //detlint:allow purity unmarked helper, outside the interpurity audit
+}

@@ -1,0 +1,31 @@
+package pos
+
+import "time"
+
+// ticks is mutated two hops below a pure root.
+var ticks int
+
+// step is the replayable engine loop; the global write it reaches
+// through advance and record breaks the contract.
+//
+//detlint:pure
+func step() {
+	advance()
+}
+
+func advance() { record() }
+
+func record() {
+	ticks++ //detlint:allow purity fixture seeds a mutable global deliberately
+}
+
+// stamp claims purity but reaches the wall clock through a helper.
+//
+//detlint:pure
+func stamp() int64 {
+	return now()
+}
+
+func now() int64 {
+	return time.Now().UnixNano() //detlint:allow purity fixture reaches the clock deliberately
+}

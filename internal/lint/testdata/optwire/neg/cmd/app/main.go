@@ -1,0 +1,17 @@
+// Command app wires the one exported knob.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tradeoff/internal/lint/testdata/optwire/neg/conf"
+	"tradeoff/internal/lint/testdata/optwire/neg/engine"
+)
+
+func main() {
+	level := flag.Int("level", 1, "level knob")
+	flag.Parse()
+	p := engine.BuildParams(conf.Options{Level: *level})
+	fmt.Println(engine.Run(p))
+}

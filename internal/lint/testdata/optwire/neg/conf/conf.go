@@ -1,0 +1,15 @@
+// Package conf declares a fully wired option struct.
+package conf
+
+// Options parameterizes the toy run; unexported fields are outside the
+// audit.
+//
+//detlint:optwire
+type Options struct {
+	Level int
+
+	internal int
+}
+
+// Use keeps the unexported field alive for the compiler.
+func Use(o Options) int { return o.internal }

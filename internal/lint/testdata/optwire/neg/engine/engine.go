@@ -1,0 +1,21 @@
+// Package engine proves wiring propagates through option-reading
+// constructors: Params.Depth is never written by the CLI directly, but
+// BuildParams derives it from the wired Options.Level.
+package engine
+
+import "tradeoff/internal/lint/testdata/optwire/neg/conf"
+
+// Params is the engine-level configuration.
+//
+//detlint:optwire
+type Params struct {
+	Depth int
+}
+
+// BuildParams translates user options into engine parameters.
+func BuildParams(o conf.Options) Params {
+	return Params{Depth: o.Level * 2}
+}
+
+// Run consumes the derived parameter.
+func Run(p Params) int { return p.Depth }

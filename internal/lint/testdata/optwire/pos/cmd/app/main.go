@@ -1,0 +1,17 @@
+// Command app is the fixture CLI entry point: it wires Alpha and Gamma
+// but not Beta.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"tradeoff/internal/lint/testdata/optwire/pos/conf"
+)
+
+func main() {
+	alpha := flag.Int("alpha", 1, "alpha knob")
+	gamma := flag.Int("gamma", 0, "gamma knob")
+	flag.Parse()
+	fmt.Println(conf.Run(conf.Config{Alpha: *alpha, Gamma: *gamma}))
+}

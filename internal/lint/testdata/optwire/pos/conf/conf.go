@@ -1,0 +1,18 @@
+// Package conf declares an audited option struct with broken plumbing.
+package conf
+
+// Config parameterizes the toy engine: Alpha is wired and consumed,
+// Beta is consumed but reachable from no CLI flag, Gamma is written by
+// the CLI but consumed by nothing.
+//
+//detlint:optwire
+type Config struct {
+	Alpha int
+	Beta  int
+	Gamma int
+}
+
+// Run is the engine site consuming Alpha and Beta.
+func Run(c Config) int {
+	return c.Alpha + c.Beta
+}

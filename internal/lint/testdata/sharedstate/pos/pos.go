@@ -1,0 +1,32 @@
+package pos
+
+import "sync"
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+// run fans work out to goroutines that break every confinement rule:
+// a captured scalar accumulator, a constant-index slice write, and a
+// mutating method call on a captured receiver.
+func run(items []int) int {
+	var total int
+	var st counter
+	out := make([]int, len(items))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, it := range items {
+		_ = i
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			mu.Lock()
+			total += it
+			mu.Unlock()
+			out[0] = it
+			st.bump()
+		}(it)
+	}
+	wg.Wait()
+	return total + out[0] + st.n
+}

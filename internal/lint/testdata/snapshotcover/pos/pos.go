@@ -1,0 +1,23 @@
+package pos
+
+// engine is a stand-in whose snapshot coverage is broken both ways.
+type engine struct {
+	gen  int
+	seed uint64
+}
+
+// EngineSnapshot captures a resumable engine state: Seed is encoded but
+// never decoded, Ghost is referenced by neither side.
+type EngineSnapshot struct {
+	Gen   int
+	Seed  uint64
+	Ghost float64
+}
+
+func (e *engine) Snapshot() *EngineSnapshot {
+	return &EngineSnapshot{Gen: e.gen, Seed: e.seed}
+}
+
+func (e *engine) Restore(s *EngineSnapshot) {
+	e.gen = s.Gen
+}

@@ -128,6 +128,8 @@ func (ar *Archive) Epsilon() []float64 {
 // accepted (i.e. it is nondominated — box-wise in ε mode — with respect
 // to the archive and not an exact duplicate). The point is copied;
 // rejected points and payloads are never retained.
+//
+//detlint:pure
 func (ar *Archive) Add(point []float64, payload interface{}) bool {
 	if ar.eps != nil {
 		return ar.addEps(point, payload)

@@ -282,6 +282,8 @@ func (is *Islands) migrate() {
 // barrier-synchronized Steps by default, the asynchronous logical-clock
 // schedule when cfg.Async is set. Both modes end in the same state and
 // emit the same telemetry.
+//
+//detlint:pure
 func (is *Islands) Run(generations int) {
 	if is.cfg.Async {
 		is.runAsync(generations)

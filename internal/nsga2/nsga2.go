@@ -89,6 +89,8 @@ func (ind Individual) Clone() Individual {
 }
 
 // Config parameterizes the engine.
+//
+//detlint:optwire
 type Config struct {
 	// PopulationSize is N; it must be even and >= 2. Default 100.
 	PopulationSize int
@@ -115,6 +117,7 @@ type Config struct {
 	// pair. Nil means UtilityEnergyProblem. Custom problems let the same
 	// engine solve e.g. the makespan/energy formulation of the authors'
 	// prior work (Friese et al., INFOCOMP 2012).
+	//detlint:allow optwire code-level extension point: custom problems are built by callers, not CLI flags
 	Problem *Problem
 	// Evaluation selects the offspring-evaluation strategy. The default
 	// DeltaEvaluation re-simulates only machines whose task sequence the
@@ -127,6 +130,7 @@ type Config struct {
 	// parent inheritance is decided per machine by bucket-fingerprint
 	// match rather than by variation-reported dirty flags, so there is no
 	// diff phase left to bail out of. Values in [0,1] validate as before.
+	//detlint:allow optwire compatibility knob retained for old callers; deliberately no CLI plumbing
 	DeltaMaxDirtyFrac float64
 	// CacheCapacity bounds the fitness-memoization cache in entries
 	// (rounded up to a power of two). 0 means the default, 4 ×
@@ -847,6 +851,7 @@ func (e *Engine) Inject(inds []Individual) error {
 // ranking reuses the engine's moea.Ranker.
 //
 //detlint:hotpath
+//detlint:pure
 func (e *Engine) Step() {
 	n := e.cfg.PopulationSize
 	pairs := n / 2
@@ -994,6 +999,10 @@ func (e *Engine) varyAll(genSeed, genStream uint64, pairs int) {
 			src := &e.workerSrc[w]
 			for k := lo; k < hi; k++ {
 				src.Reseed(genSeed, genStream+uint64(k))
+				// varyPair writes only pair k's offspring/arena slots and
+				// worker w's scratch; disjoint per goroutine, and proven
+				// worker-invariant by TestWorkerCountInvariance.
+				//detlint:allow sharedstate per-pair slots are disjoint across workers
 				e.varyPair(k, src, e.varScratch[w], e.varScratch2[w])
 			}
 		}(w, lo, hi)

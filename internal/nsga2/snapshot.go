@@ -40,6 +40,8 @@ func (e *Engine) Snapshot() *Snapshot {
 // Restore resets the engine to the snapshot's state. The snapshot's
 // population size must match the engine's configuration; every genome is
 // validated against the evaluator, then evaluated and ranked.
+//
+//detlint:pure
 func (e *Engine) Restore(s *Snapshot) error {
 	if len(s.Population) != e.cfg.PopulationSize {
 		return fmt.Errorf("nsga2: snapshot population %d, engine expects %d",

@@ -798,6 +798,7 @@ func (d *DeltaSession) evaluate(a *Allocation, parent *Contribs, dst *Contribs) 
 // not validated.
 //
 //detlint:hotpath
+//detlint:pure
 func (d *DeltaSession) EvaluateFull(a *Allocation, dst *Contribs) Evaluation {
 	return d.evaluate(a, nil, dst)
 }
