@@ -110,7 +110,8 @@ bench-scale-record:
 # End-to-end telemetry smoke: run a short traced experiment through
 # cmd/tradeoff, then validate the JSONL schema with cmd/tracecheck.
 trace-smoke:
-	$(GO) run ./cmd/tradeoff -generations 20 -pop 20 -tasks 60 -trace /tmp/trace_smoke.jsonl > /dev/null
+	$(GO) run ./cmd/tradeoff -generations 20 -pop 20 -tasks 60 -phase-profile -trace /tmp/trace_smoke.jsonl > /dev/null
 	$(GO) run ./cmd/tracecheck /tmp/trace_smoke.jsonl
+	$(GO) run ./cmd/tracestat -json /tmp/trace_smoke.jsonl > /dev/null
 
 check: build vet fmt lint race bench-smoke bench-dedup bench-typed trace-smoke

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tradeoff/internal/obs"
+)
+
+// dumpFlight writes the flight recorder's retained window as trace
+// JSONL: to path (truncating, so repeated dumps keep the latest window)
+// when non-empty, to stderr otherwise. A short status line always goes
+// to stderr so signal-triggered dumps are visible even when redirected.
+func dumpFlight(fr *obs.FlightRecorder, path, reason string) {
+	if fr == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "experiments: flight-recorder dump (%s): %d of %d observed event(s)\n",
+		reason, fr.Len(), fr.TotalObserved())
+	out := os.Stderr
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: flight dump:", err)
+			return
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := fr.Dump(out); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: flight dump:", err)
+		return
+	}
+	if path != "" {
+		fmt.Fprintln(os.Stderr, "experiments: flight dump written to", path)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package main
+
+import "tradeoff/internal/obs"
+
+// watchFlightSignal is a no-op on platforms without SIGUSR1; panic-time
+// dumps still work.
+func watchFlightSignal(*obs.FlightRecorder, string) func() {
+	return func() {}
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tradeoff/internal/obs"
+)
+
+// watchFlightSignal dumps the flight recorder's window on every SIGUSR1
+// until the returned stop function is called. Signal handling lives
+// here at the command layer: internal/* stays free of ambient process
+// state.
+func watchFlightSignal(fr *obs.FlightRecorder, path string) func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				dumpFlight(fr, path, "SIGUSR1")
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

@@ -62,6 +62,9 @@ var (
 	runs        = flag.Int("runs", 5, "runs per variant for -repeats")
 	tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
 	metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
+	phaseProf   = flag.Bool("phase-profile", false, "time the engines' generation phases and print a summary after the run")
+	flightRec   = flag.Int("flight-recorder", 0, "retain the last N telemetry events for SIGUSR1/panic dumps (0 = off)")
+	flightDump  = flag.String("flight-dump", "", "write flight-recorder dumps to this file (default stderr)")
 	cacheCap    = flag.Int("cache-capacity", 0, "fitness-memoization cache entries per engine (0 = 4x population, negative = off)")
 	mcacheCap   = flag.Int("machine-cache-capacity", 0, "machine-bucket memoization cache entries per engine (0 = default, negative = off)")
 	kernelName  = flag.String("kernel", "typed", "per-machine simulation kernel: typed or scalar (bit-identical)")
@@ -81,9 +84,11 @@ func main() {
 	// The wall clock enters here, at the command layer; internal packages
 	// only ever see the injected obs.Clock.
 	tel, err := telemetry.Setup(telemetry.Config{
-		TracePath:   *tracePath,
-		MetricsAddr: *metricsAddr,
-		Clock:       func() int64 { return time.Now().UnixNano() },
+		TracePath:      *tracePath,
+		MetricsAddr:    *metricsAddr,
+		PhaseProfile:   *phaseProf,
+		FlightRecorder: *flightRec,
+		Clock:          func() int64 { return time.Now().UnixNano() },
 	})
 	if err != nil {
 		fatal(err)
@@ -92,7 +97,23 @@ func main() {
 	if url := tel.MetricsURL(); url != "" {
 		fmt.Println("serving metrics at", url)
 	}
-	dispatch(tel.Observer())
+	if fr := tel.FlightRecorder(); fr != nil {
+		stop := watchFlightSignal(fr, *flightDump)
+		defer stop()
+		defer func() {
+			if r := recover(); r != nil {
+				dumpFlight(fr, *flightDump, "panic")
+				panic(r)
+			}
+		}()
+	}
+	dispatch(tel.Observer(), tel.PhaseTimer())
+	if pt := tel.PhaseTimer(); pt != nil {
+		fmt.Println("\nphase profile:")
+		if err := pt.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 	if err := tel.Close(); err != nil {
 		fatal(err)
 	}
@@ -110,7 +131,7 @@ func main() {
 	}
 }
 
-func dispatch(observer obs.Observer) {
+func dispatch(observer obs.Observer, phase *obs.PhaseTimer) {
 	var kernel sched.Kernel
 	switch *kernelName {
 	case "typed":
@@ -130,6 +151,7 @@ func dispatch(observer obs.Observer) {
 		MachineCacheCapacity: *mcacheCap,
 		Kernel:               kernel,
 		Observer:             observer,
+		PhaseTimer:           phase,
 	}
 
 	if *matrices {

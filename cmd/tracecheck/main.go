@@ -9,11 +9,12 @@
 //	tracecheck < run.jsonl
 //
 // On success it prints a one-line summary of the record counts and exits
-// 0; the first violation is reported with its line number and the exit
-// status is 1 (2 for usage or I/O errors).
+// 0; the first violation is reported as FILE:LINE with the offending
+// record's type and the exit status is 1 (2 for usage or I/O errors).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -48,7 +49,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	sum, err := obs.ValidateTrace(in)
 	if err != nil {
-		fmt.Fprintf(stderr, "tracecheck: %s: %v\n", name, err)
+		var te *obs.TraceError
+		switch {
+		case errors.As(err, &te) && te.RecordType != "":
+			fmt.Fprintf(stderr, "tracecheck: %s:%d: %s record: %v\n", name, te.Line, te.RecordType, te.Err)
+		case errors.As(err, &te):
+			fmt.Fprintf(stderr, "tracecheck: %s:%d: %v\n", name, te.Line, te.Err)
+		default:
+			fmt.Fprintf(stderr, "tracecheck: %s: %v\n", name, err)
+		}
 		return 1
 	}
 	fmt.Fprintf(stdout, "%s: ok: %d generation, %d migration, %d run record(s)\n",

@@ -58,6 +58,27 @@ func TestRunViolations(t *testing.T) {
 	}
 }
 
+func TestRunReportsLineAndRecordType(t *testing.T) {
+	trace := goodTrace + `{"type":"migration","ts":9,"gen":5,"from":0}` + "\n"
+	var out, errb strings.Builder
+	if code := run(nil, strings.NewReader(trace), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "stdin:4: migration record:") {
+		t.Fatalf("stderr %q, want line and record type", errb.String())
+	}
+}
+
+func TestRunReportsLineForUnparseable(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, strings.NewReader("not json\n"), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "stdin:1:") {
+		t.Fatalf("stderr %q, want line number", errb.String())
+	}
+}
+
 func TestRunMissingFile(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"/does/not/exist.jsonl"}, nil, &out, &errb); code != 2 {

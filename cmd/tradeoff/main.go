@@ -16,6 +16,14 @@
 // serves the run's metric registry as Prometheus text on /metrics and
 // JSON on /metrics.json. Neither changes the optimization result.
 //
+// -phase-profile times the engine's generation phases (selection,
+// variation, cache probe/insert, evaluation, sort, archive, migration)
+// and prints a per-phase summary after the run; with -trace the
+// per-generation phase breakdown lands in each generation record.
+// -flight-recorder N retains the last N telemetry events in memory;
+// SIGUSR1 (and a run-aborting panic) dumps them as trace JSONL to the
+// -flight-dump path (stderr when unset). None of these change results.
+//
 // -checkpoints records intermediate fronts at the given generation
 // counts (single population only) and -upe-tolerance widens or narrows
 // the reported utility-per-energy region.
@@ -95,6 +103,9 @@ func main() {
 		machines    = flag.Bool("machines", false, "print the per-machine breakdown of the efficient-region allocation")
 		tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
+		phaseProf   = flag.Bool("phase-profile", false, "time the engine's generation phases and print a summary after the run")
+		flightRec   = flag.Int("flight-recorder", 0, "retain the last N telemetry events for SIGUSR1/panic dumps (0 = off)")
+		flightDump  = flag.String("flight-dump", "", "write flight-recorder dumps to this file (default stderr)")
 		cacheCap    = flag.Int("cache-capacity", 0, "fitness-memoization cache entries (0 = 4x population, negative = off)")
 		cacheVerify = flag.Bool("cache-verify", false, "re-simulate every cache hit and abort on divergence (debug)")
 		mcacheCap   = flag.Int("machine-cache-capacity", 0, "machine-bucket memoization cache entries (0 = 128x population, negative = off)")
@@ -134,9 +145,11 @@ func main() {
 	// The wall clock enters here, at the command layer; internal packages
 	// only ever see the injected obs.Clock.
 	tel, err := telemetry.Setup(telemetry.Config{
-		TracePath:   *tracePath,
-		MetricsAddr: *metricsAddr,
-		Clock:       func() int64 { return time.Now().UnixNano() },
+		TracePath:      *tracePath,
+		MetricsAddr:    *metricsAddr,
+		PhaseProfile:   *phaseProf,
+		FlightRecorder: *flightRec,
+		Clock:          func() int64 { return time.Now().UnixNano() },
 	})
 	if err != nil {
 		fatal(err)
@@ -144,6 +157,16 @@ func main() {
 	telSession = tel
 	if url := tel.MetricsURL(); url != "" {
 		fmt.Println("serving metrics at", url)
+	}
+	if fr := tel.FlightRecorder(); fr != nil {
+		stop := watchFlightSignal(fr, *flightDump)
+		defer stop()
+		defer func() {
+			if r := recover(); r != nil {
+				dumpFlight(fr, *flightDump, "panic")
+				panic(r)
+			}
+		}()
 	}
 
 	fw, name, err := buildFramework(*dataset, *systemFile, *tasks, *window, *seed)
@@ -239,6 +262,8 @@ func main() {
 		CacheCapacity:     *cacheCap,
 		CacheVerify:       *cacheVerify,
 		Observer:          tel.Observer(),
+		PhaseTimer:        tel.PhaseTimer(),
+		IslandBoard:       tel.IslandBoard(*islands),
 
 		MachineCacheCapacity: *mcacheCap,
 		MachineCacheVerify:   *mcacheVer,
@@ -340,6 +365,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *svgPath)
+	}
+	if pt := tel.PhaseTimer(); pt != nil {
+		fmt.Println("\nphase profile:")
+		if err := pt.WriteSummary(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 	if err := tel.Close(); err != nil {
 		fatal(err)

@@ -141,6 +141,15 @@ type Options struct {
 	// migration events from an island run. Observation never consumes
 	// randomness or changes results; see internal/obs.
 	Observer obs.Observer
+	// PhaseTimer, when non-nil, profiles the run's phase-level wall time
+	// (selection, variation, cache probe/insert, evaluation, sort,
+	// archive compaction, island migration). Profiling never consumes
+	// randomness or changes results; see internal/obs.
+	PhaseTimer *obs.PhaseTimer
+	// IslandBoard, when non-nil, receives per-island health gauges
+	// (mailbox depth, tick, cache occupancy, tick skew) from island
+	// runs. Only meaningful with Islands > 1; see internal/obs.
+	IslandBoard *obs.IslandBoard
 }
 
 // Result is the outcome of one optimization run.
@@ -203,6 +212,7 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 		return nil, err
 	}
 	eng.SetObserver(opts.Observer)
+	eng.SetPhaseTimer(opts.PhaseTimer)
 	res := &Result{Generations: opts.Generations}
 	if len(opts.Checkpoints) > 0 {
 		last := opts.Checkpoints[len(opts.Checkpoints)-1]
@@ -254,8 +264,14 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 // computes the UPE region and hypervolume of the front actually
 // returned to the caller.
 func finishResult(res *Result, opts Options) error {
+	t0 := opts.PhaseTimer.Start()
 	if err := compactFront(res, opts.ArchiveSize, opts.ArchiveEpsilon); err != nil {
 		return err
+	}
+	if opts.ArchiveSize > 0 {
+		// Archive compaction runs once per run, not per generation, so
+		// it is bracketed here rather than in Engine.Step.
+		opts.PhaseTimer.Record(obs.PhaseArchive, t0)
 	}
 	region, err := analysis.AnalyzeUPE(res.Front, opts.UPETolerance)
 	if err != nil {
@@ -351,6 +367,8 @@ func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*R
 		return nil, err
 	}
 	is.SetObserver(opts.Observer)
+	is.SetPhaseTimer(opts.PhaseTimer)
+	is.SetHealth(opts.IslandBoard)
 	is.Run(opts.Generations)
 	res := &Result{Generations: opts.Generations}
 	front := is.ParetoFront()

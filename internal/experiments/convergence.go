@@ -55,6 +55,7 @@ func RunConvergence(ds *DataSet, cfg RunConfig) (*ConvergenceResult, error) {
 			return nil, err
 		}
 		eng.SetObserver(cfg.observerFor(ds, "conv-"+v.Name))
+		eng.SetPhaseTimer(cfg.PhaseTimer)
 		var cps []analysis.Checkpoint
 		err = eng.RunCheckpoints(cfg.Checkpoints, func(gen int, front []nsga2.Individual) {
 			pts := make([]analysis.FrontPoint, len(front))
@@ -172,6 +173,7 @@ func RunBaselineComparison(ds *DataSet, cfg RunConfig) (*BaselineComparison, err
 		return nil, err
 	}
 	eng.SetObserver(cfg.observerFor(ds, "baselines"))
+	eng.SetPhaseTimer(cfg.PhaseTimer)
 	eng.Run(cfg.Checkpoints[len(cfg.Checkpoints)-1])
 	front := analysis.FromObjectives(eng.FrontPoints())
 

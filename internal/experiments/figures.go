@@ -71,6 +71,10 @@ type RunConfig struct {
 	// "dataset/variant") and per-run summary events from RunRepeats.
 	// Observation never changes results; see internal/obs.
 	Observer obs.Observer
+	// PhaseTimer, when non-nil, accumulates a phase-level wall-time
+	// profile across every engine an experiment runs. Profiling never
+	// changes results; see internal/obs.
+	PhaseTimer *obs.PhaseTimer
 }
 
 func (c RunConfig) withDefaults(ds *DataSet) RunConfig {
@@ -165,6 +169,7 @@ func RunParetoFigure(ds *DataSet, cfg RunConfig) (*FigureResult, error) {
 			return nil, fmt.Errorf("experiments: engine for %s: %w", v.Name, err)
 		}
 		eng.SetObserver(cfg.observerFor(ds, v.Name))
+		eng.SetPhaseTimer(cfg.PhaseTimer)
 		run := VariantRun{Variant: v.Name}
 		err = eng.RunCheckpoints(cfg.Checkpoints, func(gen int, front []nsga2.Individual) {
 			pts := make([]analysis.FrontPoint, len(front))
@@ -346,6 +351,7 @@ func RunFigure5(ds *DataSet, cfg RunConfig) (*Figure5Result, error) {
 		return nil, err
 	}
 	eng.SetObserver(cfg.observerFor(ds, "figure5"))
+	eng.SetPhaseTimer(cfg.PhaseTimer)
 	last := cfg.Checkpoints[len(cfg.Checkpoints)-1]
 	eng.Run(last)
 	pts := analysis.FromObjectives(eng.FrontPoints())

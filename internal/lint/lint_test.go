@@ -217,6 +217,39 @@ func TestEpsArchiveFixture(t *testing.T) {
 	checkGolden(t, negDir, negLines)
 }
 
+// TestPhaseTimerFixture golden-checks the phase-profiler shape
+// (DESIGN.md §14): the positive fixture seeds the violations a naive
+// profiler invites — ambient wall-clock brackets, a mutable global
+// accumulator map, map-ordered summaries, allocating hot paths — and
+// each must fire; the negative fixture is internal/obs's real shape
+// (injected clock, fixed-slot atomic adds indexed by a compile-time
+// enum, nil-safe brackets) and must stay silent.
+func TestPhaseTimerFixture(t *testing.T) {
+	posDir := filepath.Join("testdata", "phasetimer", "pos")
+	posLines := runFixture(t, posDir, Analyzers())
+	for _, want := range []string{"purity", "maprange", "hotalloc"} {
+		found := false
+		for _, l := range posLines {
+			if strings.Contains(l, ": "+want+": ") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("positive phasetimer fixture did not trigger %s:\n%s",
+				want, strings.Join(posLines, "\n"))
+		}
+	}
+	checkGolden(t, posDir, posLines)
+	negDir := filepath.Join("testdata", "phasetimer", "neg")
+	negLines := runFixture(t, negDir, Analyzers())
+	if len(negLines) != 0 {
+		t.Errorf("negative phasetimer fixture produced diagnostics:\n%s",
+			strings.Join(negLines, "\n"))
+	}
+	checkGolden(t, negDir, negLines)
+}
+
 // TestSuppress checks //detlint:allow: two excused wall-clock reads stay
 // silent, the third is reported.
 func TestSuppress(t *testing.T) {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -178,6 +179,9 @@ func (l *loader) parseDir(dir string) (lib, tests []*ast.File, err error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if !buildTagsAllow(f) {
+			continue
+		}
 		if strings.HasSuffix(name, "_test.go") {
 			tests = append(tests, f)
 		} else {
@@ -185,6 +189,36 @@ func (l *loader) parseDir(dir string) (lib, tests []*ast.File, err error) {
 		}
 	}
 	return lib, tests, nil
+}
+
+// buildTagsAllow evaluates a file's //go:build constraint (if any)
+// under the loader's fixed linux/amd64 view — the same single-platform
+// convention as the type-checker's Sizes — so platform-split file
+// pairs (flight_unix.go / flight_other.go) type-check as one coherent
+// package instead of redeclaring each other.
+func buildTagsAllow(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // build constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				switch tag {
+				case "linux", "unix", "amd64", "gc":
+					return true
+				}
+				return strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
 }
 
 // moduleRoot walks up from dir to the directory containing go.mod and

@@ -67,6 +67,35 @@ func TestLoadModuleImportCycle(t *testing.T) {
 	}
 }
 
+// TestLoadModuleHonorsBuildTags: platform-split file pairs (a
+// //go:build unix file plus its !unix stub, both declaring the same
+// function) must type-check as one coherent package under the
+// loader's fixed linux/amd64 view, not redeclare each other.
+func TestLoadModuleHonorsBuildTags(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tagmod\n",
+		"a/a.go": "package a\n\nvar X = watch()\n",
+		"a/a_unix.go": "//go:build unix\n\npackage a\n\n" +
+			"func watch() int { return 1 }\n",
+		"a/a_other.go": "//go:build !unix\n\npackage a\n\n" +
+			"func watch() int { return 0 }\n",
+	})
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	unit := mod.Units[0]
+	if len(unit.Files) != 2 {
+		t.Fatalf("unit has %d files, want a.go + the unix half", len(unit.Files))
+	}
+	for _, f := range unit.Files {
+		name := mod.Fset.File(f.Pos()).Name()
+		if strings.HasSuffix(name, "a_other.go") {
+			t.Fatal("!unix file loaded on the linux view")
+		}
+	}
+}
+
 // TestLoadDirOnlyExternalTests: a directory holding nothing but an
 // external _test package still yields exactly one unit, and no phantom
 // library unit.

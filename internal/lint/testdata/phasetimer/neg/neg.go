@@ -1,0 +1,68 @@
+// Package neg is the determinism-clean shape of a phase profiler: an
+// injected clock (nil for a constant-zero clock, never the ambient wall
+// clock), fixed-slot atomic accumulators indexed by a compile-time
+// phase enum (no maps, no per-call allocation), and nil-safe brackets
+// so uninstrumented call sites cost one branch.
+package neg
+
+import "sync/atomic"
+
+// clock is the injected time source, a nanosecond counter supplied by
+// the cmd layer; internal code never reads ambient time.
+type clock func() int64
+
+// phase indexes one timed section of the generation loop.
+type phase int
+
+const (
+	phaseSelect phase = iota
+	phaseEval
+	phaseSort
+	numPhases = int(phaseSort) + 1
+)
+
+// timer accumulates wall time per phase with fixed-slot atomic adds:
+// one timer may be shared by concurrent islands without locks.
+type timer struct {
+	clock clock
+	ns    [numPhases]atomic.Int64
+	count [numPhases]atomic.Int64
+}
+
+// start opens a bracket on the injected clock; nil-safe.
+//
+//detlint:hotpath
+func (t *timer) start() int64 {
+	if t == nil || t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// record closes a bracket with two atomic adds into constant slots —
+// allocation-free, so profiling never perturbs the hot path.
+//
+//detlint:hotpath
+func (t *timer) record(p phase, from int64) {
+	if t == nil {
+		return
+	}
+	var now int64
+	if t.clock != nil {
+		now = t.clock()
+	}
+	t.ns[p].Add(now - from)
+	t.count[p].Add(1)
+}
+
+// totals snapshots the accumulated nanoseconds in index order.
+func (t *timer) totals() [numPhases]int64 {
+	var out [numPhases]int64
+	if t == nil {
+		return out
+	}
+	for p := range out {
+		out[p] = t.ns[p].Load()
+	}
+	return out
+}

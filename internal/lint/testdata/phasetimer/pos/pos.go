@@ -1,0 +1,45 @@
+// Package pos seeds the determinism violations a naive phase profiler
+// invites: ambient wall-clock reads inside the engine (instead of an
+// injected clock), a mutable package-level accumulator keyed by phase
+// name, a summary that iterates the map in random order, and annotated
+// hot-path brackets that allocate per call.
+package pos
+
+import (
+	"fmt"
+	"time"
+)
+
+// phaseNS accumulates per-phase nanoseconds in a package-level map:
+// timer state now depends on call history across every engine in the
+// process, and tests cannot isolate it.
+var phaseNS = map[string]int64{}
+
+// start opens a bracket on the ambient wall clock, so instrumented runs
+// observe the host instead of the injected Clock.
+//
+//detlint:hotpath
+func start() time.Time {
+	return time.Now()
+}
+
+// record closes a bracket, formatting the phase label per call inside
+// the hot path and mutating the global table.
+//
+//detlint:hotpath
+func record(phase string, from time.Time) string {
+	phaseNS[phase] += time.Since(from).Nanoseconds()
+	return fmt.Sprintf("bracket %s closed", phase)
+}
+
+// summary renders the profile by iterating the map: line order — and
+// any diff against a golden profile — changes run to run.
+//
+//detlint:hotpath
+func summary() []string {
+	var lines []string
+	for name, ns := range phaseNS {
+		lines = append(lines, fmt.Sprintf("%s=%dns", name, ns))
+	}
+	return lines
+}

@@ -72,6 +72,12 @@ type Islands struct {
 	// aggBase holds the cross-island counter sums at the last emitted
 	// shard-stats event, so each migration tick reports per-tick diffs.
 	aggBase tickShard
+	// phase is the shared phase profiler (nil when profiling is off):
+	// every engine records into the same timer via atomic adds, and the
+	// island layer itself attributes ring-migration time to
+	// PhaseMigration. health is the optional async-health gauge board.
+	phase  *obs.PhaseTimer
+	health *obs.IslandBoard
 }
 
 // SetObserver attaches (or, with nil, detaches) a telemetry observer.
@@ -91,6 +97,39 @@ func (is *Islands) SetObserver(o obs.Observer) {
 	// Resync the aggregation baseline so pre-attach work (initial
 	// evaluation, restores) is not attributed to the first tick.
 	is.aggBase = is.sumShards()
+}
+
+// SetPhaseTimer attaches (or, with nil, detaches) a shared phase
+// profiler: every island engine records its Step phases into t (atomic
+// adds aggregate across the parallel islands), and the island layer
+// attributes ring-migration time — including, in the asynchronous mode,
+// the ring-edge mailbox wait — to PhaseMigration. The aggregated
+// "islands" shard stats deliberately carry no per-tick phase split:
+// phase time is wall time, and splitting it per tick would make the
+// emitted telemetry timing-dependent, breaking the documented sync ≡
+// async bit-identity. Read the run-level rollup from the timer instead.
+func (is *Islands) SetPhaseTimer(t *obs.PhaseTimer) {
+	is.phase = t
+	for _, eng := range is.engines {
+		eng.SetPhaseTimer(t)
+	}
+}
+
+// SetHealth attaches (or, with nil, detaches) the async-island health
+// board. The islands update mailbox-depth, tick, and cache-occupancy
+// gauges at every migration tick in both stepping modes; gauges are
+// monitoring data, outside the deterministic telemetry stream.
+func (is *Islands) SetHealth(b *obs.IslandBoard) {
+	is.health = b
+}
+
+// cacheOccupancy reads one engine's fitness-cache live-entry fraction
+// (0 when memoization is disabled).
+func cacheOccupancy(eng *Engine) float64 {
+	if eng.cache == nil || len(eng.cache.slots) == 0 {
+		return 0
+	}
+	return float64(eng.cache.live) / float64(len(eng.cache.slots))
 }
 
 // tickShard is one island's cumulative counters captured at a logical
@@ -252,6 +291,7 @@ func (is *Islands) Step() {
 // elites are collected before any injection so migration order does not
 // matter.
 func (is *Islands) migrate() {
+	t0 := is.phase.Start()
 	k := len(is.engines)
 	outbound := make([][]Individual, k)
 	for i, eng := range is.engines {
@@ -272,6 +312,13 @@ func (is *Islands) migrate() {
 				Count:      len(outbound[i]),
 			})
 		}
+	}
+	is.phase.Record(obs.PhaseMigration, t0)
+	for i, eng := range is.engines {
+		// Synchronous exchanges drain every edge inline, so depth is 0.
+		is.health.SetMailboxDepth(i, 0)
+		is.health.SetCacheOccupancy(i, cacheOccupancy(eng))
+		is.health.SetTick(i, is.generation)
 	}
 	if is.observer != nil {
 		is.emitShardStats(is.generation, is.sumShards())
@@ -351,13 +398,21 @@ func (is *Islands) runAsync(generations int) {
 				}
 				// Elites reflect this island's own post-step,
 				// pre-injection state, exactly as in the synchronous
-				// collect-then-inject phase.
+				// collect-then-inject phase. The PhaseMigration bracket
+				// includes the ring-edge mailbox wait — in the async
+				// mode that wait IS the migration cost.
+				t0 := is.phase.Start()
 				elites := eng.Elites(is.cfg.Migrants)
+				is.health.SetMailboxDepth(i, len(out)+1)
 				out <- elites
 				inbound := <-in
 				if err := eng.Inject(inbound); err != nil {
 					panic(fmt.Sprintf("nsga2: ring migration failed: %v", err))
 				}
+				is.phase.Record(obs.PhaseMigration, t0)
+				is.health.SetMailboxDepth(i, len(out))
+				is.health.SetCacheOccupancy(i, cacheOccupancy(eng))
+				is.health.SetTick(i, g)
 				if observing {
 					recs[i][t] = captureShard(eng, len(elites))
 				}

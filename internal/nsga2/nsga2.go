@@ -594,6 +594,13 @@ type Engine struct {
 	statsBase sched.DeltaStats
 	frontObs  [][]float64 // recycled borrow-only front buffer
 	frontOrd  frontSorter
+
+	// Phase profiler (see observe.go). phase is nil when profiling is
+	// disabled — every Step bracket is then a nil-receiver no-op.
+	// phaseBase is the cumulative-totals snapshot notifyGeneration diffs
+	// against to attribute phase time per generation.
+	phase     *obs.PhaseTimer
+	phaseBase obs.PhaseTotals
 }
 
 // New creates an engine with an initial population: the seeds (validated)
@@ -861,12 +868,17 @@ func (e *Engine) Step() {
 	// source in a worker-independent order), then derive one child rng
 	// stream per offspring pair from two generation-level draws. The
 	// variation fan-out below is bit-identical for every worker count.
+	// Phase brackets throughout are nil-receiver no-ops unless a
+	// PhaseTimer is attached, and never touch engine rng or state.
+	t0 := e.phase.Start()
 	for k := 0; k < 2*pairs; k++ {
 		e.parents[k] = e.selectParent()
 	}
 	genSeed := e.src.Uint64()
 	genStream := e.src.Uint64()
+	e.phase.Record(obs.PhaseSelect, t0)
 
+	t0 = e.phase.Start()
 	e.offspring = e.offspring[:0]
 	for i := 0; i < n; i++ {
 		e.offspring = append(e.offspring, Individual{
@@ -877,25 +889,34 @@ func (e *Engine) Step() {
 	}
 	// Steps 4–5: crossover + repair + mutation, parallel across pairs.
 	e.varyAll(genSeed, genStream, pairs)
+	e.phase.Record(obs.PhaseVariation, t0)
 	// Memoization bracket: probe the fitness cache serially (its state
 	// must evolve identically for every worker count), let the parallel
 	// evaluation fan-out copy hits and simulate misses, then insert the
 	// missed outcomes serially in offspring order.
 	if e.cache != nil {
+		t0 = e.phase.Start()
 		e.probeCache(n)
+		e.phase.Record(obs.PhaseCacheProbe, t0)
 	}
+	t0 = e.phase.Start()
 	e.evaluateInPlace(e.offspring)
+	e.phase.Record(obs.PhaseEval, t0)
 	if e.cache != nil {
+		t0 = e.phase.Start()
 		e.insertCache(n)
+		e.phase.Record(obs.PhaseCacheInsert, t0)
 	}
 
 	// Step 6: merge into the 2N meta-population (elitism).
+	t0 = e.phase.Start()
 	e.meta = e.meta[:0]
 	e.meta = append(e.meta, e.pop...)
 	e.meta = append(e.meta, e.offspring...)
 
 	// Steps 7–10: rank, fill by rank groups, truncate by crowding.
 	e.selectSurvivors(n)
+	e.phase.Record(obs.PhaseSort, t0)
 	e.generation++
 
 	// Telemetry last: the observer sees the post-step state and, by

@@ -45,6 +45,18 @@ func (e *Engine) SetObserver(o obs.Observer) {
 	}
 }
 
+// SetPhaseTimer attaches (or, with nil, detaches) a phase profiler.
+// Step's phase brackets record into it; when an observer is also
+// attached, each generation's phase-time deltas are emitted in
+// GenerationStats.PhaseNanos. The timer never touches rng streams, so
+// profiled runs stay bit-identical to unprofiled ones. One timer may be
+// shared across the engines of an island model — per-generation deltas
+// stay coherent because island engines carry no engine-level observer.
+func (e *Engine) SetPhaseTimer(t *obs.PhaseTimer) {
+	e.phase = t
+	e.phaseBase = t.Totals()
+}
+
 // SetIndicatorReference replaces the indicator kernel with one using the
 // explicit hypervolume reference point ref = [utility, energy], priming
 // it with the current front. Call before or after SetObserver; fronts
@@ -118,6 +130,14 @@ func (e *Engine) notifyGeneration() {
 		mcacheSize, mcacheCap = e.mcache.live, len(e.mcache.slots)
 	}
 	arenaInUse, arenaSlots := e.arena.occupancy()
+	var phases obs.PhaseTotals
+	if e.phase != nil {
+		tot := e.phase.Totals()
+		for p := range tot {
+			phases[p] = tot[p] - e.phaseBase[p]
+		}
+		e.phaseBase = tot
+	}
 	var ind obs.Indicators
 	if e.kernel != nil {
 		ind = e.kernel.Update(front)
@@ -148,6 +168,7 @@ func (e *Engine) notifyGeneration() {
 		TypedRuns:             int(gen.TypedRuns),
 		DirtyCounts:           e.dirtyN,
 		NumMachines:           e.eval.NumMachines(),
+		PhaseNanos:            phases,
 		Indicators:            ind,
 	})
 }

@@ -1,0 +1,203 @@
+package nsga2
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tradeoff/internal/obs"
+	"tradeoff/internal/rng"
+)
+
+// tickClock returns an obs.Clock advancing by step on every reading, so
+// every phase bracket records a nonzero duration. Atomic, because a
+// shared timer hands the clock to every async island goroutine.
+func tickClock(step int64) obs.Clock {
+	var t atomic.Int64
+	return func() int64 {
+		return t.Add(step)
+	}
+}
+
+func TestPhaseTimerDoesNotChangeResults(t *testing.T) {
+	eval := newEval(t, 30)
+	newEng := func() *Engine {
+		eng, err := New(eval, Config{PopulationSize: 12}, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	plain, timed := newEng(), newEng()
+	timed.SetObserver(&recorder{})
+	timed.SetPhaseTimer(obs.NewPhaseTimer(tickClock(7)))
+	plain.Run(20)
+	timed.Run(20)
+	pp, tp := plain.Population(), timed.Population()
+	for i := range pp {
+		if pp[i].Rank != tp[i].Rank || pp[i].Crowding != tp[i].Crowding {
+			t.Fatalf("individual %d rank/crowding diverged with phase timer attached", i)
+		}
+		for m := range pp[i].Objectives {
+			if pp[i].Objectives[m] != tp[i].Objectives[m] {
+				t.Fatalf("individual %d objective %d diverged: %v vs %v",
+					i, m, pp[i].Objectives[m], tp[i].Objectives[m])
+			}
+		}
+		for g := range pp[i].Alloc.Machine {
+			if pp[i].Alloc.Machine[g] != tp[i].Alloc.Machine[g] || pp[i].Alloc.Order[g] != tp[i].Alloc.Order[g] {
+				t.Fatalf("individual %d gene %d diverged", i, g)
+			}
+		}
+	}
+}
+
+func TestPhaseTimerBracketsEveryStepPhase(t *testing.T) {
+	eng := newEngine(t, 30, Config{PopulationSize: 10}, 23)
+	pt := obs.NewPhaseTimer(tickClock(3))
+	eng.SetPhaseTimer(pt)
+	const gens = 5
+	eng.Run(gens)
+
+	cnt, tot := pt.Counts(), pt.Totals()
+	// Step brackets select, variation, eval, and sort every generation;
+	// the cache brackets fire too because memoization is on by default.
+	for _, p := range []obs.Phase{obs.PhaseSelect, obs.PhaseVariation,
+		obs.PhaseCacheProbe, obs.PhaseEval, obs.PhaseCacheInsert, obs.PhaseSort} {
+		if cnt[p] != gens {
+			t.Errorf("phase %s bracketed %d times, want %d", p, cnt[p], gens)
+		}
+		if tot[p] <= 0 {
+			t.Errorf("phase %s recorded %dns, want > 0", p, tot[p])
+		}
+	}
+	// A plain engine run never records archive or migration time.
+	for _, p := range []obs.Phase{obs.PhaseArchive, obs.PhaseMigration} {
+		if cnt[p] != 0 || tot[p] != 0 {
+			t.Errorf("phase %s recorded %d brackets / %dns on a plain engine", p, cnt[p], tot[p])
+		}
+	}
+}
+
+func TestPhaseTimerCacheBracketsFollowCacheConfig(t *testing.T) {
+	eng := newEngine(t, 20, Config{PopulationSize: 10, CacheCapacity: -1}, 29)
+	pt := obs.NewPhaseTimer(tickClock(3))
+	eng.SetPhaseTimer(pt)
+	eng.Run(3)
+	cnt := pt.Counts()
+	if cnt[obs.PhaseCacheProbe] != 0 || cnt[obs.PhaseCacheInsert] != 0 {
+		t.Fatalf("cache brackets %d/%d with memoization disabled, want 0/0",
+			cnt[obs.PhaseCacheProbe], cnt[obs.PhaseCacheInsert])
+	}
+	if cnt[obs.PhaseEval] != 3 {
+		t.Fatalf("eval bracketed %d times, want 3", cnt[obs.PhaseEval])
+	}
+}
+
+func TestPhaseNanosPerGenerationDiffs(t *testing.T) {
+	eng := newEngine(t, 30, Config{PopulationSize: 10}, 31)
+	rec := &recorder{}
+	eng.SetObserver(rec)
+	pt := obs.NewPhaseTimer(tickClock(5))
+	eng.SetPhaseTimer(pt)
+	const gens = 4
+	eng.Run(gens)
+
+	if len(rec.gens) != gens {
+		t.Fatalf("%d generation events, want %d", len(rec.gens), gens)
+	}
+	var sum obs.PhaseTotals
+	for i, g := range rec.gens {
+		// Every generation's breakdown covers the per-step phases and
+		// only those: archive and migration never run here.
+		for _, p := range []obs.Phase{obs.PhaseSelect, obs.PhaseVariation, obs.PhaseEval, obs.PhaseSort} {
+			if g.PhaseNanos[p] <= 0 {
+				t.Fatalf("event %d: phase %s %dns, want > 0", i, p, g.PhaseNanos[p])
+			}
+		}
+		if g.PhaseNanos[obs.PhaseArchive] != 0 || g.PhaseNanos[obs.PhaseMigration] != 0 {
+			t.Fatalf("event %d: archive/migration time on a plain engine step", i)
+		}
+		for p := range sum {
+			sum[p] += g.PhaseNanos[p]
+		}
+	}
+	// The per-generation diffs partition the timer's cumulative totals.
+	if sum != pt.Totals() {
+		t.Fatalf("per-generation phase sums %v != timer totals %v", sum, pt.Totals())
+	}
+}
+
+func TestPhaseNanosZeroWithoutTimer(t *testing.T) {
+	eng := newEngine(t, 20, Config{PopulationSize: 10}, 37)
+	rec := &recorder{}
+	eng.SetObserver(rec)
+	eng.Run(2)
+	for i, g := range rec.gens {
+		if g.PhaseNanos != (obs.PhaseTotals{}) {
+			t.Fatalf("event %d: nonzero PhaseNanos without a timer: %v", i, g.PhaseNanos)
+		}
+		if g.PhaseTotalNanos() != 0 {
+			t.Fatalf("event %d: PhaseTotalNanos %d", i, g.PhaseTotalNanos())
+		}
+	}
+}
+
+func TestIslandsPhaseTimerRecordsMigration(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			is := newIslands(t, 40, IslandConfig{
+				Islands:           3,
+				MigrationInterval: 4,
+				Migrants:          1,
+				Async:             async,
+				Engine:            Config{PopulationSize: 8},
+			}, 7)
+			pt := obs.NewPhaseTimer(tickClock(2))
+			is.SetPhaseTimer(pt)
+			is.Run(8) // two migration exchanges
+
+			cnt, tot := pt.Counts(), pt.Totals()
+			if cnt[obs.PhaseMigration] == 0 || tot[obs.PhaseMigration] <= 0 {
+				t.Fatalf("migration phase %d brackets / %dns, want recorded work",
+					cnt[obs.PhaseMigration], tot[obs.PhaseMigration])
+			}
+			// The shared timer aggregates the engine phases of all three
+			// islands: 8 generations x 3 islands = 24 step brackets each.
+			for _, p := range []obs.Phase{obs.PhaseSelect, obs.PhaseVariation, obs.PhaseEval, obs.PhaseSort} {
+				if cnt[p] != 24 {
+					t.Errorf("phase %s bracketed %d times, want 24", p, cnt[p])
+				}
+			}
+		})
+	}
+}
+
+func TestIslandsPhaseTimerDoesNotChangeResults(t *testing.T) {
+	run := func(timed bool) [][]float64 {
+		is := newIslands(t, 40, IslandConfig{
+			Islands:           2,
+			MigrationInterval: 4,
+			Migrants:          1,
+			Engine:            Config{PopulationSize: 8},
+		}, 3)
+		if timed {
+			is.SetPhaseTimer(obs.NewPhaseTimer(tickClock(11)))
+			is.SetHealth(obs.NewIslandBoard(obs.NewRegistry(), 2))
+		}
+		is.Run(12)
+		return is.FrontPoints()
+	}
+	plain, timed := run(false), run(true)
+	if len(plain) != len(timed) {
+		t.Fatalf("front sizes diverged: %d vs %d", len(plain), len(timed))
+	}
+	for i := range plain {
+		if plain[i][0] != timed[i][0] || plain[i][1] != timed[i][1] {
+			t.Fatalf("front point %d diverged: %v vs %v", i, plain[i], timed[i])
+		}
+	}
+}

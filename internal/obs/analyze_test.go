@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// analysisGeneration builds a minimal valid GenerationStats for trace
+// analytics: label, generation, hypervolume, cache hit rate (hits out of
+// 10 lookups), and a uniform per-phase time.
+func analysisGeneration(label string, gen int, hv float64, hits int, phaseNS int64) GenerationStats {
+	g := GenerationStats{
+		Label: label, Generation: gen, Population: 4,
+		Front:     [][]float64{{10, 2}},
+		CacheHits: hits, CacheMisses: 10 - hits,
+		DirtyCounts: []int{1}, NumMachines: 4,
+		Indicators: Indicators{Hypervolume: hv, FrontSize: 1},
+	}
+	for p := range g.PhaseNanos {
+		g.PhaseNanos[p] = phaseNS
+	}
+	return g
+}
+
+func TestAnalyzeTracePhaseRollup(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb, nil)
+	tw.ObserveGeneration(analysisGeneration("a", 1, 1, 5, 100))
+	tw.ObserveGeneration(analysisGeneration("a", 2, 2, 5, 300))
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeTrace(strings.NewReader(sb.String()), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.ProfiledGenerations != 2 {
+		t.Fatalf("ProfiledGenerations = %d, want 2", an.ProfiledGenerations)
+	}
+	if len(an.Phases) != NumPhases {
+		t.Fatalf("got %d phase stats, want %d", len(an.Phases), NumPhases)
+	}
+	for p, st := range an.Phases {
+		if st.Phase != Phase(p).String() {
+			t.Errorf("phase %d named %q, want %q", p, st.Phase, Phase(p))
+		}
+		if st.TotalNanos != 400 {
+			t.Errorf("phase %s total %d, want 400", st.Phase, st.TotalNanos)
+		}
+		if want := 1.0 / float64(NumPhases); absf(st.Share-want) > 1e-12 {
+			t.Errorf("phase %s share %g, want %g", st.Phase, st.Share, want)
+		}
+	}
+}
+
+func TestAnalyzeTraceUnprofiledHasNoPhases(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb, nil)
+	tw.ObserveGeneration(analysisGeneration("a", 1, 1, 5, 0))
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeTrace(strings.NewReader(sb.String()), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.ProfiledGenerations != 0 || an.Phases != nil {
+		t.Fatalf("all-zero phase_ns must not count as profiled: %d profiled, phases %v",
+			an.ProfiledGenerations, an.Phases)
+	}
+}
+
+func TestAnalyzeTraceStallDetection(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb, nil)
+	// "grows" improves every record; "flat" improves once, then holds
+	// for 6 records and briefly recovers below tolerance.
+	for g := 1; g <= 8; g++ {
+		tw.ObserveGeneration(analysisGeneration("grows", g, float64(g), 5, 0))
+	}
+	for g := 1; g <= 8; g++ {
+		hv := 5.0
+		if g == 8 {
+			hv = 5.0001 // within StallTol of best: still no improvement
+		}
+		tw.ObserveGeneration(analysisGeneration("flat", g, hv, 5, 0))
+	}
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeTrace(strings.NewReader(sb.String()), AnalyzeOptions{StallWindow: 5, StallTol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Labels) != 2 {
+		t.Fatalf("got %d labels, want 2", len(an.Labels))
+	}
+	grows, flat := an.Labels[0], an.Labels[1]
+	if grows.Label != "grows" || flat.Label != "flat" {
+		t.Fatalf("label order %q, %q (want first-seen order)", grows.Label, flat.Label)
+	}
+	if grows.Stalled || grows.MaxPlateau != 0 || grows.BestGen != 8 || grows.HVBest != 8 {
+		t.Fatalf("grows analysis %+v", grows)
+	}
+	if !flat.Stalled || flat.MaxPlateau != 7 || flat.EndPlateau != 7 || flat.BestGen != 1 {
+		t.Fatalf("flat analysis %+v", flat)
+	}
+	if !an.Stalled {
+		t.Fatal("analysis must flag the stalled label")
+	}
+	// A wider window clears the flag.
+	an, err = AnalyzeTrace(strings.NewReader(sb.String()), AnalyzeOptions{StallWindow: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Stalled {
+		t.Fatal("window 50 must not flag a 7-generation plateau")
+	}
+}
+
+func TestAnalyzeTraceCacheHitTrend(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb, nil)
+	// 8 records: hit rates 0.1, 0.2, ..., 0.8 → quartile = 2 records.
+	for g := 1; g <= 8; g++ {
+		tw.ObserveGeneration(analysisGeneration("a", g, float64(g), g, 0))
+	}
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeTrace(strings.NewReader(sb.String()), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := an.Labels[0]
+	if absf(l.CacheHitEarly-0.15) > 1e-12 || absf(l.CacheHitLate-0.75) > 1e-12 {
+		t.Fatalf("hit trend %g -> %g, want 0.15 -> 0.75", l.CacheHitEarly, l.CacheHitLate)
+	}
+}
+
+func TestAnalyzeTraceLegacyTraceHasNoCacheTrend(t *testing.T) {
+	// v1 records carry no cache telemetry: the trend degrades to -1.
+	v1 := `{"type":"generation","ts":1,"label":"a","gen":1,"pop":4,"full_evals":4,"delta_evals":0,"machines_simulated":8,"machines_inherited":0,"dirty_mean":1,"dirty_max":2,"machines":2,"front_size":1,"hv":3.5,"eps":0,"spread":0,"front":[[10,2]]}` + "\n"
+	an, err := AnalyzeTrace(strings.NewReader(v1), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := an.Labels[0]
+	if l.CacheHitEarly != -1 || l.CacheHitLate != -1 {
+		t.Fatalf("v1 hit trend %g -> %g, want -1 -> -1", l.CacheHitEarly, l.CacheHitLate)
+	}
+	if an.ProfiledGenerations != 0 {
+		t.Fatalf("v1 trace profiled %d generations, want 0", an.ProfiledGenerations)
+	}
+}
+
+func TestAnalyzeTraceIslands(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb, nil)
+	tw.ObserveGeneration(analysisGeneration("islands", 5, 1, 5, 0))
+	tw.ObserveMigration(MigrationEvent{Generation: 5, From: 0, To: 1, Count: 2})
+	tw.ObserveMigration(MigrationEvent{Generation: 5, From: 1, To: 2, Count: 2})
+	tw.ObserveMigration(MigrationEvent{Generation: 5, From: 2, To: 0, Count: 2})
+	tw.ObserveMigration(MigrationEvent{Generation: 10, From: 0, To: 1, Count: 3})
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeTrace(strings.NewReader(sb.String()), AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := an.Islands
+	if is == nil {
+		t.Fatal("no island summary")
+	}
+	if is.Islands != 3 || is.Ticks != 2 || is.Migrants != 9 {
+		t.Fatalf("island summary %+v", is)
+	}
+	if is.TickSkew != 5 {
+		t.Fatalf("tick skew %d, want 5 (island 0 at 10, islands 1-2 at 5)", is.TickSkew)
+	}
+	if len(is.PerIsland) != 3 {
+		t.Fatalf("per-island stats %+v", is.PerIsland)
+	}
+	if st := is.PerIsland[0]; st.Island != 0 || st.Migrants != 5 || st.LastGen != 10 {
+		t.Fatalf("island 0 stats %+v", st)
+	}
+	if st := is.PerIsland[1]; st.Migrants != 2 || st.LastGen != 5 {
+		t.Fatalf("island 1 stats %+v", st)
+	}
+}
+
+func TestAnalyzeTraceRejectsInvalid(t *testing.T) {
+	_, err := AnalyzeTrace(strings.NewReader("garbage\n"), AnalyzeOptions{})
+	var te *TraceError
+	if !errors.As(err, &te) || te.Line != 1 {
+		t.Fatalf("err %v, want *TraceError at line 1", err)
+	}
+}

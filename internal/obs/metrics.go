@@ -32,6 +32,7 @@ type Metrics struct {
 	arenaOccupancy *Gauge
 
 	dirtyFraction *Histogram
+	phaseSeconds  [NumPhases]*Histogram
 }
 
 // dirtyFractionBounds buckets the per-offspring dirty-machine fraction
@@ -41,10 +42,17 @@ func dirtyFractionBounds() []float64 {
 	return []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1}
 }
 
+// phaseSecondsBounds buckets per-generation phase durations on a 1-3-10
+// log scale from 10µs to 10s: generation phases span microseconds on
+// toy instances to seconds at the 10⁶-task scale.
+func phaseSecondsBounds() []float64 {
+	return []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}
+}
+
 // NewMetrics registers the standard instrument set on r and returns the
 // feeding observer. Metric names are prefixed "tradeoff_".
 func NewMetrics(r *Registry) *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		generations:       r.Counter("tradeoff_generations_total", "NSGA-II generations stepped"),
 		fullEvals:         r.Counter("tradeoff_full_evals_total", "offspring evaluated by the full kernel"),
 		deltaEvals:        r.Counter("tradeoff_delta_evals_total", "offspring evaluated by the delta kernel"),
@@ -71,6 +79,11 @@ func NewMetrics(r *Registry) *Metrics {
 		dirtyFraction: r.Histogram("tradeoff_dirty_machine_fraction",
 			"per-offspring fraction of machines touched by variation", dirtyFractionBounds()),
 	}
+	for p := Phase(0); int(p) < NumPhases; p++ {
+		m.phaseSeconds[p] = r.Histogram("tradeoff_phase_"+p.String()+"_seconds",
+			"per-generation wall time of the "+p.String()+" phase", phaseSecondsBounds())
+	}
+	return m
 }
 
 // ObserveGeneration implements Observer.
@@ -101,6 +114,14 @@ func (m *Metrics) ObserveGeneration(g GenerationStats) {
 		inv := 1 / float64(g.NumMachines)
 		for _, d := range g.DirtyCounts {
 			m.dirtyFraction.Observe(float64(d) * inv)
+		}
+	}
+	// Only profiled runs feed the phase histograms: an all-zero
+	// PhaseNanos means no PhaseTimer was attached (or its clock is nil),
+	// and recording those zeros would drown the real distribution.
+	if g.PhaseTotalNanos() > 0 {
+		for p, ns := range g.PhaseNanos {
+			m.phaseSeconds[p].Observe(float64(ns) / 1e9)
 		}
 	}
 }

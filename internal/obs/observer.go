@@ -85,9 +85,24 @@ type GenerationStats struct {
 	// NumMachines is the machine count of the problem instance, the
 	// upper bound for each DirtyCounts entry.
 	NumMachines int
+	// PhaseNanos[p] is the nanoseconds Engine.Step spent in phase
+	// Phase(p) this generation — all zero when no PhaseTimer is
+	// attached (or its clock is nil). A by-value fixed array: nothing
+	// here is borrowed.
+	PhaseNanos PhaseTotals
 	// Indicators holds the convergence indicators for Front, if an
 	// indicator kernel is active (all-zero otherwise).
 	Indicators Indicators
+}
+
+// PhaseTotalNanos sums the per-phase step times, 0 when no phase
+// profiler was attached.
+func (g *GenerationStats) PhaseTotalNanos() int64 {
+	var sum int64
+	for _, ns := range g.PhaseNanos {
+		sum += ns
+	}
+	return sum
 }
 
 // CacheHitRate returns the generation's fitness-cache hit fraction,
@@ -181,27 +196,35 @@ type RunEvent struct {
 }
 
 // Multi fans every event out to each member observer in order. A nil or
-// empty Multi is a valid no-op observer.
+// empty Multi is a valid no-op observer, and nil members are skipped —
+// a hand-built Multi{metrics, nil, trace} fans out to the two live
+// members (Combine drops the nils up front instead).
 type Multi []Observer
 
 // ObserveGeneration implements Observer.
 func (m Multi) ObserveGeneration(g GenerationStats) {
 	for _, o := range m {
-		o.ObserveGeneration(g)
+		if o != nil {
+			o.ObserveGeneration(g)
+		}
 	}
 }
 
 // ObserveMigration implements Observer.
 func (m Multi) ObserveMigration(ev MigrationEvent) {
 	for _, o := range m {
-		o.ObserveMigration(ev)
+		if o != nil {
+			o.ObserveMigration(ev)
+		}
 	}
 }
 
 // ObserveRun implements Observer.
 func (m Multi) ObserveRun(r RunEvent) {
 	for _, o := range m {
-		o.ObserveRun(r)
+		if o != nil {
+			o.ObserveRun(r)
+		}
 	}
 }
 

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiHeterogeneousFanOutOrder(t *testing.T) {
+	// A hand-built Multi over heterogeneous members — callback recorders
+	// bracketing a TraceWriter and a FlightRecorder — must deliver every
+	// event to every member in declaration order.
+	var order []string
+	first := &recordingObserver{
+		onGen: func(GenerationStats) { order = append(order, "first.gen") },
+		onMig: func(MigrationEvent) { order = append(order, "first.mig") },
+		onRun: func(RunEvent) { order = append(order, "first.run") },
+	}
+	last := &recordingObserver{
+		onGen: func(GenerationStats) { order = append(order, "last.gen") },
+		onMig: func(MigrationEvent) { order = append(order, "last.mig") },
+		onRun: func(RunEvent) { order = append(order, "last.run") },
+	}
+	var sb strings.Builder
+	tw := NewTraceWriter(&sb, nil)
+	fr := NewFlightRecorder(4, nil)
+	m := Multi{first, tw, fr, last}
+
+	m.ObserveGeneration(sampleGeneration(1))
+	m.ObserveMigration(MigrationEvent{Generation: 1, From: 0, To: 1, Count: 1})
+	m.ObserveRun(RunEvent{Dataset: "ds1", Run: 0, Seed: 1, Hypervolume: 1, MaxUtility: 1, FrontSize: 1})
+
+	want := []string{"first.gen", "last.gen", "first.mig", "last.mig", "first.run", "last.run"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if err := tw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 3 {
+		t.Fatalf("trace member saw %d records, want 3", n)
+	}
+	if fr.Len() != 3 {
+		t.Fatalf("flight member retained %d events, want 3", fr.Len())
+	}
+}
+
+func TestMultiSkipsNilMembers(t *testing.T) {
+	var gens, migs, runs int
+	rec := &recordingObserver{
+		onGen: func(GenerationStats) { gens++ },
+		onMig: func(MigrationEvent) { migs++ },
+		onRun: func(RunEvent) { runs++ },
+	}
+	m := Multi{nil, rec, nil}
+	m.ObserveGeneration(GenerationStats{})
+	m.ObserveMigration(MigrationEvent{})
+	m.ObserveRun(RunEvent{})
+	if gens != 1 || migs != 1 || runs != 1 {
+		t.Fatalf("live member saw %d/%d/%d events, want 1/1/1", gens, migs, runs)
+	}
+
+	var empty Multi
+	empty.ObserveGeneration(GenerationStats{}) // must not panic
+	allNil := Multi{nil, nil}
+	allNil.ObserveMigration(MigrationEvent{})
+	allNil.ObserveRun(RunEvent{})
+}

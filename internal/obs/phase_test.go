@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPhaseStrings(t *testing.T) {
+	want := []string{"select", "variation", "cache_probe", "eval",
+		"cache_insert", "sort", "archive", "migration"}
+	if len(want) != NumPhases {
+		t.Fatalf("test covers %d phases, taxonomy has %d", len(want), NumPhases)
+	}
+	for p, name := range want {
+		if got := Phase(p).String(); got != name {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, got, name)
+		}
+	}
+	if got := Phase(99).String(); got != "phase(99)" {
+		t.Errorf("out-of-range phase String() = %q", got)
+	}
+}
+
+func TestPhaseTimerNilIsNoOp(t *testing.T) {
+	var pt *PhaseTimer
+	start := pt.Start()
+	if start != 0 {
+		t.Fatalf("nil timer Start() = %d, want 0", start)
+	}
+	pt.Record(PhaseEval, start) // must not panic
+	if tot := pt.Totals(); tot != (PhaseTotals{}) {
+		t.Fatalf("nil timer Totals() = %v, want zero", tot)
+	}
+	if cnt := pt.Counts(); cnt != (PhaseTotals{}) {
+		t.Fatalf("nil timer Counts() = %v, want zero", cnt)
+	}
+	var sb strings.Builder
+	if err := pt.WriteSummary(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil timer WriteSummary wrote %q, err %v", sb.String(), err)
+	}
+}
+
+func TestPhaseTimerNilClockCountsButRecordsZero(t *testing.T) {
+	pt := NewPhaseTimer(nil)
+	s := pt.Start()
+	pt.Record(PhaseSort, s)
+	if tot := pt.Totals(); tot != (PhaseTotals{}) {
+		t.Fatalf("nil-clock timer Totals() = %v, want zero", tot)
+	}
+	cnt := pt.Counts()
+	if cnt[PhaseSort] != 1 {
+		t.Fatalf("nil-clock timer Counts()[sort] = %d, want 1", cnt[PhaseSort])
+	}
+}
+
+func TestPhaseTimerAccumulates(t *testing.T) {
+	pt := NewPhaseTimer(countingClock(0, 10))
+	for i := 0; i < 3; i++ {
+		s := pt.Start()
+		pt.Record(PhaseEval, s)
+	}
+	s := pt.Start()
+	pt.Record(PhaseSelect, s)
+
+	tot, cnt := pt.Totals(), pt.Counts()
+	if tot[PhaseEval] != 30 || cnt[PhaseEval] != 3 {
+		t.Fatalf("eval total/count = %d/%d, want 30/3", tot[PhaseEval], cnt[PhaseEval])
+	}
+	if tot[PhaseSelect] != 10 || cnt[PhaseSelect] != 1 {
+		t.Fatalf("select total/count = %d/%d, want 10/1", tot[PhaseSelect], cnt[PhaseSelect])
+	}
+	if tot[PhaseSort] != 0 || cnt[PhaseSort] != 0 {
+		t.Fatalf("untouched phase nonzero: %d/%d", tot[PhaseSort], cnt[PhaseSort])
+	}
+}
+
+func TestPhaseTimerConcurrentRecording(t *testing.T) {
+	// A shared timer aggregates island goroutines via atomic slot adds:
+	// under -race this test also proves the data-race freedom claim.
+	pt := NewPhaseTimer(func() int64 { return 0 })
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				pt.Record(PhaseMigration, -5) // fixed 5ns bracket
+			}
+		}()
+	}
+	wg.Wait()
+	tot, cnt := pt.Totals(), pt.Counts()
+	if cnt[PhaseMigration] != workers*each {
+		t.Fatalf("migration count = %d, want %d", cnt[PhaseMigration], workers*each)
+	}
+	if tot[PhaseMigration] != int64(workers*each*5) {
+		t.Fatalf("migration total = %d, want %d", tot[PhaseMigration], workers*each*5)
+	}
+}
+
+func TestPhaseTimerWriteSummary(t *testing.T) {
+	pt := NewPhaseTimer(countingClock(0, 1000))
+	s := pt.Start()
+	pt.Record(PhaseVariation, s)
+	s = pt.Start()
+	pt.Record(PhaseEval, s)
+
+	var sb strings.Builder
+	if err := pt.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != NumPhases+1 {
+		t.Fatalf("summary has %d lines, want header + %d phases:\n%s", len(lines), NumPhases, out)
+	}
+	for _, want := range []string{"phase", "count", "total (ms)", "mean (us)", "share",
+		"variation", "50.0%", "eval"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,7 +15,10 @@ import (
 //	v3: generation records gain the machine-bucket memoization and
 //	    typed-kernel fields machine_cache_hits, machine_cache_misses,
 //	    machine_cache_hit_rate, typed_tasks, and typed_runs.
-const TraceSchemaVersion = 3
+//	v4: generation records gain phase_ns, a NumPhases-length array of
+//	    per-phase step nanoseconds indexed by Phase (all zero when no
+//	    PhaseTimer was attached).
+const TraceSchemaVersion = 4
 
 // TraceWriter is an Observer that appends one JSON object per event to
 // an io.Writer (JSONL). Records are hand-encoded with strconv into a
@@ -117,6 +120,14 @@ func (t *TraceWriter) ObserveGeneration(g GenerationStats) {
 	t.buf = strconv.AppendInt(t.buf, int64(g.TypedRuns), 10)
 	t.buf = append(t.buf, `,"arena_occupancy":`...)
 	t.buf = appendJSONFloat(t.buf, g.ArenaOccupancy())
+	t.buf = append(t.buf, `,"phase_ns":[`...)
+	for p, ns := range g.PhaseNanos {
+		if p > 0 {
+			t.buf = append(t.buf, ',')
+		}
+		t.buf = strconv.AppendInt(t.buf, ns, 10)
+	}
+	t.buf = append(t.buf, ']')
 	dirtyMax := 0
 	dirtySum := 0
 	for _, d := range g.DirtyCounts {

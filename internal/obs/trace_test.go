@@ -29,6 +29,7 @@ func sampleGeneration(gen int) GenerationStats {
 		MachineCacheSize: 7, MachineCacheCapacity: 32,
 		TypedTasks: 20, TypedRuns: 8,
 		DirtyCounts: []int{0, 1, 2, 3}, NumMachines: 6,
+		PhaseNanos: PhaseTotals{100, 200, 300, 400, 500, 600, 700, 800},
 		Indicators: Indicators{Hypervolume: 38.5, Epsilon: -0.5, Spread: 0.1, FrontSize: 2},
 	}
 }
@@ -71,6 +72,15 @@ func TestTraceWriterRecordsParseAndRoundTrip(t *testing.T) {
 	} {
 		if first[k] != want {
 			t.Fatalf("generation record %s = %v, want %v", k, first[k], want)
+		}
+	}
+	phases, ok := first["phase_ns"].([]any)
+	if !ok || len(phases) != NumPhases {
+		t.Fatalf("generation record phase_ns = %v, want %d-entry array", first["phase_ns"], NumPhases)
+	}
+	for p, v := range phases {
+		if v != float64((p+1)*100) {
+			t.Fatalf("phase_ns[%d] = %v, want %d", p, v, (p+1)*100)
 		}
 	}
 	var mig map[string]any
@@ -160,7 +170,7 @@ func TestValidateTraceRejections(t *testing.T) {
 // (no "v" field) still validate, and unknown versions are rejected —
 // as are stamped records missing the fields their version introduced.
 func TestTraceSchemaVersion(t *testing.T) {
-	if TraceSchemaVersion != 3 {
+	if TraceSchemaVersion != 4 {
 		t.Fatalf("TraceSchemaVersion = %d; update this test alongside a schema bump", TraceSchemaVersion)
 	}
 	var sb strings.Builder
@@ -192,6 +202,11 @@ func TestTraceSchemaVersion(t *testing.T) {
 	if _, err := ValidateTrace(strings.NewReader(v3)); err != nil {
 		t.Fatalf("well-formed v3 record rejected: %v", err)
 	}
+	v4 := strings.Replace(v3, `"v":3`,
+		`"v":4,"phase_ns":[1,2,3,4,5,6,7,8]`, 1)
+	if _, err := ValidateTrace(strings.NewReader(v4)); err != nil {
+		t.Fatalf("well-formed v4 record rejected: %v", err)
+	}
 	cases := []struct {
 		name, in, wantErr string
 	}{
@@ -205,6 +220,9 @@ func TestTraceSchemaVersion(t *testing.T) {
 		{"machine hit rate above one", strings.Replace(v3, `"machine_cache_hit_rate":0.4`, `"machine_cache_hit_rate":1.4`, 1), "outside [0,1]"},
 		{"negative typed counter", strings.Replace(v3, `"typed_runs":8`, `"typed_runs":-8`, 1), "negative typed-kernel counters"},
 		{"typed runs exceed tasks", strings.Replace(v3, `"typed_runs":8`, `"typed_runs":21`, 1), "exceeds typed_tasks"},
+		{"v4 missing phase_ns", strings.Replace(v3, `"v":3`, `"v":4`, 1), "missing phase_ns"},
+		{"v4 short phase_ns", strings.Replace(v4, `"phase_ns":[1,2,3,4,5,6,7,8]`, `"phase_ns":[1,2]`, 1), "phase_ns has 2 entries"},
+		{"v4 negative phase_ns", strings.Replace(v4, `"phase_ns":[1,2,3,4,5,6,7,8]`, `"phase_ns":[1,2,-3,4,5,6,7,8]`, 1), "negative phase_ns"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -216,6 +234,29 @@ func TestTraceSchemaVersion(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestTraceErrorStructure pins the structured validation-error
+// contract: the first violation surfaces as a *TraceError carrying the
+// 1-based line number and the record type of the offending record.
+func TestTraceErrorStructure(t *testing.T) {
+	in := `{"type":"migration","ts":1,"gen":1,"from":0,"to":1,"count":2}` + "\n" +
+		`{"type":"migration","ts":2,"from":0}` + "\n"
+	_, err := ValidateTrace(strings.NewReader(in))
+	var te *TraceError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a *TraceError: %v", err, err)
+	}
+	if te.Line != 2 || te.RecordType != "migration" {
+		t.Fatalf("TraceError{Line:%d, RecordType:%q}, want line 2, migration", te.Line, te.RecordType)
+	}
+	if !strings.Contains(te.Error(), "line 2: migration record:") {
+		t.Fatalf("rendered error %q missing location prefix", te.Error())
+	}
+	_, err = ValidateTrace(strings.NewReader("not json\n"))
+	if !errors.As(err, &te) || te.Line != 1 || te.RecordType != "" {
+		t.Fatalf("unparseable line: got %v, want *TraceError at line 1 with no record type", err)
 	}
 }
 

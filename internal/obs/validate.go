@@ -14,6 +14,28 @@ type TraceSummary struct {
 	Runs        int
 }
 
+// TraceError is the structured per-record validation failure returned by
+// ValidateTrace and AnalyzeTrace: the 1-based line number of the
+// offending record, its record type ("" when the type itself is missing
+// or unparseable), and the underlying violation.
+type TraceError struct {
+	Line       int
+	RecordType string
+	Err        error
+}
+
+// Error renders "line N: TYPE record: ..." (or "line N: ..." when no
+// record type is known).
+func (e *TraceError) Error() string {
+	if e.RecordType == "" {
+		return fmt.Sprintf("line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("line %d: %s record: %v", e.Line, e.RecordType, e.Err)
+}
+
+// Unwrap returns the underlying violation.
+func (e *TraceError) Unwrap() error { return e.Err }
+
 // traceRecord mirrors the union of the TraceWriter record schemas for
 // validation. Pointer fields distinguish absent from zero.
 type traceRecord struct {
@@ -36,6 +58,7 @@ type traceRecord struct {
 	TypedTasks        *int        `json:"typed_tasks"`
 	TypedRuns         *int        `json:"typed_runs"`
 	ArenaOccupancy    *float64    `json:"arena_occupancy"`
+	PhaseNS           []int64     `json:"phase_ns"`
 	DirtyMean         *float64    `json:"dirty_mean"`
 	DirtyMax          *int        `json:"dirty_max"`
 	Machines          *int        `json:"machines"`
@@ -59,62 +82,76 @@ type traceRecord struct {
 // generation counters strictly increasing per label, evaluation counts
 // consistent with the population, dirty-machine summaries within the
 // machine count, and front payloads matching their declared size. It
-// returns a summary of the record counts, or the first violation with
-// its 1-based line number.
+// returns a summary of the record counts, or the first violation as a
+// *TraceError carrying its 1-based line number and record type.
 func ValidateTrace(r io.Reader) (TraceSummary, error) {
+	return scanTrace(r, nil)
+}
+
+// scanTrace is the shared trace walk behind ValidateTrace and
+// AnalyzeTrace: it validates each record and, when visit is non-nil,
+// hands every valid record (with its 1-based line number) to it. The
+// record pointer is only valid for the duration of the call.
+func scanTrace(r io.Reader, visit func(line int, rec *traceRecord)) (TraceSummary, error) {
 	var sum TraceSummary
 	lastGen := make(map[string]int)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 	line := 0
+	fail := func(recType string, err error) (TraceSummary, error) {
+		return sum, &TraceError{Line: line, RecordType: recType, Err: err}
+	}
 	for sc.Scan() {
 		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
-			return sum, fmt.Errorf("line %d: empty line", line)
+			return fail("", fmt.Errorf("empty line"))
 		}
 		var rec traceRecord
 		if err := json.Unmarshal(raw, &rec); err != nil {
-			return sum, fmt.Errorf("line %d: invalid JSON: %v", line, err)
+			return fail("", fmt.Errorf("invalid JSON: %v", err))
 		}
 		if rec.TS == nil {
-			return sum, fmt.Errorf("line %d: missing ts", line)
+			return fail(rec.Type, fmt.Errorf("missing ts"))
 		}
 		// Schema versioning: records without a "v" field are legacy v1
 		// traces and validate against the v1 rules; stamped records
 		// must carry a version this validator knows (v2 through the
 		// current version — each validates against its own rules).
 		if rec.V != nil && (*rec.V < 2 || *rec.V > TraceSchemaVersion) {
-			return sum, fmt.Errorf("line %d: unsupported schema version %d (validator supports v1 records without a version field, and v2–v%d)",
-				line, *rec.V, TraceSchemaVersion)
+			return fail(rec.Type, fmt.Errorf("unsupported schema version %d (validator supports v1 records without a version field, and v2–v%d)",
+				*rec.V, TraceSchemaVersion))
 		}
 		switch rec.Type {
 		case "generation":
 			if err := validateGeneration(&rec, lastGen); err != nil {
-				return sum, fmt.Errorf("line %d: %v", line, err)
+				return fail(rec.Type, err)
 			}
 			sum.Generations++
 		case "migration":
 			if rec.Gen == nil || rec.From == nil || rec.To == nil || rec.Count == nil {
-				return sum, fmt.Errorf("line %d: migration record missing gen/from/to/count", line)
+				return fail(rec.Type, fmt.Errorf("missing gen/from/to/count"))
 			}
 			if *rec.From < 0 || *rec.To < 0 || *rec.Count < 0 {
-				return sum, fmt.Errorf("line %d: negative migration field", line)
+				return fail(rec.Type, fmt.Errorf("negative migration field"))
 			}
 			sum.Migrations++
 		case "run":
 			if rec.Dataset == nil || rec.Variant == nil || rec.Run == nil || rec.Seed == nil ||
 				rec.HV == nil || rec.MaxUtility == nil || rec.FrontSize == nil {
-				return sum, fmt.Errorf("line %d: run record missing required fields", line)
+				return fail(rec.Type, fmt.Errorf("missing required fields"))
 			}
 			if *rec.FrontSize < 0 {
-				return sum, fmt.Errorf("line %d: negative front_size", line)
+				return fail(rec.Type, fmt.Errorf("negative front_size"))
 			}
 			sum.Runs++
 		case "":
-			return sum, fmt.Errorf("line %d: missing record type", line)
+			return fail("", fmt.Errorf("missing record type"))
 		default:
-			return sum, fmt.Errorf("line %d: unknown record type %q", line, rec.Type)
+			return fail("", fmt.Errorf("unknown record type %q", rec.Type))
+		}
+		if visit != nil {
+			visit(line, &rec)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -133,7 +170,7 @@ func validateGeneration(rec *traceRecord, lastGen map[string]int) error {
 		rec.DirtyMean == nil || rec.DirtyMax == nil || rec.Machines == nil ||
 		rec.FrontSize == nil || rec.HV == nil || rec.Eps == nil || rec.Spread == nil ||
 		rec.Front == nil {
-		return fmt.Errorf("generation record missing required fields")
+		return fmt.Errorf("missing required fields")
 	}
 	if *rec.Pop <= 0 {
 		return fmt.Errorf("pop %d not positive", *rec.Pop)
@@ -177,6 +214,20 @@ func validateGeneration(rec *traceRecord, lastGen map[string]int) error {
 		}
 		if *rec.TypedRuns > *rec.TypedTasks {
 			return fmt.Errorf("typed_runs %d exceeds typed_tasks %d", *rec.TypedRuns, *rec.TypedTasks)
+		}
+	}
+	if rec.V != nil && *rec.V >= 4 {
+		// v4 additions: the per-phase step-time breakdown.
+		if rec.PhaseNS == nil {
+			return fmt.Errorf("v%d generation record missing phase_ns", *rec.V)
+		}
+		if len(rec.PhaseNS) != NumPhases {
+			return fmt.Errorf("phase_ns has %d entries, want %d", len(rec.PhaseNS), NumPhases)
+		}
+		for p, ns := range rec.PhaseNS {
+			if ns < 0 {
+				return fmt.Errorf("negative phase_ns[%d] (%s)", p, Phase(p))
+			}
 		}
 	}
 	if *rec.Machines > 0 && *rec.DirtyMax > *rec.Machines {

@@ -30,6 +30,13 @@ type Config struct {
 	// MetricsAddr, when non-empty, serves GET /metrics (Prometheus text)
 	// and GET /metrics.json (expvar-style JSON) on this TCP address.
 	MetricsAddr string
+	// PhaseProfile, when true, creates a PhaseTimer on Clock so the run
+	// records a phase-level wall-time profile (and, with a trace or
+	// metrics sink, per-generation phase breakdowns).
+	PhaseProfile bool
+	// FlightRecorder, when > 0, attaches a flight recorder retaining the
+	// last FlightRecorder telemetry events for on-demand dumps.
+	FlightRecorder int
 	// Clock timestamps trace records; nil stamps every record 0.
 	Clock obs.Clock
 }
@@ -43,6 +50,8 @@ type Session struct {
 	traceFile *os.File
 	server    *http.Server
 	listener  net.Listener
+	phase     *obs.PhaseTimer
+	flight    *obs.FlightRecorder
 }
 
 // Setup opens the sinks named by cfg. On error nothing is left open.
@@ -58,6 +67,13 @@ func Setup(cfg Config) (*Session, error) {
 		s.traceBuf = bufio.NewWriter(f)
 		s.trace = obs.NewTraceWriter(s.traceBuf, cfg.Clock)
 		parts = append(parts, s.trace)
+	}
+	if cfg.PhaseProfile {
+		s.phase = obs.NewPhaseTimer(cfg.Clock)
+	}
+	if cfg.FlightRecorder > 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightRecorder, cfg.Clock)
+		parts = append(parts, s.flight)
 	}
 	if cfg.MetricsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.MetricsAddr)
@@ -100,6 +116,34 @@ func (s *Session) Registry() *obs.Registry {
 		return nil
 	}
 	return s.registry
+}
+
+// PhaseTimer returns the phase profiler, or nil when -phase-profile is
+// off.
+func (s *Session) PhaseTimer() *obs.PhaseTimer {
+	if s == nil {
+		return nil
+	}
+	return s.phase
+}
+
+// FlightRecorder returns the flight recorder, or nil when
+// -flight-recorder is off.
+func (s *Session) FlightRecorder() *obs.FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	return s.flight
+}
+
+// IslandBoard registers per-island health gauges for an island run, or
+// returns nil when metrics are off or islands < 2. Call at most once
+// per session (gauge names are registered on first call).
+func (s *Session) IslandBoard(islands int) *obs.IslandBoard {
+	if s == nil || s.registry == nil || islands < 2 {
+		return nil
+	}
+	return obs.NewIslandBoard(s.registry, islands)
 }
 
 // MetricsURL returns the resolved base URL of the metrics server, or ""
