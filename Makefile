@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate bench-dedup bench-dedup-record bench-typed bench-typed-record bench-scale bench-scale-record trace-smoke check
+.PHONY: all build vet fmt lint test race bench-smoke bench-record bench-diff bench-evaluate bench-dedup bench-dedup-record bench-typed bench-typed-record bench-scale bench-scale-record bench-dist bench-dist-record dist-smoke trace-smoke check
 
 # Benchmarks guarded by the >10% regression gate (cmd/benchdiff against
 # BENCH_step.json): generation cost, front extraction, and the
@@ -42,22 +42,24 @@ bench-smoke:
 	$(GO) test -short -run '^$$' -bench Step -benchtime 1x -benchmem .
 
 # Re-measure the gated benchmarks and refresh the canonical baseline at
-# the repo root (BENCH_step.json).
+# the repo root (BENCH_step.json). -stat median collapses the -count 3
+# repeats so one noisy run does not skew the baseline (or, below, fail
+# the compare).
 bench-record:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime 500ms -count 3 -benchmem . | tee /tmp/bench_step.txt
-	$(GO) run ./cmd/benchdiff -record BENCH_step.json /tmp/bench_step.txt
+	$(GO) run ./cmd/benchdiff -stat median -record BENCH_step.json /tmp/bench_step.txt
 
 # Compare the current tree against the recorded baseline; fails on >10%
 # regression in ns/op or allocs/op.
 bench-diff:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchtime 500ms -count 3 -benchmem . > /tmp/bench_new.txt
-	$(GO) run ./cmd/benchdiff BENCH_step.json /tmp/bench_new.txt
+	$(GO) run ./cmd/benchdiff -stat median BENCH_step.json /tmp/bench_new.txt
 
 # Evaluation-kernel slice of the regression gate: the task-major session
 # sweep and the machine-major full evaluation on the large traces.
 bench-evaluate:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate' -benchtime 500ms -count 3 -benchmem . > /tmp/bench_eval.txt
-	$(GO) run ./cmd/benchdiff BENCH_step.json /tmp/bench_eval.txt
+	$(GO) run ./cmd/benchdiff -stat median BENCH_step.json /tmp/bench_eval.txt
 
 # Fitness-memoization slice of the regression gate (DESIGN.md §11):
 # cached vs uncached generation cost in the regimes where the
@@ -67,7 +69,7 @@ bench-evaluate:
 # the insert path, a probe-window blowup).
 bench-dedup:
 	$(GO) test -run '^$$' -bench BenchmarkDedup -benchtime 300ms -count 3 -benchmem . > /tmp/bench_dedup.txt
-	$(GO) run ./cmd/benchdiff -threshold 0.30 BENCH_dedup.json /tmp/bench_dedup.txt
+	$(GO) run ./cmd/benchdiff -stat median -threshold 0.30 BENCH_dedup.json /tmp/bench_dedup.txt
 
 # Typed-kernel slice of the regression gate (DESIGN.md §12): the
 # kernel/machine-cache ablation twins plus the datagen-synthesized
@@ -77,7 +79,7 @@ bench-dedup:
 # same shared-runner-variance reason.
 bench-typed:
 	$(GO) test -run '^$$' -bench BenchmarkTypedStep -benchtime 300ms -count 3 -benchmem . > /tmp/bench_typed.txt
-	$(GO) run ./cmd/benchdiff -threshold 0.30 -bench BenchmarkTypedStep BENCH_typed.json /tmp/bench_typed.txt
+	$(GO) run ./cmd/benchdiff -stat median -threshold 0.30 -bench BenchmarkTypedStep BENCH_typed.json /tmp/bench_typed.txt
 
 # Refresh the typed-kernel baseline after an intentional kernel change.
 bench-typed-record:
@@ -99,13 +101,44 @@ bench-dedup-record:
 # other long-trace slices.
 bench-scale:
 	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -count 2 -benchmem . > /tmp/bench_scale.txt
-	$(GO) run ./cmd/benchdiff -threshold 0.30 -bench BenchmarkScale BENCH_scale.json /tmp/bench_scale.txt
+	$(GO) run ./cmd/benchdiff -stat median -threshold 0.30 -bench BenchmarkScale BENCH_scale.json /tmp/bench_scale.txt
 
 # Refresh the scale baseline after an intentional change to the archive,
 # arena, or kernels.
 bench-scale-record:
 	$(GO) test -run '^$$' -bench BenchmarkScale -benchtime 1x -count 2 -benchmem . | tee /tmp/bench_scale.txt
 	$(GO) run ./cmd/benchdiff -bench BenchmarkScale -record BENCH_scale.json /tmp/bench_scale.txt
+
+# Distributed-islands slice of the regression gate (DESIGN.md §15): the
+# wire codec hot paths, full coordinator round trips over in-process
+# pipes against the single-process async baseline, and the streaming
+# ε-archive's spill/merge pipeline, compared against BENCH_dist.json.
+# The recorded baseline is honest about its host: on a single core the
+# worker-count ladder measures scheduling and wire overhead, not
+# speedup — on 4+ cores re-record and expect the 4-worker run to beat
+# the in-process baseline.
+bench-dist:
+	$(GO) test -run '^$$' -bench BenchmarkDist -benchtime 300ms -count 3 -benchmem ./internal/dist > /tmp/bench_dist.txt
+	$(GO) test -run '^$$' -bench BenchmarkStreamingArchive -benchtime 300ms -count 3 -benchmem ./internal/moea >> /tmp/bench_dist.txt
+	$(GO) run ./cmd/benchdiff -stat median -threshold 0.30 BENCH_dist.json /tmp/bench_dist.txt
+
+# Refresh the distributed baseline after an intentional wire, scheduler,
+# or archive change.
+bench-dist-record:
+	$(GO) test -run '^$$' -bench BenchmarkDist -benchtime 300ms -count 3 -benchmem ./internal/dist | tee /tmp/bench_dist.txt
+	$(GO) test -run '^$$' -bench BenchmarkStreamingArchive -benchtime 300ms -count 3 -benchmem ./internal/moea | tee -a /tmp/bench_dist.txt
+	$(GO) run ./cmd/benchdiff -stat median -record BENCH_dist.json /tmp/bench_dist.txt
+
+# Distributed end-to-end smoke: the same short run once in-process and
+# once across two worker processes (with -race on the binary), then a
+# bit-for-bit diff of the CSV fronts. Worker traces land next to the
+# parent trace as /tmp/dist_smoke.jsonl.w0/.w1 for post-mortems.
+dist-smoke:
+	$(GO) build -race -o /tmp/tradeoff_dist_smoke ./cmd/tradeoff
+	/tmp/tradeoff_dist_smoke -dataset 1 -tasks 60 -generations 20 -pop 16 -islands 4 -migration-interval 5 -async -csv /tmp/dist_smoke_inproc.csv > /dev/null
+	/tmp/tradeoff_dist_smoke -dataset 1 -tasks 60 -generations 20 -pop 16 -islands 4 -migration-interval 5 -async -distribute 2 -trace /tmp/dist_smoke.jsonl -csv /tmp/dist_smoke_dist.csv > /dev/null
+	cmp /tmp/dist_smoke_inproc.csv /tmp/dist_smoke_dist.csv
+	$(GO) run ./cmd/tracestat /tmp/dist_smoke.jsonl.w0 /tmp/dist_smoke.jsonl.w1 > /dev/null
 
 # End-to-end telemetry smoke: run a short traced experiment through
 # cmd/tradeoff, then validate the JSONL schema with cmd/tracecheck.
@@ -114,4 +147,4 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck /tmp/trace_smoke.jsonl
 	$(GO) run ./cmd/tracestat -json /tmp/trace_smoke.jsonl > /dev/null
 
-check: build vet fmt lint race bench-smoke bench-dedup bench-typed trace-smoke
+check: build vet fmt lint race bench-smoke bench-dedup bench-typed bench-dist dist-smoke trace-smoke

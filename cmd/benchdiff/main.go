@@ -11,10 +11,14 @@
 //	benchdiff -threshold 0.05 …  tighten the regression threshold
 //	benchdiff -json old new      emit the comparison as JSON
 //	benchdiff -bench Typed o n   restrict to names matching a regexp
+//	benchdiff -stat median o n   aggregate -count=N runs by median
 //
 // A benchmark regresses when its ns/op or allocs/op in `new` exceeds the
 // value in `old` by more than the threshold (default 10%). Benchmarks
 // present in only one input are reported but never fail the run.
+// Repeated runs of one benchmark (`go test -count=N`) are collapsed
+// with -stat: mean (the default) or median, the latter shrugging off a
+// single noisy outlier run.
 //
 // -bench restricts both comparison and recording to benchmarks whose
 // (GOMAXPROCS-stripped) name matches the regexp, so one canonical
@@ -114,9 +118,71 @@ func parseBenchLine(line string) (Result, bool) {
 	return r, seen
 }
 
+// statFn reduces one benchmark's repeated measurements (from
+// `go test -count=N`) to a single value.
+type statFn func([]float64) float64
+
+func statMean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func statMedian(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// statByName maps the -stat flag to its reducer.
+var statByName = map[string]statFn{
+	"mean":   statMean,
+	"median": statMedian,
+}
+
+// reduce collapses duplicate benchmark names with the given statistic,
+// damping run-to-run noise on busy measurement hosts. Order of first
+// appearance is preserved; iterations are summed across runs.
+func reduce(results []Result, stat statFn) []Result {
+	var out []Result
+	idx := make(map[string]int)
+	samples := make(map[string][3][]float64)
+	for _, res := range results {
+		i, ok := idx[res.Name]
+		if !ok {
+			i = len(out)
+			idx[res.Name] = i
+			out = append(out, res)
+			samples[res.Name] = [3][]float64{{res.NsPerOp}, {res.BytesPerOp}, {res.AllocsPerOp}}
+			continue
+		}
+		s := samples[res.Name]
+		s[0] = append(s[0], res.NsPerOp)
+		s[1] = append(s[1], res.BytesPerOp)
+		s[2] = append(s[2], res.AllocsPerOp)
+		samples[res.Name] = s
+		out[i].Iterations += res.Iterations
+		out[i].HasAllocs = out[i].HasAllocs || res.HasAllocs
+	}
+	for i := range out {
+		s := samples[out[i].Name]
+		if len(s[0]) > 1 {
+			out[i].NsPerOp = stat(s[0])
+			out[i].BytesPerOp = stat(s[1])
+			out[i].AllocsPerOp = stat(s[2])
+		}
+	}
+	return out
+}
+
 // parse reads benchmark results from r, auto-detecting the format.
-// Duplicate names (as produced by `go test -count=N`) are averaged,
-// damping run-to-run noise on busy measurement hosts.
+// Duplicate names are preserved; callers collapse them with reduce.
 func parse(r io.Reader) ([]Result, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -133,27 +199,10 @@ func parse(r io.Reader) ([]Result, error) {
 		}
 	}
 	var out []Result
-	runs := make(map[string]float64)
-	add := func(res Result) {
-		for i := range out {
-			if out[i].Name == res.Name {
-				k := runs[res.Name]
-				runs[res.Name] = k + 1
-				out[i].NsPerOp = (out[i].NsPerOp*k + res.NsPerOp) / (k + 1)
-				out[i].BytesPerOp = (out[i].BytesPerOp*k + res.BytesPerOp) / (k + 1)
-				out[i].AllocsPerOp = (out[i].AllocsPerOp*k + res.AllocsPerOp) / (k + 1)
-				out[i].Iterations += res.Iterations
-				out[i].HasAllocs = out[i].HasAllocs || res.HasAllocs
-				return
-			}
-		}
-		runs[res.Name] = 1
-		out = append(out, res)
-	}
 	benchLike := 0 // lines that looked like benchmark results but failed to parse
 	consume := func(line string) {
 		if res, ok := parseBenchLine(line); ok {
-			add(res)
+			out = append(out, res)
 		} else if strings.HasPrefix(line, "Benchmark") {
 			benchLike++
 		}
@@ -187,9 +236,13 @@ func parse(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
-func parseFile(path string) ([]Result, error) {
+func parseFile(path string, stat statFn) ([]Result, error) {
 	if path == "-" {
-		return parse(os.Stdin)
+		res, err := parse(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return reduce(res, stat), nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -200,7 +253,7 @@ func parseFile(path string) ([]Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return res, nil
+	return reduce(res, stat), nil
 }
 
 // filterResults keeps the benchmarks whose name matches re (nil = all).
@@ -421,12 +474,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	recordPath := fs.String("record", "", "parse one input and write canonical JSON to this path instead of comparing")
 	jsonOut := fs.Bool("json", false, "emit the comparison as a JSON document instead of a table")
 	benchFilter := fs.String("bench", "", "only consider benchmarks whose name matches this regexp")
+	statName := fs.String("stat", "mean", "aggregate repeated runs of a benchmark with this statistic: mean or median")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.10] [-json] [-bench regexp] old new")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.10] [-json] [-bench regexp] [-stat mean|median] old new")
 		fmt.Fprintln(stderr, "       benchdiff -record out.json bench-output")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	stat, ok := statByName[*statName]
+	if !ok {
+		fmt.Fprintf(stderr, "benchdiff: -stat %q: want mean or median\n", *statName)
 		return 2
 	}
 	var benchRe *regexp.Regexp
@@ -442,7 +501,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fs.Usage()
 			return 2
 		}
-		results, err := parseFile(fs.Arg(0))
+		results, err := parseFile(fs.Arg(0), stat)
 		if err == nil {
 			results, err = filterResults(results, benchRe, fs.Arg(0))
 		}
@@ -461,7 +520,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	oldRes, err := parseFile(fs.Arg(0))
+	oldRes, err := parseFile(fs.Arg(0), stat)
 	if err == nil {
 		oldRes, err = filterResults(oldRes, benchRe, fs.Arg(0))
 	}
@@ -469,7 +528,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchdiff: baseline:", err)
 		return exitCodeFor(err)
 	}
-	newRes, err := parseFile(fs.Arg(1))
+	newRes, err := parseFile(fs.Arg(1), stat)
 	if err == nil {
 		newRes, err = filterResults(newRes, benchRe, fs.Arg(1))
 	}

@@ -82,17 +82,67 @@ func TestParseCanonicalRoundTrip(t *testing.T) {
 	}
 }
 
-func TestParseDuplicatesAveraged(t *testing.T) {
-	in := "BenchmarkX-8 10 200 ns/op\nBenchmarkX-8 10 100 ns/op\n"
-	res, err := parse(strings.NewReader(in))
+func TestReduceDuplicates(t *testing.T) {
+	in := "BenchmarkX-8 10 200 ns/op\nBenchmarkX-8 10 100 ns/op\nBenchmarkX-8 10 900 ns/op\n"
+	raw, err := parse(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res) != 1 || res[0].NsPerOp != 150 {
-		t.Fatalf("unexpected results: %+v", res)
+	if len(raw) != 3 {
+		t.Fatalf("parse collapsed duplicates: %+v", raw)
 	}
-	if res[0].Iterations != 20 {
-		t.Fatalf("iterations not summed: %+v", res)
+	mean := reduce(raw, statMean)
+	if len(mean) != 1 || mean[0].NsPerOp != 400 {
+		t.Fatalf("mean: unexpected results: %+v", mean)
+	}
+	if mean[0].Iterations != 30 {
+		t.Fatalf("iterations not summed: %+v", mean)
+	}
+	med := reduce(raw, statMedian)
+	if len(med) != 1 || med[0].NsPerOp != 200 {
+		t.Fatalf("median: unexpected results: %+v", med)
+	}
+}
+
+func TestStatMedian(t *testing.T) {
+	if got := statMedian([]float64{9, 1, 5}); got != 5 {
+		t.Fatalf("odd median %v, want 5", got)
+	}
+	if got := statMedian([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median %v, want 2.5", got)
+	}
+}
+
+// TestRunStatFlag pins -stat end to end: an outlier run regresses the
+// mean beyond the threshold but leaves the median untouched, and an
+// unknown statistic is a usage error.
+func TestRunStatFlag(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := write("old.txt", "BenchmarkA-8 10 1000 ns/op\n")
+	newPath := write("new.txt",
+		"BenchmarkA-8 10 1000 ns/op\nBenchmarkA-8 10 1010 ns/op\nBenchmarkA-8 10 9000 ns/op\n")
+
+	var out, errOut strings.Builder
+	if code := run([]string{oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("mean compare exit %d, want 1 (outlier drags the mean); stderr: %s", code, errOut.String())
+	}
+	out.Reset()
+	if code := run([]string{"-stat", "median", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("median compare exit %d, want 0; stderr: %s", code, errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-stat", "p99", oldPath, newPath}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown stat exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "p99") {
+		t.Fatalf("usage error does not name the bad statistic: %s", errOut.String())
 	}
 }
 
@@ -271,7 +321,7 @@ func TestRunBenchFilter(t *testing.T) {
 	if code := run([]string{"-bench", "Typed", "-record", outJSON, oldPath}, &out, &errOut); code != 0 {
 		t.Fatalf("filtered record exit %d; stderr: %s", code, errOut.String())
 	}
-	res, err := parseFile(outJSON)
+	res, err := parseFile(outJSON, statMean)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -98,8 +98,13 @@ func main() {
 		islands     = flag.Int("islands", 0, "run the island model with this many populations (0 = single population)")
 		migInterval = flag.Int("migration-interval", 25, "generations between island ring migrations (with -islands)")
 		asyncFlag   = flag.Bool("async", false, "asynchronous island stepping (with -islands; bit-identical results)")
+		distribute  = flag.Int("distribute", 0, "run the islands across this many worker processes (with -islands and -async; bit-identical results)")
+		islandWork  = flag.Int("island-worker", -1, "internal: serve as distributed island worker N over the inherited socket (spawned by -distribute)")
+		snapshotIn  = flag.String("snapshot-in", "", "resume an island run from this snapshot JSON (with -islands)")
+		snapshotOut = flag.String("snapshot-out", "", "write the island run's final state to this snapshot JSON (with -islands)")
 		archiveSize = flag.Int("archive", 0, "bound the reported front to at most this many ε-dominance representatives (0 = full front)")
 		archiveEps  = flag.String("archive-eps", "", "comma-separated ε widths utility,energy for -archive (empty = derived from the front extent)")
+		archSpill   = flag.Int("archive-spill", 0, "with -archive-eps: bound archive memory to this many points, spilling sorted runs to disk (0 = in-memory)")
 		machines    = flag.Bool("machines", false, "print the per-machine breakdown of the efficient-region allocation")
 		tracePath   = flag.String("trace", "", "stream per-generation JSONL telemetry to this file")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-text metrics on this address (e.g. :9090)")
@@ -136,7 +141,18 @@ func main() {
 		fatal(fmt.Errorf("unknown -evaluation %q (want delta or full)", *evalName))
 	}
 
-	prof, err := startProfiler(*cpuProfile, *memProfile)
+	cpuProf, memProf := *cpuProfile, *memProfile
+	if *islandWork >= 0 {
+		// Worker processes profile into their own files next to the
+		// parent's instead of clobbering them.
+		if cpuProf != "" {
+			cpuProf = fmt.Sprintf("%s.w%d", cpuProf, *islandWork)
+		}
+		if memProf != "" {
+			memProf = fmt.Sprintf("%s.w%d", memProf, *islandWork)
+		}
+	}
+	prof, err := startProfiler(cpuProf, memProf)
 	if err != nil {
 		fatal(err)
 	}
@@ -144,9 +160,19 @@ func main() {
 
 	// The wall clock enters here, at the command layer; internal packages
 	// only ever see the injected obs.Clock.
+	traceOut := *tracePath
+	metricsOut := *metricsAddr
+	if *islandWork >= 0 {
+		// Worker processes stream their own trace next to the parent's;
+		// the single metrics endpoint stays with the parent.
+		if traceOut != "" {
+			traceOut = fmt.Sprintf("%s.w%d", traceOut, *islandWork)
+		}
+		metricsOut = ""
+	}
 	tel, err := telemetry.Setup(telemetry.Config{
-		TracePath:      *tracePath,
-		MetricsAddr:    *metricsAddr,
+		TracePath:      traceOut,
+		MetricsAddr:    metricsOut,
 		PhaseProfile:   *phaseProf,
 		FlightRecorder: *flightRec,
 		Clock:          func() int64 { return time.Now().UnixNano() },
@@ -235,8 +261,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("analyzing %s: %d tasks over %.0f s on %d machines\n",
-		name, fw.Trace().NumTasks(), fw.Trace().Window, fw.System().NumMachines())
 	eps, err := parseEpsilon(*archiveEps)
 	if err != nil {
 		fatal(err)
@@ -245,7 +269,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := fw.Optimize(core.Options{
+	opts := core.Options{
 		Generations:       *generations,
 		PopulationSize:    *pop,
 		MutationRate:      *mutation,
@@ -269,9 +293,57 @@ func main() {
 		MachineCacheVerify:   *mcacheVer,
 		Kernel:               kernel,
 		Evaluation:           evaluation,
-	})
+
+		ArchiveSpillBudget: *archSpill,
+	}
+	if *islandWork >= 0 {
+		// Distributed worker mode: serve our island shard over the
+		// inherited socket and exit. The parent owns stdout and all
+		// result reporting; the worker only streams its own trace.
+		if err := serveIslandWorker(fw, opts, *islandWork, *distribute, tel); err != nil {
+			fatal(err)
+		}
+		if err := tel.Close(); err != nil {
+			fatal(err)
+		}
+		if err := prof.stop(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("analyzing %s: %d tasks over %.0f s on %d machines\n",
+		name, fw.Trace().NumTasks(), fw.Trace().Window, fw.System().NumMachines())
+	if *snapshotIn != "" {
+		raw, err := os.ReadFile(*snapshotIn)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err := nsga2.DecodeIslandsSnapshot(raw)
+		if err != nil {
+			fatal(fmt.Errorf("bad -snapshot-in %s: %w", *snapshotIn, err))
+		}
+		opts.Resume = snap
+		fmt.Printf("resuming from %s at generation %d\n", *snapshotIn, snap.Generation)
+	}
+	opts.CaptureSnapshot = *snapshotOut != ""
+	var res *core.Result
+	if *distribute > 0 {
+		res, err = runDistributed(fw, opts, *distribute, tel)
+	} else {
+		res, err = fw.Optimize(opts)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *snapshotOut != "" {
+		raw, err := nsga2.EncodeIslandsSnapshot(res.FinalSnapshot)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*snapshotOut, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *snapshotOut)
 	}
 
 	for _, cp := range res.Checkpoints {

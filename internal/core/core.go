@@ -112,6 +112,24 @@ type Options struct {
 	// (utility, energy) for ArchiveSize; empty derives each width from
 	// the front's own extent divided by ArchiveSize.
 	ArchiveEpsilon []float64
+	// ArchiveSpillBudget, when > 0 (with ArchiveSize), compacts the
+	// front through a disk-spilling streaming ε-archive instead of the
+	// in-memory one: at most ArchiveSpillBudget points are held in
+	// memory at a time and sorted runs spill to a temp file, keeping
+	// million-point fronts within bounded memory. The ε-grid alone
+	// bounds the result (no crowding prune), and outcomes are otherwise
+	// duel-for-duel identical to the in-memory archive. See
+	// internal/moea.NewStreamingArchive.
+	ArchiveSpillBudget int
+	// Resume, when non-nil, restores an island-model run from a
+	// snapshot before evolving: the run continues from the snapshot's
+	// generation up to Generations (the total target), bit-identically
+	// to never having paused. Only meaningful with Islands > 1.
+	Resume *nsga2.IslandsSnapshot
+	// CaptureSnapshot records the island run's final state in
+	// Result.FinalSnapshot, from which a later run (in-process or
+	// distributed) can resume. Only meaningful with Islands > 1.
+	CaptureSnapshot bool
 	// CacheCapacity bounds the fitness-memoization cache: 0 picks the
 	// engine default (4× the population), negative disables memoization.
 	// Results are bit-identical for every setting; see internal/nsga2.
@@ -168,6 +186,9 @@ type Result struct {
 	Hypervolume float64
 	// Generations actually evolved.
 	Generations int
+	// FinalSnapshot is the island run's end-of-run snapshot when
+	// Options.CaptureSnapshot was set; nil otherwise.
+	FinalSnapshot *nsga2.IslandsSnapshot
 }
 
 // Optimize runs NSGA-II and returns the analyzed result.
@@ -195,6 +216,9 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 		}
 		return f.optimizeIslands(opts, seeds)
 	}
+	if opts.Resume != nil || opts.CaptureSnapshot {
+		return nil, fmt.Errorf("core: snapshot resume/capture needs Islands > 1")
+	}
 	eng, err := nsga2.New(f.eval, nsga2.Config{
 		PopulationSize: opts.PopulationSize,
 		MutationRate:   opts.MutationRate,
@@ -213,7 +237,7 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 	}
 	eng.SetObserver(opts.Observer)
 	eng.SetPhaseTimer(opts.PhaseTimer)
-	res := &Result{Generations: opts.Generations}
+	var checkpoints []analysis.Checkpoint
 	if len(opts.Checkpoints) > 0 {
 		last := opts.Checkpoints[len(opts.Checkpoints)-1]
 		if last > opts.Generations {
@@ -224,7 +248,7 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 			for i, ind := range front {
 				pts[i] = analysis.FrontPoint{Utility: ind.Objectives[0], Energy: ind.Objectives[1]}
 			}
-			res.Checkpoints = append(res.Checkpoints, analysis.Checkpoint{Generation: gen, Front: pts})
+			checkpoints = append(checkpoints, analysis.Checkpoint{Generation: gen, Front: pts})
 		})
 		if err != nil {
 			return nil, err
@@ -232,20 +256,30 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 	}
 	eng.Run(opts.Generations - eng.Generation())
 
-	final := eng.ParetoFront()
-	// Sort by increasing energy, carrying allocations along.
-	idx := make([]int, len(final))
-	for i := range idx {
-		idx[i] = i
+	res, err := f.FinishFront(eng.ParetoFront(), opts)
+	if err != nil {
+		return nil, err
 	}
-	for i := 1; i < len(idx); i++ {
-		for j := i; j > 0 && final[idx[j]].Objectives[1] < final[idx[j-1]].Objectives[1]; j-- {
-			idx[j], idx[j-1] = idx[j-1], idx[j]
-		}
+	res.Checkpoints = checkpoints
+	return res, nil
+}
+
+// FinishFront assembles a Result from a final rank-1 front: it sorts by
+// increasing energy (stably, carrying allocations along), deduplicates
+// identical objective pairs, and applies the shared post-processing
+// (optional ε-archive compaction, UPE region, hypervolume). It is the
+// common tail of every optimization mode — single population, islands,
+// and the distributed island coordinator, whose merged worker fronts
+// enter here so a distributed run's Result is assembled exactly like an
+// in-process one.
+func (f *Framework) FinishFront(front []nsga2.Individual, opts Options) (*Result, error) {
+	if opts.UPETolerance == 0 {
+		opts.UPETolerance = 0.05
 	}
-	seen := make(map[[2]float64]bool, len(idx))
-	for _, k := range idx {
-		ind := final[k]
+	sort.SliceStable(front, func(i, j int) bool { return front[i].Objectives[1] < front[j].Objectives[1] })
+	res := &Result{Generations: opts.Generations}
+	seen := make(map[[2]float64]bool, len(front))
+	for _, ind := range front {
 		key := [2]float64{ind.Objectives[0], ind.Objectives[1]}
 		if seen[key] {
 			continue // identical objective pairs add nothing to the front
@@ -265,7 +299,7 @@ func (f *Framework) Optimize(opts Options) (*Result, error) {
 // returned to the caller.
 func finishResult(res *Result, opts Options) error {
 	t0 := opts.PhaseTimer.Start()
-	if err := compactFront(res, opts.ArchiveSize, opts.ArchiveEpsilon); err != nil {
+	if err := compactFront(res, opts.ArchiveSize, opts.ArchiveEpsilon, opts.ArchiveSpillBudget); err != nil {
 		return err
 	}
 	if opts.ArchiveSize > 0 {
@@ -291,7 +325,7 @@ func finishResult(res *Result, opts Options) error {
 // ascending utility, which for mutually nondominated
 // (max-utility, min-energy) points is also ascending energy — the
 // Front sort contract is preserved.
-func compactFront(res *Result, size int, eps []float64) error {
+func compactFront(res *Result, size int, eps []float64, spill int) error {
 	if size <= 0 {
 		return nil
 	}
@@ -307,6 +341,28 @@ func compactFront(res *Result, size int, eps []float64) error {
 				return fmt.Errorf("core: ArchiveEpsilon widths must be positive and finite, got %v", eps)
 			}
 		}
+	}
+	if spill > 0 {
+		// Disk-spilling compaction: at most spill points in memory, the
+		// ε-grid alone bounds the result (no crowding prune).
+		sa := moea.NewStreamingArchive(sp, eps, spill, "")
+		defer sa.Close()
+		for i, p := range res.Front {
+			sa.Add([]float64{p.Utility, p.Energy}, int64(i))
+		}
+		if err := sa.Finalize(); err != nil {
+			return err
+		}
+		pts, pays := sa.Points(), sa.Payloads()
+		front := make([]analysis.FrontPoint, len(pts))
+		allocs := make([]*sched.Allocation, len(pts))
+		for i := range pts {
+			j := len(pts) - 1 - i
+			front[i] = analysis.FrontPoint{Utility: pts[j][0], Energy: pts[j][1]}
+			allocs[i] = res.Allocations[pays[j]]
+		}
+		res.Front, res.Allocations = front, allocs
+		return nil
 	}
 	ar := moea.NewEpsilonArchive(sp, eps, size)
 	for i, p := range res.Front {
@@ -343,9 +399,27 @@ func deriveEpsilon(front []analysis.FrontPoint, size int) []float64 {
 	return eps
 }
 
-// optimizeIslands runs the island model and assembles the merged front.
-func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*Result, error) {
-	is, err := nsga2.NewIslands(f.eval, nsga2.IslandConfig{
+// IslandConfig builds the nsga2.IslandConfig an island-model run of
+// these Options uses, including seed allocations built from
+// opts.Seeds. Distributed island workers and their coordinator both
+// derive their configuration here, so every process in a distributed
+// run agrees on the exact engine parameters an in-process run would
+// use — the precondition for bit-identical results.
+func (f *Framework) IslandConfig(opts Options) (nsga2.IslandConfig, error) {
+	var seeds []*sched.Allocation
+	for _, h := range opts.Seeds {
+		a, err := h.Build(f.eval)
+		if err != nil {
+			return nsga2.IslandConfig{}, err
+		}
+		seeds = append(seeds, a)
+	}
+	return islandConfigFrom(opts, seeds), nil
+}
+
+// islandConfigFrom maps Options onto the island configuration.
+func islandConfigFrom(opts Options, seeds []*sched.Allocation) nsga2.IslandConfig {
+	return nsga2.IslandConfig{
 		Islands:           opts.Islands,
 		MigrationInterval: opts.MigrationInterval,
 		Async:             opts.AsyncIslands,
@@ -362,30 +436,34 @@ func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*R
 			Kernel:               opts.Kernel,
 			Evaluation:           opts.Evaluation,
 		},
-	}, rng.New(opts.RandomSeed))
+	}
+}
+
+// optimizeIslands runs the island model and assembles the merged front.
+func (f *Framework) optimizeIslands(opts Options, seeds []*sched.Allocation) (*Result, error) {
+	is, err := nsga2.NewIslands(f.eval, islandConfigFrom(opts, seeds), rng.New(opts.RandomSeed))
 	if err != nil {
 		return nil, err
 	}
 	is.SetObserver(opts.Observer)
 	is.SetPhaseTimer(opts.PhaseTimer)
 	is.SetHealth(opts.IslandBoard)
-	is.Run(opts.Generations)
-	res := &Result{Generations: opts.Generations}
-	front := is.ParetoFront()
-	// Sort ascending by energy, deduplicate identical objective pairs.
-	sort.SliceStable(front, func(i, j int) bool { return front[i].Objectives[1] < front[j].Objectives[1] })
-	seen := make(map[[2]float64]bool, len(front))
-	for _, ind := range front {
-		key := [2]float64{ind.Objectives[0], ind.Objectives[1]}
-		if seen[key] {
-			continue
+	if opts.Resume != nil {
+		if err := is.Restore(opts.Resume); err != nil {
+			return nil, err
 		}
-		seen[key] = true
-		res.Front = append(res.Front, analysis.FrontPoint{Utility: ind.Objectives[0], Energy: ind.Objectives[1]})
-		res.Allocations = append(res.Allocations, ind.Alloc)
 	}
-	if err := finishResult(res, opts); err != nil {
+	if opts.Generations < is.Generation() {
+		return nil, fmt.Errorf("core: Generations %d behind resumed generation %d",
+			opts.Generations, is.Generation())
+	}
+	is.Run(opts.Generations - is.Generation())
+	res, err := f.FinishFront(is.ParetoFront(), opts)
+	if err != nil {
 		return nil, err
+	}
+	if opts.CaptureSnapshot {
+		res.FinalSnapshot = is.Snapshot()
 	}
 	return res, nil
 }

@@ -1,0 +1,41 @@
+//go:build !unix
+
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os/exec"
+)
+
+// WorkerFD is the file descriptor a worker process inherits its wire
+// socket on (unsupported on this platform).
+const WorkerFD = 3
+
+// Proc is one spawned worker process (unsupported on this platform).
+type Proc struct {
+	Conn *Conn
+	cmd  *exec.Cmd
+}
+
+// Wait reaps the worker process.
+func (p *Proc) Wait() error { return p.cmd.Wait() }
+
+// Kill force-terminates the worker process.
+func (p *Proc) Kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill() //nolint:errcheck // best-effort teardown
+	}
+}
+
+// StartWorkers reports that socketpair-based worker spawning needs a
+// unix platform.
+func StartWorkers(n int, onBytes func(int), command func(worker int) *exec.Cmd) ([]*Proc, error) {
+	return nil, fmt.Errorf("dist: distributed islands need a unix platform (socketpair)")
+}
+
+// WorkerSocket reports that the inherited worker socket needs a unix
+// platform.
+func WorkerSocket() io.ReadWriteCloser {
+	return nil
+}

@@ -1,0 +1,86 @@
+// Package neg is the determinism-clean wire codec shape internal/dist
+// actually uses: encode and decode reference every payload field
+// symmetrically, pending edges drain in slice (ring) order, the frame
+// buffer is reset with a self-reslice so hot-path appends amortize
+// against retained capacity, and failure-path formatting lives in a
+// cold helper outside the hotpath bodies.
+package neg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const maxFrame = 1 << 20
+
+// elitesSnapshot is one boundary ring edge's migration payload.
+type elitesSnapshot struct {
+	Tick  int64
+	Seed  uint64
+	Genes []int32
+}
+
+// codec frames messages into a reused buffer.
+type codec struct {
+	buf []byte
+}
+
+// wireErr builds the failure outside any hotpath body, so steady-state
+// frames never touch fmt; every caller terminates the stream.
+func wireErr(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// EncodeElites stages one payload, resetting the reused frame buffer
+// first so the appends run against established capacity.
+//
+//detlint:hotpath
+func (c *codec) EncodeElites(s *elitesSnapshot) ([]byte, error) {
+	c.buf = c.buf[:0]
+	c.buf = binary.LittleEndian.AppendUint64(c.buf, uint64(s.Tick))
+	c.buf = binary.LittleEndian.AppendUint64(c.buf, s.Seed)
+	for _, g := range s.Genes {
+		c.buf = append(c.buf, byte(g), byte(g>>8), byte(g>>16), byte(g>>24))
+	}
+	if len(c.buf) > maxFrame {
+		return nil, wireErr("frame of %d bytes exceeds limit", len(c.buf))
+	}
+	return c.buf, nil
+}
+
+// DecodeElites rebuilds the payload, reading every encoded field back
+// and sizing the gene slice up front with a 3-arg make.
+//
+//detlint:hotpath
+func DecodeElites(b []byte) (*elitesSnapshot, error) {
+	if len(b) < 16 || (len(b)-16)%4 != 0 {
+		return nil, wireErr("elites payload of %d bytes: truncated or trailing garbage", len(b))
+	}
+	s := &elitesSnapshot{
+		Tick: int64(binary.LittleEndian.Uint64(b)),
+		Seed: binary.LittleEndian.Uint64(b[8:]),
+	}
+	n := (len(b) - 16) / 4
+	s.Genes = make([]int32, 0, n)
+	for off := 16; off+4 <= len(b); off += 4 {
+		s.Genes = append(s.Genes, int32(binary.LittleEndian.Uint32(b[off:])))
+	}
+	return s, nil
+}
+
+// flush drains the pending boundary edges in ring order — a slice
+// indexed by edge, never a map — so the wire carries frames in the
+// same sequence every run.
+func flush(c *codec, pending []*elitesSnapshot, wire []byte) ([]byte, error) {
+	for _, s := range pending {
+		if s == nil {
+			continue
+		}
+		frame, err := c.EncodeElites(s)
+		if err != nil {
+			return nil, err
+		}
+		wire = append(wire, frame...)
+	}
+	return wire, nil
+}

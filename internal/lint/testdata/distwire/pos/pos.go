@@ -1,0 +1,80 @@
+// Package pos seeds the determinism violations a naive wire codec for
+// distributed island migration invites: an elites payload whose decode
+// side silently drops a field (a resumed worker replays a different
+// stream), a flush loop that drains pending mailboxes in map order (the
+// frame sequence on the wire permutes run to run), and annotated
+// hot-path send/receive routines that grow frame buffers with unguarded
+// appends and format error strings per frame.
+package pos
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const maxFrame = 1 << 20
+
+// elitesSnapshot is one boundary ring edge's migration payload.
+type elitesSnapshot struct {
+	Tick  int64
+	Seed  uint64
+	Genes []int32
+}
+
+// EncodeElites writes every field as fixed-width little-endian.
+func EncodeElites(s *elitesSnapshot) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Tick))
+	buf = binary.LittleEndian.AppendUint64(buf, s.Seed)
+	for _, g := range s.Genes {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(g))
+	}
+	return buf
+}
+
+// DecodeElites rebuilds the payload — but never reads Seed back, so a
+// worker restored from the wire silently reseeds from zero.
+func DecodeElites(b []byte) *elitesSnapshot {
+	s := &elitesSnapshot{Tick: int64(binary.LittleEndian.Uint64(b))}
+	for off := 16; off+4 <= len(b); off += 4 {
+		s.Genes = append(s.Genes, int32(binary.LittleEndian.Uint32(b[off:])))
+	}
+	return s
+}
+
+// flush drains the pending mailboxes in map order: the frame sequence
+// on the wire — and every receiver's migration order — permutes run to
+// run.
+func flush(pending map[int][]byte, wire []byte) []byte {
+	for edge, payload := range pending {
+		wire = append(wire, byte(edge))
+		wire = append(wire, payload...)
+	}
+	return wire
+}
+
+// send frames one migration payload, growing the frame buffer without
+// an established capacity and formatting the oversize error inline.
+//
+//detlint:hotpath
+func send(frame []byte, genes []int32) ([]byte, error) {
+	for _, g := range genes {
+		frame = append(frame, byte(g), byte(g>>8), byte(g>>16), byte(g>>24))
+	}
+	if len(frame) > maxFrame {
+		return nil, fmt.Errorf("frame of %d bytes exceeds limit", len(frame))
+	}
+	return frame, nil
+}
+
+// receive decodes one payload into a gene slice it grows element by
+// element — an allocation per migration tick on the hot path.
+//
+//detlint:hotpath
+func receive(frame []byte) []int32 {
+	var genes []int32
+	for off := 0; off+4 <= len(frame); off += 4 {
+		genes = append(genes, int32(binary.LittleEndian.Uint32(frame[off:])))
+	}
+	return genes
+}

@@ -1,0 +1,390 @@
+package moea
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// spillRecSize is the fixed width of one spilled archive record: two
+// int64 ε-box coordinates, two IEEE-754 objective words, and one int64
+// payload, all little-endian. Fixed-width records keep spill runs
+// seekable and make the on-disk size an exact linear function of the
+// point count.
+const spillRecSize = 40
+
+// spillRun locates one sorted run inside the spill file.
+type spillRun struct {
+	off   int64
+	count int64
+}
+
+// StreamingArchive maintains a bi-objective ε-dominance archive over
+// point streams too large to hold one archive's worth of state per
+// point in memory. Points are folded into an in-memory staircase
+// segment (a NewEpsilonArchive); whenever the segment reaches the
+// budget it is spilled to a temp file as one sorted run of fixed-width
+// records and restarted empty. Finalize k-way merges the runs with
+// box-dominance dedup, reproducing — exactly, duel-for-duel — the front
+// a single unbounded ε-archive would have produced from the same stream
+// (see DESIGN.md §15 for the associativity argument). Memory is bounded
+// by O(budget + runs), independent of the stream length.
+//
+// The archive is 2-D only: the spill format relies on the staircase
+// fast path keeping segments sorted by box coordinate. Payloads are
+// fixed-width int64 values (typically indices into caller-side state)
+// so they survive the disk round trip.
+//
+// A StreamingArchive is not safe for concurrent use.
+type StreamingArchive struct {
+	space  Space
+	eps    []float64
+	budget int
+	dir    string
+
+	seg  *Archive
+	file *os.File
+	runs []spillRun
+	next int64  // next spill write offset
+	buf  []byte // reusable spill encode buffer
+
+	err      error
+	done     bool
+	points   [][]float64 // set by Finalize, improving objective-0 order
+	payloads []int64
+}
+
+// NewStreamingArchive returns an empty streaming ε-archive over a
+// bi-objective space. budget is the maximum in-memory segment size
+// (points) before a spill; eps follows NewEpsilonArchive. dir is the
+// directory for the spill file ("" selects the system temp directory);
+// the file is created lazily on first spill and removed by Finalize or
+// Close.
+func NewStreamingArchive(space Space, eps []float64, budget int, dir string) *StreamingArchive {
+	if space.Dim() != 2 {
+		panic("moea: streaming archive needs a bi-objective space (staircase spill order)")
+	}
+	if budget < 1 {
+		panic("moea: streaming archive needs budget >= 1")
+	}
+	return &StreamingArchive{
+		space:  space,
+		eps:    append([]float64(nil), eps...),
+		budget: budget,
+		dir:    dir,
+		seg:    NewEpsilonArchive(space, eps, budget),
+	}
+}
+
+// Len returns the current in-memory segment size. It never exceeds the
+// budget: Add spills eagerly on reaching it.
+func (sa *StreamingArchive) Len() int {
+	if sa.seg == nil {
+		return 0
+	}
+	return sa.seg.Len()
+}
+
+// Runs returns the number of sorted runs spilled to disk so far.
+func (sa *StreamingArchive) Runs() int { return len(sa.runs) }
+
+// SpilledBytes returns the spill file size in bytes.
+func (sa *StreamingArchive) SpilledBytes() int64 { return sa.next }
+
+// Add offers a point with a fixed-width payload. The return value is
+// the in-memory segment's verdict — an upper bound on global
+// acceptance: a locally rejected point is always globally dominated,
+// but a locally accepted one may still be eliminated against earlier
+// spilled runs at Finalize.
+func (sa *StreamingArchive) Add(point []float64, payload int64) bool {
+	if sa.done {
+		panic("moea: streaming archive already finalized")
+	}
+	ok := sa.seg.Add(point, payload)
+	if sa.seg.Len() >= sa.budget {
+		sa.spill()
+	}
+	return ok
+}
+
+// spill appends the in-memory segment to the spill file as one sorted
+// run (the 2-D staircase keeps entries ordered by box0 ascending) and
+// restarts the segment empty. I/O errors are latched and surfaced by
+// Finalize.
+func (sa *StreamingArchive) spill() {
+	n := sa.seg.Len()
+	if n == 0 {
+		return
+	}
+	defer func() {
+		sa.seg = NewEpsilonArchive(sa.space, sa.eps, sa.budget)
+	}()
+	if sa.err != nil {
+		return
+	}
+	if sa.file == nil {
+		f, err := os.CreateTemp(sa.dir, "moea-spill-*.bin")
+		if err != nil {
+			sa.err = fmt.Errorf("moea: creating spill file: %w", err)
+			return
+		}
+		sa.file = f
+	}
+	if sa.buf == nil {
+		sa.buf = make([]byte, 0, sa.budget*spillRecSize)
+	}
+	b := sa.buf[:0]
+	for i := 0; i < n; i++ {
+		b = binary.LittleEndian.AppendUint64(b, uint64(sa.seg.boxes[2*i]))
+		b = binary.LittleEndian.AppendUint64(b, uint64(sa.seg.boxes[2*i+1]))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(sa.seg.points[i][0]))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(sa.seg.points[i][1]))
+		b = binary.LittleEndian.AppendUint64(b, uint64(sa.seg.payloads[i].(int64)))
+	}
+	if _, err := sa.file.WriteAt(b, sa.next); err != nil {
+		sa.err = fmt.Errorf("moea: writing spill run %d: %w", len(sa.runs), err)
+		return
+	}
+	sa.runs = append(sa.runs, spillRun{off: sa.next, count: int64(n)})
+	sa.next += int64(len(b))
+}
+
+// Finalize merges the spilled runs and the live segment into the final
+// front, releases the spill file, and makes Points/Payloads available.
+// The archive accepts no further points afterwards.
+func (sa *StreamingArchive) Finalize() error {
+	if sa.done {
+		return fmt.Errorf("moea: streaming archive already finalized")
+	}
+	sa.done = true
+	defer sa.release()
+	if sa.err == nil && len(sa.runs) == 0 {
+		// Everything fit in one segment: it already is the final archive.
+		pts, pays := sa.seg.Points(), sa.seg.Payloads()
+		sa.points = pts
+		sa.payloads = make([]int64, len(pays))
+		for i := range pays {
+			sa.payloads[i] = pays[i].(int64)
+		}
+		return nil
+	}
+	sa.spill() // flush the live segment as the last run
+	if sa.err != nil {
+		return sa.err
+	}
+	return sa.merge()
+}
+
+// Points returns the final front's objective vectors in improving
+// objective-0 order (the same order Archive.Points uses). Valid only
+// after a successful Finalize.
+func (sa *StreamingArchive) Points() [][]float64 { return sa.points }
+
+// Payloads returns the payloads aligned with Points.
+func (sa *StreamingArchive) Payloads() []int64 { return sa.payloads }
+
+// Close releases the spill file and the in-memory segment without
+// producing a front. Safe to call at any time, including after
+// Finalize; it is then a no-op.
+func (sa *StreamingArchive) Close() {
+	sa.done = true
+	sa.release()
+}
+
+// release drops the spill file and working state, keeping any
+// Finalize results.
+func (sa *StreamingArchive) release() {
+	if sa.file != nil {
+		sa.file.Close()           //nolint:errcheck // read-only by now; the remove is what matters
+		os.Remove(sa.file.Name()) //nolint:errcheck // best-effort temp cleanup
+		sa.file = nil
+	}
+	sa.seg = nil
+	sa.runs = nil
+	sa.buf = nil
+}
+
+// mergeSrc is one sorted run being consumed by the k-way merge: the
+// spill file section reader plus the current record, decoded.
+type mergeSrc struct {
+	r    *bufio.Reader
+	left int64
+	run  int
+
+	b0, b1 int64
+	pt     [2]float64
+	pay    int64
+}
+
+// advance decodes the next record, reporting false at run end.
+func (s *mergeSrc) advance() (bool, error) {
+	if s.left == 0 {
+		return false, nil
+	}
+	s.left--
+	var rec [spillRecSize]byte
+	if _, err := io.ReadFull(s.r, rec[:]); err != nil {
+		return false, fmt.Errorf("moea: reading spill run %d: %w", s.run, err)
+	}
+	s.b0 = int64(binary.LittleEndian.Uint64(rec[0:8]))
+	s.b1 = int64(binary.LittleEndian.Uint64(rec[8:16]))
+	s.pt[0] = math.Float64frombits(binary.LittleEndian.Uint64(rec[16:24]))
+	s.pt[1] = math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32]))
+	s.pay = int64(binary.LittleEndian.Uint64(rec[32:40]))
+	return true, nil
+}
+
+// less orders merge sources by (box0, box1, run index). Run index last
+// makes same-box records pop in arrival order, so the duel fold sees
+// the earlier run's winner as the incumbent — the order the duel's
+// tie-breaking rules are defined over.
+func (s *mergeSrc) less(t *mergeSrc) bool {
+	if s.b0 != t.b0 {
+		return s.b0 < t.b0
+	}
+	if s.b1 != t.b1 {
+		return s.b1 < t.b1
+	}
+	return s.run < t.run
+}
+
+// merge k-way merges the spilled runs into the final front.
+//
+// Each run is internally box-nondominated and sorted by box0 ascending
+// (hence box1 descending — the staircase). The merge walks the union in
+// (box0, box1) order and applies two rules:
+//
+//   - Same box across runs: fold with the same duel the in-memory
+//     archive uses, incumbent = earlier run. The duel reduces to
+//     "argmin ε-normalized corner distance, earliest arrival on ties",
+//     which is associative over arrival-ordered groupings — so folding
+//     per-run winners in run order equals folding the raw stream.
+//   - Distinct boxes: a box survives iff no other occupied box
+//     dominates it. In (box0, box1 ascending) order that is one sweep:
+//     within a box0 column only the first (minimum box1) entry can
+//     survive, and it survives iff its box1 is strictly below the
+//     minimum box1 of every earlier column.
+func (sa *StreamingArchive) merge() error {
+	h := make([]*mergeSrc, 0, len(sa.runs))
+	for i, run := range sa.runs {
+		s := &mergeSrc{
+			r:    bufio.NewReaderSize(io.NewSectionReader(sa.file, run.off, run.count*spillRecSize), 1<<12),
+			left: run.count,
+			run:  i,
+		}
+		ok, err := s.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h = append(h, s)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	// step consumes the top source's current record: advance it and
+	// restore the heap, dropping it when exhausted.
+	step := func() error {
+		ok, err := h[0].advance()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			h[0] = h[len(h)-1]
+			h[len(h)-1] = nil
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			siftDown(h, 0)
+		}
+		return nil
+	}
+	var (
+		minB1   = int64(math.MaxInt64)
+		curB0   int64
+		haveCol bool
+	)
+	for len(h) > 0 {
+		b0, b1 := h[0].b0, h[0].b1
+		winPt, winPay := h[0].pt, h[0].pay
+		if err := step(); err != nil {
+			return err
+		}
+		for len(h) > 0 && h[0].b0 == b0 && h[0].b1 == b1 {
+			if sa.challengerWins(b0, b1, winPt, h[0].pt) {
+				winPt, winPay = h[0].pt, h[0].pay
+			}
+			if err := step(); err != nil {
+				return err
+			}
+		}
+		if haveCol && b0 == curB0 {
+			continue // dominated by this column's minimum-box1 entry
+		}
+		curB0, haveCol = b0, true
+		if b1 < minB1 {
+			minB1 = b1
+			sa.points = append(sa.points, []float64{winPt[0], winPt[1]})
+			sa.payloads = append(sa.payloads, winPay)
+		}
+	}
+	return nil
+}
+
+// siftDown restores the min-heap property below index i.
+func siftDown(h []*mergeSrc, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && h[l].less(h[m]) {
+			m = l
+		}
+		if r < len(h) && h[r].less(h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// challengerWins replays Archive.duel for two points sharing box
+// (b0, b1): the dominating point wins; between incomparable points the
+// one closer to the box's utopia corner (ε-normalized canonical
+// coordinates) wins; exact ties keep the incumbent. The arithmetic
+// matches duel term for term, so merge outcomes are bit-identical to
+// in-memory ones.
+func (sa *StreamingArchive) challengerWins(b0, b1 int64, inc, cand [2]float64) bool {
+	i0, i1 := sa.canon2(inc)
+	c0, c1 := sa.canon2(cand)
+	if c0 <= i0 && c1 <= i1 && (c0 < i0 || c1 < i1) {
+		return true // candidate dominates
+	}
+	if (i0 <= c0 && i1 <= c1 && (i0 < c0 || i1 < c1)) || (c0 == i0 && c1 == i1) {
+		return false // incumbent dominates, or exact duplicate
+	}
+	f0, f1 := float64(b0), float64(b1)
+	cc0 := c0/sa.eps[0] - f0
+	cc1 := c1/sa.eps[1] - f1
+	ci0 := i0/sa.eps[0] - f0
+	ci1 := i1/sa.eps[1] - f1
+	return cc0*cc0+cc1*cc1 < ci0*ci0+ci1*ci1
+}
+
+// canon2 returns both coordinates in canonical minimization sense.
+func (sa *StreamingArchive) canon2(p [2]float64) (float64, float64) {
+	c0, c1 := p[0], p[1]
+	if sa.space.Senses[0] == Maximize {
+		c0 = -c0
+	}
+	if sa.space.Senses[1] == Maximize {
+		c1 = -c1
+	}
+	return c0, c1
+}

@@ -1,0 +1,56 @@
+package moea
+
+// Benchmarks for the streaming ε-archive (Makefile bench-dist,
+// BENCH_dist.json): the insert path under a budget small enough that
+// spills actually happen, and the k-way finalize merge that folds the
+// spilled runs back into one staircase.
+
+import (
+	"testing"
+
+	"tradeoff/internal/rng"
+)
+
+// BenchmarkStreamingArchiveSpillStream streams 50k trade-off points
+// through a 2k-point segment budget — dozens of spills per op — and
+// finalizes, measuring the full bounded-memory pipeline end to end.
+func BenchmarkStreamingArchiveSpillStream(b *testing.B) {
+	sp := UtilityEnergySpace()
+	eps := []float64{0.02, 0.02}
+	pts := streamPoints(rng.New(11), sp, 50_000, 10)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa := NewStreamingArchive(sp, eps, 2048, dir)
+		for j, p := range pts {
+			sa.Add(p, int64(j))
+		}
+		if err := sa.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+		sa.Close()
+	}
+}
+
+// BenchmarkStreamingArchiveInMemory is the same stream with a budget
+// that never spills — the baseline that isolates the disk and merge
+// overhead of the spilling run above.
+func BenchmarkStreamingArchiveInMemory(b *testing.B) {
+	sp := UtilityEnergySpace()
+	eps := []float64{0.02, 0.02}
+	pts := streamPoints(rng.New(11), sp, 50_000, 10)
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sa := NewStreamingArchive(sp, eps, 1<<20, dir)
+		for j, p := range pts {
+			sa.Add(p, int64(j))
+		}
+		if err := sa.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+		sa.Close()
+	}
+}

@@ -1,0 +1,278 @@
+package moea
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tradeoff/internal/rng"
+)
+
+// streamPoints generates a deterministic stream hugging a trade-off
+// curve: objective 1 worsens as objective 0 improves, so most points
+// are mutually nondominated and the in-memory segment actually fills
+// (a uniform random cloud's nondominated subset is only ~ln n points
+// and would never trigger a spill). Half the parameters are quantized
+// to a coarse lattice, forcing exact duplicates and same-box duels
+// across spill runs; a quarter of the points get off-curve noise in the
+// worsening direction, producing dominated points too.
+func streamPoints(r *rng.Source, sp Space, n int, scale float64) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		var t float64
+		if r.Intn(2) == 0 {
+			t = float64(r.Intn(200)) * scale / 200
+		} else {
+			t = r.Float64() * scale
+		}
+		frac := t / scale
+		e := frac * frac * scale
+		if sp.Senses[0] == sp.Senses[1] {
+			e = scale - e // same-sense spaces trade off along a falling curve
+		}
+		if r.Intn(4) == 0 {
+			noise := r.Float64() * scale * 0.2
+			if sp.Senses[1] == Minimize {
+				e += noise
+			} else {
+				e -= noise
+			}
+		}
+		pts[i] = []float64{t, e}
+	}
+	return pts
+}
+
+// runStreamingVsArchive feeds the same stream to a StreamingArchive and
+// an effectively-unbounded in-memory ε-archive, requires identical
+// fronts and payloads, and returns the number of spilled runs so
+// callers can assert the merge path was actually exercised.
+func runStreamingVsArchive(t *testing.T, sp Space, eps []float64, budget, n int, seed uint64, scale float64) int {
+	t.Helper()
+	pts := streamPoints(rng.New(seed), sp, n, scale)
+	ref := NewEpsilonArchive(sp, eps, n+1)
+	sa := NewStreamingArchive(sp, eps, budget, t.TempDir())
+	defer sa.Close()
+	for i, p := range pts {
+		ref.Add(p, int64(i))
+		sa.Add(p, int64(i))
+		if sa.Len() > budget {
+			t.Fatalf("insert %d: segment length %d exceeds budget %d", i, sa.Len(), budget)
+		}
+	}
+	runs := sa.Runs()
+	if err := sa.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if !reflect.DeepEqual(sa.Points(), ref.Points()) {
+		t.Fatalf("budget %d: streaming front differs from in-memory front:\n got %v\nwant %v",
+			budget, sa.Points(), ref.Points())
+	}
+	refPays := ref.Payloads()
+	pays := sa.Payloads()
+	if len(pays) != len(refPays) {
+		t.Fatalf("payload count %d, want %d", len(pays), len(refPays))
+	}
+	for i := range pays {
+		if pays[i] != refPays[i].(int64) {
+			t.Fatalf("payload %d = %d, want %d (duel outcomes diverged)", i, pays[i], refPays[i])
+		}
+	}
+	return runs
+}
+
+func TestStreamingMatchesArchive(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		sp     Space
+		eps    []float64
+		budget int
+		n      int
+		seed   uint64
+		scale  float64
+	}{
+		{"coarse", UtilityEnergySpace(), []float64{0.25, 0.25}, 16, 4000, 1, 10},
+		{"fine", UtilityEnergySpace(), []float64{0.01, 0.01}, 24, 3000, 2, 1},
+		{"anisotropic", UtilityEnergySpace(), []float64{0.5, 0.05}, 4, 2500, 3, 5},
+		{"one-box", UtilityEnergySpace(), []float64{1000, 1000}, 1, 800, 4, 10},
+		{"min-min", NewSpace(Minimize, Minimize), []float64{0.2, 0.3}, 12, 3000, 5, 7},
+		{"budget-1", UtilityEnergySpace(), []float64{0.3, 0.3}, 1, 400, 6, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runs := runStreamingVsArchive(t, tc.sp, tc.eps, tc.budget, tc.n, tc.seed, tc.scale)
+			if runs == 0 {
+				t.Fatalf("stream never spilled: merge path not exercised (budget %d)", tc.budget)
+			}
+			t.Logf("runs=%d", runs)
+		})
+	}
+}
+
+func TestStreamingNoSpillFastPath(t *testing.T) {
+	sp := UtilityEnergySpace()
+	eps := []float64{0.1, 0.1}
+	if runs := runStreamingVsArchive(t, sp, eps, 1<<20, 500, 9, 3); runs != 0 {
+		t.Fatalf("runs = %d, want pure in-memory path", runs)
+	}
+
+	sa := NewStreamingArchive(sp, eps, 1<<20, t.TempDir())
+	defer sa.Close()
+	for _, p := range streamPoints(rng.New(9), sp, 500, 3) {
+		sa.Add(p, 0)
+	}
+	if sa.Runs() != 0 || sa.SpilledBytes() != 0 {
+		t.Fatalf("unexpected spill: runs=%d bytes=%d", sa.Runs(), sa.SpilledBytes())
+	}
+	if err := sa.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+}
+
+// TestStreamingBoundedMemory streams a large point set through a small
+// budget: the in-memory segment must stay within budget, runs must
+// spill, the spill file must be removed by Finalize, and the front must
+// still equal the in-memory reference (whose size the ε-grid bounds).
+func TestStreamingBoundedMemory(t *testing.T) {
+	n := 1_000_000
+	if testing.Short() {
+		n = 100_000
+	}
+	sp := UtilityEnergySpace()
+	eps := []float64{0.05, 0.05}
+	const budget = 128
+	dir := t.TempDir()
+	pts := streamPoints(rng.New(11), sp, n, 20)
+	ref := NewEpsilonArchive(sp, eps, n+1)
+	sa := NewStreamingArchive(sp, eps, budget, dir)
+	defer sa.Close()
+	for i, p := range pts {
+		ref.Add(p, int64(i))
+		sa.Add(p, int64(i))
+		if sa.Len() > budget {
+			t.Fatalf("insert %d: segment length %d exceeds budget %d", i, sa.Len(), budget)
+		}
+	}
+	if sa.Runs() == 0 {
+		t.Fatal("no spill runs despite stream far beyond budget")
+	}
+	t.Logf("n=%d runs=%d spilled=%dB front=%d", n, sa.Runs(), sa.SpilledBytes(), ref.Len())
+	if err := sa.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if !reflect.DeepEqual(sa.Points(), ref.Points()) {
+		t.Fatalf("streaming front differs from in-memory front (%d vs %d points)",
+			len(sa.Points()), len(ref.Points()))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill file left behind after Finalize: %v", ents)
+	}
+}
+
+// TestStreamingDuelAcrossRuns pins the cross-run duel semantics: the
+// winner of a box contested between spilled runs must follow the same
+// dominance / corner-distance / tie-to-incumbent rules as the in-memory
+// archive. The filler point occupies an incomparable box so the segment
+// reaches the budget and spills between the two contestants.
+func TestStreamingDuelAcrossRuns(t *testing.T) {
+	sp := NewSpace(Minimize, Minimize)
+	eps := []float64{1, 1}
+	filler := []float64{10.5, -0.5} // box (10, -1): incomparable with box (0, 0)
+	for _, tc := range []struct {
+		name    string
+		first   []float64 // lands in run 1
+		second  []float64 // same box as first, lands in run 2
+		wantPay int64
+	}{
+		{"later-dominates", []float64{0.6, 0.6}, []float64{0.4, 0.4}, 2},
+		{"earlier-dominates", []float64{0.4, 0.4}, []float64{0.6, 0.6}, 0},
+		{"later-closer-to-corner", []float64{0.7, 0.2}, []float64{0.3, 0.4}, 2},
+		{"exact-tie-keeps-incumbent", []float64{0.4, 0.3}, []float64{0.3, 0.4}, 0},
+		{"duplicate-keeps-incumbent", []float64{0.6, 0.6}, []float64{0.6, 0.6}, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sa := NewStreamingArchive(sp, eps, 2, t.TempDir())
+			defer sa.Close()
+			sa.Add(tc.first, 0)
+			sa.Add(filler, 1) // second point: segment reaches the budget and spills
+			if sa.Runs() != 1 {
+				t.Fatalf("runs = %d, want 1 after filler", sa.Runs())
+			}
+			sa.Add(tc.second, 2)
+			if err := sa.Finalize(); err != nil {
+				t.Fatalf("Finalize: %v", err)
+			}
+			var got int64 = -1
+			for i, p := range sa.Points() {
+				if p[0] < 1 { // the contested box; the filler sits at 10.5
+					got = sa.Payloads()[i]
+				}
+			}
+			if got != tc.wantPay {
+				t.Fatalf("contested box kept payload %d, want %d (points %v, payloads %v)",
+					got, tc.wantPay, sa.Points(), sa.Payloads())
+			}
+		})
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	sp := UtilityEnergySpace()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("3-dim space", func() {
+		NewStreamingArchive(NewSpace(Minimize, Minimize, Minimize), []float64{1, 1, 1}, 8, "")
+	})
+	mustPanic("zero budget", func() { NewStreamingArchive(sp, []float64{1, 1}, 0, "") })
+	mustPanic("bad eps", func() { NewStreamingArchive(sp, []float64{1, -1}, 8, "") })
+	mustPanic("eps arity", func() { NewStreamingArchive(sp, []float64{1}, 8, "") })
+
+	sa := NewStreamingArchive(sp, []float64{1, 1}, 8, t.TempDir())
+	sa.Add([]float64{1, 1}, 0)
+	if err := sa.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if err := sa.Finalize(); err == nil {
+		t.Fatal("second Finalize did not error")
+	}
+	mustPanic("add after finalize", func() { sa.Add([]float64{2, 2}, 1) })
+}
+
+// TestStreamingCloseRemovesSpill asserts Close releases the spill file
+// without finalizing.
+func TestStreamingCloseRemovesSpill(t *testing.T) {
+	dir := t.TempDir()
+	sp := UtilityEnergySpace()
+	sa := NewStreamingArchive(sp, []float64{0.01, 0.01}, 4, dir)
+	for _, p := range streamPoints(rng.New(13), sp, 64, 5) {
+		sa.Add(p, 0)
+	}
+	if sa.Runs() == 0 {
+		t.Fatal("expected at least one spill run")
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) == 0 {
+		t.Fatal("no spill file before Close")
+	}
+	sa.Close()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Errorf("spill file left behind after Close: %s", filepath.Join(dir, e.Name()))
+	}
+	if sa.Points() != nil {
+		t.Fatal("Close produced points")
+	}
+}

@@ -2,7 +2,6 @@ package nsga2
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"tradeoff/internal/moea"
@@ -62,6 +61,23 @@ func (c *IslandConfig) fillAndValidate() error {
 	return nil
 }
 
+// Normalized returns the configuration with the same defaults applied
+// that NewIslands and NewIslandShard apply internally (island count,
+// migration interval, migrant count, engine population). A distributed
+// coordinator needs the normalized values to agree with its workers on
+// the migration tick schedule and aggregated stats shape without
+// re-implementing the defaulting rules.
+func (c IslandConfig) Normalized() (IslandConfig, error) {
+	if err := c.fillAndValidate(); err != nil {
+		return c, err
+	}
+	c.Engine.fillDefaults()
+	if err := c.Engine.validate(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
 // Islands is an island-model NSGA-II run.
 type Islands struct {
 	cfg        IslandConfig
@@ -71,7 +87,7 @@ type Islands struct {
 	observer   obs.Observer
 	// aggBase holds the cross-island counter sums at the last emitted
 	// shard-stats event, so each migration tick reports per-tick diffs.
-	aggBase tickShard
+	aggBase ShardTick
 	// phase is the shared phase profiler (nil when profiling is off):
 	// every engine records into the same timer via atomic adds, and the
 	// island layer itself attributes ring-migration time to
@@ -132,104 +148,24 @@ func cacheOccupancy(eng *Engine) float64 {
 	return float64(eng.cache.live) / float64(len(eng.cache.slots))
 }
 
-// tickShard is one island's cumulative counters captured at a logical
-// migration tick (or the cross-island sum of them).
-type tickShard struct {
-	sess                   sched.DeltaStats
-	cache, mcache          cacheStats
-	cacheSize, cacheCap    int
-	mcacheSize, mcacheCap  int
-	arenaInUse, arenaSlots int
-	// migrants is the elite count this island sent at the tick (unused
-	// in aggregated sums).
-	migrants int
-}
-
-// add accumulates o into t (sizes and capacities sum across shards).
-//
-//detlint:hotpath
-func (t *tickShard) add(o tickShard) {
-	t.sess.Add(o.sess)
-	t.cache.hits += o.cache.hits
-	t.cache.misses += o.cache.misses
-	t.cache.evicts += o.cache.evicts
-	t.mcache.hits += o.mcache.hits
-	t.mcache.misses += o.mcache.misses
-	t.mcache.evicts += o.mcache.evicts
-	t.cacheSize += o.cacheSize
-	t.cacheCap += o.cacheCap
-	t.mcacheSize += o.mcacheSize
-	t.mcacheCap += o.mcacheCap
-	t.arenaInUse += o.arenaInUse
-	t.arenaSlots += o.arenaSlots
-}
-
-// captureShard reads one engine's cumulative counters. In async runs
-// each island captures its own shard on its own goroutine; the values
-// depend only on that island's deterministic history, never on
-// interleaving.
-//
-//detlint:hotpath
-func captureShard(eng *Engine, sent int) tickShard {
-	ts := tickShard{sess: eng.sessionStats(), migrants: sent}
-	if eng.cache != nil {
-		ts.cache = eng.cache.stats
-		ts.cacheSize, ts.cacheCap = eng.cache.live, len(eng.cache.slots)
-	}
-	if eng.mcache != nil {
-		ts.mcache = eng.mcache.stats
-		ts.mcacheSize, ts.mcacheCap = eng.mcache.live, len(eng.mcache.slots)
-	}
-	ts.arenaInUse, ts.arenaSlots = eng.arena.occupancy()
-	return ts
-}
-
 // sumShards captures and sums every island's current counters.
-func (is *Islands) sumShards() tickShard {
-	var agg tickShard
+func (is *Islands) sumShards() ShardTick {
+	var agg ShardTick
 	for _, eng := range is.engines {
-		agg.add(captureShard(eng, 0))
+		agg.Add(captureShard(eng, 0))
 	}
 	return agg
 }
 
 // emitShardStats diffs the aggregated counters against the previous
-// tick's baseline and emits one GenerationStats labeled "islands". The
-// front and indicator fields stay empty: a merged front at an interior
-// tick is not observable in the asynchronous mode, and the two modes
-// must emit identical sequences.
-func (is *Islands) emitShardStats(gen int, agg tickShard) {
-	diff := agg.sess
-	diff.Sub(is.aggBase.sess)
-	dc := agg.cache
-	dc.sub(is.aggBase.cache)
-	dm := agg.mcache
-	dm.sub(is.aggBase.mcache)
+// tick's baseline and emits one GenerationStats labeled "islands"
+// (assembled by ShardStatsEvent, shared with the distributed
+// coordinator).
+func (is *Islands) emitShardStats(gen int, agg ShardTick) {
+	is.observer.ObserveGeneration(ShardStatsEvent(
+		gen, is.engines[0].cfg.PopulationSize*len(is.engines),
+		is.engines[0].eval.NumMachines(), agg, is.aggBase))
 	is.aggBase = agg
-	is.observer.ObserveGeneration(obs.GenerationStats{
-		Label:                 "islands",
-		Generation:            gen,
-		Population:            is.engines[0].cfg.PopulationSize * len(is.engines),
-		FullEvals:             int(diff.FullEvals),
-		DeltaEvals:            int(diff.DeltaEvals),
-		MachinesSimulated:     int(diff.MachinesSimulated),
-		MachinesInherited:     int(diff.MachinesInherited),
-		TypedTasks:            int(diff.TypedTasks),
-		TypedRuns:             int(diff.TypedRuns),
-		CacheHits:             int(dc.hits),
-		CacheMisses:           int(dc.misses),
-		CacheEvictions:        int(dc.evicts),
-		CacheSize:             agg.cacheSize,
-		CacheCapacity:         agg.cacheCap,
-		MachineCacheHits:      int(dm.hits),
-		MachineCacheMisses:    int(dm.misses),
-		MachineCacheEvictions: int(dm.evicts),
-		MachineCacheSize:      agg.mcacheSize,
-		MachineCacheCapacity:  agg.mcacheCap,
-		ArenaInUse:            agg.arenaInUse,
-		ArenaSlots:            agg.arenaSlots,
-		NumMachines:           is.engines[0].eval.NumMachines(),
-	})
 }
 
 // NewIslands builds the islands, splitting the random source so each
@@ -368,61 +304,26 @@ func (is *Islands) runAsync(generations int) {
 	interval := is.cfg.MigrationInterval
 	start := is.generation
 	target := start + generations
-	// Logical migration ticks in (start, target].
-	firstTick := (start/interval + 1) * interval
-	nticks := 0
-	if is.cfg.Migrants > 0 && k > 1 {
-		for g := firstTick; g <= target; g += interval {
-			nticks++
-		}
-	}
-	recs := make([][]tickShard, k)
-	mail := make([]chan []Individual, k)
+	firstTick, nticks := RingTicks(start, target, interval, is.cfg.Migrants, k)
+	abort := newRingAbort()
+	mail := make([]Mailbox, k)
+	global := make([]int, k)
 	for i := 0; i < k; i++ {
-		recs[i] = make([]tickShard, nticks)
-		mail[i] = make(chan []Individual, 1)
+		mail[i] = newChanMailbox(abort)
+		global[i] = i
 	}
-	observing := is.observer != nil
-	var wg sync.WaitGroup
+	ins := make([]Mailbox, k)
 	for i := 0; i < k; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			eng := is.engines[i]
-			out, in := mail[i], mail[(i+k-1)%k]
-			t := 0
-			for g := start + 1; g <= target; g++ {
-				eng.Step()
-				if nticks == 0 || g%interval != 0 {
-					continue
-				}
-				// Elites reflect this island's own post-step,
-				// pre-injection state, exactly as in the synchronous
-				// collect-then-inject phase. The PhaseMigration bracket
-				// includes the ring-edge mailbox wait — in the async
-				// mode that wait IS the migration cost.
-				t0 := is.phase.Start()
-				elites := eng.Elites(is.cfg.Migrants)
-				is.health.SetMailboxDepth(i, len(out)+1)
-				out <- elites
-				inbound := <-in
-				if err := eng.Inject(inbound); err != nil {
-					panic(fmt.Sprintf("nsga2: ring migration failed: %v", err))
-				}
-				is.phase.Record(obs.PhaseMigration, t0)
-				is.health.SetMailboxDepth(i, len(out))
-				is.health.SetCacheOccupancy(i, cacheOccupancy(eng))
-				is.health.SetTick(i, g)
-				if observing {
-					recs[i][t] = captureShard(eng, len(elites))
-				}
-				t++
-			}
-		}(i)
+		ins[i] = mail[(i+k-1)%k]
 	}
-	wg.Wait()
+	recs, err := runRing(is.engines, global, ins, mail, abort,
+		start, target, interval, is.cfg.Migrants, nticks, is.phase, is.health)
+	if err != nil {
+		// Channel-backed edges cannot fail; any error here is a bug.
+		panic(fmt.Sprintf("nsga2: in-process ring failed: %v", err))
+	}
 	is.generation = target
-	if !observing {
+	if is.observer == nil {
 		return
 	}
 	// Emit per tick: the ring's migration events in from-ascending
@@ -430,15 +331,15 @@ func (is *Islands) runAsync(generations int) {
 	// the synchronous mode produces inline.
 	for t := 0; t < nticks; t++ {
 		gen := firstTick + t*interval
-		var agg tickShard
+		var agg ShardTick
 		for i := 0; i < k; i++ {
 			is.observer.ObserveMigration(obs.MigrationEvent{
 				Generation: gen,
 				From:       i,
 				To:         (i + 1) % k,
-				Count:      recs[i][t].migrants,
+				Count:      recs[i][t].Migrants,
 			})
-			agg.add(recs[i][t])
+			agg.Add(recs[i][t])
 		}
 		is.emitShardStats(gen, agg)
 	}
@@ -470,24 +371,5 @@ func (is *Islands) ParetoFront() []Individual {
 	for _, eng := range is.engines {
 		union = append(union, eng.ParetoFront()...)
 	}
-	if len(union) == 0 {
-		return nil
-	}
-	points := make([][]float64, len(union))
-	for i := range union {
-		points[i] = union[i].Objectives
-	}
-	keep := is.space.ParetoFront(points)
-	out := make([]Individual, len(keep))
-	for i, idx := range keep {
-		out[i] = union[idx]
-	}
-	sort.SliceStable(out, func(a, b int) bool {
-		x, y := out[a].Objectives[0], out[b].Objectives[0]
-		if is.space.Senses[0] == moea.Maximize {
-			return x > y
-		}
-		return x < y
-	})
-	return out
+	return MergeFronts(is.space, union)
 }

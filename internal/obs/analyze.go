@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"sort"
 )
@@ -109,107 +110,113 @@ type labelState struct {
 	hitRates []float64 // per-record hit rate, -1 when the record has none
 }
 
-// AnalyzeTrace validates and analyzes a JSONL trace in one pass. The
-// trace must satisfy the same schema rules as ValidateTrace (the first
-// violation is returned as a *TraceError); v1–v3 records simply lack
-// the fields later analytics use, so phase rollups and cache trends
-// degrade gracefully on old traces.
-func AnalyzeTrace(r io.Reader, opts AnalyzeOptions) (*TraceAnalysis, error) {
-	opts = opts.withDefaults()
-	an := &TraceAnalysis{}
-	var phaseTotals PhaseTotals
-	labels := make(map[string]*labelState)
-	var labelOrder []string
-	islands := make(map[int]*IslandStat)
-	migTicks := make(map[int]bool)
+// traceAnalyzer accumulates the streaming analysis across one or more
+// traces.
+type traceAnalyzer struct {
+	opts        AnalyzeOptions
+	an          *TraceAnalysis
+	phaseTotals PhaseTotals
+	labels      map[string]*labelState
+	labelOrder  []string
+	islands     map[int]*IslandStat
+	migTicks    map[int]bool
+}
 
-	sum, err := scanTrace(r, func(_ int, rec *traceRecord) {
-		switch rec.Type {
-		case "generation":
-			label := ""
-			if rec.Label != nil {
-				label = *rec.Label
-			}
-			st := labels[label]
-			if st == nil {
-				st = &labelState{}
-				st.out.Label = label
-				st.out.FirstGen = *rec.Gen
-				st.out.HVFirst = *rec.HV
-				st.out.HVBest = *rec.HV
-				st.out.BestGen = *rec.Gen
-				labels[label] = st
-				labelOrder = append(labelOrder, label)
-			}
-			st.out.Generations++
-			st.out.LastGen = *rec.Gen
-			st.out.HVLast = *rec.HV
-			if *rec.HV-st.out.HVBest > opts.StallTol*maxf(absf(st.out.HVBest), 1) {
-				st.out.HVBest = *rec.HV
-				st.out.BestGen = *rec.Gen
-				st.out.EndPlateau = 0
-			} else if st.out.Generations > 1 {
-				st.out.EndPlateau++
-				if st.out.EndPlateau > st.out.MaxPlateau {
-					st.out.MaxPlateau = st.out.EndPlateau
-				}
-			}
-			if rec.CacheHitRate != nil {
-				st.hitRates = append(st.hitRates, *rec.CacheHitRate)
-			} else {
-				st.hitRates = append(st.hitRates, -1)
-			}
-			if rec.PhaseNS != nil {
-				nonzero := false
-				for p, ns := range rec.PhaseNS {
-					if p < NumPhases {
-						phaseTotals[p] += ns
-					}
-					if ns != 0 {
-						nonzero = true
-					}
-				}
-				if nonzero {
-					an.ProfiledGenerations++
-				}
-			}
-		case "migration":
-			from, to, gen := *rec.From, *rec.To, *rec.Gen
-			migTicks[gen] = true
-			for _, i := range []int{from, to} {
-				if islands[i] == nil {
-					islands[i] = &IslandStat{Island: i}
-				}
-			}
-			st := islands[from]
-			st.Migrants += *rec.Count
-			if gen > st.LastGen {
-				st.LastGen = gen
+func newTraceAnalyzer(opts AnalyzeOptions) *traceAnalyzer {
+	return &traceAnalyzer{
+		opts:     opts.withDefaults(),
+		an:       &TraceAnalysis{},
+		labels:   make(map[string]*labelState),
+		islands:  make(map[int]*IslandStat),
+		migTicks: make(map[int]bool),
+	}
+}
+
+func (a *traceAnalyzer) consume(rec *traceRecord) {
+	switch rec.Type {
+	case "generation":
+		label := ""
+		if rec.Label != nil {
+			label = *rec.Label
+		}
+		st := a.labels[label]
+		if st == nil {
+			st = &labelState{}
+			st.out.Label = label
+			st.out.FirstGen = *rec.Gen
+			st.out.HVFirst = *rec.HV
+			st.out.HVBest = *rec.HV
+			st.out.BestGen = *rec.Gen
+			a.labels[label] = st
+			a.labelOrder = append(a.labelOrder, label)
+		}
+		st.out.Generations++
+		st.out.LastGen = *rec.Gen
+		st.out.HVLast = *rec.HV
+		if *rec.HV-st.out.HVBest > a.opts.StallTol*maxf(absf(st.out.HVBest), 1) {
+			st.out.HVBest = *rec.HV
+			st.out.BestGen = *rec.Gen
+			st.out.EndPlateau = 0
+		} else if st.out.Generations > 1 {
+			st.out.EndPlateau++
+			if st.out.EndPlateau > st.out.MaxPlateau {
+				st.out.MaxPlateau = st.out.EndPlateau
 			}
 		}
-	})
-	if err != nil {
-		return nil, err
+		if rec.CacheHitRate != nil {
+			st.hitRates = append(st.hitRates, *rec.CacheHitRate)
+		} else {
+			st.hitRates = append(st.hitRates, -1)
+		}
+		if rec.PhaseNS != nil {
+			nonzero := false
+			for p, ns := range rec.PhaseNS {
+				if p < NumPhases {
+					a.phaseTotals[p] += ns
+				}
+				if ns != 0 {
+					nonzero = true
+				}
+			}
+			if nonzero {
+				a.an.ProfiledGenerations++
+			}
+		}
+	case "migration":
+		from, to, gen := *rec.From, *rec.To, *rec.Gen
+		a.migTicks[gen] = true
+		for _, i := range []int{from, to} {
+			if a.islands[i] == nil {
+				a.islands[i] = &IslandStat{Island: i}
+			}
+		}
+		st := a.islands[from]
+		st.Migrants += *rec.Count
+		if gen > st.LastGen {
+			st.LastGen = gen
+		}
 	}
-	an.Records = sum
+}
 
+func (a *traceAnalyzer) finish() *TraceAnalysis {
+	an := a.an
 	var phaseSum int64
-	for _, ns := range phaseTotals {
+	for _, ns := range a.phaseTotals {
 		phaseSum += ns
 	}
 	if phaseSum > 0 {
 		for p := Phase(0); int(p) < NumPhases; p++ {
 			an.Phases = append(an.Phases, PhaseStat{
 				Phase:      p.String(),
-				TotalNanos: phaseTotals[p],
-				Share:      float64(phaseTotals[p]) / float64(phaseSum),
+				TotalNanos: a.phaseTotals[p],
+				Share:      float64(a.phaseTotals[p]) / float64(phaseSum),
 			})
 		}
 	}
 
-	for _, label := range labelOrder {
-		st := labels[label]
-		st.out.Stalled = st.out.MaxPlateau >= opts.StallWindow
+	for _, label := range a.labelOrder {
+		st := a.labels[label]
+		st.out.Stalled = st.out.MaxPlateau >= a.opts.StallWindow
 		if st.out.Stalled {
 			an.Stalled = true
 		}
@@ -217,11 +224,11 @@ func AnalyzeTrace(r io.Reader, opts AnalyzeOptions) (*TraceAnalysis, error) {
 		an.Labels = append(an.Labels, st.out)
 	}
 
-	if len(islands) > 0 {
-		is := &IslandSummary{Ticks: len(migTicks)}
+	if len(a.islands) > 0 {
+		is := &IslandSummary{Ticks: len(a.migTicks)}
 		minLast, maxLast := 0, 0
 		var idx []int
-		for i := range islands {
+		for i := range a.islands {
 			idx = append(idx, i)
 			if i+1 > is.Islands {
 				is.Islands = i + 1
@@ -229,7 +236,7 @@ func AnalyzeTrace(r io.Reader, opts AnalyzeOptions) (*TraceAnalysis, error) {
 		}
 		sort.Ints(idx)
 		for k, i := range idx {
-			st := islands[i]
+			st := a.islands[i]
 			is.Migrants += st.Migrants
 			is.PerIsland = append(is.PerIsland, *st)
 			if k == 0 || st.LastGen < minLast {
@@ -242,7 +249,41 @@ func AnalyzeTrace(r io.Reader, opts AnalyzeOptions) (*TraceAnalysis, error) {
 		is.TickSkew = maxLast - minLast
 		an.Islands = is
 	}
-	return an, nil
+	return an
+}
+
+// AnalyzeTrace validates and analyzes a JSONL trace in one pass. The
+// trace must satisfy the same schema rules as ValidateTrace (the first
+// violation is returned as a *TraceError); v1–v3 records simply lack
+// the fields later analytics use, so phase rollups and cache trends
+// degrade gracefully on old traces.
+func AnalyzeTrace(r io.Reader, opts AnalyzeOptions) (*TraceAnalysis, error) {
+	return AnalyzeTraces([]io.Reader{r}, opts)
+}
+
+// AnalyzeTraces merges the analysis of several traces — typically a
+// distributed run's parent trace plus its per-worker traces. Each trace
+// is validated independently; the analysis accumulators are shared, so
+// migration summaries aggregate across files: per-island migrant counts
+// sum, Ticks is the union of migration generations, and TickSkew spans
+// the merged ring, exposing an island left behind by a straggling
+// worker no matter whose trace recorded it. Validation errors carry the
+// failing reader's index.
+func AnalyzeTraces(rs []io.Reader, opts AnalyzeOptions) (*TraceAnalysis, error) {
+	a := newTraceAnalyzer(opts)
+	for i, r := range rs {
+		sum, err := scanTrace(r, func(_ int, rec *traceRecord) { a.consume(rec) })
+		if err != nil {
+			if len(rs) > 1 {
+				return nil, fmt.Errorf("trace %d: %w", i+1, err)
+			}
+			return nil, err
+		}
+		a.an.Records.Generations += sum.Generations
+		a.an.Records.Migrations += sum.Migrations
+		a.an.Records.Runs += sum.Runs
+	}
+	return a.finish(), nil
 }
 
 // hitRateTrend returns the mean cache hit rate over the first and last
